@@ -1,0 +1,277 @@
+//! Bingo [Bakhshalipour et al., HPCA 2019]: SMS-style footprint prefetching
+//! with *multiple* lookup signatures fused into one table. Footprints are
+//! stored under the long `PC+Address` event; lookup tries `PC+Address`
+//! first and falls back to the shorter `PC+Offset` event, so one physical
+//! table serves both precise and general predictions.
+
+use ipcp_mem::{LineAddr, LINES_PER_REGION};
+use ipcp_sim::prefetch::{
+    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+const AGT_ENTRIES: usize = 64;
+const PHT_WAYS: usize = 8;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AgtEntry {
+    region: u64,
+    valid: bool,
+    footprint: u32,
+    trigger_ip: u64,
+    trigger_offset: u8,
+    lru: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhtEntry {
+    valid: bool,
+    /// Short event: hash of (PC, offset).
+    short_key: u32,
+    /// Long event: hash of (PC, region address).
+    long_key: u64,
+    footprint: u32,
+    lru: u64,
+}
+
+/// The Bingo prefetcher.
+#[derive(Debug, Clone)]
+pub struct Bingo {
+    fill: FillLevel,
+    agt: Vec<AgtEntry>,
+    pht: Vec<PhtEntry>,
+    sets: usize,
+    stamp: u64,
+    /// Lookups served by the long (PC+Address) event.
+    pub long_hits: u64,
+    /// Lookups served by the short (PC+Offset) fallback.
+    pub short_hits: u64,
+}
+
+impl Bingo {
+    /// Creates a Bingo instance with `pht_entries` history entries — the
+    /// knob behind the paper's 48 KB vs 119 KB variants.
+    pub fn new(pht_entries: usize, fill: FillLevel) -> Self {
+        assert!(pht_entries.is_power_of_two() && pht_entries >= PHT_WAYS);
+        Self {
+            fill,
+            agt: vec![AgtEntry::default(); AGT_ENTRIES],
+            pht: vec![PhtEntry::default(); pht_entries],
+            sets: pht_entries / PHT_WAYS,
+            stamp: 0,
+            long_hits: 0,
+            short_hits: 0,
+        }
+    }
+
+    /// The 48 KB-budget variant the paper tunes to L1-D size
+    /// (≈8K entries × ~6 B).
+    pub fn l1_48kb() -> Self {
+        Self::new(8 * 1024, FillLevel::L1)
+    }
+
+    /// The original 119 KB variant (≈16K entries).
+    pub fn l1_119kb() -> Self {
+        Self::new(16 * 1024, FillLevel::L1)
+    }
+
+    fn short_key(ip: u64, offset: u8) -> u32 {
+        (((ip >> 2) << 5) as u32) ^ u32::from(offset)
+    }
+
+    fn long_key(ip: u64, region: u64) -> u64 {
+        ((ip >> 2) << 20) ^ region
+    }
+
+    /// Both events index by the *short* key so the fallback can find
+    /// entries trained under the long one (the Bingo trick).
+    fn set_of(&self, short: u32) -> usize {
+        (short as usize ^ (short as usize >> 7)) % self.sets
+    }
+
+    fn commit(&mut self, e: AgtEntry) {
+        if e.footprint.count_ones() < 2 {
+            return;
+        }
+        let short = Self::short_key(e.trigger_ip, e.trigger_offset);
+        let long = Self::long_key(e.trigger_ip, e.region);
+        let set = self.set_of(short);
+        let base = set * PHT_WAYS;
+        self.stamp += 1;
+        // Update an existing long match or allocate LRU.
+        let slot = (0..PHT_WAYS)
+            .map(|w| base + w)
+            .find(|&i| self.pht[i].valid && self.pht[i].long_key == long)
+            .unwrap_or_else(|| {
+                (base..base + PHT_WAYS)
+                    .min_by_key(|&i| if self.pht[i].valid { self.pht[i].lru } else { 0 })
+                    .expect("ways > 0")
+            });
+        self.pht[slot] = PhtEntry { valid: true, short_key: short, long_key: long, footprint: e.footprint, lru: self.stamp };
+    }
+
+    fn lookup(&mut self, ip: u64, region: u64, offset: u8) -> Option<u32> {
+        let short = Self::short_key(ip, offset);
+        let long = Self::long_key(ip, region);
+        let set = self.set_of(short);
+        let base = set * PHT_WAYS;
+        self.stamp += 1;
+        // Long event first.
+        for w in 0..PHT_WAYS {
+            let i = base + w;
+            if self.pht[i].valid && self.pht[i].long_key == long {
+                self.pht[i].lru = self.stamp;
+                self.long_hits += 1;
+                return Some(self.pht[i].footprint);
+            }
+        }
+        // Fallback: the most recently trained short-event match (a union
+        // over ways would compound stale junk footprints on irregular
+        // traffic).
+        let best = (0..PHT_WAYS)
+            .map(|w| base + w)
+            .filter(|&i| self.pht[i].valid && self.pht[i].short_key == short)
+            .max_by_key(|&i| self.pht[i].lru);
+        if let Some(i) = best {
+            self.short_hits += 1;
+            Some(self.pht[i].footprint)
+        } else {
+            None
+        }
+    }
+}
+
+impl Prefetcher for Bingo {
+    fn name(&self) -> &'static str {
+        "bingo"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        self.stamp += 1;
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        let region = line.raw() / LINES_PER_REGION;
+        let offset = (line.raw() % LINES_PER_REGION) as u8;
+
+        if let Some(i) = self.agt.iter().position(|e| e.valid && e.region == region) {
+            let e = &mut self.agt[i];
+            e.footprint |= 1 << offset;
+            e.lru = self.stamp;
+            return;
+        }
+        let v = self
+            .agt
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+            .map(|(i, _)| i)
+            .expect("AGT non-empty");
+        let old = self.agt[v];
+        if old.valid {
+            self.commit(old);
+        }
+        self.agt[v] = AgtEntry {
+            region,
+            valid: true,
+            footprint: 1 << offset,
+            trigger_ip: info.ip.raw(),
+            trigger_offset: offset,
+            lru: self.stamp,
+        };
+        if let Some(fp) = self.lookup(info.ip.raw(), region, offset) {
+            let base = region * LINES_PER_REGION;
+            for b in 0..LINES_PER_REGION as u32 {
+                if b as u8 == offset || fp & (1 << b) == 0 {
+                    continue;
+                }
+                let req = PrefetchRequest {
+                    line: LineAddr::new(base + u64::from(b)),
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
+                sink.prefetch(req);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let agt = (40 + 32 + 24 + 5 + 6) * AGT_ENTRIES as u64;
+        // Per PHT entry: ~16-bit compressed long tag + 12-bit short tag +
+        // 32-bit footprint + lru.
+        let pht = (16 + 12 + 32 + 3) * self.pht.len() as u64;
+        agt + pht
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn walk(p: &mut Bingo, ip: u64, region: u64, offsets: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(ip, region * 32 + o, false), &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn long_event_replays_exact_region() {
+        let mut p = Bingo::l1_48kb();
+        for r in 0..40u64 {
+            walk(&mut p, 0x400, r, &[1, 4, 6]);
+        }
+        // Flush the AGT (64 entries) so region 3 commits and is no longer
+        // resident; its footprint lives in the PHT under PC+Address.
+        for r in 100..180u64 {
+            walk(&mut p, 0x900, r, &[0]);
+        }
+        // Same-PC/offset commits share one PHT set, so only the most
+        // recently committed regions survive (8-way) — faithful Bingo
+        // aliasing. Revisit one of those: an AGT miss → long lookup.
+        let before = p.long_hits;
+        let reqs = walk(&mut p, 0x400, 36, &[1]);
+        assert!(p.long_hits > before, "long event should hit on a revisit");
+        let offs: Vec<u64> = reqs.iter().map(|l| l % 32).collect();
+        assert!(offs.contains(&4) && offs.contains(&6), "{offs:?}");
+    }
+
+    #[test]
+    fn short_event_generalizes_to_new_regions() {
+        let mut p = Bingo::l1_48kb();
+        for r in 0..80u64 {
+            walk(&mut p, 0x400, r, &[2, 5, 9]);
+        }
+        let before = p.short_hits;
+        let reqs = walk(&mut p, 0x400, 5000, &[2]);
+        assert!(p.short_hits > before, "unseen region must fall back to PC+Offset");
+        let offs: Vec<u64> = reqs.iter().map(|l| l % 32).collect();
+        assert!(offs.contains(&5) && offs.contains(&9), "{offs:?}");
+    }
+
+    #[test]
+    fn unknown_trigger_stays_silent() {
+        let mut p = Bingo::l1_48kb();
+        for r in 0..40u64 {
+            walk(&mut p, 0x400, r, &[2, 5]);
+        }
+        let reqs = walk(&mut p, 0xbeef00, 9000, &[17]);
+        assert!(reqs.is_empty());
+    }
+
+    #[test]
+    fn bigger_table_has_bigger_budget() {
+        let small = Bingo::l1_48kb().storage_bits();
+        let big = Bingo::l1_119kb().storage_bits();
+        assert!(big > small);
+        // Sanity: in the right ballpark of the paper's figures.
+        assert!((40_000..70_000).contains(&(small / 8)), "{} bytes", small / 8);
+        assert!((90_000..140_000).contains(&(big / 8)), "{} bytes", big / 8);
+    }
+}

@@ -1,0 +1,207 @@
+//! Best-Offset Prefetching [Michaud, HPCA 2016]: learns the single offset
+//! that would have made the most recent fills timely, by testing candidate
+//! offsets round-robin against a recent-request table, and prefetches with
+//! the current best offset until a new round elects a better one.
+
+use ipcp_mem::LineAddr;
+use ipcp_sim::prefetch::{
+    AccessInfo, FillInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+/// The candidate offset list from the BOP paper: numbers whose prime
+/// factors are ≤ 5, up to 64, plus their negations' useful subset.
+const OFFSETS: &[i64] = &[
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
+    60, 64, -1, -2, -3, -4, -8,
+];
+
+const RR_ENTRIES: usize = 256;
+const SCORE_MAX: u32 = 31;
+const ROUND_MAX: u32 = 100;
+const BAD_SCORE: u32 = 1;
+
+/// The best-offset prefetcher.
+#[derive(Debug, Clone)]
+pub struct Bop {
+    fill: FillLevel,
+    degree: u8,
+    rr: Vec<u64>,
+    scores: Vec<u32>,
+    test_idx: usize,
+    round: u32,
+    best_offset: i64,
+    best_enabled: bool,
+}
+
+impl Bop {
+    /// Creates a BOP instance filling at `fill` with the given degree
+    /// (1 in the original; >1 explores deeper).
+    pub fn new(degree: u8, fill: FillLevel) -> Self {
+        Self {
+            fill,
+            degree,
+            rr: vec![u64::MAX; RR_ENTRIES],
+            scores: vec![0; OFFSETS.len()],
+            test_idx: 0,
+            round: 0,
+            best_offset: 1,
+            best_enabled: true,
+        }
+    }
+
+    /// The L2 configuration of the original paper.
+    pub fn l2_default() -> Self {
+        Self::new(1, FillLevel::L2)
+    }
+
+    fn rr_index(line: u64) -> usize {
+        ((line ^ (line >> 8)) as usize) & (RR_ENTRIES - 1)
+    }
+
+    fn rr_contains(&self, line: u64) -> bool {
+        self.rr[Self::rr_index(line)] == line
+    }
+
+    fn rr_insert(&mut self, line: u64) {
+        self.rr[Self::rr_index(line)] = line;
+    }
+
+    fn end_round(&mut self) {
+        let (best_i, &best_s) = self
+            .scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .expect("non-empty offsets");
+        self.best_offset = OFFSETS[best_i];
+        self.best_enabled = best_s > BAD_SCORE;
+        self.scores.iter_mut().for_each(|s| *s = 0);
+        self.round = 0;
+        self.test_idx = 0;
+    }
+
+    /// The currently elected offset, if prefetching is enabled.
+    pub fn current_offset(&self) -> Option<i64> {
+        self.best_enabled.then_some(self.best_offset)
+    }
+}
+
+impl Prefetcher for Bop {
+    fn name(&self) -> &'static str {
+        "bop"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        // Learning step: test one candidate offset per (miss or
+        // prefetched-hit) access — "would a prefetch with offset d have
+        // been issued in time for this access?" i.e. was line - d recently
+        // requested.
+        if !info.hit || info.first_use_of_prefetch {
+            let d = OFFSETS[self.test_idx];
+            let mut ended = false;
+            if let Some(base) = line.offset_within_page(-d) {
+                if self.rr_contains(base.raw()) {
+                    self.scores[self.test_idx] = (self.scores[self.test_idx] + 1).min(SCORE_MAX);
+                    if self.scores[self.test_idx] == SCORE_MAX {
+                        self.end_round();
+                        ended = true;
+                    }
+                }
+            }
+            // `end_round` realigns the round-robin cursor; advancing past it
+            // here would bias the next round toward a different offset.
+            if !ended {
+                self.test_idx = (self.test_idx + 1) % OFFSETS.len();
+                if self.test_idx == 0 {
+                    self.round += 1;
+                    if self.round >= ROUND_MAX {
+                        self.end_round();
+                    }
+                }
+            }
+        }
+        // Prefetch with the current best offset.
+        if self.best_enabled {
+            for k in 1..=i64::from(self.degree) {
+                let Some(target) = line.offset_within_page(self.best_offset * k) else { break };
+                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                sink.prefetch(req);
+            }
+        }
+        // The RR table records base addresses of demand accesses (the
+        // "X - D inserted on fill of X" form is approximated by recording
+        // demands, which is equivalent for timeliness testing at one level).
+        self.rr_insert(line.raw());
+    }
+
+    fn on_fill(&mut self, fill: &FillInfo) {
+        if fill.was_prefetch {
+            // Insert the would-be trigger (X - D) so late prefetches score.
+            if let Some(base) = LineAddr::new(fill.pline.raw()).offset_within_page(-self.best_offset) {
+                self.rr_insert(base.raw());
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (RR_ENTRIES as u64) * 12 + (OFFSETS.len() as u64) * 5 + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn drive(p: &mut Bop, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x1, l, false), &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_stride_three_offset() {
+        let mut p = Bop::new(1, FillLevel::L2);
+        // A long stride-3 stream confined to page-sized windows.
+        let lines: Vec<u64> = (0..4000u64).map(|i| (i / 21) * 64 + (i % 21) * 3).collect();
+        drive(&mut p, &lines);
+        let off = p.current_offset();
+        assert!(
+            off == Some(3) || off == Some(6),
+            "best offset should be a multiple of 3, got {off:?}"
+        );
+    }
+
+    #[test]
+    fn random_traffic_disables_prefetching() {
+        let mut p = Bop::new(1, FillLevel::L2);
+        let mut x = 12345u64;
+        let lines: Vec<u64> = (0..8000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 16) % (1 << 24)
+            })
+            .collect();
+        drive(&mut p, &lines);
+        assert_eq!(p.current_offset(), None, "no offset should survive random traffic");
+    }
+
+    #[test]
+    fn prefetches_with_elected_offset() {
+        let mut p = Bop::new(1, FillLevel::L2);
+        let lines: Vec<u64> = (0..4000u64).map(|i| (i / 60) * 64 + (i % 60)).collect();
+        drive(&mut p, &lines);
+        assert_eq!(p.current_offset(), Some(1));
+        let mut s = VecSink::new();
+        p.on_access(&test_access(0x1, 1_000_000, false), &mut s);
+        assert_eq!(s.requests[0].line.raw(), 1_000_001);
+    }
+}

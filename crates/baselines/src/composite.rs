@@ -1,0 +1,113 @@
+//! Composite prefetchers: glue for running several prefetchers at one cache
+//! level, used to build the DPC-3 winning combination
+//! `SPP + Perceptron + DSPatch` (Table III) and any other stacking.
+
+use ipcp_sim::prefetch::{
+    AccessInfo, FillInfo, MetadataArrival, PrefetchSink, Prefetcher,
+};
+
+use crate::dspatch::Dspatch;
+use crate::ppf::SppPpf;
+
+/// Runs two prefetchers side by side at the same level; both observe every
+/// event and both may issue.
+pub struct Duo {
+    name: &'static str,
+    a: Box<dyn Prefetcher>,
+    b: Box<dyn Prefetcher>,
+}
+
+impl std::fmt::Debug for Duo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Duo").field("name", &self.name).finish()
+    }
+}
+
+impl Duo {
+    /// Combines two prefetchers under a display name.
+    pub fn new(name: &'static str, a: Box<dyn Prefetcher>, b: Box<dyn Prefetcher>) -> Self {
+        Self { name, a, b }
+    }
+}
+
+impl Prefetcher for Duo {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        self.a.on_access(info, sink);
+        self.b.on_access(info, sink);
+    }
+
+    fn on_fill(&mut self, fill: &FillInfo) {
+        self.a.on_fill(fill);
+        self.b.on_fill(fill);
+    }
+
+    fn on_prefetch_arrival(&mut self, arrival: &MetadataArrival, sink: &mut dyn PrefetchSink) {
+        self.a.on_prefetch_arrival(arrival, sink);
+        self.b.on_prefetch_arrival(arrival, sink);
+    }
+
+    fn on_cycle(&mut self, cycle: u64, sink: &mut dyn PrefetchSink) {
+        self.a.on_cycle(cycle, sink);
+        self.b.on_cycle(cycle, sink);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.a.storage_bits() + self.b.storage_bits()
+    }
+}
+
+/// The DPC-3 winner at the L2: perceptron-filtered SPP with DSPatch as the
+/// bandwidth-aware adjunct.
+pub fn spp_perceptron_dspatch() -> Duo {
+    Duo::new(
+        "spp-perceptron-dspatch",
+        Box::new(SppPpf::l2_default()),
+        Box::new(Dspatch::l2_default()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, FillLevel, PrefetchRequest, VecSink};
+
+    struct Fixed(u64);
+    impl Prefetcher for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn on_access(&mut self, _info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+            sink.prefetch(PrefetchRequest::l2(ipcp_mem::LineAddr::new(self.0)));
+        }
+        fn storage_bits(&self) -> u64 {
+            10
+        }
+    }
+
+    #[test]
+    fn duo_merges_requests_and_storage() {
+        let mut d = Duo::new("x", Box::new(Fixed(1)), Box::new(Fixed(2)));
+        let mut s = VecSink::new();
+        d.on_access(&test_access(1, 1, false), &mut s);
+        let t: Vec<u64> = s.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(t, vec![1, 2]);
+        assert_eq!(d.storage_bits(), 20);
+    }
+
+    #[test]
+    fn dpc3_combo_issues_on_strided_stream() {
+        let mut c = spp_perceptron_dspatch();
+        let mut total = 0;
+        for i in 0..200u64 {
+            let mut s = VecSink::new();
+            c.on_access(&test_access(0x400, 0x8000 + i, false), &mut s);
+            total += s.requests.len();
+            assert!(s.requests.iter().all(|r| r.fill == FillLevel::L2));
+        }
+        assert!(total > 50, "combo should prefetch a dense stream, got {total}");
+    }
+}

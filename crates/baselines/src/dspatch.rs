@@ -1,0 +1,224 @@
+//! DSPatch [Bera et al., MICRO 2019]: a DRAM-bandwidth-aware adjunct
+//! spatial prefetcher. Per-PC dual bit-patterns over 2 KB regions — a
+//! coverage-biased OR pattern (CovP) and an accuracy-biased AND pattern
+//! (AccP) — are selected at prefetch time by the measured DRAM bandwidth
+//! utilization: plenty of headroom favors coverage, saturation favors
+//! accuracy.
+
+use ipcp_mem::{Ip, LINES_PER_REGION};
+use ipcp_sim::prefetch::{
+    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+const SPT_ENTRIES: usize = 256;
+const PB_ENTRIES: usize = 8;
+/// Bandwidth utilization above which the accuracy pattern is used.
+const BW_KNEE: f64 = 0.5;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SptEntry {
+    tag: u32,
+    valid: bool,
+    /// Coverage-biased pattern (OR of observed footprints).
+    covp: u32,
+    /// Accuracy-biased pattern (AND of observed footprints).
+    accp: u32,
+    trained: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PbEntry {
+    region: u64,
+    valid: bool,
+    footprint: u32,
+    trigger_ip: u64,
+    trigger_offset: u8,
+    lru: u64,
+}
+
+/// The DSPatch prefetcher.
+#[derive(Debug, Clone)]
+pub struct Dspatch {
+    fill: FillLevel,
+    spt: Vec<SptEntry>,
+    pb: Vec<PbEntry>,
+    stamp: u64,
+}
+
+impl Dspatch {
+    /// Creates a DSPatch instance.
+    pub fn new(fill: FillLevel) -> Self {
+        Self {
+            fill,
+            spt: vec![SptEntry::default(); SPT_ENTRIES],
+            pb: vec![PbEntry::default(); PB_ENTRIES],
+            stamp: 0,
+        }
+    }
+
+    /// The paper's L2 configuration.
+    pub fn l2_default() -> Self {
+        Self::new(FillLevel::L2)
+    }
+
+    fn spt_slot(ip: Ip) -> (usize, u32) {
+        let h = (ip.raw() >> 2).wrapping_mul(0x9e37_79b9);
+        ((h as usize) % SPT_ENTRIES, (h >> 16) as u32 & 0xffff)
+    }
+
+    /// Anchors a footprint to its trigger offset (rotate so bit 0 is the
+    /// trigger line).
+    fn anchor(footprint: u32, trigger: u8) -> u32 {
+        footprint.rotate_right(u32::from(trigger))
+    }
+
+    fn learn(&mut self, pb: PbEntry) {
+        if pb.footprint.count_ones() < 2 {
+            return;
+        }
+        let (idx, tag) = Self::spt_slot(Ip(pb.trigger_ip));
+        let anchored = Self::anchor(pb.footprint, pb.trigger_offset);
+        let e = &mut self.spt[idx];
+        if e.valid && e.tag == tag {
+            e.covp |= anchored;
+            if e.trained {
+                e.accp &= anchored;
+            } else {
+                e.accp = anchored;
+                e.trained = true;
+            }
+        } else {
+            *e = SptEntry { tag, valid: true, covp: anchored, accp: anchored, trained: true };
+        }
+    }
+}
+
+impl Prefetcher for Dspatch {
+    fn name(&self) -> &'static str {
+        "dspatch"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        self.stamp += 1;
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        let region = line.raw() / LINES_PER_REGION;
+        let offset = (line.raw() % LINES_PER_REGION) as u8;
+
+        match self.pb.iter().position(|e| e.valid && e.region == region) {
+            Some(i) => {
+                let e = &mut self.pb[i];
+                e.footprint |= 1 << offset;
+                e.lru = self.stamp;
+            }
+            None => {
+                // New region: learn from the evicted buffer entry, then
+                // predict for the new trigger access.
+                let v = self
+                    .pb
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("PB non-empty");
+                let old = self.pb[v];
+                if old.valid {
+                    self.learn(old);
+                }
+                self.pb[v] = PbEntry {
+                    region,
+                    valid: true,
+                    footprint: 1 << offset,
+                    trigger_ip: info.ip.raw(),
+                    trigger_offset: offset,
+                    lru: self.stamp,
+                };
+                // Predict: select pattern by bandwidth.
+                let (idx, tag) = Self::spt_slot(info.ip);
+                let e = self.spt[idx];
+                if e.valid && e.tag == tag {
+                    let pattern = if info.dram_utilization > BW_KNEE { e.accp } else { e.covp };
+                    let rotated = pattern.rotate_left(u32::from(offset));
+                    let region_base = region * LINES_PER_REGION;
+                    for b in 0..LINES_PER_REGION as u32 {
+                        if b as u8 == offset {
+                            continue;
+                        }
+                        if rotated & (1 << b) != 0 {
+                            let target = ipcp_mem::LineAddr::new(region_base + u64::from(b));
+                            let req = PrefetchRequest {
+                                line: target,
+                                virtual_addr: virt,
+                                fill: self.fill,
+                                pf_class: 0,
+                                meta: None,
+                            };
+                            sink.prefetch(req);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let spt = (16 + 1 + 32 + 32 + 1) * SPT_ENTRIES as u64;
+        let pb = (40 + 1 + 32 + 16 + 5 + 4) * PB_ENTRIES as u64;
+        spt + pb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn region_walk(p: &mut Dspatch, region: u64, offsets: &[u64], util: f64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            let mut s = VecSink::new();
+            let mut a = test_access(0x400, region * 32 + o, false);
+            a.dram_utilization = util;
+            p.on_access(&a, &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn learns_footprint_and_replays_on_new_region() {
+        let mut p = Dspatch::l2_default();
+        // Train: several regions with the same footprint {0,1,2,3} from the
+        // same trigger IP.
+        for r in 0..12u64 {
+            region_walk(&mut p, r, &[0, 1, 2, 3], 0.1);
+        }
+        // A new region's trigger should replay the pattern.
+        let reqs = region_walk(&mut p, 100, &[0], 0.1);
+        let offsets: Vec<u64> = reqs.iter().map(|l| l % 32).collect();
+        assert!(offsets.contains(&1) && offsets.contains(&2) && offsets.contains(&3), "{offsets:?}");
+    }
+
+    #[test]
+    fn bandwidth_selects_accuracy_pattern() {
+        let mut p = Dspatch::l2_default();
+        // Footprints vary: {0..8} once, {0..4} repeatedly. CovP = union,
+        // AccP converges to the intersection.
+        region_walk(&mut p, 0, &(0..8).collect::<Vec<_>>(), 0.1);
+        for r in 1..10u64 {
+            region_walk(&mut p, r, &[0, 1, 2, 3], 0.1);
+        }
+        let low_bw = region_walk(&mut p, 50, &[0], 0.1);
+        let high_bw = region_walk(&mut p, 60, &[0], 0.9);
+        assert!(high_bw.len() <= low_bw.len(), "AccP ({}) must be no larger than CovP ({})", high_bw.len(), low_bw.len());
+    }
+
+    #[test]
+    fn anchor_rotation_round_trips() {
+        let fp = 0b1011u32;
+        let anchored = Dspatch::anchor(fp, 1);
+        assert_eq!(anchored.rotate_left(1), fp);
+    }
+}

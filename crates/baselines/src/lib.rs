@@ -1,0 +1,59 @@
+//! Baseline prefetchers for the IPCP reproduction: every design the paper
+//! compares against (Section VI, Table III), re-implemented from the cited
+//! papers.
+//!
+//! * [`nl::NextLine`] — degree-N next-line (plus the restrictive
+//!   miss-only variant used at L2/LLC).
+//! * [`ip_stride::IpStride`] — the classic 64-entry IP-stride prefetcher.
+//! * [`stream::StreamPf`] — POWER4-style stream filters.
+//! * [`bop::Bop`] — Best-Offset prefetching.
+//! * [`sandbox::Sandbox`] — sandbox candidate evaluation.
+//! * [`vldp::Vldp`] — variable-length delta prediction.
+//! * [`spp::Spp`] — signature-path prefetching.
+//! * [`ppf::SppPpf`] — SPP behind a perceptron prefetch filter.
+//! * [`dspatch::Dspatch`] — bandwidth-aware dual-pattern adjunct.
+//! * [`composite::spp_perceptron_dspatch`] — the DPC-3 winning L2 combo.
+//! * [`mlop::Mlop`] — multi-lookahead offset prefetching.
+//! * [`sms::Sms`] — spatial memory streaming.
+//! * [`bingo::Bingo`] — multi-signature footprint prefetching (48 KB and
+//!   119 KB variants).
+//! * [`tskid::TskidLite`] — a timeliness-learning IP-stride stand-in for
+//!   T-SKID (see DESIGN.md §4).
+//! * [`isb::IsbLite`] — an ISB-style *temporal* prefetcher (the
+//!   hundreds-of-KB class), used for the paper's Section VII future-work
+//!   experiment of adding a temporal component to IPCP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bingo;
+pub mod bop;
+pub mod composite;
+pub mod dspatch;
+pub mod ip_stride;
+pub mod isb;
+pub mod mlop;
+pub mod nl;
+pub mod ppf;
+pub mod sandbox;
+pub mod sms;
+pub mod spp;
+pub mod stream;
+pub mod tskid;
+pub mod vldp;
+
+pub use bingo::Bingo;
+pub use bop::Bop;
+pub use composite::{spp_perceptron_dspatch, Duo};
+pub use dspatch::Dspatch;
+pub use ip_stride::IpStride;
+pub use isb::{IsbLite, TemporalScope};
+pub use mlop::Mlop;
+pub use nl::NextLine;
+pub use ppf::SppPpf;
+pub use sandbox::Sandbox;
+pub use sms::Sms;
+pub use spp::Spp;
+pub use stream::StreamPf;
+pub use tskid::TskidLite;
+pub use vldp::Vldp;

@@ -1,0 +1,249 @@
+//! Multi-Lookahead Offset Prefetching [Shakerinava et al., DPC-3 2019]:
+//! extends best-offset with one elected offset *per lookahead level*,
+//! scored against per-zone access maps, so a single prefetcher covers both
+//! near and far targets every access.
+
+use ipcp_sim::prefetch::{
+    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+const OFFSETS: &[i64] = &[
+    1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 30, 32, -1, -2, -3, -4, -6, -8,
+];
+const ZONES: usize = 64;
+const MAX_LOOKAHEAD: usize = 8;
+const EVAL_ACCESSES: u32 = 500;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Zone {
+    page: u64,
+    valid: bool,
+    map: u64,
+    /// Lines already prefetched from this zone (issue dedup).
+    prefetched: u64,
+    lru: u64,
+}
+
+/// The MLOP prefetcher.
+#[derive(Debug, Clone)]
+pub struct Mlop {
+    fill: FillLevel,
+    zones: Vec<Zone>,
+    /// scores[offset][lookahead]: offset would have covered an access that
+    /// arrived ≥ lookahead accesses after its trigger.
+    scores: Vec<[u32; MAX_LOOKAHEAD]>,
+    /// Per-zone per-line "accesses ago" stamps, coarsened: we track the
+    /// global access counter at which each zone line was touched.
+    stamps: Vec<[u32; 64]>,
+    access_count: u32,
+    round_accesses: u32,
+    best: [i64; MAX_LOOKAHEAD],
+    stamp: u64,
+}
+
+impl Mlop {
+    /// Creates an MLOP instance.
+    pub fn new(fill: FillLevel) -> Self {
+        Self {
+            fill,
+            zones: vec![Zone::default(); ZONES],
+            scores: vec![[0; MAX_LOOKAHEAD]; OFFSETS.len()],
+            stamps: vec![[0; 64]; ZONES],
+            access_count: 0,
+            round_accesses: 0,
+            best: [0; MAX_LOOKAHEAD],
+            stamp: 0,
+        }
+    }
+
+    /// The DPC-3 L1 configuration.
+    pub fn l1_default() -> Self {
+        Self::new(FillLevel::L1)
+    }
+
+    /// Currently elected offsets per lookahead level.
+    pub fn elected(&self) -> &[i64; MAX_LOOKAHEAD] {
+        &self.best
+    }
+
+    fn zone_index(&mut self, page: u64) -> usize {
+        self.stamp += 1;
+        match self.zones.iter().position(|z| z.valid && z.page == page) {
+            Some(i) => {
+                self.zones[i].lru = self.stamp;
+                i
+            }
+            None => {
+                let v = self
+                    .zones
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, z)| if z.valid { z.lru } else { 0 })
+                    .map(|(i, _)| i)
+                    .expect("zones non-empty");
+                self.zones[v] = Zone { page, valid: true, map: 0, prefetched: 0, lru: self.stamp };
+                self.stamps[v] = [0; 64];
+                v
+            }
+        }
+    }
+
+    fn end_round(&mut self) {
+        // Elect, per lookahead level, the offset with the highest score;
+        // an offset only counts for level l if it scored there at all.
+        for l in 0..MAX_LOOKAHEAD {
+            let (bi, &bs) = self.scores.iter().map(|s| &s[l]).enumerate().max_by_key(|(_, &s)| s).expect("offsets");
+            self.best[l] = if bs >= EVAL_ACCESSES / 16 { OFFSETS[bi] } else { 0 };
+        }
+        self.scores.iter_mut().for_each(|s| *s = [0; MAX_LOOKAHEAD]);
+        self.round_accesses = 0;
+    }
+}
+
+impl Prefetcher for Mlop {
+    fn name(&self) -> &'static str {
+        "mlop"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        self.access_count += 1;
+        let page = line.raw() >> 6;
+        let offset = (line.raw() & 63) as i64;
+        let zi = self.zone_index(page);
+
+        // Learning considers only accesses a prefetch could have improved —
+        // misses and first uses of prefetched lines (as in the DPC-3
+        // implementation); cache-resident hot loops must not teach offsets
+        // that then pollute unrelated traffic.
+        if !info.hit || info.first_use_of_prefetch {
+            self.round_accesses += 1;
+            // Score: for each candidate offset d, the access at `offset`
+            // would have been covered by a prefetch triggered from
+            // offset-d. The lookahead level is how many accesses ago that
+            // trigger happened.
+            for (oi, &d) in OFFSETS.iter().enumerate() {
+                let src = offset - d;
+                if !(0..64).contains(&src) {
+                    continue;
+                }
+                if self.zones[zi].map & (1u64 << src) != 0 {
+                    let age = self.access_count.saturating_sub(self.stamps[zi][src as usize]);
+                    let level = (age as usize).min(MAX_LOOKAHEAD) - 1;
+                    // Credit this level and all shallower ones (a far-ahead
+                    // offset also helps near-term).
+                    for l in 0..=level {
+                        self.scores[oi][l] += 1;
+                    }
+                }
+            }
+            if self.round_accesses >= EVAL_ACCESSES {
+                self.end_round();
+            }
+        }
+        self.zones[zi].map |= 1u64 << offset;
+        self.stamps[zi][offset as usize] = self.access_count;
+
+        // Prefetch: one target per lookahead level with an elected offset,
+        // deduplicated against the zone's prefetched/accessed bits. Zones
+        // without history (a single touched line — pointer-chase style)
+        // issue nothing: the elected offsets describe mapped zones, not
+        // first-touch traffic.
+        if self.zones[zi].map.count_ones() < 2 {
+            return;
+        }
+        let mut seen = Vec::new();
+        for l in 0..MAX_LOOKAHEAD {
+            let d = self.best[l];
+            if d == 0 {
+                continue;
+            }
+            let dist = d * (l as i64 + 1);
+            if seen.contains(&dist) {
+                continue;
+            }
+            seen.push(dist);
+            let target_off = offset + dist;
+            if (0..64).contains(&target_off) {
+                let bit = 1u64 << target_off;
+                if self.zones[zi].prefetched & bit != 0 || self.zones[zi].map & bit != 0 {
+                    continue;
+                }
+                self.zones[zi].prefetched |= bit;
+            }
+            if let Some(target) = line.offset_within_page(dist) {
+                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                sink.prefetch(req);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let zones = (52 + 64 + 4) * ZONES as u64;
+        let scores = (OFFSETS.len() * MAX_LOOKAHEAD) as u64 * 9;
+        // The per-line stamps model the paper's access-map FIFO ordering;
+        // budget them at 6 bits per line.
+        let stamps = (ZONES * 64) as u64 * 6;
+        zones + scores + stamps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn drive(p: &mut Mlop, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x1, l, false), &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn elects_offset_for_sequential_stream() {
+        let mut p = Mlop::l1_default();
+        let lines: Vec<u64> = (0..1200u64).map(|i| (i / 60) * 64 + (i % 60)).collect();
+        drive(&mut p, &lines);
+        assert!(p.elected().contains(&1), "offset 1 should be elected: {:?}", p.elected());
+        // Prefetches at multiple distances per access — once the zone has
+        // some history (first-touch zones issue nothing).
+        let mut s = VecSink::new();
+        p.on_access(&test_access(0x1, 64 * 5000, false), &mut s);
+        assert!(s.requests.is_empty(), "first touch of a zone must stay silent");
+        p.on_access(&test_access(0x1, 64 * 5000 + 1, false), &mut s);
+        assert!(s.requests.len() >= 2, "multi-lookahead should give several targets");
+    }
+
+    #[test]
+    fn random_traffic_elects_nothing() {
+        let mut p = Mlop::l1_default();
+        let mut x = 3u64;
+        let lines: Vec<u64> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                (x >> 12) % (1 << 26)
+            })
+            .collect();
+        drive(&mut p, &lines);
+        assert!(p.elected().iter().all(|&d| d == 0), "{:?}", p.elected());
+    }
+
+    #[test]
+    fn strided_stream_elects_matching_offset() {
+        let mut p = Mlop::l1_default();
+        let lines: Vec<u64> = (0..1500u64).map(|i| (i / 20) * 64 + (i % 20) * 3).collect();
+        drive(&mut p, &lines);
+        assert!(
+            p.elected().iter().any(|&d| d != 0 && d % 3 == 0),
+            "a multiple-of-3 offset should win: {:?}",
+            p.elected()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Next-line prefetchers: the plain degree-N next-line used at L1, and the
+//! "restrictive NL" (demand-miss-only) variants used at L2/LLC by several
+//! DPC-3 combinations (Table III).
+
+use ipcp_sim::prefetch::{
+    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+/// A next-line prefetcher.
+#[derive(Debug, Clone)]
+pub struct NextLine {
+    degree: u8,
+    fill: FillLevel,
+    miss_only: bool,
+}
+
+impl NextLine {
+    /// Degree-`degree` next-line filling at `fill`, triggered on every
+    /// demand access.
+    pub fn new(degree: u8, fill: FillLevel) -> Self {
+        assert!(degree >= 1);
+        Self { degree, fill, miss_only: false }
+    }
+
+    /// Restrictive variant: triggers on demand misses only (the
+    /// "NL on demand accesses only" used at L2/LLC in Table III).
+    #[must_use]
+    pub fn miss_only(mut self) -> Self {
+        self.miss_only = true;
+        self
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> &'static str {
+        "next-line"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        if self.miss_only && info.hit {
+            return;
+        }
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        for k in 1..=i64::from(self.degree) {
+            let Some(target) = line.offset_within_page(k) else { break };
+            let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+            sink.prefetch(req);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0 // stateless
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    #[test]
+    fn issues_degree_next_lines() {
+        let mut p = NextLine::new(3, FillLevel::L1);
+        let mut s = VecSink::new();
+        p.on_access(&test_access(1, 100, true), &mut s);
+        let t: Vec<u64> = s.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(t, vec![101, 102, 103]);
+        assert!(s.requests.iter().all(|r| r.virtual_addr && r.fill == FillLevel::L1));
+    }
+
+    #[test]
+    fn miss_only_ignores_hits() {
+        let mut p = NextLine::new(1, FillLevel::L2).miss_only();
+        let mut s = VecSink::new();
+        p.on_access(&test_access(1, 100, true), &mut s);
+        assert!(s.requests.is_empty());
+        p.on_access(&test_access(1, 100, false), &mut s);
+        assert_eq!(s.requests.len(), 1);
+        assert!(!s.requests[0].virtual_addr);
+    }
+
+    #[test]
+    fn stops_at_page_boundary() {
+        let mut p = NextLine::new(4, FillLevel::L1);
+        let mut s = VecSink::new();
+        p.on_access(&test_access(1, 62, false), &mut s); // page offset 62
+        let t: Vec<u64> = s.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(t, vec![63]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Perceptron-based Prefetch Filtering [Bhatia et al., ISCA 2019] layered
+//! on SPP: every SPP proposal is scored by a perceptron over simple
+//! features; proposals below the threshold are suppressed, and the weights
+//! are trained from the eventual fate of issued prefetches (used vs.
+//! evicted-unused).
+
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::prefetch::{
+    AccessInfo, FillInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+use crate::spp::Spp;
+
+const TABLE: usize = 1024;
+const WEIGHT_MAX: i16 = 31;
+const WEIGHT_MIN: i16 = -32;
+const THRESHOLD: i32 = -8;
+const RECORD: usize = 1024;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Record {
+    line: u64,
+    valid: bool,
+    features: [usize; N_FEATURES],
+}
+
+const N_FEATURES: usize = 4;
+
+/// SPP with a perceptron prefetch filter.
+pub struct SppPpf {
+    spp: Spp,
+    fill: FillLevel,
+    weights: [Vec<i16>; N_FEATURES],
+    records: Vec<Record>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl std::fmt::Debug for SppPpf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SppPpf")
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl SppPpf {
+    /// Creates the filtered SPP at `fill`.
+    pub fn new(fill: FillLevel) -> Self {
+        Self {
+            spp: Spp::new(fill),
+            fill,
+            weights: std::array::from_fn(|_| vec![0i16; TABLE]),
+            records: vec![Record::default(); RECORD],
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The DPC-3 L2 configuration.
+    pub fn l2_default() -> Self {
+        Self::new(FillLevel::L2)
+    }
+
+    /// Accepted / rejected proposal counters (inspection).
+    pub fn decisions(&self) -> (u64, u64) {
+        (self.accepted, self.rejected)
+    }
+
+    fn features(ip: Ip, target: LineAddr, sig: u32, depth: usize) -> [usize; N_FEATURES] {
+        let ipr = ip.raw();
+        [
+            ((ipr >> 2) as usize) % TABLE,
+            ((target.raw() & 63) as usize ^ ((ipr as usize) << 3)) % TABLE,
+            (sig as usize ^ (target.raw() as usize >> 6)) % TABLE,
+            (depth * 131 + ((target.raw() as usize) & 0x3f)) % TABLE,
+        ]
+    }
+
+    fn score(&self, f: &[usize; N_FEATURES]) -> i32 {
+        f.iter()
+            .enumerate()
+            .map(|(i, &idx)| i32::from(self.weights[i][idx]))
+            .sum()
+    }
+
+    fn learn(&mut self, f: &[usize; N_FEATURES], up: bool) {
+        for (i, &idx) in f.iter().enumerate() {
+            let w = &mut self.weights[i][idx];
+            *w = if up { (*w + 1).min(WEIGHT_MAX) } else { (*w - 1).max(WEIGHT_MIN) };
+        }
+    }
+
+    fn record_index(line: LineAddr) -> usize {
+        (line.raw() as usize ^ (line.raw() as usize >> 10)) % RECORD
+    }
+}
+
+impl Prefetcher for SppPpf {
+    fn name(&self) -> &'static str {
+        "spp-ppf"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        // Positive reinforcement: a demand access that lands on a line we
+        // recorded as prefetched.
+        if info.first_use_of_prefetch {
+            let idx = Self::record_index(line);
+            let rec = self.records[idx];
+            if rec.valid && rec.line == line.raw() {
+                let feats = rec.features;
+                self.learn(&feats, true);
+                self.records[idx].valid = false;
+            }
+        }
+        let Some(sig) = self.spp.observe(line) else { return };
+        let mut proposals = Vec::new();
+        self.spp.lookahead(sig, line, |target, s, depth, _conf| {
+            proposals.push((target, s, depth));
+        });
+        for (target, s, depth) in proposals {
+            let feats = Self::features(info.ip, target, s, depth);
+            if self.score(&feats) >= THRESHOLD {
+                self.accepted += 1;
+                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                if sink.prefetch(req) {
+                    let idx = Self::record_index(target);
+                    self.records[idx] = Record { line: target.raw(), valid: true, features: feats };
+                }
+            } else {
+                self.rejected += 1;
+            }
+        }
+    }
+
+    fn on_fill(&mut self, fill: &FillInfo) {
+        // Negative reinforcement: an unused prefetched line was evicted.
+        if fill.evicted_unused_prefetch {
+            if let Some(ev) = fill.evicted {
+                let idx = Self::record_index(ev);
+                let rec = self.records[idx];
+                if rec.valid && rec.line == ev.raw() {
+                    let feats = rec.features;
+                    self.learn(&feats, false);
+                    self.records[idx].valid = false;
+                }
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.spp.storage_bits()
+            + (N_FEATURES * TABLE) as u64 * 6
+            + RECORD as u64 * (12 + N_FEATURES as u64 * 10 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    #[test]
+    fn passes_confident_spp_proposals_initially() {
+        let mut p = SppPpf::l2_default();
+        let mut total = 0;
+        for i in 0..40u64 {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x400, 0x4000 + i * 2, false), &mut s);
+            total += s.requests.len();
+        }
+        assert!(total > 0, "zero-weight perceptron must not block everything");
+        let (acc, rej) = p.decisions();
+        assert!(acc > 0);
+        assert_eq!(rej, 0, "nothing should be rejected before negative training");
+    }
+
+    #[test]
+    fn negative_feedback_suppresses_bad_features() {
+        let mut p = SppPpf::l2_default();
+        // Build proposals, then repeatedly punish them as evicted-unused.
+        for round in 0..60 {
+            let mut s = VecSink::new();
+            for i in 0..20u64 {
+                p.on_access(&test_access(0x400, 0x4000 + (round * 20 + i) * 2, false), &mut s);
+            }
+            for r in s.take() {
+                p.on_fill(&FillInfo {
+                    cycle: 0,
+                    pline: LineAddr::new(0),
+                    was_prefetch: false,
+                    pf_class: 0,
+                    evicted: Some(r.line),
+                    evicted_unused_prefetch: true,
+                });
+            }
+        }
+        let (_, rej) = p.decisions();
+        assert!(rej > 0, "persistent uselessness must start rejecting proposals");
+    }
+
+    #[test]
+    fn positive_feedback_keeps_gate_open() {
+        let mut p = SppPpf::l2_default();
+        for i in 0..200u64 {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x400, 0x4000 + i * 2, false), &mut s);
+            // Pretend every prefetched line was used.
+            for r in s.take() {
+                let mut hit = test_access(0x400, r.line.raw(), true);
+                hit.first_use_of_prefetch = true;
+                let mut s2 = VecSink::new();
+                p.on_access(&hit, &mut s2);
+            }
+        }
+        let (acc, rej) = p.decisions();
+        assert!(acc > rej * 10, "useful prefetches must keep flowing: {acc} vs {rej}");
+    }
+}

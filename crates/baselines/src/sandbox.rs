@@ -1,0 +1,180 @@
+//! Sandbox prefetching [Pugsley et al., HPCA 2014]: candidate offsets are
+//! evaluated in a zero-cost "sandbox" (a Bloom filter of pretend
+//! prefetches); offsets whose pretend prefetches keep getting demanded
+//! graduate to issuing real prefetches, with aggressiveness proportional to
+//! their score.
+
+use ipcp_sim::prefetch::{
+    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+const CANDIDATES: &[i64] = &[1, 2, 3, 4, 5, 6, 7, 8, -1, -2, -3, -4, -5, -6, -7, -8];
+const BLOOM_BITS: usize = 2048;
+const EVAL_ACCESSES: u32 = 256;
+
+#[derive(Debug, Clone)]
+struct Bloom {
+    bits: Vec<u64>,
+}
+
+impl Bloom {
+    fn new() -> Self {
+        Self { bits: vec![0; BLOOM_BITS / 64] }
+    }
+
+    fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|w| *w = 0);
+    }
+
+    fn hash(line: u64, k: u64) -> usize {
+        let x = line
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(17 + 7 * k as u32)
+            .wrapping_add(k);
+        (x as usize) % BLOOM_BITS
+    }
+
+    fn insert(&mut self, line: u64) {
+        for k in 0..2u64 {
+            let b = Self::hash(line, k);
+            self.bits[b / 64] |= 1 << (b % 64);
+        }
+    }
+
+    fn contains(&self, line: u64) -> bool {
+        (0..2u64).all(|k| {
+            let b = Self::hash(line, k);
+            self.bits[b / 64] & (1 << (b % 64)) != 0
+        })
+    }
+}
+
+/// The sandbox prefetcher.
+#[derive(Debug, Clone)]
+pub struct Sandbox {
+    fill: FillLevel,
+    bloom: Bloom,
+    cand_idx: usize,
+    accesses: u32,
+    score: u32,
+    /// Scores from the last completed evaluation of each candidate.
+    final_scores: Vec<u32>,
+}
+
+impl Sandbox {
+    /// Creates a sandbox prefetcher filling at `fill`.
+    pub fn new(fill: FillLevel) -> Self {
+        Self {
+            fill,
+            bloom: Bloom::new(),
+            cand_idx: 0,
+            accesses: 0,
+            score: 0,
+            final_scores: vec![0; CANDIDATES.len()],
+        }
+    }
+
+    fn degree_for_score(score: u32) -> u8 {
+        // The paper scales aggressiveness with sandbox score.
+        match score {
+            0..=63 => 0,
+            64..=127 => 1,
+            128..=191 => 2,
+            _ => 4,
+        }
+    }
+}
+
+impl Prefetcher for Sandbox {
+    fn name(&self) -> &'static str {
+        "sandbox"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        // Sandbox evaluation of the candidate under test.
+        if self.bloom.contains(line.raw()) {
+            self.score += 1;
+        }
+        let cand = CANDIDATES[self.cand_idx];
+        if let Some(pretend) = line.offset_within_page(cand) {
+            self.bloom.insert(pretend.raw());
+        }
+        self.accesses += 1;
+        if self.accesses >= EVAL_ACCESSES {
+            self.final_scores[self.cand_idx] = self.score;
+            self.cand_idx = (self.cand_idx + 1) % CANDIDATES.len();
+            self.accesses = 0;
+            self.score = 0;
+            self.bloom.clear();
+        }
+        // Real prefetches from all graduated candidates.
+        for (i, &d) in CANDIDATES.iter().enumerate() {
+            let degree = Self::degree_for_score(self.final_scores[i]);
+            for k in 1..=i64::from(degree) {
+                let Some(target) = line.offset_within_page(d * k) else { break };
+                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                sink.prefetch(req);
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        BLOOM_BITS as u64 + (CANDIDATES.len() as u64) * 9 + 18
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn drive(p: &mut Sandbox, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x1, l, false), &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn sequential_stream_graduates_offset_one() {
+        let mut p = Sandbox::new(FillLevel::L2);
+        let lines: Vec<u64> = (0..EVAL_ACCESSES as u64 + 50).map(|i| (i / 60) * 64 + (i % 60)).collect();
+        drive(&mut p, &lines);
+        assert!(p.final_scores[0] > 128, "offset 1 score: {}", p.final_scores[0]);
+        // Now real prefetches flow.
+        let mut s = VecSink::new();
+        p.on_access(&test_access(0x1, 500_000, false), &mut s);
+        assert!(s.requests.iter().any(|r| r.line.raw() == 500_001));
+    }
+
+    #[test]
+    fn random_traffic_never_graduates() {
+        let mut p = Sandbox::new(FillLevel::L2);
+        let mut x = 7u64;
+        let lines: Vec<u64> = (0..EVAL_ACCESSES as u64 * 20)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+                (x >> 14) % (1 << 26)
+            })
+            .collect();
+        let reqs = drive(&mut p, &lines);
+        assert!(reqs.is_empty(), "{} spurious prefetches", reqs.len());
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_modest() {
+        let mut b = Bloom::new();
+        for i in 0..200u64 {
+            b.insert(i * 3);
+        }
+        let fp = (10_000..20_000u64).filter(|&x| b.contains(x)).count();
+        assert!(fp < 1000, "false positives: {fp}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks: per-access cost of each prefetcher — the
+//! "lookup latency" concern of Section V made measurable. IPCP's bouquet
+//! must stay in the same cost class as a plain IP-stride table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ipcp::{IpcpConfig, IpcpL1};
+use ipcp_baselines::{Bingo, IpStride, Mlop, Spp};
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::prefetch::{AccessInfo, DemandKind, FillLevel, Prefetcher, VecSink};
+
+fn access(i: u64) -> AccessInfo {
+    AccessInfo {
+        cycle: i,
+        ip: Ip(0x40_0000 + (i % 16) * 36),
+        vline: LineAddr::new(0x10_0000 + i * 3),
+        pline: LineAddr::new(0x10_0000 + i * 3),
+        kind: DemandKind::Load,
+        hit: i.is_multiple_of(3),
+        first_use_of_prefetch: false,
+        hit_pf_class: 0,
+        instructions: i * 20,
+        demand_misses: i / 2,
+        dram_utilization: 0.3,
+    }
+}
+
+fn bench_prefetchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("on_access");
+    macro_rules! bench {
+        ($name:expr, $pf:expr) => {
+            group.bench_function($name, |b| {
+                let mut pf = $pf;
+                let mut sink = VecSink::new();
+                let mut i = 0u64;
+                b.iter(|| {
+                    pf.on_access(black_box(&access(i)), &mut sink);
+                    sink.requests.clear();
+                    i += 1;
+                });
+            });
+        };
+    }
+    bench!("ipcp-l1", IpcpL1::new(IpcpConfig::default()));
+    bench!("ip-stride", IpStride::l1_default());
+    bench!("spp", Spp::new(FillLevel::L1));
+    bench!("mlop", Mlop::l1_default());
+    bench!("bingo-48kb", Bingo::l1_48kb());
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetchers);
+criterion_main!(benches);

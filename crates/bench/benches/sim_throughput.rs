@@ -1,0 +1,41 @@
+//! Criterion benchmark: end-to-end simulator throughput (instructions
+//! simulated per second) with and without IPCP — the cost of the
+//! reproduction harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
+use ipcp_sim::prefetch::NoPrefetcher;
+use ipcp_sim::{run_single, SimConfig};
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    let trace = || {
+        ipcp_workloads::by_name("bwaves-cs3").expect("suite trace").shared()
+    };
+    group.bench_function("baseline", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::default().with_instructions(20_000, INSTRUCTIONS);
+            run_single(cfg, trace(), Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher))
+        });
+    });
+    group.bench_function("ipcp", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::default().with_instructions(20_000, INSTRUCTIONS);
+            run_single(
+                cfg,
+                trace(),
+                Box::new(IpcpL1::new(IpcpConfig::default())),
+                Box::new(IpcpL2::new(IpcpConfig::default())),
+                Box::new(NoPrefetcher),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

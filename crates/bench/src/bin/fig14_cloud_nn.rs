@@ -1,0 +1,19 @@
+//! Fig. 14 — CloudSuite (a) and CNN/RNN (b) speedups per prefetcher.
+//!
+//! Paper's shape: all spatial prefetchers struggle on CloudSuite
+//! (temporal, not spatial, reuse — `classification` defeats everyone);
+//! the NN suite is stream-dominated and IPCP leads it.
+
+use ipcp_bench::combos::TABLE3_COMBOS;
+use ipcp_bench::runner::{speedup_comparison, RunScale};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let cloud = ipcp_workloads::cloud_suite();
+    speedup_comparison("Fig. 14(a): CloudSuite", &cloud, TABLE3_COMBOS, scale);
+    println!("paper: speedups compressed near 1.0x; classification gains nothing anywhere.");
+    println!();
+    let nn = ipcp_workloads::nn_suite();
+    speedup_comparison("Fig. 14(b): CNNs/RNN", &nn, TABLE3_COMBOS, scale);
+    println!("paper: streaming tensor kernels: IPCP leads (up to ~2x on some nets).");
+}

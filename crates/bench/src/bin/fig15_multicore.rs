@@ -1,0 +1,107 @@
+//! Fig. 15 — Multi-core summary: weighted speedup of homogeneous and
+//! heterogeneous 4-core mixes (plus an 8-core sample), normalized to
+//! per-trace alone-IPCs, compared across the Table III combinations.
+//!
+//! Paper's shape: IPCP ~23.4% average, next best (Bingo/MLOP) ~21/20%;
+//! homogeneous memory-hog mixes (mcf-like) degrade for everyone, IPCP
+//! degrading least thanks to accuracy-driven throttling.
+
+use std::sync::Arc;
+use ipcp_bench::combos::{build, TABLE3_COMBOS};
+use ipcp_bench::runner::{geomean, print_table, RunScale};
+use ipcp_sim::{weighted_speedup, CoreSetup, SimConfig, System};
+use ipcp_trace::TraceSource;
+use ipcp_workloads::SynthTrace;
+
+fn alone_ipc(trace: &SynthTrace, combo: &str, cores: u32, scale: RunScale) -> f64 {
+    // "IPC_alone(i) is the IPC of core i when it runs alone on [the] N-core
+    // system": single core, but the multicore LLC capacity and DRAM.
+    let mut cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
+    cfg.cores = 1;
+    cfg.llc.size_bytes *= u64::from(cores);
+    let c = build(combo);
+    let mut sys = System::new(
+        cfg,
+        vec![CoreSetup { trace: Arc::new(trace.clone()), l1d_prefetcher: c.l1, l2_prefetcher: c.l2 }],
+        c.llc,
+    );
+    sys.run().ipc()
+}
+
+fn run_mix(mix: &[SynthTrace], combo: &str, scale: RunScale) -> f64 {
+    let cores = mix.len() as u32;
+    let cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
+    let setups = mix
+        .iter()
+        .map(|t| {
+            let c = build(combo);
+            CoreSetup { trace: Arc::new(t.clone()), l1d_prefetcher: c.l1, l2_prefetcher: c.l2 }
+        })
+        .collect();
+    let llc = build(combo).llc;
+    let mut sys = System::new(cfg, setups, llc);
+    let report = sys.run();
+    let alone: Vec<f64> = mix.iter().map(|t| alone_ipc(t, combo, cores, scale)).collect();
+    weighted_speedup(&report, &alone) / cores as f64
+}
+
+fn main() {
+    let mut scale = RunScale::from_env();
+    // Multicore runs are ~4x the work per mix; trim the default.
+    if std::env::var("IPCP_SCALE").is_err() {
+        scale.instructions = 200_000;
+        scale.warmup = 50_000;
+    }
+    let all = ipcp_workloads::memory_intensive_suite();
+    let find = |n: &str| all.iter().find(|t| t.name() == n).unwrap().clone();
+
+    let mut mixes: Vec<(String, Vec<SynthTrace>)> = Vec::new();
+    // Homogeneous 4-core mixes.
+    for name in ["bwaves-cs3", "lbm-gs-pos", "mcf-cplx-12", "mcf-irr-994"] {
+        mixes.push((format!("homo4-{name}"), vec![find(name); 4]));
+    }
+    // Heterogeneous 4-core mixes.
+    mixes.push(("hetero4-a".into(), vec![find("bwaves-cs3"), find("gcc-gs-2226"), find("mcf-irr-994"), find("xz-cplx-334")]));
+    mixes.push(("hetero4-b".into(), vec![find("fotonik-cs2"), find("lbm-gs-pos"), find("omnetpp-irr"), find("cam4-cs7")]));
+    mixes.push(("hetero4-c".into(), vec![find("wrf-gs-neg"), find("roms-cs-neg"), find("pop2-nest"), find("blender-mixed")]));
+    // Seeded random heterogeneous mixes (the paper runs 1000; scale with
+    // IPCP_MIXES, default 4).
+    let n_random: usize = std::env::var("IPCP_MIXES").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let mut rng_state = 0x1bc9_5eedu64;
+    let mut next = move || {
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+    for m in 0..n_random {
+        let mix: Vec<SynthTrace> = (0..4).map(|_| all[(next() % all.len() as u64) as usize].clone()).collect();
+        mixes.push((format!("rand4-{m}"), mix));
+    }
+    // One 8-core sample.
+    mixes.push(("homo8-bwaves-cs3".into(), vec![find("bwaves-cs3"); 8]));
+
+    let mut per_combo: std::collections::HashMap<String, Vec<f64>> = Default::default();
+    let mut rows = Vec::new();
+    for (name, mix) in &mixes {
+        let base = run_mix(mix, "none", scale);
+        let mut row = vec![name.clone()];
+        for &combo in TABLE3_COMBOS {
+            let ws = run_mix(mix, combo, scale) / base;
+            per_combo.entry(combo.into()).or_default().push(ws);
+            row.push(format!("{ws:.3}"));
+        }
+        rows.push(row);
+    }
+    let mut footer = vec!["GEOMEAN".to_string()];
+    for &combo in TABLE3_COMBOS {
+        footer.push(format!("{:.3}", geomean(&per_combo[combo])));
+    }
+    rows.push(footer);
+    let mut header = vec!["mix".to_string()];
+    header.extend(TABLE3_COMBOS.iter().map(|s| s.to_string()));
+    println!("== Fig. 15: multi-core normalized weighted speedup (vs no prefetching)");
+    print_table(&header, &rows);
+    println!("paper: IPCP 23.4% average, Bingo 20.9%, MLOP 20%; mcf-heavy homogeneous");
+    println!("       mixes degrade for every prefetcher, IPCP least.");
+}

@@ -1,0 +1,29 @@
+//! Section VI-C — Sensitivity to L1-D PQ/MSHR capacity: (2,4), (4,8),
+//! (8,16) default, (16,32).
+//!
+//! Paper's shape: (2,4) loses ~2.7% on average (high-MLP traces hit
+//! hardest); (16,32) gains little — the default is near the knee.
+
+use ipcp_bench::runner::{geomean, print_table, RunScale, run_combo_with};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let traces = ipcp_workloads::memory_intensive_suite();
+    let mut rows = Vec::new();
+    for (pq, mshr) in [(2u32, 4u32), (4, 8), (8, 16), (16, 32)] {
+        let mut speeds = Vec::new();
+        for t in &traces {
+            let tweak = |cfg: &mut ipcp_sim::SimConfig| {
+                cfg.l1d.pq_entries = pq;
+                cfg.l1d.mshr_entries = mshr;
+            };
+            let base = run_combo_with("none", t, scale, tweak).ipc();
+            let r = run_combo_with("ipcp", t, scale, tweak);
+            speeds.push(r.ipc() / base);
+        }
+        rows.push(vec![format!("PQ {pq}, MSHR {mshr}"), format!("{:.3}", geomean(&speeds))]);
+    }
+    println!("== Sensitivity: L1-D PQ/MSHR entries (IPCP geomean speedup)");
+    print_table(&["resources".into(), "speedup".into()], &rows);
+    println!("paper: (2,4) drops ~2.7% vs the (8,16) default; beyond it, marginal.");
+}

@@ -1,0 +1,32 @@
+//! Table I — Hardware overhead of IPCP at L1 and L2, computed from the
+//! same structural constants the implementation uses.
+
+use ipcp::{l1_budget, l2_budget, framework_bytes, IpcpConfig};
+use ipcp_bench::runner::print_table;
+
+fn main() {
+    let cfg = IpcpConfig::default();
+    let l1 = l1_budget(&cfg);
+    let l2 = l2_budget(&cfg);
+    println!("== Table I: IPCP hardware overhead");
+    print_table(
+        &["structure".into(), "bits".into()],
+        &[
+            vec!["L1 IP table (36 x 64)".into(), format!("{}", l1.ip_table)],
+            vec!["L1 CSPT (9 x 128)".into(), format!("{}", l1.cspt)],
+            vec!["L1 RST (53 x 8)".into(), format!("{}", l1.rst)],
+            vec!["L1 per-line class bits (2 x 64 x 12)".into(), format!("{}", l1.class_bits)],
+            vec!["L1 RR filter (12 x 32)".into(), format!("{}", l1.rr_filter)],
+            vec!["L1 counters/registers".into(), format!("{}", l1.other)],
+            vec!["L1 total".into(), format!("{} bits = {} bytes", l1.total_bits(), l1.total_bytes())],
+            vec!["L2 IP table (19 x 64)".into(), format!("{}", l2.ip_table)],
+            vec!["L2 counters".into(), format!("{}", l2.other)],
+            vec!["L2 total".into(), format!("{} bits = {} bytes", l2.total_bits(), l2.total_bytes())],
+            vec!["FRAMEWORK TOTAL".into(), format!("{} bytes", framework_bytes(&cfg))],
+        ],
+    );
+    assert_eq!(l1.total_bytes(), 740, "paper: 740 bytes at L1");
+    assert_eq!(l2.total_bytes(), 155, "paper: 155 bytes at L2");
+    assert_eq!(framework_bytes(&cfg), 895, "paper: 895 bytes total");
+    println!("matches the paper exactly: 740 B (L1) + 155 B (L2) = 895 B.");
+}

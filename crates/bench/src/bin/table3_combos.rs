@@ -1,0 +1,25 @@
+//! Table III — The multi-level prefetching combinations and their hardware
+//! budgets.
+
+use ipcp_bench::combos::{build, TABLE3_COMBOS};
+use ipcp_bench::runner::print_table;
+
+fn main() {
+    println!("== Table III: multi-level prefetching combinations");
+    let mut rows = Vec::new();
+    for &name in TABLE3_COMBOS {
+        let c = build(name);
+        let placement = match name {
+            "spp-perc-dspatch" => "throttled-NL(L1) + SPP+PPF+DSPatch(L2) + NL(LLC)",
+            "mlop" => "MLOP(L1) + NL(L2) + NL(LLC)",
+            "bingo48" => "Bingo-48KB(L1) + NL(L2) + NL(LLC)",
+            "tskid" => "T-SKID-lite(L1) + SPP(L2)",
+            "ipcp" => "IPCP(L1) + IPCP(L2)",
+            _ => "",
+        };
+        rows.push(vec![name.to_string(), placement.to_string(), format!("{} B", c.storage_bytes())]);
+    }
+    print_table(&["combo".into(), "placement".into(), "storage".into()], &rows);
+    println!("paper: IPCP = 895 B; rivals demand 10x-50x more (T-SKID-lite here is a");
+    println!("       reduced stand-in; the real T-SKID spends >50 KB).");
+}

@@ -1,0 +1,11 @@
+//! Figure/table regeneration harness for the IPCP reproduction.
+//!
+//! One binary per figure and table of the paper (see `src/bin/`); this
+//! library provides the named prefetcher [`combos`] and the shared
+//! [`runner`] machinery (scales, baselines, speedup tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod combos;
+pub mod runner;

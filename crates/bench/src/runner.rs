@@ -1,0 +1,242 @@
+//! Shared experiment machinery for the figure/table binaries: run scales,
+//! speedup tables, geometric means, and simple aligned-column printing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ipcp_sim::{run_single, SimConfig, SimReport};
+use ipcp_workloads::SynthTrace;
+use ipcp_trace::TraceSource;
+
+use crate::combos;
+
+/// Warm-up / measured instruction counts for a run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunScale {
+    /// Warm-up instructions per core.
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub instructions: u64,
+}
+
+impl RunScale {
+    /// The default quick scale: regenerates every figure in minutes. The
+    /// paper uses 50 M + 200 M; set `IPCP_SCALE=paper` for 10× deeper runs
+    /// (relative orderings are stable; see DESIGN.md §4), or
+    /// `IPCP_SCALE=<warmup>,<instructions>` for anything else.
+    pub fn from_env() -> Self {
+        match std::env::var("IPCP_SCALE").as_deref() {
+            Ok("paper") => Self { warmup: 1_000_000, instructions: 4_000_000 },
+            Ok(spec) => {
+                let mut it = spec.split(',');
+                let w = it.next().and_then(|s| s.trim().parse().ok());
+                let i = it.next().and_then(|s| s.trim().parse().ok());
+                match (w, i) {
+                    (Some(w), Some(i)) => Self { warmup: w, instructions: i },
+                    _ => Self::default(),
+                }
+            }
+            _ => Self::default(),
+        }
+    }
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        Self { warmup: 100_000, instructions: 400_000 }
+    }
+}
+
+/// Runs one trace under a named combo with an optional config tweak.
+pub fn run_combo_with(
+    combo: &str,
+    trace: &SynthTrace,
+    scale: RunScale,
+    tweak: impl FnOnce(&mut SimConfig),
+) -> SimReport {
+    let mut cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+    tweak(&mut cfg);
+    let c = combos::build(combo);
+    run_single(cfg, Arc::new(trace.clone()), c.l1, c.l2, c.llc)
+}
+
+/// Runs one trace under a named combo at the given scale.
+pub fn run_combo(combo: &str, trace: &SynthTrace, scale: RunScale) -> SimReport {
+    run_combo_with(combo, trace, scale, |_| {})
+}
+
+/// Runs one trace under explicitly constructed prefetchers (for ablations
+/// that are not in the named-combo registry).
+pub fn run_custom(
+    trace: &SynthTrace,
+    scale: RunScale,
+    l1: Box<dyn ipcp_sim::prefetch::Prefetcher>,
+    l2: Box<dyn ipcp_sim::prefetch::Prefetcher>,
+    llc: Box<dyn ipcp_sim::prefetch::Prefetcher>,
+) -> SimReport {
+    let cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+    run_single(cfg, Arc::new(trace.clone()), l1, l2, llc)
+}
+
+/// Geometric mean of a slice (1.0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// A cache of per-trace baseline (no-prefetching) reports so figures that
+/// share traces do not re-run the baseline.
+#[derive(Default)]
+pub struct BaselineCache {
+    scale_key: Option<(u64, u64)>,
+    reports: HashMap<String, SimReport>,
+}
+
+impl BaselineCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (computing if needed) the baseline report for a trace.
+    pub fn get(&mut self, trace: &SynthTrace, scale: RunScale) -> &SimReport {
+        let key = (scale.warmup, scale.instructions);
+        if self.scale_key != Some(key) {
+            self.reports.clear();
+            self.scale_key = Some(key);
+        }
+        let name = trace.name().to_string();
+        self.reports
+            .entry(name)
+            .or_insert_with(|| run_combo("none", trace, scale))
+    }
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |row: &[String]| {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i.min(cols - 1)]))
+            .collect();
+        println!("{}", cells.join("  "));
+    };
+    print_row(header);
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Runs the standard speedup comparison: every trace × every combo,
+/// normalized to no prefetching. Returns (per-combo speedup lists in trace
+/// order) and prints a table with a geomean footer.
+pub fn speedup_comparison(title: &str, traces: &[SynthTrace], combo_names: &[&str], scale: RunScale) -> HashMap<String, Vec<f64>> {
+    println!("== {title}");
+    println!(
+        "   (scale: {}k warm-up + {}k measured instructions; speedups normalized to no prefetching)",
+        scale.warmup / 1000,
+        scale.instructions / 1000
+    );
+    let mut baselines = BaselineCache::new();
+    let mut results: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut rows = Vec::new();
+    for trace in traces {
+        let base_ipc = baselines.get(trace, scale).ipc();
+        let mut row = vec![trace.name().to_string()];
+        for &combo in combo_names {
+            let r = run_combo(combo, trace, scale);
+            let sp = r.ipc() / base_ipc;
+            results.entry(combo.to_string()).or_default().push(sp);
+            row.push(format!("{sp:.3}"));
+        }
+        rows.push(row);
+    }
+    let mut footer = vec!["GEOMEAN".to_string()];
+    for &combo in combo_names {
+        footer.push(format!("{:.3}", geomean(&results[combo])));
+    }
+    rows.push(footer);
+    let mut header = vec!["trace".to_string()];
+    header.extend(combo_names.iter().map(|s| s.to_string()));
+    print_table(&header, &rows);
+    // Machine-readable copy when requested (IPCP_CSV=<dir>).
+    if let Ok(dir) = std::env::var("IPCP_CSV") {
+        let slug: String = title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
+        if let Err(e) = write_csv(&path, &header, &rows) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+    results
+}
+
+/// Writes a header + rows as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_csv(path: &std::path::Path, header: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{}", header.join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_math() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn scale_from_env_spec() {
+        // Direct parse path (env not set in tests — exercise default).
+        let s = RunScale::default();
+        assert_eq!(s.warmup, 100_000);
+        assert_eq!(s.instructions, 400_000);
+    }
+
+    #[test]
+    fn baseline_cache_reuses() {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let t = &traces[0];
+        let scale = RunScale { warmup: 5_000, instructions: 20_000 };
+        let mut cache = BaselineCache::new();
+        let a = cache.get(t, scale).ipc();
+        let b = cache.get(t, scale).ipc();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_combo_quick_smoke() {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let scale = RunScale { warmup: 5_000, instructions: 20_000 };
+        let r = run_combo("ipcp", &traces[1], scale);
+        assert!(r.ipc() > 0.0);
+        assert!(r.cores[0].l1d.pf_issued > 0);
+    }
+}

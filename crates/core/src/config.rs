@@ -1,0 +1,230 @@
+//! IPCP configuration: every knob the paper names, with the paper's values
+//! as defaults. The ablation figures (13a/13b) and sensitivity studies are
+//! expressed as deviations from this default.
+
+/// The four IPCP classes. The numeric values are the 2-bit encodings used in
+/// per-line class bits and L1→L2 metadata: `NoClass`/NL = 0, CS = 1,
+/// CPLX = 2, GS = 3 (Section V: "three classes along with the case of
+/// no-class").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum IpClass {
+    /// No class — also the encoding under which tentative next-line travels.
+    NoClass = 0,
+    /// Constant stride.
+    Cs = 1,
+    /// Complex stride.
+    Cplx = 2,
+    /// Global stream.
+    Gs = 3,
+}
+
+impl IpClass {
+    /// The 2-bit encoding.
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 2-bit value.
+    pub const fn from_bits(bits: u8) -> Self {
+        match bits & 0b11 {
+            1 => IpClass::Cs,
+            2 => IpClass::Cplx,
+            3 => IpClass::Gs,
+            _ => IpClass::NoClass,
+        }
+    }
+}
+
+/// Configuration of the full IPCP framework (L1 + L2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpcpConfig {
+    /// Enable the constant-stride class (Fig. 13a ablation).
+    pub enable_cs: bool,
+    /// Enable the complex-stride class.
+    pub enable_cplx: bool,
+    /// Enable the global-stream class.
+    pub enable_gs: bool,
+    /// Enable tentative next-line.
+    pub enable_nl: bool,
+    /// Priority order among GS/CS/CPLX (Fig. 13b ablation). NL is always
+    /// last ("it goes for the tentative NL class" only when nothing else
+    /// fires).
+    pub priority: [IpClass; 3],
+
+    /// Default (maximum) prefetch degree of the CS class at L1.
+    pub cs_degree: u8,
+    /// Default prefetch degree of the CPLX class at L1.
+    pub cplx_degree: u8,
+    /// Default prefetch degree of the GS class at L1 (aggressive: a dense
+    /// region means >75 % of its lines will be touched).
+    pub gs_degree: u8,
+    /// CS prefetch degree at the L2 ("IPCP uses a prefetch degree four" —
+    /// the L2 has twice the PQ/MSHR resources).
+    pub l2_cs_degree: u8,
+    /// GS prefetch degree at the L2.
+    pub l2_gs_degree: u8,
+
+    /// IP-table entries (direct-mapped; 64 in the paper).
+    pub ip_table_entries: usize,
+    /// IP-table associativity (1 = the paper's direct-mapped table; the
+    /// Section VI-B cactuBSSN study motivates higher values).
+    pub ip_table_ways: usize,
+    /// CSPT entries (direct-mapped; 128 in the paper).
+    pub cspt_entries: usize,
+    /// Signature width in bits (7 in the paper).
+    pub signature_bits: u32,
+    /// RST entries (8 recent 2 KB regions).
+    pub rst_entries: usize,
+    /// RR-filter entries (32).
+    pub rr_entries: usize,
+
+    /// Dense-region threshold in lines out of 32 (75 % ⇒ 24).
+    pub gs_dense_threshold: u8,
+    /// L1 MPKI below which tentative NL turns on (50, chosen empirically in
+    /// the paper).
+    pub l1_nl_mpki_threshold: u32,
+    /// L2 MPKI threshold for tentative NL at L2 (40).
+    pub l2_nl_mpki_threshold: u32,
+
+    /// High accuracy watermark: above this, throttle degree back up.
+    pub accuracy_high: f64,
+    /// Low accuracy watermark: below this, throttle degree down.
+    pub accuracy_low: f64,
+    /// Per-class prefetch fills per accuracy-measurement epoch (256).
+    pub epoch_fills: u32,
+
+    /// Transmit the 9-bit class metadata to the L2 (the "without meta-data
+    /// transfer" ablation costs 3.1 %).
+    pub send_metadata: bool,
+    /// Class accuracy required before the stride/direction rides in the
+    /// metadata ("only when the accuracy of the respective classes is
+    /// greater than 75").
+    pub metadata_accuracy_threshold: f64,
+}
+
+impl Default for IpcpConfig {
+    fn default() -> Self {
+        Self {
+            enable_cs: true,
+            enable_cplx: true,
+            enable_gs: true,
+            enable_nl: true,
+            priority: [IpClass::Gs, IpClass::Cs, IpClass::Cplx],
+            cs_degree: 3,
+            cplx_degree: 3,
+            gs_degree: 6,
+            l2_cs_degree: 4,
+            l2_gs_degree: 4,
+            ip_table_entries: 64,
+            ip_table_ways: 1,
+            cspt_entries: 128,
+            signature_bits: 7,
+            rst_entries: 8,
+            rr_entries: 32,
+            gs_dense_threshold: 24,
+            l1_nl_mpki_threshold: 50,
+            l2_nl_mpki_threshold: 40,
+            accuracy_high: 0.75,
+            accuracy_low: 0.40,
+            epoch_fills: 256,
+            send_metadata: true,
+            metadata_accuracy_threshold: 0.75,
+        }
+    }
+}
+
+impl IpcpConfig {
+    /// Only the listed classes enabled (ablation helper). `NoClass` in the
+    /// list means "enable tentative NL".
+    #[must_use]
+    pub fn with_only(classes: &[IpClass]) -> Self {
+        Self {
+            enable_cs: classes.contains(&IpClass::Cs),
+            enable_cplx: classes.contains(&IpClass::Cplx),
+            enable_gs: classes.contains(&IpClass::Gs),
+            enable_nl: classes.contains(&IpClass::NoClass),
+            ..Self::default()
+        }
+    }
+
+    /// Swaps the priority order (Fig. 13b).
+    #[must_use]
+    pub fn with_priority(mut self, priority: [IpClass; 3]) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Disables metadata transfer (Section VI-B2 ablation).
+    #[must_use]
+    pub fn without_metadata(mut self) -> Self {
+        self.send_metadata = false;
+        self
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent values (non-power-of-two tables, zero
+    /// degrees, threshold out of range).
+    pub fn validate(&self) {
+        assert!(self.ip_table_entries.is_power_of_two(), "IP table must be a power of two");
+        assert!(
+            self.ip_table_ways.is_power_of_two() && self.ip_table_ways <= self.ip_table_entries,
+            "IP table associativity must be a power of two within the table"
+        );
+        assert!(self.cspt_entries.is_power_of_two(), "CSPT must be a power of two");
+        assert!(self.cs_degree >= 1 && self.cplx_degree >= 1 && self.gs_degree >= 1);
+        assert!(self.gs_dense_threshold as u64 <= ipcp_mem::LINES_PER_REGION);
+        assert!(self.accuracy_low <= self.accuracy_high);
+        assert!(self.signature_bits >= 1 && self.signature_bits <= 16);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = IpcpConfig::default();
+        c.validate();
+        assert_eq!(c.cs_degree, 3);
+        assert_eq!(c.cplx_degree, 3);
+        assert_eq!(c.gs_degree, 6);
+        assert_eq!(c.l2_cs_degree, 4);
+        assert_eq!(c.ip_table_entries, 64);
+        assert_eq!(c.cspt_entries, 128);
+        assert_eq!(c.rst_entries, 8);
+        assert_eq!(c.rr_entries, 32);
+        assert_eq!(c.gs_dense_threshold, 24); // 75% of 32
+        assert_eq!(c.priority, [IpClass::Gs, IpClass::Cs, IpClass::Cplx]);
+        assert!((c.accuracy_high - 0.75).abs() < 1e-12);
+        assert!((c.accuracy_low - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_bits_round_trip() {
+        for c in [IpClass::NoClass, IpClass::Cs, IpClass::Cplx, IpClass::Gs] {
+            assert_eq!(IpClass::from_bits(c.bits()), c);
+        }
+        assert_eq!(IpClass::from_bits(0b111), IpClass::Gs); // masked
+    }
+
+    #[test]
+    fn with_only_selects_classes() {
+        let c = IpcpConfig::with_only(&[IpClass::Cs, IpClass::Cplx]);
+        assert!(c.enable_cs && c.enable_cplx);
+        assert!(!c.enable_gs && !c.enable_nl);
+        let c = IpcpConfig::with_only(&[IpClass::Gs, IpClass::NoClass]);
+        assert!(c.enable_gs && c.enable_nl && !c.enable_cs);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn validate_rejects_bad_table() {
+        let c = IpcpConfig { ip_table_entries: 60, ..IpcpConfig::default() };
+        c.validate();
+    }
+}

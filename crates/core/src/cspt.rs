@@ -1,0 +1,199 @@
+//! The Complex Stride Prediction Table (CSPT, Fig. 3) and the stride
+//! signature it is indexed by.
+//!
+//! A signature is a hash of the last strides an IP produced:
+//! `sig = (sig << 1) ^ stride`, truncated to 7 bits. Each CSPT entry holds
+//! the next predicted stride (7-bit signed) and a 2-bit confidence counter.
+
+use crate::ip_table::clamp_stride;
+
+/// One CSPT entry: predicted next stride + 2-bit confidence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsptEntry {
+    /// Predicted next stride.
+    pub stride: i8,
+    /// 2-bit confidence.
+    pub confidence: u8,
+}
+
+impl CsptEntry {
+    /// The prediction is usable: the paper prefetches when confidence ≥ 1
+    /// and there is a non-zero stride.
+    pub fn ready(&self) -> bool {
+        self.confidence >= 1 && self.stride != 0
+    }
+}
+
+/// The direct-mapped CSPT.
+///
+/// # Examples
+///
+/// Learning the paper's 1,2,1,2 complex-stride pattern:
+///
+/// ```
+/// use ipcp::cspt::Cspt;
+///
+/// let mut cspt = Cspt::new(128, 7);
+/// let mut sig = 0u8;
+/// for &stride in [1i64, 2].iter().cycle().take(12) {
+///     cspt.train(sig, stride);
+///     sig = cspt.next_signature(sig, stride as i8);
+/// }
+/// // After a stride of 1, the table confidently predicts 2.
+/// let pred = cspt.predict(sig);
+/// assert!(pred.ready());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cspt {
+    entries: Vec<CsptEntry>,
+    sig_mask: u8,
+}
+
+impl Cspt {
+    /// Creates a CSPT with `entries` slots and `signature_bits`-wide
+    /// signatures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or the signature cannot
+    /// index the table.
+    pub fn new(entries: usize, signature_bits: u32) -> Self {
+        assert!(entries.is_power_of_two(), "CSPT entries must be a power of two");
+        assert!(
+            (1usize << signature_bits) <= entries,
+            "signature must not overflow the CSPT index"
+        );
+        Self {
+            entries: vec![CsptEntry::default(); entries],
+            sig_mask: ((1u16 << signature_bits) - 1) as u8,
+        }
+    }
+
+    /// Computes the successor signature: `(sig << 1) ^ stride`, truncated.
+    /// The single-bit shift is deliberate — it lets one signature retain a
+    /// long history of strides (Section IV-B).
+    pub fn next_signature(&self, sig: u8, stride: i8) -> u8 {
+        (((sig as u16) << 1) as u8 ^ (stride as u8)) & self.sig_mask
+    }
+
+    /// The prediction stored under `sig`.
+    pub fn predict(&self, sig: u8) -> CsptEntry {
+        self.entries[(sig & self.sig_mask) as usize]
+    }
+
+    /// Trains the entry under `sig` with the stride that actually followed:
+    /// match increments confidence, mismatch decrements, and a drained
+    /// counter adopts the new stride.
+    pub fn train(&mut self, sig: u8, observed: i64) {
+        let observed = clamp_stride(observed);
+        let e = &mut self.entries[(sig & self.sig_mask) as usize];
+        if e.stride == observed && observed != 0 {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            if e.confidence == 0 {
+                e.stride = observed;
+            }
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false (fixed-size table).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_alternating_pattern() {
+        // The 1,2,1,2 pattern: signature after seeing stride 1 should
+        // predict 2, and vice versa.
+        let mut t = Cspt::new(128, 7);
+        let mut sig = 0u8;
+        let pattern = [1i64, 2, 1, 2, 1, 2, 1, 2, 1, 2];
+        for &s in &pattern {
+            t.train(sig, s);
+            sig = t.next_signature(sig, s as i8);
+        }
+        // Replay: walk the signatures and check predictions.
+        let mut sig = 0u8;
+        let mut correct = 0;
+        for &s in &pattern {
+            let p = t.predict(sig);
+            if p.ready() && i64::from(p.stride) == s {
+                correct += 1;
+            }
+            sig = t.next_signature(sig, s as i8);
+        }
+        assert!(correct >= 6, "CSPT should predict the tail of the pattern, got {correct}");
+    }
+
+    #[test]
+    fn learns_334_pattern() {
+        let mut t = Cspt::new(128, 7);
+        let mut sig = 0u8;
+        let pattern: Vec<i64> = [3, 3, 4].iter().cycle().take(30).copied().collect();
+        for &s in &pattern {
+            t.train(sig, s);
+            sig = t.next_signature(sig, s as i8);
+        }
+        let mut sig = 0u8;
+        let mut correct = 0;
+        for &s in &pattern {
+            let p = t.predict(sig);
+            if p.ready() && i64::from(p.stride) == s {
+                correct += 1;
+            }
+            sig = t.next_signature(sig, s as i8);
+        }
+        assert!(correct as f64 / pattern.len() as f64 > 0.7, "{correct}/{}", pattern.len());
+    }
+
+    #[test]
+    fn signature_stays_in_width() {
+        let t = Cspt::new(128, 7);
+        let mut sig = 0u8;
+        for s in [-63i8, 63, 1, -1, 17] {
+            sig = t.next_signature(sig, s);
+            assert!(sig < 128);
+        }
+    }
+
+    #[test]
+    fn confidence_drains_before_replacing() {
+        let mut t = Cspt::new(128, 7);
+        t.train(5, 2);
+        t.train(5, 2);
+        t.train(5, 2);
+        assert_eq!(t.predict(5).stride, 2);
+        assert_eq!(t.predict(5).confidence, 2);
+        t.train(5, 7);
+        assert_eq!(t.predict(5).stride, 2, "stride survives one mismatch");
+        t.train(5, 7);
+        t.train(5, 7);
+        assert_eq!(t.predict(5).stride, 7, "drained counter adopts new stride");
+    }
+
+    #[test]
+    fn zero_stride_never_ready() {
+        let mut t = Cspt::new(128, 7);
+        for _ in 0..5 {
+            t.train(9, 0);
+        }
+        assert!(!t.predict(9).ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_size() {
+        let _ = Cspt::new(100, 7);
+    }
+}

@@ -1,0 +1,345 @@
+//! The shared direct-mapped IP table (Fig. 5).
+//!
+//! One 36-bit entry per slot, shared by all three classes: a 9-bit IP tag,
+//! the hysteresis valid bit, the 2-lsb last virtual page and 6-bit last line
+//! offset (used by every class to compute strides and locate the previous
+//! region), the CS stride + 2-bit confidence, the GS stream-valid +
+//! direction bits, and the 7-bit CPLX signature.
+
+use ipcp_mem::{Ip, LineOffset};
+
+/// Number of IP-tag bits stored per entry (Table I budget: 9).
+pub const IP_TAG_BITS: u32 = 9;
+/// Stride field width in bits (7: sign + 6 magnitude).
+pub const STRIDE_BITS: u32 = 7;
+/// Maximum encodable stride magnitude.
+pub const STRIDE_MAX: i64 = (1 << (STRIDE_BITS - 1)) - 1;
+
+/// Clamps a stride into the 7-bit signed hardware field.
+pub fn clamp_stride(stride: i64) -> i8 {
+    stride.clamp(-STRIDE_MAX, STRIDE_MAX) as i8
+}
+
+/// One IP-table entry. Fields mirror Fig. 5 exactly; widths are enforced at
+/// update time so the model cannot silently hold more state than the
+/// hardware budget.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpEntry {
+    /// 9-bit tag of the owning IP.
+    pub tag: u16,
+    /// The slot has ever been allocated (disambiguates a fresh slot from a
+    /// real tag-0 owner; free in hardware, where slots are initialized).
+    pub occupied: bool,
+    /// Hysteresis valid bit (Section V: "IP table and hysteresis").
+    pub valid: bool,
+    /// The entry has recorded at least one access (so a stride can be
+    /// computed on the next one). Cleared on reallocation.
+    pub trained_once: bool,
+    /// Two lsbs of the last virtual page touched.
+    pub last_vpage_lsb2: u8,
+    /// Last line offset within the 4 KB page (0..=63).
+    pub last_line_offset: u8,
+    /// CS: last observed constant stride (7-bit signed).
+    pub stride: i8,
+    /// CS: 2-bit confidence.
+    pub confidence: u8,
+    /// GS: this IP currently belongs to the stream class.
+    pub stream_valid: bool,
+    /// GS: stream direction (true = positive).
+    pub direction_positive: bool,
+    /// CPLX: 7-bit stride signature.
+    pub signature: u8,
+}
+
+/// Outcome of an IP-table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupKind {
+    /// Tag matched: the entry tracks this IP.
+    Hit,
+    /// Entry reallocated to this IP (previous owner's valid bit was clear).
+    Allocated,
+    /// Tag mismatch and the occupant kept the slot (its valid bit was set;
+    /// it is now cleared). The requesting IP is *not* tracked.
+    Rejected,
+}
+
+/// The shared IP table. Direct-mapped in the paper (and by default); a
+/// set-associative variant exists for the Section VI-B cactuBSSN study
+/// ("in an extreme case, we need a 1024 associative table").
+/// # Examples
+///
+/// ```
+/// use ipcp::ip_table::{IpTable, LookupKind};
+/// use ipcp_mem::Ip;
+///
+/// let mut table = IpTable::new(64);
+/// let (kind, entry) = table.lookup(Ip(0x401000));
+/// assert_eq!(kind, LookupKind::Allocated);
+/// entry.train_cs(3);
+/// entry.train_cs(3);
+/// entry.train_cs(3);
+/// let (kind, entry) = table.lookup(Ip(0x401000));
+/// assert_eq!(kind, LookupKind::Hit);
+/// assert!(entry.cs_ready());
+/// ```
+#[derive(Debug, Clone)]
+pub struct IpTable {
+    entries: Vec<IpEntry>,
+    lru: Vec<u64>,
+    stamp: u64,
+    ways: usize,
+    set_mask: u64,
+}
+
+impl IpTable {
+    /// Creates a direct-mapped table with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        Self::new_assoc(entries, 1)
+    }
+
+    /// Creates a `ways`-associative table with `entries` total slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` and `ways` are powers of two with
+    /// `ways <= entries`.
+    pub fn new_assoc(entries: usize, ways: usize) -> Self {
+        assert!(entries.is_power_of_two(), "IP table entries must be a power of two");
+        assert!(ways.is_power_of_two() && ways <= entries, "bad associativity {ways}");
+        Self {
+            entries: vec![IpEntry::default(); entries],
+            lru: vec![0; entries],
+            stamp: 0,
+            ways,
+            set_mask: (entries / ways) as u64 - 1,
+        }
+    }
+
+    /// Set index for an IP: low bits above the 2-bit instruction alignment.
+    pub fn index_of(&self, ip: Ip) -> usize {
+        ((ip.raw() >> 2) & self.set_mask) as usize
+    }
+
+    /// 9-bit tag for an IP (bits above the set index).
+    pub fn tag_of(&self, ip: Ip) -> u16 {
+        let index_bits = self.set_mask.count_ones();
+        ((ip.raw() >> (2 + index_bits)) & ((1 << IP_TAG_BITS) - 1)) as u16
+    }
+
+    /// Looks up `ip`. In every way-set the hysteresis allocation policy of
+    /// Section V applies to the LRU victim:
+    ///
+    /// * tag match in the set → `Hit`;
+    /// * no match, an unoccupied way → allocate it (`Allocated`);
+    /// * no match, LRU victim's `valid` set → the victim survives but loses
+    ///   its valid bit (`Rejected`);
+    /// * no match, LRU victim's `valid` clear → reallocate it with all
+    ///   per-class state reset (`Allocated`).
+    pub fn lookup(&mut self, ip: Ip) -> (LookupKind, &mut IpEntry) {
+        self.stamp += 1;
+        let set = self.index_of(ip);
+        let tag = self.tag_of(ip);
+        let base = set * self.ways;
+        if let Some(w) = (0..self.ways).find(|&w| {
+            let e = &self.entries[base + w];
+            e.occupied && e.tag == tag
+        }) {
+            let i = base + w;
+            self.lru[i] = self.stamp;
+            let entry = &mut self.entries[i];
+            entry.valid = true;
+            return (LookupKind::Hit, entry);
+        }
+        let victim = (0..self.ways)
+            .find(|&w| !self.entries[base + w].occupied)
+            .unwrap_or_else(|| {
+                (0..self.ways)
+                    .min_by_key(|&w| self.lru[base + w])
+                    .expect("ways > 0")
+            });
+        let i = base + victim;
+        if self.entries[i].occupied && self.entries[i].valid {
+            self.entries[i].valid = false;
+            (LookupKind::Rejected, &mut self.entries[i])
+        } else {
+            self.lru[i] = self.stamp;
+            self.entries[i] = IpEntry { tag, occupied: true, valid: true, ..IpEntry::default() };
+            (LookupKind::Allocated, &mut self.entries[i])
+        }
+    }
+
+    /// Read-only view of the entry `ip` maps to (its way on a hit, the
+    /// set's first way otherwise) — tests/inspection.
+    pub fn peek(&self, ip: Ip) -> &IpEntry {
+        let set = self.index_of(ip);
+        let tag = self.tag_of(ip);
+        let base = set * self.ways;
+        (0..self.ways)
+            .map(|w| &self.entries[base + w])
+            .find(|e| e.occupied && e.tag == tag)
+            .unwrap_or(&self.entries[base])
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: the table has fixed slots.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl IpEntry {
+    /// Records the position of the current access (call after all stride
+    /// computation for this access is done).
+    pub fn record_position(&mut self, vpage_lsb2: u8, offset: LineOffset) {
+        debug_assert!(vpage_lsb2 < 4);
+        self.last_vpage_lsb2 = vpage_lsb2;
+        self.last_line_offset = offset.raw();
+        self.trained_once = true;
+    }
+
+    /// Updates the CS stride/confidence pair with a newly observed stride:
+    /// same stride increments the 2-bit counter, different decrements, and
+    /// a drained counter lets the new stride take over.
+    pub fn train_cs(&mut self, observed: i64) {
+        let observed = clamp_stride(observed);
+        if observed == self.stride && observed != 0 {
+            self.confidence = (self.confidence + 1).min(3);
+        } else {
+            self.confidence = self.confidence.saturating_sub(1);
+            if self.confidence == 0 {
+                self.stride = observed;
+            }
+        }
+    }
+
+    /// CS is trained: confidence "greater than one" with a usable stride.
+    pub fn cs_ready(&self) -> bool {
+        self.confidence >= 2 && self.stride != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(raw: u64) -> Ip {
+        Ip(raw)
+    }
+
+    #[test]
+    fn hit_after_allocate() {
+        let mut t = IpTable::new(64);
+        let (k, _) = t.lookup(ip(0x400100));
+        assert_eq!(k, LookupKind::Allocated);
+        let (k, _) = t.lookup(ip(0x400100));
+        assert_eq!(k, LookupKind::Hit);
+    }
+
+    #[test]
+    fn hysteresis_keeps_first_then_yields() {
+        let mut t = IpTable::new(64);
+        // Two IPs mapping to the same slot: same low bits, different tags.
+        let a = ip(0x400100);
+        let b = ip(0x400100 + (64 << 2)); // same index, different tag
+        assert_eq!(t.index_of(a), t.index_of(b));
+        assert_ne!(t.tag_of(a), t.tag_of(b));
+        t.lookup(a);
+        // First conflict: A keeps the slot, valid cleared.
+        let (k, _) = t.lookup(b);
+        assert_eq!(k, LookupKind::Rejected);
+        // A comes back: still a hit, valid restored.
+        let (k, _) = t.lookup(a);
+        assert_eq!(k, LookupKind::Hit);
+        // B twice in a row: second one takes the slot.
+        let b_tag = t.tag_of(b);
+        t.lookup(b);
+        let (k, e) = t.lookup(b);
+        assert_eq!(k, LookupKind::Allocated);
+        assert_eq!(e.tag, b_tag);
+    }
+
+    #[test]
+    fn allocation_resets_state() {
+        let mut t = IpTable::new(64);
+        let a = ip(0x400100);
+        let b = ip(0x400100 + (64 << 2));
+        {
+            let (_, e) = t.lookup(a);
+            e.stride = 5;
+            e.confidence = 3;
+            e.signature = 0x7f;
+            e.stream_valid = true;
+        }
+        t.lookup(b); // reject, clears valid
+        let (k, e) = t.lookup(b); // allocate
+        assert_eq!(k, LookupKind::Allocated);
+        assert_eq!(e.stride, 0);
+        assert_eq!(e.confidence, 0);
+        assert_eq!(e.signature, 0);
+        assert!(!e.stream_valid);
+        assert!(!e.trained_once);
+    }
+
+    #[test]
+    fn cs_training_confidence_walk() {
+        let mut e = IpEntry::default();
+        e.train_cs(3);
+        assert_eq!(e.stride, 3);
+        assert!(!e.cs_ready()); // conf 0
+        e.train_cs(3);
+        e.train_cs(3);
+        assert!(e.cs_ready());
+        assert_eq!(e.confidence, 2);
+        // A different stride drains confidence before replacing.
+        e.train_cs(4);
+        assert_eq!(e.stride, 3);
+        assert!(!e.cs_ready());
+        e.train_cs(4);
+        assert_eq!(e.confidence, 0);
+        assert_eq!(e.stride, 4);
+    }
+
+    #[test]
+    fn alternating_strides_never_confident() {
+        // The paper's 1,2,1,2 example: CS must end up with zero coverage.
+        let mut e = IpEntry::default();
+        for _ in 0..20 {
+            e.train_cs(1);
+            e.train_cs(2);
+        }
+        assert!(!e.cs_ready());
+    }
+
+    #[test]
+    fn stride_clamps_to_seven_bits() {
+        assert_eq!(clamp_stride(1000), 63);
+        assert_eq!(clamp_stride(-1000), -63);
+        assert_eq!(clamp_stride(5), 5);
+    }
+
+    #[test]
+    fn tag_zero_ip_does_not_false_hit_empty_slot() {
+        let mut t = IpTable::new(64);
+        // An IP whose tag is 0 must allocate, not hit, a fresh slot.
+        let a = ip(0x0000_0004);
+        let (k, _) = t.lookup(a);
+        assert_eq!(k, LookupKind::Allocated);
+    }
+
+    #[test]
+    fn record_position_round_trip() {
+        let mut e = IpEntry::default();
+        e.record_position(2, LineOffset::new(63));
+        assert_eq!(e.last_vpage_lsb2, 2);
+        assert_eq!(e.last_line_offset, 63);
+        assert!(e.trained_once);
+    }
+}

@@ -1,0 +1,315 @@
+//! IPCP at the L2 (Fig. 6): a 64-entry bookkeeping IP table populated by
+//! the 9-bit metadata riding on L1 prefetch requests, plus tentative NL.
+//!
+//! The L2 never trains its own classifier — the L1-filtered access stream is
+//! too noisy for that (Section V, "Multilevel Holistic IPCP"). Instead it
+//! decodes the class and stride/direction delivered by the L1 and, on
+//! demand accesses, prefetches deep (degree 4) from and to the L2. CPLX is
+//! deliberately absent at the L2 (the paper found it can degrade
+//! performance there).
+
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::prefetch::{
+    AccessInfo, DemandKind, MetadataArrival, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+
+use crate::config::{IpClass, IpcpConfig};
+use crate::mpki::MpkiTracker;
+use crate::storage;
+
+/// One L2 IP-table entry (19 bits in Table I: 9 tag + 1 valid + 2 class +
+/// 7 stride/direction).
+#[derive(Debug, Clone, Copy, Default)]
+struct L2Entry {
+    tag: u16,
+    valid: bool,
+    class: u8,
+    stride: i8,
+}
+
+/// The L2 IPCP prefetcher.
+#[derive(Debug)]
+pub struct IpcpL2 {
+    cfg: IpcpConfig,
+    entries: Vec<L2Entry>,
+    mask: u64,
+    mpki: MpkiTracker,
+    /// Lifetime prefetches issued per class (NL, CS, CPLX, GS).
+    issued: [u64; 4],
+}
+
+impl IpcpL2 {
+    /// Builds the L2 prefetcher from configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`IpcpConfig::validate`].
+    pub fn new(cfg: IpcpConfig) -> Self {
+        cfg.validate();
+        Self {
+            entries: vec![L2Entry::default(); cfg.ip_table_entries],
+            mask: cfg.ip_table_entries as u64 - 1,
+            mpki: MpkiTracker::new(cfg.l2_nl_mpki_threshold),
+            issued: [0; 4],
+            cfg,
+        }
+    }
+
+    /// Paper-default configuration.
+    pub fn paper_default() -> Self {
+        Self::new(IpcpConfig::default())
+    }
+
+    /// Lifetime per-class issued counters (NL, CS, CPLX, GS).
+    pub fn issued_by_class(&self) -> [u64; 4] {
+        self.issued
+    }
+
+    fn index_of(&self, ip: Ip) -> usize {
+        ((ip.raw() >> 2) & self.mask) as usize
+    }
+
+    fn tag_of(&self, ip: Ip) -> u16 {
+        let index_bits = self.mask.count_ones();
+        ((ip.raw() >> (2 + index_bits)) & 0x1ff) as u16
+    }
+
+    fn emit(&mut self, target: LineAddr, class: IpClass, sink: &mut dyn PrefetchSink) {
+        let req = PrefetchRequest::l2(target).with_class(class.bits());
+        if sink.prefetch(req) {
+            self.issued[class.bits() as usize] += 1;
+        }
+    }
+
+    /// Issues `degree` strided prefetches starting `distance` strides past
+    /// the access: the L1 already covers the near window, so the L2
+    /// "prefetches deep based on the L1 access stream but from L2 and till
+    /// L2" (Section V).
+    fn issue_strided(
+        &mut self,
+        pline: LineAddr,
+        stride: i8,
+        distance: u8,
+        degree: u8,
+        class: IpClass,
+        sink: &mut dyn PrefetchSink,
+    ) {
+        for k in i64::from(distance) + 1..=i64::from(distance) + i64::from(degree) {
+            let Some(target) = pline.offset_within_page(i64::from(stride) * k) else { break };
+            self.emit(target, class, sink);
+        }
+    }
+}
+
+impl Prefetcher for IpcpL2 {
+    fn name(&self) -> &'static str {
+        "ipcp-l2"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        self.mpki.update(info.instructions, info.demand_misses);
+        if info.kind == DemandKind::IFetch {
+            return; // data prefetcher: code reads train nothing
+        }
+        let idx = self.index_of(info.ip);
+        let tag = self.tag_of(info.ip);
+        let e = self.entries[idx];
+        let class = if e.valid && e.tag == tag { IpClass::from_bits(e.class) } else { IpClass::NoClass };
+        match class {
+            IpClass::Cs if e.stride != 0 => {
+                let dist = self.cfg.cs_degree;
+                self.issue_strided(info.pline, e.stride, dist, self.cfg.l2_cs_degree, IpClass::Cs, sink);
+            }
+            IpClass::Gs if e.stride != 0 => {
+                let dir = if e.stride > 0 { 1 } else { -1 };
+                let dist = self.cfg.gs_degree;
+                self.issue_strided(info.pline, dir, dist, self.cfg.l2_gs_degree, IpClass::Gs, sink);
+            }
+            // No CPLX at the L2; everything else falls through to
+            // tentative NL under the 40-MPKI threshold.
+            _ => {
+                if self.cfg.enable_nl && self.mpki.nl_enabled() {
+                    if let Some(target) = info.pline.offset_within_page(1) {
+                        self.emit(target, IpClass::NoClass, sink);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_prefetch_arrival(&mut self, arrival: &MetadataArrival, sink: &mut dyn PrefetchSink) {
+        let idx = self.index_of(arrival.ip);
+        let tag = self.tag_of(arrival.ip);
+        match arrival.meta {
+            Some(meta) => {
+                self.entries[idx] = L2Entry { tag, valid: true, class: meta.class & 0b11, stride: meta.stride };
+                // The arriving prefetch is the deepest point of the L1's
+                // window; extending from it is how the L2 "prefetches deep
+                // based on the L1 access stream but from L2 and till L2".
+                match IpClass::from_bits(meta.class) {
+                    IpClass::Cs if meta.stride != 0 => {
+                        self.issue_strided(arrival.pline, meta.stride, 0, self.cfg.l2_cs_degree, IpClass::Cs, sink);
+                    }
+                    IpClass::Gs if meta.stride != 0 => {
+                        let dir = if meta.stride > 0 { 1 } else { -1 };
+                        self.issue_strided(arrival.pline, dir, 0, self.cfg.l2_gs_degree, IpClass::Gs, sink);
+                    }
+                    // An NL-class request from the L1 triggers NL here as
+                    // well ("if the L2 sees a prefetch request from L1-D
+                    // with class NL, it simply prefetches NL at the L2").
+                    IpClass::NoClass if self.cfg.enable_nl && self.mpki.nl_enabled() => {
+                        if let Some(target) = arrival.pline.offset_within_page(1) {
+                            self.emit(target, IpClass::NoClass, sink);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None => {
+                // Metadata transfer disabled: nothing to decode.
+            }
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        storage::l2_budget(&self.cfg).total_bits()
+    }
+}
+
+/// Builds the paper's full multi-level IPCP pair for one core.
+pub fn ipcp_pair(cfg: &IpcpConfig) -> (crate::l1::IpcpL1, IpcpL2) {
+    (crate::l1::IpcpL1::new(cfg.clone()), IpcpL2::new(cfg.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{PrefetchMeta, VecSink};
+
+    fn arrival(ip: u64, pline: u64, meta: Option<PrefetchMeta>) -> MetadataArrival {
+        MetadataArrival {
+            cycle: 0,
+            ip: Ip(ip),
+            pline: LineAddr::new(pline),
+            meta,
+            instructions: 0,
+            demand_misses: 0,
+        }
+    }
+
+    fn access(ip: u64, pline: u64) -> AccessInfo {
+        AccessInfo {
+            cycle: 0,
+            ip: Ip(ip),
+            vline: LineAddr::new(pline),
+            pline: LineAddr::new(pline),
+            kind: DemandKind::Load,
+            hit: false,
+            first_use_of_prefetch: false,
+            hit_pf_class: 0,
+            instructions: 0,
+            demand_misses: 0,
+            dram_utilization: 0.0,
+        }
+    }
+
+    #[test]
+    fn cs_metadata_drives_degree_four() {
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        p.on_prefetch_arrival(
+            &arrival(0x400100, 0x10000, Some(PrefetchMeta { class: IpClass::Cs.bits(), stride: 3 })),
+            &mut sink,
+        );
+        // The arrival itself extends the window from the arriving address.
+        let arrival_targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(arrival_targets, vec![0x10003, 0x10006, 0x10009, 0x1000c]);
+        sink.requests.clear();
+        p.on_access(&access(0x400100, 0x20000), &mut sink);
+        let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        // Degree 4 starting past the L1's degree-3 window: strides 4..=7.
+        assert_eq!(targets, vec![0x2000c, 0x2000f, 0x20012, 0x20015], "CS deep window at L2");
+        assert!(sink.requests.iter().all(|r| !r.virtual_addr));
+    }
+
+    #[test]
+    fn gs_metadata_streams_in_direction() {
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        p.on_prefetch_arrival(
+            &arrival(0x400200, 0x10000, Some(PrefetchMeta { class: IpClass::Gs.bits(), stride: -1 })),
+            &mut sink,
+        );
+        p.on_access(&access(0x400200, 0x20010), &mut sink);
+        let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        // Past the L1 GS window (degree 6): distances 7..=10, direction -1.
+        assert_eq!(targets, vec![0x20009, 0x20008, 0x20007, 0x20006]);
+    }
+
+    #[test]
+    fn zero_stride_metadata_means_low_accuracy_no_strided_prefetch() {
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        p.on_prefetch_arrival(
+            &arrival(0x400300, 0x10000, Some(PrefetchMeta { class: IpClass::Cs.bits(), stride: 0 })),
+            &mut sink,
+        );
+        p.on_access(&access(0x400300, 0x20000), &mut sink);
+        // Falls through to tentative NL (MPKI starts at 0 < 40).
+        let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(targets, vec![0x20001]);
+        assert_eq!(sink.requests[0].pf_class, IpClass::NoClass.bits());
+    }
+
+    #[test]
+    fn nl_class_arrival_prefetches_immediately() {
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        p.on_prefetch_arrival(
+            &arrival(0x400400, 0x30000, Some(PrefetchMeta { class: IpClass::NoClass.bits(), stride: 0 })),
+            &mut sink,
+        );
+        assert_eq!(sink.requests.len(), 1);
+        assert_eq!(sink.requests[0].line.raw(), 0x30001);
+    }
+
+    #[test]
+    fn cplx_metadata_is_ignored_at_l2() {
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        p.on_prefetch_arrival(
+            &arrival(0x400500, 0x10000, Some(PrefetchMeta { class: IpClass::Cplx.bits(), stride: 2 })),
+            &mut sink,
+        );
+        // High MPKI so NL is off: no prefetches at all for CPLX IPs.
+        p.mpki.update(0, 0);
+        p.mpki.update(2000, 500);
+        sink.requests.clear();
+        p.on_access(&access(0x400500, 0x20000), &mut sink);
+        assert!(sink.requests.is_empty(), "no CPLX prefetching at the L2");
+    }
+
+    #[test]
+    fn ifetch_accesses_are_ignored() {
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        let mut a = access(0x400600, 0x20000);
+        a.kind = DemandKind::IFetch;
+        p.on_access(&a, &mut sink);
+        assert!(sink.requests.is_empty());
+    }
+
+    #[test]
+    fn storage_matches_table1() {
+        let p = IpcpL2::paper_default();
+        assert_eq!(p.storage_bits(), 1237);
+    }
+
+    #[test]
+    fn pair_builder_wires_both_levels() {
+        let (l1, l2) = ipcp_pair(&IpcpConfig::default());
+        assert_eq!(l1.name(), "ipcp-l1");
+        assert_eq!(l2.name(), "ipcp-l2");
+        assert_eq!(l1.storage_bits().div_ceil(8) + l2.storage_bits().div_ceil(8), 895);
+    }
+}

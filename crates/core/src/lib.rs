@@ -1,0 +1,66 @@
+//! IPCP — *Bouquet of Instruction Pointers: Instruction Pointer
+//! Classifier-based Spatial Hardware Prefetching* (Pakalapati & Panda,
+//! ISCA 2020) — reproduced as a Rust library.
+//!
+//! IPCP classifies load IPs at the L1-D into three classes and attaches a
+//! tiny prefetcher to each:
+//!
+//! * **CS** (constant stride) — an IP-stride prefetcher whose stride is
+//!   computed from a 2-lsb virtual-page tag plus the last line offset;
+//! * **CPLX** (complex stride) — a 7-bit stride *signature* indexing a
+//!   128-entry prediction table that look-ahead-prefetches repeating
+//!   non-constant strides;
+//! * **GS** (global stream) — an 8-entry Region Stream Table that detects
+//!   dense 2 KB regions and turns every IP touching them into an aggressive
+//!   streaming prefetcher with a learned direction;
+//! * plus a **tentative next-line** fallback gated by an MPKI estimate.
+//!
+//! The classes share one 64-entry direct-mapped IP table, coordinate
+//! through accuracy-driven per-class degree throttling, respect a 32-entry
+//! recent-request filter instead of probing the L1, and extend to the L2 by
+//! sending 9 bits of class metadata on every L1 prefetch request. The whole
+//! framework fits in **895 bytes** of state — verified by this crate's
+//! [`storage`] module against Table I.
+//!
+//! # Examples
+//!
+//! Attach multi-level IPCP to the bundled ChampSim-like simulator:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
+//! use ipcp_sim::{run_single, SimConfig, prefetch::NoPrefetcher};
+//! use ipcp_trace::{Instr, VecTrace};
+//!
+//! let trace: Vec<Instr> = (0..200_000u64)
+//!     .map(|i| Instr::load(0x400000, 0x1000_0000 + i * 192)) // stride 3 lines
+//!     .collect();
+//! let cfg = SimConfig::default().with_instructions(10_000, 50_000);
+//! let report = run_single(
+//!     cfg,
+//!     Arc::new(VecTrace::new("stride3", trace)),
+//!     Box::new(IpcpL1::new(IpcpConfig::default())),
+//!     Box::new(IpcpL2::new(IpcpConfig::default())),
+//!     Box::new(NoPrefetcher),
+//! );
+//! assert!(report.cores[0].l1d.pf_issued > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cspt;
+pub mod ip_table;
+pub mod l1;
+pub mod l2;
+pub mod mpki;
+pub mod rr_filter;
+pub mod rst;
+pub mod storage;
+pub mod throttle;
+
+pub use config::{IpClass, IpcpConfig};
+pub use l1::IpcpL1;
+pub use l2::{ipcp_pair, IpcpL2};
+pub use storage::{framework_bytes, l1_budget, l2_budget, StorageBudget};

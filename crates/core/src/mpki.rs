@@ -1,0 +1,126 @@
+//! The tentative-NL MPKI tracker (Section IV-D).
+//!
+//! Two small hardware counters — retired instructions and cache misses —
+//! are sampled once per ~1K instructions to produce a 7-bit MPKI estimate;
+//! tentative next-line prefetching is enabled only while the estimate stays
+//! below the level's threshold (50 at L1, 40 at L2).
+
+/// Windowed MPKI estimator with hardware-width state.
+///
+/// # Examples
+///
+/// ```
+/// use ipcp::mpki::MpkiTracker;
+///
+/// let mut t = MpkiTracker::new(50);
+/// t.update(0, 0);
+/// t.update(2_000, 300); // 150 MPKI window (clamped to the 7-bit register)
+/// assert!(!t.nl_enabled());
+/// t.update(4_000, 310); // quiet window: 5 MPKI
+/// assert!(t.nl_enabled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MpkiTracker {
+    threshold: u32,
+    window_start_instr: u64,
+    window_start_miss: u64,
+    /// Current 7-bit MPKI estimate.
+    mpki: u32,
+    initialized: bool,
+}
+
+/// Instructions per measurement window (the paper's 10-bit counters count
+/// to 1024).
+const WINDOW_INSTR: u64 = 1024;
+
+impl MpkiTracker {
+    /// Creates a tracker that enables NL below `threshold` MPKI.
+    pub fn new(threshold: u32) -> Self {
+        Self {
+            threshold,
+            window_start_instr: 0,
+            window_start_miss: 0,
+            mpki: 0,
+            initialized: false,
+        }
+    }
+
+    /// Feeds the current lifetime instruction and miss counts; rolls the
+    /// window when ~1 K instructions have passed.
+    pub fn update(&mut self, instructions: u64, misses: u64) {
+        if !self.initialized {
+            self.window_start_instr = instructions;
+            self.window_start_miss = misses;
+            self.initialized = true;
+            return;
+        }
+        let di = instructions.saturating_sub(self.window_start_instr);
+        if di >= WINDOW_INSTR {
+            let dm = misses.saturating_sub(self.window_start_miss);
+            // Misses per kilo-instruction, clamped to the 7-bit register.
+            self.mpki = ((dm * 1000 / di) as u32).min(127);
+            self.window_start_instr = instructions;
+            self.window_start_miss = misses;
+        }
+    }
+
+    /// Current MPKI estimate.
+    pub fn mpki(&self) -> u32 {
+        self.mpki
+    }
+
+    /// The tentative-NL enable bit: MPKI under the threshold.
+    pub fn nl_enabled(&self) -> bool {
+        self.mpki < self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_enabled() {
+        let t = MpkiTracker::new(50);
+        assert!(t.nl_enabled());
+        assert_eq!(t.mpki(), 0);
+    }
+
+    #[test]
+    fn high_miss_rate_disables_nl() {
+        let mut t = MpkiTracker::new(50);
+        t.update(0, 0);
+        t.update(2000, 200); // 100 MPKI
+        assert_eq!(t.mpki(), 100);
+        assert!(!t.nl_enabled());
+    }
+
+    #[test]
+    fn low_miss_rate_reenables_nl() {
+        let mut t = MpkiTracker::new(50);
+        t.update(0, 0);
+        t.update(2000, 200);
+        assert!(!t.nl_enabled());
+        t.update(4000, 210); // next window: 5 MPKI
+        assert!(t.nl_enabled());
+        assert_eq!(t.mpki(), 5);
+    }
+
+    #[test]
+    fn window_does_not_roll_early() {
+        let mut t = MpkiTracker::new(50);
+        t.update(0, 0);
+        t.update(500, 400); // within the window: estimate unchanged
+        assert_eq!(t.mpki(), 0);
+        t.update(1100, 440);
+        assert!(t.mpki() > 50);
+    }
+
+    #[test]
+    fn estimate_clamps_to_register_width() {
+        let mut t = MpkiTracker::new(50);
+        t.update(0, 0);
+        t.update(1500, 1500); // 1000 MPKI → clamped to 127
+        assert_eq!(t.mpki(), 127);
+    }
+}

@@ -1,0 +1,136 @@
+//! Table I: the hardware storage accounting, computed from the same
+//! structural constants the implementation uses. The headline claims —
+//! 740 bytes at L1, 155 bytes at L2, 895 bytes total — are reproduced
+//! exactly and asserted by tests.
+
+use crate::config::IpcpConfig;
+
+/// Bit widths of one L1 IP-table entry (Fig. 5):
+/// 9 tag + 1 valid + 2 last-vpage + 6 last-line-offset + 7 stride +
+/// 2 confidence + 1 stream-valid + 1 direction + 7 signature = 36.
+pub const L1_IP_ENTRY_BITS: u64 = 9 + 1 + 2 + 6 + 7 + 2 + 1 + 1 + 7;
+
+/// Bit width of one CSPT entry: 7 stride + 2 confidence.
+pub const CSPT_ENTRY_BITS: u64 = 7 + 2;
+
+/// Bit width of one RST entry (Fig. 5): 3 region-id + 5 last-line-offset +
+/// 32 bit-vector + 6 pos/neg + 1 dense + 1 trained + 1 tentative +
+/// 1 direction + 3 LRU = 53.
+pub const RST_ENTRY_BITS: u64 = 3 + 5 + 32 + 6 + 1 + 1 + 1 + 1 + 3;
+
+/// Per-line class bits in the 48 KB L1-D (2 bits × 64 sets × 12 ways).
+pub const L1_CLASS_BITS: u64 = 2 * 64 * 12;
+
+/// RR-filter tag width.
+pub const RR_TAG_BITS: u64 = 12;
+
+/// The "Others" row of Table I: 1 tentative-NL bit, 8-bit issued and hit
+/// counters per class (4 classes each), 10-bit miss and instruction
+/// counters, 7-bit per-class accuracy registers, and one 7-bit MPKI
+/// register. 1 + 32 + 32 + 10 + 10 + 28 = 113 bits.
+pub const L1_OTHER_BITS: u64 = 1 + 8 * 4 + 8 * 4 + 10 + 10 + 7 * 4;
+
+/// Bit width of one L2 IP-table entry: 9 tag + 1 valid + 2 class +
+/// 7 stride/direction = 19.
+pub const L2_IP_ENTRY_BITS: u64 = 9 + 1 + 2 + 7;
+
+/// The L2 "others": tentative-NL bit + 10-bit miss counter + 10-bit
+/// instruction counter.
+pub const L2_OTHER_BITS: u64 = 1 + 10 + 10;
+
+/// A storage budget broken out per structure, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageBudget {
+    /// IP table bits.
+    pub ip_table: u64,
+    /// CSPT bits (L1 only).
+    pub cspt: u64,
+    /// RST bits (L1 only).
+    pub rst: u64,
+    /// Per-cache-line class bits (L1 only).
+    pub class_bits: u64,
+    /// RR filter bits (L1 only).
+    pub rr_filter: u64,
+    /// Counters / registers.
+    pub other: u64,
+}
+
+impl StorageBudget {
+    /// Total bits.
+    pub const fn total_bits(&self) -> u64 {
+        self.ip_table + self.cspt + self.rst + self.class_bits + self.rr_filter + self.other
+    }
+
+    /// Total bytes, rounded up (the paper reports rounded bytes).
+    pub const fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+}
+
+/// The L1 IPCP budget for a configuration.
+pub fn l1_budget(cfg: &IpcpConfig) -> StorageBudget {
+    StorageBudget {
+        ip_table: L1_IP_ENTRY_BITS * cfg.ip_table_entries as u64,
+        cspt: CSPT_ENTRY_BITS * cfg.cspt_entries as u64,
+        rst: RST_ENTRY_BITS * cfg.rst_entries as u64,
+        class_bits: L1_CLASS_BITS,
+        rr_filter: RR_TAG_BITS * cfg.rr_entries as u64,
+        other: L1_OTHER_BITS,
+    }
+}
+
+/// The L2 IPCP budget for a configuration.
+pub fn l2_budget(cfg: &IpcpConfig) -> StorageBudget {
+    StorageBudget {
+        ip_table: L2_IP_ENTRY_BITS * cfg.ip_table_entries as u64,
+        cspt: 0,
+        rst: 0,
+        class_bits: 0,
+        rr_filter: 0,
+        other: L2_OTHER_BITS,
+    }
+}
+
+/// Total framework bytes (L1 + L2) — the paper's 895-byte headline.
+pub fn framework_bytes(cfg: &IpcpConfig) -> u64 {
+    l1_budget(cfg).total_bytes() + l2_budget(cfg).total_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_l1_is_5800_plus_113_bits_740_bytes() {
+        let b = l1_budget(&IpcpConfig::default());
+        assert_eq!(b.ip_table, 36 * 64);
+        assert_eq!(b.cspt, 9 * 128);
+        assert_eq!(b.rst, 53 * 8);
+        assert_eq!(b.class_bits, 1536);
+        assert_eq!(b.rr_filter, 12 * 32);
+        assert_eq!(b.ip_table + b.cspt + b.rst + b.class_bits + b.rr_filter, 5800);
+        assert_eq!(b.other, 113);
+        assert_eq!(b.total_bytes(), 740);
+    }
+
+    #[test]
+    fn table1_l2_is_1237_bits_155_bytes() {
+        let b = l2_budget(&IpcpConfig::default());
+        assert_eq!(b.ip_table, 19 * 64);
+        assert_eq!(b.total_bits(), 1237);
+        assert_eq!(b.total_bytes(), 155);
+    }
+
+    #[test]
+    fn framework_total_is_895_bytes() {
+        assert_eq!(framework_bytes(&IpcpConfig::default()), 895);
+    }
+
+    #[test]
+    fn budget_scales_with_tables() {
+        let cfg = IpcpConfig { ip_table_entries: 128, ..IpcpConfig::default() };
+        let b = l1_budget(&cfg);
+        assert_eq!(b.ip_table, 36 * 128);
+        assert!(b.total_bytes() > 740);
+    }
+}

@@ -1,0 +1,205 @@
+//! Coordinated per-class prefetch throttling (Section V).
+//!
+//! Every class owns an issued counter and a useful counter; once per 256
+//! per-class prefetch *fills* the accuracy is measured against two
+//! watermarks: above 0.75 the degree ramps back toward the class default,
+//! below 0.40 it throttles toward one. In between, nothing changes.
+
+use crate::config::{IpClass, IpcpConfig};
+
+/// Per-class throttling state.
+///
+/// # Examples
+///
+/// A misbehaving class gets throttled toward degree one:
+///
+/// ```
+/// use ipcp::{IpClass, IpcpConfig};
+/// use ipcp::throttle::Throttle;
+///
+/// let mut t = Throttle::new(&IpcpConfig::default());
+/// assert_eq!(t.degree(IpClass::Gs), 6);
+/// for _ in 0..10 * 256 {
+///     t.note_fill(IpClass::Gs); // fills with zero useful hits
+/// }
+/// assert_eq!(t.degree(IpClass::Gs), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Throttle {
+    default_degree: [u8; 4],
+    degree: [u8; 4],
+    issued: [u32; 4],
+    useful_window: [u32; 4],
+    fills_window: [u32; 4],
+    last_accuracy: [f64; 4],
+    epoch_fills: u32,
+    high: f64,
+    low: f64,
+    // Lifetime counters for reporting (Fig. 12 feeds on these).
+    total_issued: [u64; 4],
+    total_useful: [u64; 4],
+}
+
+impl Throttle {
+    /// Builds the throttler from the IPCP configuration (degrees indexed by
+    /// class encoding: NL, CS, CPLX, GS).
+    pub fn new(cfg: &IpcpConfig) -> Self {
+        let default_degree = [1, cfg.cs_degree, cfg.cplx_degree, cfg.gs_degree];
+        Self {
+            default_degree,
+            degree: default_degree,
+            issued: [0; 4],
+            useful_window: [0; 4],
+            fills_window: [0; 4],
+            last_accuracy: [1.0; 4],
+            epoch_fills: cfg.epoch_fills,
+            high: cfg.accuracy_high,
+            low: cfg.accuracy_low,
+            total_issued: [0; 4],
+            total_useful: [0; 4],
+        }
+    }
+
+    /// Current degree for a class.
+    pub fn degree(&self, class: IpClass) -> u8 {
+        self.degree[class.bits() as usize]
+    }
+
+    /// Most recently measured accuracy for a class (1.0 before the first
+    /// epoch completes — optimistic start).
+    pub fn accuracy(&self, class: IpClass) -> f64 {
+        self.last_accuracy[class.bits() as usize]
+    }
+
+    /// Records one issued prefetch.
+    pub fn note_issued(&mut self, class: IpClass) {
+        let i = class.bits() as usize;
+        self.issued[i] += 1;
+        self.total_issued[i] += 1;
+    }
+
+    /// Records a useful prefetch (first demand hit on a prefetched line, or
+    /// a demand merging into an in-flight prefetch).
+    pub fn note_useful(&mut self, class: IpClass) {
+        let i = class.bits() as usize;
+        self.useful_window[i] += 1;
+        self.total_useful[i] += 1;
+    }
+
+    /// Records one prefetch fill; every `epoch_fills` fills of a class the
+    /// accuracy is measured and the degree adjusted.
+    pub fn note_fill(&mut self, class: IpClass) {
+        let i = class.bits() as usize;
+        self.fills_window[i] += 1;
+        if self.fills_window[i] >= self.epoch_fills {
+            let acc = f64::from(self.useful_window[i]) / f64::from(self.fills_window[i]);
+            self.last_accuracy[i] = acc;
+            if acc > self.high {
+                self.degree[i] = (self.degree[i] + 1).min(self.default_degree[i]);
+            } else if acc < self.low {
+                self.degree[i] = (self.degree[i].saturating_sub(1)).max(1);
+            }
+            self.fills_window[i] = 0;
+            self.useful_window[i] = 0;
+        }
+    }
+
+    /// Lifetime issued counters per class (NL, CS, CPLX, GS order).
+    pub fn total_issued(&self) -> [u64; 4] {
+        self.total_issued
+    }
+
+    /// Lifetime useful counters per class.
+    pub fn total_useful(&self) -> [u64; 4] {
+        self.total_useful
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn throttle() -> Throttle {
+        Throttle::new(&IpcpConfig::default())
+    }
+
+    #[test]
+    fn default_degrees_match_paper() {
+        let t = throttle();
+        assert_eq!(t.degree(IpClass::Cs), 3);
+        assert_eq!(t.degree(IpClass::Cplx), 3);
+        assert_eq!(t.degree(IpClass::Gs), 6);
+        assert_eq!(t.degree(IpClass::NoClass), 1);
+    }
+
+    #[test]
+    fn low_accuracy_throttles_down_to_one() {
+        let mut t = throttle();
+        // Three epochs of useless GS fills: degree 6 → 5 → 4 → 3.
+        for _ in 0..3 * 256 {
+            t.note_fill(IpClass::Gs);
+        }
+        assert_eq!(t.degree(IpClass::Gs), 3);
+        for _ in 0..10 * 256 {
+            t.note_fill(IpClass::Gs);
+        }
+        assert_eq!(t.degree(IpClass::Gs), 1, "degree floors at one");
+        assert!(t.accuracy(IpClass::Gs) < 0.4);
+    }
+
+    #[test]
+    fn high_accuracy_restores_degree() {
+        let mut t = throttle();
+        for _ in 0..5 * 256 {
+            t.note_fill(IpClass::Cs);
+        }
+        assert_eq!(t.degree(IpClass::Cs), 1);
+        // Now 90% useful fills: degree climbs back to the default 3, not
+        // beyond.
+        for _ in 0..5 {
+            for _ in 0..230 {
+                t.note_useful(IpClass::Cs);
+            }
+            for _ in 0..256 {
+                t.note_fill(IpClass::Cs);
+            }
+        }
+        assert_eq!(t.degree(IpClass::Cs), 3);
+    }
+
+    #[test]
+    fn mid_band_accuracy_leaves_degree_alone() {
+        let mut t = throttle();
+        // 50% accuracy sits between the 0.40 and 0.75 watermarks.
+        for _ in 0..4 {
+            for _ in 0..128 {
+                t.note_useful(IpClass::Cplx);
+            }
+            for _ in 0..256 {
+                t.note_fill(IpClass::Cplx);
+            }
+        }
+        assert_eq!(t.degree(IpClass::Cplx), 3);
+        assert!((t.accuracy(IpClass::Cplx) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut t = throttle();
+        for _ in 0..10 * 256 {
+            t.note_fill(IpClass::Gs);
+        }
+        assert_eq!(t.degree(IpClass::Gs), 1);
+        assert_eq!(t.degree(IpClass::Cs), 3, "CS unaffected by GS misbehaviour");
+    }
+
+    #[test]
+    fn lifetime_counters_accumulate() {
+        let mut t = throttle();
+        t.note_issued(IpClass::Gs);
+        t.note_issued(IpClass::Gs);
+        t.note_useful(IpClass::Gs);
+        assert_eq!(t.total_issued()[IpClass::Gs.bits() as usize], 2);
+        assert_eq!(t.total_useful()[IpClass::Gs.bits() as usize], 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Stress/property tests for IPCP: arbitrary access streams must never
+//! panic, never emit out-of-page prefetches, and keep hardware-width
+//! fields in range.
+
+use proptest::prelude::*;
+
+use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::prefetch::{
+    AccessInfo, DemandKind, MetadataArrival, PrefetchMeta, Prefetcher, VecSink,
+};
+
+fn access(ip: u64, vline: u64, hit: bool, instructions: u64, misses: u64) -> AccessInfo {
+    AccessInfo {
+        cycle: 0,
+        ip: Ip(ip),
+        vline: LineAddr::new(vline),
+        pline: LineAddr::new(vline),
+        kind: DemandKind::Load,
+        hit,
+        first_use_of_prefetch: false,
+        hit_pf_class: 0,
+        instructions,
+        demand_misses: misses,
+        dram_utilization: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary (ip, line) streams: every emitted prefetch stays within the
+    /// trigger's 4 KB page and carries a legal class and 7-bit metadata.
+    #[test]
+    fn l1_requests_are_always_legal(
+        stream in proptest::collection::vec((0u64..64, 0u64..(1 << 22)), 1..400),
+    ) {
+        let mut p = IpcpL1::new(IpcpConfig::default());
+        let mut instr = 0u64;
+        for (ipi, line) in stream {
+            instr += 17;
+            let mut sink = VecSink::new();
+            let info = access(0x40_0000 + ipi * 4, line, line % 3 == 0, instr, instr / 40);
+            p.on_access(&info, &mut sink);
+            for r in sink.requests {
+                prop_assert_eq!(
+                    r.line.vpage(),
+                    LineAddr::new(line).vpage(),
+                    "prefetch crossed the page"
+                );
+                prop_assert!(r.pf_class <= 3);
+                if let Some(m) = r.meta {
+                    prop_assert!(m.class <= 3);
+                    prop_assert!((-63..=63).contains(&m.stride), "stride {} exceeds 7 bits", m.stride);
+                }
+            }
+        }
+    }
+
+    /// The same holds for the L2 under arbitrary metadata arrivals and
+    /// accesses.
+    #[test]
+    fn l2_requests_are_always_legal(
+        events in proptest::collection::vec(
+            (0u64..64, 0u64..(1 << 22), proptest::option::of((0u8..4, -63i8..=63))),
+            1..400,
+        ),
+    ) {
+        let mut p = IpcpL2::new(IpcpConfig::default());
+        let mut instr = 0u64;
+        for (ipi, line, meta) in events {
+            instr += 23;
+            let ip = Ip(0x40_0000 + ipi * 4);
+            let mut sink = VecSink::new();
+            match meta {
+                Some((class, stride)) => {
+                    let arr = MetadataArrival {
+                        cycle: 0,
+                        ip,
+                        pline: LineAddr::new(line),
+                        meta: Some(PrefetchMeta { class, stride }),
+                        instructions: instr,
+                        demand_misses: instr / 50,
+                    };
+                    p.on_prefetch_arrival(&arr, &mut sink);
+                }
+                None => {
+                    let info = access(ip.raw(), line, false, instr, instr / 50);
+                    p.on_access(&info, &mut sink);
+                }
+            }
+            for r in sink.requests {
+                prop_assert_eq!(r.line.vpage(), LineAddr::new(line).vpage());
+                prop_assert!(!r.virtual_addr, "L2 prefetches are physical");
+            }
+        }
+    }
+
+    /// Class ablation configs never emit a disabled class.
+    #[test]
+    fn disabled_classes_stay_silent(
+        stream in proptest::collection::vec((0u64..16, 0u64..(1 << 18)), 50..300),
+        enable_cs: bool,
+        enable_gs: bool,
+    ) {
+        let mut classes = vec![IpClass::Cplx];
+        if enable_cs { classes.push(IpClass::Cs); }
+        if enable_gs { classes.push(IpClass::Gs); }
+        let mut p = IpcpL1::new(IpcpConfig::with_only(&classes));
+        for (i, (ipi, line)) in stream.iter().enumerate() {
+            let mut sink = VecSink::new();
+            p.on_access(&access(0x50_0000 + ipi * 4, *line, false, i as u64 * 11, i as u64 / 9), &mut sink);
+            for r in sink.requests {
+                let class = IpClass::from_bits(r.pf_class);
+                prop_assert!(classes.contains(&class), "disabled class {class:?} fired");
+            }
+        }
+    }
+}
+
+#[test]
+fn ipcp_state_survives_ten_thousand_conflicting_ips() {
+    // Thrash the direct-mapped tables with thousands of distinct IPs: no
+    // panic, no unbounded growth (everything is fixed-size), and the
+    // prefetcher still works afterwards.
+    let mut p = IpcpL1::new(IpcpConfig::default());
+    for i in 0..10_000u64 {
+        let mut sink = VecSink::new();
+        p.on_access(&access(0x40_0000 + i * 4, i * 7 % (1 << 20), false, i, i / 30), &mut sink);
+    }
+    // A clean stride stream still trains afterwards.
+    let mut got = 0;
+    for i in 0..12u64 {
+        let mut sink = VecSink::new();
+        p.on_access(&access(0x999_0000, 0x50_0000 + i * 2, false, 20_000 + i, 600), &mut sink);
+        got += sink.requests.len();
+    }
+    assert!(got > 0, "IPCP must recover after IP-table thrash");
+}

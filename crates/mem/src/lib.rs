@@ -1,0 +1,534 @@
+//! Address, page, and region primitives shared by the IPCP reproduction.
+//!
+//! Everything in the simulator and the prefetchers speaks in terms of a small
+//! set of newtypes defined here:
+//!
+//! * [`VAddr`] / [`PAddr`] — full byte addresses (virtual / physical).
+//! * [`LineAddr`] — a cache-line-aligned address (byte address `>> 6`).
+//! * [`VPage`] / [`PPage`] — 4 KB page numbers.
+//! * [`LineOffset`] — the cache-line offset within a 4 KB page (0..=63).
+//! * [`RegionId`] / [`RegionOffset`] — 2 KB spatial regions (32 lines), the
+//!   granularity of IPCP's Global Stream class.
+//!
+//! The newtypes exist to make unit errors (mixing byte addresses with line
+//! addresses, or virtual with physical) compile errors instead of silent
+//! off-by-shift bugs — exactly the class of mistake that plagues cache
+//! simulators.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipcp_mem::{VAddr, LineAddr, LINE_BYTES};
+//!
+//! let a = VAddr::new(0x1234_5678);
+//! let line = a.line();
+//! assert_eq!(line.to_byte_addr(), (0x1234_5678 / LINE_BYTES) * LINE_BYTES);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+
+/// Bytes per cache line (64 B, as in ChampSim and Table II of the paper).
+pub const LINE_BYTES: u64 = 64;
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+/// Bytes per OS page (4 KB).
+pub const PAGE_BYTES: u64 = 4096;
+/// log2 of [`PAGE_BYTES`].
+pub const PAGE_SHIFT: u32 = 12;
+/// Cache lines per 4 KB page (64).
+pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
+/// Bytes per IPCP Global-Stream region (2 KB, Section IV-C).
+pub const REGION_BYTES: u64 = 2048;
+/// log2 of [`REGION_BYTES`].
+pub const REGION_SHIFT: u32 = 11;
+/// Cache lines per 2 KB region (32, tracked by the RST bit-vector).
+pub const LINES_PER_REGION: u64 = REGION_BYTES / LINE_BYTES;
+
+/// A full virtual byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VAddr(u64);
+
+/// A full physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PAddr(u64);
+
+/// A cache-line-aligned address: a byte address shifted right by
+/// [`LINE_SHIFT`]. The same representation is used for virtual and physical
+/// line addresses; the surrounding context (pre- or post-translation)
+/// determines which space it lives in, mirroring ChampSim's convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+/// A virtual 4 KB page number (virtual byte address `>> 12`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VPage(u64);
+
+/// A physical 4 KB page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PPage(u64);
+
+/// A cache-line offset within a 4 KB page: 0..=63.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineOffset(u8);
+
+/// A 2 KB region identifier (line address `>> 5`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RegionId(u64);
+
+/// A cache-line offset within a 2 KB region: 0..=31.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RegionOffset(u8);
+
+/// An instruction pointer (program counter) value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ip(pub u64);
+
+impl VAddr {
+    /// Creates a virtual address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line this byte address falls in.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The 4 KB virtual page this address falls in.
+    pub const fn page(self) -> VPage {
+        VPage(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    pub const fn page_byte_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+}
+
+impl PAddr {
+    /// Creates a physical address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line this byte address falls in.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The 4 KB physical page this address falls in.
+    pub const fn page(self) -> PPage {
+        PPage(self.0 >> PAGE_SHIFT)
+    }
+}
+
+impl LineAddr {
+    /// Creates a line address from a raw *line-granular* value
+    /// (i.e. a byte address already shifted right by [`LINE_SHIFT`]).
+    pub const fn new(raw_line: u64) -> Self {
+        Self(raw_line)
+    }
+
+    /// Creates a line address from a full byte address.
+    pub const fn from_byte_addr(byte_addr: u64) -> Self {
+        Self(byte_addr >> LINE_SHIFT)
+    }
+
+    /// The raw line-granular value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte in this line.
+    pub const fn to_byte_addr(self) -> u64 {
+        self.0 << LINE_SHIFT
+    }
+
+    /// The page containing this line, interpreted as a virtual page.
+    pub const fn vpage(self) -> VPage {
+        VPage(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The page containing this line, interpreted as a physical page.
+    pub const fn ppage(self) -> PPage {
+        PPage(self.0 >> (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// Line offset within the containing 4 KB page (0..=63).
+    pub const fn page_offset(self) -> LineOffset {
+        LineOffset((self.0 & (LINES_PER_PAGE - 1)) as u8)
+    }
+
+    /// The 2 KB region containing this line.
+    pub const fn region(self) -> RegionId {
+        RegionId(self.0 >> (REGION_SHIFT - LINE_SHIFT))
+    }
+
+    /// Line offset within the containing 2 KB region (0..=31).
+    pub const fn region_offset(self) -> RegionOffset {
+        RegionOffset((self.0 & (LINES_PER_REGION - 1)) as u8)
+    }
+
+    /// Adds a signed stride (in cache lines), saturating at 0.
+    #[must_use]
+    pub fn offset_by(self, stride: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add_signed(stride))
+    }
+
+    /// Returns `Some(line + stride)` only if the result stays within the same
+    /// 4 KB page — the spatial-prefetch guard used by every prefetcher in the
+    /// paper ("we do not prefetch crossing the page boundary").
+    pub fn offset_within_page(self, stride: i64) -> Option<LineAddr> {
+        let target = self.0.checked_add_signed(stride)?;
+        let same_page = (target >> (PAGE_SHIFT - LINE_SHIFT)) == (self.0 >> (PAGE_SHIFT - LINE_SHIFT));
+        same_page.then_some(LineAddr(target))
+    }
+}
+
+impl VPage {
+    /// Creates a virtual page number.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first line of this page.
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+
+    /// The two least-significant bits of the page number.
+    ///
+    /// IPCP stores only these two bits per IP-table entry; because virtual
+    /// pages touched by one IP are mostly contiguous, a change in the 2 lsbs
+    /// is sufficient to detect a move to the previous or next page
+    /// (Section IV-A).
+    pub const fn lsb2(self) -> u8 {
+        (self.0 & 0b11) as u8
+    }
+}
+
+impl PPage {
+    /// Creates a physical page number.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw page number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first line of this page.
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (PAGE_SHIFT - LINE_SHIFT))
+    }
+}
+
+impl LineOffset {
+    /// Creates a page-line offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= 64`.
+    pub fn new(raw: u8) -> Self {
+        assert!(u64::from(raw) < LINES_PER_PAGE, "line offset {raw} out of range");
+        Self(raw)
+    }
+
+    /// The raw offset (0..=63).
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The most significant bit of the 6-bit offset; selects which half
+    /// (2 KB region) of the 4 KB page the line lies in. The GS class uses
+    /// `last-vpage` plus this bit to locate the previous region in the RST.
+    pub const fn msb(self) -> u8 {
+        self.0 >> 5
+    }
+}
+
+impl RegionId {
+    /// Creates a region id from a raw region-granular value.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw region-granular value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The first line of this region.
+    pub const fn first_line(self) -> LineAddr {
+        LineAddr(self.0 << (REGION_SHIFT - LINE_SHIFT))
+    }
+
+    /// The region immediately after this one.
+    pub const fn next(self) -> RegionId {
+        RegionId(self.0 + 1)
+    }
+
+    /// The region immediately before this one (saturating at 0).
+    pub const fn prev(self) -> RegionId {
+        RegionId(self.0.saturating_sub(1))
+    }
+}
+
+impl RegionOffset {
+    /// Creates a region-line offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw >= 32`.
+    pub fn new(raw: u8) -> Self {
+        assert!(u64::from(raw) < LINES_PER_REGION, "region offset {raw} out of range");
+        Self(raw)
+    }
+
+    /// The raw offset (0..=31).
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+}
+
+impl Ip {
+    /// The raw instruction-pointer value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The low `bits` bits — handy for building table tags/indices.
+    pub const fn low_bits(self, bits: u32) -> u64 {
+        self.0 & ((1u64 << bits) - 1)
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ip:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for VAddr {
+    fn from(raw: u64) -> Self {
+        Self::new(raw)
+    }
+}
+
+impl From<u64> for Ip {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+/// Computes the cache-line stride between two accesses from the same IP,
+/// using only the state IPCP keeps per IP-table entry: the 2 lsbs of the last
+/// virtual page and the last line offset within that page (Section IV-A).
+///
+/// When the page is unchanged the stride is simply the offset difference.
+/// When the 2-lsb page tag moved forward by one page, 64 lines are added
+/// (e.g. offset 63 → 0 across a page boundary is a stride of +1); when it
+/// moved backward, 64 are subtracted. Any larger page jump is indistinguishable
+/// with 2 bits, so the computed stride is what the *hardware* would compute —
+/// including its aliasing behaviour, which we faithfully reproduce.
+///
+/// Returns `None` when the page tag changed by 2 or 3 (mod 4), i.e. the
+/// hardware cannot tell direction; IPCP treats that as "new page, relearn".
+pub fn ipcp_stride(last_vpage_lsb2: u8, last_offset: LineOffset, cur_vpage_lsb2: u8, cur_offset: LineOffset) -> Option<i64> {
+    let cur = i64::from(cur_offset.raw());
+    let last = i64::from(last_offset.raw());
+    let delta_page = (i16::from(cur_vpage_lsb2) - i16::from(last_vpage_lsb2)).rem_euclid(4);
+    match delta_page {
+        0 => Some(cur - last),
+        1 => Some(cur - last + LINES_PER_PAGE as i64),
+        3 => Some(cur - last - LINES_PER_PAGE as i64),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn vaddr_line_page_round_trip() {
+        let a = VAddr::new(0xdead_beef);
+        assert_eq!(a.line().raw(), 0xdead_beef >> 6);
+        assert_eq!(a.page().raw(), 0xdead_beef >> 12);
+        assert_eq!(a.page_byte_offset(), 0xdead_beef & 0xfff);
+    }
+
+    #[test]
+    fn line_offsets_and_regions() {
+        // Line 0x40 is page 1, offset 0, region 2, region offset 0.
+        let l = LineAddr::new(0x40);
+        assert_eq!(l.vpage().raw(), 1);
+        assert_eq!(l.page_offset().raw(), 0);
+        assert_eq!(l.region().raw(), 2);
+        assert_eq!(l.region_offset().raw(), 0);
+
+        // Line 0x3f is page 0, offset 63, region 1, region offset 31.
+        let l = LineAddr::new(0x3f);
+        assert_eq!(l.vpage().raw(), 0);
+        assert_eq!(l.page_offset().raw(), 63);
+        assert_eq!(l.region().raw(), 1);
+        assert_eq!(l.region_offset().raw(), 31);
+    }
+
+    #[test]
+    fn offset_within_page_guards_boundary() {
+        let l = LineAddr::new(62); // page 0, offset 62
+        assert_eq!(l.offset_within_page(1), Some(LineAddr::new(63)));
+        assert_eq!(l.offset_within_page(2), None); // would cross into page 1
+        assert_eq!(l.offset_within_page(-62), Some(LineAddr::new(0)));
+        assert_eq!(l.offset_within_page(-63), None);
+    }
+
+    #[test]
+    fn ipcp_stride_same_page() {
+        let s = ipcp_stride(0, LineOffset::new(10), 0, LineOffset::new(13));
+        assert_eq!(s, Some(3));
+        let s = ipcp_stride(2, LineOffset::new(13), 2, LineOffset::new(10));
+        assert_eq!(s, Some(-3));
+    }
+
+    #[test]
+    fn ipcp_stride_forward_page_change() {
+        // Paper's example: offset 63 -> 0 with a forward page change is
+        // (0 - 63) + 64 = stride 1.
+        let s = ipcp_stride(1, LineOffset::new(63), 2, LineOffset::new(0));
+        assert_eq!(s, Some(1));
+        // Page-number wrap of the 2-bit tag: 3 -> 0 is still "forward by one".
+        let s = ipcp_stride(3, LineOffset::new(62), 0, LineOffset::new(1));
+        assert_eq!(s, Some(3));
+    }
+
+    #[test]
+    fn ipcp_stride_backward_page_change() {
+        let s = ipcp_stride(2, LineOffset::new(0), 1, LineOffset::new(63));
+        assert_eq!(s, Some(-1));
+        let s = ipcp_stride(0, LineOffset::new(1), 3, LineOffset::new(62));
+        assert_eq!(s, Some(-3));
+    }
+
+    #[test]
+    fn ipcp_stride_ambiguous_jump() {
+        assert_eq!(ipcp_stride(0, LineOffset::new(5), 2, LineOffset::new(5)), None);
+    }
+
+    #[test]
+    fn ip_low_bits() {
+        let ip = Ip(0xabcd_ef01);
+        assert_eq!(ip.low_bits(8), 0x01);
+        assert_eq!(ip.low_bits(16), 0xef01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn line_offset_validates() {
+        let _ = LineOffset::new(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn region_offset_validates() {
+        let _ = RegionOffset::new(32);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", VAddr::new(0)).is_empty());
+        assert!(!format!("{}", PAddr::new(0)).is_empty());
+        assert!(!format!("{}", LineAddr::new(0)).is_empty());
+        assert!(!format!("{}", Ip(0)).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn line_round_trip(byte_addr in 0u64..(1 << 48)) {
+            let l = LineAddr::from_byte_addr(byte_addr);
+            prop_assert_eq!(l.to_byte_addr(), byte_addr & !(LINE_BYTES - 1));
+            prop_assert!(u64::from(l.page_offset().raw()) < LINES_PER_PAGE);
+            prop_assert!(u64::from(l.region_offset().raw()) < LINES_PER_REGION);
+        }
+
+        #[test]
+        fn region_and_page_consistent(raw_line in 0u64..(1 << 40)) {
+            let l = LineAddr::new(raw_line);
+            // Two regions per page; the region id's low bit selects the half.
+            prop_assert_eq!(l.region().raw() >> 1, l.vpage().raw());
+            prop_assert_eq!(l.region().raw() & 1, u64::from(l.page_offset().msb()));
+            // Region offset is the low 5 bits of the page offset.
+            prop_assert_eq!(l.region_offset().raw(), l.page_offset().raw() & 0x1f);
+        }
+
+        #[test]
+        fn offset_within_page_stays_in_page(raw_line in 0u64..(1 << 40), stride in -128i64..128) {
+            let l = LineAddr::new(raw_line);
+            if let Some(t) = l.offset_within_page(stride) {
+                prop_assert_eq!(t.vpage(), l.vpage());
+                prop_assert_eq!(t.raw() as i128, raw_line as i128 + stride as i128);
+            }
+        }
+
+        #[test]
+        fn stride_matches_true_delta_for_adjacent_pages(
+            page in 1u64..(1 << 30),
+            off_a in 0u8..64,
+            off_b in 0u8..64,
+            page_step in -1i64..=1,
+        ) {
+            // When the true page delta is -1, 0, or +1, the 2-lsb scheme must
+            // recover the exact line stride.
+            let page_b = page.wrapping_add_signed(page_step);
+            let a = VPage::new(page).first_line().raw() + u64::from(off_a);
+            let b = VPage::new(page_b).first_line().raw() + u64::from(off_b);
+            let true_stride = b as i64 - a as i64;
+            let got = ipcp_stride(
+                VPage::new(page).lsb2(),
+                LineOffset::new(off_a),
+                VPage::new(page_b).lsb2(),
+                LineOffset::new(off_b),
+            );
+            prop_assert_eq!(got, Some(true_stride));
+        }
+    }
+}

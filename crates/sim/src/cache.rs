@@ -1,0 +1,592 @@
+//! A set-associative cache bank with MSHRs, a FIFO prefetch queue, and
+//! deferred fills.
+//!
+//! [`Cache`] owns the tag/state arrays and the structural resources; the
+//! inter-level request flow (miss path, fill-forwarding, write-backs) lives
+//! in [`crate::system`], which orchestrates the fixed L1/L2/LLC hierarchy.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ipcp_mem::{Ip, LineAddr};
+
+use crate::config::{CacheConfig, Cycle};
+use crate::prefetch::PrefetchRequest;
+use crate::replacement::{self, ReplMeta, Replacement};
+use crate::stats::CacheStats;
+
+/// Sentinel for "fill time not yet known".
+pub const FILL_UNKNOWN: Cycle = Cycle::MAX;
+
+/// Outcome of probing a cache for a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeResult {
+    /// Line present; contains whether this was the first demand touch of an
+    /// unused prefetched line, and that line's prefetch class.
+    Hit {
+        /// First demand use of a prefetched line.
+        first_use_of_prefetch: bool,
+        /// Prefetch class bits of the line (0 if not a prefetch).
+        pf_class: u8,
+    },
+    /// Line absent but an MSHR is already outstanding for it; the payload is
+    /// the cycle the fill completes.
+    MshrMerge {
+        /// Completion cycle of the in-flight fill.
+        fill_at: Cycle,
+    },
+    /// Line absent, no MSHR: a true miss (caller must allocate an MSHR).
+    Miss,
+    /// No MSHR available — the access must be retried.
+    MshrFull,
+}
+
+/// An in-flight miss.
+#[derive(Debug, Clone, Copy)]
+pub struct Mshr {
+    /// Line being fetched (physical).
+    pub line: LineAddr,
+    /// Cycle at which the fill completes here.
+    pub fill_at: Cycle,
+    /// The fill was triggered by a prefetch (and no demand merged since).
+    pub is_prefetch: bool,
+    /// Class bits carried by the prefetch.
+    pub pf_class: u8,
+    /// Line should be marked dirty on fill (RFO).
+    pub dirty: bool,
+    /// IP of the triggering access (for replacement metadata).
+    pub ip: Ip,
+}
+
+/// A prefetch request waiting in the PQ.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedPrefetch {
+    /// The original request.
+    pub req: PrefetchRequest,
+    /// Physical line (translated at enqueue for L1 virtual requests).
+    pub pline: LineAddr,
+    /// IP that triggered the prefetcher (for metadata forwarding).
+    pub ip: Ip,
+}
+
+/// What got evicted by a fill.
+#[derive(Debug, Clone, Copy)]
+pub struct Evicted {
+    /// The victim line.
+    pub line: LineAddr,
+    /// It was dirty (needs a write-back).
+    pub dirty: bool,
+    /// It was a prefetched line never demanded (over-prediction).
+    pub unused_prefetch: bool,
+}
+
+/// One cache level.
+pub struct Cache {
+    name: &'static str,
+    sets: usize,
+    ways: usize,
+    latency: Cycle,
+    ports: u32,
+    ports_used: u32,
+
+    // Line state, struct-of-arrays.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    prefetched: Vec<bool>,
+    pf_class: Vec<u8>,
+    reused: Vec<bool>,
+
+    repl: Box<dyn Replacement>,
+
+    mshrs: Vec<Option<Mshr>>,
+    mshr_used: usize,
+    pending_fills: BinaryHeap<Reverse<(Cycle, usize)>>,
+
+    pq: VecDeque<QueuedPrefetch>,
+    pq_capacity: usize,
+
+    lifetime_misses: u64,
+
+    /// Counters for this level.
+    pub stats: CacheStats,
+}
+
+impl std::fmt::Debug for Cache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cache")
+            .field("name", &self.name)
+            .field("sets", &self.sets)
+            .field("ways", &self.ways)
+            .field("mshr_used", &self.mshr_used)
+            .field("pq_len", &self.pq.len())
+            .finish()
+    }
+}
+
+impl Cache {
+    /// Builds a cache from its configuration. `scale` multiplies capacity,
+    /// MSHR, and PQ entries (the LLC scales with core count per Table II).
+    pub fn new(cfg: &CacheConfig, scale: u32) -> Self {
+        let scaled = CacheConfig { size_bytes: cfg.size_bytes * u64::from(scale), ..cfg.clone() };
+        let sets = scaled.sets() as usize;
+        let ways = cfg.ways as usize;
+        let n = sets * ways;
+        Self {
+            name: cfg.name,
+            sets,
+            ways,
+            latency: cfg.latency,
+            ports: cfg.ports,
+            ports_used: 0,
+            tags: vec![0; n],
+            valid: vec![false; n],
+            dirty: vec![false; n],
+            prefetched: vec![false; n],
+            pf_class: vec![0; n],
+            reused: vec![false; n],
+            repl: replacement::build(cfg.replacement, sets, ways),
+            mshrs: (0..cfg.mshr_entries * scale).map(|_| None).collect(),
+            mshr_used: 0,
+            pending_fills: BinaryHeap::new(),
+            pq: VecDeque::new(),
+            pq_capacity: (cfg.pq_entries * scale) as usize,
+            lifetime_misses: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The level's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Hit latency in cycles.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.sets - 1)
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        (0..self.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == line.raw())
+    }
+
+    /// True when the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find_way(line).is_some()
+    }
+
+    /// Resets per-cycle port accounting. Call once per cycle.
+    pub fn begin_cycle(&mut self) {
+        self.ports_used = 0;
+    }
+
+    /// Attempts to reserve a demand port this cycle.
+    pub fn try_take_port(&mut self) -> bool {
+        if self.ports_used < self.ports {
+            self.ports_used += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Looks up a demand access.
+    ///
+    /// Hit and merge outcomes apply their side effects (replacement
+    /// recency, usefulness accounting, statistics) immediately, because they
+    /// never need to be retried. A [`ProbeResult::Miss`] outcome applies
+    /// *nothing*: the caller resolves the next level first and, once the
+    /// miss commits, calls [`Cache::commit_demand_miss`] followed by
+    /// [`Cache::alloc_mshr`]. This keeps retried accesses (downstream MSHRs
+    /// full) from double-counting.
+    pub fn demand_lookup(&mut self, line: LineAddr, ip: Ip, write: bool) -> ProbeResult {
+        if let Some(way) = self.find_way(line) {
+            let set = self.set_of(line);
+            let i = self.slot(set, way);
+            self.stats.demand_accesses += 1;
+            self.stats.demand_hits += 1;
+            self.repl.on_hit(set, way, ReplMeta { ip, is_prefetch: false });
+            if write {
+                self.dirty[i] = true;
+            }
+            self.reused[i] = true;
+            let first_use = self.prefetched[i];
+            let class = self.pf_class[i];
+            if first_use {
+                self.prefetched[i] = false;
+                self.stats.useful_prefetch_hits += 1;
+                self.stats.useful_by_class[class as usize & 3] += 1;
+            }
+            return ProbeResult::Hit { first_use_of_prefetch: first_use, pf_class: class };
+        }
+        // Line absent: check the MSHRs.
+        if let Some(idx) = self.find_mshr(line) {
+            self.stats.demand_accesses += 1;
+            self.stats.demand_misses += 1;
+            self.lifetime_misses += 1;
+            let m = self.mshrs[idx].as_mut().expect("occupied");
+            if m.is_prefetch {
+                // A demand merging into an in-flight prefetch: the prefetch
+                // was useful but late.
+                self.stats.late_prefetch_hits += 1;
+                self.stats.useful_prefetch_hits += 1;
+                self.stats.useful_by_class[m.pf_class as usize & 3] += 1;
+                m.is_prefetch = false;
+            }
+            if write {
+                m.dirty = true;
+            }
+            return ProbeResult::MshrMerge { fill_at: m.fill_at };
+        }
+        if self.mshr_used >= self.mshrs.len() {
+            self.stats.mshr_full_rejects += 1;
+            return ProbeResult::MshrFull;
+        }
+        ProbeResult::Miss
+    }
+
+    /// Records the statistics for a committed demand miss (see
+    /// [`Cache::demand_lookup`]).
+    pub fn commit_demand_miss(&mut self) {
+        self.stats.demand_accesses += 1;
+        self.stats.demand_misses += 1;
+        self.lifetime_misses += 1;
+    }
+
+    /// Demand misses since construction — never reset by warm-up. This is
+    /// the raw counter prefetchers use for their own MPKI estimates.
+    pub fn lifetime_misses(&self) -> u64 {
+        self.lifetime_misses
+    }
+
+    /// Probe used on the prefetch path: no demand statistics, no recency
+    /// update on hit (ChampSim does not promote on prefetch hits at the same
+    /// level), returns residency and in-flight state.
+    pub fn prefetch_probe(&self, line: LineAddr) -> ProbeResult {
+        if self.find_way(line).is_some() {
+            return ProbeResult::Hit { first_use_of_prefetch: false, pf_class: 0 };
+        }
+        if let Some(idx) = self.find_mshr(line) {
+            let m = self.mshrs[idx].as_ref().expect("occupied");
+            return ProbeResult::MshrMerge { fill_at: m.fill_at };
+        }
+        if self.mshr_used >= self.mshrs.len() {
+            return ProbeResult::MshrFull;
+        }
+        ProbeResult::Miss
+    }
+
+    fn find_mshr(&self, line: LineAddr) -> Option<usize> {
+        self.mshrs
+            .iter()
+            .position(|m| m.as_ref().is_some_and(|m| m.line == line))
+    }
+
+    /// True when at least one MSHR is free.
+    pub fn mshr_available(&self) -> bool {
+        self.mshr_used < self.mshrs.len()
+    }
+
+    /// Number of occupied MSHRs.
+    pub fn mshr_occupancy(&self) -> usize {
+        self.mshr_used
+    }
+
+    /// Allocates an MSHR with a known fill time and schedules the fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR is free (callers must check first).
+    pub fn alloc_mshr(&mut self, mshr: Mshr) {
+        let idx = self
+            .mshrs
+            .iter()
+            .position(Option::is_none)
+            .expect("caller must ensure an MSHR is free");
+        assert!(mshr.fill_at != FILL_UNKNOWN, "fill time must be resolved");
+        self.pending_fills.push(Reverse((mshr.fill_at, idx)));
+        self.mshrs[idx] = Some(mshr);
+        self.mshr_used += 1;
+    }
+
+    /// The earliest scheduled fill time, if any fill is outstanding.
+    pub fn next_fill_time(&self) -> Option<Cycle> {
+        self.pending_fills.peek().map(|Reverse((t, _))| *t)
+    }
+
+    /// Pops the next fill whose time has arrived, freeing its MSHR.
+    pub fn pop_ready_fill(&mut self, now: Cycle) -> Option<Mshr> {
+        let &Reverse((t, idx)) = self.pending_fills.peek()?;
+        if t > now {
+            return None;
+        }
+        self.pending_fills.pop();
+        let m = self.mshrs[idx].take().expect("scheduled fill has an MSHR");
+        self.mshr_used -= 1;
+        Some(m)
+    }
+
+    /// Installs `line`, returning eviction info. `is_prefetch` marks the
+    /// line for usefulness accounting; `pf_class` is stored in the 2-bit
+    /// per-line class field.
+    pub fn install(&mut self, line: LineAddr, ip: Ip, is_prefetch: bool, pf_class: u8, dirty: bool) -> Option<Evicted> {
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let (way, evicted) = match (0..self.ways).find(|&w| !self.valid[base + w]) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.repl.victim(set);
+                let i = base + w;
+                let unused_prefetch = self.prefetched[i];
+                if unused_prefetch {
+                    self.stats.pf_useless_evicted += 1;
+                }
+                self.repl.on_evict(set, w, self.reused[i]);
+                let ev = Evicted {
+                    line: LineAddr::new(self.tags[i]),
+                    dirty: self.dirty[i],
+                    unused_prefetch,
+                };
+                (w, Some(ev))
+            }
+        };
+        let i = base + way;
+        self.tags[i] = line.raw();
+        self.valid[i] = true;
+        self.dirty[i] = dirty;
+        self.prefetched[i] = is_prefetch;
+        self.pf_class[i] = pf_class & 3;
+        self.reused[i] = false;
+        self.repl.on_fill(set, way, ReplMeta { ip, is_prefetch });
+        if is_prefetch {
+            self.stats.pf_fills += 1;
+            self.stats.fills_by_class[pf_class as usize & 3] += 1;
+        }
+        evicted
+    }
+
+    /// Marks a resident line dirty (write-back arriving from above). Returns
+    /// whether the line was present.
+    pub fn writeback_hit(&mut self, line: LineAddr) -> bool {
+        if let Some(way) = self.find_way(line) {
+            let set = self.set_of(line);
+            let i = self.slot(set, way);
+            self.dirty[i] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues a prefetch request; returns `false` (and counts the drop) when
+    /// the PQ is full.
+    pub fn enqueue_prefetch(&mut self, qp: QueuedPrefetch) -> bool {
+        if self.pq.len() >= self.pq_capacity {
+            self.stats.pf_dropped_pq_full += 1;
+            return false;
+        }
+        self.stats.pf_issued += 1;
+        self.pq.push_back(qp);
+        true
+    }
+
+    /// Peeks at the PQ head.
+    pub fn peek_prefetch(&self) -> Option<&QueuedPrefetch> {
+        self.pq.front()
+    }
+
+    /// Pops the PQ head.
+    pub fn pop_prefetch(&mut self) -> Option<QueuedPrefetch> {
+        self.pq.pop_front()
+    }
+
+    /// Current PQ occupancy.
+    pub fn pq_len(&self) -> usize {
+        self.pq.len()
+    }
+
+    /// Resets statistics (end of warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn l1d() -> Cache {
+        Cache::new(&SimConfig::default().l1d, 1)
+    }
+
+    const IP: Ip = Ip(0x400);
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = l1d();
+        let line = LineAddr::new(0x1000);
+        assert_eq!(c.demand_lookup(line, IP, false), ProbeResult::Miss);
+        c.commit_demand_miss();
+        c.alloc_mshr(Mshr { line, fill_at: 10, is_prefetch: false, pf_class: 0, dirty: false, ip: IP });
+        // Merge while in flight.
+        match c.demand_lookup(line, IP, false) {
+            ProbeResult::MshrMerge { fill_at } => assert_eq!(fill_at, 10),
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert!(c.pop_ready_fill(9).is_none());
+        let m = c.pop_ready_fill(10).unwrap();
+        assert_eq!(m.line, line);
+        c.install(line, IP, false, 0, false);
+        assert!(matches!(c.demand_lookup(line, IP, false), ProbeResult::Hit { .. }));
+        assert_eq!(c.stats.demand_accesses, 3);
+        assert_eq!(c.stats.demand_hits, 1);
+        assert_eq!(c.stats.demand_misses, 2);
+        assert_eq!(c.lifetime_misses(), 2);
+    }
+
+    #[test]
+    fn uncommitted_miss_counts_nothing() {
+        let mut c = l1d();
+        assert_eq!(c.demand_lookup(LineAddr::new(1), IP, false), ProbeResult::Miss);
+        assert_eq!(c.stats.demand_accesses, 0);
+        assert_eq!(c.stats.demand_misses, 0);
+    }
+
+    #[test]
+    fn mshr_full_rejects() {
+        let mut c = l1d();
+        for i in 0..16 {
+            let line = LineAddr::new(0x100 + i);
+            assert_eq!(c.demand_lookup(line, IP, false), ProbeResult::Miss);
+            c.commit_demand_miss();
+            c.alloc_mshr(Mshr { line, fill_at: 100, is_prefetch: false, pf_class: 0, dirty: false, ip: IP });
+        }
+        assert!(!c.mshr_available());
+        assert_eq!(c.demand_lookup(LineAddr::new(0x900), IP, false), ProbeResult::MshrFull);
+        assert_eq!(c.stats.mshr_full_rejects, 1);
+        // Fill one; capacity returns.
+        assert!(c.pop_ready_fill(100).is_some());
+        assert!(c.mshr_available());
+    }
+
+    #[test]
+    fn prefetch_usefulness_tracked() {
+        let mut c = l1d();
+        let line = LineAddr::new(0x2000);
+        c.install(line, IP, true, 3, false);
+        assert_eq!(c.stats.pf_fills, 1);
+        assert_eq!(c.stats.fills_by_class[3], 1);
+        match c.demand_lookup(line, IP, false) {
+            ProbeResult::Hit { first_use_of_prefetch, pf_class } => {
+                assert!(first_use_of_prefetch);
+                assert_eq!(pf_class, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats.useful_prefetch_hits, 1);
+        assert_eq!(c.stats.useful_by_class[3], 1);
+        // Second hit is no longer a first use.
+        match c.demand_lookup(line, IP, false) {
+            ProbeResult::Hit { first_use_of_prefetch, .. } => assert!(!first_use_of_prefetch),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats.useful_prefetch_hits, 1);
+    }
+
+    #[test]
+    fn late_prefetch_merge_counts_useful() {
+        let mut c = l1d();
+        let line = LineAddr::new(0x3000);
+        c.alloc_mshr(Mshr { line, fill_at: 50, is_prefetch: true, pf_class: 1, dirty: false, ip: IP });
+        match c.demand_lookup(line, IP, false) {
+            ProbeResult::MshrMerge { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats.late_prefetch_hits, 1);
+        assert_eq!(c.stats.useful_prefetch_hits, 1);
+        // The fill must now install as a demand line (not prefetched).
+        let m = c.pop_ready_fill(50).unwrap();
+        assert!(!m.is_prefetch);
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch_and_dirty() {
+        // 12-way L1D: fill 13 lines in the same set.
+        let mut c = l1d();
+        let sets = 64u64;
+        // First line: prefetched, never used, dirty via RFO? No — keep it
+        // purely prefetched to check the unused flag.
+        c.install(LineAddr::new(0), IP, true, 2, false);
+        for i in 1..12 {
+            c.install(LineAddr::new(i * sets), IP, false, 0, false);
+            // Touch so LRU victimizes line 0.
+            let _ = c.demand_lookup(LineAddr::new(i * sets), IP, true);
+        }
+        let ev = c.install(LineAddr::new(12 * sets), IP, false, 0, false).unwrap();
+        assert_eq!(ev.line, LineAddr::new(0));
+        assert!(ev.unused_prefetch);
+        assert!(!ev.dirty);
+        assert_eq!(c.stats.pf_useless_evicted, 1);
+        // Dirty eviction: make the set overflow again; victim was stored to.
+        let ev2 = c.install(LineAddr::new(13 * sets), IP, false, 0, false).unwrap();
+        assert!(ev2.dirty, "RFO-touched line must write back");
+    }
+
+    #[test]
+    fn pq_capacity_enforced() {
+        let mut c = l1d(); // PQ = 8
+        let qp = |i: u64| QueuedPrefetch {
+            req: PrefetchRequest::l1(LineAddr::new(i)),
+            pline: LineAddr::new(i),
+            ip: IP,
+        };
+        for i in 0..8 {
+            assert!(c.enqueue_prefetch(qp(i)));
+        }
+        assert!(!c.enqueue_prefetch(qp(99)));
+        assert_eq!(c.stats.pf_dropped_pq_full, 1);
+        assert_eq!(c.stats.pf_issued, 8);
+        assert_eq!(c.pop_prefetch().unwrap().pline, LineAddr::new(0));
+        assert_eq!(c.pq_len(), 7);
+    }
+
+    #[test]
+    fn ports_limit_per_cycle() {
+        let mut c = l1d(); // 2 ports
+        c.begin_cycle();
+        assert!(c.try_take_port());
+        assert!(c.try_take_port());
+        assert!(!c.try_take_port());
+        c.begin_cycle();
+        assert!(c.try_take_port());
+    }
+
+    #[test]
+    fn writeback_hit_sets_dirty() {
+        let mut c = l1d();
+        let line = LineAddr::new(0x77);
+        assert!(!c.writeback_hit(line));
+        c.install(line, IP, false, 0, false);
+        assert!(c.writeback_hit(line));
+    }
+
+    #[test]
+    fn scale_multiplies_resources() {
+        let cfg = SimConfig::default();
+        let llc4 = Cache::new(&cfg.llc, 4);
+        assert_eq!(llc4.sets, 8192); // 8 MB / 64 B / 16 ways
+        assert_eq!(llc4.mshrs.len(), 256);
+        assert_eq!(llc4.pq_capacity, 128);
+    }
+}

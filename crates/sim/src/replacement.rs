@@ -1,0 +1,364 @@
+//! Cache replacement policies for the Section VI-C sensitivity study.
+//!
+//! The simulator's caches delegate victim selection and recency updates to a
+//! [`Replacement`] object. LRU is the ChampSim default used for all headline
+//! numbers; SRRIP / DRRIP / SHiP-lite / Random exist to reproduce the paper's
+//! claim that IPCP is resilient to the underlying replacement policy.
+
+use ipcp_mem::Ip;
+
+use crate::config::ReplacementKind;
+
+/// Per-access context handed to the replacement policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplMeta {
+    /// IP of the triggering instruction (0 for prefetches/writebacks).
+    pub ip: Ip,
+    /// True when the fill is a prefetch.
+    pub is_prefetch: bool,
+}
+
+/// A cache replacement policy. One instance serves one cache; policies keep
+/// whatever per-set/per-way state they need internally.
+pub trait Replacement: Send {
+    /// Called when a line is filled into `(set, way)`.
+    fn on_fill(&mut self, set: usize, way: usize, meta: ReplMeta);
+
+    /// Called on a demand hit to `(set, way)`.
+    fn on_hit(&mut self, set: usize, way: usize, meta: ReplMeta);
+
+    /// Called when `(set, way)` is evicted; `was_reused` says whether the
+    /// line saw a demand hit while resident.
+    fn on_evict(&mut self, set: usize, way: usize, was_reused: bool);
+
+    /// Chooses a victim way within `set`. All ways are valid when this is
+    /// called (the cache fills invalid ways first on its own).
+    fn victim(&mut self, set: usize) -> usize;
+}
+
+/// Builds the policy selected by `kind` for a cache with the given geometry.
+pub fn build(kind: ReplacementKind, sets: usize, ways: usize) -> Box<dyn Replacement> {
+    match kind {
+        ReplacementKind::Lru => Box::new(Lru::new(sets, ways)),
+        ReplacementKind::Srrip => Box::new(Rrip::new_static(sets, ways)),
+        ReplacementKind::Drrip => Box::new(Rrip::new_dynamic(sets, ways)),
+        ReplacementKind::Ship => Box::new(ShipLite::new(sets, ways)),
+        ReplacementKind::Random => Box::new(RandomRepl::new(sets, ways)),
+    }
+}
+
+/// True least-recently-used via a monotonic per-cache timestamp.
+#[derive(Debug)]
+pub struct Lru {
+    ways: usize,
+    stamp: u64,
+    last_use: Vec<u64>,
+}
+
+impl Lru {
+    /// Creates an LRU policy for `sets` × `ways`.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self { ways, stamp: 0, last_use: vec![0; sets * ways] }
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.stamp += 1;
+        self.last_use[set * self.ways + way] = self.stamp;
+    }
+}
+
+impl Replacement for Lru {
+    fn on_fill(&mut self, set: usize, way: usize, _meta: ReplMeta) {
+        self.touch(set, way);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: ReplMeta) {
+        self.touch(set, way);
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _was_reused: bool) {}
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        let slice = &self.last_use[base..base + self.ways];
+        slice
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &ts)| ts)
+            .map(|(w, _)| w)
+            .expect("ways > 0")
+    }
+}
+
+const RRPV_MAX: u8 = 3;
+const PSEL_MAX: i16 = 1023;
+const DUEL_SETS: usize = 32;
+
+/// SRRIP / DRRIP (2-bit re-reference interval prediction).
+#[derive(Debug)]
+pub struct Rrip {
+    ways: usize,
+    rrpv: Vec<u8>,
+    dynamic: bool,
+    /// DRRIP set-dueling selector: positive favors BRRIP.
+    psel: i16,
+    brrip_toggle: u32,
+}
+
+impl Rrip {
+    /// Static RRIP: every fill inserts at RRPV = 2.
+    pub fn new_static(sets: usize, ways: usize) -> Self {
+        Self { ways, rrpv: vec![RRPV_MAX; sets * ways], dynamic: false, psel: 0, brrip_toggle: 0 }
+    }
+
+    /// Dynamic RRIP with set dueling between SRRIP and BRRIP.
+    pub fn new_dynamic(sets: usize, ways: usize) -> Self {
+        Self { ways, rrpv: vec![RRPV_MAX; sets * ways], dynamic: true, psel: 0, brrip_toggle: 0 }
+    }
+
+    fn leader(&self, set: usize) -> Option<bool> {
+        // Interleave leader sets: every DUEL_SETS-th set leads SRRIP, the
+        // next one leads BRRIP. Returns Some(true) for SRRIP leaders.
+        match set % DUEL_SETS {
+            0 => Some(true),
+            1 => Some(false),
+            _ => None,
+        }
+    }
+
+    fn insert_rrpv(&mut self, set: usize) -> u8 {
+        if !self.dynamic {
+            return RRPV_MAX - 1;
+        }
+        let use_brrip = match self.leader(set) {
+            Some(true) => false,
+            Some(false) => true,
+            None => self.psel > 0,
+        };
+        if use_brrip {
+            // BRRIP: mostly distant (RRPV max), occasionally long (max-1).
+            self.brrip_toggle = self.brrip_toggle.wrapping_add(1);
+            if self.brrip_toggle.is_multiple_of(32) {
+                RRPV_MAX - 1
+            } else {
+                RRPV_MAX
+            }
+        } else {
+            RRPV_MAX - 1
+        }
+    }
+}
+
+impl Replacement for Rrip {
+    fn on_fill(&mut self, set: usize, way: usize, _meta: ReplMeta) {
+        let ins = self.insert_rrpv(set);
+        self.rrpv[set * self.ways + way] = ins;
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: ReplMeta) {
+        self.rrpv[set * self.ways + way] = 0;
+        if self.dynamic {
+            // A hit in a leader set rewards that leader's policy.
+            match self.leader(set) {
+                Some(true) => self.psel = (self.psel - 1).max(-PSEL_MAX),
+                Some(false) => self.psel = (self.psel + 1).min(PSEL_MAX),
+                None => {}
+            }
+        }
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _was_reused: bool) {}
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] == RRPV_MAX) {
+                return w;
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+}
+
+const SHCT_ENTRIES: usize = 1024;
+
+/// SHiP-lite: signature-based hit prediction layered on RRIP.
+#[derive(Debug)]
+pub struct ShipLite {
+    ways: usize,
+    rrpv: Vec<u8>,
+    sig: Vec<u16>,
+    shct: Vec<u8>,
+}
+
+impl ShipLite {
+    /// Creates a SHiP-lite policy.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            sig: vec![0; sets * ways],
+            shct: vec![1; SHCT_ENTRIES],
+        }
+    }
+
+    fn signature(meta: ReplMeta) -> u16 {
+        if meta.is_prefetch {
+            // All prefetches share one signature bucket.
+            (SHCT_ENTRIES - 1) as u16
+        } else {
+            ((meta.ip.raw() >> 2) % (SHCT_ENTRIES as u64 - 1)) as u16
+        }
+    }
+}
+
+impl Replacement for ShipLite {
+    fn on_fill(&mut self, set: usize, way: usize, meta: ReplMeta) {
+        let idx = set * self.ways + way;
+        let sig = Self::signature(meta);
+        self.sig[idx] = sig;
+        let predicted_dead = self.shct[sig as usize] == 0;
+        self.rrpv[idx] = if predicted_dead { RRPV_MAX } else { RRPV_MAX - 1 };
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _meta: ReplMeta) {
+        let idx = set * self.ways + way;
+        self.rrpv[idx] = 0;
+        let sig = self.sig[idx] as usize;
+        self.shct[sig] = (self.shct[sig] + 1).min(3);
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, was_reused: bool) {
+        if !was_reused {
+            let sig = self.sig[set * self.ways + way] as usize;
+            self.shct[sig] = self.shct[sig].saturating_sub(1);
+        }
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(w) = (0..self.ways).find(|&w| self.rrpv[base + w] == RRPV_MAX) {
+                return w;
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random victim selection (xorshift64).
+#[derive(Debug)]
+pub struct RandomRepl {
+    ways: usize,
+    state: u64,
+}
+
+impl RandomRepl {
+    /// Creates a random policy; seeded from the geometry for determinism.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self { ways, state: (sets as u64) << 32 | ways as u64 | 0x9e37_79b9 }
+    }
+}
+
+impl Replacement for RandomRepl {
+    fn on_fill(&mut self, _set: usize, _way: usize, _meta: ReplMeta) {}
+    fn on_hit(&mut self, _set: usize, _way: usize, _meta: ReplMeta) {}
+    fn on_evict(&mut self, _set: usize, _way: usize, _was_reused: bool) {}
+
+    fn victim(&mut self, _set: usize) -> usize {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        (x % self.ways as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: ReplMeta = ReplMeta { ip: Ip(0x40), is_prefetch: false };
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut lru = Lru::new(1, 4);
+        for w in 0..4 {
+            lru.on_fill(0, w, META);
+        }
+        lru.on_hit(0, 0, META); // way 0 is now most recent, way 1 least
+        assert_eq!(lru.victim(0), 1);
+        lru.on_hit(0, 1, META);
+        assert_eq!(lru.victim(0), 2);
+    }
+
+    #[test]
+    fn srrip_victimizes_distant() {
+        let mut r = Rrip::new_static(1, 4);
+        for w in 0..4 {
+            r.on_fill(0, w, META);
+        }
+        r.on_hit(0, 2, META); // rrpv 0
+        // All others are at 2; aging pushes them to 3 before way 2.
+        let v = r.victim(0);
+        assert_ne!(v, 2);
+    }
+
+    #[test]
+    fn drrip_psel_moves() {
+        let mut r = Rrip::new_dynamic(64, 4);
+        let before = r.psel;
+        r.on_hit(0, 0, META); // set 0 is an SRRIP leader → psel decrements
+        assert!(r.psel < before);
+        r.on_hit(1, 0, META); // set 1 is a BRRIP leader → psel increments
+        r.on_hit(1, 0, META);
+        assert!(r.psel > before - 1);
+    }
+
+    #[test]
+    fn ship_learns_dead_signature() {
+        let mut s = ShipLite::new(1, 2);
+        let dead_ip = ReplMeta { ip: Ip(0x1234), is_prefetch: false };
+        // Evict the same signature unused until its counter hits zero.
+        s.on_fill(0, 0, dead_ip);
+        s.on_evict(0, 0, false);
+        s.on_fill(0, 0, dead_ip);
+        s.on_evict(0, 0, false);
+        // Next fill from that signature should be inserted distant (RRPV max).
+        s.on_fill(0, 0, dead_ip);
+        assert_eq!(s.rrpv[0], RRPV_MAX);
+    }
+
+    #[test]
+    fn random_in_range_and_deterministic() {
+        let mut a = RandomRepl::new(16, 8);
+        let mut b = RandomRepl::new(16, 8);
+        for _ in 0..100 {
+            let va = a.victim(0);
+            assert_eq!(va, b.victim(0));
+            assert!(va < 8);
+        }
+    }
+
+    #[test]
+    fn build_constructs_all_kinds() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Drrip,
+            ReplacementKind::Ship,
+            ReplacementKind::Random,
+        ] {
+            let mut p = build(kind, 4, 4);
+            for w in 0..4 {
+                p.on_fill(0, w, META);
+            }
+            assert!(p.victim(0) < 4);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests on simulator invariants: arbitrary access sequences must
+//! keep every counter and structure consistent.
+
+use proptest::prelude::*;
+
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::cache::{Cache, Mshr, ProbeResult};
+use ipcp_sim::config::SimConfig;
+use ipcp_sim::prefetch::PrefetchRequest;
+use ipcp_sim::cache::QueuedPrefetch;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Demand { line: u64, write: bool },
+    Fill { advance: u64 },
+    Prefetch { line: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..4096, any::<bool>()).prop_map(|(line, write)| Op::Demand { line, write }),
+        (1u64..400).prop_map(|advance| Op::Fill { advance }),
+        (0u64..4096).prop_map(|line| Op::Prefetch { line }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random demand/fill/prefetch interleavings never violate cache
+    /// accounting: accesses = hits + misses, MSHR occupancy bounded, no
+    /// line both resident and in flight, useful ≤ fills + merges.
+    #[test]
+    fn cache_accounting_holds(ops in proptest::collection::vec(arb_op(), 1..600)) {
+        let cfg = SimConfig::default();
+        let mut c = Cache::new(&cfg.l1d, 1);
+        let mut now = 0u64;
+        let ip = Ip(0x400);
+        for op in ops {
+            match op {
+                Op::Demand { line, write } => {
+                    let line = LineAddr::new(line);
+                    match c.demand_lookup(line, ip, write) {
+                        ProbeResult::Miss => {
+                            if c.mshr_available() {
+                                c.commit_demand_miss();
+                                c.alloc_mshr(Mshr {
+                                    line,
+                                    fill_at: now + 200,
+                                    is_prefetch: false,
+                                    pf_class: 0,
+                                    dirty: write,
+                                    ip,
+                                });
+                            }
+                        }
+                        ProbeResult::Hit { .. } | ProbeResult::MshrMerge { .. } | ProbeResult::MshrFull => {}
+                    }
+                }
+                Op::Fill { advance } => {
+                    now += advance;
+                    while let Some(m) = c.pop_ready_fill(now) {
+                        // A fill's line must not already be resident.
+                        prop_assert!(!c.contains(m.line), "double fill of {:?}", m.line);
+                        c.install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+                    }
+                }
+                Op::Prefetch { line } => {
+                    let line = LineAddr::new(line);
+                    if let ProbeResult::Miss = c.prefetch_probe(line) {
+                        if c.mshr_available() {
+                            c.alloc_mshr(Mshr {
+                                line,
+                                fill_at: now + 150,
+                                is_prefetch: true,
+                                pf_class: 1,
+                                dirty: false,
+                                ip,
+                            });
+                        }
+                    }
+                    let _ = c.enqueue_prefetch(QueuedPrefetch {
+                        req: PrefetchRequest::l1(line),
+                        pline: line,
+                        ip,
+                    });
+                }
+            }
+            let s = c.stats;
+            prop_assert_eq!(s.demand_accesses, s.demand_hits + s.demand_misses);
+            prop_assert!(s.useful_prefetch_hits <= s.pf_fills + s.late_prefetch_hits + s.demand_hits);
+            prop_assert!(c.mshr_occupancy() <= 16);
+            prop_assert!(c.pq_len() <= 8);
+        }
+    }
+}
+
+#[test]
+fn tlb_translation_is_a_function() {
+    // The same vpage must always map to the same frame, across DTLB/STLB
+    // hits, evictions, and walks.
+    use ipcp_sim::tlb::Tlb;
+    use ipcp_sim::vmem::PageMapper;
+    use ipcp_mem::VPage;
+
+    let mut tlb = Tlb::new(&SimConfig::default().tlb);
+    let mut mapper = PageMapper::new(99);
+    let mut seen = std::collections::HashMap::new();
+    // A sweep large enough to force DTLB and STLB evictions.
+    for round in 0..3 {
+        for v in 0..4000u64 {
+            let (p, _) = tlb.translate(VPage::new(v), &mut mapper);
+            if let Some(&prev) = seen.get(&v) {
+                assert_eq!(p, prev, "vpage {v} remapped in round {round}");
+            } else {
+                seen.insert(v, p);
+            }
+        }
+    }
+    // All frames distinct (the mapper is injective).
+    let frames: std::collections::HashSet<_> = seen.values().collect();
+    assert_eq!(frames.len(), seen.len());
+}

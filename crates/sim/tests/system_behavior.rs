@@ -1,0 +1,177 @@
+//! Behavioral tests for the system model: warm-up accounting, write-back
+//! traffic, instruction-fetch pressure, port limits, and the prefetch
+//! fill-level plumbing.
+
+use std::sync::Arc;
+
+use ipcp_sim::prefetch::{
+    AccessInfo, FillLevel, NoPrefetcher, PrefetchRequest, PrefetchSink, Prefetcher,
+};
+use ipcp_sim::{run_single, SimConfig};
+use ipcp_trace::{Instr, VecTrace};
+
+fn cfg(warmup: u64, sim: u64) -> SimConfig {
+    SimConfig::default().with_instructions(warmup, sim)
+}
+
+fn stream_trace(name: &str, loads: u64, stride_lines: u64, pad: u64) -> Arc<VecTrace> {
+    let mut v = Vec::new();
+    for i in 0..loads {
+        v.push(Instr::load(0x40_0000, 0x100_0000 + i * stride_lines * 64));
+        for k in 0..pad {
+            v.push(Instr::nop(0x40_0100 + (k % 8) * 4));
+        }
+    }
+    Arc::new(VecTrace::new(name, v))
+}
+
+#[test]
+fn warmup_resets_measured_counters() {
+    // A trace whose first phase misses (cold) and then loops in cache:
+    // with a warm-up longer than the cold phase, measured misses are ~0.
+    let mut v = Vec::new();
+    for rep in 0..600 {
+        for l in 0..128u64 {
+            v.push(Instr::load(0x40_0000, 0x20_0000 + l * 64));
+            v.push(Instr::nop(0x40_0104));
+        }
+        let _ = rep;
+    }
+    let t = Arc::new(VecTrace::new("loop", v));
+    let r = run_single(cfg(40_000, 80_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let l1 = &r.cores[0].l1d;
+    assert!(l1.demand_misses < 20, "measured phase must be warm: {} misses", l1.demand_misses);
+    assert!(l1.demand_accesses > 20_000);
+}
+
+#[test]
+fn stores_generate_writeback_traffic() {
+    // A store stream larger than the whole hierarchy must produce DRAM
+    // writes roughly matching its footprint.
+    let mut v = Vec::new();
+    for i in 0..120_000u64 {
+        v.push(Instr::store(0x40_0000, 0x1000_0000 + i * 64));
+        v.push(Instr::nop(0x40_0104));
+        v.push(Instr::nop(0x40_0108));
+    }
+    let t = Arc::new(VecTrace::new("stores", v));
+    let r = run_single(cfg(20_000, 200_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    assert!(r.dram.writes > 10_000, "dirty evictions must reach DRAM: {} writes", r.dram.writes);
+    assert!(r.cores[0].l1d.writebacks > 10_000);
+}
+
+#[test]
+fn instruction_footprint_pressures_l1i() {
+    // Thousands of distinct instruction lines force L1I misses.
+    let mut v = Vec::new();
+    for rep in 0..40u64 {
+        for ip_line in 0..4096u64 {
+            v.push(Instr::nop(0x100_0000 + ip_line * 64 + (rep % 2) * 4));
+        }
+    }
+    let t = Arc::new(VecTrace::new("bigcode", v));
+    let r = run_single(cfg(10_000, 100_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    assert!(r.cores[0].l1i.demand_misses > 1_000, "L1I misses: {}", r.cores[0].l1i.demand_misses);
+    // And the small-code control: near-zero I-misses.
+    let small = stream_trace("smallcode", 30_000, 1, 2);
+    let r2 = run_single(cfg(10_000, 60_000), small, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    assert!(r2.cores[0].l1i.demand_misses < 50);
+}
+
+#[test]
+fn l1d_ports_bound_throughput() {
+    // An all-load resident trace cannot exceed 2 loads/cycle (2 L1D ports),
+    // even though the core is 4-wide.
+    let mut v = Vec::new();
+    for rep in 0..800u64 {
+        for l in 0..64u64 {
+            v.push(Instr::load(0x40_0000, 0x20_0000 + l * 64));
+        }
+        let _ = rep;
+    }
+    let t = Arc::new(VecTrace::new("allloads", v));
+    let r = run_single(cfg(5_000, 40_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let ipc = r.ipc();
+    assert!(ipc <= 2.05, "port limit violated: IPC {ipc}");
+    assert!(ipc > 1.5, "ports should still sustain ~2/cycle: IPC {ipc}");
+}
+
+/// Prefetcher that tags requests for a chosen fill level.
+struct FillAt(FillLevel);
+impl Prefetcher for FillAt {
+    fn name(&self) -> &'static str {
+        "fill-at"
+    }
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        for k in 1..=2 {
+            if let Some(t) = info.vline.offset_within_page(k) {
+                sink.prefetch(PrefetchRequest {
+                    line: t,
+                    virtual_addr: true,
+                    fill: self.0,
+                    pf_class: 0,
+                    meta: None,
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn fill_levels_route_to_their_caches() {
+    let t = || stream_trace("s", 60_000, 1, 3);
+    let l1fill = run_single(cfg(10_000, 80_000), t(), Box::new(FillAt(FillLevel::L1)), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let l2fill = run_single(cfg(10_000, 80_000), t(), Box::new(FillAt(FillLevel::L2)), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    assert!(l1fill.cores[0].l1d.pf_fills + l1fill.cores[0].l1d.late_prefetch_hits > 1_000);
+    assert_eq!(l2fill.cores[0].l1d.pf_fills, 0, "L2-targeted prefetches must not fill L1");
+    let l2_landed = l2fill.cores[0].l2.pf_fills + l2fill.cores[0].l2.late_prefetch_hits;
+    assert!(l2_landed > 1_000, "L2-targeted prefetches must land at L2 (fills or merges): {l2_landed}");
+    // Filling to L1 must serve demands at least as well as filling to L2.
+    assert!(l1fill.ipc() >= l2fill.ipc() * 0.95);
+}
+
+#[test]
+fn page_walks_cost_cycles() {
+    // Page-crossing stride (64 lines) touches a new page per load: far more
+    // TLB walks than a dense stream, and a lower IPC for the same load count.
+    let sparse = stream_trace("sparse", 40_000, 64, 3);
+    let dense = stream_trace("dense", 40_000, 1, 3);
+    let rs = run_single(cfg(5_000, 40_000), sparse, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let rd = run_single(cfg(5_000, 40_000), dense, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    assert!(
+        rs.cores[0].tlb.stlb_misses > rd.cores[0].tlb.stlb_misses * 10,
+        "sparse: {} walks, dense: {}",
+        rs.cores[0].tlb.stlb_misses,
+        rd.cores[0].tlb.stlb_misses
+    );
+}
+
+#[test]
+fn pq_capacity_drops_are_counted() {
+    /// Degree-16 flood: guaranteed to overflow the 8-entry L1 PQ.
+    struct Flood;
+    impl Prefetcher for Flood {
+        fn name(&self) -> &'static str {
+            "flood"
+        }
+        fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+            for k in 1..=16 {
+                if let Some(t) = info.vline.offset_within_page(k) {
+                    sink.prefetch(PrefetchRequest {
+                        line: t,
+                        virtual_addr: true,
+                        fill: FillLevel::L1,
+                        pf_class: 0,
+                        meta: None,
+                    });
+                }
+            }
+        }
+    }
+    let t = stream_trace("s", 40_000, 3, 2);
+    let r = run_single(cfg(5_000, 40_000), t, Box::new(Flood), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    assert!(
+        r.cores[0].l1d.pf_dropped_pq_full > 0,
+        "a degree-16 flood must overflow the 8-entry PQ"
+    );
+}

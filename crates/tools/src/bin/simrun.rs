@@ -1,0 +1,72 @@
+//! `simrun` — run one simulation and print the report.
+//!
+//! ```text
+//! simrun <suite-trace-name | file.trace> [--combo ipcp] [--warmup N]
+//!        [--instructions N] [--baseline]   # also run no-prefetching and
+//!                                          # report the speedup
+//! ```
+
+use std::sync::Arc;
+
+use ipcp_bench::combos;
+use ipcp_sim::{run_single, SimConfig, SimReport};
+use ipcp_tools::Args;
+use ipcp_trace::{TraceReader, TraceSource, VecTrace};
+
+fn load(name: &str) -> Arc<dyn TraceSource + Send + Sync> {
+    if std::path::Path::new(name).exists() {
+        let data = std::fs::read(name).expect("read trace file");
+        let instrs = TraceReader::new(&data[..])
+            .collect::<Result<Vec<_>, _>>()
+            .expect("decode trace file");
+        Arc::new(VecTrace::new(name, instrs))
+    } else {
+        match ipcp_workloads::by_name(name) {
+            Some(t) => Arc::new(t),
+            None => {
+                eprintln!("{name:?} is neither a file nor a suite trace; try tracegen --list");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn run(trace: Arc<dyn TraceSource + Send + Sync>, combo: &str, warmup: u64, instrs: u64) -> SimReport {
+    let cfg = SimConfig::default().with_instructions(warmup, instrs);
+    let c = combos::build(combo);
+    run_single(cfg, trace, c.l1, c.l2, c.llc)
+}
+
+fn main() {
+    let args = Args::parse();
+    let [name] = &args.positional[..] else {
+        eprintln!("usage: simrun <trace-name|file.trace> [--combo ipcp] [--warmup N] [--instructions N] [--baseline]");
+        std::process::exit(2);
+    };
+    let combo: String = args.get_or("combo", "ipcp".to_string());
+    let warmup: u64 = args.get_or("warmup", 100_000);
+    let instrs: u64 = args.get_or("instructions", 400_000);
+
+    let trace = load(name);
+    let r = run(trace.clone(), &combo, warmup, instrs);
+    println!("== {combo} on {name}");
+    print!("{r}");
+    let l1 = &r.cores[0].l1d;
+    println!(
+        "L1D prefetch: issued {} filled {} useful {} useless-evicted {} (accuracy {:.2})",
+        l1.pf_issued,
+        l1.pf_fills,
+        l1.useful_prefetch_hits,
+        l1.pf_useless_evicted,
+        l1.accuracy().unwrap_or(0.0),
+    );
+    if args.has_flag("baseline") {
+        let base = run(trace, "none", warmup, instrs);
+        println!(
+            "speedup vs no prefetching: {:.3} ({:.3} -> {:.3} IPC)",
+            r.ipc() / base.ipc(),
+            base.ipc(),
+            r.ipc()
+        );
+    }
+}

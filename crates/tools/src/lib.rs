@@ -1,0 +1,94 @@
+//! Shared argument-parsing helpers for the IPCP command-line tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A minimal `--key value` / positional argument parser (keeps the tools
+/// dependency-free).
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag`s.
+    pub flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the program name).
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse_from(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        out.options.insert(key.to_string(), v);
+                    }
+                    _ => out.flags.push(key.to_string()),
+                }
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Option value parsed to `T`, or the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message if the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.options.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key}: cannot parse {v:?}")),
+            None => default,
+        }
+    }
+
+    /// True when `--flag` was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let a = parse("trace.bin --combo ipcp --instructions 1000 --verbose");
+        assert_eq!(a.positional, vec!["trace.bin"]);
+        assert_eq!(a.options["combo"], "ipcp");
+        assert_eq!(a.get_or("instructions", 0u64), 1000);
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("x");
+        assert_eq!(a.get_or("n", 7u32), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot parse")]
+    fn bad_value_panics() {
+        let a = parse("--n abc");
+        let _: u32 = a.get_or("n", 0);
+    }
+}

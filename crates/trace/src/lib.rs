@@ -1,0 +1,314 @@
+//! Instruction-trace format and streaming sources.
+//!
+//! The paper drives ChampSim with SPEC CPU 2017 sim-point traces. This crate
+//! defines the equivalent artifact for the reproduction: a stream of
+//! [`Instr`] records, each an instruction with an optional single memory
+//! operand. Streams come either from a synthetic generator (see the
+//! `ipcp-workloads` crate) or from a compact binary file written by
+//! [`write_trace`] and read back with [`TraceReader`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ipcp_trace::{Instr, MemOp, write_trace, TraceReader};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let instrs = vec![
+//!     Instr::load(0x400000, 0x10000),
+//!     Instr::nop(0x400004),
+//!     Instr::store(0x400008, 0x10040),
+//! ];
+//! let mut buf = Vec::new();
+//! write_trace(&mut buf, instrs.iter().copied())?;
+//! let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>()?;
+//! assert_eq!(back, instrs);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+
+use ipcp_mem::{Ip, VAddr};
+
+/// The memory behaviour of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum MemOp {
+    /// No memory operand (ALU/branch/...).
+    #[default]
+    None,
+    /// A data load from the given virtual address.
+    Load(VAddr),
+    /// A data store to the given virtual address.
+    Store(VAddr),
+}
+
+
+/// One traced instruction: an instruction pointer plus at most one memory
+/// operand. This is a deliberate simplification of ChampSim's up-to-four
+/// source / two destination operands: the workloads in this reproduction are
+/// memory-pattern generators, and one operand per instruction reaches the
+/// same cache-access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Instr {
+    /// The instruction pointer.
+    pub ip: Ip,
+    /// The instruction's memory operand, if any.
+    pub mem: MemOp,
+}
+
+impl Instr {
+    /// A non-memory instruction at `ip`.
+    pub fn nop(ip: u64) -> Self {
+        Self { ip: Ip(ip), mem: MemOp::None }
+    }
+
+    /// A load instruction.
+    pub fn load(ip: u64, vaddr: u64) -> Self {
+        Self { ip: Ip(ip), mem: MemOp::Load(VAddr::new(vaddr)) }
+    }
+
+    /// A store instruction.
+    pub fn store(ip: u64, vaddr: u64) -> Self {
+        Self { ip: Ip(ip), mem: MemOp::Store(VAddr::new(vaddr)) }
+    }
+
+    /// True when the instruction has a memory operand.
+    pub fn is_mem(&self) -> bool {
+        !matches!(self.mem, MemOp::None)
+    }
+
+    /// The memory operand's virtual address, if any.
+    pub fn vaddr(&self) -> Option<VAddr> {
+        match self.mem {
+            MemOp::None => None,
+            MemOp::Load(a) | MemOp::Store(a) => Some(a),
+        }
+    }
+}
+
+/// A restartable instruction stream.
+///
+/// Multi-core mixes replay a workload "until all benchmarks finish their
+/// 200 M instructions" (Section VI); restartability is what makes that
+/// possible without buffering whole traces in memory. Streams are
+/// `'static` so the simulator can own them outright; synthetic generators
+/// capture their (cheaply cloned) parameters.
+pub trait TraceSource {
+    /// A short, stable identifier (used in result tables, e.g. `bwaves-like`).
+    fn name(&self) -> &str;
+
+    /// Opens a fresh stream from the beginning of the trace.
+    fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send>;
+}
+
+/// A [`TraceSource`] backed by an in-memory vector. Mostly for tests.
+#[derive(Debug, Clone, Default)]
+pub struct VecTrace {
+    name: String,
+    instrs: std::sync::Arc<Vec<Instr>>,
+}
+
+impl VecTrace {
+    /// Wraps a vector of instructions as a named trace.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        Self { name: name.into(), instrs: std::sync::Arc::new(instrs) }
+    }
+
+    /// Number of instructions in the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+impl TraceSource for VecTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
+        let v = std::sync::Arc::clone(&self.instrs);
+        Box::new((0..v.len()).map(move |i| v[i]))
+    }
+}
+
+const RECORD_BYTES: usize = 17;
+const KIND_NONE: u8 = 0;
+const KIND_LOAD: u8 = 1;
+const KIND_STORE: u8 = 2;
+/// Magic header identifying a trace file.
+pub const TRACE_MAGIC: &[u8; 8] = b"IPCPTRC1";
+
+/// Writes a trace in the crate's compact binary format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(mut w: W, instrs: impl IntoIterator<Item = Instr>) -> io::Result<u64> {
+    w.write_all(TRACE_MAGIC)?;
+    let mut n = 0u64;
+    for instr in instrs {
+        let mut rec = [0u8; RECORD_BYTES];
+        rec[..8].copy_from_slice(&instr.ip.raw().to_le_bytes());
+        let (kind, addr) = match instr.mem {
+            MemOp::None => (KIND_NONE, 0),
+            MemOp::Load(a) => (KIND_LOAD, a.raw()),
+            MemOp::Store(a) => (KIND_STORE, a.raw()),
+        };
+        rec[8] = kind;
+        rec[9..].copy_from_slice(&addr.to_le_bytes());
+        w.write_all(&rec)?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Streaming reader for the binary trace format produced by [`write_trace`].
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    inner: R,
+    checked_magic: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a reader positioned at the start of a trace file.
+    pub fn new(inner: R) -> Self {
+        Self { inner, checked_magic: false }
+    }
+
+    /// Consumes the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn read_record(&mut self) -> io::Result<Option<Instr>> {
+        if !self.checked_magic {
+            let mut magic = [0u8; 8];
+            self.inner.read_exact(&mut magic)?;
+            if &magic != TRACE_MAGIC {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+            }
+            self.checked_magic = true;
+        }
+        let mut rec = [0u8; RECORD_BYTES];
+        match self.inner.read_exact(&mut rec[..1]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        // First byte of the record is the low byte of the IP; read the rest.
+        self.inner.read_exact(&mut rec[1..])?;
+        let ip = u64::from_le_bytes(rec[..8].try_into().expect("8 bytes"));
+        let addr = u64::from_le_bytes(rec[9..].try_into().expect("8 bytes"));
+        let mem = match rec[8] {
+            KIND_NONE => MemOp::None,
+            KIND_LOAD => MemOp::Load(VAddr::new(addr)),
+            KIND_STORE => MemOp::Store(VAddr::new(addr)),
+            k => {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad mem-op kind {k}")));
+            }
+        };
+        Ok(Some(Instr { ip: Ip(ip), mem }))
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = io::Result<Instr>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.read_record().transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn instr_constructors() {
+        let l = Instr::load(0x10, 0x2000);
+        assert!(l.is_mem());
+        assert_eq!(l.vaddr(), Some(VAddr::new(0x2000)));
+        let n = Instr::nop(0x14);
+        assert!(!n.is_mem());
+        assert_eq!(n.vaddr(), None);
+        let s = Instr::store(0x18, 0x3000);
+        assert_eq!(s.mem, MemOp::Store(VAddr::new(0x3000)));
+    }
+
+    #[test]
+    fn vec_trace_restartable() {
+        let t = VecTrace::new("t", vec![Instr::nop(1), Instr::load(2, 64)]);
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.len(), 2);
+        let a: Vec<_> = t.stream().collect();
+        let b: Vec<_> = t.stream().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(buf.len(), 8);
+        let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOTATRCE".to_vec();
+        let err = TraceReader::new(&buf[..]).next().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [Instr::nop(0)]).unwrap();
+        buf[8 + 8] = 9; // corrupt the kind byte of the first record
+        let err = TraceReader::new(&buf[..])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [Instr::load(1, 64)]).unwrap();
+        buf.truncate(buf.len() - 3);
+        let results: Vec<_> = TraceReader::new(&buf[..]).collect();
+        assert!(results.last().unwrap().is_err());
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instr> {
+        (any::<u64>(), 0u8..3, any::<u64>()).prop_map(|(ip, kind, addr)| match kind {
+            0 => Instr::nop(ip),
+            1 => Instr::load(ip, addr),
+            _ => Instr::store(ip, addr),
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(instrs in proptest::collection::vec(arb_instr(), 0..200)) {
+            let mut buf = Vec::new();
+            let n = write_trace(&mut buf, instrs.iter().copied()).unwrap();
+            prop_assert_eq!(n as usize, instrs.len());
+            prop_assert_eq!(buf.len(), 8 + instrs.len() * RECORD_BYTES);
+            let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+            prop_assert_eq!(back, instrs);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic workload generators standing in for the paper's SPEC CPU 2017 /
+//! CloudSuite / CNN-RNN traces.
+//!
+//! The DPC-3 sim-point traces the paper uses are not redistributable, so
+//! this crate generates deterministic instruction streams that reproduce the
+//! *pattern classes* those benchmarks exhibit — the quantity IPCP and every
+//! baseline prefetcher actually classifies. See `DESIGN.md` §4.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipcp_trace::TraceSource;
+//! use ipcp_workloads::gen::constant_stride;
+//!
+//! let t = constant_stride("demo", 2, 3, 2, 1 << 16, 42);
+//! let first: Vec<_> = t.stream().take(10).collect();
+//! let again: Vec<_> = t.stream().take(10).collect();
+//! assert_eq!(first, again); // streams are reproducible
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod rng;
+pub mod suites;
+
+pub use gen::SynthTrace;
+pub use suites::{by_name, cloud_suite, full_suite, memory_intensive_suite, nn_suite};

@@ -1,0 +1,211 @@
+//! Named workload suites mirroring the paper's evaluation sets.
+//!
+//! * [`memory_intensive_suite`] — the stand-in for the 46 memory-intensive
+//!   SPEC CPU 2017 traces (LLC MPKI ≥ 1).
+//! * [`full_suite`] — adds cache-resident / low-MPKI members, standing in
+//!   for the full 98-trace suite.
+//! * [`cloud_suite`] — the five CloudSuite benchmarks of Fig. 14(a).
+//! * [`nn_suite`] — the seven CNN/RNN benchmarks of Fig. 14(b).
+//!
+//! Every intensive trace is a [`blend`] of a pattern stream (whose accesses
+//! are the cold misses) with a cache-resident hot set (whose accesses hit) —
+//! the *dilution* weight sets instructions-per-miss, and therefore MPKI and
+//! how much DRAM-bandwidth headroom a prefetcher has to play with. Heavy
+//! traces (`mcf`, `lbm`) sit near the bus limit, where the paper too sees
+//! the smallest gains; sparse-miss traces (`gcc-2226B`-like) are
+//! latency-bound with few overlapping misses, where the paper sees its
+//! largest gains (up to 380 %).
+//!
+//! Names carry the pattern class they model (`-cs`, `-cplx`, `-gs`, `-irr`,
+//! `-nest`, …) so result tables remain interpretable next to the paper's
+//! benchmark names.
+
+use crate::gen::{
+    blend, complex_stride, constant_stride, global_stream, large_code, nested_loop, phased,
+    pointer_chase, resident, server, sparse, tensor_streams, SynthTrace,
+};
+
+/// 64 MB footprints (in cache lines) — large enough that the pattern stream
+/// never becomes cache-resident.
+const BIG: u64 = (64 << 20) / 64;
+/// 16 MB footprint.
+const MID: u64 = (16 << 20) / 64;
+
+/// Blends a pattern stream with a hot working set: one stream instruction
+/// per `dilution` hot/compute instructions.
+fn intensive(name: &str, pattern: SynthTrace, dilution: u32) -> SynthTrace {
+    blend(name, vec![(pattern, 1), (resident("hot", 512, 1), dilution)])
+}
+
+/// The memory-intensive suite (the paper's 46-trace set, distilled to one
+/// trace per distinct pattern/parameter point).
+pub fn memory_intensive_suite() -> Vec<SynthTrace> {
+    vec![
+        // Constant-stride (bwaves/fotonik3d-like).
+        intensive("bwaves-cs1", constant_stride("p", 4, 1, 0, BIG, 101), 60),
+        intensive("bwaves-cs3", constant_stride("p", 4, 3, 0, BIG, 102), 40),
+        intensive("fotonik-cs2", constant_stride("p", 8, 2, 0, MID, 103), 25),
+        intensive("roms-cs-neg", constant_stride("p", 4, -2, 0, BIG, 104), 35),
+        intensive("cam4-cs7", constant_stride("p", 2, 7, 0, BIG, 105), 150),
+        // Complex strides (mcf/xz-like).
+        intensive("mcf-cplx-12", complex_stride("p", &[1, 2], 4, 0, BIG, 111), 25),
+        intensive("xz-cplx-334", complex_stride("p", &[3, 3, 4], 4, 0, BIG, 112), 50),
+        intensive("roms-cplx-neg", complex_stride("p", &[-1, -2], 4, 0, MID, 113), 45),
+        intensive("wrf-cplx-1124", complex_stride("p", &[1, 1, 2, 4], 2, 0, BIG, 114), 120),
+        // Global streams (lbm/gcc-like).
+        intensive("lbm-gs-pos", global_stream("p", 1, 30, 3, 0, 121), 55),
+        intensive("gcc-gs-2226", global_stream("p", 1, 28, 4, 0, 122), 100),
+        intensive("wrf-gs-neg", global_stream("p", -1, 29, 3, 0, 123), 70),
+        intensive("lbm-gs-dense", global_stream("p", 1, 32, 4, 0, 124), 45),
+        // Nested loops (cam4/pop2-like).
+        intensive("pop2-nest", nested_loop("p", 6, 1, 24, 0, BIG), 40),
+        intensive("cam4-nest", nested_loop("p", 4, 2, 32, 0, BIG), 60),
+        // Irregular (mcf/omnetpp-like).
+        intensive("mcf-irr-994", pointer_chase("p", 2 * BIG, 0, 131), 14),
+        intensive("omnetpp-irr", pointer_chase("p", MID, 0, 132), 16),
+        // Huge code footprint (cactuBSSN-like).
+        intensive("cactu-bigip", large_code("p", 4096, 1, 1 << 10, 141), 40),
+        // Phase-changing mixes (xalancbmk/blender-like).
+        phased(
+            "xalanc-phase",
+            vec![
+                intensive("p0", constant_stride("q", 4, 3, 0, MID, 151), 40),
+                intensive("p1", pointer_chase("q", MID, 0, 152), 16),
+                intensive("p2", global_stream("q", 1, 30, 3, 0, 153), 40),
+            ],
+            200_000,
+        ),
+        phased(
+            "blender-mixed",
+            vec![
+                intensive("p0", complex_stride("q", &[1, 2], 4, 0, MID, 154), 35),
+                resident("p1", 2048, 2),
+            ],
+            150_000,
+        ),
+    ]
+}
+
+/// The full suite: memory-intensive plus low-MPKI members (the paper's
+/// remaining 52 traces, where prefetching matters little).
+pub fn full_suite() -> Vec<SynthTrace> {
+    let mut all = memory_intensive_suite();
+    all.extend([
+        resident("leela-res16k", 256, 4),
+        resident("povray-res128k", 2048, 3),
+        resident("exchange-res-alu", 512, 8),
+        sparse("perl-sparse", 2048, 400, BIG, 161, 3),
+        sparse("xalanc-post325", 4096, 150, BIG, 162, 2),
+        intensive("nab-cs1-light", constant_stride("p", 2, 1, 0, BIG, 163), 300),
+    ]);
+    all
+}
+
+/// CloudSuite stand-ins (Fig. 14(a)): server workloads with big code
+/// footprints and temporal — not spatial — data reuse.
+pub fn cloud_suite() -> Vec<SynthTrace> {
+    vec![
+        blend("cassandra", vec![(server("p", 8192, 1 << 16, BIG, 1, 171), 1), (resident("hot", 768, 1), 12)]),
+        blend("classification", vec![(server("p", 4096, 1 << 18, 2 * BIG, 1, 172), 1), (resident("hot", 512, 1), 8)]),
+        blend("cloud9", vec![(server("p", 8192, 1 << 15, BIG, 1, 173), 1), (resident("hot", 768, 1), 15)]),
+        blend("nutch", vec![(server("p", 16384, 1 << 14, MID, 1, 174), 1), (resident("hot", 1024, 1), 20)]),
+        blend(
+            "streaming",
+            vec![
+                (server("p", 4096, 1 << 15, BIG, 1, 175), 1),
+                (constant_stride("q", 4, 1, 0, BIG, 176), 1),
+                (resident("hot", 512, 1), 20),
+            ],
+        ),
+    ]
+}
+
+/// CNN/RNN stand-ins (Fig. 14(b)): stream-dominated tensor kernels diluted
+/// by their arithmetic.
+pub fn nn_suite() -> Vec<SynthTrace> {
+    let nn = |name: &str, streams: u32, reuse: u64, dilution: u32, seed: u64| {
+        blend(name, vec![(tensor_streams("p", streams, reuse, 0, seed), 1), (resident("hot", 512, 1), dilution)])
+    };
+    vec![
+        nn("cifar10", 2, 2048, 30, 181),
+        nn("lstm", 1, 32_768, 60, 182),
+        nn("nin", 3, 4096, 35, 183),
+        nn("resnet-50", 4, 8192, 40, 184),
+        nn("squeezenet", 2, 1024, 25, 185),
+        nn("vgg-19", 6, 16_384, 45, 186),
+        nn("vgg-m", 4, 4096, 35, 187),
+    ]
+}
+
+/// Looks a trace up by name across all suites.
+pub fn by_name(name: &str) -> Option<SynthTrace> {
+    full_suite()
+        .into_iter()
+        .chain(cloud_suite())
+        .chain(nn_suite())
+        .find(|t| ipcp_trace::TraceSource::name(t) == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_trace::TraceSource;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(memory_intensive_suite().len(), 20);
+        assert_eq!(full_suite().len(), 26);
+        assert_eq!(cloud_suite().len(), 5);
+        assert_eq!(nn_suite().len(), 7);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = full_suite()
+            .iter()
+            .chain(cloud_suite().iter())
+            .chain(nn_suite().iter())
+            .map(|t| t.name().to_string())
+            .collect();
+        let n = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate trace names");
+    }
+
+    #[test]
+    fn all_traces_produce_instructions() {
+        for t in full_suite().iter().chain(cloud_suite().iter()).chain(nn_suite().iter()) {
+            let n = t.stream().take(1000).count();
+            assert_eq!(n, 1000, "{} must be infinite", t.name());
+            let mems = t.stream().take(1000).filter(|i| i.is_mem()).count();
+            assert!(mems > 50, "{} must access memory ({mems})", t.name());
+        }
+    }
+
+    #[test]
+    fn intensive_traces_have_cold_and_hot_components() {
+        // In a blended intensive trace, the pattern stream contributes
+        // roughly 1/(dilution+1) of instructions; hot accesses revisit a
+        // small set of lines while stream accesses keep moving.
+        let t = by_name("bwaves-cs3").unwrap();
+        let mem: Vec<u64> = t
+            .stream()
+            .take(100_000)
+            .filter_map(|i| i.vaddr())
+            .map(|a| a.line().raw())
+            .collect();
+        let unique: std::collections::HashSet<u64> = mem.iter().copied().collect();
+        // Hot lines repeat; stream lines are unique: unique/total must sit
+        // well below 1 but above 0.
+        let ratio = unique.len() as f64 / mem.len() as f64;
+        assert!(ratio > 0.005 && ratio < 0.5, "unique-line ratio {ratio}");
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("lbm-gs-pos").is_some());
+        assert!(by_name("cassandra").is_some());
+        assert!(by_name("nonexistent-trace").is_none());
+    }
+}

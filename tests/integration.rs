@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: workloads → simulator → prefetchers,
+//! exercising the full pipeline the figures are built on.
+
+use std::sync::Arc;
+
+use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
+use ipcp_bench::combos;
+use ipcp_sim::prefetch::NoPrefetcher;
+use ipcp_sim::{run_single, CoreSetup, SimConfig, System};
+use ipcp_trace::TraceSource;
+use ipcp_workloads::{by_name, memory_intensive_suite};
+
+fn quick() -> SimConfig {
+    SimConfig::default().with_instructions(20_000, 80_000)
+}
+
+#[test]
+fn every_suite_trace_simulates_under_ipcp() {
+    for t in memory_intensive_suite() {
+        let r = run_single(
+            SimConfig::default().with_instructions(5_000, 20_000),
+            Arc::new(t.clone()),
+            Box::new(IpcpL1::new(IpcpConfig::default())),
+            Box::new(IpcpL2::new(IpcpConfig::default())),
+            Box::new(NoPrefetcher),
+        );
+        assert!(r.ipc() > 0.0, "{} produced zero IPC", t.name());
+        assert!(r.cores[0].core.instructions >= 20_000);
+    }
+}
+
+#[test]
+fn every_named_combo_simulates() {
+    let t = by_name("bwaves-cs3").unwrap();
+    for combo in [
+        "none",
+        "ipcp",
+        "ipcp-l1",
+        "ipcp-nometa",
+        "spp-perc-dspatch",
+        "mlop",
+        "bingo48",
+        "tskid",
+        "l1-sandbox",
+        "l1-vldp",
+        "l1-sms",
+        "l2-ip-stride",
+        "l1fill2-mlop",
+    ] {
+        let c = combos::build(combo);
+        let r = run_single(quick(), Arc::new(t.clone()), c.l1, c.l2, c.llc);
+        assert!(r.ipc() > 0.0, "{combo} produced zero IPC");
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_end_to_end() {
+    let t = by_name("xalanc-phase").unwrap();
+    let run = || {
+        run_single(
+            quick(),
+            Arc::new(t.clone()),
+            Box::new(IpcpL1::new(IpcpConfig::default())),
+            Box::new(IpcpL2::new(IpcpConfig::default())),
+            Box::new(NoPrefetcher),
+        )
+    };
+    assert_eq!(run(), run(), "two identical runs must be bit-identical");
+}
+
+#[test]
+fn multicore_shares_llc_and_dram() {
+    let t = by_name("bwaves-cs3").unwrap();
+    let mk = || CoreSetup {
+        trace: Arc::new(t.clone()),
+        l1d_prefetcher: Box::new(NoPrefetcher),
+        l2_prefetcher: Box::new(NoPrefetcher),
+    };
+    let single = {
+        let mut cfg = SimConfig::multicore(4).with_instructions(10_000, 40_000);
+        cfg.cores = 1;
+        let mut sys = System::new(cfg, vec![mk()], Box::new(NoPrefetcher));
+        sys.run()
+    };
+    let quad = {
+        let cfg = SimConfig::multicore(4).with_instructions(10_000, 40_000);
+        let mut sys = System::new(cfg, vec![mk(), mk(), mk(), mk()], Box::new(NoPrefetcher));
+        sys.run()
+    };
+    // Four copies of a memory-intensive trace contend: per-core IPC drops.
+    let solo_ipc = single.cores[0].core.ipc();
+    let avg_quad: f64 = quad.cores.iter().map(|c| c.core.ipc()).sum::<f64>() / 4.0;
+    assert!(
+        avg_quad < solo_ipc,
+        "contention must hurt: quad avg {avg_quad:.3} vs solo {solo_ipc:.3}"
+    );
+    assert!(quad.dram.reads > single.dram.reads * 3);
+}
+
+#[test]
+fn metadata_channel_reaches_l2() {
+    // With metadata, the L2 IPCP issues class-driven prefetches; without,
+    // it can only fall back to tentative NL.
+    let t = by_name("bwaves-cs3").unwrap();
+    let with = run_single(
+        quick(),
+        Arc::new(t.clone()),
+        Box::new(IpcpL1::new(IpcpConfig::default())),
+        Box::new(IpcpL2::new(IpcpConfig::default())),
+        Box::new(NoPrefetcher),
+    );
+    let without = run_single(
+        quick(),
+        Arc::new(t.clone()),
+        Box::new(IpcpL1::new(IpcpConfig::default().without_metadata())),
+        Box::new(IpcpL2::new(IpcpConfig::default().without_metadata())),
+        Box::new(NoPrefetcher),
+    );
+    assert!(
+        with.cores[0].l2.pf_issued > without.cores[0].l2.pf_issued,
+        "metadata must unlock L2 prefetching: {} vs {}",
+        with.cores[0].l2.pf_issued,
+        without.cores[0].l2.pf_issued
+    );
+}
+
+#[test]
+fn prefetch_class_attribution_flows_to_stats() {
+    let t = by_name("bwaves-cs3").unwrap();
+    let r = run_single(
+        quick(),
+        Arc::new(t.clone()),
+        Box::new(IpcpL1::new(IpcpConfig::default())),
+        Box::new(IpcpL2::new(IpcpConfig::default())),
+        Box::new(NoPrefetcher),
+    );
+    // A constant-stride trace must attribute its useful prefetches to CS
+    // (class index 1), not NL/CPLX/GS.
+    let useful = r.cores[0].l1d.useful_by_class;
+    assert!(useful[1] > 0, "CS must cover a stride trace: {useful:?}");
+    assert!(useful[1] > useful[0] + useful[2] + useful[3], "{useful:?}");
+}
+
+#[test]
+fn trace_file_round_trip_drives_simulator() {
+    // Serialize a synthetic trace to the binary format, read it back, and
+    // simulate from the decoded copy.
+    let t = by_name("fotonik-cs2").unwrap();
+    let instrs: Vec<ipcp_trace::Instr> = t.stream().take(120_000).collect();
+    let mut buf = Vec::new();
+    ipcp_trace::write_trace(&mut buf, instrs.iter().copied()).unwrap();
+    let decoded: Vec<ipcp_trace::Instr> =
+        ipcp_trace::TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+    assert_eq!(decoded, instrs);
+    let r = run_single(
+        SimConfig::default().with_instructions(10_000, 40_000),
+        Arc::new(ipcp_trace::VecTrace::new("decoded", decoded)),
+        Box::new(IpcpL1::new(IpcpConfig::default())),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    assert!(r.ipc() > 0.0);
+}

@@ -1,0 +1,158 @@
+//! Shape tests: cheap, reduced-scale versions of the paper's headline
+//! claims. These are the regression net for the reproduction — if one of
+//! them breaks, a figure has lost its paper-shape.
+
+use std::sync::Arc;
+
+use ipcp::{framework_bytes, IpClass, IpcpConfig, IpcpL1};
+use ipcp_bench::combos;
+use ipcp_sim::prefetch::NoPrefetcher;
+use ipcp_sim::{run_single, SimConfig, SimReport};
+use ipcp_workloads::by_name;
+
+const WARMUP: u64 = 50_000;
+const INSTRS: u64 = 200_000;
+
+fn run(trace: &str, combo: &str) -> SimReport {
+    let t = by_name(trace).unwrap();
+    let c = combos::build(combo);
+    run_single(
+        SimConfig::default().with_instructions(WARMUP, INSTRS),
+        Arc::new(t),
+        c.l1,
+        c.l2,
+        c.llc,
+    )
+}
+
+fn speedup(trace: &str, combo: &str) -> f64 {
+    run(trace, combo).ipc() / run(trace, "none").ipc()
+}
+
+#[test]
+fn storage_headline_is_exact() {
+    assert_eq!(framework_bytes(&IpcpConfig::default()), 895);
+}
+
+#[test]
+fn ipcp_speeds_up_constant_stride() {
+    // Fig. 8: bwaves-like traces gain substantially.
+    let sp = speedup("bwaves-cs3", "ipcp");
+    assert!(sp > 1.15, "bwaves-cs3 speedup {sp}");
+}
+
+#[test]
+fn ipcp_covers_complex_strides_that_cs_cannot() {
+    // Section IV-B: 1,2,1,2 gives zero CS coverage, full CPLX coverage.
+    let t = by_name("mcf-cplx-12").unwrap();
+    let cs_only = run_single(
+        SimConfig::default().with_instructions(WARMUP, INSTRS),
+        Arc::new(t.clone()),
+        Box::new(IpcpL1::new(IpcpConfig::with_only(&[IpClass::Cs]))),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    let cplx_only = run_single(
+        SimConfig::default().with_instructions(WARMUP, INSTRS),
+        Arc::new(t),
+        Box::new(IpcpL1::new(IpcpConfig::with_only(&[IpClass::Cplx]))),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    let cs_useful = cs_only.cores[0].l1d.useful_prefetch_hits;
+    let cplx_useful = cplx_only.cores[0].l1d.useful_prefetch_hits;
+    assert!(
+        cplx_useful > 10 * cs_useful.max(1),
+        "CPLX must dominate on 1,2 strides: {cplx_useful} vs {cs_useful}"
+    );
+}
+
+#[test]
+fn gs_dominates_on_global_streams() {
+    // Fig. 12: streaming traces get their coverage from the GS class.
+    let r = run("gcc-gs-2226", "ipcp");
+    let useful = r.cores[0].l1d.useful_by_class; // [NL, CS, CPLX, GS]
+    assert!(useful[3] > useful[0] + useful[1] + useful[2], "{useful:?}");
+}
+
+#[test]
+fn irregular_traces_are_not_wrecked() {
+    // Fig. 8: mcf/omnetpp-like traces sit near 1.0 under IPCP (tentative
+    // NL off at high MPKI; throttling contains the GS class).
+    for trace in ["mcf-irr-994", "omnetpp-irr"] {
+        let sp = speedup(trace, "ipcp");
+        assert!((0.9..1.25).contains(&sp), "{trace} speedup {sp}");
+    }
+}
+
+#[test]
+fn multilevel_beats_l1_only_on_streams() {
+    // Fig. 13(a): the L2 component adds performance via metadata.
+    let full = speedup("bwaves-cs3", "ipcp");
+    let l1 = speedup("bwaves-cs3", "ipcp-l1");
+    assert!(full > l1, "L1+L2 {full} must beat L1-only {l1}");
+}
+
+#[test]
+fn cs_class_cannot_gain_confidence_on_alternating_strides() {
+    // The motivating example of Section III, end to end.
+    let t = by_name("mcf-cplx-12").unwrap();
+    let r = run_single(
+        SimConfig::default().with_instructions(WARMUP, INSTRS),
+        Arc::new(t),
+        Box::new(IpcpL1::new(IpcpConfig::with_only(&[IpClass::Cs]))),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    let fills = r.cores[0].l1d.fills_by_class;
+    assert_eq!(fills[IpClass::Cs.bits() as usize], 0, "CS must stay silent: {fills:?}");
+}
+
+#[test]
+fn resident_traces_are_untouched() {
+    // Full-suite members with no misses see no effect (and no harm).
+    let sp = speedup("leela-res16k", "ipcp");
+    assert!((0.99..1.01).contains(&sp), "resident speedup {sp}");
+}
+
+#[test]
+fn spatial_prefetchers_struggle_on_server_workloads() {
+    // Fig. 14(a): temporal reuse defeats spatial prefetching; nobody gets
+    // big wins on classification-like traffic.
+    let t = ipcp_workloads::cloud_suite()
+        .into_iter()
+        .find(|t| ipcp_trace::TraceSource::name(t) == "classification")
+        .unwrap();
+    let base = run_single(
+        SimConfig::default().with_instructions(WARMUP, INSTRS),
+        Arc::new(t.clone()),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    let c = combos::build("ipcp");
+    let with = run_single(
+        SimConfig::default().with_instructions(WARMUP, INSTRS),
+        Arc::new(t),
+        c.l1,
+        c.l2,
+        c.llc,
+    );
+    let sp = with.ipc() / base.ipc();
+    assert!(sp < 1.15, "no spatial prefetcher should crack classification: {sp}");
+}
+
+#[test]
+fn throttling_reins_in_useless_prefetching() {
+    // Section V: per-class accuracy throttling floors degrees at one when a
+    // class misbehaves — over-prediction stays bounded relative to issue
+    // volume on irregular traffic.
+    let r = run("omnetpp-irr", "ipcp");
+    let l1 = &r.cores[0].l1d;
+    assert!(
+        l1.pf_useless_evicted < 2 * l1.demand_misses.max(1),
+        "useless {} vs misses {}",
+        l1.pf_useless_evicted,
+        l1.demand_misses
+    );
+}
