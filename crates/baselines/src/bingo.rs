@@ -5,9 +5,7 @@
 //! table serves both precise and general predictions.
 
 use ipcp_mem::{LineAddr, LINES_PER_REGION};
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const AGT_ENTRIES: usize = 64;
 const PHT_WAYS: usize = 8;
@@ -103,10 +101,22 @@ impl Bingo {
             .find(|&i| self.pht[i].valid && self.pht[i].long_key == long)
             .unwrap_or_else(|| {
                 (base..base + PHT_WAYS)
-                    .min_by_key(|&i| if self.pht[i].valid { self.pht[i].lru } else { 0 })
+                    .min_by_key(|&i| {
+                        if self.pht[i].valid {
+                            self.pht[i].lru
+                        } else {
+                            0
+                        }
+                    })
                     .expect("ways > 0")
             });
-        self.pht[slot] = PhtEntry { valid: true, short_key: short, long_key: long, footprint: e.footprint, lru: self.stamp };
+        self.pht[slot] = PhtEntry {
+            valid: true,
+            short_key: short,
+            long_key: long,
+            footprint: e.footprint,
+            lru: self.stamp,
+        };
     }
 
     fn lookup(&mut self, ip: u64, region: u64, offset: u8) -> Option<u32> {
@@ -250,7 +260,10 @@ mod tests {
         }
         let before = p.short_hits;
         let reqs = walk(&mut p, 0x400, 5000, &[2]);
-        assert!(p.short_hits > before, "unseen region must fall back to PC+Offset");
+        assert!(
+            p.short_hits > before,
+            "unseen region must fall back to PC+Offset"
+        );
         let offs: Vec<u64> = reqs.iter().map(|l| l % 32).collect();
         assert!(offs.contains(&5) && offs.contains(&9), "{offs:?}");
     }
@@ -271,7 +284,11 @@ mod tests {
         let big = Bingo::l1_119kb().storage_bits();
         assert!(big > small);
         // Sanity: in the right ballpark of the paper's figures.
-        assert!((40_000..70_000).contains(&(small / 8)), "{} bytes", small / 8);
+        assert!(
+            (40_000..70_000).contains(&(small / 8)),
+            "{} bytes",
+            small / 8
+        );
         assert!((90_000..140_000).contains(&(big / 8)), "{} bytes", big / 8);
     }
 }

@@ -11,8 +11,8 @@ use ipcp_sim::prefetch::{
 /// The candidate offset list from the BOP paper: numbers whose prime
 /// factors are ≤ 5, up to 64, plus their negations' useful subset.
 const OFFSETS: &[i64] = &[
-    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54,
-    60, 64, -1, -2, -3, -4, -8,
+    1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 18, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48, 50, 54, 60,
+    64, -1, -2, -3, -4, -8,
 ];
 
 const RR_ENTRIES: usize = 256;
@@ -127,8 +127,16 @@ impl Prefetcher for Bop {
         // Prefetch with the current best offset.
         if self.best_enabled {
             for k in 1..=i64::from(self.degree) {
-                let Some(target) = line.offset_within_page(self.best_offset * k) else { break };
-                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                let Some(target) = line.offset_within_page(self.best_offset * k) else {
+                    break;
+                };
+                let req = PrefetchRequest {
+                    line: target,
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
                 sink.prefetch(req);
             }
         }
@@ -141,7 +149,9 @@ impl Prefetcher for Bop {
     fn on_fill(&mut self, fill: &FillInfo) {
         if fill.was_prefetch {
             // Insert the would-be trigger (X - D) so late prefetches score.
-            if let Some(base) = LineAddr::new(fill.pline.raw()).offset_within_page(-self.best_offset) {
+            if let Some(base) =
+                LineAddr::new(fill.pline.raw()).offset_within_page(-self.best_offset)
+            {
                 self.rr_insert(base.raw());
             }
         }
@@ -191,7 +201,11 @@ mod tests {
             })
             .collect();
         drive(&mut p, &lines);
-        assert_eq!(p.current_offset(), None, "no offset should survive random traffic");
+        assert_eq!(
+            p.current_offset(),
+            None,
+            "no offset should survive random traffic"
+        );
     }
 
     #[test]

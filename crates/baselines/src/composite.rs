@@ -2,9 +2,7 @@
 //! level, used to build the DPC-3 winning combination
 //! `SPP + Perceptron + DSPatch` (Table III) and any other stacking.
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillInfo, MetadataArrival, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillInfo, MetadataArrival, PrefetchSink, Prefetcher};
 
 use crate::dspatch::Dspatch;
 use crate::ppf::SppPpf;
@@ -108,6 +106,9 @@ mod tests {
             total += s.requests.len();
             assert!(s.requests.iter().all(|r| r.fill == FillLevel::L2));
         }
-        assert!(total > 50, "combo should prefetch a dense stream, got {total}");
+        assert!(
+            total > 50,
+            "combo should prefetch a dense stream, got {total}"
+        );
     }
 }

@@ -6,9 +6,7 @@
 //! accuracy.
 
 use ipcp_mem::{Ip, LINES_PER_REGION};
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const SPT_ENTRIES: usize = 256;
 const PB_ENTRIES: usize = 8;
@@ -88,7 +86,13 @@ impl Dspatch {
                 e.trained = true;
             }
         } else {
-            *e = SptEntry { tag, valid: true, covp: anchored, accp: anchored, trained: true };
+            *e = SptEntry {
+                tag,
+                valid: true,
+                covp: anchored,
+                accp: anchored,
+                trained: true,
+            };
         }
     }
 }
@@ -139,7 +143,11 @@ impl Prefetcher for Dspatch {
                 let (idx, tag) = Self::spt_slot(info.ip);
                 let e = self.spt[idx];
                 if e.valid && e.tag == tag {
-                    let pattern = if info.dram_utilization > BW_KNEE { e.accp } else { e.covp };
+                    let pattern = if info.dram_utilization > BW_KNEE {
+                        e.accp
+                    } else {
+                        e.covp
+                    };
                     let rotated = pattern.rotate_left(u32::from(offset));
                     let region_base = region * LINES_PER_REGION;
                     for b in 0..LINES_PER_REGION as u32 {
@@ -198,7 +206,10 @@ mod tests {
         // A new region's trigger should replay the pattern.
         let reqs = region_walk(&mut p, 100, &[0], 0.1);
         let offsets: Vec<u64> = reqs.iter().map(|l| l % 32).collect();
-        assert!(offsets.contains(&1) && offsets.contains(&2) && offsets.contains(&3), "{offsets:?}");
+        assert!(
+            offsets.contains(&1) && offsets.contains(&2) && offsets.contains(&3),
+            "{offsets:?}"
+        );
     }
 
     #[test]
@@ -212,7 +223,12 @@ mod tests {
         }
         let low_bw = region_walk(&mut p, 50, &[0], 0.1);
         let high_bw = region_walk(&mut p, 60, &[0], 0.9);
-        assert!(high_bw.len() <= low_bw.len(), "AccP ({}) must be no larger than CovP ({})", high_bw.len(), low_bw.len());
+        assert!(
+            high_bw.len() <= low_bw.len(),
+            "AccP ({}) must be no larger than CovP ({})",
+            high_bw.len(),
+            low_bw.len()
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! This is the incumbent L1-D prefetcher the paper's Fig. 1 starts from.
 
 use ipcp_mem::Ip;
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Entry {
@@ -32,7 +30,12 @@ impl IpStride {
     pub fn new(entries: usize, degree: u8, fill: FillLevel) -> Self {
         assert!(entries.is_power_of_two());
         assert!(degree >= 1);
-        Self { entries: vec![Entry::default(); entries], mask: entries as u64 - 1, degree, fill }
+        Self {
+            entries: vec![Entry::default(); entries],
+            mask: entries as u64 - 1,
+            degree,
+            fill,
+        }
     }
 
     /// The standard 64-entry degree-3 L1 configuration.
@@ -59,7 +62,12 @@ impl Prefetcher for IpStride {
         let e = &mut self.entries[idx];
         let tag = info.ip.raw();
         if !e.occupied || e.tag != tag {
-            *e = Entry { tag, occupied: true, last_line: line.raw(), ..Entry::default() };
+            *e = Entry {
+                tag,
+                occupied: true,
+                last_line: line.raw(),
+                ..Entry::default()
+            };
             return;
         }
         let observed = line.raw() as i64 - e.last_line as i64;
@@ -78,8 +86,16 @@ impl Prefetcher for IpStride {
         if e.confidence >= 2 && e.stride != 0 {
             let stride = e.stride;
             for k in 1..=i64::from(self.degree) {
-                let Some(target) = line.offset_within_page(stride * k) else { break };
-                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                let Some(target) = line.offset_within_page(stride * k) else {
+                    break;
+                };
+                let req = PrefetchRequest {
+                    line: target,
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
                 sink.prefetch(req);
             }
         }
@@ -119,10 +135,12 @@ mod tests {
     #[test]
     fn alternating_strides_stay_silent() {
         let mut p = IpStride::l1_default();
-        let lines: Vec<u64> = (0..20).scan(100u64, |a, i| {
-            *a += if i % 2 == 0 { 1 } else { 2 };
-            Some(*a)
-        }).collect();
+        let lines: Vec<u64> = (0..20)
+            .scan(100u64, |a, i| {
+                *a += if i % 2 == 0 { 1 } else { 2 };
+                Some(*a)
+            })
+            .collect();
         assert!(drive(&mut p, 0x400, &lines).is_empty());
     }
 

@@ -16,9 +16,7 @@
 use std::collections::HashMap;
 
 use ipcp_mem::LineAddr;
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const TU_ENTRIES: usize = 32;
 
@@ -110,13 +108,14 @@ impl IsbLite {
             // Continue the predecessor's stream when the next structural
             // slot is free.
             Some(prev_s)
-                if (prev_s + 1) as usize == self.sp.len() || self.sp.get((prev_s + 1) as usize) == Some(&0) =>
+                if (prev_s + 1) as usize == self.sp.len()
+                    || self.sp.get((prev_s + 1) as usize) == Some(&0) =>
             {
                 prev_s + 1
             }
             _ => {
                 // Start a new stream, leaving a gap.
-                
+
                 self.next_structural + self.stream_gap
             }
         };
@@ -152,7 +151,11 @@ impl Prefetcher for IsbLite {
             };
             let slot = self.tu_slot(key);
             let prev = self.tu[slot];
-            self.tu[slot] = TuEntry { ip: key, valid: true, last_line: line.raw() };
+            self.tu[slot] = TuEntry {
+                ip: key,
+                valid: true,
+                last_line: line.raw(),
+            };
             if prev.valid && prev.ip == key && prev.last_line != line.raw() {
                 let prev_s = self.ps.get(&prev.last_line).copied();
                 let prev_s = match prev_s {
@@ -167,7 +170,9 @@ impl Prefetcher for IsbLite {
         // Replay: prefetch the next structural addresses.
         if let Some(&s) = self.ps.get(&line.raw()) {
             for k in 1..=u64::from(self.degree) {
-                let Some(&target) = self.sp.get((s + k) as usize) else { break };
+                let Some(&target) = self.sp.get((s + k) as usize) else {
+                    break;
+                };
                 if target == 0 {
                     break;
                 }
@@ -212,7 +217,7 @@ mod tests {
         let seq: Vec<u64> = vec![900, 17, 40_004, 3, 77_777, 2048, 512, 90];
         drive(&mut p, 0x400, &seq); // record
         let reqs = drive(&mut p, 0x400, &seq); // replay
-        // On revisiting 900, ISB must prefetch 17 (and 40_004 at degree 2).
+                                               // On revisiting 900, ISB must prefetch 17 (and 40_004 at degree 2).
         assert!(reqs.contains(&17), "{reqs:?}");
         assert!(reqs.contains(&40_004), "{reqs:?}");
         assert!(reqs.contains(&77_777), "{reqs:?}");
@@ -234,7 +239,11 @@ mod tests {
         let mut p = IsbLite::new(8, 1, FillLevel::L2);
         let lines: Vec<u64> = (0..100).map(|i| i * 977 + 13).collect();
         drive(&mut p, 0x400, &lines);
-        assert!(p.ps.len() <= 8, "capacity must cap metadata: {}", p.ps.len());
+        assert!(
+            p.ps.len() <= 8,
+            "capacity must cap metadata: {}",
+            p.ps.len()
+        );
         // Still functional on what it learned.
         let _ = drive(&mut p, 0x400, &lines[..4]);
     }
@@ -254,6 +263,9 @@ mod tests {
     fn storage_is_in_the_hundreds_of_kb_class() {
         let p = IsbLite::l2_default();
         let bytes = p.storage_bits() / 8;
-        assert!(bytes > 100_000, "temporal budget should dwarf IPCP's 895 B: {bytes}");
+        assert!(
+            bytes > 100_000,
+            "temporal budget should dwarf IPCP's 895 B: {bytes}"
+        );
     }
 }

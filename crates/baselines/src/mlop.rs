@@ -3,9 +3,7 @@
 //! scored against per-zone access maps, so a single prefetcher covers both
 //! near and far targets every access.
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const OFFSETS: &[i64] = &[
     1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 20, 24, 30, 32, -1, -2, -3, -4, -6, -8,
@@ -81,7 +79,13 @@ impl Mlop {
                     .min_by_key(|(_, z)| if z.valid { z.lru } else { 0 })
                     .map(|(i, _)| i)
                     .expect("zones non-empty");
-                self.zones[v] = Zone { page, valid: true, map: 0, prefetched: 0, lru: self.stamp };
+                self.zones[v] = Zone {
+                    page,
+                    valid: true,
+                    map: 0,
+                    prefetched: 0,
+                    lru: self.stamp,
+                };
                 self.stamps[v] = [0; 64];
                 v
             }
@@ -92,8 +96,18 @@ impl Mlop {
         // Elect, per lookahead level, the offset with the highest score;
         // an offset only counts for level l if it scored there at all.
         for l in 0..MAX_LOOKAHEAD {
-            let (bi, &bs) = self.scores.iter().map(|s| &s[l]).enumerate().max_by_key(|(_, &s)| s).expect("offsets");
-            self.best[l] = if bs >= EVAL_ACCESSES / 16 { OFFSETS[bi] } else { 0 };
+            let (bi, &bs) = self
+                .scores
+                .iter()
+                .map(|s| &s[l])
+                .enumerate()
+                .max_by_key(|(_, &s)| s)
+                .expect("offsets");
+            self.best[l] = if bs >= EVAL_ACCESSES / 16 {
+                OFFSETS[bi]
+            } else {
+                0
+            };
         }
         self.scores.iter_mut().for_each(|s| *s = [0; MAX_LOOKAHEAD]);
         self.round_accesses = 0;
@@ -131,7 +145,9 @@ impl Prefetcher for Mlop {
                     continue;
                 }
                 if self.zones[zi].map & (1u64 << src) != 0 {
-                    let age = self.access_count.saturating_sub(self.stamps[zi][src as usize]);
+                    let age = self
+                        .access_count
+                        .saturating_sub(self.stamps[zi][src as usize]);
                     let level = (age as usize).min(MAX_LOOKAHEAD) - 1;
                     // Credit this level and all shallower ones (a far-ahead
                     // offset also helps near-term).
@@ -175,7 +191,13 @@ impl Prefetcher for Mlop {
                 self.zones[zi].prefetched |= bit;
             }
             if let Some(target) = line.offset_within_page(dist) {
-                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                let req = PrefetchRequest {
+                    line: target,
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
                 sink.prefetch(req);
             }
         }
@@ -211,14 +233,24 @@ mod tests {
         let mut p = Mlop::l1_default();
         let lines: Vec<u64> = (0..1200u64).map(|i| (i / 60) * 64 + (i % 60)).collect();
         drive(&mut p, &lines);
-        assert!(p.elected().contains(&1), "offset 1 should be elected: {:?}", p.elected());
+        assert!(
+            p.elected().contains(&1),
+            "offset 1 should be elected: {:?}",
+            p.elected()
+        );
         // Prefetches at multiple distances per access — once the zone has
         // some history (first-touch zones issue nothing).
         let mut s = VecSink::new();
         p.on_access(&test_access(0x1, 64 * 5000, false), &mut s);
-        assert!(s.requests.is_empty(), "first touch of a zone must stay silent");
+        assert!(
+            s.requests.is_empty(),
+            "first touch of a zone must stay silent"
+        );
         p.on_access(&test_access(0x1, 64 * 5000 + 1, false), &mut s);
-        assert!(s.requests.len() >= 2, "multi-lookahead should give several targets");
+        assert!(
+            s.requests.len() >= 2,
+            "multi-lookahead should give several targets"
+        );
     }
 
     #[test]

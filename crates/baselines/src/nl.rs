@@ -2,9 +2,7 @@
 //! "restrictive NL" (demand-miss-only) variants used at L2/LLC by several
 //! DPC-3 combinations (Table III).
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 /// A next-line prefetcher.
 #[derive(Debug, Clone)]
@@ -19,7 +17,11 @@ impl NextLine {
     /// demand access.
     pub fn new(degree: u8, fill: FillLevel) -> Self {
         assert!(degree >= 1);
-        Self { degree, fill, miss_only: false }
+        Self {
+            degree,
+            fill,
+            miss_only: false,
+        }
     }
 
     /// Restrictive variant: triggers on demand misses only (the
@@ -45,8 +47,16 @@ impl Prefetcher for NextLine {
             _ => (info.pline, false),
         };
         for k in 1..=i64::from(self.degree) {
-            let Some(target) = line.offset_within_page(k) else { break };
-            let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+            let Some(target) = line.offset_within_page(k) else {
+                break;
+            };
+            let req = PrefetchRequest {
+                line: target,
+                virtual_addr: virt,
+                fill: self.fill,
+                pf_class: 0,
+                meta: None,
+            };
             sink.prefetch(req);
         }
     }
@@ -68,7 +78,10 @@ mod tests {
         p.on_access(&test_access(1, 100, true), &mut s);
         let t: Vec<u64> = s.requests.iter().map(|r| r.line.raw()).collect();
         assert_eq!(t, vec![101, 102, 103]);
-        assert!(s.requests.iter().all(|r| r.virtual_addr && r.fill == FillLevel::L1));
+        assert!(s
+            .requests
+            .iter()
+            .all(|r| r.virtual_addr && r.fill == FillLevel::L1));
     }
 
     #[test]

@@ -88,7 +88,11 @@ impl SppPpf {
     fn learn(&mut self, f: &[usize; N_FEATURES], up: bool) {
         for (i, &idx) in f.iter().enumerate() {
             let w = &mut self.weights[i][idx];
-            *w = if up { (*w + 1).min(WEIGHT_MAX) } else { (*w - 1).max(WEIGHT_MIN) };
+            *w = if up {
+                (*w + 1).min(WEIGHT_MAX)
+            } else {
+                (*w - 1).max(WEIGHT_MIN)
+            };
         }
     }
 
@@ -118,7 +122,9 @@ impl Prefetcher for SppPpf {
                 self.records[idx].valid = false;
             }
         }
-        let Some(sig) = self.spp.observe(line) else { return };
+        let Some(sig) = self.spp.observe(line) else {
+            return;
+        };
         let mut proposals = Vec::new();
         self.spp.lookahead(sig, line, |target, s, depth, _conf| {
             proposals.push((target, s, depth));
@@ -127,10 +133,20 @@ impl Prefetcher for SppPpf {
             let feats = Self::features(info.ip, target, s, depth);
             if self.score(&feats) >= THRESHOLD {
                 self.accepted += 1;
-                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                let req = PrefetchRequest {
+                    line: target,
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
                 if sink.prefetch(req) {
                     let idx = Self::record_index(target);
-                    self.records[idx] = Record { line: target.raw(), valid: true, features: feats };
+                    self.records[idx] = Record {
+                        line: target.raw(),
+                        valid: true,
+                        features: feats,
+                    };
                 }
             } else {
                 self.rejected += 1;
@@ -174,10 +190,16 @@ mod tests {
             p.on_access(&test_access(0x400, 0x4000 + i * 2, false), &mut s);
             total += s.requests.len();
         }
-        assert!(total > 0, "zero-weight perceptron must not block everything");
+        assert!(
+            total > 0,
+            "zero-weight perceptron must not block everything"
+        );
         let (acc, rej) = p.decisions();
         assert!(acc > 0);
-        assert_eq!(rej, 0, "nothing should be rejected before negative training");
+        assert_eq!(
+            rej, 0,
+            "nothing should be rejected before negative training"
+        );
     }
 
     #[test]
@@ -187,7 +209,10 @@ mod tests {
         for round in 0..60 {
             let mut s = VecSink::new();
             for i in 0..20u64 {
-                p.on_access(&test_access(0x400, 0x4000 + (round * 20 + i) * 2, false), &mut s);
+                p.on_access(
+                    &test_access(0x400, 0x4000 + (round * 20 + i) * 2, false),
+                    &mut s,
+                );
             }
             for r in s.take() {
                 p.on_fill(&FillInfo {
@@ -201,7 +226,10 @@ mod tests {
             }
         }
         let (_, rej) = p.decisions();
-        assert!(rej > 0, "persistent uselessness must start rejecting proposals");
+        assert!(
+            rej > 0,
+            "persistent uselessness must start rejecting proposals"
+        );
     }
 
     #[test]
@@ -219,6 +247,9 @@ mod tests {
             }
         }
         let (acc, rej) = p.decisions();
-        assert!(acc > rej * 10, "useful prefetches must keep flowing: {acc} vs {rej}");
+        assert!(
+            acc > rej * 10,
+            "useful prefetches must keep flowing: {acc} vs {rej}"
+        );
     }
 }

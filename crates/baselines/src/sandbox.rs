@@ -4,9 +4,7 @@
 //! graduate to issuing real prefetches, with aggressiveness proportional to
 //! their score.
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const CANDIDATES: &[i64] = &[1, 2, 3, 4, 5, 6, 7, 8, -1, -2, -3, -4, -5, -6, -7, -8];
 const BLOOM_BITS: usize = 2048;
@@ -19,7 +17,9 @@ struct Bloom {
 
 impl Bloom {
     fn new() -> Self {
-        Self { bits: vec![0; BLOOM_BITS / 64] }
+        Self {
+            bits: vec![0; BLOOM_BITS / 64],
+        }
     }
 
     fn clear(&mut self) {
@@ -115,8 +115,16 @@ impl Prefetcher for Sandbox {
         for (i, &d) in CANDIDATES.iter().enumerate() {
             let degree = Self::degree_for_score(self.final_scores[i]);
             for k in 1..=i64::from(degree) {
-                let Some(target) = line.offset_within_page(d * k) else { break };
-                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                let Some(target) = line.offset_within_page(d * k) else {
+                    break;
+                };
+                let req = PrefetchRequest {
+                    line: target,
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
                 sink.prefetch(req);
             }
         }
@@ -145,9 +153,15 @@ mod tests {
     #[test]
     fn sequential_stream_graduates_offset_one() {
         let mut p = Sandbox::new(FillLevel::L2);
-        let lines: Vec<u64> = (0..EVAL_ACCESSES as u64 + 50).map(|i| (i / 60) * 64 + (i % 60)).collect();
+        let lines: Vec<u64> = (0..EVAL_ACCESSES as u64 + 50)
+            .map(|i| (i / 60) * 64 + (i % 60))
+            .collect();
         drive(&mut p, &lines);
-        assert!(p.final_scores[0] > 128, "offset 1 score: {}", p.final_scores[0]);
+        assert!(
+            p.final_scores[0] > 128,
+            "offset 1 score: {}",
+            p.final_scores[0]
+        );
         // Now real prefetches flow.
         let mut s = VecSink::new();
         p.on_access(&test_access(0x1, 500_000, false), &mut s);

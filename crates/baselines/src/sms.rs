@@ -4,9 +4,7 @@
 //! region's trigger access replays the stored footprint.
 
 use ipcp_mem::{LineAddr, LINES_PER_REGION};
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const AGT_ENTRIES: usize = 32;
 
@@ -69,7 +67,11 @@ impl Sms {
         }
         let key = Self::pht_key(e.trigger_ip, e.trigger_offset);
         let idx = self.pht_index(key);
-        self.pht[idx] = PhtEntry { key, valid: true, footprint: e.footprint };
+        self.pht[idx] = PhtEntry {
+            key,
+            valid: true,
+            footprint: e.footprint,
+        };
     }
 }
 
@@ -170,7 +172,10 @@ mod tests {
         }
         let reqs = walk(&mut p, 0x400, 100, &[0]);
         let offs: Vec<u64> = reqs.iter().map(|l| l % 32).collect();
-        assert!(offs.contains(&3) && offs.contains(&5) && offs.contains(&9), "{offs:?}");
+        assert!(
+            offs.contains(&3) && offs.contains(&5) && offs.contains(&9),
+            "{offs:?}"
+        );
         assert!(!offs.contains(&0));
     }
 
@@ -192,6 +197,9 @@ mod tests {
             walk(&mut p, 0x400, r, &[4]); // single-line regions
         }
         let reqs = walk(&mut p, 0x400, 100, &[4]);
-        assert!(reqs.is_empty(), "one-line footprints are not worth replaying");
+        assert!(
+            reqs.is_empty(),
+            "one-line footprints are not worth replaying"
+        );
     }
 }

@@ -8,9 +8,7 @@
 //! bootstrap) is omitted — it matters mostly for very short pages streams
 //! and is documented as a simplification in DESIGN.md.
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const ST_ENTRIES: usize = 256;
 const PT_ENTRIES: usize = 512;
@@ -81,7 +79,11 @@ impl Spp {
     fn train(&mut self, sig: u32, delta: i8) {
         let set = &mut self.pt[Self::pt_index(sig)];
         set.c_sig = set.c_sig.saturating_add(1);
-        if let Some(w) = set.ways.iter_mut().find(|w| w.delta == delta && w.c_delta > 0) {
+        if let Some(w) = set
+            .ways
+            .iter_mut()
+            .find(|w| w.delta == delta && w.c_delta > 0)
+        {
             w.c_delta = w.c_delta.saturating_add(1);
         } else if let Some(w) = set.ways.iter_mut().min_by_key(|w| w.c_delta) {
             *w = PtEntry { delta, c_delta: 1 };
@@ -120,12 +122,16 @@ impl Spp {
         let mut line = start_line;
         let mut conf = 1.0f64;
         for depth in 0..MAX_DEPTH {
-            let Some((delta, c)) = self.best(sig) else { break };
+            let Some((delta, c)) = self.best(sig) else {
+                break;
+            };
             conf *= c;
             if conf < PF_THRESHOLD {
                 break;
             }
-            let Some(target) = line.offset_within_page(i64::from(delta)) else { break };
+            let Some(target) = line.offset_within_page(i64::from(delta)) else {
+                break;
+            };
             emit(target, sig, depth, conf);
             line = target;
             sig = next_signature(sig, delta);
@@ -148,7 +154,13 @@ impl Spp {
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
                     .expect("ST non-empty");
-                self.st[v] = StEntry { page, valid: true, last_offset: offset, signature: 0, lru: self.stamp };
+                self.st[v] = StEntry {
+                    page,
+                    valid: true,
+                    last_offset: offset,
+                    signature: 0,
+                    lru: self.stamp,
+                };
                 return None;
             }
         };
@@ -184,11 +196,19 @@ impl Prefetcher for Spp {
             FillLevel::L1 => (info.vline, true),
             _ => (info.pline, false),
         };
-        let Some(sig) = self.observe(line) else { return };
+        let Some(sig) = self.observe(line) else {
+            return;
+        };
         let fill = self.fill_level();
         let mut reqs = Vec::new();
         self.lookahead(sig, line, |target, _, _, _| {
-            reqs.push(PrefetchRequest { line: target, virtual_addr: virt, fill, pf_class: 0, meta: None });
+            reqs.push(PrefetchRequest {
+                line: target,
+                virtual_addr: virt,
+                fill,
+                pf_class: 0,
+                meta: None,
+            });
         });
         for r in reqs {
             sink.prefetch(r);
@@ -227,7 +247,11 @@ mod tests {
         drive(&mut p, &lines);
         let mut s = VecSink::new();
         p.on_access(&test_access(0x1, 0x4000 + 20 * 2, false), &mut s);
-        assert!(s.requests.len() >= 3, "high-confidence path should run deep, got {}", s.requests.len());
+        assert!(
+            s.requests.len() >= 3,
+            "high-confidence path should run deep, got {}",
+            s.requests.len()
+        );
         let t: Vec<u64> = s.requests.iter().map(|r| r.line.raw()).collect();
         assert_eq!(t[0], 0x4000 + 21 * 2);
         assert_eq!(t[1], 0x4000 + 22 * 2);
@@ -247,7 +271,11 @@ mod tests {
         }
         let reqs = drive(&mut p, &lines);
         // Some prefetches may happen, but never deep runs.
-        assert!(reqs.len() < 40, "noisy deltas must curb lookahead, got {}", reqs.len());
+        assert!(
+            reqs.len() < 40,
+            "noisy deltas must curb lookahead, got {}",
+            reqs.len()
+        );
     }
 
     #[test]

@@ -2,9 +2,7 @@
 //! 2002]: stream filters allocate on misses, confirm on an adjacent access
 //! in either direction, and then run ahead of the demand stream.
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 #[derive(Debug, Clone, Copy, Default)]
 struct StreamEntry {
@@ -33,7 +31,13 @@ impl StreamPf {
     /// `degree` lines ahead from `distance` lines beyond the head.
     pub fn new(streams: usize, degree: u8, distance: u8, fill: FillLevel) -> Self {
         assert!(streams > 0 && degree >= 1);
-        Self { entries: vec![StreamEntry::default(); streams], degree, distance, fill, stamp: 0 }
+        Self {
+            entries: vec![StreamEntry::default(); streams],
+            degree,
+            distance,
+            fill,
+            stamp: 0,
+        }
     }
 
     /// The classic 16-stream degree-4 configuration.
@@ -75,7 +79,9 @@ impl Prefetcher for StreamPf {
                     let dir = e.direction;
                     let start = i64::from(self.distance);
                     for k in start..start + i64::from(self.degree) {
-                        let Some(target) = line.offset_within_page(dir * k) else { break };
+                        let Some(target) = line.offset_within_page(dir * k) else {
+                            break;
+                        };
                         let req = PrefetchRequest {
                             line: target,
                             virtual_addr: virt,
@@ -96,7 +102,13 @@ impl Prefetcher for StreamPf {
                 .iter_mut()
                 .min_by_key(|e| if e.valid { e.lru } else { 0 })
                 .expect("streams > 0");
-            *victim = StreamEntry { valid: true, head: x, direction: 0, confidence: 0, lru: self.stamp };
+            *victim = StreamEntry {
+                valid: true,
+                head: x,
+                direction: 0,
+                confidence: 0,
+                lru: self.stamp,
+            };
         }
     }
 
@@ -153,7 +165,13 @@ mod tests {
             lines.push(90_000 - i);
         }
         let reqs = drive(&mut p, &lines);
-        assert!(reqs.iter().any(|&t| t > 1000 && t < 1100), "up-stream prefetched");
-        assert!(reqs.iter().any(|&t| t < 90_000 && t > 89_900), "down-stream prefetched");
+        assert!(
+            reqs.iter().any(|&t| t > 1000 && t < 1100),
+            "up-stream prefetched"
+        );
+        assert!(
+            reqs.iter().any(|&t| t < 90_000 && t > 89_900),
+            "down-stream prefetched"
+        );
     }
 }

@@ -36,7 +36,11 @@ pub struct TskidLite {
 impl TskidLite {
     /// Creates a T-SKID-lite instance.
     pub fn new(fill: FillLevel) -> Self {
-        Self { entries: vec![Entry::default(); ENTRIES], fill, inflight: Vec::new() }
+        Self {
+            entries: vec![Entry::default(); ENTRIES],
+            fill,
+            inflight: Vec::new(),
+        }
     }
 
     /// The DPC-3-style L1 configuration.
@@ -77,7 +81,13 @@ impl Prefetcher for TskidLite {
         let idx = Self::index(info.ip.raw());
         let e = &mut self.entries[idx];
         if !e.occupied || e.tag != info.ip.raw() {
-            *e = Entry { tag: info.ip.raw(), occupied: true, last_line: line.raw(), distance: 2, ..Entry::default() };
+            *e = Entry {
+                tag: info.ip.raw(),
+                occupied: true,
+                last_line: line.raw(),
+                distance: 2,
+                ..Entry::default()
+            };
             return;
         }
         let observed = line.raw() as i64 - e.last_line as i64;
@@ -98,8 +108,16 @@ impl Prefetcher for TskidLite {
             // Issue a *window* of two targets at the learned distance
             // rather than a dense near burst: timeliness over volume.
             for k in distance..distance + 2 {
-                let Some(target) = line.offset_within_page(stride * k) else { break };
-                let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+                let Some(target) = line.offset_within_page(stride * k) else {
+                    break;
+                };
+                let req = PrefetchRequest {
+                    line: target,
+                    virtual_addr: virt,
+                    fill: self.fill,
+                    pf_class: 0,
+                    meta: None,
+                };
                 if sink.prefetch(req) {
                     if self.inflight.len() >= 64 {
                         self.inflight.remove(0);
@@ -166,7 +184,10 @@ mod tests {
         // late prefetches.
         drive(&mut p, 0x400, &[104, 105, 106, 107]);
         let d1 = p.entries[TskidLite::index(0x400)].distance;
-        assert!(d1 > d0, "distance must grow after late prefetches ({d0} → {d1})");
+        assert!(
+            d1 > d0,
+            "distance must grow after late prefetches ({d0} → {d1})"
+        );
     }
 
     #[test]

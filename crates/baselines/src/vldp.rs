@@ -3,9 +3,7 @@
 //! Tables keyed by progressively longer delta histories; the deepest
 //! matching table wins.
 
-use ipcp_sim::prefetch::{
-    AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher,
-};
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 const DHB_ENTRIES: usize = 16;
 const DPT_ENTRIES: usize = 64;
@@ -86,7 +84,12 @@ impl Vldp {
                 }
             }
         } else {
-            *e = DptEntry { key, valid: true, pred: observed, confidence: 0 };
+            *e = DptEntry {
+                key,
+                valid: true,
+                pred: observed,
+                confidence: 0,
+            };
         }
     }
 
@@ -129,7 +132,13 @@ impl Prefetcher for Vldp {
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
                     .expect("DHB non-empty");
-                self.dhb[v] = DhbEntry { page, valid: true, last_offset: offset, lru: self.stamp, ..DhbEntry::default() };
+                self.dhb[v] = DhbEntry {
+                    page,
+                    valid: true,
+                    last_offset: offset,
+                    lru: self.stamp,
+                    ..DhbEntry::default()
+                };
                 return;
             }
         };
@@ -168,9 +177,19 @@ impl Prefetcher for Vldp {
         };
         let mut addr = line;
         for _ in 0..self.degree {
-            let Some(pred) = self.predict(&hist) else { break };
-            let Some(target) = addr.offset_within_page(i64::from(pred)) else { break };
-            let req = PrefetchRequest { line: target, virtual_addr: virt, fill: self.fill, pf_class: 0, meta: None };
+            let Some(pred) = self.predict(&hist) else {
+                break;
+            };
+            let Some(target) = addr.offset_within_page(i64::from(pred)) else {
+                break;
+            };
+            let req = PrefetchRequest {
+                line: target,
+                virtual_addr: virt,
+                fill: self.fill,
+                pf_class: 0,
+                meta: None,
+            };
             sink.prefetch(req);
             addr = target;
             if hist.len() == DEPTH {
@@ -223,7 +242,10 @@ mod tests {
             lines.push(last + if i % 2 == 0 { 1 } else { 3 });
         }
         let reqs = drive(&mut p, &lines);
-        assert!(reqs.len() > 5, "depth-2 history should disambiguate 1,3,1,3");
+        assert!(
+            reqs.len() > 5,
+            "depth-2 history should disambiguate 1,3,1,3"
+        );
     }
 
     #[test]
@@ -236,8 +258,14 @@ mod tests {
             lines.push(0x20_000 + i * 3); // page B, delta 3
         }
         let reqs = drive(&mut p, &lines);
-        let a_hits = reqs.iter().filter(|&&t| (0x10_000..0x10_040).contains(&t)).count();
-        let b_hits = reqs.iter().filter(|&&t| (0x20_000..0x20_040).contains(&t)).count();
+        let a_hits = reqs
+            .iter()
+            .filter(|&&t| (0x10_000..0x10_040).contains(&t))
+            .count();
+        let b_hits = reqs
+            .iter()
+            .filter(|&&t| (0x20_000..0x20_040).contains(&t))
+            .count();
         assert!(a_hits > 0 && b_hits > 0, "a={a_hits} b={b_hits}");
     }
 }

@@ -3,13 +3,11 @@
 //! correctness, and bounded issue volume.
 
 use ipcp_baselines::{
-    spp_perceptron_dspatch, Bingo, Bop, Duo, IpStride, IsbLite, Mlop, NextLine, Sandbox, Sms,
-    Spp, StreamPf, TskidLite, Vldp,
+    spp_perceptron_dspatch, Bingo, Bop, Duo, IpStride, IsbLite, Mlop, NextLine, Sandbox, Sms, Spp,
+    StreamPf, TskidLite, Vldp,
 };
 use ipcp_mem::{Ip, LineAddr};
-use ipcp_sim::prefetch::{
-    AccessInfo, DemandKind, FillLevel, PrefetchRequest, Prefetcher, VecSink,
-};
+use ipcp_sim::prefetch::{AccessInfo, DemandKind, FillLevel, PrefetchRequest, Prefetcher, VecSink};
 
 fn roster(fill: FillLevel) -> Vec<Box<dyn Prefetcher>> {
     vec![
@@ -25,7 +23,11 @@ fn roster(fill: FillLevel) -> Vec<Box<dyn Prefetcher>> {
         Box::new(Bingo::new(1024, fill)),
         Box::new(TskidLite::new(fill)),
         Box::new(IsbLite::new(1024, 2, fill)),
-        Box::new(Duo::new("duo", Box::new(NextLine::new(1, fill)), Box::new(IpStride::new(64, 2, fill)))),
+        Box::new(Duo::new(
+            "duo",
+            Box::new(NextLine::new(1, fill)),
+            Box::new(IpStride::new(64, 2, fill)),
+        )),
         Box::new(spp_perceptron_dspatch()),
     ]
 }
@@ -35,7 +37,9 @@ fn stream(n: usize) -> Vec<AccessInfo> {
     let mut x = 0x12345u64;
     (0..n)
         .map(|i| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let line = match i % 4 {
                 0 | 1 => 0x10_000 + (i as u64 / 4) * 3, // a stride stream
                 2 => 0x80_000 + (i as u64 % 512),       // a hot set
@@ -148,6 +152,10 @@ fn issue_volume_is_bounded() {
 #[test]
 fn storage_budgets_are_reported() {
     for p in roster(FillLevel::L2) {
-        assert!(p.storage_bits() > 0 || p.name() == "next-line", "{}", p.name());
+        assert!(
+            p.storage_bits() > 0 || p.name() == "next-line",
+            "{}",
+            p.name()
+        );
     }
 }

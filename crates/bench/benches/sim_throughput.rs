@@ -14,12 +14,20 @@ fn bench_sim(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(INSTRUCTIONS));
     let trace = || {
-        ipcp_workloads::by_name("bwaves-cs3").expect("suite trace").shared()
+        ipcp_workloads::by_name("bwaves-cs3")
+            .expect("suite trace")
+            .shared()
     };
     group.bench_function("baseline", |b| {
         b.iter(|| {
             let cfg = SimConfig::default().with_instructions(20_000, INSTRUCTIONS);
-            run_single(cfg, trace(), Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher))
+            run_single(
+                cfg,
+                trace(),
+                Box::new(NoPrefetcher),
+                Box::new(NoPrefetcher),
+                Box::new(NoPrefetcher),
+            )
         });
     });
     group.bench_function("ipcp", |b| {

@@ -6,7 +6,7 @@
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_baselines::{spp_perceptron_dspatch, Bop, IpStride, Mlop, NextLine, Spp, Vldp};
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_custom};
+use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
 use ipcp_sim::prefetch::{FillLevel, NoPrefetcher, Prefetcher};
 
 fn main() {
@@ -17,8 +17,12 @@ fn main() {
     type MakeL2 = fn() -> Box<dyn Prefetcher>;
     let l2s: Vec<(&str, MakeL2)> = vec![
         ("none", || Box::new(NoPrefetcher)),
-        ("nl", || Box::new(NextLine::new(1, FillLevel::L2).miss_only())),
-        ("ip-stride", || Box::new(IpStride::new(64, 4, FillLevel::L2))),
+        ("nl", || {
+            Box::new(NextLine::new(1, FillLevel::L2).miss_only())
+        }),
+        ("ip-stride", || {
+            Box::new(IpStride::new(64, 4, FillLevel::L2))
+        }),
         ("bop", || Box::new(Bop::l2_default())),
         ("vldp", || Box::new(Vldp::l2_default())),
         ("spp", || Box::new(Spp::l2_default())),
@@ -32,7 +36,13 @@ fn main() {
         let mut speeds = Vec::new();
         for t in &traces {
             let base = baselines.get(t, scale).ipc();
-            let r = run_custom(t, scale, Box::new(IpcpL1::new(IpcpConfig::default())), mk(), Box::new(NoPrefetcher));
+            let r = run_custom(
+                t,
+                scale,
+                Box::new(IpcpL1::new(IpcpConfig::default())),
+                mk(),
+                Box::new(NoPrefetcher),
+            );
             speeds.push(r.ipc() / base);
         }
         geos.push((name.to_string(), geomean(&speeds)));
@@ -42,10 +52,21 @@ fn main() {
     let rows: Vec<Vec<String>> = geos
         .iter()
         .map(|(n, g)| {
-            vec![n.clone(), format!("{g:.3}"), format!("{:+.1} pts", 100.0 * (g - baseline_geo))]
+            vec![
+                n.clone(),
+                format!("{g:.3}"),
+                format!("{:+.1} pts", 100.0 * (g - baseline_geo)),
+            ]
         })
         .collect();
-    print_table(&["L2 prefetcher".into(), "geomean".into(), "delta vs none".into()], &rows);
+    print_table(
+        &[
+            "L2 prefetcher".into(),
+            "geomean".into(),
+            "delta vs none".into(),
+        ],
+        &rows,
+    );
     println!("paper: every generic L2 prefetcher adds <1.7% on top of IPCP at L1,");
     println!("       SPP+Perceptron+DSPatch being the best of them. Here the deltas");
     println!("       run a little larger (2-4 pts) but the ordering holds: SPP-combo");

@@ -9,7 +9,7 @@
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_baselines::{Duo, IsbLite};
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_custom};
+use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
 use ipcp_sim::prefetch::{NoPrefetcher, Prefetcher};
 use ipcp_trace::TraceSource;
 
@@ -23,16 +23,25 @@ fn main() {
     // traces whose temporal period fits inside them.
     let mut scale = RunScale::from_env();
     if std::env::var("IPCP_SCALE").is_err() {
-        scale = RunScale { warmup: 300_000, instructions: 1_200_000 };
+        scale = RunScale {
+            warmup: 300_000,
+            instructions: 1_200_000,
+        };
     }
     use ipcp_workloads::gen::{blend, resident, server};
     let mk_temporal = |name: &str, period_lines: usize, dilution: u32, seed: u64| {
         // Period × 64 B exceeds the 2 MB LLC, so every pass misses DRAM —
         // unless a temporal prefetcher replays the recorded order.
-        blend(name, vec![
-            (server("p", 4096, period_lines, (256 << 20) / 64, 1, seed), 1),
-            (resident("hot", 512, 1), dilution),
-        ])
+        blend(
+            name,
+            vec![
+                (
+                    server("p", 4096, period_lines, (256 << 20) / 64, 1, seed),
+                    1,
+                ),
+                (resident("hot", 512, 1), dilution),
+            ],
+        )
     };
     let mut traces = vec![
         mk_temporal("server-temporal-a", 48 * 1024, 8, 271),
@@ -48,8 +57,12 @@ fn main() {
 
     type MakePair = fn() -> (Box<dyn Prefetcher>, Box<dyn Prefetcher>);
     let variants: Vec<(&str, MakePair)> = vec![
-        ("ipcp", || (ipcp_l1(), Box::new(IpcpL2::new(IpcpConfig::default())))),
-        ("isb-lite", || (Box::new(NoPrefetcher), Box::new(IsbLite::l2_default()))),
+        ("ipcp", || {
+            (ipcp_l1(), Box::new(IpcpL2::new(IpcpConfig::default())))
+        }),
+        ("isb-lite", || {
+            (Box::new(NoPrefetcher), Box::new(IsbLite::l2_default()))
+        }),
         ("ipcp+isb", || {
             (
                 ipcp_l1(),
@@ -82,12 +95,15 @@ fn main() {
     }
     rows.push(footer);
     println!("== Future work: IPCP + a temporal component (Section VII)");
-    let header: Vec<String> =
-        std::iter::once("trace".to_string()).chain(variants.iter().map(|(n, _)| n.to_string())).collect();
+    let header: Vec<String> = std::iter::once("trace".to_string())
+        .chain(variants.iter().map(|(n, _)| n.to_string()))
+        .collect();
     print_table(&header, &rows);
     println!("paper (Section VII): 'all the temporal prefetchers can use IPCP as");
     println!("their spatial counter-part'. Measured: IPCP alone is blind to temporal");
     println!("reuse (~1.0); the temporal component covers it (+14-15%); the pairing");
-    println!("keeps those gains — at {} KB of metadata vs IPCP's 895 B.",
-        IsbLite::l2_default().storage_bits() / 8 / 1024);
+    println!(
+        "keeps those gains — at {} KB of metadata vs IPCP's 895 B.",
+        IsbLite::l2_default().storage_bits() / 8 / 1024
+    );
 }

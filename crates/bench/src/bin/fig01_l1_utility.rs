@@ -5,7 +5,7 @@
 //! placement; train-at-L1/fill-to-L2 narrows the gap to 3–7%; only one
 //! trace prefers L2 placement, and only marginally.
 
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_combo};
+use ipcp_bench::runner::{geomean, print_table, run_combo, BaselineCache, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -13,9 +13,17 @@ fn main() {
     let mut baselines = BaselineCache::new();
     let mut rows = Vec::new();
     for pf in ["ip-stride", "mlop", "bingo"] {
-        let variants = [format!("l2-{pf}"), format!("l1fill2-{pf}"), format!("l1-{pf}48")];
+        let variants = [
+            format!("l2-{pf}"),
+            format!("l1fill2-{pf}"),
+            format!("l1-{pf}48"),
+        ];
         // bingo's L1 registry name is l1-bingo48; the others match l1-<pf>.
-        let l1_name = if pf == "bingo" { "l1-bingo48".to_string() } else { format!("l1-{pf}") };
+        let l1_name = if pf == "bingo" {
+            "l1-bingo48".to_string()
+        } else {
+            format!("l1-{pf}")
+        };
         let mut speeds = [Vec::new(), Vec::new(), Vec::new()];
         for t in &traces {
             let base = baselines.get(t, scale).ipc();
@@ -33,7 +41,12 @@ fn main() {
     }
     println!("== Fig. 1: utility of L1-D prefetching (geomean speedups, memory-intensive suite)");
     print_table(
-        &["prefetcher".into(), "at L2".into(), "train L1, fill L2".into(), "at L1".into()],
+        &[
+            "prefetcher".into(),
+            "at L2".into(),
+            "train L1, fill L2".into(),
+            "at L1".into(),
+        ],
         &rows,
     );
     println!("paper: at-L1 beats at-L2 by 6–13 percentage points on average;");

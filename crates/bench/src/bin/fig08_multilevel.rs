@@ -10,7 +10,12 @@ use ipcp_bench::runner::{speedup_comparison, RunScale};
 fn main() {
     let scale = RunScale::from_env();
     let intensive = ipcp_workloads::memory_intensive_suite();
-    speedup_comparison("Fig. 8 (top): memory-intensive traces", &intensive, TABLE3_COMBOS, scale);
+    speedup_comparison(
+        "Fig. 8 (top): memory-intensive traces",
+        &intensive,
+        TABLE3_COMBOS,
+        scale,
+    );
     println!();
     let full = ipcp_workloads::full_suite();
     speedup_comparison("Fig. 8 (bottom): full suite", &full, TABLE3_COMBOS, scale);

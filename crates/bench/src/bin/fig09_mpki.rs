@@ -4,7 +4,7 @@
 //! reductions are the largest at L2/LLC.
 
 use ipcp_bench::combos::TABLE3_COMBOS;
-use ipcp_bench::runner::{print_table, BaselineCache, RunScale, run_combo};
+use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -17,7 +17,12 @@ fn main() {
         for t in &traces {
             let (b_l1, b_l2, b_llc, b_instr) = {
                 let b = baselines.get(t, scale);
-                (b.cores[0].l1d.demand_misses, b.cores[0].l2.demand_misses, b.llc.demand_misses, b.cores[0].core.instructions)
+                (
+                    b.cores[0].l1d.demand_misses,
+                    b.cores[0].l2.demand_misses,
+                    b.llc.demand_misses,
+                    b.cores[0].core.instructions,
+                )
             };
             let r = run_combo(combo, t, scale);
             let instr = r.cores[0].core.instructions;
@@ -43,6 +48,9 @@ fn main() {
         ]);
     }
     println!("== Fig. 9: average demand-MPKI reduction (memory-intensive suite)");
-    print_table(&["combo".into(), "L1D".into(), "L2".into(), "LLC".into()], &rows);
+    print_table(
+        &["combo".into(), "L1D".into(), "L2".into(), "LLC".into()],
+        &rows,
+    );
     println!("paper: reductions grow down the hierarchy; IPCP at or near the top at L2/LLC.");
 }

@@ -3,7 +3,7 @@
 //! Paper's numbers: 60% at L1, 79.5% at L2, 83% at LLC on average, with
 //! near-zero coverage for the irregular (mcf/omnetpp-like) traces.
 
-use ipcp_bench::runner::{print_table, BaselineCache, RunScale, run_combo};
+use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
 use ipcp_trace::TraceSource;
 
 fn main() {
@@ -15,19 +15,35 @@ fn main() {
     for t in &traces {
         let (b_l1, b_l2, b_llc) = {
             let b = baselines.get(t, scale);
-            (b.cores[0].l1d.demand_misses, b.cores[0].l2.demand_misses, b.llc.demand_misses)
+            (
+                b.cores[0].l1d.demand_misses,
+                b.cores[0].l2.demand_misses,
+                b.llc.demand_misses,
+            )
         };
         let r = run_combo("ipcp", t, scale);
         let cov = |base: u64, now: u64| {
-            if base == 0 { 0.0 } else { (1.0 - now as f64 / base as f64).max(-1.0) }
+            if base == 0 {
+                0.0
+            } else {
+                (1.0 - now as f64 / base as f64).max(-1.0)
+            }
         };
         // Late prefetch merges still count as misses; credit them as
         // covered-but-late at the L1 the way the paper's coverage metric
         // (miss reduction vs no prefetching) does at each level.
-        let c1 = cov(b_l1, r.cores[0].l1d.demand_misses - r.cores[0].l1d.late_prefetch_hits);
-        let c2 = cov(b_l2, r.cores[0].l2.demand_misses - r.cores[0].l2.late_prefetch_hits);
+        let c1 = cov(
+            b_l1,
+            r.cores[0].l1d.demand_misses - r.cores[0].l1d.late_prefetch_hits,
+        );
+        let c2 = cov(
+            b_l2,
+            r.cores[0].l2.demand_misses - r.cores[0].l2.late_prefetch_hits,
+        );
         let c3 = cov(b_llc, r.llc.demand_misses - r.llc.late_prefetch_hits);
-        avg[0] += c1; avg[1] += c2; avg[2] += c3;
+        avg[0] += c1;
+        avg[1] += c2;
+        avg[2] += c3;
         rows.push(vec![
             t.name().to_string(),
             format!("{:.0}%", 100.0 * c1),
@@ -36,8 +52,16 @@ fn main() {
         ]);
     }
     let n = traces.len() as f64;
-    rows.push(vec!["AVERAGE".into(), format!("{:.0}%", 100.0*avg[0]/n), format!("{:.0}%", 100.0*avg[1]/n), format!("{:.0}%", 100.0*avg[2]/n)]);
+    rows.push(vec![
+        "AVERAGE".into(),
+        format!("{:.0}%", 100.0 * avg[0] / n),
+        format!("{:.0}%", 100.0 * avg[1] / n),
+        format!("{:.0}%", 100.0 * avg[2] / n),
+    ]);
     println!("== Fig. 10: demand misses covered by IPCP per level");
-    print_table(&["trace".into(), "L1D".into(), "L2".into(), "LLC".into()], &rows);
+    print_table(
+        &["trace".into(), "L1D".into(), "L2".into(), "LLC".into()],
+        &rows,
+    );
     println!("paper: 60% / 79.5% / 83% average at L1/L2/LLC; ~0 for irregular traces.");
 }

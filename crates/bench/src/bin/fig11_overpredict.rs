@@ -5,7 +5,7 @@
 //! mostly uncovered; over-prediction visible where GS trades accuracy for
 //! coverage.
 
-use ipcp_bench::runner::{print_table, BaselineCache, RunScale, run_combo};
+use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
 use ipcp_trace::TraceSource;
 
 fn main() {
@@ -31,7 +31,13 @@ fn main() {
     }
     println!("== Fig. 11: IPCP at L1 — covered / uncovered / over-predicted");
     print_table(
-        &["trace".into(), "base misses".into(), "covered".into(), "uncovered".into(), "overpred".into()],
+        &[
+            "trace".into(),
+            "base misses".into(),
+            "covered".into(),
+            "uncovered".into(),
+            "overpred".into(),
+        ],
         &rows,
     );
     println!("paper: coverage dominates except for irregular traces; over-prediction");

@@ -4,7 +4,7 @@
 //! Paper's shape: CS contributes ~46.7% and GS ~30% of covered misses on
 //! average; CPLX and NL pick up complex/irregular traces (mcf-like).
 
-use ipcp_bench::runner::{print_table, RunScale, run_combo};
+use ipcp_bench::runner::{print_table, run_combo, RunScale};
 use ipcp_trace::TraceSource;
 
 fn main() {
@@ -36,7 +36,16 @@ fn main() {
         format!("{:.0}%", 100.0 * totals[0] as f64 / sum),
     ]);
     println!("== Fig. 12: class share of IPCP's L1 coverage");
-    print_table(&["trace".into(), "GS".into(), "CS".into(), "CPLX".into(), "NL".into()], &rows);
+    print_table(
+        &[
+            "trace".into(),
+            "GS".into(),
+            "CS".into(),
+            "CPLX".into(),
+            "NL".into(),
+        ],
+        &rows,
+    );
     println!("paper: CS ~46.7% and GS ~30% overall; CPLX covers mcf-like complex strides;");
     println!("       NL contributes marginally, on irregular traces only.");
 }

@@ -5,7 +5,7 @@
 //! a little; the L2 adds ~5 more points on top of the L1 bouquet.
 
 use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_custom};
+use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
 use ipcp_sim::prefetch::NoPrefetcher;
 
 fn main() {
@@ -16,8 +16,16 @@ fn main() {
         ("CS only", IpcpConfig::with_only(&[IpClass::Cs]), false),
         ("CPLX only", IpcpConfig::with_only(&[IpClass::Cplx]), false),
         ("GS only", IpcpConfig::with_only(&[IpClass::Gs]), false),
-        ("CS+CPLX", IpcpConfig::with_only(&[IpClass::Cs, IpClass::Cplx]), false),
-        ("CS+CPLX+NL", IpcpConfig::with_only(&[IpClass::Cs, IpClass::Cplx, IpClass::NoClass]), false),
+        (
+            "CS+CPLX",
+            IpcpConfig::with_only(&[IpClass::Cs, IpClass::Cplx]),
+            false,
+        ),
+        (
+            "CS+CPLX+NL",
+            IpcpConfig::with_only(&[IpClass::Cs, IpClass::Cplx, IpClass::NoClass]),
+            false,
+        ),
         ("IPCP L1", IpcpConfig::default(), false),
         ("IPCP L1+L2", IpcpConfig::default(), true),
     ];
@@ -31,7 +39,13 @@ fn main() {
             } else {
                 Box::new(NoPrefetcher)
             };
-            let r = run_custom(t, scale, Box::new(IpcpL1::new(cfg.clone())), l2, Box::new(NoPrefetcher));
+            let r = run_custom(
+                t,
+                scale,
+                Box::new(IpcpL1::new(cfg.clone())),
+                l2,
+                Box::new(NoPrefetcher),
+            );
             speeds.push(r.ipc() / base);
         }
         rows.push(vec![name.to_string(), format!("{:.3}", geomean(&speeds))]);

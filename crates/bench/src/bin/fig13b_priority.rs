@@ -4,14 +4,17 @@
 //! costs up to ~9% on memory-intensive traces.
 
 use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_custom};
+use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
     let traces = ipcp_workloads::memory_intensive_suite();
     let mut baselines = BaselineCache::new();
     let orders: Vec<(&str, [IpClass; 3])> = vec![
-        ("GS>CS>CPLX (paper)", [IpClass::Gs, IpClass::Cs, IpClass::Cplx]),
+        (
+            "GS>CS>CPLX (paper)",
+            [IpClass::Gs, IpClass::Cs, IpClass::Cplx],
+        ),
         ("CS>GS>CPLX", [IpClass::Cs, IpClass::Gs, IpClass::Cplx]),
         ("CPLX>CS>GS", [IpClass::Cplx, IpClass::Cs, IpClass::Gs]),
         ("CS>CPLX>GS", [IpClass::Cs, IpClass::Cplx, IpClass::Gs]),
@@ -48,7 +51,10 @@ fn main() {
             );
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec!["no metadata".to_string(), format!("{:.3}", geomean(&speeds))]);
+        rows.push(vec![
+            "no metadata".to_string(),
+            format!("{:.3}", geomean(&speeds)),
+        ]);
     }
     println!("== Fig. 13(b): priority-order ablation (geomean speedup)");
     print_table(&["priority".into(), "speedup".into()], &rows);

@@ -5,44 +5,45 @@
 //! Paper's shape: IPCP ~23.4% average, next best (Bingo/MLOP) ~21/20%;
 //! homogeneous memory-hog mixes (mcf-like) degrade for everyone, IPCP
 //! degrading least thanks to accuracy-driven throttling.
+//!
+//! The alone-IPC denominators are memoized in a shared
+//! [`AloneIpcCache`] (homogeneous mixes need each one only once, not once
+//! per core per mix), and both the cache warm-up and the mix runs fan out
+//! across `IPCP_JOBS` workers. Everything is deterministic, so the output
+//! is byte-identical for any worker count.
 
+use std::collections::HashSet;
 use std::sync::Arc;
+
 use ipcp_bench::combos::{build, TABLE3_COMBOS};
+use ipcp_bench::harness::{jobs_from_env, parallel_map, AloneIpcCache};
 use ipcp_bench::runner::{geomean, print_table, RunScale};
 use ipcp_sim::{weighted_speedup, CoreSetup, SimConfig, System};
 use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
 
-fn alone_ipc(trace: &SynthTrace, combo: &str, cores: u32, scale: RunScale) -> f64 {
-    // "IPC_alone(i) is the IPC of core i when it runs alone on [the] N-core
-    // system": single core, but the multicore LLC capacity and DRAM.
-    let mut cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
-    cfg.cores = 1;
-    cfg.llc.size_bytes *= u64::from(cores);
-    let c = build(combo);
-    let mut sys = System::new(
-        cfg,
-        vec![CoreSetup { trace: Arc::new(trace.clone()), l1d_prefetcher: c.l1, l2_prefetcher: c.l2 }],
-        c.llc,
-    );
-    sys.run().ipc()
-}
-
-fn run_mix(mix: &[SynthTrace], combo: &str, scale: RunScale) -> f64 {
+fn run_mix(mix: &[SynthTrace], combo: &str, scale: RunScale, alone: &AloneIpcCache) -> f64 {
     let cores = mix.len() as u32;
     let cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
     let setups = mix
         .iter()
         .map(|t| {
             let c = build(combo);
-            CoreSetup { trace: Arc::new(t.clone()), l1d_prefetcher: c.l1, l2_prefetcher: c.l2 }
+            CoreSetup {
+                trace: Arc::new(t.clone()),
+                l1d_prefetcher: c.l1,
+                l2_prefetcher: c.l2,
+            }
         })
         .collect();
     let llc = build(combo).llc;
     let mut sys = System::new(cfg, setups, llc);
     let report = sys.run();
-    let alone: Vec<f64> = mix.iter().map(|t| alone_ipc(t, combo, cores, scale)).collect();
-    weighted_speedup(&report, &alone) / cores as f64
+    let alone: Vec<f64> = mix
+        .iter()
+        .map(|t| alone.get(t, combo, cores, scale))
+        .collect();
+    weighted_speedup(&report, &alone) / f64::from(cores)
 }
 
 fn main() {
@@ -61,12 +62,39 @@ fn main() {
         mixes.push((format!("homo4-{name}"), vec![find(name); 4]));
     }
     // Heterogeneous 4-core mixes.
-    mixes.push(("hetero4-a".into(), vec![find("bwaves-cs3"), find("gcc-gs-2226"), find("mcf-irr-994"), find("xz-cplx-334")]));
-    mixes.push(("hetero4-b".into(), vec![find("fotonik-cs2"), find("lbm-gs-pos"), find("omnetpp-irr"), find("cam4-cs7")]));
-    mixes.push(("hetero4-c".into(), vec![find("wrf-gs-neg"), find("roms-cs-neg"), find("pop2-nest"), find("blender-mixed")]));
+    mixes.push((
+        "hetero4-a".into(),
+        vec![
+            find("bwaves-cs3"),
+            find("gcc-gs-2226"),
+            find("mcf-irr-994"),
+            find("xz-cplx-334"),
+        ],
+    ));
+    mixes.push((
+        "hetero4-b".into(),
+        vec![
+            find("fotonik-cs2"),
+            find("lbm-gs-pos"),
+            find("omnetpp-irr"),
+            find("cam4-cs7"),
+        ],
+    ));
+    mixes.push((
+        "hetero4-c".into(),
+        vec![
+            find("wrf-gs-neg"),
+            find("roms-cs-neg"),
+            find("pop2-nest"),
+            find("blender-mixed"),
+        ],
+    ));
     // Seeded random heterogeneous mixes (the paper runs 1000; scale with
     // IPCP_MIXES, default 4).
-    let n_random: usize = std::env::var("IPCP_MIXES").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let n_random: usize = std::env::var("IPCP_MIXES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let mut rng_state = 0x1bc9_5eedu64;
     let mut next = move || {
         rng_state ^= rng_state << 13;
@@ -75,19 +103,56 @@ fn main() {
         rng_state
     };
     for m in 0..n_random {
-        let mix: Vec<SynthTrace> = (0..4).map(|_| all[(next() % all.len() as u64) as usize].clone()).collect();
+        let mix: Vec<SynthTrace> = (0..4)
+            .map(|_| all[(next() % all.len() as u64) as usize].clone())
+            .collect();
         mixes.push((format!("rand4-{m}"), mix));
     }
     // One 8-core sample.
     mixes.push(("homo8-bwaves-cs3".into(), vec![find("bwaves-cs3"); 8]));
 
+    let workers = jobs_from_env();
+    let alone = AloneIpcCache::new();
+    let combos_with_base: Vec<&str> = std::iter::once("none")
+        .chain(TABLE3_COMBOS.iter().copied())
+        .collect();
+
+    // Phase 1: warm the alone-IPC cache over every unique (trace, combo,
+    // cores) key in parallel, so homogeneous mixes compute each
+    // denominator once instead of once per core.
+    let mut seen = HashSet::new();
+    let mut warm_jobs: Vec<(SynthTrace, &str, u32)> = Vec::new();
+    for (_, mix) in &mixes {
+        let cores = mix.len() as u32;
+        for t in mix {
+            for &combo in &combos_with_base {
+                if seen.insert((t.name().to_string(), combo, cores)) {
+                    warm_jobs.push((t.clone(), combo, cores));
+                }
+            }
+        }
+    }
+    parallel_map(workers, warm_jobs, |(t, combo, cores)| {
+        alone.get(&t, combo, cores, scale)
+    });
+
+    // Phase 2: all (mix, combo) runs — including the per-mix "none"
+    // baselines — in parallel; alone-IPC lookups are now cache hits.
+    let mix_jobs: Vec<(usize, &str)> = (0..mixes.len())
+        .flat_map(|mi| combos_with_base.iter().map(move |&c| (mi, c)))
+        .collect();
+    let speedups = parallel_map(workers, mix_jobs, |(mi, combo)| {
+        run_mix(&mixes[mi].1, combo, scale, &alone)
+    });
+
+    let per_mix = combos_with_base.len();
     let mut per_combo: std::collections::HashMap<String, Vec<f64>> = Default::default();
     let mut rows = Vec::new();
-    for (name, mix) in &mixes {
-        let base = run_mix(mix, "none", scale);
+    for (mi, (name, _)) in mixes.iter().enumerate() {
+        let base = speedups[mi * per_mix];
         let mut row = vec![name.clone()];
-        for &combo in TABLE3_COMBOS {
-            let ws = run_mix(mix, combo, scale) / base;
+        for (ci, &combo) in TABLE3_COMBOS.iter().enumerate() {
+            let ws = speedups[mi * per_mix + 1 + ci] / base;
             per_combo.entry(combo.into()).or_default().push(ws);
             row.push(format!("{ws:.3}"));
         }

@@ -4,7 +4,7 @@
 //! Paper's shape: IPCP's relative gain moves by at most ~1% across the
 //! size combinations; a tiny LLC costs everyone ~3 points of absolute gain.
 
-use ipcp_bench::runner::{geomean, print_table, RunScale, run_combo_with};
+use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -25,7 +25,9 @@ fn main() {
             let tweak = |cfg: &mut ipcp_sim::SimConfig| {
                 cfg.l1d.size_bytes = l1kb * 1024;
                 // Keep power-of-two set counts: 32 KB needs 8 ways.
-                if l1kb == 32 { cfg.l1d.ways = 8; }
+                if l1kb == 32 {
+                    cfg.l1d.ways = 8;
+                }
                 cfg.l2.size_bytes = l2kb * 1024;
                 cfg.llc.size_bytes = llckb * 1024;
             };

@@ -4,13 +4,17 @@
 //! traces and IPCP's lead narrows to ~1%; at 25 GB/s most prefetchers gain
 //! 2–3 points and IPCP stays ahead.
 
-use ipcp_bench::runner::{geomean, print_table, RunScale, run_combo_with};
+use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
     let traces = ipcp_workloads::memory_intensive_suite();
     let mut rows = Vec::new();
-    for (label, gbps, channels) in [("3.2 GB/s", 3.2, 1u32), ("12.8 GB/s (default)", 12.8, 1), ("25.6 GB/s", 25.6, 2)] {
+    for (label, gbps, channels) in [
+        ("3.2 GB/s", 3.2, 1u32),
+        ("12.8 GB/s (default)", 12.8, 1),
+        ("25.6 GB/s", 25.6, 2),
+    ] {
         let mut speeds: std::collections::HashMap<&str, Vec<f64>> = Default::default();
         for t in &traces {
             let tweak = |cfg: &mut ipcp_sim::SimConfig| {
@@ -31,7 +35,15 @@ fn main() {
         ]);
     }
     println!("== Sensitivity: DRAM bandwidth (geomean speedups)");
-    print_table(&["bandwidth".into(), "ipcp".into(), "mlop".into(), "spp+ppf+dspatch".into()], &rows);
+    print_table(
+        &[
+            "bandwidth".into(),
+            "ipcp".into(),
+            "mlop".into(),
+            "spp+ppf+dspatch".into(),
+        ],
+        &rows,
+    );
     println!("paper: IPCP beats MLOP by ~1% at 3.2 GB/s and SPP-combo by ~1.5% at 25 GB/s;");
     println!("       everyone's absolute gains grow with bandwidth.");
 }

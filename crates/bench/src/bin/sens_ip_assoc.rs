@@ -7,7 +7,7 @@
 //! exactly the paper's "size the tables up only for outliers" advice.
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_custom};
+use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
 use ipcp_sim::prefetch::NoPrefetcher;
 use ipcp_trace::TraceSource;
 
@@ -22,7 +22,11 @@ fn main() {
         ("1024 x 16", 1024, 16),
         ("4096 x 64", 4096, 64),
     ] {
-        let cfg = IpcpConfig { ip_table_entries: entries, ip_table_ways: ways, ..IpcpConfig::default() };
+        let cfg = IpcpConfig {
+            ip_table_entries: entries,
+            ip_table_ways: ways,
+            ..IpcpConfig::default()
+        };
         let mut speeds = Vec::new();
         let mut cactu = 1.0;
         for t in &traces {
@@ -40,10 +44,17 @@ fn main() {
                 cactu = sp;
             }
         }
-        rows.push(vec![label.to_string(), format!("{:.3}", geomean(&speeds)), format!("{:.3}", cactu)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", geomean(&speeds)),
+            format!("{:.3}", cactu),
+        ]);
     }
     println!("== Sensitivity: IP-table capacity x associativity");
-    print_table(&["IP table".into(), "geomean".into(), "cactu-bigip".into()], &rows);
+    print_table(
+        &["IP table".into(), "geomean".into(), "cactu-bigip".into()],
+        &rows,
+    );
     println!("paper: only cactuBSSN-like IP churn wants a big associative table;");
     println!("       the suite average is already captured by 64 entries.");
 }

@@ -4,7 +4,7 @@
 //! Paper's shape: (2,4) loses ~2.7% on average (high-MLP traces hit
 //! hardest); (16,32) gains little — the default is near the knee.
 
-use ipcp_bench::runner::{geomean, print_table, RunScale, run_combo_with};
+use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -21,7 +21,10 @@ fn main() {
             let r = run_combo_with("ipcp", t, scale, tweak);
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![format!("PQ {pq}, MSHR {mshr}"), format!("{:.3}", geomean(&speeds))]);
+        rows.push(vec![
+            format!("PQ {pq}, MSHR {mshr}"),
+            format!("{:.3}", geomean(&speeds)),
+        ]);
     }
     println!("== Sensitivity: L1-D PQ/MSHR entries (IPCP geomean speedup)");
     print_table(&["resources".into(), "speedup".into()], &rows);

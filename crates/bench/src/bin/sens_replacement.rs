@@ -2,7 +2,7 @@
 //!
 //! Paper's shape: IPCP moves by <1% across policies.
 
-use ipcp_bench::runner::{geomean, print_table, RunScale, run_combo_with};
+use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
 use ipcp_sim::ReplacementKind;
 
 fn main() {

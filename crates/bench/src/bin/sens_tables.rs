@@ -5,7 +5,7 @@
 //! already captures the needed IPs (cactuBSSN-like outliers excepted).
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, BaselineCache, RunScale, run_custom};
+use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
 use ipcp_sim::prefetch::NoPrefetcher;
 use ipcp_trace::TraceSource;
 
@@ -26,17 +26,30 @@ fn main() {
         let mut cactu = 1.0;
         for t in &traces {
             let base = baselines.get(t, scale).ipc();
-            let r = run_custom(t, scale, Box::new(IpcpL1::new(cfg.clone())), Box::new(IpcpL2::new(cfg.clone())), Box::new(NoPrefetcher));
+            let r = run_custom(
+                t,
+                scale,
+                Box::new(IpcpL1::new(cfg.clone())),
+                Box::new(IpcpL2::new(cfg.clone())),
+                Box::new(NoPrefetcher),
+            );
             let sp = r.ipc() / base;
             speeds.push(sp);
             if t.name() == "cactu-bigip" {
                 cactu = sp;
             }
         }
-        rows.push(vec![label.to_string(), format!("{:.3}", geomean(&speeds)), format!("{:.3}", cactu)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", geomean(&speeds)),
+            format!("{:.3}", cactu),
+        ]);
     }
     println!("== Sensitivity: IPCP table sizes (geomean + cactuBSSN-like outlier)");
-    print_table(&["tables".into(), "geomean".into(), "cactu-bigip".into()], &rows);
+    print_table(
+        &["tables".into(), "geomean".into(), "cactu-bigip".into()],
+        &rows,
+    );
     println!("paper: bigger tables buy ~0.7% on average; only huge-code-footprint");
     println!("       outliers (cactuBSSN) want a larger IP table.");
 }

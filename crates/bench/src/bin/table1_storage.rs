@@ -1,7 +1,7 @@
 //! Table I — Hardware overhead of IPCP at L1 and L2, computed from the
 //! same structural constants the implementation uses.
 
-use ipcp::{l1_budget, l2_budget, framework_bytes, IpcpConfig};
+use ipcp::{framework_bytes, l1_budget, l2_budget, IpcpConfig};
 use ipcp_bench::runner::print_table;
 
 fn main() {
@@ -15,14 +15,26 @@ fn main() {
             vec!["L1 IP table (36 x 64)".into(), format!("{}", l1.ip_table)],
             vec!["L1 CSPT (9 x 128)".into(), format!("{}", l1.cspt)],
             vec!["L1 RST (53 x 8)".into(), format!("{}", l1.rst)],
-            vec!["L1 per-line class bits (2 x 64 x 12)".into(), format!("{}", l1.class_bits)],
+            vec![
+                "L1 per-line class bits (2 x 64 x 12)".into(),
+                format!("{}", l1.class_bits),
+            ],
             vec!["L1 RR filter (12 x 32)".into(), format!("{}", l1.rr_filter)],
             vec!["L1 counters/registers".into(), format!("{}", l1.other)],
-            vec!["L1 total".into(), format!("{} bits = {} bytes", l1.total_bits(), l1.total_bytes())],
+            vec![
+                "L1 total".into(),
+                format!("{} bits = {} bytes", l1.total_bits(), l1.total_bytes()),
+            ],
             vec!["L2 IP table (19 x 64)".into(), format!("{}", l2.ip_table)],
             vec!["L2 counters".into(), format!("{}", l2.other)],
-            vec!["L2 total".into(), format!("{} bits = {} bytes", l2.total_bits(), l2.total_bytes())],
-            vec!["FRAMEWORK TOTAL".into(), format!("{} bytes", framework_bytes(&cfg))],
+            vec![
+                "L2 total".into(),
+                format!("{} bits = {} bytes", l2.total_bits(), l2.total_bytes()),
+            ],
+            vec![
+                "FRAMEWORK TOTAL".into(),
+                format!("{} bytes", framework_bytes(&cfg)),
+            ],
         ],
     );
     assert_eq!(l1.total_bytes(), 740, "paper: 740 bytes at L1");

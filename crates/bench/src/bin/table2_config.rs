@@ -10,22 +10,47 @@ fn main() {
     let cache_row = |x: &ipcp_sim::CacheConfig| {
         format!(
             "{} KB, {}-way, {} cycles, PQ: {}, MSHR: {}, {} ports",
-            x.size_bytes / 1024, x.ways, x.latency, x.pq_entries, x.mshr_entries, x.ports
+            x.size_bytes / 1024,
+            x.ways,
+            x.latency,
+            x.pq_entries,
+            x.mshr_entries,
+            x.ports
         )
     };
     print_table(
         &["component".into(), "parameters".into()],
         &[
-            vec!["Core".into(), format!("4 GHz, {}-wide, {}-entry ROB", c.core.fetch_width, c.core.rob_entries)],
-            vec!["TLBs".into(), format!("{} DTLB, {} shared L2 TLB entries", c.tlb.dtlb_entries, c.tlb.stlb_entries)],
+            vec![
+                "Core".into(),
+                format!(
+                    "4 GHz, {}-wide, {}-entry ROB",
+                    c.core.fetch_width, c.core.rob_entries
+                ),
+            ],
+            vec![
+                "TLBs".into(),
+                format!(
+                    "{} DTLB, {} shared L2 TLB entries",
+                    c.tlb.dtlb_entries, c.tlb.stlb_entries
+                ),
+            ],
             vec!["L1I".into(), cache_row(&c.l1i)],
             vec!["L1D".into(), cache_row(&c.l1d)],
             vec!["L2".into(), cache_row(&c.l2)],
-            vec!["LLC".into(), format!("{} per core (x cores)", cache_row(&c.llc))],
-            vec!["DRAM".into(), format!(
-                "{} channel(s), {} banks, peak {:.1} GB/s (2 for multicore)",
-                c.dram.channels, c.dram.banks_per_channel, c.dram.peak_bandwidth_gbps()
-            )],
+            vec![
+                "LLC".into(),
+                format!("{} per core (x cores)", cache_row(&c.llc)),
+            ],
+            vec![
+                "DRAM".into(),
+                format!(
+                    "{} channel(s), {} banks, peak {:.1} GB/s (2 for multicore)",
+                    c.dram.channels,
+                    c.dram.banks_per_channel,
+                    c.dram.peak_bandwidth_gbps()
+                ),
+            ],
         ],
     );
 }

@@ -17,9 +17,16 @@ fn main() {
             "ipcp" => "IPCP(L1) + IPCP(L2)",
             _ => "",
         };
-        rows.push(vec![name.to_string(), placement.to_string(), format!("{} B", c.storage_bytes())]);
+        rows.push(vec![
+            name.to_string(),
+            placement.to_string(),
+            format!("{} B", c.storage_bytes()),
+        ]);
     }
-    print_table(&["combo".into(), "placement".into(), "storage".into()], &rows);
+    print_table(
+        &["combo".into(), "placement".into(), "storage".into()],
+        &rows,
+    );
     println!("paper: IPCP = 895 B; rivals demand 10x-50x more (T-SKID-lite here is a");
     println!("       reduced stand-in; the real T-SKID spends >50 KB).");
 }

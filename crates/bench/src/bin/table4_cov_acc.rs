@@ -4,7 +4,7 @@
 //! rivals cover less at L2/LLC or pay accuracy for coverage.
 
 use ipcp_bench::combos::TABLE3_COMBOS;
-use ipcp_bench::runner::{print_table, BaselineCache, RunScale, run_combo};
+use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
 
 fn main() {
     let scale = RunScale::from_env();
@@ -19,18 +19,36 @@ fn main() {
         for t in &traces {
             let (b1, b2, b3) = {
                 let b = baselines.get(t, scale);
-                (b.cores[0].l1d.demand_misses, b.cores[0].l2.demand_misses, b.llc.demand_misses)
+                (
+                    b.cores[0].l1d.demand_misses,
+                    b.cores[0].l2.demand_misses,
+                    b.llc.demand_misses,
+                )
             };
             let r = run_combo(combo, t, scale);
             let c = |base: u64, miss: u64, late: u64| {
-                if base == 0 { 0.0 } else { (1.0 - (miss - late) as f64 / base as f64).clamp(-1.0, 1.0) }
+                if base == 0 {
+                    0.0
+                } else {
+                    (1.0 - (miss - late) as f64 / base as f64).clamp(-1.0, 1.0)
+                }
             };
-            cov[0] += c(b1, r.cores[0].l1d.demand_misses, r.cores[0].l1d.late_prefetch_hits);
-            cov[1] += c(b2, r.cores[0].l2.demand_misses, r.cores[0].l2.late_prefetch_hits);
+            cov[0] += c(
+                b1,
+                r.cores[0].l1d.demand_misses,
+                r.cores[0].l1d.late_prefetch_hits,
+            );
+            cov[1] += c(
+                b2,
+                r.cores[0].l2.demand_misses,
+                r.cores[0].l2.late_prefetch_hits,
+            );
             cov[2] += c(b3, r.llc.demand_misses, r.llc.late_prefetch_hits);
             acc_num += r.cores[0].l1d.useful_prefetch_hits + r.cores[0].l2.useful_prefetch_hits;
-            acc_den += r.cores[0].l1d.pf_fills + r.cores[0].l1d.late_prefetch_hits
-                + r.cores[0].l2.pf_fills + r.cores[0].l2.late_prefetch_hits;
+            acc_den += r.cores[0].l1d.pf_fills
+                + r.cores[0].l1d.late_prefetch_hits
+                + r.cores[0].l2.pf_fills
+                + r.cores[0].l2.late_prefetch_hits;
             n += 1.0;
         }
         rows.push(vec![
@@ -43,7 +61,13 @@ fn main() {
     }
     println!("== Table IV: coverage per level and prefetch accuracy");
     print_table(
-        &["combo".into(), "cov L1".into(), "cov L2".into(), "cov LLC".into(), "accuracy".into()],
+        &[
+            "combo".into(),
+            "cov L1".into(),
+            "cov L2".into(),
+            "cov LLC".into(),
+            "accuracy".into(),
+        ],
         &rows,
     );
     println!("paper: IPCP 0.60/0.79/0.83 coverage with 0.80 accuracy — the best");

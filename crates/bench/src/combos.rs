@@ -97,7 +97,11 @@ pub fn build(name: &str) -> Combo {
             restrictive_nl(FillLevel::L2),
             restrictive_nl(FillLevel::Llc),
         ),
-        "tskid" => Combo::new(Box::new(TskidLite::l1_default()), Box::new(Spp::l2_default()), none()),
+        "tskid" => Combo::new(
+            Box::new(TskidLite::l1_default()),
+            Box::new(Spp::l2_default()),
+            none(),
+        ),
 
         // --- L1-only placements (Fig. 7).
         "l1-nl" => Combo::new(Box::new(NextLine::new(1, FillLevel::L1)), none(), none()),
@@ -115,13 +119,24 @@ pub fn build(name: &str) -> Combo {
         "l1-ipcp" => Combo::new(Box::new(IpcpL1::new(ipcp_cfg())), none(), none()),
 
         // --- L2-only placements (Fig. 1).
-        "l2-ip-stride" => Combo::new(none(), Box::new(IpStride::new(64, 3, FillLevel::L2)), none()),
+        "l2-ip-stride" => Combo::new(
+            none(),
+            Box::new(IpStride::new(64, 3, FillLevel::L2)),
+            none(),
+        ),
         "l2-mlop" => Combo::new(none(), Box::new(Mlop::new(FillLevel::L2)), none()),
-        "l2-bingo" => Combo::new(none(), Box::new(Bingo::new(8 * 1024, FillLevel::L2)), none()),
+        "l2-bingo" => Combo::new(
+            none(),
+            Box::new(Bingo::new(8 * 1024, FillLevel::L2)),
+            none(),
+        ),
 
         // --- Train at L1, fill till L2 (Fig. 1's middle bars).
         "l1fill2-ip-stride" => Combo::new(
-            Box::new(FillLevelOverride::new(IpStride::l1_default(), FillLevel::L2)),
+            Box::new(FillLevelOverride::new(
+                IpStride::l1_default(),
+                FillLevel::L2,
+            )),
             none(),
             none(),
         ),

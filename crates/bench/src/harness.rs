@@ -1,0 +1,451 @@
+//! Parallel experiment machinery: a scoped-thread worker pool that fans
+//! independent simulation jobs across cores, a memoized alone-IPC cache for
+//! multi-core weighted-speedup experiments, and structured JSON results.
+//!
+//! Every simulation in this workspace is deterministic, so parallel and
+//! serial execution of the same job list produce identical results — the
+//! pool only changes wall-clock time, never output bytes. `IPCP_JOBS=1`
+//! forces serial execution (the reference mode for byte-identical
+//! comparisons); the default is one worker per available core.
+//!
+//! No external dependencies: the pool is `std::thread::scope` (the crates
+//! registry is unreachable in CI sandboxes) and the JSON is hand-emitted.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ipcp_sim::{CoreSetup, SimConfig, System};
+use ipcp_trace::TraceSource;
+use ipcp_workloads::SynthTrace;
+
+use crate::combos;
+use crate::runner::RunScale;
+
+// ---------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------
+
+/// Parses an `IPCP_JOBS`-style value: a positive worker count, or `None`
+/// for anything absent/unparseable (callers fall back to the core count).
+pub fn parse_jobs(spec: Option<&str>) -> Option<usize> {
+    spec.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Worker count from the `IPCP_JOBS` environment variable; defaults to the
+/// number of available cores.
+pub fn jobs_from_env() -> usize {
+    parse_jobs(std::env::var("IPCP_JOBS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Maps `f` over `items` on a pool of `workers` scoped threads, returning
+/// results in input order. With `workers <= 1` (or a single item) this
+/// degenerates to a plain serial loop on the calling thread, so
+/// `IPCP_JOBS=1` is exactly the old serial behavior.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once the scope joins.
+pub fn parallel_map<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("job slot poisoned")
+                    .take()
+                    .expect("job taken twice");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result poisoned")
+                .expect("job not run")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Alone-IPC cache
+// ---------------------------------------------------------------------
+
+/// Cache key: (trace name, combo, cores, warmup, instructions).
+type AloneIpcKey = (String, String, u32, u64, u64);
+
+/// Memoized per-`(trace, combo, cores, scale)` single-core "alone" IPCs —
+/// the denominators of Section VI's weighted speedup. Multi-core figures
+/// reuse the same baselines across every mix containing a trace; without
+/// the cache `fig15_multicore` recomputes each one per mix per combo.
+///
+/// Shareable across worker threads (`&self` methods, internal mutex; the
+/// lock is never held across a simulation).
+#[derive(Debug, Default)]
+pub struct AloneIpcCache {
+    inner: Mutex<HashMap<AloneIpcKey, f64>>,
+}
+
+impl AloneIpcCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized entries (used by tests and reports).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache poisoned").len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The alone IPC of `trace` under `combo` on an `cores`-core machine
+    /// (single active core, multi-core LLC capacity and DRAM), memoized.
+    ///
+    /// Two threads racing on the same key may both simulate, but the runs
+    /// are deterministic so they insert the same value — correctness never
+    /// depends on winning the race.
+    pub fn get(&self, trace: &SynthTrace, combo: &str, cores: u32, scale: RunScale) -> f64 {
+        let key = (
+            trace.name().to_string(),
+            combo.to_string(),
+            cores,
+            scale.warmup,
+            scale.instructions,
+        );
+        if let Some(&ipc) = self.inner.lock().expect("cache poisoned").get(&key) {
+            return ipc;
+        }
+        let ipc = alone_ipc_uncached(trace, combo, cores, scale);
+        self.inner.lock().expect("cache poisoned").insert(key, ipc);
+        ipc
+    }
+}
+
+/// The uncached alone-IPC computation: "IPC_alone(i) is the IPC of core i
+/// when it runs alone on [the] N-core system" — one core, but the N-core
+/// LLC capacity and DRAM.
+pub fn alone_ipc_uncached(trace: &SynthTrace, combo: &str, cores: u32, scale: RunScale) -> f64 {
+    let mut cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
+    cfg.cores = 1;
+    cfg.llc.size_bytes *= u64::from(cores);
+    let c = combos::build(combo);
+    let mut sys = System::new(
+        cfg,
+        vec![CoreSetup {
+            trace: Arc::new(trace.clone()),
+            l1d_prefetcher: c.l1,
+            l2_prefetcher: c.l2,
+        }],
+        c.llc,
+    );
+    sys.run().ipc()
+}
+
+// ---------------------------------------------------------------------
+// Experiment subprocess jobs + JSON results
+// ---------------------------------------------------------------------
+
+/// Outcome of one experiment binary run by the driver.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Experiment (and binary) name, e.g. `fig07_l1_only`.
+    pub name: String,
+    /// Process exit code (`None` when killed by a signal or not spawnable).
+    pub exit_code: Option<i32>,
+    /// True when the process exited successfully.
+    pub ok: bool,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Where the captured text output was written.
+    pub output_path: PathBuf,
+    /// Spawn-level error, if the binary could not be executed at all.
+    pub spawn_error: Option<String>,
+}
+
+/// Runs one experiment binary, capturing stdout+stderr to
+/// `<results_dir>/<name>.txt` (stdout first, as the serial shell loop's
+/// `>file 2>&1` did for these stdout-only binaries) and recording wall
+/// time and exit status.
+pub fn run_experiment(bin_dir: &Path, name: &str, results_dir: &Path) -> ExperimentOutcome {
+    let output_path = results_dir.join(format!("{name}.txt"));
+    let started = Instant::now();
+    let result = Command::new(bin_dir.join(name)).output();
+    let wall = started.elapsed();
+    match result {
+        Ok(out) => {
+            let mut text = out.stdout;
+            text.extend_from_slice(&out.stderr);
+            let write_err = std::fs::write(&output_path, &text).err();
+            let ok = out.status.success() && write_err.is_none();
+            ExperimentOutcome {
+                name: name.to_string(),
+                exit_code: out.status.code(),
+                ok,
+                wall,
+                output_path,
+                spawn_error: write_err.map(|e| format!("writing output: {e}")),
+            }
+        }
+        Err(e) => ExperimentOutcome {
+            name: name.to_string(),
+            exit_code: None,
+            ok: false,
+            wall,
+            output_path,
+            spawn_error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn outcome_json(o: &ExperimentOutcome) -> String {
+    let exit = o.exit_code.map_or("null".to_string(), |c| c.to_string());
+    let err = o
+        .spawn_error
+        .as_deref()
+        .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e)));
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"ok\": {}, \"exit_code\": {}, ",
+            "\"wall_secs\": {:.3}, \"output\": \"{}\", \"error\": {}}}"
+        ),
+        json_escape(&o.name),
+        o.ok,
+        exit,
+        o.wall.as_secs_f64(),
+        json_escape(&o.output_path.display().to_string()),
+        err,
+    )
+}
+
+/// Writes one `<results_dir>/<name>.json` per outcome plus the
+/// `<results_dir>/manifest.json` machine-readable summary. Outcomes appear
+/// in the manifest in the given (deterministic) order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the files.
+pub fn write_results_json(
+    results_dir: &Path,
+    jobs: usize,
+    scale_env: &str,
+    total_wall: Duration,
+    outcomes: &[ExperimentOutcome],
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(results_dir)?;
+    for o in outcomes {
+        std::fs::write(
+            results_dir.join(format!("{}.json", o.name)),
+            outcome_json(o) + "\n",
+        )?;
+    }
+    let mut f = std::fs::File::create(results_dir.join("manifest.json"))?;
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"schema\": 1,")?;
+    writeln!(
+        f,
+        "  \"generated_by\": \"experiments driver (ipcp-tools)\","
+    )?;
+    writeln!(f, "  \"jobs\": {jobs},")?;
+    writeln!(f, "  \"scale\": \"{}\",", json_escape(scale_env))?;
+    writeln!(f, "  \"total_wall_secs\": {:.3},", total_wall.as_secs_f64())?;
+    writeln!(
+        f,
+        "  \"failed\": {},",
+        outcomes.iter().filter(|o| !o.ok).count()
+    )?;
+    writeln!(f, "  \"experiments\": [")?;
+    for (i, o) in outcomes.iter().enumerate() {
+        let sep = if i + 1 == outcomes.len() { "" } else { "," };
+        writeln!(f, "    {}{}", outcome_json(o), sep)?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_combo;
+
+    #[test]
+    fn parse_jobs_accepts_positive_counts_only() {
+        assert_eq!(parse_jobs(Some("4")), Some(4));
+        assert_eq!(parse_jobs(Some(" 2 ")), Some(2));
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("-3")), None);
+        assert_eq!(parse_jobs(Some("many")), None);
+        assert_eq!(parse_jobs(None), None);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(parallel_map(1, items.clone(), |x| x * x), expect);
+        assert_eq!(parallel_map(4, items.clone(), |x| x * x), expect);
+        assert_eq!(parallel_map(64, items, |x| x * x), expect);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(8, Vec::<u32>::new(), |x| x), Vec::<u32>::new());
+        assert_eq!(parallel_map(8, vec![7], |x| x + 1), vec![8]);
+    }
+
+    /// Tentpole invariant: fanning simulation jobs across workers yields
+    /// the same reports as running them serially.
+    #[test]
+    fn parallel_and_serial_sim_runs_are_identical() {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let scale = RunScale {
+            warmup: 2_000,
+            instructions: 10_000,
+        };
+        let jobs: Vec<(SynthTrace, &str)> = traces
+            .iter()
+            .take(2)
+            .flat_map(|t| [(t.clone(), "none"), (t.clone(), "ipcp")])
+            .collect();
+        let serial = parallel_map(1, jobs.clone(), |(t, c)| run_combo(c, &t, scale));
+        let fanned = parallel_map(4, jobs, |(t, c)| run_combo(c, &t, scale));
+        assert_eq!(
+            serial, fanned,
+            "worker count must never change simulation results"
+        );
+    }
+
+    #[test]
+    fn alone_ipc_cache_matches_uncached_and_memoizes() {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let t = &traces[0];
+        let scale = RunScale {
+            warmup: 2_000,
+            instructions: 10_000,
+        };
+        let cache = AloneIpcCache::new();
+        let direct = alone_ipc_uncached(t, "none", 4, scale);
+        let via_cache = cache.get(t, "none", 4, scale);
+        assert_eq!(direct, via_cache, "cache must return the uncached value");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(t, "none", 4, scale), direct);
+        assert_eq!(cache.len(), 1, "second lookup is a hit, not a recompute");
+        // A different core count is a different machine — distinct entry.
+        let _ = cache.get(t, "none", 8, scale);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn alone_ipc_cache_is_shareable_across_workers() {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let scale = RunScale {
+            warmup: 2_000,
+            instructions: 10_000,
+        };
+        let cache = AloneIpcCache::new();
+        let jobs: Vec<SynthTrace> = vec![traces[0].clone(); 4];
+        let ipcs = parallel_map(4, jobs, |t| cache.get(&t, "none", 4, scale));
+        assert!(ipcs.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn results_json_round_trip_shape() {
+        let dir = std::env::temp_dir().join(format!("ipcp-harness-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let outcomes = vec![
+            ExperimentOutcome {
+                name: "fake_ok".into(),
+                exit_code: Some(0),
+                ok: true,
+                wall: Duration::from_millis(1234),
+                output_path: dir.join("fake_ok.txt"),
+                spawn_error: None,
+            },
+            ExperimentOutcome {
+                name: "fake_bad".into(),
+                exit_code: Some(101),
+                ok: false,
+                wall: Duration::from_millis(10),
+                output_path: dir.join("fake_bad.txt"),
+                spawn_error: None,
+            },
+        ];
+        write_results_json(&dir, 3, "default", Duration::from_secs(2), &outcomes).unwrap();
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"jobs\": 3"));
+        assert!(manifest.contains("\"failed\": 1"));
+        assert!(manifest.contains("\"name\": \"fake_ok\""));
+        assert!(manifest.contains("\"exit_code\": 101"));
+        let per_run = std::fs::read_to_string(dir.join("fake_ok.json")).unwrap();
+        assert!(per_run.contains("\"ok\": true"));
+        assert!(per_run.contains("\"wall_secs\": 1.234"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_experiment_reports_unspawnable_binary() {
+        let dir = std::env::temp_dir().join(format!("ipcp-harness-miss-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let o = run_experiment(&dir, "no_such_binary", &dir);
+        assert!(!o.ok);
+        assert!(o.spawn_error.is_some());
+        assert_eq!(o.exit_code, None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,11 +1,14 @@
 //! Figure/table regeneration harness for the IPCP reproduction.
 //!
 //! One binary per figure and table of the paper (see `src/bin/`); this
-//! library provides the named prefetcher [`combos`] and the shared
-//! [`runner`] machinery (scales, baselines, speedup tables).
+//! library provides the named prefetcher [`combos`], the shared [`runner`]
+//! machinery (scales, baselines, speedup tables), and the parallel
+//! [`harness`] (worker pool, alone-IPC cache, JSON result manifests) that
+//! the `experiments` driver in `crates/tools` fans jobs through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod combos;
+pub mod harness;
 pub mod runner;

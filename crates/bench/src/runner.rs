@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ipcp_sim::{run_single, SimConfig, SimReport};
-use ipcp_workloads::SynthTrace;
 use ipcp_trace::TraceSource;
+use ipcp_workloads::SynthTrace;
 
 use crate::combos;
 
@@ -26,13 +26,19 @@ impl RunScale {
     /// `IPCP_SCALE=<warmup>,<instructions>` for anything else.
     pub fn from_env() -> Self {
         match std::env::var("IPCP_SCALE").as_deref() {
-            Ok("paper") => Self { warmup: 1_000_000, instructions: 4_000_000 },
+            Ok("paper") => Self {
+                warmup: 1_000_000,
+                instructions: 4_000_000,
+            },
             Ok(spec) => {
                 let mut it = spec.split(',');
                 let w = it.next().and_then(|s| s.trim().parse().ok());
                 let i = it.next().and_then(|s| s.trim().parse().ok());
                 match (w, i) {
-                    (Some(w), Some(i)) => Self { warmup: w, instructions: i },
+                    (Some(w), Some(i)) => Self {
+                        warmup: w,
+                        instructions: i,
+                    },
                     _ => Self::default(),
                 }
             }
@@ -43,7 +49,10 @@ impl RunScale {
 
 impl Default for RunScale {
     fn default() -> Self {
-        Self { warmup: 100_000, instructions: 400_000 }
+        Self {
+            warmup: 100_000,
+            instructions: 400_000,
+        }
     }
 }
 
@@ -132,7 +141,14 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
         println!("{}", cells.join("  "));
     };
     print_row(header);
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         print_row(row);
     }
@@ -141,22 +157,43 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
 /// Runs the standard speedup comparison: every trace × every combo,
 /// normalized to no prefetching. Returns (per-combo speedup lists in trace
 /// order) and prints a table with a geomean footer.
-pub fn speedup_comparison(title: &str, traces: &[SynthTrace], combo_names: &[&str], scale: RunScale) -> HashMap<String, Vec<f64>> {
+///
+/// The (trace × combo) simulations — including the per-trace baselines —
+/// are independent, so they fan out across `IPCP_JOBS` workers through
+/// [`crate::harness::parallel_map`]. Results are assembled in input order
+/// and every simulation is deterministic, so the printed table is
+/// byte-identical for any worker count.
+pub fn speedup_comparison(
+    title: &str,
+    traces: &[SynthTrace],
+    combo_names: &[&str],
+    scale: RunScale,
+) -> HashMap<String, Vec<f64>> {
     println!("== {title}");
     println!(
         "   (scale: {}k warm-up + {}k measured instructions; speedups normalized to no prefetching)",
         scale.warmup / 1000,
         scale.instructions / 1000
     );
-    let mut baselines = BaselineCache::new();
+    // One baseline job per trace, then one job per (trace, combo).
+    let mut jobs: Vec<(SynthTrace, String)> = Vec::new();
+    for trace in traces {
+        jobs.push((trace.clone(), "none".to_string()));
+        for &combo in combo_names {
+            jobs.push((trace.clone(), combo.to_string()));
+        }
+    }
+    let reports = crate::harness::parallel_map(crate::harness::jobs_from_env(), jobs, |(t, c)| {
+        run_combo(&c, &t, scale)
+    });
     let mut results: HashMap<String, Vec<f64>> = HashMap::new();
     let mut rows = Vec::new();
-    for trace in traces {
-        let base_ipc = baselines.get(trace, scale).ipc();
+    let per_trace = 1 + combo_names.len();
+    for (ti, trace) in traces.iter().enumerate() {
+        let base_ipc = reports[ti * per_trace].ipc();
         let mut row = vec![trace.name().to_string()];
-        for &combo in combo_names {
-            let r = run_combo(combo, trace, scale);
-            let sp = r.ipc() / base_ipc;
+        for (ci, &combo) in combo_names.iter().enumerate() {
+            let sp = reports[ti * per_trace + 1 + ci].ipc() / base_ipc;
             results.entry(combo.to_string()).or_default().push(sp);
             row.push(format!("{sp:.3}"));
         }
@@ -174,7 +211,13 @@ pub fn speedup_comparison(title: &str, traces: &[SynthTrace], combo_names: &[&st
     if let Ok(dir) = std::env::var("IPCP_CSV") {
         let slug: String = title
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
         if let Err(e) = write_csv(&path, &header, &rows) {
@@ -189,7 +232,11 @@ pub fn speedup_comparison(title: &str, traces: &[SynthTrace], combo_names: &[&st
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing the file.
-pub fn write_csv(path: &std::path::Path, header: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
+pub fn write_csv(
+    path: &std::path::Path,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
     use std::io::Write;
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -224,7 +271,10 @@ mod tests {
     fn baseline_cache_reuses() {
         let traces = ipcp_workloads::memory_intensive_suite();
         let t = &traces[0];
-        let scale = RunScale { warmup: 5_000, instructions: 20_000 };
+        let scale = RunScale {
+            warmup: 5_000,
+            instructions: 20_000,
+        };
         let mut cache = BaselineCache::new();
         let a = cache.get(t, scale).ipc();
         let b = cache.get(t, scale).ipc();
@@ -234,7 +284,10 @@ mod tests {
     #[test]
     fn run_combo_quick_smoke() {
         let traces = ipcp_workloads::memory_intensive_suite();
-        let scale = RunScale { warmup: 5_000, instructions: 20_000 };
+        let scale = RunScale {
+            warmup: 5_000,
+            instructions: 20_000,
+        };
         let r = run_combo("ipcp", &traces[1], scale);
         assert!(r.ipc() > 0.0);
         assert!(r.cores[0].l1d.pf_issued > 0);

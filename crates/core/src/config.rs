@@ -169,12 +169,18 @@ impl IpcpConfig {
     /// Panics on inconsistent values (non-power-of-two tables, zero
     /// degrees, threshold out of range).
     pub fn validate(&self) {
-        assert!(self.ip_table_entries.is_power_of_two(), "IP table must be a power of two");
+        assert!(
+            self.ip_table_entries.is_power_of_two(),
+            "IP table must be a power of two"
+        );
         assert!(
             self.ip_table_ways.is_power_of_two() && self.ip_table_ways <= self.ip_table_entries,
             "IP table associativity must be a power of two within the table"
         );
-        assert!(self.cspt_entries.is_power_of_two(), "CSPT must be a power of two");
+        assert!(
+            self.cspt_entries.is_power_of_two(),
+            "CSPT must be a power of two"
+        );
         assert!(self.cs_degree >= 1 && self.cplx_degree >= 1 && self.gs_degree >= 1);
         assert!(self.gs_dense_threshold as u64 <= ipcp_mem::LINES_PER_REGION);
         assert!(self.accuracy_low <= self.accuracy_high);
@@ -224,7 +230,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn validate_rejects_bad_table() {
-        let c = IpcpConfig { ip_table_entries: 60, ..IpcpConfig::default() };
+        let c = IpcpConfig {
+            ip_table_entries: 60,
+            ..IpcpConfig::default()
+        };
         c.validate();
     }
 }

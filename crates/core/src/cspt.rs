@@ -58,7 +58,10 @@ impl Cspt {
     /// Panics if `entries` is not a power of two or the signature cannot
     /// index the table.
     pub fn new(entries: usize, signature_bits: u32) -> Self {
-        assert!(entries.is_power_of_two(), "CSPT entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "CSPT entries must be a power of two"
+        );
         assert!(
             (1usize << signature_bits) <= entries,
             "signature must not overflow the CSPT index"
@@ -133,7 +136,10 @@ mod tests {
             }
             sig = t.next_signature(sig, s as i8);
         }
-        assert!(correct >= 6, "CSPT should predict the tail of the pattern, got {correct}");
+        assert!(
+            correct >= 6,
+            "CSPT should predict the tail of the pattern, got {correct}"
+        );
     }
 
     #[test]
@@ -154,7 +160,11 @@ mod tests {
             }
             sig = t.next_signature(sig, s as i8);
         }
-        assert!(correct as f64 / pattern.len() as f64 > 0.7, "{correct}/{}", pattern.len());
+        assert!(
+            correct as f64 / pattern.len() as f64 > 0.7,
+            "{correct}/{}",
+            pattern.len()
+        );
     }
 
     #[test]

@@ -108,8 +108,14 @@ impl IpTable {
     /// Panics unless `entries` and `ways` are powers of two with
     /// `ways <= entries`.
     pub fn new_assoc(entries: usize, ways: usize) -> Self {
-        assert!(entries.is_power_of_two(), "IP table entries must be a power of two");
-        assert!(ways.is_power_of_two() && ways <= entries, "bad associativity {ways}");
+        assert!(
+            entries.is_power_of_two(),
+            "IP table entries must be a power of two"
+        );
+        assert!(
+            ways.is_power_of_two() && ways <= entries,
+            "bad associativity {ways}"
+        );
         Self {
             entries: vec![IpEntry::default(); entries],
             lru: vec![0; entries],
@@ -167,7 +173,12 @@ impl IpTable {
             (LookupKind::Rejected, &mut self.entries[i])
         } else {
             self.lru[i] = self.stamp;
-            self.entries[i] = IpEntry { tag, occupied: true, valid: true, ..IpEntry::default() };
+            self.entries[i] = IpEntry {
+                tag,
+                occupied: true,
+                valid: true,
+                ..IpEntry::default()
+            };
             (LookupKind::Allocated, &mut self.entries[i])
         }
     }

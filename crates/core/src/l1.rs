@@ -93,10 +93,19 @@ impl IpcpL1 {
         // The stride/direction travels only while the class is accurate
         // enough; the class bits always travel.
         let stride_ok = self.throttle.accuracy(class) > self.cfg.metadata_accuracy_threshold;
-        Some(PrefetchMeta { class: class.bits(), stride: if stride_ok { stride } else { 0 } })
+        Some(PrefetchMeta {
+            class: class.bits(),
+            stride: if stride_ok { stride } else { 0 },
+        })
     }
 
-    fn emit(&mut self, target: LineAddr, class: IpClass, meta_stride: i8, sink: &mut dyn PrefetchSink) {
+    fn emit(
+        &mut self,
+        target: LineAddr,
+        class: IpClass,
+        meta_stride: i8,
+        sink: &mut dyn PrefetchSink,
+    ) {
         if self.rr.check_and_insert(target) {
             self.rr_drops += 1;
             return;
@@ -116,7 +125,9 @@ impl IpcpL1 {
         let dir: i64 = if positive { 1 } else { -1 };
         let mut issued = false;
         for k in 1..=i64::from(degree) {
-            let Some(target) = vline.offset_within_page(dir * k) else { break };
+            let Some(target) = vline.offset_within_page(dir * k) else {
+                break;
+            };
             self.emit(target, IpClass::Gs, dir as i8, sink);
             issued = true;
         }
@@ -127,7 +138,9 @@ impl IpcpL1 {
         let degree = self.throttle.degree(IpClass::Cs);
         let mut issued = false;
         for k in 1..=i64::from(degree) {
-            let Some(target) = vline.offset_within_page(i64::from(stride) * k) else { break };
+            let Some(target) = vline.offset_within_page(i64::from(stride) * k) else {
+                break;
+            };
             self.emit(target, IpClass::Cs, stride, sink);
             issued = true;
         }
@@ -144,7 +157,9 @@ impl IpcpL1 {
             if pred.stride == 0 {
                 break;
             }
-            let Some(target) = addr.offset_within_page(i64::from(pred.stride)) else { break };
+            let Some(target) = addr.offset_within_page(i64::from(pred.stride)) else {
+                break;
+            };
             // Low confidence: extend the signature (and the projected
             // position — the stride is still the best position estimate)
             // but do not prefetch this step (Fig. 3, step 3).
@@ -171,7 +186,8 @@ impl Prefetcher for IpcpL1 {
         let vline = info.vline;
         self.mpki.update(info.instructions, info.demand_misses);
         if info.first_use_of_prefetch {
-            self.throttle.note_useful(IpClass::from_bits(info.hit_pf_class));
+            self.throttle
+                .note_useful(IpClass::from_bits(info.hit_pf_class));
         }
         // The RR filter tracks recent demand tags so prefetches to lines
         // that are (almost certainly) resident are dropped without probing
@@ -206,7 +222,8 @@ impl Prefetcher for IpcpL1 {
 
         // --- Previous-region bookkeeping for the tentative hand-off, using
         // only state the entry actually stores (2-lsb page + offset msb).
-        let prev_region_tag = ((entry.last_vpage_lsb2 << 1) | (entry.last_line_offset >> 5)) & 0b111;
+        let prev_region_tag =
+            ((entry.last_vpage_lsb2 << 1) | (entry.last_line_offset >> 5)) & 0b111;
         let was_gs = entry.stream_valid;
         let entering_new_region = entry.trained_once && prev_region_tag != Rst::tag_of(region);
 
@@ -356,8 +373,14 @@ mod tests {
             lines.push(last + if i % 2 == 0 { 1 } else { 2 });
         }
         let reqs = drive(&mut p, 0x400200, &lines);
-        assert!(reqs.len() > 10, "CPLX must cover the pattern, got {}", reqs.len());
-        assert!(reqs.iter().all(|r| IpClass::from_bits(r.pf_class) == IpClass::Cplx));
+        assert!(
+            reqs.len() > 10,
+            "CPLX must cover the pattern, got {}",
+            reqs.len()
+        );
+        assert!(reqs
+            .iter()
+            .all(|r| IpClass::from_bits(r.pf_class) == IpClass::Cplx));
         // Predicted targets follow the alternation: next delta from an
         // access is 1 or 2.
         assert!(p.issued_by_class()[IpClass::Cplx.bits() as usize] > 10);
@@ -388,8 +411,14 @@ mod tests {
             p.on_access(&access(ip, base + i), &mut sink);
             reqs.extend(sink.take());
         }
-        assert!(!reqs.is_empty(), "GS must fire once the region trains dense");
-        let gs: Vec<_> = reqs.iter().filter(|r| IpClass::from_bits(r.pf_class) == IpClass::Gs).collect();
+        assert!(
+            !reqs.is_empty(),
+            "GS must fire once the region trains dense"
+        );
+        let gs: Vec<_> = reqs
+            .iter()
+            .filter(|r| IpClass::from_bits(r.pf_class) == IpClass::Gs)
+            .collect();
         assert!(!gs.is_empty());
         // Direction is positive: targets ahead of the trigger.
         for r in gs {
@@ -414,7 +443,10 @@ mod tests {
             let reqs = drive(&mut p, 0x400300, &[far + i * 7 % 32 + (i / 5) * 320]);
             total_after = reqs.len();
         }
-        assert_eq!(total_after, 0, "IP must be declassified outside dense regions");
+        assert_eq!(
+            total_after, 0,
+            "IP must be declassified outside dense regions"
+        );
     }
 
     #[test]
@@ -456,15 +488,17 @@ mod tests {
         // must prefetch GS (paper's default priority).
         let mut p = IpcpL1::paper_default();
         let base = 0x80000u64; // region aligned
-        // Stride-1 walk is both CS-trainable and region-densifying.
+                               // Stride-1 walk is both CS-trainable and region-densifying.
         let lines: Vec<u64> = (0..30).map(|i| base + i).collect();
         let reqs = drive(&mut p, 0x400500, &lines);
         let last_class = IpClass::from_bits(reqs.last().unwrap().pf_class);
         assert_eq!(last_class, IpClass::Gs);
         // Swapped priority: CS wins.
-        let mut p = IpcpL1::new(
-            IpcpConfig::default().with_priority([IpClass::Cs, IpClass::Gs, IpClass::Cplx]),
-        );
+        let mut p = IpcpL1::new(IpcpConfig::default().with_priority([
+            IpClass::Cs,
+            IpClass::Gs,
+            IpClass::Cplx,
+        ]));
         let reqs = drive(&mut p, 0x400500, &lines);
         let last_class = IpClass::from_bits(reqs.last().unwrap().pf_class);
         assert_eq!(last_class, IpClass::Cs);
@@ -478,7 +512,10 @@ mod tests {
         // Re-walking the same lines immediately: most targets are in the RR
         // filter (recently prefetched or demanded), so few new requests.
         let again = drive(&mut p, 0x400600, &lines).len();
-        assert!(again < first, "RR filter must drop repeats ({again} vs {first})");
+        assert!(
+            again < first,
+            "RR filter must drop repeats ({again} vs {first})"
+        );
         assert!(p.rr_filter_drops() > 0);
     }
 

@@ -70,8 +70,10 @@ impl IpcpL2 {
     }
 
     fn tag_of(&self, ip: Ip) -> u16 {
+        // Same tag derivation as the L1 IP table (`IpTable::tag_of`): a
+        // config change to IP_TAG_BITS must never desynchronize the levels.
         let index_bits = self.mask.count_ones();
-        ((ip.raw() >> (2 + index_bits)) & 0x1ff) as u16
+        ((ip.raw() >> (2 + index_bits)) & ((1 << crate::ip_table::IP_TAG_BITS) - 1)) as u16
     }
 
     fn emit(&mut self, target: LineAddr, class: IpClass, sink: &mut dyn PrefetchSink) {
@@ -95,7 +97,9 @@ impl IpcpL2 {
         sink: &mut dyn PrefetchSink,
     ) {
         for k in i64::from(distance) + 1..=i64::from(distance) + i64::from(degree) {
-            let Some(target) = pline.offset_within_page(i64::from(stride) * k) else { break };
+            let Some(target) = pline.offset_within_page(i64::from(stride) * k) else {
+                break;
+            };
             self.emit(target, class, sink);
         }
     }
@@ -114,16 +118,34 @@ impl Prefetcher for IpcpL2 {
         let idx = self.index_of(info.ip);
         let tag = self.tag_of(info.ip);
         let e = self.entries[idx];
-        let class = if e.valid && e.tag == tag { IpClass::from_bits(e.class) } else { IpClass::NoClass };
+        let class = if e.valid && e.tag == tag {
+            IpClass::from_bits(e.class)
+        } else {
+            IpClass::NoClass
+        };
         match class {
             IpClass::Cs if e.stride != 0 => {
                 let dist = self.cfg.cs_degree;
-                self.issue_strided(info.pline, e.stride, dist, self.cfg.l2_cs_degree, IpClass::Cs, sink);
+                self.issue_strided(
+                    info.pline,
+                    e.stride,
+                    dist,
+                    self.cfg.l2_cs_degree,
+                    IpClass::Cs,
+                    sink,
+                );
             }
             IpClass::Gs if e.stride != 0 => {
                 let dir = if e.stride > 0 { 1 } else { -1 };
                 let dist = self.cfg.gs_degree;
-                self.issue_strided(info.pline, dir, dist, self.cfg.l2_gs_degree, IpClass::Gs, sink);
+                self.issue_strided(
+                    info.pline,
+                    dir,
+                    dist,
+                    self.cfg.l2_gs_degree,
+                    IpClass::Gs,
+                    sink,
+                );
             }
             // No CPLX at the L2; everything else falls through to
             // tentative NL under the 40-MPKI threshold.
@@ -142,17 +164,36 @@ impl Prefetcher for IpcpL2 {
         let tag = self.tag_of(arrival.ip);
         match arrival.meta {
             Some(meta) => {
-                self.entries[idx] = L2Entry { tag, valid: true, class: meta.class & 0b11, stride: meta.stride };
+                self.entries[idx] = L2Entry {
+                    tag,
+                    valid: true,
+                    class: meta.class & 0b11,
+                    stride: meta.stride,
+                };
                 // The arriving prefetch is the deepest point of the L1's
                 // window; extending from it is how the L2 "prefetches deep
                 // based on the L1 access stream but from L2 and till L2".
                 match IpClass::from_bits(meta.class) {
                     IpClass::Cs if meta.stride != 0 => {
-                        self.issue_strided(arrival.pline, meta.stride, 0, self.cfg.l2_cs_degree, IpClass::Cs, sink);
+                        self.issue_strided(
+                            arrival.pline,
+                            meta.stride,
+                            0,
+                            self.cfg.l2_cs_degree,
+                            IpClass::Cs,
+                            sink,
+                        );
                     }
                     IpClass::Gs if meta.stride != 0 => {
                         let dir = if meta.stride > 0 { 1 } else { -1 };
-                        self.issue_strided(arrival.pline, dir, 0, self.cfg.l2_gs_degree, IpClass::Gs, sink);
+                        self.issue_strided(
+                            arrival.pline,
+                            dir,
+                            0,
+                            self.cfg.l2_gs_degree,
+                            IpClass::Gs,
+                            sink,
+                        );
                     }
                     // An NL-class request from the L1 triggers NL here as
                     // well ("if the L2 sees a prefetch request from L1-D
@@ -178,7 +219,10 @@ impl Prefetcher for IpcpL2 {
 
 /// Builds the paper's full multi-level IPCP pair for one core.
 pub fn ipcp_pair(cfg: &IpcpConfig) -> (crate::l1::IpcpL1, IpcpL2) {
-    (crate::l1::IpcpL1::new(cfg.clone()), IpcpL2::new(cfg.clone()))
+    (
+        crate::l1::IpcpL1::new(cfg.clone()),
+        IpcpL2::new(cfg.clone()),
+    )
 }
 
 #[cfg(test)]
@@ -218,7 +262,14 @@ mod tests {
         let mut p = IpcpL2::paper_default();
         let mut sink = VecSink::new();
         p.on_prefetch_arrival(
-            &arrival(0x400100, 0x10000, Some(PrefetchMeta { class: IpClass::Cs.bits(), stride: 3 })),
+            &arrival(
+                0x400100,
+                0x10000,
+                Some(PrefetchMeta {
+                    class: IpClass::Cs.bits(),
+                    stride: 3,
+                }),
+            ),
             &mut sink,
         );
         // The arrival itself extends the window from the arriving address.
@@ -228,7 +279,11 @@ mod tests {
         p.on_access(&access(0x400100, 0x20000), &mut sink);
         let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
         // Degree 4 starting past the L1's degree-3 window: strides 4..=7.
-        assert_eq!(targets, vec![0x2000c, 0x2000f, 0x20012, 0x20015], "CS deep window at L2");
+        assert_eq!(
+            targets,
+            vec![0x2000c, 0x2000f, 0x20012, 0x20015],
+            "CS deep window at L2"
+        );
         assert!(sink.requests.iter().all(|r| !r.virtual_addr));
     }
 
@@ -237,7 +292,14 @@ mod tests {
         let mut p = IpcpL2::paper_default();
         let mut sink = VecSink::new();
         p.on_prefetch_arrival(
-            &arrival(0x400200, 0x10000, Some(PrefetchMeta { class: IpClass::Gs.bits(), stride: -1 })),
+            &arrival(
+                0x400200,
+                0x10000,
+                Some(PrefetchMeta {
+                    class: IpClass::Gs.bits(),
+                    stride: -1,
+                }),
+            ),
             &mut sink,
         );
         p.on_access(&access(0x400200, 0x20010), &mut sink);
@@ -251,7 +313,14 @@ mod tests {
         let mut p = IpcpL2::paper_default();
         let mut sink = VecSink::new();
         p.on_prefetch_arrival(
-            &arrival(0x400300, 0x10000, Some(PrefetchMeta { class: IpClass::Cs.bits(), stride: 0 })),
+            &arrival(
+                0x400300,
+                0x10000,
+                Some(PrefetchMeta {
+                    class: IpClass::Cs.bits(),
+                    stride: 0,
+                }),
+            ),
             &mut sink,
         );
         p.on_access(&access(0x400300, 0x20000), &mut sink);
@@ -266,7 +335,14 @@ mod tests {
         let mut p = IpcpL2::paper_default();
         let mut sink = VecSink::new();
         p.on_prefetch_arrival(
-            &arrival(0x400400, 0x30000, Some(PrefetchMeta { class: IpClass::NoClass.bits(), stride: 0 })),
+            &arrival(
+                0x400400,
+                0x30000,
+                Some(PrefetchMeta {
+                    class: IpClass::NoClass.bits(),
+                    stride: 0,
+                }),
+            ),
             &mut sink,
         );
         assert_eq!(sink.requests.len(), 1);
@@ -278,7 +354,14 @@ mod tests {
         let mut p = IpcpL2::paper_default();
         let mut sink = VecSink::new();
         p.on_prefetch_arrival(
-            &arrival(0x400500, 0x10000, Some(PrefetchMeta { class: IpClass::Cplx.bits(), stride: 2 })),
+            &arrival(
+                0x400500,
+                0x10000,
+                Some(PrefetchMeta {
+                    class: IpClass::Cplx.bits(),
+                    stride: 2,
+                }),
+            ),
             &mut sink,
         );
         // High MPKI so NL is off: no prefetches at all for CPLX IPs.
@@ -300,6 +383,24 @@ mod tests {
     }
 
     #[test]
+    fn tag_derivation_matches_l1_table() {
+        // The L2 must derive its tag exactly like the L1 IP table so a
+        // change to IP_TAG_BITS cannot desynchronize the two levels.
+        let p = IpcpL2::paper_default();
+        let index_bits = (IpcpConfig::default().ip_table_entries as u64).trailing_zeros();
+        let tag_shift = 2 + index_bits;
+        let tag_bits = crate::ip_table::IP_TAG_BITS;
+        let base = 0x400100u64;
+        // Flipping a bit just above the tag field leaves the tag unchanged;
+        // flipping the top tag bit changes it.
+        let above = base ^ (1 << (tag_shift + tag_bits));
+        let within = base ^ (1 << (tag_shift + tag_bits - 1));
+        assert_eq!(p.tag_of(Ip(base)), p.tag_of(Ip(above)));
+        assert_ne!(p.tag_of(Ip(base)), p.tag_of(Ip(within)));
+        assert!(u32::from(p.tag_of(Ip(u64::MAX))) < (1 << tag_bits));
+    }
+
+    #[test]
     fn storage_matches_table1() {
         let p = IpcpL2::paper_default();
         assert_eq!(p.storage_bits(), 1237);
@@ -310,6 +411,9 @@ mod tests {
         let (l1, l2) = ipcp_pair(&IpcpConfig::default());
         assert_eq!(l1.name(), "ipcp-l1");
         assert_eq!(l2.name(), "ipcp-l2");
-        assert_eq!(l1.storage_bits().div_ceil(8) + l2.storage_bits().div_ceil(8), 895);
+        assert_eq!(
+            l1.storage_bits().div_ceil(8) + l2.storage_bits().div_ceil(8),
+            895
+        );
     }
 }

@@ -33,7 +33,11 @@ impl RrFilter {
     /// Creates a filter with `entries` slots.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0);
-        Self { tags: vec![0; entries], valid: vec![false; entries], next: 0 }
+        Self {
+            tags: vec![0; entries],
+            valid: vec![false; entries],
+            next: 0,
+        }
     }
 
     fn tag_of(line: LineAddr) -> u16 {
@@ -46,7 +50,10 @@ impl RrFilter {
     /// True when `line`'s tag is present.
     pub fn contains(&self, line: LineAddr) -> bool {
         let t = Self::tag_of(line);
-        self.tags.iter().zip(&self.valid).any(|(&tag, &v)| v && tag == t)
+        self.tags
+            .iter()
+            .zip(&self.valid)
+            .any(|(&tag, &v)| v && tag == t)
     }
 
     /// Records `line`, evicting the oldest slot.
@@ -88,7 +95,10 @@ mod tests {
         }
         assert!(f.contains(LineAddr::new(0)));
         f.insert(LineAddr::new(99));
-        assert!(!f.contains(LineAddr::new(0)), "oldest entry must be evicted");
+        assert!(
+            !f.contains(LineAddr::new(0)),
+            "oldest entry must be evicted"
+        );
         assert!(f.contains(LineAddr::new(99)));
     }
 

@@ -114,7 +114,11 @@ impl Rst {
     pub fn new(entries: usize, dense_threshold: u8) -> Self {
         assert!(entries > 0);
         assert!(u64::from(dense_threshold) <= LINES_PER_REGION);
-        Self { entries: vec![RstEntry::default(); entries], dense_threshold, stamp: 0 }
+        Self {
+            entries: vec![RstEntry::default(); entries],
+            dense_threshold,
+            stamp: 0,
+        }
     }
 
     /// The 3-bit tag the IP table can reconstruct for a region: 2 lsbs of
@@ -125,7 +129,9 @@ impl Rst {
     }
 
     fn find(&self, region: RegionId) -> Option<usize> {
-        self.entries.iter().position(|e| e.valid && e.region == region.raw())
+        self.entries
+            .iter()
+            .position(|e| e.valid && e.region == region.raw())
     }
 
     /// Whether any resident region matching the 3-bit `tag` is trained
@@ -160,8 +166,12 @@ impl Rst {
                     .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
                     .map(|(i, _)| i)
                     .expect("RST has entries");
-                self.entries[victim] =
-                    RstEntry { region: region.raw(), valid: true, last_offset: offset.raw(), ..RstEntry::default() };
+                self.entries[victim] = RstEntry {
+                    region: region.raw(),
+                    valid: true,
+                    last_offset: offset.raw(),
+                    ..RstEntry::default()
+                };
                 victim
             }
         };
@@ -184,7 +194,10 @@ impl Rst {
         if e.dense_count >= threshold {
             e.trained = true;
         }
-        RegionState { qualifies_gs: e.qualifies_gs(), direction_positive: e.direction_positive() }
+        RegionState {
+            qualifies_gs: e.qualifies_gs(),
+            direction_positive: e.direction_positive(),
+        }
     }
 
     /// Read-only view of a resident region's entry (tests/inspection).
@@ -202,7 +215,10 @@ mod tests {
     }
 
     fn touch_lines(r: &mut Rst, region: u64, offsets: impl IntoIterator<Item = u8>) -> RegionState {
-        let mut last = RegionState { qualifies_gs: false, direction_positive: true };
+        let mut last = RegionState {
+            qualifies_gs: false,
+            direction_positive: true,
+        };
         for o in offsets {
             last = r.touch(RegionId::new(region), RegionOffset::new(o));
         }
@@ -241,18 +257,24 @@ mod tests {
         let mut r = rst();
         let state = touch_lines(&mut r, 7, (0..28).rev());
         assert!(state.qualifies_gs);
-        assert!(!state.direction_positive, "descending touches must read as negative");
+        assert!(
+            !state.direction_positive,
+            "descending touches must read as negative"
+        );
     }
 
     #[test]
     fn tentative_propagates_gs() {
         let mut r = rst();
         touch_lines(&mut r, 4, 0..25); // trained
-        // New region allocated by a single access; tentative set by caller.
+                                       // New region allocated by a single access; tentative set by caller.
         r.touch(RegionId::new(5), RegionOffset::new(0));
         r.set_tentative(RegionId::new(5));
         let s = r.touch(RegionId::new(5), RegionOffset::new(1));
-        assert!(s.qualifies_gs, "tentative region must qualify before training");
+        assert!(
+            s.qualifies_gs,
+            "tentative region must qualify before training"
+        );
         assert!(!r.peek(RegionId::new(5)).unwrap().trained);
     }
 
@@ -265,7 +287,10 @@ mod tests {
         // All 8 entries full; region 0 is oldest. A 9th region evicts it.
         assert!(r.peek(RegionId::new(0)).is_some());
         r.touch(RegionId::new(8), RegionOffset::new(9));
-        assert!(r.peek(RegionId::new(0)).is_none(), "oldest region must be evicted");
+        assert!(
+            r.peek(RegionId::new(0)).is_none(),
+            "oldest region must be evicted"
+        );
         assert!(r.peek(RegionId::new(8)).is_some());
     }
 

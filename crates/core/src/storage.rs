@@ -108,7 +108,10 @@ mod tests {
         assert_eq!(b.rst, 53 * 8);
         assert_eq!(b.class_bits, 1536);
         assert_eq!(b.rr_filter, 12 * 32);
-        assert_eq!(b.ip_table + b.cspt + b.rst + b.class_bits + b.rr_filter, 5800);
+        assert_eq!(
+            b.ip_table + b.cspt + b.rst + b.class_bits + b.rr_filter,
+            5800
+        );
         assert_eq!(b.other, 113);
         assert_eq!(b.total_bytes(), 740);
     }
@@ -128,7 +131,10 @@ mod tests {
 
     #[test]
     fn budget_scales_with_tables() {
-        let cfg = IpcpConfig { ip_table_entries: 128, ..IpcpConfig::default() };
+        let cfg = IpcpConfig {
+            ip_table_entries: 128,
+            ..IpcpConfig::default()
+        };
         let b = l1_budget(&cfg);
         assert_eq!(b.ip_table, 36 * 128);
         assert!(b.total_bytes() > 740);

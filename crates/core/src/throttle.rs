@@ -28,7 +28,6 @@ use crate::config::{IpClass, IpcpConfig};
 pub struct Throttle {
     default_degree: [u8; 4],
     degree: [u8; 4],
-    issued: [u32; 4],
     useful_window: [u32; 4],
     fills_window: [u32; 4],
     last_accuracy: [f64; 4],
@@ -48,7 +47,6 @@ impl Throttle {
         Self {
             default_degree,
             degree: default_degree,
-            issued: [0; 4],
             useful_window: [0; 4],
             fills_window: [0; 4],
             last_accuracy: [1.0; 4],
@@ -73,9 +71,7 @@ impl Throttle {
 
     /// Records one issued prefetch.
     pub fn note_issued(&mut self, class: IpClass) {
-        let i = class.bits() as usize;
-        self.issued[i] += 1;
-        self.total_issued[i] += 1;
+        self.total_issued[class.bits() as usize] += 1;
     }
 
     /// Records a useful prefetch (first demand hit on a prefetched line, or
@@ -92,7 +88,11 @@ impl Throttle {
         let i = class.bits() as usize;
         self.fills_window[i] += 1;
         if self.fills_window[i] >= self.epoch_fills {
-            let acc = f64::from(self.useful_window[i]) / f64::from(self.fills_window[i]);
+            // Useful hits can land on fills from a previous window (the
+            // demand hit arrives after the window rolled over), so the raw
+            // ratio can exceed 1.0. Accuracy is defined as a 0..=1 fraction;
+            // clamp so the watermark comparison and reports stay sane.
+            let acc = (f64::from(self.useful_window[i]) / f64::from(self.fills_window[i])).min(1.0);
             self.last_accuracy[i] = acc;
             if acc > self.high {
                 self.degree[i] = (self.degree[i] + 1).min(self.default_degree[i]);
@@ -191,6 +191,22 @@ mod tests {
         }
         assert_eq!(t.degree(IpClass::Gs), 1);
         assert_eq!(t.degree(IpClass::Cs), 3, "CS unaffected by GS misbehaviour");
+    }
+
+    #[test]
+    fn accuracy_is_clamped_to_one() {
+        let mut t = throttle();
+        // More useful hits than fills in the window: hits on lines filled in
+        // a previous window. The reported accuracy must still be <= 1.0.
+        for _ in 0..400 {
+            t.note_useful(IpClass::Cs);
+        }
+        for _ in 0..256 {
+            t.note_fill(IpClass::Cs);
+        }
+        assert_eq!(t.accuracy(IpClass::Cs), 1.0, "accuracy is a 0..=1 fraction");
+        // And the degree never ramps past the class default.
+        assert_eq!(t.degree(IpClass::Cs), 3);
     }
 
     #[test]

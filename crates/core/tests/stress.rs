@@ -1,6 +1,10 @@
 //! Stress/property tests for IPCP: arbitrary access streams must never
 //! panic, never emit out-of-page prefetches, and keep hardware-width
 //! fields in range.
+//!
+//! Requires the external `proptest` crate: build with the `proptest`
+//! feature (and registry access) to run these; see Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
@@ -126,13 +130,19 @@ fn ipcp_state_survives_ten_thousand_conflicting_ips() {
     let mut p = IpcpL1::new(IpcpConfig::default());
     for i in 0..10_000u64 {
         let mut sink = VecSink::new();
-        p.on_access(&access(0x40_0000 + i * 4, i * 7 % (1 << 20), false, i, i / 30), &mut sink);
+        p.on_access(
+            &access(0x40_0000 + i * 4, i * 7 % (1 << 20), false, i, i / 30),
+            &mut sink,
+        );
     }
     // A clean stride stream still trains afterwards.
     let mut got = 0;
     for i in 0..12u64 {
         let mut sink = VecSink::new();
-        p.on_access(&access(0x999_0000, 0x50_0000 + i * 2, false, 20_000 + i, 600), &mut sink);
+        p.on_access(
+            &access(0x999_0000, 0x50_0000 + i * 2, false, 20_000 + i, 600),
+            &mut sink,
+        );
         got += sink.requests.len();
     }
     assert!(got > 0, "IPCP must recover after IP-table thrash");

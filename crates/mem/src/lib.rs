@@ -193,7 +193,8 @@ impl LineAddr {
     /// paper ("we do not prefetch crossing the page boundary").
     pub fn offset_within_page(self, stride: i64) -> Option<LineAddr> {
         let target = self.0.checked_add_signed(stride)?;
-        let same_page = (target >> (PAGE_SHIFT - LINE_SHIFT)) == (self.0 >> (PAGE_SHIFT - LINE_SHIFT));
+        let same_page =
+            (target >> (PAGE_SHIFT - LINE_SHIFT)) == (self.0 >> (PAGE_SHIFT - LINE_SHIFT));
         same_page.then_some(LineAddr(target))
     }
 }
@@ -249,7 +250,10 @@ impl LineOffset {
     ///
     /// Panics if `raw >= 64`.
     pub fn new(raw: u8) -> Self {
-        assert!(u64::from(raw) < LINES_PER_PAGE, "line offset {raw} out of range");
+        assert!(
+            u64::from(raw) < LINES_PER_PAGE,
+            "line offset {raw} out of range"
+        );
         Self(raw)
     }
 
@@ -300,7 +304,10 @@ impl RegionOffset {
     ///
     /// Panics if `raw >= 32`.
     pub fn new(raw: u8) -> Self {
-        assert!(u64::from(raw) < LINES_PER_REGION, "region offset {raw} out of range");
+        assert!(
+            u64::from(raw) < LINES_PER_REGION,
+            "region offset {raw} out of range"
+        );
         Self(raw)
     }
 
@@ -371,7 +378,12 @@ impl From<u64> for Ip {
 ///
 /// Returns `None` when the page tag changed by 2 or 3 (mod 4), i.e. the
 /// hardware cannot tell direction; IPCP treats that as "new page, relearn".
-pub fn ipcp_stride(last_vpage_lsb2: u8, last_offset: LineOffset, cur_vpage_lsb2: u8, cur_offset: LineOffset) -> Option<i64> {
+pub fn ipcp_stride(
+    last_vpage_lsb2: u8,
+    last_offset: LineOffset,
+    cur_vpage_lsb2: u8,
+    cur_offset: LineOffset,
+) -> Option<i64> {
     let cur = i64::from(cur_offset.raw());
     let last = i64::from(last_offset.raw());
     let delta_page = (i16::from(cur_vpage_lsb2) - i16::from(last_vpage_lsb2)).rem_euclid(4);
@@ -386,7 +398,6 @@ pub fn ipcp_stride(last_vpage_lsb2: u8, last_offset: LineOffset, cur_vpage_lsb2:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn vaddr_line_page_round_trip() {
@@ -451,7 +462,10 @@ mod tests {
 
     #[test]
     fn ipcp_stride_ambiguous_jump() {
-        assert_eq!(ipcp_stride(0, LineOffset::new(5), 2, LineOffset::new(5)), None);
+        assert_eq!(
+            ipcp_stride(0, LineOffset::new(5), 2, LineOffset::new(5)),
+            None
+        );
     }
 
     #[test]
@@ -481,54 +495,62 @@ mod tests {
         assert!(!format!("{}", Ip(0)).is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn line_round_trip(byte_addr in 0u64..(1 << 48)) {
-            let l = LineAddr::from_byte_addr(byte_addr);
-            prop_assert_eq!(l.to_byte_addr(), byte_addr & !(LINE_BYTES - 1));
-            prop_assert!(u64::from(l.page_offset().raw()) < LINES_PER_PAGE);
-            prop_assert!(u64::from(l.region_offset().raw()) < LINES_PER_REGION);
-        }
+    // Property tests require the external `proptest` crate (see the
+    // `proptest` feature in Cargo.toml).
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn region_and_page_consistent(raw_line in 0u64..(1 << 40)) {
-            let l = LineAddr::new(raw_line);
-            // Two regions per page; the region id's low bit selects the half.
-            prop_assert_eq!(l.region().raw() >> 1, l.vpage().raw());
-            prop_assert_eq!(l.region().raw() & 1, u64::from(l.page_offset().msb()));
-            // Region offset is the low 5 bits of the page offset.
-            prop_assert_eq!(l.region_offset().raw(), l.page_offset().raw() & 0x1f);
-        }
-
-        #[test]
-        fn offset_within_page_stays_in_page(raw_line in 0u64..(1 << 40), stride in -128i64..128) {
-            let l = LineAddr::new(raw_line);
-            if let Some(t) = l.offset_within_page(stride) {
-                prop_assert_eq!(t.vpage(), l.vpage());
-                prop_assert_eq!(t.raw() as i128, raw_line as i128 + stride as i128);
+        proptest! {
+            #[test]
+            fn line_round_trip(byte_addr in 0u64..(1 << 48)) {
+                let l = LineAddr::from_byte_addr(byte_addr);
+                prop_assert_eq!(l.to_byte_addr(), byte_addr & !(LINE_BYTES - 1));
+                prop_assert!(u64::from(l.page_offset().raw()) < LINES_PER_PAGE);
+                prop_assert!(u64::from(l.region_offset().raw()) < LINES_PER_REGION);
             }
-        }
 
-        #[test]
-        fn stride_matches_true_delta_for_adjacent_pages(
-            page in 1u64..(1 << 30),
-            off_a in 0u8..64,
-            off_b in 0u8..64,
-            page_step in -1i64..=1,
-        ) {
-            // When the true page delta is -1, 0, or +1, the 2-lsb scheme must
-            // recover the exact line stride.
-            let page_b = page.wrapping_add_signed(page_step);
-            let a = VPage::new(page).first_line().raw() + u64::from(off_a);
-            let b = VPage::new(page_b).first_line().raw() + u64::from(off_b);
-            let true_stride = b as i64 - a as i64;
-            let got = ipcp_stride(
-                VPage::new(page).lsb2(),
-                LineOffset::new(off_a),
-                VPage::new(page_b).lsb2(),
-                LineOffset::new(off_b),
-            );
-            prop_assert_eq!(got, Some(true_stride));
+            #[test]
+            fn region_and_page_consistent(raw_line in 0u64..(1 << 40)) {
+                let l = LineAddr::new(raw_line);
+                // Two regions per page; the region id's low bit selects the half.
+                prop_assert_eq!(l.region().raw() >> 1, l.vpage().raw());
+                prop_assert_eq!(l.region().raw() & 1, u64::from(l.page_offset().msb()));
+                // Region offset is the low 5 bits of the page offset.
+                prop_assert_eq!(l.region_offset().raw(), l.page_offset().raw() & 0x1f);
+            }
+
+            #[test]
+            fn offset_within_page_stays_in_page(raw_line in 0u64..(1 << 40), stride in -128i64..128) {
+                let l = LineAddr::new(raw_line);
+                if let Some(t) = l.offset_within_page(stride) {
+                    prop_assert_eq!(t.vpage(), l.vpage());
+                    prop_assert_eq!(t.raw() as i128, raw_line as i128 + stride as i128);
+                }
+            }
+
+            #[test]
+            fn stride_matches_true_delta_for_adjacent_pages(
+                page in 1u64..(1 << 30),
+                off_a in 0u8..64,
+                off_b in 0u8..64,
+                page_step in -1i64..=1,
+            ) {
+                // When the true page delta is -1, 0, or +1, the 2-lsb scheme must
+                // recover the exact line stride.
+                let page_b = page.wrapping_add_signed(page_step);
+                let a = VPage::new(page).first_line().raw() + u64::from(off_a);
+                let b = VPage::new(page_b).first_line().raw() + u64::from(off_b);
+                let true_stride = b as i64 - a as i64;
+                let got = ipcp_stride(
+                    VPage::new(page).lsb2(),
+                    LineOffset::new(off_a),
+                    VPage::new(page_b).lsb2(),
+                    LineOffset::new(off_b),
+                );
+                prop_assert_eq!(got, Some(true_stride));
+            }
         }
     }
 }

@@ -128,7 +128,10 @@ impl Cache {
     /// Builds a cache from its configuration. `scale` multiplies capacity,
     /// MSHR, and PQ entries (the LLC scales with core count per Table II).
     pub fn new(cfg: &CacheConfig, scale: u32) -> Self {
-        let scaled = CacheConfig { size_bytes: cfg.size_bytes * u64::from(scale), ..cfg.clone() };
+        let scaled = CacheConfig {
+            size_bytes: cfg.size_bytes * u64::from(scale),
+            ..cfg.clone()
+        };
         let sets = scaled.sets() as usize;
         let ways = cfg.ways as usize;
         let n = sets * ways;
@@ -215,7 +218,14 @@ impl Cache {
             let i = self.slot(set, way);
             self.stats.demand_accesses += 1;
             self.stats.demand_hits += 1;
-            self.repl.on_hit(set, way, ReplMeta { ip, is_prefetch: false });
+            self.repl.on_hit(
+                set,
+                way,
+                ReplMeta {
+                    ip,
+                    is_prefetch: false,
+                },
+            );
             if write {
                 self.dirty[i] = true;
             }
@@ -227,7 +237,10 @@ impl Cache {
                 self.stats.useful_prefetch_hits += 1;
                 self.stats.useful_by_class[class as usize & 3] += 1;
             }
-            return ProbeResult::Hit { first_use_of_prefetch: first_use, pf_class: class };
+            return ProbeResult::Hit {
+                first_use_of_prefetch: first_use,
+                pf_class: class,
+            };
         }
         // Line absent: check the MSHRs.
         if let Some(idx) = self.find_mshr(line) {
@@ -274,7 +287,10 @@ impl Cache {
     /// level), returns residency and in-flight state.
     pub fn prefetch_probe(&self, line: LineAddr) -> ProbeResult {
         if self.find_way(line).is_some() {
-            return ProbeResult::Hit { first_use_of_prefetch: false, pf_class: 0 };
+            return ProbeResult::Hit {
+                first_use_of_prefetch: false,
+                pf_class: 0,
+            };
         }
         if let Some(idx) = self.find_mshr(line) {
             let m = self.mshrs[idx].as_ref().expect("occupied");
@@ -339,7 +355,14 @@ impl Cache {
     /// Installs `line`, returning eviction info. `is_prefetch` marks the
     /// line for usefulness accounting; `pf_class` is stored in the 2-bit
     /// per-line class field.
-    pub fn install(&mut self, line: LineAddr, ip: Ip, is_prefetch: bool, pf_class: u8, dirty: bool) -> Option<Evicted> {
+    pub fn install(
+        &mut self,
+        line: LineAddr,
+        ip: Ip,
+        is_prefetch: bool,
+        pf_class: u8,
+        dirty: bool,
+    ) -> Option<Evicted> {
         let set = self.set_of(line);
         let base = set * self.ways;
         let (way, evicted) = match (0..self.ways).find(|&w| !self.valid[base + w]) {
@@ -438,7 +461,14 @@ mod tests {
         let line = LineAddr::new(0x1000);
         assert_eq!(c.demand_lookup(line, IP, false), ProbeResult::Miss);
         c.commit_demand_miss();
-        c.alloc_mshr(Mshr { line, fill_at: 10, is_prefetch: false, pf_class: 0, dirty: false, ip: IP });
+        c.alloc_mshr(Mshr {
+            line,
+            fill_at: 10,
+            is_prefetch: false,
+            pf_class: 0,
+            dirty: false,
+            ip: IP,
+        });
         // Merge while in flight.
         match c.demand_lookup(line, IP, false) {
             ProbeResult::MshrMerge { fill_at } => assert_eq!(fill_at, 10),
@@ -448,7 +478,10 @@ mod tests {
         let m = c.pop_ready_fill(10).unwrap();
         assert_eq!(m.line, line);
         c.install(line, IP, false, 0, false);
-        assert!(matches!(c.demand_lookup(line, IP, false), ProbeResult::Hit { .. }));
+        assert!(matches!(
+            c.demand_lookup(line, IP, false),
+            ProbeResult::Hit { .. }
+        ));
         assert_eq!(c.stats.demand_accesses, 3);
         assert_eq!(c.stats.demand_hits, 1);
         assert_eq!(c.stats.demand_misses, 2);
@@ -458,7 +491,10 @@ mod tests {
     #[test]
     fn uncommitted_miss_counts_nothing() {
         let mut c = l1d();
-        assert_eq!(c.demand_lookup(LineAddr::new(1), IP, false), ProbeResult::Miss);
+        assert_eq!(
+            c.demand_lookup(LineAddr::new(1), IP, false),
+            ProbeResult::Miss
+        );
         assert_eq!(c.stats.demand_accesses, 0);
         assert_eq!(c.stats.demand_misses, 0);
     }
@@ -470,10 +506,20 @@ mod tests {
             let line = LineAddr::new(0x100 + i);
             assert_eq!(c.demand_lookup(line, IP, false), ProbeResult::Miss);
             c.commit_demand_miss();
-            c.alloc_mshr(Mshr { line, fill_at: 100, is_prefetch: false, pf_class: 0, dirty: false, ip: IP });
+            c.alloc_mshr(Mshr {
+                line,
+                fill_at: 100,
+                is_prefetch: false,
+                pf_class: 0,
+                dirty: false,
+                ip: IP,
+            });
         }
         assert!(!c.mshr_available());
-        assert_eq!(c.demand_lookup(LineAddr::new(0x900), IP, false), ProbeResult::MshrFull);
+        assert_eq!(
+            c.demand_lookup(LineAddr::new(0x900), IP, false),
+            ProbeResult::MshrFull
+        );
         assert_eq!(c.stats.mshr_full_rejects, 1);
         // Fill one; capacity returns.
         assert!(c.pop_ready_fill(100).is_some());
@@ -488,7 +534,10 @@ mod tests {
         assert_eq!(c.stats.pf_fills, 1);
         assert_eq!(c.stats.fills_by_class[3], 1);
         match c.demand_lookup(line, IP, false) {
-            ProbeResult::Hit { first_use_of_prefetch, pf_class } => {
+            ProbeResult::Hit {
+                first_use_of_prefetch,
+                pf_class,
+            } => {
                 assert!(first_use_of_prefetch);
                 assert_eq!(pf_class, 3);
             }
@@ -498,7 +547,10 @@ mod tests {
         assert_eq!(c.stats.useful_by_class[3], 1);
         // Second hit is no longer a first use.
         match c.demand_lookup(line, IP, false) {
-            ProbeResult::Hit { first_use_of_prefetch, .. } => assert!(!first_use_of_prefetch),
+            ProbeResult::Hit {
+                first_use_of_prefetch,
+                ..
+            } => assert!(!first_use_of_prefetch),
             other => panic!("{other:?}"),
         }
         assert_eq!(c.stats.useful_prefetch_hits, 1);
@@ -508,7 +560,14 @@ mod tests {
     fn late_prefetch_merge_counts_useful() {
         let mut c = l1d();
         let line = LineAddr::new(0x3000);
-        c.alloc_mshr(Mshr { line, fill_at: 50, is_prefetch: true, pf_class: 1, dirty: false, ip: IP });
+        c.alloc_mshr(Mshr {
+            line,
+            fill_at: 50,
+            is_prefetch: true,
+            pf_class: 1,
+            dirty: false,
+            ip: IP,
+        });
         match c.demand_lookup(line, IP, false) {
             ProbeResult::MshrMerge { .. } => {}
             other => panic!("{other:?}"),
@@ -533,13 +592,17 @@ mod tests {
             // Touch so LRU victimizes line 0.
             let _ = c.demand_lookup(LineAddr::new(i * sets), IP, true);
         }
-        let ev = c.install(LineAddr::new(12 * sets), IP, false, 0, false).unwrap();
+        let ev = c
+            .install(LineAddr::new(12 * sets), IP, false, 0, false)
+            .unwrap();
         assert_eq!(ev.line, LineAddr::new(0));
         assert!(ev.unused_prefetch);
         assert!(!ev.dirty);
         assert_eq!(c.stats.pf_useless_evicted, 1);
         // Dirty eviction: make the set overflow again; victim was stored to.
-        let ev2 = c.install(LineAddr::new(13 * sets), IP, false, 0, false).unwrap();
+        let ev2 = c
+            .install(LineAddr::new(13 * sets), IP, false, 0, false)
+            .unwrap();
         assert!(ev2.dirty, "RFO-touched line must write back");
     }
 

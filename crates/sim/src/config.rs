@@ -33,7 +33,11 @@ impl CacheConfig {
     /// Panics if the geometry is not an exact power-of-two set count.
     pub fn sets(&self) -> u64 {
         let sets = self.size_bytes / ipcp_mem::LINE_BYTES / u64::from(self.ways);
-        assert!(sets.is_power_of_two(), "{}: set count {sets} must be a power of two", self.name);
+        assert!(
+            sets.is_power_of_two(),
+            "{}: set count {sets} must be a power of two",
+            self.name
+        );
         sets
     }
 }
@@ -69,7 +73,12 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
-        Self { rob_entries: 256, fetch_width: 4, retire_width: 4, alu_latency: 1 }
+        Self {
+            rob_entries: 256,
+            fetch_width: 4,
+            retire_width: 4,
+            alu_latency: 1,
+        }
     }
 }
 
@@ -249,7 +258,10 @@ impl SimConfig {
     /// (Table II).
     #[must_use]
     pub fn multicore(cores: u32) -> Self {
-        let mut cfg = Self { cores, ..Self::default() };
+        let mut cfg = Self {
+            cores,
+            ..Self::default()
+        };
         if cores > 1 {
             cfg.dram.channels = 2;
         }
@@ -298,7 +310,11 @@ mod tests {
     fn dram_bandwidth_override() {
         let d = DramConfig::default().with_bandwidth_gbps(3.2);
         assert!((d.peak_bandwidth_gbps() - 3.2).abs() < 0.2);
-        let d = DramConfig { channels: 2, ..DramConfig::default() }.with_bandwidth_gbps(25.0);
+        let d = DramConfig {
+            channels: 2,
+            ..DramConfig::default()
+        }
+        .with_bandwidth_gbps(25.0);
         assert!((d.peak_bandwidth_gbps() - 25.0).abs() < 1.5);
     }
 

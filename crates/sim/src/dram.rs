@@ -46,7 +46,10 @@ impl Dram {
                 bus_free_at: 0,
             })
             .collect();
-        let stats = DramStats { channels: cfg.channels, ..DramStats::default() };
+        let stats = DramStats {
+            channels: cfg.channels,
+            ..DramStats::default()
+        };
         Self {
             cfg,
             channels,
@@ -67,7 +70,8 @@ impl Dram {
         let ch = (chunk % u64::from(self.cfg.channels)) as usize;
         let after_ch = chunk / u64::from(self.cfg.channels);
         let bank = (after_ch % u64::from(self.cfg.banks_per_channel)) as usize;
-        let row = (after_ch / u64::from(self.cfg.banks_per_channel)) % u64::from(self.cfg.rows_per_bank);
+        let row =
+            (after_ch / u64::from(self.cfg.banks_per_channel)) % u64::from(self.cfg.rows_per_bank);
         (ch, bank, row)
     }
 
@@ -117,7 +121,10 @@ impl Dram {
                 self.stats.row_misses += 1;
             }
             bank.open_row = Some(row);
-            (cfg.t_rp + cfg.t_rcd + cfg.t_cas, cfg.t_rp + cfg.t_rcd + cfg.burst_cycles)
+            (
+                cfg.t_rp + cfg.t_rcd + cfg.t_cas,
+                cfg.t_rp + cfg.t_rcd + cfg.burst_cycles,
+            )
         };
         let data_ready = start + access_lat;
         let bus_start = data_ready.max(ch.bus_free_at);
@@ -169,7 +176,10 @@ mod tests {
         let other_row_line = LineAddr::new(8 * 32 * 100);
         let t2 = d.schedule_read(t1, other_row_line);
         let miss_latency = t2 - t1;
-        assert!(miss_latency > hit_latency, "{miss_latency} vs {hit_latency}");
+        assert!(
+            miss_latency > hit_latency,
+            "{miss_latency} vs {hit_latency}"
+        );
         assert_eq!(d.stats.row_hits, 1);
         assert_eq!(d.stats.row_misses, 2);
     }
@@ -181,7 +191,10 @@ mod tests {
         // data bus: completions differ by at least one burst.
         let a = d.schedule_read(0, LineAddr::new(0)); // bank 0
         let b = d.schedule_read(0, LineAddr::new(1)); // bank 1
-        assert!(b >= a + DramConfig::default().burst_cycles || a >= b + DramConfig::default().burst_cycles);
+        assert!(
+            b >= a + DramConfig::default().burst_cycles
+                || a >= b + DramConfig::default().burst_cycles
+        );
     }
 
     #[test]
@@ -237,7 +250,10 @@ mod tests {
             last
         };
         let two = {
-            let mut d = Dram::new(DramConfig { channels: 2, ..DramConfig::default() });
+            let mut d = Dram::new(DramConfig {
+                channels: 2,
+                ..DramConfig::default()
+            });
             let mut last = 0;
             for i in 0..500u64 {
                 last = last.max(d.schedule_read(0, LineAddr::new(i)));

@@ -44,6 +44,8 @@ pub mod system;
 pub mod tlb;
 pub mod vmem;
 
-pub use config::{CacheConfig, CoreConfig, Cycle, DramConfig, ReplacementKind, SimConfig, TlbConfig};
+pub use config::{
+    CacheConfig, CoreConfig, Cycle, DramConfig, ReplacementKind, SimConfig, TlbConfig,
+};
 pub use stats::{CacheStats, CoreReport, CoreStats, DramStats, SimReport, TlbStats};
 pub use system::{run_single, weighted_speedup, CoreSetup, System};

@@ -66,12 +66,24 @@ pub struct PrefetchRequest {
 impl PrefetchRequest {
     /// Convenience constructor for an L1 prefetch of a virtual line.
     pub fn l1(line: LineAddr) -> Self {
-        Self { line, virtual_addr: true, fill: FillLevel::L1, pf_class: 0, meta: None }
+        Self {
+            line,
+            virtual_addr: true,
+            fill: FillLevel::L1,
+            pf_class: 0,
+            meta: None,
+        }
     }
 
     /// Convenience constructor for an L2 prefetch of a physical line.
     pub fn l2(line: LineAddr) -> Self {
-        Self { line, virtual_addr: false, fill: FillLevel::L2, pf_class: 0, meta: None }
+        Self {
+            line,
+            virtual_addr: false,
+            fill: FillLevel::L2,
+            pf_class: 0,
+            meta: None,
+        }
     }
 
     /// Sets the class tag.
@@ -192,7 +204,10 @@ impl VecSink {
 
     /// Sink that accepts at most `capacity` requests.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { capacity: Some(capacity), ..Self::default() }
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
     }
 
     /// Drains the collected requests.
@@ -289,7 +304,10 @@ impl<P: Prefetcher> Prefetcher for FillLevelOverride<P> {
     }
 
     fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
-        let mut s = OverrideSink { inner: sink, fill: self.fill };
+        let mut s = OverrideSink {
+            inner: sink,
+            fill: self.fill,
+        };
         self.inner.on_access(info, &mut s);
     }
 
@@ -298,12 +316,18 @@ impl<P: Prefetcher> Prefetcher for FillLevelOverride<P> {
     }
 
     fn on_prefetch_arrival(&mut self, arrival: &MetadataArrival, sink: &mut dyn PrefetchSink) {
-        let mut s = OverrideSink { inner: sink, fill: self.fill };
+        let mut s = OverrideSink {
+            inner: sink,
+            fill: self.fill,
+        };
         self.inner.on_prefetch_arrival(arrival, &mut s);
     }
 
     fn on_cycle(&mut self, cycle: Cycle, sink: &mut dyn PrefetchSink) {
-        let mut s = OverrideSink { inner: sink, fill: self.fill };
+        let mut s = OverrideSink {
+            inner: sink,
+            fill: self.fill,
+        };
         self.inner.on_cycle(cycle, &mut s);
     }
 
@@ -338,7 +362,10 @@ mod tests {
     fn request_builders() {
         let r = PrefetchRequest::l1(LineAddr::new(100))
             .with_class(3)
-            .with_meta(PrefetchMeta { class: 3, stride: -1 });
+            .with_meta(PrefetchMeta {
+                class: 3,
+                stride: -1,
+            });
         assert!(r.virtual_addr);
         assert_eq!(r.fill, FillLevel::L1);
         assert_eq!(r.pf_class, 3);

@@ -58,7 +58,11 @@ pub struct Lru {
 impl Lru {
     /// Creates an LRU policy for `sets` × `ways`.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Self { ways, stamp: 0, last_use: vec![0; sets * ways] }
+        Self {
+            ways,
+            stamp: 0,
+            last_use: vec![0; sets * ways],
+        }
     }
 
     fn touch(&mut self, set: usize, way: usize) {
@@ -108,12 +112,24 @@ pub struct Rrip {
 impl Rrip {
     /// Static RRIP: every fill inserts at RRPV = 2.
     pub fn new_static(sets: usize, ways: usize) -> Self {
-        Self { ways, rrpv: vec![RRPV_MAX; sets * ways], dynamic: false, psel: 0, brrip_toggle: 0 }
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            dynamic: false,
+            psel: 0,
+            brrip_toggle: 0,
+        }
     }
 
     /// Dynamic RRIP with set dueling between SRRIP and BRRIP.
     pub fn new_dynamic(sets: usize, ways: usize) -> Self {
-        Self { ways, rrpv: vec![RRPV_MAX; sets * ways], dynamic: true, psel: 0, brrip_toggle: 0 }
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            dynamic: true,
+            psel: 0,
+            brrip_toggle: 0,
+        }
     }
 
     fn leader(&self, set: usize) -> Option<bool> {
@@ -220,7 +236,11 @@ impl Replacement for ShipLite {
         let sig = Self::signature(meta);
         self.sig[idx] = sig;
         let predicted_dead = self.shct[sig as usize] == 0;
-        self.rrpv[idx] = if predicted_dead { RRPV_MAX } else { RRPV_MAX - 1 };
+        self.rrpv[idx] = if predicted_dead {
+            RRPV_MAX
+        } else {
+            RRPV_MAX - 1
+        };
     }
 
     fn on_hit(&mut self, set: usize, way: usize, _meta: ReplMeta) {
@@ -260,7 +280,10 @@ pub struct RandomRepl {
 impl RandomRepl {
     /// Creates a random policy; seeded from the geometry for determinism.
     pub fn new(sets: usize, ways: usize) -> Self {
-        Self { ways, state: (sets as u64) << 32 | ways as u64 | 0x9e37_79b9 }
+        Self {
+            ways,
+            state: (sets as u64) << 32 | ways as u64 | 0x9e37_79b9,
+        }
     }
 }
 
@@ -283,7 +306,10 @@ impl Replacement for RandomRepl {
 mod tests {
     use super::*;
 
-    const META: ReplMeta = ReplMeta { ip: Ip(0x40), is_prefetch: false };
+    const META: ReplMeta = ReplMeta {
+        ip: Ip(0x40),
+        is_prefetch: false,
+    };
 
     #[test]
     fn lru_evicts_least_recent() {
@@ -304,7 +330,7 @@ mod tests {
             r.on_fill(0, w, META);
         }
         r.on_hit(0, 2, META); // rrpv 0
-        // All others are at 2; aging pushes them to 3 before way 2.
+                              // All others are at 2; aging pushes them to 3 before way 2.
         let v = r.victim(0);
         assert_ne!(v, 2);
     }
@@ -323,7 +349,10 @@ mod tests {
     #[test]
     fn ship_learns_dead_signature() {
         let mut s = ShipLite::new(1, 2);
-        let dead_ip = ReplMeta { ip: Ip(0x1234), is_prefetch: false };
+        let dead_ip = ReplMeta {
+            ip: Ip(0x1234),
+            is_prefetch: false,
+        };
         // Evict the same signature unused until its counter hits zero.
         s.on_fill(0, 0, dead_ip);
         s.on_evict(0, 0, false);

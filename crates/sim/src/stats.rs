@@ -110,7 +110,10 @@ impl DramStats {
 
     /// Resets all counters (the channel count is preserved).
     pub fn reset(&mut self) {
-        *self = Self { channels: self.channels, ..Self::default() };
+        *self = Self {
+            channels: self.channels,
+            ..Self::default()
+        };
     }
 }
 
@@ -202,7 +205,8 @@ impl SimReport {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.dram.bus_busy_cycles as f64 / (self.cycles as f64 * f64::from(self.dram.channels.max(1)))
+        self.dram.bus_busy_cycles as f64
+            / (self.cycles as f64 * f64::from(self.dram.channels.max(1)))
     }
 }
 
@@ -248,20 +252,31 @@ mod tests {
 
     #[test]
     fn mpki_zero_instructions() {
-        let s = CacheStats { demand_misses: 5, ..Default::default() };
+        let s = CacheStats {
+            demand_misses: 5,
+            ..Default::default()
+        };
         assert_eq!(s.mpki(0), 0.0);
         assert!((s.mpki(1000) - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn dram_traffic() {
-        let d = DramStats { reads: 3, writes: 1, ..Default::default() };
+        let d = DramStats {
+            reads: 3,
+            writes: 1,
+            ..Default::default()
+        };
         assert_eq!(d.traffic_bytes(), 4 * 64);
     }
 
     #[test]
     fn core_ipc() {
-        let c = CoreStats { instructions: 400, cycles: 100, stall_cycles: 0 };
+        let c = CoreStats {
+            instructions: 400,
+            cycles: 100,
+            stall_cycles: 0,
+        };
         assert!((c.ipc() - 4.0).abs() < 1e-12);
         assert_eq!(CoreStats::default().ipc(), 0.0);
     }
@@ -269,7 +284,10 @@ mod tests {
     #[test]
     fn report_display_nonempty() {
         let r = SimReport {
-            cores: vec![CoreReport { trace: "t".into(), ..Default::default() }],
+            cores: vec![CoreReport {
+                trace: "t".into(),
+                ..Default::default()
+            }],
             ..Default::default()
         };
         assert!(!format!("{r}").is_empty());

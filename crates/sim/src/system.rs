@@ -22,7 +22,7 @@ use crate::cache::{Cache, Mshr, ProbeResult, QueuedPrefetch, FILL_UNKNOWN};
 use crate::config::{Cycle, SimConfig};
 use crate::dram::Dram;
 use crate::prefetch::{
-    AccessInfo, DemandKind, FillInfo, FillLevel, MetadataArrival, Prefetcher, PrefetchRequest,
+    AccessInfo, DemandKind, FillInfo, FillLevel, MetadataArrival, PrefetchRequest, Prefetcher,
     VecSink,
 };
 use crate::stats::{CoreReport, CoreStats, SimReport};
@@ -51,7 +51,9 @@ pub struct CoreSetup {
 
 impl std::fmt::Debug for CoreSetup {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CoreSetup").field("trace", &self.trace.name()).finish()
+        f.debug_struct("CoreSetup")
+            .field("trace", &self.trace.name())
+            .finish()
     }
 }
 
@@ -64,7 +66,12 @@ struct Rob {
 
 impl Rob {
     fn new(cap: usize) -> Self {
-        Self { cap, head: 0, tail: 0, completion: vec![FILL_UNKNOWN; cap] }
+        Self {
+            cap,
+            head: 0,
+            tail: 0,
+            completion: vec![FILL_UNKNOWN; cap],
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -173,8 +180,16 @@ impl System {
     /// # Panics
     ///
     /// Panics if the core count does not match the configuration.
-    pub fn new(cfg: SimConfig, setups: Vec<CoreSetup>, llc_prefetcher: Box<dyn Prefetcher>) -> Self {
-        assert_eq!(setups.len(), cfg.cores as usize, "core setups must match cfg.cores");
+    pub fn new(
+        cfg: SimConfig,
+        setups: Vec<CoreSetup>,
+        llc_prefetcher: Box<dyn Prefetcher>,
+    ) -> Self {
+        assert_eq!(
+            setups.len(),
+            cfg.cores as usize,
+            "core setups must match cfg.cores"
+        );
         let vmem_seed = cfg.vmem_seed;
         let cores = setups
             .into_iter()
@@ -227,7 +242,10 @@ impl System {
         loop {
             let activity = self.cycle();
             if !self.warmed_up
-                && self.cores.iter().all(|c| c.retired_total >= self.cfg.warmup_instructions)
+                && self
+                    .cores
+                    .iter()
+                    .all(|c| c.retired_total >= self.cfg.warmup_instructions)
             {
                 self.finish_warmup();
             }
@@ -465,11 +483,21 @@ impl System {
                 }
                 MemOp::Load(vaddr) => {
                     let seq = core.rob.push(FILL_UNKNOWN);
-                    core.pending.push_back(PendingMem { seq, ip: instr.ip, vaddr, store: false });
+                    core.pending.push_back(PendingMem {
+                        seq,
+                        ip: instr.ip,
+                        vaddr,
+                        store: false,
+                    });
                 }
                 MemOp::Store(vaddr) => {
                     let seq = core.rob.push(FILL_UNKNOWN);
-                    core.pending.push_back(PendingMem { seq, ip: instr.ip, vaddr, store: true });
+                    core.pending.push_back(PendingMem {
+                        seq,
+                        ip: instr.ip,
+                        vaddr,
+                        store: true,
+                    });
                 }
             }
             n += 1;
@@ -499,7 +527,9 @@ impl System {
             }
             ProbeResult::MshrFull => false,
             ProbeResult::Miss => {
-                let Some(c2) = self.resolve_l2_demand(ci, pline, ip, DemandKind::IFetch, t + l1i_lat) else {
+                let Some(c2) =
+                    self.resolve_l2_demand(ci, pline, ip, DemandKind::IFetch, t + l1i_lat)
+                else {
                     return false;
                 };
                 let fill_at = c2 + FILL_FORWARD;
@@ -533,18 +563,40 @@ impl System {
         t: Cycle,
     ) -> Option<Cycle> {
         let l1_lat = self.cores[ci].l1d.latency();
-        let kind = if store { DemandKind::Rfo } else { DemandKind::Load };
+        let kind = if store {
+            DemandKind::Rfo
+        } else {
+            DemandKind::Load
+        };
         match self.cores[ci].l1d.demand_lookup(pline, ip, store) {
-            ProbeResult::Hit { first_use_of_prefetch, pf_class } => {
+            ProbeResult::Hit {
+                first_use_of_prefetch,
+                pf_class,
+            } => {
                 let c = t + l1_lat;
-                self.run_l1d_prefetcher(ci, vline, pline, ip, kind, true, first_use_of_prefetch, pf_class);
+                self.run_l1d_prefetcher(
+                    ci,
+                    vline,
+                    pline,
+                    ip,
+                    kind,
+                    true,
+                    first_use_of_prefetch,
+                    pf_class,
+                );
                 Some(c)
             }
             ProbeResult::MshrMerge { fill_at } => {
                 self.run_l1d_prefetcher(ci, vline, pline, ip, kind, false, false, 0);
                 let c = fill_at.max(t + l1_lat);
                 if std::env::var_os("IPCP_DEBUG_PF").is_some() && c > t + 60 {
-                    eprintln!("MERGE line {:#x} t {} fill {} wait {}", pline.raw(), t, fill_at, c - t);
+                    eprintln!(
+                        "MERGE line {:#x} t {} fill {} wait {}",
+                        pline.raw(),
+                        t,
+                        fill_at,
+                        c - t
+                    );
                 }
                 let stats = &mut self.cores[ci].l1d.stats;
                 stats.miss_latency_sum += c - t;
@@ -572,12 +624,30 @@ impl System {
         }
     }
 
-    fn resolve_l2_demand(&mut self, ci: usize, pline: LineAddr, ip: Ip, kind: DemandKind, t: Cycle) -> Option<Cycle> {
+    fn resolve_l2_demand(
+        &mut self,
+        ci: usize,
+        pline: LineAddr,
+        ip: Ip,
+        kind: DemandKind,
+        t: Cycle,
+    ) -> Option<Cycle> {
         let l2_lat = self.cores[ci].l2.latency();
         match self.cores[ci].l2.demand_lookup(pline, ip, false) {
-            ProbeResult::Hit { first_use_of_prefetch, pf_class } => {
+            ProbeResult::Hit {
+                first_use_of_prefetch,
+                pf_class,
+            } => {
                 let c = t + l2_lat;
-                self.run_l2_prefetcher_access(ci, pline, ip, kind, true, first_use_of_prefetch, pf_class);
+                self.run_l2_prefetcher_access(
+                    ci,
+                    pline,
+                    ip,
+                    kind,
+                    true,
+                    first_use_of_prefetch,
+                    pf_class,
+                );
                 Some(c)
             }
             ProbeResult::MshrMerge { fill_at } => {
@@ -604,12 +674,30 @@ impl System {
         }
     }
 
-    fn resolve_llc_demand(&mut self, ci: usize, pline: LineAddr, ip: Ip, kind: DemandKind, t: Cycle) -> Option<Cycle> {
+    fn resolve_llc_demand(
+        &mut self,
+        ci: usize,
+        pline: LineAddr,
+        ip: Ip,
+        kind: DemandKind,
+        t: Cycle,
+    ) -> Option<Cycle> {
         let llc_lat = self.llc.latency();
         match self.llc.demand_lookup(pline, ip, false) {
-            ProbeResult::Hit { first_use_of_prefetch, pf_class } => {
+            ProbeResult::Hit {
+                first_use_of_prefetch,
+                pf_class,
+            } => {
                 let c = t + llc_lat;
-                self.run_llc_prefetcher_access(ci, pline, ip, kind, true, first_use_of_prefetch, pf_class);
+                self.run_llc_prefetcher_access(
+                    ci,
+                    pline,
+                    ip,
+                    kind,
+                    true,
+                    first_use_of_prefetch,
+                    pf_class,
+                );
                 Some(c)
             }
             ProbeResult::MshrMerge { fill_at } => {
@@ -641,7 +729,9 @@ impl System {
     fn drain_l1_pq(&mut self, ci: usize) -> bool {
         let mut any = false;
         for _ in 0..PF_DRAIN_PER_CYCLE {
-            let Some(qp) = self.cores[ci].l1d.peek_prefetch().copied() else { break };
+            let Some(qp) = self.cores[ci].l1d.peek_prefetch().copied() else {
+                break;
+            };
             match qp.req.fill {
                 FillLevel::L1 => match self.cores[ci].l1d.prefetch_probe(qp.pline) {
                     ProbeResult::Hit { .. } | ProbeResult::MshrMerge { .. } => {
@@ -655,7 +745,12 @@ impl System {
                         match self.resolve_l2_prefetch(ci, &qp, self.now + PF_ISSUE_LATENCY) {
                             Some(c) => {
                                 if std::env::var_os("IPCP_DEBUG_PF").is_some() {
-                                    eprintln!("PF line {:#x} now {} fill {}", qp.pline.raw(), self.now, c + FILL_FORWARD);
+                                    eprintln!(
+                                        "PF line {:#x} now {} fill {}",
+                                        qp.pline.raw(),
+                                        self.now,
+                                        c + FILL_FORWARD
+                                    );
                                 }
                                 let core = &mut self.cores[ci];
                                 core.l1d.alloc_mshr(Mshr {
@@ -676,7 +771,10 @@ impl System {
                 },
                 FillLevel::L2 => {
                     self.cores[ci].l1d.pop_prefetch();
-                    if self.resolve_l2_prefetch(ci, &qp, self.now + PF_ISSUE_LATENCY).is_none() {
+                    if self
+                        .resolve_l2_prefetch(ci, &qp, self.now + PF_ISSUE_LATENCY)
+                        .is_none()
+                    {
                         self.cores[ci].l1d.stats.pf_dropped_mshr_full += 1;
                     }
                     any = true;
@@ -684,7 +782,12 @@ impl System {
                 FillLevel::Llc => {
                     self.cores[ci].l1d.pop_prefetch();
                     if self
-                        .resolve_llc_prefetch(qp.pline, qp.req.pf_class, qp.ip, self.now + PF_ISSUE_LATENCY)
+                        .resolve_llc_prefetch(
+                            qp.pline,
+                            qp.req.pf_class,
+                            qp.ip,
+                            self.now + PF_ISSUE_LATENCY,
+                        )
                         .is_none()
                     {
                         self.cores[ci].l1d.stats.pf_dropped_mshr_full += 1;
@@ -722,7 +825,13 @@ impl System {
         }
     }
 
-    fn resolve_llc_prefetch(&mut self, pline: LineAddr, pf_class: u8, ip: Ip, t: Cycle) -> Option<Cycle> {
+    fn resolve_llc_prefetch(
+        &mut self,
+        pline: LineAddr,
+        pf_class: u8,
+        ip: Ip,
+        t: Cycle,
+    ) -> Option<Cycle> {
         let llc_lat = self.llc.latency();
         match self.llc.prefetch_probe(pline) {
             ProbeResult::Hit { .. } => Some(t + llc_lat),
@@ -746,12 +855,19 @@ impl System {
     fn drain_l2_pq(&mut self, ci: usize) -> bool {
         let mut any = false;
         for _ in 0..PF_DRAIN_PER_CYCLE {
-            let Some(qp) = self.cores[ci].l2.peek_prefetch().copied() else { break };
+            let Some(qp) = self.cores[ci].l2.peek_prefetch().copied() else {
+                break;
+            };
             match qp.req.fill {
                 FillLevel::Llc => {
                     self.cores[ci].l2.pop_prefetch();
                     if self
-                        .resolve_llc_prefetch(qp.pline, qp.req.pf_class, qp.ip, self.now + PF_ISSUE_LATENCY)
+                        .resolve_llc_prefetch(
+                            qp.pline,
+                            qp.req.pf_class,
+                            qp.ip,
+                            self.now + PF_ISSUE_LATENCY,
+                        )
                         .is_none()
                     {
                         self.cores[ci].l2.stats.pf_dropped_mshr_full += 1;
@@ -769,7 +885,12 @@ impl System {
                     ProbeResult::MshrFull => break,
                     ProbeResult::Miss => {
                         self.cores[ci].l2.pop_prefetch();
-                        match self.resolve_llc_prefetch(qp.pline, qp.req.pf_class, qp.ip, self.now + PF_ISSUE_LATENCY) {
+                        match self.resolve_llc_prefetch(
+                            qp.pline,
+                            qp.req.pf_class,
+                            qp.ip,
+                            self.now + PF_ISSUE_LATENCY,
+                        ) {
                             Some(c) => {
                                 self.cores[ci].l2.alloc_mshr(Mshr {
                                     line: qp.pline,
@@ -795,7 +916,9 @@ impl System {
     fn drain_llc_pq(&mut self) -> bool {
         let mut any = false;
         for _ in 0..PF_DRAIN_PER_CYCLE {
-            let Some(qp) = self.llc.peek_prefetch().copied() else { break };
+            let Some(qp) = self.llc.peek_prefetch().copied() else {
+                break;
+            };
             match self.llc.prefetch_probe(qp.pline) {
                 ProbeResult::Hit { .. } | ProbeResult::MshrMerge { .. } => {
                     self.llc.pop_prefetch();
@@ -805,7 +928,9 @@ impl System {
                 ProbeResult::MshrFull => break,
                 ProbeResult::Miss => {
                     self.llc.pop_prefetch();
-                    let done = self.dram.schedule_read(self.now + PF_ISSUE_LATENCY + self.llc.latency(), qp.pline);
+                    let done = self
+                        .dram
+                        .schedule_read(self.now + PF_ISSUE_LATENCY + self.llc.latency(), qp.pline);
                     self.llc.alloc_mshr(Mshr {
                         line: qp.pline,
                         fill_at: done,
@@ -953,7 +1078,10 @@ impl System {
         // own fill level is dropped at enqueue so it does not consume PQ
         // slots or drain bandwidth.
         if req.fill == FillLevel::L1
-            && !matches!(core.l1d.prefetch_probe(pline), ProbeResult::Miss | ProbeResult::MshrFull)
+            && !matches!(
+                core.l1d.prefetch_probe(pline),
+                ProbeResult::Miss | ProbeResult::MshrFull
+            )
         {
             core.l1d.stats.pf_dropped_present += 1;
             return;
@@ -971,9 +1099,16 @@ impl System {
             req.line
         };
         // L2 prefetchers fill at most to the L2.
-        let req = if req.fill == FillLevel::L1 { req.with_fill(FillLevel::L2) } else { req };
+        let req = if req.fill == FillLevel::L1 {
+            req.with_fill(FillLevel::L2)
+        } else {
+            req
+        };
         if req.fill == FillLevel::L2
-            && !matches!(core.l2.prefetch_probe(pline), ProbeResult::Miss | ProbeResult::MshrFull)
+            && !matches!(
+                core.l2.prefetch_probe(pline),
+                ProbeResult::Miss | ProbeResult::MshrFull
+            )
         {
             core.l2.stats.pf_dropped_present += 1;
             return;
@@ -983,7 +1118,11 @@ impl System {
 
     fn enqueue_llc_request(&mut self, req: PrefetchRequest, ip: Ip) {
         let req = req.with_fill(FillLevel::Llc);
-        self.llc.enqueue_prefetch(QueuedPrefetch { req, pline: req.line, ip });
+        self.llc.enqueue_prefetch(QueuedPrefetch {
+            req,
+            pline: req.line,
+            ip,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -997,7 +1136,9 @@ impl System {
         // were staggered when the MSHRs were allocated).
         while let Some(m) = self.llc.pop_ready_fill(now) {
             any = true;
-            let evicted = self.llc.install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+            let evicted = self
+                .llc
+                .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
             if let Some(ev) = evicted {
                 if ev.dirty {
                     self.llc.stats.writebacks += 1;
@@ -1009,7 +1150,10 @@ impl System {
         for ci in 0..self.cores.len() {
             while let Some(m) = self.cores[ci].l2.pop_ready_fill(now) {
                 any = true;
-                let evicted = self.cores[ci].l2.install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+                let evicted =
+                    self.cores[ci]
+                        .l2
+                        .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
                 if let Some(ev) = evicted {
                     if ev.dirty {
                         self.cores[ci].l2.stats.writebacks += 1;
@@ -1023,11 +1167,16 @@ impl System {
             }
             while let Some(m) = self.cores[ci].l1d.pop_ready_fill(now) {
                 any = true;
-                let evicted = self.cores[ci].l1d.install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+                let evicted =
+                    self.cores[ci]
+                        .l1d
+                        .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
                 if let Some(ev) = evicted {
                     if ev.dirty {
                         self.cores[ci].l1d.stats.writebacks += 1;
-                        if !self.cores[ci].l2.writeback_hit(ev.line) && !self.llc.writeback_hit(ev.line) {
+                        if !self.cores[ci].l2.writeback_hit(ev.line)
+                            && !self.llc.writeback_hit(ev.line)
+                        {
                             self.dram.schedule_write(now, ev.line);
                         }
                     }
@@ -1065,6 +1214,19 @@ fn phys_line(ppage: u64, vline: LineAddr) -> LineAddr {
     LineAddr::new((ppage << (PAGE_SHIFT - LINE_SHIFT)) | (vline.raw() & (LINES_PER_PAGE - 1)))
 }
 
+// Parallel experiment harnesses fan whole simulations across worker
+// threads, so these types must stay `Send` (the `Prefetcher` trait carries
+// the `Send` bound; `CoreSetup`'s trace is `Arc<dyn TraceSource + Send +
+// Sync>`). Compile-time check so a regression fails the build, not a
+// downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<System>();
+    assert_send::<CoreSetup>();
+    assert_send::<Box<dyn Prefetcher>>();
+    assert_send::<SimReport>();
+};
+
 /// Convenience: runs a single-core simulation.
 pub fn run_single(
     cfg: SimConfig,
@@ -1077,7 +1239,11 @@ pub fn run_single(
     cfg.cores = 1;
     let mut sys = System::new(
         cfg,
-        vec![CoreSetup { trace, l1d_prefetcher, l2_prefetcher }],
+        vec![CoreSetup {
+            trace,
+            l1d_prefetcher,
+            l2_prefetcher,
+        }],
         llc_prefetcher,
     );
     sys.run()
@@ -1086,7 +1252,11 @@ pub fn run_single(
 /// Weighted speedup of a multi-core run against per-core alone IPCs
 /// (Section VI's metric): `Σ IPC_together(i) / IPC_alone(i)`.
 pub fn weighted_speedup(together: &SimReport, alone_ipcs: &[f64]) -> f64 {
-    assert_eq!(together.cores.len(), alone_ipcs.len(), "core-count mismatch");
+    assert_eq!(
+        together.cores.len(),
+        alone_ipcs.len(),
+        "core-count mismatch"
+    );
     together
         .cores
         .iter()
@@ -1144,7 +1314,11 @@ mod tests {
         assert!(c.core.cycles > 0);
         assert!(c.core.ipc() > 0.0);
         // A pure streaming load with no prefetching misses a lot.
-        assert!(c.l1d.demand_misses > 1000, "misses: {}", c.l1d.demand_misses);
+        assert!(
+            c.l1d.demand_misses > 1000,
+            "misses: {}",
+            c.l1d.demand_misses
+        );
         assert!(report.dram.reads > 0);
     }
 
@@ -1268,12 +1442,20 @@ mod tests {
         let mut r = SimReport::default();
         r.cores.push(CoreReport {
             trace: "a".into(),
-            core: CoreStats { instructions: 100, cycles: 100, stall_cycles: 0 },
+            core: CoreStats {
+                instructions: 100,
+                cycles: 100,
+                stall_cycles: 0,
+            },
             ..Default::default()
         });
         r.cores.push(CoreReport {
             trace: "b".into(),
-            core: CoreStats { instructions: 100, cycles: 200, stall_cycles: 0 },
+            core: CoreStats {
+                instructions: 100,
+                cycles: 200,
+                stall_cycles: 0,
+            },
             ..Default::default()
         });
         let ws = weighted_speedup(&r, &[1.0, 1.0]);

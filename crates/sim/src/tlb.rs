@@ -23,7 +23,10 @@ impl TlbArray {
     fn new(entries: u32, ways: u32) -> Self {
         let ways = ways.max(1) as usize;
         let sets = ((entries as usize) / ways).max(1);
-        assert!(sets.is_power_of_two(), "TLB set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "TLB set count {sets} must be a power of two"
+        );
         let n = sets * ways;
         Self {
             sets,
@@ -162,7 +165,11 @@ mod tests {
         }
         let walks_before = tlb.stats.stlb_misses;
         let (_, lat) = tlb.translate(VPage::new(0), &mut m);
-        assert_eq!(lat, TlbConfig::default().stlb_latency, "should be an STLB hit");
+        assert_eq!(
+            lat,
+            TlbConfig::default().stlb_latency,
+            "should be an STLB hit"
+        );
         assert_eq!(tlb.stats.stlb_misses, walks_before);
     }
 

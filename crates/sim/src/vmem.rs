@@ -26,7 +26,11 @@ pub struct PageMapper {
 impl PageMapper {
     /// Creates a mapper with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self { seed, next: 0, map: HashMap::new() }
+        Self {
+            seed,
+            next: 0,
+            map: HashMap::new(),
+        }
     }
 
     /// Translates a virtual page, allocating a frame on first touch.
@@ -39,7 +43,10 @@ impl PageMapper {
         if let Some(&p) = self.map.get(&vpage.raw()) {
             return p;
         }
-        assert!(self.next < (1 << FRAME_BITS), "out of physical frames (4 GB exhausted)");
+        assert!(
+            self.next < (1 << FRAME_BITS),
+            "out of physical frames (4 GB exhausted)"
+        );
         let frame = feistel_permute(self.next, self.seed);
         self.next += 1;
         let p = PPage::new(frame);
@@ -59,7 +66,10 @@ fn feistel_permute(x: u64, seed: u64) -> u64 {
     let mut left = (x >> HALF_BITS) & HALF_MASK;
     let mut right = x & HALF_MASK;
     for round in 0..4u64 {
-        let f = round_fn(right, seed.wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+        let f = round_fn(
+            right,
+            seed.wrapping_add(round.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        );
         let new_left = right;
         right = (left ^ f) & HALF_MASK;
         left = new_left;
@@ -77,7 +87,6 @@ fn round_fn(x: u64, key: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn stable_translation() {
@@ -105,7 +114,10 @@ mod tests {
         let same = (0..64)
             .filter(|&v| m1.translate(VPage::new(v)) == m2.translate(VPage::new(v)))
             .count();
-        assert!(same < 8, "seeded mappings should mostly differ ({same}/64 equal)");
+        assert!(
+            same < 8,
+            "seeded mappings should mostly differ ({same}/64 equal)"
+        );
     }
 
     #[test]
@@ -118,16 +130,24 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn frames_stay_in_range(x in 0u64..(1 << FRAME_BITS), seed: u64) {
-            prop_assert!(feistel_permute(x, seed) < (1 << FRAME_BITS));
-        }
+    // Property tests require the external `proptest` crate (see the
+    // `proptest` feature in Cargo.toml).
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn distinct_inputs_distinct_outputs(a in 0u64..(1 << FRAME_BITS), b in 0u64..(1 << FRAME_BITS), seed: u64) {
-            prop_assume!(a != b);
-            prop_assert_ne!(feistel_permute(a, seed), feistel_permute(b, seed));
+        proptest! {
+            #[test]
+            fn frames_stay_in_range(x in 0u64..(1 << FRAME_BITS), seed: u64) {
+                prop_assert!(feistel_permute(x, seed) < (1 << FRAME_BITS));
+            }
+
+            #[test]
+            fn distinct_inputs_distinct_outputs(a in 0u64..(1 << FRAME_BITS), b in 0u64..(1 << FRAME_BITS), seed: u64) {
+                prop_assume!(a != b);
+                prop_assert_ne!(feistel_permute(a, seed), feistel_permute(b, seed));
+            }
         }
     }
 }

@@ -1,13 +1,17 @@
 //! Property tests on simulator invariants: arbitrary access sequences must
 //! keep every counter and structure consistent.
+//!
+//! Requires the external `proptest` crate: build with the `proptest`
+//! feature (and registry access) to run these; see Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 
 use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::cache::QueuedPrefetch;
 use ipcp_sim::cache::{Cache, Mshr, ProbeResult};
 use ipcp_sim::config::SimConfig;
 use ipcp_sim::prefetch::PrefetchRequest;
-use ipcp_sim::cache::QueuedPrefetch;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -99,9 +103,9 @@ proptest! {
 fn tlb_translation_is_a_function() {
     // The same vpage must always map to the same frame, across DTLB/STLB
     // hits, evictions, and walks.
+    use ipcp_mem::VPage;
     use ipcp_sim::tlb::Tlb;
     use ipcp_sim::vmem::PageMapper;
-    use ipcp_mem::VPage;
 
     let mut tlb = Tlb::new(&SimConfig::default().tlb);
     let mut mapper = PageMapper::new(99);

@@ -38,9 +38,19 @@ fn warmup_resets_measured_counters() {
         let _ = rep;
     }
     let t = Arc::new(VecTrace::new("loop", v));
-    let r = run_single(cfg(40_000, 80_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let r = run_single(
+        cfg(40_000, 80_000),
+        t,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
     let l1 = &r.cores[0].l1d;
-    assert!(l1.demand_misses < 20, "measured phase must be warm: {} misses", l1.demand_misses);
+    assert!(
+        l1.demand_misses < 20,
+        "measured phase must be warm: {} misses",
+        l1.demand_misses
+    );
     assert!(l1.demand_accesses > 20_000);
 }
 
@@ -55,8 +65,18 @@ fn stores_generate_writeback_traffic() {
         v.push(Instr::nop(0x40_0108));
     }
     let t = Arc::new(VecTrace::new("stores", v));
-    let r = run_single(cfg(20_000, 200_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
-    assert!(r.dram.writes > 10_000, "dirty evictions must reach DRAM: {} writes", r.dram.writes);
+    let r = run_single(
+        cfg(20_000, 200_000),
+        t,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    assert!(
+        r.dram.writes > 10_000,
+        "dirty evictions must reach DRAM: {} writes",
+        r.dram.writes
+    );
     assert!(r.cores[0].l1d.writebacks > 10_000);
 }
 
@@ -70,11 +90,27 @@ fn instruction_footprint_pressures_l1i() {
         }
     }
     let t = Arc::new(VecTrace::new("bigcode", v));
-    let r = run_single(cfg(10_000, 100_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
-    assert!(r.cores[0].l1i.demand_misses > 1_000, "L1I misses: {}", r.cores[0].l1i.demand_misses);
+    let r = run_single(
+        cfg(10_000, 100_000),
+        t,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    assert!(
+        r.cores[0].l1i.demand_misses > 1_000,
+        "L1I misses: {}",
+        r.cores[0].l1i.demand_misses
+    );
     // And the small-code control: near-zero I-misses.
     let small = stream_trace("smallcode", 30_000, 1, 2);
-    let r2 = run_single(cfg(10_000, 60_000), small, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let r2 = run_single(
+        cfg(10_000, 60_000),
+        small,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
     assert!(r2.cores[0].l1i.demand_misses < 50);
 }
 
@@ -90,7 +126,13 @@ fn l1d_ports_bound_throughput() {
         let _ = rep;
     }
     let t = Arc::new(VecTrace::new("allloads", v));
-    let r = run_single(cfg(5_000, 40_000), t, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let r = run_single(
+        cfg(5_000, 40_000),
+        t,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
     let ipc = r.ipc();
     assert!(ipc <= 2.05, "port limit violated: IPC {ipc}");
     assert!(ipc > 1.5, "ports should still sustain ~2/cycle: IPC {ipc}");
@@ -120,12 +162,30 @@ impl Prefetcher for FillAt {
 #[test]
 fn fill_levels_route_to_their_caches() {
     let t = || stream_trace("s", 60_000, 1, 3);
-    let l1fill = run_single(cfg(10_000, 80_000), t(), Box::new(FillAt(FillLevel::L1)), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
-    let l2fill = run_single(cfg(10_000, 80_000), t(), Box::new(FillAt(FillLevel::L2)), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let l1fill = run_single(
+        cfg(10_000, 80_000),
+        t(),
+        Box::new(FillAt(FillLevel::L1)),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    let l2fill = run_single(
+        cfg(10_000, 80_000),
+        t(),
+        Box::new(FillAt(FillLevel::L2)),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
     assert!(l1fill.cores[0].l1d.pf_fills + l1fill.cores[0].l1d.late_prefetch_hits > 1_000);
-    assert_eq!(l2fill.cores[0].l1d.pf_fills, 0, "L2-targeted prefetches must not fill L1");
+    assert_eq!(
+        l2fill.cores[0].l1d.pf_fills, 0,
+        "L2-targeted prefetches must not fill L1"
+    );
     let l2_landed = l2fill.cores[0].l2.pf_fills + l2fill.cores[0].l2.late_prefetch_hits;
-    assert!(l2_landed > 1_000, "L2-targeted prefetches must land at L2 (fills or merges): {l2_landed}");
+    assert!(
+        l2_landed > 1_000,
+        "L2-targeted prefetches must land at L2 (fills or merges): {l2_landed}"
+    );
     // Filling to L1 must serve demands at least as well as filling to L2.
     assert!(l1fill.ipc() >= l2fill.ipc() * 0.95);
 }
@@ -136,8 +196,20 @@ fn page_walks_cost_cycles() {
     // TLB walks than a dense stream, and a lower IPC for the same load count.
     let sparse = stream_trace("sparse", 40_000, 64, 3);
     let dense = stream_trace("dense", 40_000, 1, 3);
-    let rs = run_single(cfg(5_000, 40_000), sparse, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
-    let rd = run_single(cfg(5_000, 40_000), dense, Box::new(NoPrefetcher), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let rs = run_single(
+        cfg(5_000, 40_000),
+        sparse,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
+    let rd = run_single(
+        cfg(5_000, 40_000),
+        dense,
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
     assert!(
         rs.cores[0].tlb.stlb_misses > rd.cores[0].tlb.stlb_misses * 10,
         "sparse: {} walks, dense: {}",
@@ -169,7 +241,13 @@ fn pq_capacity_drops_are_counted() {
         }
     }
     let t = stream_trace("s", 40_000, 3, 2);
-    let r = run_single(cfg(5_000, 40_000), t, Box::new(Flood), Box::new(NoPrefetcher), Box::new(NoPrefetcher));
+    let r = run_single(
+        cfg(5_000, 40_000),
+        t,
+        Box::new(Flood),
+        Box::new(NoPrefetcher),
+        Box::new(NoPrefetcher),
+    );
     assert!(
         r.cores[0].l1d.pf_dropped_pq_full > 0,
         "a degree-16 flood must overflow the 8-entry PQ"

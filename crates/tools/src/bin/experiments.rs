@@ -1,0 +1,163 @@
+//! Parallel experiment driver: regenerates every figure and table of the
+//! paper into `results/`, replacing the serial `run_all_experiments.sh`
+//! loop.
+//!
+//! Each experiment binary is an independent job; the driver fans them
+//! across an `IPCP_JOBS`-sized worker pool (default: one worker per core),
+//! captures each binary's output to `results/<name>.txt`, and writes
+//! structured JSON results (`results/<name>.json` per run plus a
+//! `results/manifest.json` summary with wall times and exit statuses).
+//! The per-experiment text outputs are byte-identical to a serial
+//! (`IPCP_JOBS=1`) run: every simulation is deterministic and each binary
+//! owns its output file exclusively.
+//!
+//! Exit status: non-zero when any experiment fails, with a failure summary
+//! on stderr — silent failures are a bug class of their own.
+//!
+//! Usage:
+//!   experiments [name ...] [--jobs N] [--results-dir DIR] [--list]
+//!
+//! With positional names only those experiments run (unknown names are an
+//! error). `IPCP_SCALE`, `IPCP_CSV`, and `IPCP_MIXES` are inherited by the
+//! experiment binaries as usual.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ipcp_bench::harness;
+use ipcp_tools::Args;
+
+/// Every figure/table binary, in the canonical (paper) order — this is the
+/// order the manifest reports, independent of completion order.
+const EXPERIMENTS: &[&str] = &[
+    "table1_storage",
+    "table2_config",
+    "table3_combos",
+    "fig01_l1_utility",
+    "fig07_l1_only",
+    "fig08_multilevel",
+    "fig09_mpki",
+    "fig10_coverage",
+    "fig11_overpredict",
+    "fig12_class_share",
+    "fig13a_class_ablation",
+    "fig13b_priority",
+    "fig14_cloud_nn",
+    "fig15_multicore",
+    "table4_cov_acc",
+    "sens_dram_bw",
+    "sens_pq_mshr",
+    "sens_cache_sizes",
+    "sens_tables",
+    "sens_replacement",
+    "sens_ip_assoc",
+    "ext_l2_complement",
+    "ext_temporal",
+];
+
+fn main() {
+    let args = Args::parse();
+    if args.has_flag("list") {
+        for name in EXPERIMENTS {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if args.positional.is_empty() {
+        EXPERIMENTS.to_vec()
+    } else {
+        for name in &args.positional {
+            assert!(
+                EXPERIMENTS.contains(&name.as_str()),
+                "unknown experiment {name:?}; see --list"
+            );
+        }
+        EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|e| args.positional.iter().any(|p| p == e))
+            .collect()
+    };
+
+    let jobs = args.get_or("jobs", harness::jobs_from_env());
+    let results_dir = PathBuf::from(
+        args.options
+            .get("results-dir")
+            .cloned()
+            .unwrap_or_else(|| "results".to_string()),
+    );
+    std::fs::create_dir_all(&results_dir).expect("cannot create results dir");
+
+    // Experiment binaries live next to this driver (target/<profile>/).
+    let bin_dir = std::env::current_exe()
+        .expect("cannot locate current executable")
+        .parent()
+        .expect("executable has a parent directory")
+        .to_path_buf();
+    // Fail fast: a missing binary means a broken build, not 22 good
+    // experiments and one silent hole.
+    for name in &selected {
+        let p = bin_dir.join(name);
+        assert!(
+            p.exists(),
+            "experiment binary missing: {} (build ipcp-bench first)",
+            p.display()
+        );
+    }
+
+    let scale_env = std::env::var("IPCP_SCALE").unwrap_or_else(|_| "default".to_string());
+    eprintln!(
+        "running {} experiment(s) on {} worker(s) (IPCP_JOBS), scale {scale_env} -> {}",
+        selected.len(),
+        jobs,
+        results_dir.display()
+    );
+
+    let started = Instant::now();
+    let outcomes = harness::parallel_map(jobs, selected, |name| {
+        let o = harness::run_experiment(&bin_dir, name, &results_dir);
+        if o.ok {
+            eprintln!("== {name} ok ({:.1}s)", o.wall.as_secs_f64());
+        } else {
+            eprintln!("== {name} FAILED ({:.1}s)", o.wall.as_secs_f64());
+        }
+        o
+    });
+    let total_wall = started.elapsed();
+
+    harness::write_results_json(&results_dir, jobs, &scale_env, total_wall, &outcomes)
+        .expect("cannot write JSON results");
+
+    let failed: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+    eprintln!(
+        "{}/{} experiments ok in {:.1}s (manifest: {})",
+        outcomes.len() - failed.len(),
+        outcomes.len(),
+        total_wall.as_secs_f64(),
+        results_dir.join("manifest.json").display()
+    );
+    if !failed.is_empty() {
+        eprintln!("FAILURE SUMMARY:");
+        for o in &failed {
+            match (&o.spawn_error, o.exit_code) {
+                (Some(e), _) => eprintln!("  {}: {e}", o.name),
+                (None, Some(code)) => {
+                    eprintln!(
+                        "  {}: exit code {code} (output: {})",
+                        o.name,
+                        o.output_path.display()
+                    );
+                }
+                (None, None) => {
+                    eprintln!(
+                        "  {}: killed by signal (output: {})",
+                        o.name,
+                        o.output_path.display()
+                    );
+                }
+            }
+        }
+        std::process::exit(1);
+    }
+}

@@ -31,7 +31,12 @@ fn load(name: &str) -> Arc<dyn TraceSource + Send + Sync> {
     }
 }
 
-fn run(trace: Arc<dyn TraceSource + Send + Sync>, combo: &str, warmup: u64, instrs: u64) -> SimReport {
+fn run(
+    trace: Arc<dyn TraceSource + Send + Sync>,
+    combo: &str,
+    warmup: u64,
+    instrs: u64,
+) -> SimReport {
     let cfg = SimConfig::default().with_instructions(warmup, instrs);
     let c = combos::build(combo);
     run_single(cfg, trace, c.l1, c.l2, c.llc)

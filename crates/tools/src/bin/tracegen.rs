@@ -19,7 +19,9 @@ fn main() {
             println!("  {}", t.name());
         }
         println!("full-suite extras, CloudSuite, NN:");
-        for t in ipcp_workloads::full_suite().into_iter().skip(20)
+        for t in ipcp_workloads::full_suite()
+            .into_iter()
+            .skip(20)
             .chain(ipcp_workloads::cloud_suite())
             .chain(ipcp_workloads::nn_suite())
         {
@@ -37,7 +39,7 @@ fn main() {
         std::process::exit(2);
     });
     let f = File::create(out).expect("create output file");
-    let written = write_trace(BufWriter::new(f), trace.stream().take(n as usize))
-        .expect("write trace");
+    let written =
+        write_trace(BufWriter::new(f), trace.stream().take(n as usize)).expect("write trace");
     println!("wrote {written} instructions of {name} to {out}");
 }

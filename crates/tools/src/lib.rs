@@ -50,7 +50,9 @@ impl Args {
     /// Panics with a readable message if the value does not parse.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         match self.options.get(key) {
-            Some(v) => v.parse().unwrap_or_else(|_| panic!("--{key}: cannot parse {v:?}")),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key}: cannot parse {v:?}")),
             None => default,
         }
     }

@@ -34,8 +34,7 @@ use std::io::{self, Read, Write};
 use ipcp_mem::{Ip, VAddr};
 
 /// The memory behaviour of one instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MemOp {
     /// No memory operand (ALU/branch/...).
     #[default]
@@ -45,7 +44,6 @@ pub enum MemOp {
     /// A data store to the given virtual address.
     Store(VAddr),
 }
-
 
 /// One traced instruction: an instruction pointer plus at most one memory
 /// operand. This is a deliberate simplification of ChampSim's up-to-four
@@ -63,17 +61,26 @@ pub struct Instr {
 impl Instr {
     /// A non-memory instruction at `ip`.
     pub fn nop(ip: u64) -> Self {
-        Self { ip: Ip(ip), mem: MemOp::None }
+        Self {
+            ip: Ip(ip),
+            mem: MemOp::None,
+        }
     }
 
     /// A load instruction.
     pub fn load(ip: u64, vaddr: u64) -> Self {
-        Self { ip: Ip(ip), mem: MemOp::Load(VAddr::new(vaddr)) }
+        Self {
+            ip: Ip(ip),
+            mem: MemOp::Load(VAddr::new(vaddr)),
+        }
     }
 
     /// A store instruction.
     pub fn store(ip: u64, vaddr: u64) -> Self {
-        Self { ip: Ip(ip), mem: MemOp::Store(VAddr::new(vaddr)) }
+        Self {
+            ip: Ip(ip),
+            mem: MemOp::Store(VAddr::new(vaddr)),
+        }
     }
 
     /// True when the instruction has a memory operand.
@@ -115,7 +122,10 @@ pub struct VecTrace {
 impl VecTrace {
     /// Wraps a vector of instructions as a named trace.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
-        Self { name: name.into(), instrs: std::sync::Arc::new(instrs) }
+        Self {
+            name: name.into(),
+            instrs: std::sync::Arc::new(instrs),
+        }
     }
 
     /// Number of instructions in the trace.
@@ -181,7 +191,10 @@ pub struct TraceReader<R> {
 impl<R: Read> TraceReader<R> {
     /// Wraps a reader positioned at the start of a trace file.
     pub fn new(inner: R) -> Self {
-        Self { inner, checked_magic: false }
+        Self {
+            inner,
+            checked_magic: false,
+        }
     }
 
     /// Consumes the reader, returning the underlying stream.
@@ -194,7 +207,10 @@ impl<R: Read> TraceReader<R> {
             let mut magic = [0u8; 8];
             self.inner.read_exact(&mut magic)?;
             if &magic != TRACE_MAGIC {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad trace magic",
+                ));
             }
             self.checked_magic = true;
         }
@@ -213,7 +229,10 @@ impl<R: Read> TraceReader<R> {
             KIND_LOAD => MemOp::Load(VAddr::new(addr)),
             KIND_STORE => MemOp::Store(VAddr::new(addr)),
             k => {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, format!("bad mem-op kind {k}")));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad mem-op kind {k}"),
+                ));
             }
         };
         Ok(Some(Instr { ip: Ip(ip), mem }))
@@ -231,7 +250,6 @@ impl<R: Read> Iterator for TraceReader<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn instr_constructors() {
@@ -261,7 +279,9 @@ mod tests {
         let n = write_trace(&mut buf, std::iter::empty()).unwrap();
         assert_eq!(n, 0);
         assert_eq!(buf.len(), 8);
-        let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+        let back: Vec<Instr> = TraceReader::new(&buf[..])
+            .collect::<Result<_, _>>()
+            .unwrap();
         assert!(back.is_empty());
     }
 
@@ -292,23 +312,31 @@ mod tests {
         assert!(results.last().unwrap().is_err());
     }
 
-    fn arb_instr() -> impl Strategy<Value = Instr> {
-        (any::<u64>(), 0u8..3, any::<u64>()).prop_map(|(ip, kind, addr)| match kind {
-            0 => Instr::nop(ip),
-            1 => Instr::load(ip, addr),
-            _ => Instr::store(ip, addr),
-        })
-    }
+    // Property tests require the external `proptest` crate (see the
+    // `proptest` feature in Cargo.toml).
+    #[cfg(feature = "proptest")]
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
 
-    proptest! {
-        #[test]
-        fn round_trip(instrs in proptest::collection::vec(arb_instr(), 0..200)) {
-            let mut buf = Vec::new();
-            let n = write_trace(&mut buf, instrs.iter().copied()).unwrap();
-            prop_assert_eq!(n as usize, instrs.len());
-            prop_assert_eq!(buf.len(), 8 + instrs.len() * RECORD_BYTES);
-            let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
-            prop_assert_eq!(back, instrs);
+        fn arb_instr() -> impl Strategy<Value = Instr> {
+            (any::<u64>(), 0u8..3, any::<u64>()).prop_map(|(ip, kind, addr)| match kind {
+                0 => Instr::nop(ip),
+                1 => Instr::load(ip, addr),
+                _ => Instr::store(ip, addr),
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn round_trip(instrs in proptest::collection::vec(arb_instr(), 0..200)) {
+                let mut buf = Vec::new();
+                let n = write_trace(&mut buf, instrs.iter().copied()).unwrap();
+                prop_assert_eq!(n as usize, instrs.len());
+                prop_assert_eq!(buf.len(), 8 + instrs.len() * RECORD_BYTES);
+                let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+                prop_assert_eq!(back, instrs);
+            }
         }
     }
 }

@@ -30,7 +30,9 @@ pub struct SynthTrace {
 
 impl std::fmt::Debug for SynthTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SynthTrace").field("name", &self.name).finish()
+        f.debug_struct("SynthTrace")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -40,7 +42,10 @@ impl SynthTrace {
         name: impl Into<String>,
         make: impl Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync + 'static,
     ) -> Self {
-        Self { name: name.into(), make: Arc::new(make) }
+        Self {
+            name: name.into(),
+            make: Arc::new(make),
+        }
     }
 
     /// Shares this trace as an `Arc<dyn TraceSource>` for the simulator.
@@ -72,7 +77,13 @@ struct Mixer {
 
 impl Mixer {
     fn new(pad: u32, code_base: u64, code_ips: u64) -> Self {
-        Self { pad, pad_left: 0, code_base, code_ips: code_ips.max(1), pad_cursor: 0 }
+        Self {
+            pad,
+            pad_left: 0,
+            code_base,
+            code_ips: code_ips.max(1),
+            pad_cursor: 0,
+        }
     }
 
     /// If padding is due, returns the next pad instruction.
@@ -118,7 +129,9 @@ pub fn constant_stride(
         // page-local delta stream is permanently jumbled while each IP's
         // own stride stays exactly `stride_lines`.
         let npairs = ips.div_ceil(2) as usize;
-        let mut cursor: Vec<u64> = (0..npairs).map(|_| rng.below(footprint_lines / 2)).collect();
+        let mut cursor: Vec<u64> = (0..npairs)
+            .map(|_| rng.below(footprint_lines / 2))
+            .collect();
         let mut store_cursor = 0u64;
         let mut count = 0u64;
         let mut pair = 0usize;
@@ -132,8 +145,11 @@ pub fn constant_stride(
             // Every 8th memory op is a store striding through its own
             // output array; loads keep their pure per-IP constant strides.
             if count.is_multiple_of(8) {
-                store_cursor = store_cursor.wrapping_add_signed(stride_lines).rem_euclid(footprint_lines);
-                let addr = 0x1800_0000 + u64::from(ips) * footprint_lines * LINE * 2 + store_cursor * LINE;
+                store_cursor = store_cursor
+                    .wrapping_add_signed(stride_lines)
+                    .rem_euclid(footprint_lines);
+                let addr =
+                    0x1800_0000 + u64::from(ips) * footprint_lines * LINE * 2 + store_cursor * LINE;
                 return Some(Instr::store(0x50_8094, addr));
             }
             let (p, member, advance) = match pending.take() {
@@ -153,7 +169,9 @@ pub fn constant_stride(
             };
             let line = cursor[p] % footprint_lines;
             if advance {
-                cursor[p] = cursor[p].wrapping_add_signed(stride_lines).rem_euclid(footprint_lines);
+                cursor[p] = cursor[p]
+                    .wrapping_add_signed(stride_lines)
+                    .rem_euclid(footprint_lines);
             }
             let k = p as u32 * 2 + member;
             let base = 0x1000_0000 + p as u64 * footprint_lines * LINE * 2;
@@ -184,7 +202,9 @@ pub fn complex_stride(
         // constant_stride): per-IP stride patterns stay exact while the
         // page-local delta stream is permanently jumbled.
         let npairs = ips.div_ceil(2) as usize;
-        let mut cursor: Vec<u64> = (0..npairs).map(|_| rng.below(footprint_lines / 2)).collect();
+        let mut cursor: Vec<u64> = (0..npairs)
+            .map(|_| rng.below(footprint_lines / 2))
+            .collect();
         let mut phase: Vec<usize> = vec![0; npairs];
         let pattern = pattern.clone();
         let mut pair = 0usize;
@@ -212,7 +232,9 @@ pub fn complex_stride(
             if advance {
                 let step = pattern[phase[p]];
                 phase[p] = (phase[p] + 1) % pattern.len();
-                cursor[p] = cursor[p].wrapping_add_signed(step).rem_euclid(footprint_lines);
+                cursor[p] = cursor[p]
+                    .wrapping_add_signed(step)
+                    .rem_euclid(footprint_lines);
             }
             let k = p as u32 * 2 + member;
             let base = 0x2000_0000 + p as u64 * footprint_lines * LINE * 2;
@@ -356,12 +378,20 @@ pub fn nested_loop(
 /// load IPs used round-robin, each with its own small constant stride. The
 /// IP reuse distance equals `static_ips`, which defeats any direct-mapped
 /// 64-entry IP table (Section VI-B's cactuBSSN discussion).
-pub fn large_code(name: &str, static_ips: u32, pad: u32, footprint_lines: u64, seed: u64) -> SynthTrace {
+pub fn large_code(
+    name: &str,
+    static_ips: u32,
+    pad: u32,
+    footprint_lines: u64,
+    seed: u64,
+) -> SynthTrace {
     assert!(static_ips > 0);
     SynthTrace::new(name, move || {
         let mut rng = Rng64::new(seed);
         let mut mixer = Mixer::new(pad, 0x45_0000, u64::from(static_ips));
-        let mut cursor: Vec<u64> = (0..static_ips).map(|_| rng.below(footprint_lines)).collect();
+        let mut cursor: Vec<u64> = (0..static_ips)
+            .map(|_| rng.below(footprint_lines))
+            .collect();
         let mut which = 0usize;
         Box::new(std::iter::from_fn(move || {
             if let Some(ins) = mixer.pad_instr() {
@@ -406,7 +436,14 @@ pub fn resident(name: &str, ws_lines: u64, pad: u32) -> SynthTrace {
 /// Mostly-resident workload with sparse random far misses (post-325 B
 /// `xalancbmk`-like): one access in `miss_every` goes to a random line in a
 /// huge footprint. No prefetcher covers the random component.
-pub fn sparse(name: &str, ws_lines: u64, miss_every: u64, footprint_lines: u64, seed: u64, pad: u32) -> SynthTrace {
+pub fn sparse(
+    name: &str,
+    ws_lines: u64,
+    miss_every: u64,
+    footprint_lines: u64,
+    seed: u64,
+    pad: u32,
+) -> SynthTrace {
     assert!(miss_every > 1);
     SynthTrace::new(name, move || {
         let mut rng = Rng64::new(seed);
@@ -482,12 +519,21 @@ pub fn phased(name: &str, parts: Vec<SynthTrace>, phase_len: u64) -> SynthTrace 
 /// Server-style workload (CloudSuite-like): large instruction footprint plus
 /// a *temporal* (repeating but spatially random) data reference stream —
 /// the pattern class on which all spatial prefetchers fail (Section VI-D).
-pub fn server(name: &str, code_ips: u64, temporal_len: usize, footprint_lines: u64, pad: u32, seed: u64) -> SynthTrace {
+pub fn server(
+    name: &str,
+    code_ips: u64,
+    temporal_len: usize,
+    footprint_lines: u64,
+    pad: u32,
+    seed: u64,
+) -> SynthTrace {
     assert!(temporal_len > 0);
     SynthTrace::new(name, move || {
         let mut rng = Rng64::new(seed);
         // The recorded temporal sequence: visited over and over.
-        let seq: Vec<u64> = (0..temporal_len).map(|_| rng.below(footprint_lines)).collect();
+        let seq: Vec<u64> = (0..temporal_len)
+            .map(|_| rng.below(footprint_lines))
+            .collect();
         let mut mixer = Mixer::new(pad, 0x2000_0000, code_ips);
         let mut pos = 0usize;
         Box::new(std::iter::from_fn(move || {
@@ -507,7 +553,13 @@ pub fn server(name: &str, code_ips: u64, temporal_len: usize, footprint_lines: u
 /// streams (activations / im2col patches) interleaved with a looping reuse
 /// stream (weights) and a store stream (outputs). Heavily stream-dominated,
 /// which is why the paper's NN suite favors IPCP's GS class.
-pub fn tensor_streams(name: &str, streams: u32, reuse_lines: u64, pad: u32, seed: u64) -> SynthTrace {
+pub fn tensor_streams(
+    name: &str,
+    streams: u32,
+    reuse_lines: u64,
+    pad: u32,
+    seed: u64,
+) -> SynthTrace {
     assert!(streams > 0);
     SynthTrace::new(name, move || {
         let mut rng = Rng64::new(seed);
@@ -534,7 +586,10 @@ pub fn tensor_streams(name: &str, streams: u32, reuse_lines: u64, pad: u32, seed
                 Some(Instr::load(0x57_8134, 0xf000_0000 + reuse_cursor * LINE))
             } else {
                 out_cursor += 1;
-                Some(Instr::store(0x57_8260, 0xf800_0000 + (out_cursor % (1 << 22)) * LINE))
+                Some(Instr::store(
+                    0x57_8260,
+                    0xf800_0000 + (out_cursor % (1 << 22)) * LINE,
+                ))
             }
         }))
     })
@@ -575,7 +630,11 @@ mod tests {
         let t = constant_stride("cs", 2, 3, 0, 1 << 20, 7);
         let accesses = mem_lines(&t, 400);
         for ip in [0x50_0010u64, 0x50_0010 + 36] {
-            let lines: Vec<u64> = accesses.iter().filter(|(i, _)| *i == ip).map(|&(_, l)| l).collect();
+            let lines: Vec<u64> = accesses
+                .iter()
+                .filter(|(i, _)| *i == ip)
+                .map(|&(_, l)| l)
+                .collect();
             assert!(lines.len() > 20);
             let mut constant = 0;
             for w in lines.windows(2) {
@@ -592,10 +651,19 @@ mod tests {
     fn complex_stride_follows_pattern() {
         let t = complex_stride("cplx", &[1, 2], 1, 0, 1 << 20, 9);
         let lines: Vec<u64> = mem_lines(&t, 100).iter().map(|&(_, l)| l).collect();
-        let deltas: Vec<i64> = lines.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let deltas: Vec<i64> = lines
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         // Alternating 1,2 (in either phase).
-        let ok = deltas.windows(2).filter(|d| (d[0] == 1 && d[1] == 2) || (d[0] == 2 && d[1] == 1)).count();
-        assert!(ok as f64 / (deltas.len() - 1) as f64 > 0.9, "deltas: {deltas:?}");
+        let ok = deltas
+            .windows(2)
+            .filter(|d| (d[0] == 1 && d[1] == 2) || (d[0] == 2 && d[1] == 1))
+            .count();
+        assert!(
+            ok as f64 / (deltas.len() - 1) as f64 > 0.9,
+            "deltas: {deltas:?}"
+        );
     }
 
     #[test]
@@ -607,10 +675,18 @@ mod tests {
         use std::collections::{BTreeMap, BTreeSet};
         let mut regions: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
         for l in &lines {
-            regions.entry(l / LINES_PER_REGION).or_default().insert(l % LINES_PER_REGION);
+            regions
+                .entry(l / LINES_PER_REGION)
+                .or_default()
+                .insert(l % LINES_PER_REGION);
         }
         let dense = regions.values().filter(|s| s.len() >= 29).count();
-        assert!(dense >= regions.len() - 2, "{} of {} regions dense", dense, regions.len());
+        assert!(
+            dense >= regions.len() - 2,
+            "{} of {} regions dense",
+            dense,
+            regions.len()
+        );
         // Regions advance monotonically (positive direction).
         let keys: Vec<u64> = regions.keys().copied().collect();
         assert!(keys.windows(2).all(|w| w[1] == w[0] + 1));
@@ -640,7 +716,10 @@ mod tests {
         let max_repeat = deltas.values().copied().max().unwrap();
         // Local jumps put a little mass on small deltas (allocator
         // locality) but nothing approaching a learnable dominant stride.
-        assert!(max_repeat < 60, "no delta should dominate, max {max_repeat}");
+        assert!(
+            max_repeat < 60,
+            "no delta should dominate, max {max_repeat}"
+        );
     }
 
     #[test]
@@ -648,7 +727,10 @@ mod tests {
         let len = 1 << 10;
         let t = server("srv", 256, len, 1 << 20, 0, 17);
         let first: Vec<u64> = mem_lines(&t, len).iter().map(|&(_, l)| l).collect();
-        let second: Vec<u64> = mem_lines(&t, 2 * len)[len..].iter().map(|&(_, l)| l).collect();
+        let second: Vec<u64> = mem_lines(&t, 2 * len)[len..]
+            .iter()
+            .map(|&(_, l)| l)
+            .collect();
         assert_eq!(first, second, "temporal sequence must repeat exactly");
     }
 
@@ -658,9 +740,15 @@ mod tests {
         let b = pointer_chase("b", 1 << 16, 0, 1);
         let t = phased("ph", vec![a, b], 100);
         let instrs: Vec<Instr> = t.stream().take(400).collect();
-        let resident_ips = instrs[..100].iter().filter(|i| i.ip.raw() >= 0x55_0000 && i.ip.raw() < 0x56_0000).count();
+        let resident_ips = instrs[..100]
+            .iter()
+            .filter(|i| i.ip.raw() >= 0x55_0000 && i.ip.raw() < 0x56_0000)
+            .count();
         assert!(resident_ips > 50);
-        let chase_ips = instrs[100..200].iter().filter(|i| i.ip.raw() == 0x53_019c).count();
+        let chase_ips = instrs[100..200]
+            .iter()
+            .filter(|i| i.ip.raw() == 0x53_019c)
+            .count();
         assert!(chase_ips > 50);
     }
 
@@ -670,21 +758,32 @@ mod tests {
         let instrs: Vec<Instr> = t.stream().take(400).collect();
         let mem = instrs.iter().filter(|i| i.is_mem()).count();
         let nops = instrs.len() - mem;
-        assert!((nops as f64 / mem as f64 - 3.0).abs() < 0.2, "{nops} pads for {mem} mems");
+        assert!(
+            (nops as f64 / mem as f64 - 3.0).abs() < 0.2,
+            "{nops} pads for {mem} mems"
+        );
     }
 
     #[test]
     fn stores_present_where_expected() {
         let t = constant_stride("cs", 1, 1, 0, 1 << 16, 3);
-        let stores = t.stream().take(1000).filter(|i| matches!(i.mem, MemOp::Store(_))).count();
+        let stores = t
+            .stream()
+            .take(1000)
+            .filter(|i| matches!(i.mem, MemOp::Store(_)))
+            .count();
         assert!(stores > 50);
     }
 
     #[test]
     fn large_code_cycles_many_ips() {
         let t = large_code("big", 2048, 1, 1 << 10, 19);
-        let ips: std::collections::BTreeSet<u64> =
-            t.stream().take(20_000).filter(|i| i.is_mem()).map(|i| i.ip.raw()).collect();
+        let ips: std::collections::BTreeSet<u64> = t
+            .stream()
+            .take(20_000)
+            .filter(|i| i.is_mem())
+            .map(|i| i.ip.raw())
+            .collect();
         assert!(ips.len() > 2000, "got {} distinct IPs", ips.len());
     }
 
@@ -696,7 +795,10 @@ mod tests {
             .filter(|(ip, _)| *ip == 0x54_00c4)
             .map(|&(_, l)| l)
             .collect();
-        let deltas: Vec<i64> = inner.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let deltas: Vec<i64> = inner
+            .windows(2)
+            .map(|w| w[1] as i64 - w[0] as i64)
+            .collect();
         // Pattern is 1,1,1,13 repeating (3 inner steps then jump to next
         // outer row: 16 - 3 = 13).
         assert_eq!(&deltas[..8], &[1, 1, 1, 13, 1, 1, 1, 13]);

@@ -34,7 +34,10 @@ const MID: u64 = (16 << 20) / 64;
 /// Blends a pattern stream with a hot working set: one stream instruction
 /// per `dilution` hot/compute instructions.
 fn intensive(name: &str, pattern: SynthTrace, dilution: u32) -> SynthTrace {
-    blend(name, vec![(pattern, 1), (resident("hot", 512, 1), dilution)])
+    blend(
+        name,
+        vec![(pattern, 1), (resident("hot", 512, 1), dilution)],
+    )
 }
 
 /// The memory-intensive suite (the paper's 46-trace set, distilled to one
@@ -48,10 +51,26 @@ pub fn memory_intensive_suite() -> Vec<SynthTrace> {
         intensive("roms-cs-neg", constant_stride("p", 4, -2, 0, BIG, 104), 35),
         intensive("cam4-cs7", constant_stride("p", 2, 7, 0, BIG, 105), 150),
         // Complex strides (mcf/xz-like).
-        intensive("mcf-cplx-12", complex_stride("p", &[1, 2], 4, 0, BIG, 111), 25),
-        intensive("xz-cplx-334", complex_stride("p", &[3, 3, 4], 4, 0, BIG, 112), 50),
-        intensive("roms-cplx-neg", complex_stride("p", &[-1, -2], 4, 0, MID, 113), 45),
-        intensive("wrf-cplx-1124", complex_stride("p", &[1, 1, 2, 4], 2, 0, BIG, 114), 120),
+        intensive(
+            "mcf-cplx-12",
+            complex_stride("p", &[1, 2], 4, 0, BIG, 111),
+            25,
+        ),
+        intensive(
+            "xz-cplx-334",
+            complex_stride("p", &[3, 3, 4], 4, 0, BIG, 112),
+            50,
+        ),
+        intensive(
+            "roms-cplx-neg",
+            complex_stride("p", &[-1, -2], 4, 0, MID, 113),
+            45,
+        ),
+        intensive(
+            "wrf-cplx-1124",
+            complex_stride("p", &[1, 1, 2, 4], 2, 0, BIG, 114),
+            120,
+        ),
         // Global streams (lbm/gcc-like).
         intensive("lbm-gs-pos", global_stream("p", 1, 30, 3, 0, 121), 55),
         intensive("gcc-gs-2226", global_stream("p", 1, 28, 4, 0, 122), 100),
@@ -96,7 +115,11 @@ pub fn full_suite() -> Vec<SynthTrace> {
         resident("exchange-res-alu", 512, 8),
         sparse("perl-sparse", 2048, 400, BIG, 161, 3),
         sparse("xalanc-post325", 4096, 150, BIG, 162, 2),
-        intensive("nab-cs1-light", constant_stride("p", 2, 1, 0, BIG, 163), 300),
+        intensive(
+            "nab-cs1-light",
+            constant_stride("p", 2, 1, 0, BIG, 163),
+            300,
+        ),
     ]);
     all
 }
@@ -105,10 +128,34 @@ pub fn full_suite() -> Vec<SynthTrace> {
 /// footprints and temporal — not spatial — data reuse.
 pub fn cloud_suite() -> Vec<SynthTrace> {
     vec![
-        blend("cassandra", vec![(server("p", 8192, 1 << 16, BIG, 1, 171), 1), (resident("hot", 768, 1), 12)]),
-        blend("classification", vec![(server("p", 4096, 1 << 18, 2 * BIG, 1, 172), 1), (resident("hot", 512, 1), 8)]),
-        blend("cloud9", vec![(server("p", 8192, 1 << 15, BIG, 1, 173), 1), (resident("hot", 768, 1), 15)]),
-        blend("nutch", vec![(server("p", 16384, 1 << 14, MID, 1, 174), 1), (resident("hot", 1024, 1), 20)]),
+        blend(
+            "cassandra",
+            vec![
+                (server("p", 8192, 1 << 16, BIG, 1, 171), 1),
+                (resident("hot", 768, 1), 12),
+            ],
+        ),
+        blend(
+            "classification",
+            vec![
+                (server("p", 4096, 1 << 18, 2 * BIG, 1, 172), 1),
+                (resident("hot", 512, 1), 8),
+            ],
+        ),
+        blend(
+            "cloud9",
+            vec![
+                (server("p", 8192, 1 << 15, BIG, 1, 173), 1),
+                (resident("hot", 768, 1), 15),
+            ],
+        ),
+        blend(
+            "nutch",
+            vec![
+                (server("p", 16384, 1 << 14, MID, 1, 174), 1),
+                (resident("hot", 1024, 1), 20),
+            ],
+        ),
         blend(
             "streaming",
             vec![
@@ -124,7 +171,13 @@ pub fn cloud_suite() -> Vec<SynthTrace> {
 /// by their arithmetic.
 pub fn nn_suite() -> Vec<SynthTrace> {
     let nn = |name: &str, streams: u32, reuse: u64, dilution: u32, seed: u64| {
-        blend(name, vec![(tensor_streams("p", streams, reuse, 0, seed), 1), (resident("hot", 512, 1), dilution)])
+        blend(
+            name,
+            vec![
+                (tensor_streams("p", streams, reuse, 0, seed), 1),
+                (resident("hot", 512, 1), dilution),
+            ],
+        )
     };
     vec![
         nn("cifar10", 2, 2048, 30, 181),
@@ -175,7 +228,11 @@ mod tests {
 
     #[test]
     fn all_traces_produce_instructions() {
-        for t in full_suite().iter().chain(cloud_suite().iter()).chain(nn_suite().iter()) {
+        for t in full_suite()
+            .iter()
+            .chain(cloud_suite().iter())
+            .chain(nn_suite().iter())
+        {
             let n = t.stream().take(1000).count();
             assert_eq!(n, 1000, "{} must be infinite", t.name());
             let mems = t.stream().take(1000).filter(|i| i.is_mem()).count();

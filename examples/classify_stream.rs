@@ -31,10 +31,16 @@ fn drive(p: &mut IpcpL1, label: &str, accesses: &[(u64, u64)]) {
         let mut sink = VecSink::new();
         p.on_access(&access(ip, line), &mut sink);
         if !sink.requests.is_empty() && i >= last_print {
-            let classes: Vec<IpClass> =
-                sink.requests.iter().map(|r| IpClass::from_bits(r.pf_class)).collect();
-            let targets: Vec<i64> =
-                sink.requests.iter().map(|r| r.line.raw() as i64 - line as i64).collect();
+            let classes: Vec<IpClass> = sink
+                .requests
+                .iter()
+                .map(|r| IpClass::from_bits(r.pf_class))
+                .collect();
+            let targets: Vec<i64> = sink
+                .requests
+                .iter()
+                .map(|r| r.line.raw() as i64 - line as i64)
+                .collect();
             println!(
                 "  access #{i:2} ip={ip:#x} line={line:#x}: {:?} prefetches at relative lines {:?}",
                 classes[0], targets
@@ -63,14 +69,24 @@ fn main() {
     // Section III, IPs C/D/E (lbm/gcc): a jumbled dense global stream -> GS.
     let mut p = IpcpL1::new(IpcpConfig::default());
     let base = 0xc_0000u64; // 2 KB region aligned
-    let order = [0u64, 2, 1, 3, 6, 4, 5, 9, 8, 7, 10, 12, 11, 13, 15, 14, 16, 18, 17, 19, 21, 20, 22, 24, 23, 25, 27, 26];
+    let order = [
+        0u64, 2, 1, 3, 6, 4, 5, 9, 8, 7, 10, 12, 11, 13, 15, 14, 16, 18, 17, 19, 21, 20, 22, 24,
+        23, 25, 27, 26,
+    ];
     let gs: Vec<(u64, u64)> = order
         .iter()
         .enumerate()
         .map(|(i, &o)| (0x403000 + (i as u64 % 3) * 36, base + o))
         .collect();
-    drive(&mut p, "IPs C,D,E: jumbled dense region (global stream)", &gs);
+    drive(
+        &mut p,
+        "IPs C,D,E: jumbled dense region (global stream)",
+        &gs,
+    );
 
     println!();
-    println!("per-class issued counters [NL, CS, CPLX, GS]: {:?}", p.issued_by_class());
+    println!(
+        "per-class issued counters [NL, CS, CPLX, GS]: {:?}",
+        p.issued_by_class()
+    );
 }

@@ -25,7 +25,10 @@ fn none_pair() -> (Box<dyn Prefetcher>, Box<dyn Prefetcher>) {
 
 fn main() {
     let mix = ["bwaves-cs3", "gcc-gs-2226", "mcf-irr-994", "xz-cplx-334"];
-    let traces: Vec<_> = mix.iter().map(|n| by_name(n).expect("suite trace")).collect();
+    let traces: Vec<_> = mix
+        .iter()
+        .map(|n| by_name(n).expect("suite trace"))
+        .collect();
     let scale = (50_000u64, 200_000u64);
 
     // Per-trace alone-IPCs: each benchmark running by itself on the 4-core
@@ -39,7 +42,11 @@ fn main() {
             let (l1, l2) = none_pair();
             let mut sys = System::new(
                 cfg,
-                vec![CoreSetup { trace: Arc::new(t.clone()), l1d_prefetcher: l1, l2_prefetcher: l2 }],
+                vec![CoreSetup {
+                    trace: Arc::new(t.clone()),
+                    l1d_prefetcher: l1,
+                    l2_prefetcher: l2,
+                }],
                 Box::new(NoPrefetcher),
             );
             sys.run().ipc()
@@ -52,7 +59,11 @@ fn main() {
             .iter()
             .map(|t| {
                 let (l1, l2) = if with_ipcp { ipcp_pair() } else { none_pair() };
-                CoreSetup { trace: Arc::new(t.clone()), l1d_prefetcher: l1, l2_prefetcher: l2 }
+                CoreSetup {
+                    trace: Arc::new(t.clone()),
+                    l1d_prefetcher: l1,
+                    l2_prefetcher: l2,
+                }
             })
             .collect();
         let mut sys = System::new(cfg, setups, Box::new(NoPrefetcher));
@@ -78,7 +89,10 @@ fn main() {
     println!("\nweighted speedup (sum over cores of IPC_together/IPC_alone):");
     println!("  no prefetching: {ws_base:.3}");
     println!("  IPCP (L1+L2):   {ws_ipcp:.3}");
-    println!("  normalized gain: {:+.1}%", (ws_ipcp / ws_base - 1.0) * 100.0);
+    println!(
+        "  normalized gain: {:+.1}%",
+        (ws_ipcp / ws_base - 1.0) * 100.0
+    );
     println!(
         "\nshared-resource pressure: DRAM bus utilization {:.0}% -> {:.0}%",
         100.0 * base.dram_bus_utilization(),

@@ -45,13 +45,37 @@ fn main() {
     let p = &ipcp.cores[0];
     println!();
     println!("                 baseline      IPCP");
-    println!("IPC              {:8.3}  {:8.3}", b.core.ipc(), p.core.ipc());
-    println!("L1D MPKI         {:8.2}  {:8.2}", b.l1d.mpki(b.core.instructions), p.l1d.mpki(p.core.instructions));
-    println!("LLC MPKI         {:8.2}  {:8.2}", base.llc_mpki(), ipcp.llc_mpki());
-    println!("DRAM reads       {:8}  {:8}", base.dram.reads, ipcp.dram.reads);
+    println!(
+        "IPC              {:8.3}  {:8.3}",
+        b.core.ipc(),
+        p.core.ipc()
+    );
+    println!(
+        "L1D MPKI         {:8.2}  {:8.2}",
+        b.l1d.mpki(b.core.instructions),
+        p.l1d.mpki(p.core.instructions)
+    );
+    println!(
+        "LLC MPKI         {:8.2}  {:8.2}",
+        base.llc_mpki(),
+        ipcp.llc_mpki()
+    );
+    println!(
+        "DRAM reads       {:8}  {:8}",
+        base.dram.reads, ipcp.dram.reads
+    );
     println!();
-    println!("IPCP issued {} prefetches, {} were useful (first-use hits or", p.l1d.pf_issued, p.l1d.useful_prefetch_hits);
-    println!("late merges); per-class useful [NL, CS, CPLX, GS] = {:?}", p.l1d.useful_by_class);
+    println!(
+        "IPCP issued {} prefetches, {} were useful (first-use hits or",
+        p.l1d.pf_issued, p.l1d.useful_prefetch_hits
+    );
+    println!(
+        "late merges); per-class useful [NL, CS, CPLX, GS] = {:?}",
+        p.l1d.useful_by_class
+    );
     println!();
-    println!("speedup: {:.1}%", (p.core.ipc() / b.core.ipc() - 1.0) * 100.0);
+    println!(
+        "speedup: {:.1}%",
+        (p.core.ipc() / b.core.ipc() - 1.0) * 100.0
+    );
 }

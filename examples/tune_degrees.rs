@@ -22,13 +22,20 @@ fn main() {
         Box::new(NoPrefetcher),
         Box::new(NoPrefetcher),
     );
-    println!("workload: {} (negative-direction global stream)", ipcp_trace::TraceSource::name(&trace));
+    println!(
+        "workload: {} (negative-direction global stream)",
+        ipcp_trace::TraceSource::name(&trace)
+    );
     println!("baseline IPC {:.3}\n", base.ipc());
     println!("gs_degree  cs_degree  speedup  L1 accuracy  useless evicted");
 
     for gs_degree in [2u8, 4, 6, 8, 12] {
         for cs_degree in [1u8, 3] {
-            let pcfg = IpcpConfig { gs_degree, cs_degree, ..IpcpConfig::default() };
+            let pcfg = IpcpConfig {
+                gs_degree,
+                cs_degree,
+                ..IpcpConfig::default()
+            };
             let r = run_single(
                 cfg.clone(),
                 Arc::new(trace.clone()),

@@ -1,16 +1,17 @@
 #!/bin/bash
-# Regenerates every figure and table of the paper into results/.
-# Usage: ./run_all_experiments.sh   (IPCP_SCALE=paper for 10x deeper runs)
-set -u
+# Regenerates every figure and table of the paper into results/, in
+# parallel across IPCP_JOBS workers (default: all cores; IPCP_JOBS=1 for
+# the byte-identical serial reference mode).
+#
+# Usage: ./run_all_experiments.sh [experiment ...]
+#   IPCP_SCALE=paper   10x deeper runs
+#   IPCP_JOBS=N        worker count
+#   IPCP_CSV=dir       also emit CSV copies of the speedup tables
+#
+# Build errors abort immediately and any failing experiment makes this
+# script exit non-zero (the driver prints a failure summary and writes
+# results/manifest.json either way).
+set -euo pipefail
 cd "$(dirname "$0")"
-BINS="table1_storage table2_config table3_combos fig01_l1_utility fig07_l1_only \
-      fig08_multilevel fig09_mpki fig10_coverage fig11_overpredict fig12_class_share \
-      fig13a_class_ablation fig13b_priority fig14_cloud_nn fig15_multicore table4_cov_acc \
-      sens_dram_bw sens_pq_mshr sens_cache_sizes sens_tables sens_replacement sens_ip_assoc \
-      ext_l2_complement ext_temporal"
-cargo build --release -p ipcp-bench 2>/dev/null
-for b in $BINS; do
-  echo "== running $b"
-  ./target/release/$b > results/$b.txt 2>&1 || echo "FAILED: $b"
-done
-echo "all experiments done"
+cargo build --release -p ipcp-bench -p ipcp-tools
+exec ./target/release/experiments "$@"

@@ -149,8 +149,9 @@ fn trace_file_round_trip_drives_simulator() {
     let instrs: Vec<ipcp_trace::Instr> = t.stream().take(120_000).collect();
     let mut buf = Vec::new();
     ipcp_trace::write_trace(&mut buf, instrs.iter().copied()).unwrap();
-    let decoded: Vec<ipcp_trace::Instr> =
-        ipcp_trace::TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+    let decoded: Vec<ipcp_trace::Instr> = ipcp_trace::TraceReader::new(&buf[..])
+        .collect::<Result<_, _>>()
+        .unwrap();
     assert_eq!(decoded, instrs);
     let r = run_single(
         SimConfig::default().with_instructions(10_000, 40_000),

@@ -105,7 +105,11 @@ fn cs_class_cannot_gain_confidence_on_alternating_strides() {
         Box::new(NoPrefetcher),
     );
     let fills = r.cores[0].l1d.fills_by_class;
-    assert_eq!(fills[IpClass::Cs.bits() as usize], 0, "CS must stay silent: {fills:?}");
+    assert_eq!(
+        fills[IpClass::Cs.bits() as usize],
+        0,
+        "CS must stay silent: {fills:?}"
+    );
 }
 
 #[test]
@@ -139,7 +143,10 @@ fn spatial_prefetchers_struggle_on_server_workloads() {
         c.llc,
     );
     let sp = with.ipc() / base.ipc();
-    assert!(sp < 1.15, "no spatial prefetcher should crack classification: {sp}");
+    assert!(
+        sp < 1.15,
+        "no spatial prefetcher should crack classification: {sp}"
+    );
 }
 
 #[test]
