@@ -6,13 +6,12 @@
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_baselines::{spp_perceptron_dspatch, Bop, IpStride, Mlop, NextLine, Spp, Vldp};
-use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 use ipcp_sim::prefetch::{FillLevel, NoPrefetcher, Prefetcher};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("ext_l2_complement");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
 
     type MakeL2 = fn() -> Box<dyn Prefetcher>;
     let l2s: Vec<(&str, MakeL2)> = vec![
@@ -35,10 +34,10 @@ fn main() {
     for (name, mk) in &l2s {
         let mut speeds = Vec::new();
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
-            let r = run_custom(
+            let base = exp.baseline_ipc(t);
+            let r = exp.run_custom(
+                name,
                 t,
-                scale,
                 Box::new(IpcpL1::new(IpcpConfig::default())),
                 mk(),
                 Box::new(NoPrefetcher),
@@ -47,28 +46,23 @@ fn main() {
         }
         geos.push((name.to_string(), geomean(&speeds)));
     }
-    println!("== Section VI-B1: utility of L2 prefetchers under an IPCP L1");
-    let baseline_geo = geos[0].1;
-    let rows: Vec<Vec<String>> = geos
-        .iter()
-        .map(|(n, g)| {
-            vec![
-                n.clone(),
-                format!("{g:.3}"),
-                format!("{:+.1} pts", 100.0 * (g - baseline_geo)),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "L2 prefetcher".into(),
-            "geomean".into(),
-            "delta vs none".into(),
-        ],
-        &rows,
+    let mut table = Table::new(
+        "Section VI-B1: utility of L2 prefetchers under an IPCP L1",
+        &["L2 prefetcher", "geomean", "delta vs none"],
     );
-    println!("paper: every generic L2 prefetcher adds <1.7% on top of IPCP at L1,");
-    println!("       SPP+Perceptron+DSPatch being the best of them. Here the deltas");
-    println!("       run a little larger (2-4 pts) but the ordering holds: SPP-combo");
-    println!("       best generic, plain NL actively harmful, the rest marginal.");
+    let baseline_geo = geos[0].1;
+    for (n, g) in &geos {
+        let delta = 100.0 * (g - baseline_geo);
+        table.row(vec![
+            Cell::text(n),
+            Cell::f3(*g),
+            Cell::num(delta, format!("{delta:+.1} pts")),
+        ]);
+    }
+    exp.table(table);
+    exp.note("paper: every generic L2 prefetcher adds <1.7% on top of IPCP at L1,");
+    exp.note("       SPP+Perceptron+DSPatch being the best of them. Here the deltas");
+    exp.note("       run a little larger (2-4 pts) but the ordering holds: SPP-combo");
+    exp.note("       best generic, plain NL actively harmful, the rest marginal.");
+    exp.finish();
 }

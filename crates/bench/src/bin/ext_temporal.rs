@@ -9,7 +9,7 @@
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_baselines::{Duo, IsbLite};
-use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, RunScale, Table};
 use ipcp_sim::prefetch::{NoPrefetcher, Prefetcher};
 use ipcp_trace::TraceSource;
 
@@ -18,16 +18,14 @@ fn ipcp_l1() -> Box<dyn Prefetcher> {
 }
 
 fn main() {
+    let mut exp = Experiment::new("ext_temporal");
     // Temporal reuse only exists once the recorded sequence *repeats*, so
     // this experiment needs longer runs than the default harness scale and
     // traces whose temporal period fits inside them.
-    let mut scale = RunScale::from_env();
-    if std::env::var("IPCP_SCALE").is_err() {
-        scale = RunScale {
-            warmup: 300_000,
-            instructions: 1_200_000,
-        };
-    }
+    exp.default_scale(RunScale {
+        warmup: 300_000,
+        instructions: 1_200_000,
+    });
     use ipcp_workloads::gen::{blend, resident, server};
     let mk_temporal = |name: &str, period_lines: usize, dilution: u32, seed: u64| {
         // Period × 64 B exceeds the 2 MB LLC, so every pass misses DRAM —
@@ -53,7 +51,6 @@ fn main() {
             .into_iter()
             .filter(|t| t.name().contains("irr")),
     );
-    let mut baselines = BaselineCache::new();
 
     type MakePair = fn() -> (Box<dyn Prefetcher>, Box<dyn Prefetcher>);
     let variants: Vec<(&str, MakePair)> = vec![
@@ -75,35 +72,38 @@ fn main() {
         }),
     ];
 
-    let mut rows = Vec::new();
+    let header: Vec<&str> = std::iter::once("trace")
+        .chain(variants.iter().map(|(n, _)| *n))
+        .collect();
+    let mut table = Table::new(
+        "Future work: IPCP + a temporal component (Section VII)",
+        &header,
+    );
     let mut per_variant: Vec<Vec<f64>> = vec![Vec::new(); variants.len()];
     for t in &traces {
-        let base = baselines.get(t, scale).ipc();
-        let mut row = vec![t.name().to_string()];
-        for (vi, (_, mk)) in variants.iter().enumerate() {
+        let base = exp.baseline_ipc(t);
+        let mut row = vec![Cell::text(t.name())];
+        for (vi, (name, mk)) in variants.iter().enumerate() {
             let (l1, l2) = mk();
-            let r = run_custom(t, scale, l1, l2, Box::new(NoPrefetcher));
+            let r = exp.run_custom(name, t, l1, l2, Box::new(NoPrefetcher));
             let sp = r.ipc() / base;
             per_variant[vi].push(sp);
-            row.push(format!("{sp:.3}"));
+            row.push(Cell::f3(sp));
         }
-        rows.push(row);
+        table.row(row);
     }
-    let mut footer = vec!["GEOMEAN".to_string()];
+    let mut footer = vec![Cell::text("GEOMEAN")];
     for v in &per_variant {
-        footer.push(format!("{:.3}", geomean(v)));
+        footer.push(Cell::f3(geomean(v)));
     }
-    rows.push(footer);
-    println!("== Future work: IPCP + a temporal component (Section VII)");
-    let header: Vec<String> = std::iter::once("trace".to_string())
-        .chain(variants.iter().map(|(n, _)| n.to_string()))
-        .collect();
-    print_table(&header, &rows);
-    println!("paper (Section VII): 'all the temporal prefetchers can use IPCP as");
-    println!("their spatial counter-part'. Measured: IPCP alone is blind to temporal");
-    println!("reuse (~1.0); the temporal component covers it (+14-15%); the pairing");
-    println!(
+    table.row(footer);
+    exp.table(table);
+    exp.note("paper (Section VII): 'all the temporal prefetchers can use IPCP as");
+    exp.note("their spatial counter-part'. Measured: IPCP alone is blind to temporal");
+    exp.note("reuse (~1.0); the temporal component covers it (+14-15%); the pairing");
+    exp.note(format!(
         "keeps those gains — at {} KB of metadata vs IPCP's 895 B.",
         IsbLite::l2_default().storage_bits() / 8 / 1024
-    );
+    ));
+    exp.finish();
 }

@@ -5,13 +5,15 @@
 //! placement; train-at-L1/fill-to-L2 narrows the gap to 3–7%; only one
 //! trace prefers L2 placement, and only marginally.
 
-use ipcp_bench::runner::{geomean, print_table, run_combo, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig01_l1_utility");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 1: utility of L1-D prefetching (geomean speedups, memory-intensive suite)",
+        &["prefetcher", "at L2", "train L1, fill L2", "at L1"],
+    );
     for pf in ["ip-stride", "mlop", "bingo"] {
         let variants = [
             format!("l2-{pf}"),
@@ -26,29 +28,21 @@ fn main() {
         };
         let mut speeds = [Vec::new(), Vec::new(), Vec::new()];
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
+            let base = exp.baseline_ipc(t);
             for (i, name) in [&variants[0], &variants[1], &l1_name].iter().enumerate() {
-                let r = run_combo(name, t, scale);
+                let r = exp.run_combo(name, t);
                 speeds[i].push(r.ipc() / base);
             }
         }
-        rows.push(vec![
-            pf.to_string(),
-            format!("{:.3}", geomean(&speeds[0])),
-            format!("{:.3}", geomean(&speeds[1])),
-            format!("{:.3}", geomean(&speeds[2])),
+        table.row(vec![
+            Cell::text(pf),
+            Cell::f3(geomean(&speeds[0])),
+            Cell::f3(geomean(&speeds[1])),
+            Cell::f3(geomean(&speeds[2])),
         ]);
     }
-    println!("== Fig. 1: utility of L1-D prefetching (geomean speedups, memory-intensive suite)");
-    print_table(
-        &[
-            "prefetcher".into(),
-            "at L2".into(),
-            "train L1, fill L2".into(),
-            "at L1".into(),
-        ],
-        &rows,
-    );
-    println!("paper: at-L1 beats at-L2 by 6–13 percentage points on average;");
-    println!("       train-L1/fill-L2 closes the gap to 3–7 points.");
+    exp.table(table);
+    exp.note("paper: at-L1 beats at-L2 by 6–13 percentage points on average;");
+    exp.note("       train-L1/fill-L2 closes the gap to 3–7 points.");
+    exp.finish();
 }

@@ -6,12 +6,13 @@
 //! they are designed for the L2's access stream.
 
 use ipcp_bench::combos::FIG7_COMBOS;
-use ipcp_bench::runner::{speedup_comparison, RunScale};
+use ipcp_bench::runner::Experiment;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig07_l1_only");
     let traces = ipcp_workloads::memory_intensive_suite();
-    speedup_comparison("Fig. 7: L1-only prefetchers", &traces, FIG7_COMBOS, scale);
-    println!("paper: IPCP best-or-second (Bingo-119KB comparable at 160x the storage);");
-    println!("       SPP at L1 clearly below its L2 reputation.");
+    exp.speedup_comparison("Fig. 7: L1-only prefetchers", &traces, FIG7_COMBOS);
+    exp.note("paper: IPCP best-or-second (Bingo-119KB comparable at 160x the storage);");
+    exp.note("       SPP at L1 clearly below its L2 reputation.");
+    exp.finish();
 }

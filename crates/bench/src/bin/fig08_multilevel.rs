@@ -5,20 +5,20 @@
 //! for the rest; on the full suite 22% vs 18.2–18.8%.
 
 use ipcp_bench::combos::TABLE3_COMBOS;
-use ipcp_bench::runner::{speedup_comparison, RunScale};
+use ipcp_bench::runner::Experiment;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig08_multilevel");
     let intensive = ipcp_workloads::memory_intensive_suite();
-    speedup_comparison(
+    exp.speedup_comparison(
         "Fig. 8 (top): memory-intensive traces",
         &intensive,
         TABLE3_COMBOS,
-        scale,
     );
-    println!();
+    exp.blank();
     let full = ipcp_workloads::full_suite();
-    speedup_comparison("Fig. 8 (bottom): full suite", &full, TABLE3_COMBOS, scale);
-    println!("paper: IPCP leads both averages (45.1% intensive / 22% full),");
-    println!("       with the top three rivals within a few points of each other.");
+    exp.speedup_comparison("Fig. 8 (bottom): full suite", &full, TABLE3_COMBOS);
+    exp.note("paper: IPCP leads both averages (45.1% intensive / 22% full),");
+    exp.note("       with the top three rivals within a few points of each other.");
+    exp.finish();
 }

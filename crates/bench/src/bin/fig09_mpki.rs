@@ -4,19 +4,21 @@
 //! reductions are the largest at L2/LLC.
 
 use ipcp_bench::combos::TABLE3_COMBOS;
-use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
+use ipcp_bench::runner::{Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig09_mpki");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 9: average demand-MPKI reduction (memory-intensive suite)",
+        &["combo", "L1D", "L2", "LLC"],
+    );
     for &combo in TABLE3_COMBOS {
         let mut red = [0.0f64; 3];
         let mut n = 0.0;
         for t in &traces {
             let (b_l1, b_l2, b_llc, b_instr) = {
-                let b = baselines.get(t, scale);
+                let b = exp.baseline(t);
                 (
                     b.cores[0].l1d.demand_misses,
                     b.cores[0].l2.demand_misses,
@@ -24,7 +26,7 @@ fn main() {
                     b.cores[0].core.instructions,
                 )
             };
-            let r = run_combo(combo, t, scale);
+            let r = exp.run_combo(combo, t);
             let instr = r.cores[0].core.instructions;
             let pairs = [
                 (b_l1, r.cores[0].l1d.demand_misses),
@@ -40,17 +42,14 @@ fn main() {
             }
             n += 1.0;
         }
-        rows.push(vec![
-            combo.to_string(),
-            format!("{:.1}%", 100.0 * red[0] / n),
-            format!("{:.1}%", 100.0 * red[1] / n),
-            format!("{:.1}%", 100.0 * red[2] / n),
+        table.row(vec![
+            Cell::text(combo),
+            Cell::pct(100.0 * red[0] / n, 1),
+            Cell::pct(100.0 * red[1] / n, 1),
+            Cell::pct(100.0 * red[2] / n, 1),
         ]);
     }
-    println!("== Fig. 9: average demand-MPKI reduction (memory-intensive suite)");
-    print_table(
-        &["combo".into(), "L1D".into(), "L2".into(), "LLC".into()],
-        &rows,
-    );
-    println!("paper: reductions grow down the hierarchy; IPCP at or near the top at L2/LLC.");
+    exp.table(table);
+    exp.note("paper: reductions grow down the hierarchy; IPCP at or near the top at L2/LLC.");
+    exp.finish();
 }

@@ -3,25 +3,27 @@
 //! Paper's numbers: 60% at L1, 79.5% at L2, 83% at LLC on average, with
 //! near-zero coverage for the irregular (mcf/omnetpp-like) traces.
 
-use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
+use ipcp_bench::runner::{Cell, Experiment, Table};
 use ipcp_trace::TraceSource;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig10_coverage");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 10: demand misses covered by IPCP per level",
+        &["trace", "L1D", "L2", "LLC"],
+    );
     let mut avg = [0.0f64; 3];
     for t in &traces {
         let (b_l1, b_l2, b_llc) = {
-            let b = baselines.get(t, scale);
+            let b = exp.baseline(t);
             (
                 b.cores[0].l1d.demand_misses,
                 b.cores[0].l2.demand_misses,
                 b.llc.demand_misses,
             )
         };
-        let r = run_combo("ipcp", t, scale);
+        let r = exp.run_combo("ipcp", t);
         let cov = |base: u64, now: u64| {
             if base == 0 {
                 0.0
@@ -44,24 +46,21 @@ fn main() {
         avg[0] += c1;
         avg[1] += c2;
         avg[2] += c3;
-        rows.push(vec![
-            t.name().to_string(),
-            format!("{:.0}%", 100.0 * c1),
-            format!("{:.0}%", 100.0 * c2),
-            format!("{:.0}%", 100.0 * c3),
+        table.row(vec![
+            Cell::text(t.name()),
+            Cell::pct(100.0 * c1, 0),
+            Cell::pct(100.0 * c2, 0),
+            Cell::pct(100.0 * c3, 0),
         ]);
     }
     let n = traces.len() as f64;
-    rows.push(vec![
-        "AVERAGE".into(),
-        format!("{:.0}%", 100.0 * avg[0] / n),
-        format!("{:.0}%", 100.0 * avg[1] / n),
-        format!("{:.0}%", 100.0 * avg[2] / n),
+    table.row(vec![
+        Cell::text("AVERAGE"),
+        Cell::pct(100.0 * avg[0] / n, 0),
+        Cell::pct(100.0 * avg[1] / n, 0),
+        Cell::pct(100.0 * avg[2] / n, 0),
     ]);
-    println!("== Fig. 10: demand misses covered by IPCP per level");
-    print_table(
-        &["trace".into(), "L1D".into(), "L2".into(), "LLC".into()],
-        &rows,
-    );
-    println!("paper: 60% / 79.5% / 83% average at L1/L2/LLC; ~0 for irregular traces.");
+    exp.table(table);
+    exp.note("paper: 60% / 79.5% / 83% average at L1/L2/LLC; ~0 for irregular traces.");
+    exp.finish();
 }

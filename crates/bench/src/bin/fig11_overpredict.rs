@@ -5,41 +5,34 @@
 //! mostly uncovered; over-prediction visible where GS trades accuracy for
 //! coverage.
 
-use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
+use ipcp_bench::runner::{Cell, Experiment, Table};
 use ipcp_trace::TraceSource;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig11_overpredict");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 11: IPCP at L1 — covered / uncovered / over-predicted",
+        &["trace", "base misses", "covered", "uncovered", "overpred"],
+    );
     for t in &traces {
-        let base_misses = baselines.get(t, scale).cores[0].l1d.demand_misses;
-        let r = run_combo("ipcp", t, scale);
+        let base_misses = exp.baseline(t).cores[0].l1d.demand_misses;
+        let r = exp.run_combo("ipcp", t);
         let l1 = &r.cores[0].l1d;
         let covered = l1.useful_prefetch_hits;
         let uncovered = l1.demand_misses.saturating_sub(l1.late_prefetch_hits);
         let over = l1.pf_useless_evicted;
         let denom = (covered + uncovered).max(1) as f64;
-        rows.push(vec![
-            t.name().to_string(),
-            format!("{base_misses}"),
-            format!("{:.0}%", 100.0 * covered as f64 / denom),
-            format!("{:.0}%", 100.0 * uncovered as f64 / denom),
-            format!("{:.0}%", 100.0 * over as f64 / denom),
+        table.row(vec![
+            Cell::text(t.name()),
+            Cell::int(base_misses),
+            Cell::pct(100.0 * covered as f64 / denom, 0),
+            Cell::pct(100.0 * uncovered as f64 / denom, 0),
+            Cell::pct(100.0 * over as f64 / denom, 0),
         ]);
     }
-    println!("== Fig. 11: IPCP at L1 — covered / uncovered / over-predicted");
-    print_table(
-        &[
-            "trace".into(),
-            "base misses".into(),
-            "covered".into(),
-            "uncovered".into(),
-            "overpred".into(),
-        ],
-        &rows,
-    );
-    println!("paper: coverage dominates except for irregular traces; over-prediction");
-    println!("       concentrated where the GS class trades accuracy for timeliness.");
+    exp.table(table);
+    exp.note("paper: coverage dominates except for irregular traces; over-prediction");
+    exp.note("       concentrated where the GS class trades accuracy for timeliness.");
+    exp.finish();
 }

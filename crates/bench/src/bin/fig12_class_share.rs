@@ -4,48 +4,42 @@
 //! Paper's shape: CS contributes ~46.7% and GS ~30% of covered misses on
 //! average; CPLX and NL pick up complex/irregular traces (mcf-like).
 
-use ipcp_bench::runner::{print_table, run_combo, RunScale};
+use ipcp_bench::runner::{Cell, Experiment, Table};
 use ipcp_trace::TraceSource;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig12_class_share");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 12: class share of IPCP's L1 coverage",
+        &["trace", "GS", "CS", "CPLX", "NL"],
+    );
     let mut totals = [0u64; 4];
     for t in &traces {
-        let r = run_combo("ipcp", t, scale);
+        let r = exp.run_combo("ipcp", t);
         let u = r.cores[0].l1d.useful_by_class; // [NL, CS, CPLX, GS]
         for i in 0..4 {
             totals[i] += u[i];
         }
         let sum = u.iter().sum::<u64>().max(1) as f64;
-        rows.push(vec![
-            t.name().to_string(),
-            format!("{:.0}%", 100.0 * u[3] as f64 / sum),
-            format!("{:.0}%", 100.0 * u[1] as f64 / sum),
-            format!("{:.0}%", 100.0 * u[2] as f64 / sum),
-            format!("{:.0}%", 100.0 * u[0] as f64 / sum),
+        table.row(vec![
+            Cell::text(t.name()),
+            Cell::pct(100.0 * u[3] as f64 / sum, 0),
+            Cell::pct(100.0 * u[1] as f64 / sum, 0),
+            Cell::pct(100.0 * u[2] as f64 / sum, 0),
+            Cell::pct(100.0 * u[0] as f64 / sum, 0),
         ]);
     }
     let sum = totals.iter().sum::<u64>().max(1) as f64;
-    rows.push(vec![
-        "OVERALL".into(),
-        format!("{:.0}%", 100.0 * totals[3] as f64 / sum),
-        format!("{:.0}%", 100.0 * totals[1] as f64 / sum),
-        format!("{:.0}%", 100.0 * totals[2] as f64 / sum),
-        format!("{:.0}%", 100.0 * totals[0] as f64 / sum),
+    table.row(vec![
+        Cell::text("OVERALL"),
+        Cell::pct(100.0 * totals[3] as f64 / sum, 0),
+        Cell::pct(100.0 * totals[1] as f64 / sum, 0),
+        Cell::pct(100.0 * totals[2] as f64 / sum, 0),
+        Cell::pct(100.0 * totals[0] as f64 / sum, 0),
     ]);
-    println!("== Fig. 12: class share of IPCP's L1 coverage");
-    print_table(
-        &[
-            "trace".into(),
-            "GS".into(),
-            "CS".into(),
-            "CPLX".into(),
-            "NL".into(),
-        ],
-        &rows,
-    );
-    println!("paper: CS ~46.7% and GS ~30% overall; CPLX covers mcf-like complex strides;");
-    println!("       NL contributes marginally, on irregular traces only.");
+    exp.table(table);
+    exp.note("paper: CS ~46.7% and GS ~30% overall; CPLX covers mcf-like complex strides;");
+    exp.note("       NL contributes marginally, on irregular traces only.");
+    exp.finish();
 }

@@ -5,13 +5,12 @@
 //! a little; the L2 adds ~5 more points on top of the L1 bouquet.
 
 use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 use ipcp_sim::prefetch::NoPrefetcher;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig13a_class_ablation");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
     let variants: Vec<(&str, IpcpConfig, bool)> = vec![
         ("CS only", IpcpConfig::with_only(&[IpClass::Cs]), false),
         ("CPLX only", IpcpConfig::with_only(&[IpClass::Cplx]), false),
@@ -29,29 +28,32 @@ fn main() {
         ("IPCP L1", IpcpConfig::default(), false),
         ("IPCP L1+L2", IpcpConfig::default(), true),
     ];
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 13(a): class ablation (geomean speedup, memory-intensive suite)",
+        &["variant", "speedup"],
+    );
     for (name, cfg, with_l2) in variants {
         let mut speeds = Vec::new();
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
+            let base = exp.baseline_ipc(t);
             let l2: Box<dyn ipcp_sim::prefetch::Prefetcher> = if with_l2 {
                 Box::new(IpcpL2::new(cfg.clone()))
             } else {
                 Box::new(NoPrefetcher)
             };
-            let r = run_custom(
+            let r = exp.run_custom(
+                name,
                 t,
-                scale,
                 Box::new(IpcpL1::new(cfg.clone())),
                 l2,
                 Box::new(NoPrefetcher),
             );
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![name.to_string(), format!("{:.3}", geomean(&speeds))]);
+        table.row(vec![Cell::text(name), Cell::f3(geomean(&speeds))]);
     }
-    println!("== Fig. 13(a): class ablation (geomean speedup, memory-intensive suite)");
-    print_table(&["variant".into(), "speedup".into()], &rows);
-    println!("paper: CS/CPLX strongest alone; GS weak alone but additive in the bouquet;");
-    println!("       the full L1 bouquet beats every subset; L2 adds ~5 points more.");
+    exp.table(table);
+    exp.note("paper: CS/CPLX strongest alone; GS weak alone but additive in the bouquet;");
+    exp.note("       the full L1 bouquet beats every subset; L2 adds ~5 points more.");
+    exp.finish();
 }

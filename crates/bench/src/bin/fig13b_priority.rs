@@ -4,12 +4,11 @@
 //! costs up to ~9% on memory-intensive traces.
 
 use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig13b_priority");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
     let orders: Vec<(&str, [IpClass; 3])> = vec![
         (
             "GS>CS>CPLX (paper)",
@@ -19,45 +18,45 @@ fn main() {
         ("CPLX>CS>GS", [IpClass::Cplx, IpClass::Cs, IpClass::Gs]),
         ("CS>CPLX>GS", [IpClass::Cs, IpClass::Cplx, IpClass::Gs]),
     ];
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Fig. 13(b): priority-order ablation (geomean speedup)",
+        &["priority", "speedup"],
+    );
     for (name, order) in orders {
         let cfg = IpcpConfig::default().with_priority(order);
         let mut speeds = Vec::new();
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
-            let r = run_custom(
+            let base = exp.baseline_ipc(t);
+            let r = exp.run_custom(
+                name,
                 t,
-                scale,
                 Box::new(IpcpL1::new(cfg.clone())),
                 Box::new(IpcpL2::new(cfg.clone())),
                 Box::new(ipcp_sim::prefetch::NoPrefetcher),
             );
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![name.to_string(), format!("{:.3}", geomean(&speeds))]);
+        table.row(vec![Cell::text(name), Cell::f3(geomean(&speeds))]);
     }
     // Metadata ablation rides along (Section VI-B2: −3.1% without it).
     {
         let cfg = IpcpConfig::default().without_metadata();
         let mut speeds = Vec::new();
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
-            let r = run_custom(
+            let base = exp.baseline_ipc(t);
+            let r = exp.run_custom(
+                "no metadata",
                 t,
-                scale,
                 Box::new(IpcpL1::new(cfg.clone())),
                 Box::new(IpcpL2::new(cfg.clone())),
                 Box::new(ipcp_sim::prefetch::NoPrefetcher),
             );
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![
-            "no metadata".to_string(),
-            format!("{:.3}", geomean(&speeds)),
-        ]);
+        table.row(vec![Cell::text("no metadata"), Cell::f3(geomean(&speeds))]);
     }
-    println!("== Fig. 13(b): priority-order ablation (geomean speedup)");
-    print_table(&["priority".into(), "speedup".into()], &rows);
-    println!("paper: the GS-first default wins; worst permutation loses ~9%;");
-    println!("       removing metadata costs ~3.1%.");
+    exp.table(table);
+    exp.note("paper: the GS-first default wins; worst permutation loses ~9%;");
+    exp.note("       removing metadata costs ~3.1%.");
+    exp.finish();
 }

@@ -5,15 +5,16 @@
 //! the NN suite is stream-dominated and IPCP leads it.
 
 use ipcp_bench::combos::TABLE3_COMBOS;
-use ipcp_bench::runner::{speedup_comparison, RunScale};
+use ipcp_bench::runner::Experiment;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig14_cloud_nn");
     let cloud = ipcp_workloads::cloud_suite();
-    speedup_comparison("Fig. 14(a): CloudSuite", &cloud, TABLE3_COMBOS, scale);
-    println!("paper: speedups compressed near 1.0x; classification gains nothing anywhere.");
-    println!();
+    exp.speedup_comparison("Fig. 14(a): CloudSuite", &cloud, TABLE3_COMBOS);
+    exp.note("paper: speedups compressed near 1.0x; classification gains nothing anywhere.");
+    exp.blank();
     let nn = ipcp_workloads::nn_suite();
-    speedup_comparison("Fig. 14(b): CNNs/RNN", &nn, TABLE3_COMBOS, scale);
-    println!("paper: streaming tensor kernels: IPCP leads (up to ~2x on some nets).");
+    exp.speedup_comparison("Fig. 14(b): CNNs/RNN", &nn, TABLE3_COMBOS);
+    exp.note("paper: streaming tensor kernels: IPCP leads (up to ~2x on some nets).");
+    exp.finish();
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use ipcp_bench::combos::{build, TABLE3_COMBOS};
 use ipcp_bench::harness::{jobs_from_env, parallel_map, AloneIpcCache};
-use ipcp_bench::runner::{geomean, print_table, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, RunScale, Table};
 use ipcp_sim::{weighted_speedup, CoreSetup, SimConfig, System};
 use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
@@ -47,12 +47,13 @@ fn run_mix(mix: &[SynthTrace], combo: &str, scale: RunScale, alone: &AloneIpcCac
 }
 
 fn main() {
-    let mut scale = RunScale::from_env();
+    let mut exp = Experiment::new("fig15_multicore");
     // Multicore runs are ~4x the work per mix; trim the default.
-    if std::env::var("IPCP_SCALE").is_err() {
-        scale.instructions = 200_000;
-        scale.warmup = 50_000;
-    }
+    exp.default_scale(RunScale {
+        warmup: 50_000,
+        instructions: 200_000,
+    });
+    let scale = exp.scale();
     let all = ipcp_workloads::memory_intensive_suite();
     let find = |n: &str| all.iter().find(|t| t.name() == n).unwrap().clone();
 
@@ -147,26 +148,29 @@ fn main() {
 
     let per_mix = combos_with_base.len();
     let mut per_combo: std::collections::HashMap<String, Vec<f64>> = Default::default();
-    let mut rows = Vec::new();
+    let mut header = vec!["mix"];
+    header.extend(TABLE3_COMBOS.iter().copied());
+    let mut table = Table::new(
+        "Fig. 15: multi-core normalized weighted speedup (vs no prefetching)",
+        &header,
+    );
     for (mi, (name, _)) in mixes.iter().enumerate() {
         let base = speedups[mi * per_mix];
-        let mut row = vec![name.clone()];
+        let mut row = vec![Cell::text(name)];
         for (ci, &combo) in TABLE3_COMBOS.iter().enumerate() {
             let ws = speedups[mi * per_mix + 1 + ci] / base;
             per_combo.entry(combo.into()).or_default().push(ws);
-            row.push(format!("{ws:.3}"));
+            row.push(Cell::f3(ws));
         }
-        rows.push(row);
+        table.row(row);
     }
-    let mut footer = vec!["GEOMEAN".to_string()];
+    let mut footer = vec![Cell::text("GEOMEAN")];
     for &combo in TABLE3_COMBOS {
-        footer.push(format!("{:.3}", geomean(&per_combo[combo])));
+        footer.push(Cell::f3(geomean(&per_combo[combo])));
     }
-    rows.push(footer);
-    let mut header = vec!["mix".to_string()];
-    header.extend(TABLE3_COMBOS.iter().map(|s| s.to_string()));
-    println!("== Fig. 15: multi-core normalized weighted speedup (vs no prefetching)");
-    print_table(&header, &rows);
-    println!("paper: IPCP 23.4% average, Bingo 20.9%, MLOP 20%; mcf-heavy homogeneous");
-    println!("       mixes degrade for every prefetcher, IPCP least.");
+    table.row(footer);
+    exp.table(table);
+    exp.note("paper: IPCP 23.4% average, Bingo 20.9%, MLOP 20%; mcf-heavy homogeneous");
+    exp.note("       mixes degrade for every prefetcher, IPCP least.");
+    exp.finish();
 }

@@ -4,10 +4,10 @@
 //! Paper's shape: IPCP's relative gain moves by at most ~1% across the
 //! size combinations; a tiny LLC costs everyone ~3 points of absolute gain.
 
-use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("sens_cache_sizes");
     let traces = ipcp_workloads::memory_intensive_suite();
     let configs: Vec<(&str, u64, u64, u64)> = vec![
         ("L1 32K / L2 512K / LLC 2M", 32, 512, 2048),
@@ -18,7 +18,10 @@ fn main() {
         ("L1 48K / L2 512K / LLC 4M", 48, 512, 4096),
         ("L1 48K / L2 512K / LLC 512K (tiny)", 48, 512, 512),
     ];
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Sensitivity: cache geometry (IPCP geomean speedup)",
+        &["geometry", "speedup"],
+    );
     for (label, l1kb, l2kb, llckb) in configs {
         let mut speeds = Vec::new();
         for t in &traces {
@@ -31,14 +34,14 @@ fn main() {
                 cfg.l2.size_bytes = l2kb * 1024;
                 cfg.llc.size_bytes = llckb * 1024;
             };
-            let base = run_combo_with("none", t, scale, tweak).ipc();
-            let r = run_combo_with("ipcp", t, scale, tweak);
+            let base = exp.run_combo_with("none", t, tweak).ipc();
+            let r = exp.run_combo_with("ipcp", t, tweak);
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![label.to_string(), format!("{:.3}", geomean(&speeds))]);
+        table.row(vec![Cell::text(label), Cell::f3(geomean(&speeds))]);
     }
-    println!("== Sensitivity: cache geometry (IPCP geomean speedup)");
-    print_table(&["geometry".into(), "speedup".into()], &rows);
-    println!("paper: at most ~1% relative movement; the 512 KB/core LLC costs ~3 points");
-    println!("       of absolute improvement for every prefetcher.");
+    exp.table(table);
+    exp.note("paper: at most ~1% relative movement; the 512 KB/core LLC costs ~3 points");
+    exp.note("       of absolute improvement for every prefetcher.");
+    exp.finish();
 }

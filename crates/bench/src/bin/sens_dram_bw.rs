@@ -4,12 +4,15 @@
 //! traces and IPCP's lead narrows to ~1%; at 25 GB/s most prefetchers gain
 //! 2–3 points and IPCP stays ahead.
 
-use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("sens_dram_bw");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Sensitivity: DRAM bandwidth (geomean speedups)",
+        &["bandwidth", "ipcp", "mlop", "spp+ppf+dspatch"],
+    );
     for (label, gbps, channels) in [
         ("3.2 GB/s", 3.2, 1u32),
         ("12.8 GB/s (default)", 12.8, 1),
@@ -21,29 +24,21 @@ fn main() {
                 cfg.dram.channels = channels;
                 cfg.dram = cfg.dram.clone().with_bandwidth_gbps(gbps);
             };
-            let base = run_combo_with("none", t, scale, tweak).ipc();
+            let base = exp.run_combo_with("none", t, tweak).ipc();
             for combo in ["ipcp", "mlop", "spp-perc-dspatch"] {
-                let r = run_combo_with(combo, t, scale, tweak);
+                let r = exp.run_combo_with(combo, t, tweak);
                 speeds.entry(combo).or_default().push(r.ipc() / base);
             }
         }
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.3}", geomean(&speeds["ipcp"])),
-            format!("{:.3}", geomean(&speeds["mlop"])),
-            format!("{:.3}", geomean(&speeds["spp-perc-dspatch"])),
+        table.row(vec![
+            Cell::text(label),
+            Cell::f3(geomean(&speeds["ipcp"])),
+            Cell::f3(geomean(&speeds["mlop"])),
+            Cell::f3(geomean(&speeds["spp-perc-dspatch"])),
         ]);
     }
-    println!("== Sensitivity: DRAM bandwidth (geomean speedups)");
-    print_table(
-        &[
-            "bandwidth".into(),
-            "ipcp".into(),
-            "mlop".into(),
-            "spp+ppf+dspatch".into(),
-        ],
-        &rows,
-    );
-    println!("paper: IPCP beats MLOP by ~1% at 3.2 GB/s and SPP-combo by ~1.5% at 25 GB/s;");
-    println!("       everyone's absolute gains grow with bandwidth.");
+    exp.table(table);
+    exp.note("paper: IPCP beats MLOP by ~1% at 3.2 GB/s and SPP-combo by ~1.5% at 25 GB/s;");
+    exp.note("       everyone's absolute gains grow with bandwidth.");
+    exp.finish();
 }

@@ -7,15 +7,17 @@
 //! exactly the paper's "size the tables up only for outliers" advice.
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 use ipcp_sim::prefetch::NoPrefetcher;
 use ipcp_trace::TraceSource;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("sens_ip_assoc");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Sensitivity: IP-table capacity x associativity",
+        &["IP table", "geomean", "cactu-bigip"],
+    );
     for (label, entries, ways) in [
         ("64 x 1 (paper)", 64usize, 1usize),
         ("256 x 4", 256, 4),
@@ -30,10 +32,10 @@ fn main() {
         let mut speeds = Vec::new();
         let mut cactu = 1.0;
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
-            let r = run_custom(
+            let base = exp.baseline_ipc(t);
+            let r = exp.run_custom(
+                label,
                 t,
-                scale,
                 Box::new(IpcpL1::new(cfg.clone())),
                 Box::new(IpcpL2::new(cfg.clone())),
                 Box::new(NoPrefetcher),
@@ -44,17 +46,14 @@ fn main() {
                 cactu = sp;
             }
         }
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.3}", geomean(&speeds)),
-            format!("{:.3}", cactu),
+        table.row(vec![
+            Cell::text(label),
+            Cell::f3(geomean(&speeds)),
+            Cell::f3(cactu),
         ]);
     }
-    println!("== Sensitivity: IP-table capacity x associativity");
-    print_table(
-        &["IP table".into(), "geomean".into(), "cactu-bigip".into()],
-        &rows,
-    );
-    println!("paper: only cactuBSSN-like IP churn wants a big associative table;");
-    println!("       the suite average is already captured by 64 entries.");
+    exp.table(table);
+    exp.note("paper: only cactuBSSN-like IP churn wants a big associative table;");
+    exp.note("       the suite average is already captured by 64 entries.");
+    exp.finish();
 }

@@ -4,12 +4,15 @@
 //! Paper's shape: (2,4) loses ~2.7% on average (high-MLP traces hit
 //! hardest); (16,32) gains little — the default is near the knee.
 
-use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("sens_pq_mshr");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Sensitivity: L1-D PQ/MSHR entries (IPCP geomean speedup)",
+        &["resources", "speedup"],
+    );
     for (pq, mshr) in [(2u32, 4u32), (4, 8), (8, 16), (16, 32)] {
         let mut speeds = Vec::new();
         for t in &traces {
@@ -17,16 +20,16 @@ fn main() {
                 cfg.l1d.pq_entries = pq;
                 cfg.l1d.mshr_entries = mshr;
             };
-            let base = run_combo_with("none", t, scale, tweak).ipc();
-            let r = run_combo_with("ipcp", t, scale, tweak);
+            let base = exp.run_combo_with("none", t, tweak).ipc();
+            let r = exp.run_combo_with("ipcp", t, tweak);
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![
-            format!("PQ {pq}, MSHR {mshr}"),
-            format!("{:.3}", geomean(&speeds)),
+        table.row(vec![
+            Cell::text(format!("PQ {pq}, MSHR {mshr}")),
+            Cell::f3(geomean(&speeds)),
         ]);
     }
-    println!("== Sensitivity: L1-D PQ/MSHR entries (IPCP geomean speedup)");
-    print_table(&["resources".into(), "speedup".into()], &rows);
-    println!("paper: (2,4) drops ~2.7% vs the (8,16) default; beyond it, marginal.");
+    exp.table(table);
+    exp.note("paper: (2,4) drops ~2.7% vs the (8,16) default; beyond it, marginal.");
+    exp.finish();
 }

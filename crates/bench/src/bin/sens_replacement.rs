@@ -2,13 +2,16 @@
 //!
 //! Paper's shape: IPCP moves by <1% across policies.
 
-use ipcp_bench::runner::{geomean, print_table, run_combo_with, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 use ipcp_sim::ReplacementKind;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("sens_replacement");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Sensitivity: LLC replacement policy (IPCP geomean speedup)",
+        &["policy", "speedup"],
+    );
     for (label, kind) in [
         ("LRU (default)", ReplacementKind::Lru),
         ("SRRIP", ReplacementKind::Srrip),
@@ -21,13 +24,13 @@ fn main() {
             let tweak = |cfg: &mut ipcp_sim::SimConfig| {
                 cfg.llc.replacement = kind;
             };
-            let base = run_combo_with("none", t, scale, tweak).ipc();
-            let r = run_combo_with("ipcp", t, scale, tweak);
+            let base = exp.run_combo_with("none", t, tweak).ipc();
+            let r = exp.run_combo_with("ipcp", t, tweak);
             speeds.push(r.ipc() / base);
         }
-        rows.push(vec![label.to_string(), format!("{:.3}", geomean(&speeds))]);
+        table.row(vec![Cell::text(label), Cell::f3(geomean(&speeds))]);
     }
-    println!("== Sensitivity: LLC replacement policy (IPCP geomean speedup)");
-    print_table(&["policy".into(), "speedup".into()], &rows);
-    println!("paper: IPCP is resilient — less than 1% difference across policies.");
+    exp.table(table);
+    exp.note("paper: IPCP is resilient — less than 1% difference across policies.");
+    exp.finish();
 }

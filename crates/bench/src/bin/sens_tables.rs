@@ -5,15 +5,17 @@
 //! already captures the needed IPs (cactuBSSN-like outliers excepted).
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
-use ipcp_bench::runner::{geomean, print_table, run_custom, BaselineCache, RunScale};
+use ipcp_bench::runner::{geomean, Cell, Experiment, Table};
 use ipcp_sim::prefetch::NoPrefetcher;
 use ipcp_trace::TraceSource;
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("sens_tables");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Sensitivity: IPCP table sizes (geomean + cactuBSSN-like outlier)",
+        &["tables", "geomean", "cactu-bigip"],
+    );
     for (label, mult) in [("1x (paper)", 1usize), ("2x", 2), ("4x", 4), ("16x", 16)] {
         let base_cfg = IpcpConfig::default();
         let cfg = IpcpConfig {
@@ -25,10 +27,10 @@ fn main() {
         let mut speeds = Vec::new();
         let mut cactu = 1.0;
         for t in &traces {
-            let base = baselines.get(t, scale).ipc();
-            let r = run_custom(
+            let base = exp.baseline_ipc(t);
+            let r = exp.run_custom(
+                label,
                 t,
-                scale,
                 Box::new(IpcpL1::new(cfg.clone())),
                 Box::new(IpcpL2::new(cfg.clone())),
                 Box::new(NoPrefetcher),
@@ -39,17 +41,14 @@ fn main() {
                 cactu = sp;
             }
         }
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.3}", geomean(&speeds)),
-            format!("{:.3}", cactu),
+        table.row(vec![
+            Cell::text(label),
+            Cell::f3(geomean(&speeds)),
+            Cell::f3(cactu),
         ]);
     }
-    println!("== Sensitivity: IPCP table sizes (geomean + cactuBSSN-like outlier)");
-    print_table(
-        &["tables".into(), "geomean".into(), "cactu-bigip".into()],
-        &rows,
-    );
-    println!("paper: bigger tables buy ~0.7% on average; only huge-code-footprint");
-    println!("       outliers (cactuBSSN) want a larger IP table.");
+    exp.table(table);
+    exp.note("paper: bigger tables buy ~0.7% on average; only huge-code-footprint");
+    exp.note("       outliers (cactuBSSN) want a larger IP table.");
+    exp.finish();
 }

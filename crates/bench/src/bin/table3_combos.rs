@@ -2,11 +2,14 @@
 //! budgets.
 
 use ipcp_bench::combos::{build, TABLE3_COMBOS};
-use ipcp_bench::runner::print_table;
+use ipcp_bench::runner::{Cell, Experiment, Table};
 
 fn main() {
-    println!("== Table III: multi-level prefetching combinations");
-    let mut rows = Vec::new();
+    let mut exp = Experiment::new("table3_combos");
+    let mut table = Table::new(
+        "Table III: multi-level prefetching combinations",
+        &["combo", "placement", "storage"],
+    );
     for &name in TABLE3_COMBOS {
         let c = build(name);
         let placement = match name {
@@ -17,16 +20,14 @@ fn main() {
             "ipcp" => "IPCP(L1) + IPCP(L2)",
             _ => "",
         };
-        rows.push(vec![
-            name.to_string(),
-            placement.to_string(),
-            format!("{} B", c.storage_bytes()),
+        table.row(vec![
+            Cell::text(name),
+            Cell::text(placement),
+            Cell::num(c.storage_bytes() as f64, format!("{} B", c.storage_bytes())),
         ]);
     }
-    print_table(
-        &["combo".into(), "placement".into(), "storage".into()],
-        &rows,
-    );
-    println!("paper: IPCP = 895 B; rivals demand 10x-50x more (T-SKID-lite here is a");
-    println!("       reduced stand-in; the real T-SKID spends >50 KB).");
+    exp.table(table);
+    exp.note("paper: IPCP = 895 B; rivals demand 10x-50x more (T-SKID-lite here is a");
+    exp.note("       reduced stand-in; the real T-SKID spends >50 KB).");
+    exp.finish();
 }

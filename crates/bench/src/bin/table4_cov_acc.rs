@@ -4,13 +4,15 @@
 //! rivals cover less at L2/LLC or pay accuracy for coverage.
 
 use ipcp_bench::combos::TABLE3_COMBOS;
-use ipcp_bench::runner::{print_table, run_combo, BaselineCache, RunScale};
+use ipcp_bench::runner::{Cell, Experiment, Table};
 
 fn main() {
-    let scale = RunScale::from_env();
+    let mut exp = Experiment::new("table4_cov_acc");
     let traces = ipcp_workloads::memory_intensive_suite();
-    let mut baselines = BaselineCache::new();
-    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Table IV: coverage per level and prefetch accuracy",
+        &["combo", "cov L1", "cov L2", "cov LLC", "accuracy"],
+    );
     for &combo in TABLE3_COMBOS {
         let mut cov = [0.0f64; 3];
         let mut acc_num = 0u64;
@@ -18,14 +20,14 @@ fn main() {
         let mut n = 0.0;
         for t in &traces {
             let (b1, b2, b3) = {
-                let b = baselines.get(t, scale);
+                let b = exp.baseline(t);
                 (
                     b.cores[0].l1d.demand_misses,
                     b.cores[0].l2.demand_misses,
                     b.llc.demand_misses,
                 )
             };
-            let r = run_combo(combo, t, scale);
+            let r = exp.run_combo(combo, t);
             let c = |base: u64, miss: u64, late: u64| {
                 if base == 0 {
                     0.0
@@ -51,25 +53,16 @@ fn main() {
                 + r.cores[0].l2.late_prefetch_hits;
             n += 1.0;
         }
-        rows.push(vec![
-            combo.to_string(),
-            format!("{:.2}", cov[0] / n),
-            format!("{:.2}", cov[1] / n),
-            format!("{:.2}", cov[2] / n),
-            format!("{:.2}", (acc_num as f64 / acc_den.max(1) as f64).min(1.0)),
+        table.row(vec![
+            Cell::text(combo),
+            Cell::f2(cov[0] / n),
+            Cell::f2(cov[1] / n),
+            Cell::f2(cov[2] / n),
+            Cell::f2((acc_num as f64 / acc_den.max(1) as f64).min(1.0)),
         ]);
     }
-    println!("== Table IV: coverage per level and prefetch accuracy");
-    print_table(
-        &[
-            "combo".into(),
-            "cov L1".into(),
-            "cov L2".into(),
-            "cov LLC".into(),
-            "accuracy".into(),
-        ],
-        &rows,
-    );
-    println!("paper: IPCP 0.60/0.79/0.83 coverage with 0.80 accuracy — the best");
-    println!("       coverage-at-accuracy point of the five combinations.");
+    exp.table(table);
+    exp.note("paper: IPCP 0.60/0.79/0.83 coverage with 0.80 accuracy — the best");
+    exp.note("       coverage-at-accuracy point of the five combinations.");
+    exp.finish();
 }

@@ -9,16 +9,17 @@
 //! comparisons); the default is one worker per available core.
 //!
 //! No external dependencies: the pool is `std::thread::scope` (the crates
-//! registry is unreachable in CI sandboxes) and the JSON is hand-emitted.
+//! registry is unreachable in CI sandboxes) and the JSON goes through the
+//! workspace's shared [`JsonValue`] serializer (`ipcp_sim::telemetry`).
 
 use std::collections::HashMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ipcp_sim::telemetry::JsonValue;
 use ipcp_sim::{CoreSetup, SimConfig, System};
 use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
@@ -188,19 +189,65 @@ pub struct ExperimentOutcome {
     pub wall: Duration,
     /// Where the captured text output was written.
     pub output_path: PathBuf,
+    /// The JSON data sidecar the experiment emitted, if one exists.
+    pub data_path: Option<PathBuf>,
     /// Spawn-level error, if the binary could not be executed at all.
     pub spawn_error: Option<String>,
+}
+
+impl ExperimentOutcome {
+    /// The outcome as a JSON object (the manifest entry / per-run `.json`
+    /// document). `wall_secs` is rounded to milliseconds.
+    pub fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj()
+            .set("name", self.name.as_str())
+            .set("ok", self.ok)
+            .set(
+                "exit_code",
+                self.exit_code.map_or(JsonValue::Null, JsonValue::from),
+            )
+            .set("wall_secs", round3(self.wall.as_secs_f64()))
+            .set("output", self.output_path.display().to_string())
+            .set(
+                "error",
+                self.spawn_error
+                    .as_deref()
+                    .map_or(JsonValue::Null, JsonValue::from),
+            );
+        if let Some(data) = &self.data_path {
+            v.insert("data", data.display().to_string());
+        }
+        v
+    }
+}
+
+/// Rounds to 3 decimals (the manifest's wall-clock precision).
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
 }
 
 /// Runs one experiment binary, capturing stdout+stderr to
 /// `<results_dir>/<name>.txt` (stdout first, as the serial shell loop's
 /// `>file 2>&1` did for these stdout-only binaries) and recording wall
-/// time and exit status.
-pub fn run_experiment(bin_dir: &Path, name: &str, results_dir: &Path) -> ExperimentOutcome {
+/// time and exit status. `extra_env` is applied to the child process (the
+/// driver uses it to default `IPCP_JSON` to the results directory); if the
+/// child leaves a `<name>.data.json` sidecar in `results_dir`, its path is
+/// recorded in the outcome.
+pub fn run_experiment(
+    bin_dir: &Path,
+    name: &str,
+    results_dir: &Path,
+    extra_env: &[(String, String)],
+) -> ExperimentOutcome {
     let output_path = results_dir.join(format!("{name}.txt"));
     let started = Instant::now();
-    let result = Command::new(bin_dir.join(name)).output();
+    let mut cmd = Command::new(bin_dir.join(name));
+    for (k, v) in extra_env {
+        cmd.env(k, v);
+    }
+    let result = cmd.output();
     let wall = started.elapsed();
+    let data_path = Some(results_dir.join(format!("{name}.data.json"))).filter(|p| p.exists());
     match result {
         Ok(out) => {
             let mut text = out.stdout;
@@ -213,6 +260,7 @@ pub fn run_experiment(bin_dir: &Path, name: &str, results_dir: &Path) -> Experim
                 ok,
                 wall,
                 output_path,
+                data_path,
                 spawn_error: write_err.map(|e| format!("writing output: {e}")),
             }
         }
@@ -222,51 +270,17 @@ pub fn run_experiment(bin_dir: &Path, name: &str, results_dir: &Path) -> Experim
             ok: false,
             wall,
             output_path,
+            data_path,
             spawn_error: Some(e.to_string()),
         },
     }
 }
 
-/// Escapes a string for embedding in a JSON document.
-pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn outcome_json(o: &ExperimentOutcome) -> String {
-    let exit = o.exit_code.map_or("null".to_string(), |c| c.to_string());
-    let err = o
-        .spawn_error
-        .as_deref()
-        .map_or("null".to_string(), |e| format!("\"{}\"", json_escape(e)));
-    format!(
-        concat!(
-            "{{\"name\": \"{}\", \"ok\": {}, \"exit_code\": {}, ",
-            "\"wall_secs\": {:.3}, \"output\": \"{}\", \"error\": {}}}"
-        ),
-        json_escape(&o.name),
-        o.ok,
-        exit,
-        o.wall.as_secs_f64(),
-        json_escape(&o.output_path.display().to_string()),
-        err,
-    )
-}
-
 /// Writes one `<results_dir>/<name>.json` per outcome plus the
 /// `<results_dir>/manifest.json` machine-readable summary. Outcomes appear
-/// in the manifest in the given (deterministic) order.
+/// in the manifest in the given (deterministic) order. The schema is
+/// unchanged from the hand-emitted days (`"schema": 1` preserved); the
+/// document is now assembled through the shared [`JsonValue`] serializer.
 ///
 /// # Errors
 ///
@@ -282,32 +296,24 @@ pub fn write_results_json(
     for o in outcomes {
         std::fs::write(
             results_dir.join(format!("{}.json", o.name)),
-            outcome_json(o) + "\n",
+            o.to_json().to_json_string() + "\n",
         )?;
     }
-    let mut f = std::fs::File::create(results_dir.join("manifest.json"))?;
-    writeln!(f, "{{")?;
-    writeln!(f, "  \"schema\": 1,")?;
-    writeln!(
-        f,
-        "  \"generated_by\": \"experiments driver (ipcp-tools)\","
-    )?;
-    writeln!(f, "  \"jobs\": {jobs},")?;
-    writeln!(f, "  \"scale\": \"{}\",", json_escape(scale_env))?;
-    writeln!(f, "  \"total_wall_secs\": {:.3},", total_wall.as_secs_f64())?;
-    writeln!(
-        f,
-        "  \"failed\": {},",
-        outcomes.iter().filter(|o| !o.ok).count()
-    )?;
-    writeln!(f, "  \"experiments\": [")?;
-    for (i, o) in outcomes.iter().enumerate() {
-        let sep = if i + 1 == outcomes.len() { "" } else { "," };
-        writeln!(f, "    {}{}", outcome_json(o), sep)?;
-    }
-    writeln!(f, "  ]")?;
-    writeln!(f, "}}")?;
-    Ok(())
+    let manifest = JsonValue::obj()
+        .set("schema", 1i64)
+        .set("generated_by", "experiments driver (ipcp-tools)")
+        .set("jobs", jobs)
+        .set("scale", scale_env)
+        .set("total_wall_secs", round3(total_wall.as_secs_f64()))
+        .set("failed", outcomes.iter().filter(|o| !o.ok).count())
+        .set(
+            "experiments",
+            JsonValue::Arr(outcomes.iter().map(ExperimentOutcome::to_json).collect()),
+        );
+    std::fs::write(
+        results_dir.join("manifest.json"),
+        manifest.to_pretty_string(),
+    )
 }
 
 #[cfg(test)]
@@ -397,13 +403,6 @@ mod tests {
     }
 
     #[test]
-    fn json_escape_handles_specials() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
-        assert_eq!(json_escape("plain"), "plain");
-    }
-
-    #[test]
     fn results_json_round_trip_shape() {
         let dir = std::env::temp_dir().join(format!("ipcp-harness-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -414,6 +413,7 @@ mod tests {
                 ok: true,
                 wall: Duration::from_millis(1234),
                 output_path: dir.join("fake_ok.txt"),
+                data_path: Some(dir.join("fake_ok.data.json")),
                 spawn_error: None,
             },
             ExperimentOutcome {
@@ -422,11 +422,14 @@ mod tests {
                 ok: false,
                 wall: Duration::from_millis(10),
                 output_path: dir.join("fake_bad.txt"),
-                spawn_error: None,
+                data_path: None,
+                spawn_error: Some("boom \"quoted\"".into()),
             },
         ];
         write_results_json(&dir, 3, "default", Duration::from_secs(2), &outcomes).unwrap();
         let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        // Substring compatibility with the hand-emitted schema.
+        assert!(manifest.contains("\"schema\": 1"));
         assert!(manifest.contains("\"jobs\": 3"));
         assert!(manifest.contains("\"failed\": 1"));
         assert!(manifest.contains("\"name\": \"fake_ok\""));
@@ -434,6 +437,27 @@ mod tests {
         let per_run = std::fs::read_to_string(dir.join("fake_ok.json")).unwrap();
         assert!(per_run.contains("\"ok\": true"));
         assert!(per_run.contains("\"wall_secs\": 1.234"));
+        // Structural round-trip through the shared parser: the manifest is
+        // well-formed JSON carrying the expected values, escapes included.
+        let m = JsonValue::parse(&manifest).unwrap();
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("jobs").unwrap().as_u64(), Some(3));
+        assert_eq!(m.get("scale").unwrap().as_str(), Some("default"));
+        assert_eq!(m.get("total_wall_secs").unwrap().as_f64(), Some(2.0));
+        let exps = m.get("experiments").unwrap().as_array().unwrap();
+        assert_eq!(exps.len(), 2);
+        assert_eq!(exps[0].get("name").unwrap().as_str(), Some("fake_ok"));
+        assert_eq!(exps[0].get("wall_secs").unwrap().as_f64(), Some(1.234));
+        assert!(exps[0].get("error").unwrap().is_null());
+        assert!(exps[0].get("data").unwrap().as_str().is_some());
+        assert_eq!(exps[1].get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            exps[1].get("error").unwrap().as_str(),
+            Some("boom \"quoted\"")
+        );
+        assert!(exps[1].get("data").is_none());
+        let p = JsonValue::parse(&per_run).unwrap();
+        assert_eq!(p.get("exit_code").unwrap().as_u64(), Some(0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -442,10 +466,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("ipcp-harness-miss-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let o = run_experiment(&dir, "no_such_binary", &dir);
+        let o = run_experiment(&dir, "no_such_binary", &dir, &[]);
         assert!(!o.ok);
         assert!(o.spawn_error.is_some());
         assert_eq!(o.exit_code, None);
+        assert_eq!(o.data_path, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

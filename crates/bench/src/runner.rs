@@ -1,9 +1,43 @@
-//! Shared experiment machinery for the figure/table binaries: run scales,
-//! speedup tables, geometric means, and simple aligned-column printing.
+//! Shared experiment machinery for the figure/table binaries.
+//!
+//! The centerpiece is the [`Experiment`] builder: a figure/table binary
+//! declares its name, runs simulations through the builder's helpers, and
+//! appends [`Table`]s and note lines. [`Experiment::finish`] then renders
+//! the same structure three ways:
+//!
+//! * **aligned text** on stdout (the historical, human-readable form —
+//!   byte-identical to the old per-binary `println!` output),
+//! * **CSV** per table when `IPCP_CSV=<dir>` is set,
+//! * a **JSON sidecar** (`<dir>/<name>.data.json`) when `IPCP_JSON=<dir>`
+//!   is set — schema below — carrying every table with *typed* cells plus
+//!   any interval time-series collected during the runs
+//!   (`IPCP_INTERVAL=<n>` enables the sampler for all runs made through
+//!   the builder).
+//!
+//! Sidecar schema (`schema: 1`):
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "name": "fig07_l1_only",
+//!   "scale": {"warmup": 100000, "instructions": 400000, "spec": "default"},
+//!   "tables": [{"title": "...", "columns": ["trace", ...],
+//!               "rows": [["gather", 1.234, ...], ...]}],
+//!   "notes": ["paper: ..."],
+//!   "series": [{"label": "gather/ipcp", "samples": [{"instructions": ...,
+//!               "ipc": ..., "l1d_mpki": ..., ...}, ...]}]
+//! }
+//! ```
+//!
+//! The free helpers (`run_combo`, `geomean`, `print_table`, `write_csv`,
+//! [`BaselineCache`]) remain available for tests and ad-hoc tools.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use ipcp_sim::telemetry::{JsonValue, ToJson};
 use ipcp_sim::{run_single, SimConfig, SimReport};
 use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
@@ -11,7 +45,7 @@ use ipcp_workloads::SynthTrace;
 use crate::combos;
 
 /// Warm-up / measured instruction counts for a run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunScale {
     /// Warm-up instructions per core.
     pub warmup: u64,
@@ -19,30 +53,91 @@ pub struct RunScale {
     pub instructions: u64,
 }
 
+/// A malformed `IPCP_SCALE` value, carrying the offending spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidScale {
+    /// The spec as given.
+    pub spec: String,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid IPCP_SCALE {:?}: {} (expected \"paper\" or \"<warmup>,<instructions>\")",
+            self.spec, self.reason
+        )
+    }
+}
+
+impl std::error::Error for InvalidScale {}
+
 impl RunScale {
-    /// The default quick scale: regenerates every figure in minutes. The
-    /// paper uses 50 M + 200 M; set `IPCP_SCALE=paper` for 10× deeper runs
-    /// (relative orderings are stable; see DESIGN.md §4), or
-    /// `IPCP_SCALE=<warmup>,<instructions>` for anything else.
-    pub fn from_env() -> Self {
-        match std::env::var("IPCP_SCALE").as_deref() {
-            Ok("paper") => Self {
-                warmup: 1_000_000,
-                instructions: 4_000_000,
-            },
-            Ok(spec) => {
-                let mut it = spec.split(',');
-                let w = it.next().and_then(|s| s.trim().parse().ok());
-                let i = it.next().and_then(|s| s.trim().parse().ok());
-                match (w, i) {
-                    (Some(w), Some(i)) => Self {
-                        warmup: w,
-                        instructions: i,
-                    },
-                    _ => Self::default(),
-                }
-            }
-            _ => Self::default(),
+    /// The paper-depth scale selected by `IPCP_SCALE=paper`.
+    pub const PAPER: Self = Self {
+        warmup: 1_000_000,
+        instructions: 4_000_000,
+    };
+
+    /// Parses an `IPCP_SCALE` spec: `paper`, or `<warmup>,<instructions>`.
+    ///
+    /// # Errors
+    ///
+    /// Any other shape — trailing fields, empty fields, unparseable
+    /// numbers, a zero measured count — is an error naming the offending
+    /// value; nothing silently falls back to the default.
+    pub fn parse(spec: &str) -> Result<Self, InvalidScale> {
+        let err = |reason: &str| InvalidScale {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        if spec.trim() == "paper" {
+            return Ok(Self::PAPER);
+        }
+        let fields: Vec<&str> = spec.split(',').collect();
+        if fields.len() != 2 {
+            return Err(err("expected exactly two comma-separated counts"));
+        }
+        let parse = |field: &str, what: &str| {
+            field.trim().parse::<u64>().map_err(|_| {
+                err(&format!(
+                    "cannot parse {what} {:?} as a count",
+                    field.trim()
+                ))
+            })
+        };
+        let warmup = parse(fields[0], "warm-up")?;
+        let instructions = parse(fields[1], "instruction count")?;
+        if instructions == 0 {
+            return Err(err("measured instruction count must be positive"));
+        }
+        Ok(Self {
+            warmup,
+            instructions,
+        })
+    }
+
+    /// The scale selected by the `IPCP_SCALE` environment variable, or the
+    /// default quick scale when unset. The default regenerates every figure
+    /// in minutes; the paper uses 50 M + 200 M — `IPCP_SCALE=paper` selects
+    /// 10× deeper runs (relative orderings are stable; see DESIGN.md §4)
+    /// and `IPCP_SCALE=<warmup>,<instructions>` anything else.
+    ///
+    /// # Errors
+    ///
+    /// A set-but-malformed value is an error (see [`RunScale::parse`]);
+    /// callers are expected to fail loudly rather than run at an
+    /// unintended scale.
+    pub fn from_env() -> Result<Self, InvalidScale> {
+        match std::env::var("IPCP_SCALE") {
+            Ok(spec) => Self::parse(&spec),
+            Err(std::env::VarError::NotPresent) => Ok(Self::default()),
+            Err(std::env::VarError::NotUnicode(_)) => Err(InvalidScale {
+                spec: "<non-unicode>".to_string(),
+                reason: "value is not valid unicode".to_string(),
+            }),
         }
     }
 }
@@ -56,7 +151,29 @@ impl Default for RunScale {
     }
 }
 
+/// The interval-sampler period selected by `IPCP_INTERVAL` (retired
+/// instructions per sample), or `None` when unset/empty.
+///
+/// # Panics
+///
+/// Panics (fails loudly) on a malformed or zero value — same policy as
+/// `IPCP_SCALE`.
+pub fn sample_interval_from_env() -> Option<u64> {
+    let v = std::env::var("IPCP_INTERVAL").ok()?;
+    if v.trim().is_empty() {
+        return None;
+    }
+    match v.trim().parse::<u64>() {
+        Ok(0) | Err(_) => {
+            panic!("invalid IPCP_INTERVAL {v:?}: expected a positive instruction count per sample")
+        }
+        Ok(n) => Some(n),
+    }
+}
+
 /// Runs one trace under a named combo with an optional config tweak.
+/// `IPCP_INTERVAL` (if set) enables the interval sampler before the tweak
+/// runs, so tweaks can still override it.
 pub fn run_combo_with(
     combo: &str,
     trace: &SynthTrace,
@@ -64,6 +181,7 @@ pub fn run_combo_with(
     tweak: impl FnOnce(&mut SimConfig),
 ) -> SimReport {
     let mut cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+    cfg.sample_interval = sample_interval_from_env();
     tweak(&mut cfg);
     let c = combos::build(combo);
     run_single(cfg, Arc::new(trace.clone()), c.l1, c.l2, c.llc)
@@ -83,7 +201,8 @@ pub fn run_custom(
     l2: Box<dyn ipcp_sim::prefetch::Prefetcher>,
     llc: Box<dyn ipcp_sim::prefetch::Prefetcher>,
 ) -> SimReport {
-    let cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+    let mut cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+    cfg.sample_interval = sample_interval_from_env();
     run_single(cfg, Arc::new(trace.clone()), l1, l2, llc)
 }
 
@@ -123,8 +242,156 @@ impl BaselineCache {
     }
 }
 
-/// Prints an aligned table: header row then data rows.
-pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+// ---------------------------------------------------------------------
+// Cells, tables, experiments
+// ---------------------------------------------------------------------
+
+/// One table cell: the exact text shown on stdout/CSV plus, for numeric
+/// cells, the typed value emitted in the JSON sidecar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// A plain text cell (trace names, storage formulas, ...).
+    Text(String),
+    /// A numeric cell: `text` is what stdout/CSV show, `value` is what the
+    /// sidecar carries.
+    Num {
+        /// Rendered form, e.g. `"1.234"` or `"87%"`.
+        text: String,
+        /// The underlying number.
+        value: f64,
+    },
+}
+
+impl Cell {
+    /// A text cell.
+    pub fn text(s: impl Into<String>) -> Self {
+        Self::Text(s.into())
+    }
+
+    /// A numeric cell with explicit rendering.
+    pub fn num(value: f64, text: impl Into<String>) -> Self {
+        Self::Num {
+            text: text.into(),
+            value,
+        }
+    }
+
+    /// A numeric cell rendered `{:.3}` — the speedup format.
+    pub fn f3(value: f64) -> Self {
+        Self::num(value, format!("{value:.3}"))
+    }
+
+    /// A numeric cell rendered `{:.2}`.
+    pub fn f2(value: f64) -> Self {
+        Self::num(value, format!("{value:.2}"))
+    }
+
+    /// An integer cell.
+    pub fn int(value: u64) -> Self {
+        Self::num(value as f64, value.to_string())
+    }
+
+    /// A percentage cell: `value` is in percent and rendered with
+    /// `decimals` fraction digits plus a `%` sign.
+    pub fn pct(value: f64, decimals: usize) -> Self {
+        Self::num(value, format!("{value:.decimals$}%"))
+    }
+
+    /// The rendered text (stdout / CSV form).
+    pub fn as_text(&self) -> &str {
+        match self {
+            Self::Text(s) => s,
+            Self::Num { text, .. } => text,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Self::Text(s) => JsonValue::Str(s.clone()),
+            Self::Num { value, .. } => {
+                // Integral values serialize as JSON integers so counters
+                // stay exact and diffs stay clean.
+                if value.fract() == 0.0 && value.abs() < 9e15 {
+                    JsonValue::Int(*value as i64)
+                } else {
+                    JsonValue::Num(*value)
+                }
+            }
+        }
+    }
+}
+
+/// One titled table: columns plus typed rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title, printed as `== title`.
+    pub title: String,
+    /// Subtitle lines printed verbatim under the title (e.g. the scale
+    /// note); not part of the CSV/JSON payload.
+    pub subtitles: Vec<String>,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// A new empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            subtitles: Vec::new(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a subtitle line (builder style).
+    #[must_use]
+    pub fn subtitle(mut self, line: impl Into<String>) -> Self {
+        self.subtitles.push(line.into());
+        self
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<Cell>) {
+        self.rows.push(cells);
+    }
+
+    fn text_rows(&self) -> Vec<Vec<String>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|c| c.as_text().to_string()).collect())
+            .collect()
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("title", self.title.as_str())
+            .set(
+                "columns",
+                JsonValue::Arr(
+                    self.columns
+                        .iter()
+                        .map(|c| JsonValue::Str(c.clone()))
+                        .collect(),
+                ),
+            )
+            .set(
+                "rows",
+                JsonValue::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| JsonValue::Arr(r.iter().map(Cell::to_json).collect()))
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// Renders an aligned table (header, dash rule, rows) to a string — the
+/// workspace's canonical text-table form.
+pub fn format_table(header: &[String], rows: &[Vec<String>]) -> String {
     let cols = header.len();
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
@@ -132,99 +399,406 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
             widths[i] = widths[i].max(cell.len());
         }
     }
-    let print_row = |row: &[String]| {
+    let fmt_row = |row: &[String]| {
         let cells: Vec<String> = row
             .iter()
             .enumerate()
             .map(|(i, c)| format!("{:>width$}", c, width = widths[i.min(cols - 1)]))
             .collect();
-        println!("{}", cells.join("  "));
+        cells.join("  ")
     };
-    print_row(header);
-    println!(
-        "{}",
-        widths
+    let mut out = String::new();
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    out.push_str(
+        &widths
             .iter()
             .map(|w| "-".repeat(*w))
             .collect::<Vec<_>>()
-            .join("  ")
+            .join("  "),
     );
+    out.push('\n');
     for row in rows {
-        print_row(row);
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints an aligned table: header row then data rows.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    print!("{}", format_table(header, rows));
+}
+
+/// An ordered output item of an experiment.
+#[derive(Debug, Clone, PartialEq)]
+enum Item {
+    Table(Table),
+    Note(String),
+    Blank,
+}
+
+/// A labeled interval time-series collected from one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+struct SeriesEntry {
+    label: String,
+    samples: Vec<ipcp_sim::telemetry::Sample>,
+}
+
+/// One figure/table experiment: owns the run scale, the baseline cache,
+/// and the ordered output (tables and notes), and renders everything on
+/// [`Experiment::finish`]. See the module docs for the three output forms.
+pub struct Experiment {
+    name: String,
+    scale: RunScale,
+    /// The raw `IPCP_SCALE` spec, or `None` when the scale came from the
+    /// default (possibly overridden by [`Experiment::default_scale`]).
+    scale_spec: Option<String>,
+    baselines: BaselineCache,
+    items: Vec<Item>,
+    series: Vec<SeriesEntry>,
+}
+
+impl Experiment {
+    /// Starts an experiment, resolving the scale from `IPCP_SCALE`. On a
+    /// malformed value this prints the offending spec and exits with
+    /// status 2 — experiments must never silently run at the wrong scale.
+    pub fn new(name: &str) -> Self {
+        let (scale, scale_spec) = match RunScale::from_env() {
+            Ok(s) => (s, std::env::var("IPCP_SCALE").ok()),
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(2);
+            }
+        };
+        Self::with_scale_spec(name, scale, scale_spec)
+    }
+
+    /// Starts an experiment at an explicit scale, ignoring the environment
+    /// (used by tests).
+    pub fn with_scale(name: &str, scale: RunScale) -> Self {
+        Self::with_scale_spec(name, scale, None)
+    }
+
+    fn with_scale_spec(name: &str, scale: RunScale, scale_spec: Option<String>) -> Self {
+        Self {
+            name: name.to_string(),
+            scale,
+            scale_spec,
+            baselines: BaselineCache::new(),
+            items: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// The experiment name (binary name, sidecar stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The resolved run scale.
+    pub fn scale(&self) -> RunScale {
+        self.scale
+    }
+
+    /// Overrides the scale used when `IPCP_SCALE` is *unset* — for
+    /// experiments whose defaults differ from the global quick scale
+    /// (fig15's mixes, ext_temporal's long recurrence distances). An
+    /// explicit `IPCP_SCALE` still wins.
+    pub fn default_scale(&mut self, scale: RunScale) {
+        if self.scale_spec.is_none() {
+            self.scale = scale;
+        }
+    }
+
+    // -- running simulations ------------------------------------------
+
+    /// Runs `trace` under `combo` at the experiment scale, collecting any
+    /// interval series under the label `<trace>/<combo>`.
+    pub fn run_combo(&mut self, combo: &str, trace: &SynthTrace) -> SimReport {
+        self.run_combo_with(combo, trace, |_| {})
+    }
+
+    /// [`Experiment::run_combo`] with a config tweak.
+    pub fn run_combo_with(
+        &mut self,
+        combo: &str,
+        trace: &SynthTrace,
+        tweak: impl FnOnce(&mut SimConfig),
+    ) -> SimReport {
+        let r = run_combo_with(combo, trace, self.scale, tweak);
+        self.attach_series(format!("{}/{combo}", trace.name()), &r);
+        r
+    }
+
+    /// Runs explicitly constructed prefetchers, labeling any series
+    /// `<trace>/<label>`.
+    pub fn run_custom(
+        &mut self,
+        label: &str,
+        trace: &SynthTrace,
+        l1: Box<dyn ipcp_sim::prefetch::Prefetcher>,
+        l2: Box<dyn ipcp_sim::prefetch::Prefetcher>,
+        llc: Box<dyn ipcp_sim::prefetch::Prefetcher>,
+    ) -> SimReport {
+        let r = run_custom(trace, self.scale, l1, l2, llc);
+        self.attach_series(format!("{}/{label}", trace.name()), &r);
+        r
+    }
+
+    /// The cached no-prefetching baseline report for a trace.
+    pub fn baseline(&mut self, trace: &SynthTrace) -> SimReport {
+        self.baselines.get(trace, self.scale).clone()
+    }
+
+    /// The cached no-prefetching baseline IPC for a trace.
+    pub fn baseline_ipc(&mut self, trace: &SynthTrace) -> f64 {
+        self.baselines.get(trace, self.scale).ipc()
+    }
+
+    /// Attaches a report's interval time-series (if any) to the sidecar
+    /// under `label`. Runs made through the experiment helpers attach
+    /// automatically; use this for reports produced by hand-rolled
+    /// [`ipcp_sim::System`] setups.
+    pub fn attach_series(&mut self, label: impl Into<String>, report: &SimReport) {
+        if !report.samples.is_empty() {
+            self.series.push(SeriesEntry {
+                label: label.into(),
+                samples: report.samples.clone(),
+            });
+        }
+    }
+
+    // -- collecting output --------------------------------------------
+
+    /// Appends a table.
+    pub fn table(&mut self, table: Table) {
+        self.items.push(Item::Table(table));
+    }
+
+    /// Appends a free-form note line (the `paper: ...` footers).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.items.push(Item::Note(line.into()));
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.items.push(Item::Blank);
+    }
+
+    /// The standard speedup comparison: every trace × every combo,
+    /// normalized to no prefetching, as a table with a geomean footer.
+    /// Returns per-combo speedup lists in trace order.
+    ///
+    /// The (trace × combo) simulations — including the per-trace
+    /// baselines — are independent, so they fan out across `IPCP_JOBS`
+    /// workers through [`crate::harness::parallel_map`]. Results are
+    /// assembled in input order and every simulation is deterministic, so
+    /// the output is byte-identical for any worker count.
+    pub fn speedup_comparison(
+        &mut self,
+        title: &str,
+        traces: &[SynthTrace],
+        combo_names: &[&str],
+    ) -> HashMap<String, Vec<f64>> {
+        let scale = self.scale;
+        // One baseline job per trace, then one job per (trace, combo).
+        let mut jobs: Vec<(SynthTrace, String)> = Vec::new();
+        for trace in traces {
+            jobs.push((trace.clone(), "none".to_string()));
+            for &combo in combo_names {
+                jobs.push((trace.clone(), combo.to_string()));
+            }
+        }
+        let reports = crate::harness::parallel_map(
+            crate::harness::jobs_from_env(),
+            jobs.clone(),
+            |(t, c)| run_combo(&c, &t, scale),
+        );
+        for ((trace, combo), report) in jobs.iter().zip(&reports) {
+            self.attach_series(format!("{}/{combo}", trace.name()), report);
+        }
+        let mut results: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut columns = vec!["trace"];
+        columns.extend_from_slice(combo_names);
+        let mut table = Table::new(title, &columns).subtitle(format!(
+            "   (scale: {}k warm-up + {}k measured instructions; speedups normalized to no prefetching)",
+            scale.warmup / 1000,
+            scale.instructions / 1000
+        ));
+        let per_trace = 1 + combo_names.len();
+        for (ti, trace) in traces.iter().enumerate() {
+            let base_ipc = reports[ti * per_trace].ipc();
+            let mut row = vec![Cell::text(trace.name())];
+            for (ci, &combo) in combo_names.iter().enumerate() {
+                let sp = reports[ti * per_trace + 1 + ci].ipc() / base_ipc;
+                results.entry(combo.to_string()).or_default().push(sp);
+                row.push(Cell::f3(sp));
+            }
+            table.row(row);
+        }
+        let mut footer = vec![Cell::text("GEOMEAN")];
+        for &combo in combo_names {
+            footer.push(Cell::f3(geomean(&results[combo])));
+        }
+        table.row(footer);
+        self.table(table);
+        results
+    }
+
+    // -- rendering -----------------------------------------------------
+
+    /// The aligned-text rendering (exactly what `finish` prints).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                Item::Table(t) => {
+                    out.push_str(&format!("== {}\n", t.title));
+                    for s in &t.subtitles {
+                        out.push_str(s);
+                        out.push('\n');
+                    }
+                    out.push_str(&format_table(&t.columns, &t.text_rows()));
+                }
+                Item::Note(line) => {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                Item::Blank => out.push('\n'),
+            }
+        }
+        out
+    }
+
+    /// The JSON sidecar document.
+    pub fn sidecar_json(&self) -> JsonValue {
+        let mut v = JsonValue::obj()
+            .set("schema", 1i64)
+            .set("name", self.name.as_str())
+            .set(
+                "scale",
+                JsonValue::obj()
+                    .set("warmup", self.scale.warmup)
+                    .set("instructions", self.scale.instructions)
+                    .set(
+                        "spec",
+                        self.scale_spec.clone().unwrap_or_else(|| "default".into()),
+                    ),
+            )
+            .set(
+                "tables",
+                JsonValue::Arr(
+                    self.items
+                        .iter()
+                        .filter_map(|i| match i {
+                            Item::Table(t) => Some(t.to_json()),
+                            _ => None,
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "notes",
+                JsonValue::Arr(
+                    self.items
+                        .iter()
+                        .filter_map(|i| match i {
+                            Item::Note(line) => Some(JsonValue::Str(line.clone())),
+                            _ => None,
+                        })
+                        .collect(),
+                ),
+            );
+        if !self.series.is_empty() {
+            v.insert(
+                "series",
+                JsonValue::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            JsonValue::obj().set("label", s.label.as_str()).set(
+                                "samples",
+                                JsonValue::Arr(s.samples.iter().map(ToJson::to_json).collect()),
+                            )
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        v
+    }
+
+    /// Writes the JSON sidecar to `<dir>/<name>.data.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_sidecar(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.data.json", self.name));
+        std::fs::write(&path, self.sidecar_json().to_pretty_string())?;
+        Ok(path)
+    }
+
+    /// Writes each table as `<dir>/<slug>.csv` (slug: title with
+    /// non-alphanumerics mapped to `_`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the files.
+    pub fn write_csvs(&self, dir: &Path) -> std::io::Result<()> {
+        for item in &self.items {
+            let Item::Table(t) = item else { continue };
+            let slug: String = t
+                .title
+                .chars()
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            write_csv(
+                &Path::new(dir).join(format!("{slug}.csv")),
+                &t.columns,
+                &t.text_rows(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Renders everything: aligned text to stdout, CSVs when
+    /// `IPCP_CSV=<dir>` is set, the JSON sidecar when `IPCP_JSON=<dir>` is
+    /// set (an empty value disables it). Render failures on the CSV/JSON
+    /// side paths warn but do not fail the experiment.
+    pub fn finish(self) {
+        print!("{}", self.render_text());
+        if let Some(dir) = env_dir("IPCP_CSV") {
+            if let Err(e) = self.write_csvs(&dir) {
+                eprintln!("warning: could not write CSVs to {}: {e}", dir.display());
+            }
+        }
+        if let Some(dir) = env_dir("IPCP_JSON") {
+            if let Err(e) = self.write_sidecar(&dir) {
+                eprintln!(
+                    "warning: could not write {}.data.json to {}: {e}",
+                    self.name,
+                    dir.display()
+                );
+            }
+        }
     }
 }
 
-/// Runs the standard speedup comparison: every trace × every combo,
-/// normalized to no prefetching. Returns (per-combo speedup lists in trace
-/// order) and prints a table with a geomean footer.
-///
-/// The (trace × combo) simulations — including the per-trace baselines —
-/// are independent, so they fan out across `IPCP_JOBS` workers through
-/// [`crate::harness::parallel_map`]. Results are assembled in input order
-/// and every simulation is deterministic, so the printed table is
-/// byte-identical for any worker count.
-pub fn speedup_comparison(
-    title: &str,
-    traces: &[SynthTrace],
-    combo_names: &[&str],
-    scale: RunScale,
-) -> HashMap<String, Vec<f64>> {
-    println!("== {title}");
-    println!(
-        "   (scale: {}k warm-up + {}k measured instructions; speedups normalized to no prefetching)",
-        scale.warmup / 1000,
-        scale.instructions / 1000
-    );
-    // One baseline job per trace, then one job per (trace, combo).
-    let mut jobs: Vec<(SynthTrace, String)> = Vec::new();
-    for trace in traces {
-        jobs.push((trace.clone(), "none".to_string()));
-        for &combo in combo_names {
-            jobs.push((trace.clone(), combo.to_string()));
-        }
+/// A directory-valued env knob: set and non-empty ⇒ `Some(path)`.
+fn env_dir(var: &str) -> Option<PathBuf> {
+    match std::env::var_os(var) {
+        Some(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
     }
-    let reports = crate::harness::parallel_map(crate::harness::jobs_from_env(), jobs, |(t, c)| {
-        run_combo(&c, &t, scale)
-    });
-    let mut results: HashMap<String, Vec<f64>> = HashMap::new();
-    let mut rows = Vec::new();
-    let per_trace = 1 + combo_names.len();
-    for (ti, trace) in traces.iter().enumerate() {
-        let base_ipc = reports[ti * per_trace].ipc();
-        let mut row = vec![trace.name().to_string()];
-        for (ci, &combo) in combo_names.iter().enumerate() {
-            let sp = reports[ti * per_trace + 1 + ci].ipc() / base_ipc;
-            results.entry(combo.to_string()).or_default().push(sp);
-            row.push(format!("{sp:.3}"));
-        }
-        rows.push(row);
-    }
-    let mut footer = vec!["GEOMEAN".to_string()];
-    for &combo in combo_names {
-        footer.push(format!("{:.3}", geomean(&results[combo])));
-    }
-    rows.push(footer);
-    let mut header = vec!["trace".to_string()];
-    header.extend(combo_names.iter().map(|s| s.to_string()));
-    print_table(&header, &rows);
-    // Machine-readable copy when requested (IPCP_CSV=<dir>).
-    if let Ok(dir) = std::env::var("IPCP_CSV") {
-        let slug: String = title
-            .chars()
-            .map(|c| {
-                if c.is_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        let path = std::path::Path::new(&dir).join(format!("{slug}.csv"));
-        if let Err(e) = write_csv(&path, &header, &rows) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        }
-    }
-    results
 }
 
 /// Writes a header + rows as CSV.
@@ -260,11 +834,48 @@ mod tests {
     }
 
     #[test]
-    fn scale_from_env_spec() {
-        // Direct parse path (env not set in tests — exercise default).
-        let s = RunScale::default();
-        assert_eq!(s.warmup, 100_000);
-        assert_eq!(s.instructions, 400_000);
+    fn scale_parse_accepts_valid_specs() {
+        assert_eq!(RunScale::parse("paper").unwrap(), RunScale::PAPER);
+        assert_eq!(
+            RunScale::parse("10000,40000").unwrap(),
+            RunScale {
+                warmup: 10_000,
+                instructions: 40_000
+            }
+        );
+        assert_eq!(
+            RunScale::parse(" 5000 , 20000 ").unwrap(),
+            RunScale {
+                warmup: 5_000,
+                instructions: 20_000
+            }
+        );
+    }
+
+    /// Satellite regression: malformed IPCP_SCALE values must be errors
+    /// carrying the offending spec, never silent defaults.
+    #[test]
+    fn scale_parse_rejects_malformed_specs() {
+        for bad in [
+            "paper,",
+            "",
+            ",",
+            "10000",
+            "10a,40000",
+            "10000,40b",
+            "1,2,3",
+            "10000,",
+            ",40000",
+            "10000,0",
+            "-5,100",
+        ] {
+            let err = RunScale::parse(bad).unwrap_err();
+            assert_eq!(err.spec, bad, "error must carry the offending value");
+            assert!(
+                err.to_string().contains(&format!("{bad:?}")),
+                "message must show the spec: {err}"
+            );
+        }
     }
 
     #[test]
@@ -291,5 +902,142 @@ mod tests {
         let r = run_combo("ipcp", &traces[1], scale);
         assert!(r.ipc() > 0.0);
         assert!(r.cores[0].l1d.pf_issued > 0);
+    }
+
+    #[test]
+    fn format_table_aligns_and_rules() {
+        let header = vec!["trace".to_string(), "ipcp".to_string()];
+        let rows = vec![
+            vec!["gather".to_string(), "1.234".to_string()],
+            vec!["s".to_string(), "0.9".to_string()],
+        ];
+        let out = format_table(&header, &rows);
+        assert_eq!(
+            out,
+            " trace   ipcp\n------  -----\ngather  1.234\n     s    0.9\n"
+        );
+    }
+
+    #[test]
+    fn experiment_renders_items_in_order() {
+        let mut exp = Experiment::with_scale("demo", RunScale::default());
+        let mut t = Table::new("Demo table", &["trace", "x"]).subtitle("   (sub)");
+        t.row(vec![Cell::text("a"), Cell::f3(1.5)]);
+        exp.table(t);
+        exp.blank();
+        exp.note("paper: demo note");
+        let text = exp.render_text();
+        assert_eq!(
+            text,
+            "== Demo table\n   (sub)\ntrace      x\n-----  -----\n    a  1.500\n\npaper: demo note\n"
+        );
+    }
+
+    #[test]
+    fn experiment_sidecar_schema() {
+        let mut exp = Experiment::with_scale(
+            "demo",
+            RunScale {
+                warmup: 5_000,
+                instructions: 20_000,
+            },
+        );
+        let mut t = Table::new("Demo table", &["trace", "speedup", "count", "share"]);
+        t.row(vec![
+            Cell::text("a"),
+            Cell::f3(1.2345),
+            Cell::int(42),
+            Cell::pct(87.3, 1),
+        ]);
+        exp.table(t);
+        exp.note("n1");
+        let j = exp.sidecar_json();
+        assert_eq!(j.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("name").unwrap().as_str(), Some("demo"));
+        let scale = j.get("scale").unwrap();
+        assert_eq!(scale.get("warmup").unwrap().as_u64(), Some(5_000));
+        assert_eq!(scale.get("spec").unwrap().as_str(), Some("default"));
+        let tables = j.get("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables.len(), 1);
+        let row = &tables[0].get("rows").unwrap().as_array().unwrap()[0];
+        let cells = row.as_array().unwrap();
+        assert_eq!(cells[0].as_str(), Some("a"));
+        assert_eq!(cells[1].as_f64(), Some(1.2345));
+        assert_eq!(cells[2].as_u64(), Some(42), "integral cells are integers");
+        assert_eq!(cells[3].as_f64(), Some(87.3), "pct cells carry percent");
+        assert!(j.get("series").is_none(), "no runs ⇒ no series key");
+        // The document survives a parse round-trip.
+        let rendered = j.to_pretty_string();
+        assert_eq!(
+            JsonValue::parse(&rendered).unwrap().to_pretty_string(),
+            rendered
+        );
+    }
+
+    #[test]
+    fn experiment_sidecar_writes_to_disk() {
+        let dir = std::env::temp_dir().join(format!("ipcp-sidecar-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut exp = Experiment::with_scale("demo_exp", RunScale::default());
+        exp.table(Table::new("T", &["a"]));
+        let path = exp.write_sidecar(&dir).unwrap();
+        assert_eq!(path, dir.join("demo_exp.data.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("demo_exp"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn experiment_collects_series_from_sampled_runs() {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let mut exp = Experiment::with_scale(
+            "series_demo",
+            RunScale {
+                warmup: 2_000,
+                instructions: 10_000,
+            },
+        );
+        // No IPCP_INTERVAL in the test env: enable sampling via the tweak.
+        let r = exp.run_combo_with("ipcp", &traces[0], |cfg| {
+            cfg.sample_interval = Some(2_000);
+        });
+        assert!(!r.samples.is_empty());
+        let j = exp.sidecar_json();
+        let series = j.get("series").unwrap().as_array().unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(
+            series[0].get("label").unwrap().as_str(),
+            Some(format!("{}/ipcp", traces[0].name()).as_str())
+        );
+        let samples = series[0].get("samples").unwrap().as_array().unwrap();
+        assert_eq!(samples.len(), r.samples.len());
+        for key in ["instructions", "ipc", "l1d_mpki", "dram_bus_utilization"] {
+            assert!(samples[0].get(key).is_some(), "sample missing {key}");
+        }
+    }
+
+    #[test]
+    fn default_scale_yields_to_explicit_env_spec() {
+        let mut exp = Experiment::with_scale_spec(
+            "demo",
+            RunScale {
+                warmup: 1,
+                instructions: 2,
+            },
+            Some("1,2".into()),
+        );
+        exp.default_scale(RunScale::PAPER);
+        assert_eq!(
+            exp.scale(),
+            RunScale {
+                warmup: 1,
+                instructions: 2
+            },
+            "explicit IPCP_SCALE wins over an experiment default"
+        );
+        let mut exp = Experiment::with_scale("demo", RunScale::default());
+        exp.default_scale(RunScale::PAPER);
+        assert_eq!(exp.scale(), RunScale::PAPER);
     }
 }

@@ -196,6 +196,10 @@ pub struct SimConfig {
     pub sim_instructions: u64,
     /// Seed for the virtual-memory page mapper.
     pub vmem_seed: u64,
+    /// Interval-sampler period in retired instructions (core 0's measured
+    /// count). `None` (the default) disables sampling entirely; the report
+    /// then carries no time-series and matches pre-sampler output exactly.
+    pub sample_interval: Option<u64>,
 }
 
 impl Default for SimConfig {
@@ -248,6 +252,7 @@ impl Default for SimConfig {
             warmup_instructions: 200_000,
             sim_instructions: 1_000_000,
             vmem_seed: 0x1bc9,
+            sample_interval: None,
         }
     }
 }
@@ -280,6 +285,19 @@ impl SimConfig {
     #[must_use]
     pub fn with_llc_replacement(mut self, kind: ReplacementKind) -> Self {
         self.llc.replacement = kind;
+        self
+    }
+
+    /// Enables the interval sampler: one time-series point every `interval`
+    /// retired instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval.
+    #[must_use]
+    pub fn with_sample_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "sample interval must be positive");
+        self.sample_interval = Some(interval);
         self
     }
 }

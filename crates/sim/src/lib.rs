@@ -41,6 +41,7 @@ pub mod prefetch;
 pub mod replacement;
 pub mod stats;
 pub mod system;
+pub mod telemetry;
 pub mod tlb;
 pub mod vmem;
 
@@ -49,3 +50,4 @@ pub use config::{
 };
 pub use stats::{CacheStats, CoreReport, CoreStats, DramStats, SimReport, TlbStats};
 pub use system::{run_single, weighted_speedup, CoreSetup, System};
+pub use telemetry::{JsonValue, Sample, Sampler, ToJson};

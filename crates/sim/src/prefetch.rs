@@ -210,9 +210,18 @@ impl VecSink {
         }
     }
 
-    /// Drains the collected requests.
+    /// Drains the collected requests and resets the drop counter, so a
+    /// reused sink starts the next collection round clean.
     pub fn take(&mut self) -> Vec<PrefetchRequest> {
+        self.dropped = 0;
         std::mem::take(&mut self.requests)
+    }
+
+    /// Drains the collected requests *and* the drop count accumulated since
+    /// the last drain, for callers that account for capacity drops.
+    pub fn take_all(&mut self) -> (Vec<PrefetchRequest>, u64) {
+        let dropped = std::mem::take(&mut self.dropped);
+        (std::mem::take(&mut self.requests), dropped)
     }
 }
 
@@ -390,6 +399,27 @@ mod tests {
         assert_eq!(s.dropped, 1);
         assert_eq!(s.take().len(), 2);
         assert!(s.requests.is_empty());
+        // `take` resets the drop counter: a reused sink does not carry
+        // drops from the previous round into the next one.
+        assert_eq!(s.dropped, 0);
+        assert!(s.prefetch(PrefetchRequest::l1(LineAddr::new(4))));
+        assert_eq!(s.dropped, 0);
+    }
+
+    #[test]
+    fn vec_sink_take_all_returns_round_drops() {
+        let mut s = VecSink::with_capacity(1);
+        assert!(s.prefetch(PrefetchRequest::l1(LineAddr::new(1))));
+        assert!(!s.prefetch(PrefetchRequest::l1(LineAddr::new(2))));
+        assert!(!s.prefetch(PrefetchRequest::l1(LineAddr::new(3))));
+        let (reqs, dropped) = s.take_all();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(dropped, 2);
+        // Next round starts clean.
+        assert!(s.prefetch(PrefetchRequest::l1(LineAddr::new(4))));
+        let (reqs, dropped) = s.take_all();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(dropped, 0);
     }
 
     #[test]

@@ -83,6 +83,76 @@ impl CacheStats {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Adds another stats block counter-by-counter (aggregating private
+    /// caches across cores for the interval sampler).
+    pub fn accumulate(&mut self, other: &Self) {
+        self.demand_accesses += other.demand_accesses;
+        self.demand_hits += other.demand_hits;
+        self.demand_misses += other.demand_misses;
+        self.late_prefetch_hits += other.late_prefetch_hits;
+        self.useful_prefetch_hits += other.useful_prefetch_hits;
+        self.pf_issued += other.pf_issued;
+        self.pf_dropped_pq_full += other.pf_dropped_pq_full;
+        self.pf_dropped_present += other.pf_dropped_present;
+        self.pf_dropped_mshr_full += other.pf_dropped_mshr_full;
+        self.pf_fills += other.pf_fills;
+        self.pf_useless_evicted += other.pf_useless_evicted;
+        self.writebacks += other.writebacks;
+        self.mshr_full_rejects += other.mshr_full_rejects;
+        self.miss_latency_sum += other.miss_latency_sum;
+        self.merge_wait_sum += other.merge_wait_sum;
+        for i in 0..PF_CLASSES {
+            self.useful_by_class[i] += other.useful_by_class[i];
+            self.fills_by_class[i] += other.fills_by_class[i];
+        }
+    }
+
+    /// Counter-by-counter difference `self - earlier` (saturating), giving
+    /// the activity of one sampling interval from two cumulative snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &Self) -> Self {
+        let mut d = Self {
+            demand_accesses: self.demand_accesses.saturating_sub(earlier.demand_accesses),
+            demand_hits: self.demand_hits.saturating_sub(earlier.demand_hits),
+            demand_misses: self.demand_misses.saturating_sub(earlier.demand_misses),
+            late_prefetch_hits: self
+                .late_prefetch_hits
+                .saturating_sub(earlier.late_prefetch_hits),
+            useful_prefetch_hits: self
+                .useful_prefetch_hits
+                .saturating_sub(earlier.useful_prefetch_hits),
+            pf_issued: self.pf_issued.saturating_sub(earlier.pf_issued),
+            pf_dropped_pq_full: self
+                .pf_dropped_pq_full
+                .saturating_sub(earlier.pf_dropped_pq_full),
+            pf_dropped_present: self
+                .pf_dropped_present
+                .saturating_sub(earlier.pf_dropped_present),
+            pf_dropped_mshr_full: self
+                .pf_dropped_mshr_full
+                .saturating_sub(earlier.pf_dropped_mshr_full),
+            pf_fills: self.pf_fills.saturating_sub(earlier.pf_fills),
+            pf_useless_evicted: self
+                .pf_useless_evicted
+                .saturating_sub(earlier.pf_useless_evicted),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            mshr_full_rejects: self
+                .mshr_full_rejects
+                .saturating_sub(earlier.mshr_full_rejects),
+            miss_latency_sum: self
+                .miss_latency_sum
+                .saturating_sub(earlier.miss_latency_sum),
+            merge_wait_sum: self.merge_wait_sum.saturating_sub(earlier.merge_wait_sum),
+            ..Self::default()
+        };
+        for i in 0..PF_CLASSES {
+            d.useful_by_class[i] =
+                self.useful_by_class[i].saturating_sub(earlier.useful_by_class[i]);
+            d.fills_by_class[i] = self.fills_by_class[i].saturating_sub(earlier.fills_by_class[i]);
+        }
+        d
+    }
 }
 
 /// DRAM statistics.
@@ -184,6 +254,9 @@ pub struct SimReport {
     pub dram: DramStats,
     /// Total cycles simulated in the measured phase.
     pub cycles: u64,
+    /// Interval time-series (empty unless `SimConfig::sample_interval` is
+    /// set — see [`crate::telemetry::Sampler`]).
+    pub samples: Vec<crate::telemetry::Sample>,
 }
 
 impl SimReport {

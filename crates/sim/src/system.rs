@@ -26,6 +26,7 @@ use crate::prefetch::{
     VecSink,
 };
 use crate::stats::{CoreReport, CoreStats, SimReport};
+use crate::telemetry::{Occupancy, Sampler, Snapshot};
 use crate::tlb::Tlb;
 use crate::vmem::PageMapper;
 
@@ -162,6 +163,9 @@ pub struct System {
     dram: Dram,
     warmed_up: bool,
     last_retire_cycle: Cycle,
+    /// Interval sampler (`None` unless `cfg.sample_interval` is set — the
+    /// disabled path costs one `Option` check per cycle).
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for System {
@@ -220,6 +224,7 @@ impl System {
             .collect();
         let llc = Cache::new(&cfg.llc, cfg.cores);
         let dram = Dram::new(cfg.dram.clone());
+        let sampler = cfg.sample_interval.map(Sampler::new);
         Self {
             cfg,
             now: 0,
@@ -229,6 +234,7 @@ impl System {
             dram,
             warmed_up: false,
             last_retire_cycle: 0,
+            sampler,
         }
     }
 
@@ -249,8 +255,11 @@ impl System {
             {
                 self.finish_warmup();
             }
-            if self.warmed_up && self.cores.iter().all(|c| c.finished.is_some()) {
-                break;
+            if self.warmed_up {
+                self.maybe_sample();
+                if self.cores.iter().all(|c| c.finished.is_some()) {
+                    break;
+                }
             }
             if activity {
                 self.now += 1;
@@ -281,6 +290,50 @@ impl System {
         }
         self.llc.reset_stats();
         self.dram.stats.reset();
+        if let Some(s) = &mut self.sampler {
+            s.reset_baseline();
+        }
+    }
+
+    /// Records an interval sample when core 0's measured instruction count
+    /// has crossed the next sampling point. Private-cache counters are
+    /// aggregated across cores; occupancies are instantaneous.
+    fn maybe_sample(&mut self) {
+        let marker = match (&self.sampler, self.cores.first()) {
+            (Some(s), Some(c0)) => {
+                let marker = c0.retired_total - c0.measure_start_instr;
+                if !s.due(marker) {
+                    return;
+                }
+                marker
+            }
+            _ => return,
+        };
+        let mut shot = Snapshot {
+            cycles: self.now - self.cores[0].measure_start_cycle,
+            llc: self.llc.stats,
+            dram_busy: self.dram.stats.bus_busy_cycles,
+            ..Snapshot::default()
+        };
+        let mut occ = Occupancy {
+            llc_pq: self.llc.pq_len() as u32,
+            llc_mshr: self.llc.mshr_occupancy() as u32,
+            ..Occupancy::default()
+        };
+        for c in &self.cores {
+            shot.instructions += c.retired_total - c.measure_start_instr;
+            shot.l1d.accumulate(&c.l1d.stats);
+            shot.l2.accumulate(&c.l2.stats);
+            occ.l1d_pq += c.l1d.pq_len() as u32;
+            occ.l1d_mshr += c.l1d.mshr_occupancy() as u32;
+            occ.l2_pq += c.l2.pq_len() as u32;
+            occ.l2_mshr += c.l2.mshr_occupancy() as u32;
+        }
+        let channels = self.cfg.dram.channels;
+        self.sampler
+            .as_mut()
+            .expect("sampler checked above")
+            .record(marker, shot, occ, channels);
     }
 
     fn report(&self) -> SimReport {
@@ -305,6 +358,10 @@ impl System {
             llc: self.llc.stats,
             dram: self.dram.stats,
             cycles: self.now - self.cores.first().map_or(0, |c| c.measure_start_cycle),
+            samples: self
+                .sampler
+                .as_ref()
+                .map_or_else(Vec::new, |s| s.samples().to_vec()),
         }
     }
 
@@ -1435,6 +1492,60 @@ mod tests {
             assert!(c.core.instructions >= 5_000);
             assert!(c.core.ipc() > 0.0);
         }
+    }
+
+    #[test]
+    fn sampler_series_is_deterministic() {
+        let run = || {
+            run_single(
+                quick_cfg().with_sample_interval(1_000),
+                seq_trace(20_000, 1),
+                Box::new(NextLinesL1(4)),
+                Box::new(NoPrefetcher),
+                Box::new(NoPrefetcher),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert!(
+            a.samples.len() >= 9,
+            "10k measured instructions at interval 1k should yield ~10 samples, got {}",
+            a.samples.len()
+        );
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a, b);
+        // Samples sit on the measured-phase instruction clock and carry
+        // interval activity.
+        assert!(a.samples[0].instructions >= 1_000);
+        assert!(a
+            .samples
+            .windows(2)
+            .all(|w| w[0].instructions < w[1].instructions));
+        assert!(a.samples.iter().any(|s| s.ipc > 0.0));
+        assert!(a.samples.iter().any(|s| s.l1d_mpki > 0.0));
+    }
+
+    #[test]
+    fn disabled_sampler_leaves_report_identical() {
+        let run = |interval: Option<u64>| {
+            let mut cfg = quick_cfg();
+            cfg.sample_interval = interval;
+            run_single(
+                cfg,
+                seq_trace(20_000, 1),
+                Box::new(NextLinesL1(4)),
+                Box::new(NoPrefetcher),
+                Box::new(NoPrefetcher),
+            )
+        };
+        let off = run(None);
+        assert!(off.samples.is_empty());
+        // Sampling is pure observation: every counter matches the disabled
+        // run; only the embedded series differs.
+        let mut on = run(Some(2_000));
+        assert!(!on.samples.is_empty());
+        on.samples.clear();
+        assert_eq!(on, off);
     }
 
     #[test]

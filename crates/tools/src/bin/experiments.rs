@@ -7,6 +7,9 @@
 //! captures each binary's output to `results/<name>.txt`, and writes
 //! structured JSON results (`results/<name>.json` per run plus a
 //! `results/manifest.json` summary with wall times and exit statuses).
+//! Unless the caller already set `IPCP_JSON`, the driver exports it to the
+//! children so every figure also drops its machine-readable sidecar at
+//! `results/<name>.data.json`.
 //! The per-experiment text outputs are byte-identical to a serial
 //! (`IPCP_JOBS=1`) run: every simulation is deterministic and each binary
 //! owns its output file exclusively.
@@ -106,6 +109,15 @@ fn main() {
         );
     }
 
+    // Ask every figure for its JSON sidecar in the results dir, unless the
+    // caller already routed sidecars somewhere (or disabled them with an
+    // empty IPCP_JSON, which the children inherit as usual).
+    let extra_env: Vec<(String, String)> = if std::env::var_os("IPCP_JSON").is_none() {
+        vec![("IPCP_JSON".to_string(), results_dir.display().to_string())]
+    } else {
+        Vec::new()
+    };
+
     let scale_env = std::env::var("IPCP_SCALE").unwrap_or_else(|_| "default".to_string());
     eprintln!(
         "running {} experiment(s) on {} worker(s) (IPCP_JOBS), scale {scale_env} -> {}",
@@ -116,7 +128,7 @@ fn main() {
 
     let started = Instant::now();
     let outcomes = harness::parallel_map(jobs, selected, |name| {
-        let o = harness::run_experiment(&bin_dir, name, &results_dir);
+        let o = harness::run_experiment(&bin_dir, name, &results_dir, &extra_env);
         if o.ok {
             eprintln!("== {name} ok ({:.1}s)", o.wall.as_secs_f64());
         } else {

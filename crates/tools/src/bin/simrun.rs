@@ -4,11 +4,20 @@
 //! simrun <suite-trace-name | file.trace> [--combo ipcp] [--warmup N]
 //!        [--instructions N] [--baseline]   # also run no-prefetching and
 //!                                          # report the speedup
+//!        [--json]                          # print the full report as JSON
+//!        [--interval N]                    # sample an interval time-series
+//!                                          # every N instructions
 //! ```
+//!
+//! `--json` replaces the human-readable report with the structured
+//! [`SimReport::to_json`] document; combined with `--interval` the document
+//! carries a `series` array of per-interval samples (IPC, MPKIs, per-class
+//! accuracy, queue occupancies, DRAM bus utilization).
 
 use std::sync::Arc;
 
 use ipcp_bench::combos;
+use ipcp_sim::telemetry::ToJson;
 use ipcp_sim::{run_single, SimConfig, SimReport};
 use ipcp_tools::Args;
 use ipcp_trace::{TraceReader, TraceSource, VecTrace};
@@ -36,8 +45,10 @@ fn run(
     combo: &str,
     warmup: u64,
     instrs: u64,
+    interval: Option<u64>,
 ) -> SimReport {
-    let cfg = SimConfig::default().with_instructions(warmup, instrs);
+    let mut cfg = SimConfig::default().with_instructions(warmup, instrs);
+    cfg.sample_interval = interval;
     let c = combos::build(combo);
     run_single(cfg, trace, c.l1, c.l2, c.llc)
 }
@@ -45,15 +56,36 @@ fn run(
 fn main() {
     let args = Args::parse();
     let [name] = &args.positional[..] else {
-        eprintln!("usage: simrun <trace-name|file.trace> [--combo ipcp] [--warmup N] [--instructions N] [--baseline]");
+        eprintln!("usage: simrun <trace-name|file.trace> [--combo ipcp] [--warmup N] [--instructions N] [--baseline] [--json] [--interval N]");
         std::process::exit(2);
     };
     let combo: String = args.get_or("combo", "ipcp".to_string());
     let warmup: u64 = args.get_or("warmup", 100_000);
     let instrs: u64 = args.get_or("instructions", 400_000);
+    let interval: Option<u64> = args.options.get("interval").map(|v| {
+        let n: u64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--interval {v:?} is not an instruction count"));
+        assert!(n > 0, "--interval must be > 0");
+        n
+    });
 
     let trace = load(name);
-    let r = run(trace.clone(), &combo, warmup, instrs);
+    let r = run(trace.clone(), &combo, warmup, instrs, interval);
+    if args.has_flag("json") {
+        let mut doc = r
+            .to_json()
+            .set("combo", combo.as_str())
+            .set("trace", name.as_str());
+        if args.has_flag("baseline") {
+            let base = run(trace, "none", warmup, instrs, None);
+            doc = doc
+                .set("baseline_ipc", base.ipc())
+                .set("speedup", r.ipc() / base.ipc());
+        }
+        print!("{}", doc.to_pretty_string());
+        return;
+    }
     println!("== {combo} on {name}");
     print!("{r}");
     let l1 = &r.cores[0].l1d;
@@ -66,7 +98,7 @@ fn main() {
         l1.accuracy().unwrap_or(0.0),
     );
     if args.has_flag("baseline") {
-        let base = run(trace, "none", warmup, instrs);
+        let base = run(trace, "none", warmup, instrs, None);
         println!(
             "speedup vs no prefetching: {:.3} ({:.3} -> {:.3} IPC)",
             r.ipc() / base.ipc(),

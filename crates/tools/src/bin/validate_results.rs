@@ -1,0 +1,246 @@
+//! `validate_results` — structural validation of an experiments results
+//! directory, for CI and for catching schema drift.
+//!
+//! ```text
+//! validate_results [--results-dir results] [--expect name ...]
+//! ```
+//!
+//! Checks that `manifest.json` parses, carries the expected schema and a
+//! non-empty experiment list, that every experiment the manifest marks as
+//! having a sidecar actually has one on disk, and that every
+//! `*.data.json` sidecar in the directory is a well-formed figure document
+//! (schema, name, scale, rectangular tables, monotone series). Positional
+//! `--expect` names must each appear in the manifest with `ok: true` and a
+//! sidecar — the CI job uses this to pin the subset it ran.
+//!
+//! Exit status: 0 when everything validates, 1 otherwise, with one line
+//! per problem on stderr.
+
+use std::path::{Path, PathBuf};
+
+use ipcp_sim::telemetry::JsonValue;
+use ipcp_tools::Args;
+
+struct Checker {
+    problems: Vec<String>,
+}
+
+impl Checker {
+    fn problem(&mut self, msg: String) {
+        self.problems.push(msg);
+    }
+
+    fn load(&mut self, path: &Path) -> Option<JsonValue> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                self.problem(format!("{}: unreadable: {e}", path.display()));
+                return None;
+            }
+        };
+        match JsonValue::parse(&text) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                self.problem(format!("{}: invalid JSON: {e}", path.display()));
+                None
+            }
+        }
+    }
+
+    /// Validate one `<name>.data.json` figure sidecar.
+    fn check_sidecar(&mut self, path: &Path) {
+        let Some(doc) = self.load(path) else { return };
+        let loc = path.display().to_string();
+        if doc.get("schema").and_then(JsonValue::as_u64) != Some(1) {
+            self.problem(format!("{loc}: missing or wrong \"schema\" (want 1)"));
+        }
+        let stem = path
+            .file_name()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.strip_suffix(".data.json"))
+            .unwrap_or_default();
+        match doc.get("name").and_then(JsonValue::as_str) {
+            Some(name) if name == stem => {}
+            Some(name) => self.problem(format!(
+                "{loc}: \"name\" is {name:?} but the file is named {stem:?}"
+            )),
+            None => self.problem(format!("{loc}: missing \"name\"")),
+        }
+        match doc.get("scale") {
+            Some(scale) => {
+                for key in ["warmup", "instructions"] {
+                    if scale.get(key).and_then(JsonValue::as_u64).is_none() {
+                        self.problem(format!("{loc}: scale.{key} missing or not an integer"));
+                    }
+                }
+            }
+            None => self.problem(format!("{loc}: missing \"scale\"")),
+        }
+        let Some(tables) = doc.get("tables").and_then(JsonValue::as_array) else {
+            self.problem(format!("{loc}: missing \"tables\" array"));
+            return;
+        };
+        if tables.is_empty() {
+            self.problem(format!("{loc}: \"tables\" is empty"));
+        }
+        for (ti, table) in tables.iter().enumerate() {
+            if table
+                .get("title")
+                .and_then(JsonValue::as_str)
+                .is_none_or(str::is_empty)
+            {
+                self.problem(format!("{loc}: tables[{ti}] has no title"));
+            }
+            let Some(columns) = table.get("columns").and_then(JsonValue::as_array) else {
+                self.problem(format!("{loc}: tables[{ti}] has no columns"));
+                continue;
+            };
+            let Some(rows) = table.get("rows").and_then(JsonValue::as_array) else {
+                self.problem(format!("{loc}: tables[{ti}] has no rows"));
+                continue;
+            };
+            if rows.is_empty() {
+                self.problem(format!("{loc}: tables[{ti}] has zero rows"));
+            }
+            for (ri, row) in rows.iter().enumerate() {
+                match row.as_array() {
+                    Some(cells) if cells.len() == columns.len() => {}
+                    Some(cells) => self.problem(format!(
+                        "{loc}: tables[{ti}].rows[{ri}] has {} cells for {} columns",
+                        cells.len(),
+                        columns.len()
+                    )),
+                    None => self.problem(format!("{loc}: tables[{ti}].rows[{ri}] is not an array")),
+                }
+            }
+        }
+        // `series` is optional (present only under IPCP_INTERVAL), but when
+        // present it must be well-formed and monotone in instructions.
+        if let Some(series) = doc.get("series") {
+            let Some(entries) = series.as_array() else {
+                self.problem(format!("{loc}: \"series\" is not an array"));
+                return;
+            };
+            for (si, entry) in entries.iter().enumerate() {
+                if entry.get("label").and_then(JsonValue::as_str).is_none() {
+                    self.problem(format!("{loc}: series[{si}] has no label"));
+                }
+                let Some(samples) = entry.get("samples").and_then(JsonValue::as_array) else {
+                    self.problem(format!("{loc}: series[{si}] has no samples"));
+                    continue;
+                };
+                let mut prev = 0u64;
+                for (pi, sample) in samples.iter().enumerate() {
+                    let Some(at) = sample.get("instructions").and_then(JsonValue::as_u64) else {
+                        self.problem(format!(
+                            "{loc}: series[{si}].samples[{pi}] has no instruction count"
+                        ));
+                        continue;
+                    };
+                    if at <= prev && pi > 0 {
+                        self.problem(format!(
+                            "{loc}: series[{si}] instructions not increasing at sample {pi}"
+                        ));
+                    }
+                    prev = at;
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let dir = PathBuf::from(
+        args.options
+            .get("results-dir")
+            .cloned()
+            .unwrap_or_else(|| "results".to_string()),
+    );
+    let mut c = Checker {
+        problems: Vec::new(),
+    };
+
+    // The manifest: schema, experiment list, and sidecar cross-references.
+    let manifest_path = dir.join("manifest.json");
+    let mut manifest_names: Vec<(String, bool, bool)> = Vec::new();
+    if let Some(manifest) = c.load(&manifest_path) {
+        let loc = manifest_path.display().to_string();
+        if manifest.get("schema").and_then(JsonValue::as_u64) != Some(1) {
+            c.problem(format!("{loc}: missing or wrong \"schema\" (want 1)"));
+        }
+        match manifest.get("experiments").and_then(JsonValue::as_array) {
+            Some(experiments) if !experiments.is_empty() => {
+                for (ei, e) in experiments.iter().enumerate() {
+                    let Some(name) = e.get("name").and_then(JsonValue::as_str) else {
+                        c.problem(format!("{loc}: experiments[{ei}] has no name"));
+                        continue;
+                    };
+                    let Some(ok) = e.get("ok").and_then(JsonValue::as_bool) else {
+                        c.problem(format!("{loc}: experiments[{ei}] ({name}) has no \"ok\""));
+                        continue;
+                    };
+                    let data = e.get("data").and_then(JsonValue::as_str);
+                    if let Some(data) = data {
+                        if !Path::new(data).exists() {
+                            c.problem(format!(
+                                "{loc}: {name} claims sidecar {data} but it does not exist"
+                            ));
+                        }
+                    }
+                    manifest_names.push((name.to_string(), ok, data.is_some()));
+                }
+            }
+            _ => c.problem(format!("{loc}: missing or empty \"experiments\" array")),
+        }
+    }
+
+    // Every requested experiment must be in the manifest, ok, with a sidecar.
+    for want in &args.positional {
+        match manifest_names.iter().find(|(n, _, _)| n == want) {
+            None => c.problem(format!("manifest: expected experiment {want} is absent")),
+            Some((_, false, _)) => c.problem(format!("manifest: {want} did not succeed")),
+            Some((_, true, false)) => {
+                c.problem(format!("manifest: {want} succeeded but has no sidecar"))
+            }
+            Some((_, true, true)) => {}
+        }
+    }
+
+    // Every sidecar on disk must be structurally valid.
+    let mut sidecars: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|s| s.to_str())
+                    .is_some_and(|s| s.ends_with(".data.json"))
+            })
+            .collect(),
+        Err(e) => {
+            c.problem(format!("{}: unreadable results dir: {e}", dir.display()));
+            Vec::new()
+        }
+    };
+    sidecars.sort();
+    let n_sidecars = sidecars.len();
+    for path in &sidecars {
+        c.check_sidecar(path);
+    }
+
+    if c.problems.is_empty() {
+        println!(
+            "ok: manifest ({} experiments) and {} sidecar(s) in {} validate",
+            manifest_names.len(),
+            n_sidecars,
+            dir.display()
+        );
+    } else {
+        for p in &c.problems {
+            eprintln!("FAIL {p}");
+        }
+        eprintln!("{} problem(s) in {}", c.problems.len(), dir.display());
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,10 @@
 # Usage: ./run_all_experiments.sh [experiment ...]
 #   IPCP_SCALE=paper   10x deeper runs
 #   IPCP_JOBS=N        worker count
-#   IPCP_CSV=dir       also emit CSV copies of the speedup tables
+#   IPCP_CSV=dir       also emit CSV copies of every table
+#   IPCP_JSON=dir      JSON sidecar per figure (default: the results dir;
+#                      set empty to disable)
+#   IPCP_INTERVAL=N    sample an interval time-series every N instructions
 #
 # Build errors abort immediately and any failing experiment makes this
 # script exit non-zero (the driver prints a failure summary and writes
