@@ -53,6 +53,14 @@ impl Prefetcher for Duo {
         self.b.on_cycle(cycle, sink);
     }
 
+    fn uses_cycle_hook(&self) -> bool {
+        self.a.uses_cycle_hook() || self.b.uses_cycle_hook()
+    }
+
+    fn is_noop(&self) -> bool {
+        self.a.is_noop() && self.b.is_noop()
+    }
+
     fn storage_bits(&self) -> u64 {
         self.a.storage_bits() + self.b.storage_bits()
     }

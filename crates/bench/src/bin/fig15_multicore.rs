@@ -13,32 +13,17 @@
 //! is byte-identical for any worker count.
 
 use std::collections::HashSet;
-use std::sync::Arc;
 
-use ipcp_bench::combos::{build, TABLE3_COMBOS};
-use ipcp_bench::harness::{jobs_from_env, parallel_map, AloneIpcCache};
+use ipcp_bench::combos::TABLE3_COMBOS;
+use ipcp_bench::harness::{jobs_from_env, parallel_map, run_mix_report, AloneIpcCache};
 use ipcp_bench::runner::{geomean, Cell, Experiment, RunScale, Table};
-use ipcp_sim::{weighted_speedup, CoreSetup, SimConfig, System};
+use ipcp_sim::weighted_speedup;
 use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
 
 fn run_mix(mix: &[SynthTrace], combo: &str, scale: RunScale, alone: &AloneIpcCache) -> f64 {
     let cores = mix.len() as u32;
-    let cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
-    let setups = mix
-        .iter()
-        .map(|t| {
-            let c = build(combo);
-            CoreSetup {
-                trace: Arc::new(t.clone()),
-                l1d_prefetcher: c.l1,
-                l2_prefetcher: c.l2,
-            }
-        })
-        .collect();
-    let llc = build(combo).llc;
-    let mut sys = System::new(cfg, setups, llc);
-    let report = sys.run();
+    let report = run_mix_report(mix, combo, scale);
     let alone: Vec<f64> = mix
         .iter()
         .map(|t| alone.get(t, combo, cores, scale))

@@ -1,0 +1,220 @@
+//! `perf_smoke` — fixed-workload simulator throughput measurement.
+//!
+//! Runs a small fixed set of (trace, combo) points serially and records
+//! the best-of-N wall clock and nominal simulated instructions/second
+//! into a schema-versioned `BENCH_perf.json`, so every PR that touches
+//! the simulator hot path has a trajectory to compare against.
+//!
+//! ```text
+//! perf_smoke [--label L] [--out BENCH_perf.json] [--iters 3]
+//! perf_smoke --sweep-cold SECS --sweep-warm SECS [--out BENCH_perf.json]
+//! ```
+//!
+//! The measurement deliberately bypasses the simcache (it calls
+//! `run_single` directly): it times the simulator, not the cache. Entries
+//! are keyed by `--label`; re-running with an existing label replaces that
+//! entry, so the committed file stays one-entry-per-milestone. The second
+//! form records a full-sweep cache-off vs cache-warm wall-clock pair
+//! (measured externally, e.g. by `time`d `experiments` runs) into a
+//! `sweep` object without re-measuring throughput. Scale follows
+//! `IPCP_SCALE` exactly like the figure binaries; the committed file is
+//! generated at the default scale.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ipcp_bench::combos;
+use ipcp_bench::runner::RunScale;
+use ipcp_sim::telemetry::JsonValue;
+use ipcp_sim::{run_single, SimConfig};
+use ipcp_trace::TraceSource;
+use ipcp_workloads::memory_intensive_suite;
+
+const SCHEMA: u64 = 1;
+/// How many traces from the front of the memory-intensive suite to run.
+const TRACES: usize = 3;
+/// Prefetcher combos to run each trace under (baseline + the paper's).
+const COMBOS: [&str; 2] = ["none", "ipcp"];
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf_smoke: {msg}");
+    std::process::exit(2);
+}
+
+struct Opts {
+    label: String,
+    out: PathBuf,
+    iters: u32,
+    sweep_cold: Option<f64>,
+    sweep_warm: Option<f64>,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        label: "local".to_string(),
+        out: PathBuf::from("BENCH_perf.json"),
+        iters: 3,
+        sweep_cold: None,
+        sweep_warm: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--label" => opts.label = value("--label"),
+            "--out" => opts.out = PathBuf::from(value("--out")),
+            "--iters" => {
+                opts.iters = value("--iters")
+                    .parse()
+                    .unwrap_or_else(|_| die("--iters needs an integer"));
+            }
+            "--sweep-cold" => {
+                opts.sweep_cold = Some(
+                    value("--sweep-cold")
+                        .parse()
+                        .unwrap_or_else(|_| die("--sweep-cold needs seconds")),
+                );
+            }
+            "--sweep-warm" => {
+                opts.sweep_warm = Some(
+                    value("--sweep-warm")
+                        .parse()
+                        .unwrap_or_else(|_| die("--sweep-warm needs seconds")),
+                );
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.iters == 0 {
+        die("--iters must be at least 1");
+    }
+    if opts.sweep_cold.is_some() != opts.sweep_warm.is_some() {
+        die("--sweep-cold and --sweep-warm must be given together");
+    }
+    opts
+}
+
+/// Loads the existing `BENCH_perf.json`, or a fresh skeleton.
+fn load_doc(path: &PathBuf) -> JsonValue {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return JsonValue::obj()
+            .set("schema", SCHEMA)
+            .set(
+                "workload",
+                format!(
+                    "memory_intensive_suite[0..{TRACES}] x {COMBOS:?}, serial, best-of-iters wall"
+                ),
+            )
+            .set("entries", JsonValue::Arr(Vec::new()));
+    };
+    let doc = JsonValue::parse(&text)
+        .unwrap_or_else(|e| die(&format!("{}: invalid JSON: {e}", path.display())));
+    if doc.get("schema").and_then(JsonValue::as_u64) != Some(SCHEMA) {
+        die(&format!(
+            "{}: unsupported schema (want {SCHEMA}); delete it to start fresh",
+            path.display()
+        ));
+    }
+    doc
+}
+
+/// Replaces (or appends) a key in an object document.
+fn upsert(doc: &mut JsonValue, key: &str, value: JsonValue) {
+    if let JsonValue::Obj(pairs) = doc {
+        for (k, v) in pairs.iter_mut() {
+            if k == key {
+                *v = value;
+                return;
+            }
+        }
+        pairs.push((key.to_string(), value));
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let scale = RunScale::from_env()
+        .unwrap_or_else(|bad| die(&format!("invalid IPCP_SCALE {bad:?}(want paper or W,I)")));
+    let mut doc = load_doc(&opts.out);
+
+    if let (Some(cold), Some(warm)) = (opts.sweep_cold, opts.sweep_warm) {
+        if warm <= 0.0 {
+            die("--sweep-warm must be positive");
+        }
+        let sweep = JsonValue::obj()
+            .set("cold_secs", cold)
+            .set("warm_secs", warm)
+            .set("speedup", cold / warm);
+        upsert(&mut doc, "sweep", sweep);
+        std::fs::write(&opts.out, doc.to_pretty_string())
+            .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", opts.out.display())));
+        println!(
+            "recorded sweep cold={cold:.3}s warm={warm:.3}s ({:.2}x) into {}",
+            cold / warm,
+            opts.out.display()
+        );
+        return;
+    }
+
+    let traces: Vec<_> = memory_intensive_suite().into_iter().take(TRACES).collect();
+    let runs = traces.len() * COMBOS.len();
+    // Nominal work per iteration: every instruction the simulator retires,
+    // warmup included (warmup simulates at full fidelity).
+    let nominal = runs as u64 * (scale.warmup + scale.instructions);
+
+    let mut best = f64::INFINITY;
+    for iter in 0..opts.iters {
+        let started = Instant::now();
+        for trace in &traces {
+            for combo in COMBOS {
+                let cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+                let c = combos::build(combo);
+                let report = run_single(cfg, Arc::new(trace.clone()), c.l1, c.l2, c.llc);
+                assert!(report.cycles > 0, "empty run for {combo}/{}", trace.name());
+            }
+        }
+        let wall = started.elapsed().as_secs_f64();
+        best = best.min(wall);
+        eprintln!(
+            "iter {}/{}: {wall:.3}s ({:.0} instr/s)",
+            iter + 1,
+            opts.iters,
+            nominal as f64 / wall
+        );
+    }
+
+    let entry = JsonValue::obj()
+        .set("label", opts.label.as_str())
+        .set(
+            "scale",
+            JsonValue::obj()
+                .set("warmup", scale.warmup)
+                .set("instructions", scale.instructions),
+        )
+        .set("runs", runs)
+        .set("iters", u64::from(opts.iters))
+        .set("wall_secs", best)
+        .set("instr_per_sec", nominal as f64 / best);
+    let mut entries = doc
+        .get("entries")
+        .and_then(JsonValue::as_array)
+        .map(<[JsonValue]>::to_vec)
+        .unwrap_or_default();
+    entries.retain(|e| e.get("label").and_then(JsonValue::as_str) != Some(opts.label.as_str()));
+    entries.push(entry);
+    upsert(&mut doc, "entries", JsonValue::Arr(entries));
+
+    std::fs::write(&opts.out, doc.to_pretty_string())
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", opts.out.display())));
+    println!(
+        "{}: {best:.3}s wall, {:.0} instr/s ({} runs, {} nominal instructions)",
+        opts.label,
+        nominal as f64 / best,
+        runs,
+        nominal
+    );
+}

@@ -22,7 +22,7 @@ fn main() {
         for t in &traces {
             let tweak = |cfg: &mut ipcp_sim::SimConfig| {
                 cfg.dram.channels = channels;
-                cfg.dram = cfg.dram.clone().with_bandwidth_gbps(gbps);
+                cfg.dram = cfg.dram.with_bandwidth_gbps(gbps);
             };
             let base = exp.run_combo_with("none", t, tweak).ipc();
             for combo in ["ipcp", "mlop", "spp-perc-dspatch"] {

@@ -26,6 +26,7 @@ use ipcp_workloads::SynthTrace;
 
 use crate::combos;
 use crate::runner::RunScale;
+use crate::simcache;
 
 // ---------------------------------------------------------------------
 // Worker pool
@@ -154,22 +155,53 @@ impl AloneIpcCache {
 
 /// The uncached alone-IPC computation: "IPC_alone(i) is the IPC of core i
 /// when it runs alone on [the] N-core system" — one core, but the N-core
-/// LLC capacity and DRAM.
+/// LLC capacity and DRAM. ("Uncached" is relative to [`AloneIpcCache`]'s
+/// in-memory memoization; the run still goes through the on-disk
+/// [`crate::simcache`] layer, which keys on the effective config — the
+/// scaled LLC makes these entries distinct from plain single-core runs.)
 pub fn alone_ipc_uncached(trace: &SynthTrace, combo: &str, cores: u32, scale: RunScale) -> f64 {
     let mut cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
     cfg.cores = 1;
     cfg.llc.size_bytes *= u64::from(cores);
-    let c = combos::build(combo);
-    let mut sys = System::new(
-        cfg,
-        vec![CoreSetup {
-            trace: Arc::new(trace.clone()),
-            l1d_prefetcher: c.l1,
-            l2_prefetcher: c.l2,
-        }],
-        c.llc,
-    );
-    sys.run().ipc()
+    crate::simcache::get_or_run(&[trace.name()], combo, &cfg, || {
+        let c = combos::build(combo);
+        let mut sys = System::new(
+            cfg.clone(),
+            vec![CoreSetup {
+                trace: Arc::new(trace.clone()),
+                l1d_prefetcher: c.l1,
+                l2_prefetcher: c.l2,
+            }],
+            c.llc,
+        );
+        sys.run()
+    })
+    .ipc()
+}
+
+/// Runs a multi-programmed mix (one trace per core) under a named combo,
+/// through the on-disk [`crate::simcache`] layer — the key carries every
+/// trace name in core order, so permuted mixes stay distinct.
+pub fn run_mix_report(mix: &[SynthTrace], combo: &str, scale: RunScale) -> ipcp_sim::SimReport {
+    let cores = mix.len() as u32;
+    let cfg = SimConfig::multicore(cores).with_instructions(scale.warmup, scale.instructions);
+    let names: Vec<&str> = mix.iter().map(TraceSource::name).collect();
+    crate::simcache::get_or_run(&names, combo, &cfg, || {
+        let setups = mix
+            .iter()
+            .map(|t| {
+                let c = combos::build(combo);
+                CoreSetup {
+                    trace: Arc::new(t.clone()),
+                    l1d_prefetcher: c.l1,
+                    l2_prefetcher: c.l2,
+                }
+            })
+            .collect();
+        let llc = combos::build(combo).llc;
+        let mut sys = System::new(cfg.clone(), setups, llc);
+        sys.run()
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -193,6 +225,9 @@ pub struct ExperimentOutcome {
     pub data_path: Option<PathBuf>,
     /// Spawn-level error, if the binary could not be executed at all.
     pub spawn_error: Option<String>,
+    /// The child's simulation-cache counters, when `IPCP_SIMCACHE` was on
+    /// (collected via a per-child `IPCP_SIMCACHE_STATS` file).
+    pub simcache: Option<simcache::CacheStatsSnapshot>,
 }
 
 impl ExperimentOutcome {
@@ -216,6 +251,15 @@ impl ExperimentOutcome {
             );
         if let Some(data) = &self.data_path {
             v.insert("data", data.display().to_string());
+        }
+        if let Some(s) = &self.simcache {
+            v.insert(
+                "simcache",
+                JsonValue::obj()
+                    .set("hits", s.hits)
+                    .set("misses", s.misses)
+                    .set("stores", s.stores),
+            );
         }
         v
     }
@@ -245,9 +289,19 @@ pub fn run_experiment(
     for (k, v) in extra_env {
         cmd.env(k, v);
     }
+    // When the simulation cache is on (the child inherits IPCP_SIMCACHE),
+    // give the child a private stats drop-off so its hit/miss counters can
+    // be folded into the manifest.
+    let stats_path = simcache::global()
+        .map(|_| results_dir.join(format!("{name}.simcache.json")))
+        .filter(|_| std::env::var_os("IPCP_SIMCACHE_STATS").is_none());
+    if let Some(p) = &stats_path {
+        cmd.env("IPCP_SIMCACHE_STATS", p);
+    }
     let result = cmd.output();
     let wall = started.elapsed();
     let data_path = Some(results_dir.join(format!("{name}.data.json"))).filter(|p| p.exists());
+    let simcache = stats_path.as_deref().and_then(read_simcache_stats);
     match result {
         Ok(out) => {
             let mut text = out.stdout;
@@ -262,6 +316,7 @@ pub fn run_experiment(
                 output_path,
                 data_path,
                 spawn_error: write_err.map(|e| format!("writing output: {e}")),
+                simcache,
             }
         }
         Err(e) => ExperimentOutcome {
@@ -272,8 +327,23 @@ pub fn run_experiment(
             output_path,
             data_path,
             spawn_error: Some(e.to_string()),
+            simcache,
         },
     }
+}
+
+/// Reads and deletes a child's `IPCP_SIMCACHE_STATS` drop-off. A missing
+/// or malformed file is `None` (the child may predate the cache or have
+/// died before `finish`); the manifest then simply carries no counters.
+fn read_simcache_stats(path: &Path) -> Option<simcache::CacheStatsSnapshot> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let _ = std::fs::remove_file(path);
+    let doc = JsonValue::parse(&text).ok()?;
+    Some(simcache::CacheStatsSnapshot {
+        hits: doc.get("hits")?.as_u64()?,
+        misses: doc.get("misses")?.as_u64()?,
+        stores: doc.get("stores")?.as_u64()?,
+    })
 }
 
 /// Writes one `<results_dir>/<name>.json` per outcome plus the
@@ -299,17 +369,29 @@ pub fn write_results_json(
             o.to_json().to_json_string() + "\n",
         )?;
     }
-    let manifest = JsonValue::obj()
+    let mut manifest = JsonValue::obj()
         .set("schema", 1i64)
         .set("generated_by", "experiments driver (ipcp-tools)")
         .set("jobs", jobs)
         .set("scale", scale_env)
         .set("total_wall_secs", round3(total_wall.as_secs_f64()))
-        .set("failed", outcomes.iter().filter(|o| !o.ok).count())
-        .set(
-            "experiments",
-            JsonValue::Arr(outcomes.iter().map(ExperimentOutcome::to_json).collect()),
+        .set("failed", outcomes.iter().filter(|o| !o.ok).count());
+    // Aggregate simulation-cache counters across the sweep, when any
+    // experiment reported them (CI asserts on these totals).
+    let stats: Vec<_> = outcomes.iter().filter_map(|o| o.simcache).collect();
+    if !stats.is_empty() {
+        manifest.insert(
+            "simcache",
+            JsonValue::obj()
+                .set("hits", stats.iter().map(|s| s.hits).sum::<u64>())
+                .set("misses", stats.iter().map(|s| s.misses).sum::<u64>())
+                .set("stores", stats.iter().map(|s| s.stores).sum::<u64>()),
         );
+    }
+    let manifest = manifest.set(
+        "experiments",
+        JsonValue::Arr(outcomes.iter().map(ExperimentOutcome::to_json).collect()),
+    );
     std::fs::write(
         results_dir.join("manifest.json"),
         manifest.to_pretty_string(),
@@ -415,6 +497,11 @@ mod tests {
                 output_path: dir.join("fake_ok.txt"),
                 data_path: Some(dir.join("fake_ok.data.json")),
                 spawn_error: None,
+                simcache: Some(simcache::CacheStatsSnapshot {
+                    hits: 5,
+                    misses: 2,
+                    stores: 2,
+                }),
             },
             ExperimentOutcome {
                 name: "fake_bad".into(),
@@ -424,6 +511,7 @@ mod tests {
                 output_path: dir.join("fake_bad.txt"),
                 data_path: None,
                 spawn_error: Some("boom \"quoted\"".into()),
+                simcache: None,
             },
         ];
         write_results_json(&dir, 3, "default", Duration::from_secs(2), &outcomes).unwrap();
@@ -444,9 +532,15 @@ mod tests {
         assert_eq!(m.get("jobs").unwrap().as_u64(), Some(3));
         assert_eq!(m.get("scale").unwrap().as_str(), Some("default"));
         assert_eq!(m.get("total_wall_secs").unwrap().as_f64(), Some(2.0));
+        let agg = m.get("simcache").unwrap();
+        assert_eq!(agg.get("hits").unwrap().as_u64(), Some(5));
+        assert_eq!(agg.get("misses").unwrap().as_u64(), Some(2));
         let exps = m.get("experiments").unwrap().as_array().unwrap();
         assert_eq!(exps.len(), 2);
         assert_eq!(exps[0].get("name").unwrap().as_str(), Some("fake_ok"));
+        let sc = exps[0].get("simcache").unwrap();
+        assert_eq!(sc.get("stores").unwrap().as_u64(), Some(2));
+        assert!(exps[1].get("simcache").is_none());
         assert_eq!(exps[0].get("wall_secs").unwrap().as_f64(), Some(1.234));
         assert!(exps[0].get("error").unwrap().is_null());
         assert!(exps[0].get("data").unwrap().as_str().is_some());

@@ -12,3 +12,4 @@
 pub mod combos;
 pub mod harness;
 pub mod runner;
+pub mod simcache;

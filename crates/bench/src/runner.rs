@@ -174,6 +174,10 @@ pub fn sample_interval_from_env() -> Option<u64> {
 /// Runs one trace under a named combo with an optional config tweak.
 /// `IPCP_INTERVAL` (if set) enables the interval sampler before the tweak
 /// runs, so tweaks can still override it.
+///
+/// Goes through the [`crate::simcache`] layer: with `IPCP_SIMCACHE=1` the
+/// run is answered from disk when an identical simulation (same trace,
+/// combo, and effective post-tweak config) already ran.
 pub fn run_combo_with(
     combo: &str,
     trace: &SynthTrace,
@@ -183,8 +187,10 @@ pub fn run_combo_with(
     let mut cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
     cfg.sample_interval = sample_interval_from_env();
     tweak(&mut cfg);
-    let c = combos::build(combo);
-    run_single(cfg, Arc::new(trace.clone()), c.l1, c.l2, c.llc)
+    crate::simcache::get_or_run(&[trace.name()], combo, &cfg, || {
+        let c = combos::build(combo);
+        run_single(cfg.clone(), Arc::new(trace.clone()), c.l1, c.l2, c.llc)
+    })
 }
 
 /// Runs one trace under a named combo at the given scale.
@@ -776,6 +782,7 @@ impl Experiment {
     /// side paths warn but do not fail the experiment.
     pub fn finish(self) {
         print!("{}", self.render_text());
+        crate::simcache::flush_stats();
         if let Some(dir) = env_dir("IPCP_CSV") {
             if let Err(e) = self.write_csvs(&dir) {
                 eprintln!("warning: could not write CSVs to {}: {e}", dir.display());

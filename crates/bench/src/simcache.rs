@@ -1,0 +1,421 @@
+//! Content-addressed, cross-process simulation result cache.
+//!
+//! Every simulation in this workspace is deterministic: a [`SimReport`] is
+//! a pure function of (traces, prefetcher combo, effective [`SimConfig`],
+//! simulator code). Different figure binaries — and re-runs of the same
+//! sweep — therefore repeat identical simulations; the 23-binary default
+//! sweep shares per-trace baselines, alone-IPC denominators, and whole
+//! combo runs across experiments. This module memoizes those runs on disk
+//! so a warm sweep replays them instead of re-simulating.
+//!
+//! **Key scheme.** A cache key is the plain string
+//!
+//! ```text
+//! v<SIM_BEHAVIOR_VERSION>;traces=<name>+<name>...;combo=<name>;cfg=<Debug of SimConfig>
+//! ```
+//!
+//! The `Debug` rendering of the *effective* config (after any experiment
+//! tweak) captures every knob that can change a result — geometry,
+//! latencies, instruction counts, seeds, sample interval — so two runs
+//! share an entry only when they are the same simulation. The key is
+//! hashed (FNV-1a, 64-bit) into the entry filename, and stored verbatim
+//! inside the entry; a load compares the stored key against the requested
+//! one, so a hash collision or stale file degrades to a miss, never to a
+//! wrong result.
+//!
+//! **Invalidation rule.** Any change to simulator *behavior* — anything
+//! that alters a single counter in any report — MUST bump
+//! [`SIM_BEHAVIOR_VERSION`]. Pure refactors and wall-clock optimizations
+//! that keep reports byte-identical (the repo's standing invariant) keep
+//! the version. There is no partial invalidation: the version is part of
+//! every key, so a bump orphans the whole cache (stale files are inert and
+//! can be deleted at will — the default cache lives under `target/`).
+//!
+//! **Knobs.** The cache is *off* by default (experiments re-simulate,
+//! exactly as before). `IPCP_SIMCACHE=1` (or `true`/`on`/`yes`) enables
+//! it; `IPCP_SIMCACHE_DIR=<dir>` overrides the default `target/simcache`
+//! location. When enabled and `IPCP_SIMCACHE_STATS=<file>` is set,
+//! [`flush_stats`] (called by `Experiment::finish`) writes this process's
+//! hit/miss/store counters there — the `experiments` driver points each
+//! child at a per-experiment file and folds the numbers into its manifest.
+//!
+//! Corrupt or unreadable entries are *loud*: a warning naming the file and
+//! the parse error goes to stderr, then the run recomputes (and rewrites
+//! the entry). Silence would hide cache rot; a hard error would couple
+//! experiment success to scratch-file health.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use ipcp_sim::telemetry::{FromJson, JsonValue, ToJson};
+use ipcp_sim::{SimConfig, SimReport};
+
+/// Version tag of simulator *behavior*, part of every cache key. Bump on
+/// any change that alters any report; keep on byte-identical refactors.
+pub const SIM_BEHAVIOR_VERSION: u32 = 1;
+
+/// Entry-file schema version (the JSON envelope, not the simulator).
+const ENTRY_SCHEMA: u64 = 1;
+
+/// 64-bit FNV-1a — the entry-filename hash. Not cryptographic; collisions
+/// are tolerated because the full key is checked on load.
+fn fnv1a_64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key for one simulation (see the module docs for the scheme).
+pub fn cache_key(trace_names: &[&str], combo: &str, cfg: &SimConfig) -> String {
+    format!(
+        "v{SIM_BEHAVIOR_VERSION};traces={};combo={combo};cfg={cfg:?}",
+        trace_names.join("+")
+    )
+}
+
+/// Hit/miss/store counters of one cache (monotonic, per process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStatsSnapshot {
+    /// Simulations answered from disk.
+    pub hits: u64,
+    /// Simulations actually run (entry absent, corrupt, or mismatched).
+    pub misses: u64,
+    /// Entries successfully written after a miss.
+    pub stores: u64,
+}
+
+/// A content-addressed on-disk cache of [`SimReport`]s.
+#[derive(Debug)]
+pub struct SimCache {
+    dir: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl SimCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// This process's counters so far.
+    pub fn stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The entry file for a key.
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.json", fnv1a_64(key)))
+    }
+
+    /// Returns the cached report for (traces, combo, cfg), running `run`
+    /// and storing its result on a miss. Concurrent callers with the same
+    /// key may both simulate; determinism makes both writes identical and
+    /// the atomic rename keeps the entry well-formed either way.
+    pub fn get_or_run(
+        &self,
+        trace_names: &[&str],
+        combo: &str,
+        cfg: &SimConfig,
+        run: impl FnOnce() -> SimReport,
+    ) -> SimReport {
+        let key = cache_key(trace_names, combo, cfg);
+        let path = self.entry_path(&key);
+        match self.load(&path, &key) {
+            Ok(Some(report)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return report;
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!(
+                    "warning: simcache: discarding unusable entry {}: {e}; re-simulating",
+                    path.display()
+                );
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = run();
+        match self.store(&path, &key, &report) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: simcache: could not write {}: {e}; result not cached",
+                    path.display()
+                );
+            }
+        }
+        report
+    }
+
+    /// Loads an entry. `Ok(None)` means "no entry" (a clean miss); `Err`
+    /// means the file exists but is unreadable, ill-formed, or carries a
+    /// different key (hash collision / stale schema) — callers warn and
+    /// recompute.
+    fn load(&self, path: &Path, key: &str) -> Result<Option<SimReport>, String> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("read failed: {e}")),
+        };
+        let doc = JsonValue::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+        match doc.get("schema").and_then(JsonValue::as_u64) {
+            Some(ENTRY_SCHEMA) => {}
+            other => return Err(format!("entry schema {other:?}, expected {ENTRY_SCHEMA}")),
+        }
+        match doc.get("key").and_then(JsonValue::as_str) {
+            Some(stored) if stored == key => {}
+            Some(_) => return Err("key mismatch (hash collision or stale entry)".to_string()),
+            None => return Err("entry has no key".to_string()),
+        }
+        let report = doc
+            .get("report")
+            .ok_or_else(|| "entry has no report".to_string())?;
+        let report = SimReport::from_json(report).map_err(|e| format!("bad report: {e}"))?;
+        Ok(Some(report))
+    }
+
+    /// Writes an entry atomically: temp file in the cache dir, then rename
+    /// (readers never observe a partial entry).
+    fn store(&self, path: &Path, key: &str, report: &SimReport) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let doc = JsonValue::obj()
+            .set("schema", ENTRY_SCHEMA)
+            .set("key", key)
+            .set("report", report.to_json());
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{:016x}",
+            std::process::id(),
+            fnv1a_64(key)
+        ));
+        std::fs::write(&tmp, doc.to_json_string())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The process-global cache (environment-controlled)
+// ---------------------------------------------------------------------
+
+/// `Some(cache)` when `IPCP_SIMCACHE` enables caching for this process,
+/// `None` otherwise. Resolved once; changing the environment afterwards
+/// has no effect (experiment binaries read it at the first simulation).
+pub fn global() -> Option<&'static SimCache> {
+    static GLOBAL: OnceLock<Option<SimCache>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let enabled = std::env::var("IPCP_SIMCACHE")
+                .map(|v| {
+                    matches!(
+                        v.trim().to_ascii_lowercase().as_str(),
+                        "1" | "true" | "on" | "yes"
+                    )
+                })
+                .unwrap_or(false);
+            if !enabled {
+                return None;
+            }
+            let dir = std::env::var_os("IPCP_SIMCACHE_DIR")
+                .filter(|v| !v.is_empty())
+                .map_or_else(|| PathBuf::from("target/simcache"), PathBuf::from);
+            Some(SimCache::new(dir))
+        })
+        .as_ref()
+}
+
+/// [`SimCache::get_or_run`] against the process-global cache, or a plain
+/// `run()` when caching is disabled — the one call every cacheable
+/// simulation path goes through.
+pub fn get_or_run(
+    trace_names: &[&str],
+    combo: &str,
+    cfg: &SimConfig,
+    run: impl FnOnce() -> SimReport,
+) -> SimReport {
+    match global() {
+        Some(cache) => cache.get_or_run(trace_names, combo, cfg, run),
+        None => run(),
+    }
+}
+
+/// When the global cache is enabled and `IPCP_SIMCACHE_STATS=<file>` is
+/// set, writes this process's counters there as a small JSON document
+/// (`{"schema": 1, "hits": ..., "misses": ..., "stores": ...}`). Failures
+/// warn on stderr; statistics must never fail an experiment.
+pub fn flush_stats() {
+    let Some(cache) = global() else { return };
+    let Some(path) = std::env::var_os("IPCP_SIMCACHE_STATS").filter(|v| !v.is_empty()) else {
+        return;
+    };
+    let s = cache.stats();
+    let doc = JsonValue::obj()
+        .set("schema", 1u64)
+        .set("hits", s.hits)
+        .set("misses", s.misses)
+        .set("stores", s.stores);
+    if let Err(e) = std::fs::write(&path, doc.to_json_string() + "\n") {
+        eprintln!(
+            "warning: simcache: could not write stats to {}: {e}",
+            PathBuf::from(&path).display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combos;
+    use ipcp_sim::run_single;
+    use ipcp_trace::TraceSource;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ipcp-simcache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig::default().with_instructions(2_000, 10_000)
+    }
+
+    fn simulate(combo: &str, cfg: &SimConfig) -> SimReport {
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let c = combos::build(combo);
+        run_single(cfg.clone(), Arc::new(traces[0].clone()), c.l1, c.l2, c.llc)
+    }
+
+    #[test]
+    fn cached_report_equals_uncached_and_counts_hits() {
+        let dir = tmp_dir("roundtrip");
+        let cache = SimCache::new(&dir);
+        let cfg = quick_cfg();
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let names = [traces[0].name()];
+
+        let direct = simulate("ipcp", &cfg);
+        let cold = cache.get_or_run(&names, "ipcp", &cfg, || simulate("ipcp", &cfg));
+        assert_eq!(cold, direct, "cold run must return the computed report");
+        assert_eq!(
+            cache.stats(),
+            CacheStatsSnapshot {
+                hits: 0,
+                misses: 1,
+                stores: 1
+            }
+        );
+
+        let warm = cache.get_or_run(&names, "ipcp", &cfg, || {
+            panic!("warm lookup must not re-simulate")
+        });
+        assert_eq!(warm, direct, "cached report must round-trip exactly");
+        assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Key sensitivity: every input that can change a result must change
+    /// the key — traces, combo, and any config field (captured via Debug).
+    #[test]
+    fn cache_key_separates_distinct_simulations() {
+        let cfg = quick_cfg();
+        let base = cache_key(&["a"], "ipcp", &cfg);
+        assert_ne!(base, cache_key(&["b"], "ipcp", &cfg), "trace in key");
+        assert_ne!(base, cache_key(&["a", "b"], "ipcp", &cfg), "mix in key");
+        assert_ne!(base, cache_key(&["a"], "none", &cfg), "combo in key");
+
+        let mut c2 = cfg.clone();
+        c2.sim_instructions += 1;
+        assert_ne!(base, cache_key(&["a"], "ipcp", &c2), "instructions in key");
+        let mut c3 = cfg.clone();
+        c3.l1d.size_bytes *= 2;
+        assert_ne!(base, cache_key(&["a"], "ipcp", &c3), "geometry in key");
+        let mut c4 = cfg.clone();
+        c4.vmem_seed ^= 1;
+        assert_ne!(base, cache_key(&["a"], "ipcp", &c4), "seed in key");
+        let mut c5 = cfg.clone();
+        c5.sample_interval = Some(1_000);
+        assert_ne!(base, cache_key(&["a"], "ipcp", &c5), "sampler in key");
+
+        assert!(
+            base.starts_with(&format!("v{SIM_BEHAVIOR_VERSION};")),
+            "behavior version prefixes every key: {base}"
+        );
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_entries_recompute_and_repair() {
+        let dir = tmp_dir("corrupt");
+        let cache = SimCache::new(&dir);
+        let cfg = quick_cfg();
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let names = [traces[0].name()];
+        let direct = simulate("none", &cfg);
+
+        let path = cache.entry_path(&cache_key(&names, "none", &cfg));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Truncated JSON, well-formed JSON with a different key, and a
+        // valid envelope with a mangled report: all must fall back to a
+        // recompute that returns the right answer and repairs the entry.
+        for garbage in [
+            "{\"schema\": 1, \"key\": \"trunc".to_string(),
+            JsonValue::obj()
+                .set("schema", 1u64)
+                .set("key", "some other simulation")
+                .set("report", JsonValue::obj())
+                .to_json_string(),
+            JsonValue::obj()
+                .set("schema", 1u64)
+                .set("key", cache_key(&names, "none", &cfg))
+                .set("report", JsonValue::obj().set("cores", "nope"))
+                .to_json_string(),
+        ] {
+            std::fs::write(&path, garbage).unwrap();
+            let got = cache.get_or_run(&names, "none", &cfg, || simulate("none", &cfg));
+            assert_eq!(got, direct, "corrupt entry must recompute, not fail");
+        }
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 3);
+
+        // The last recompute rewrote the entry: now a clean hit.
+        let warm = cache.get_or_run(&names, "none", &cfg, || panic!("must hit"));
+        assert_eq!(warm, direct);
+        assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_configs_do_not_share_entries() {
+        let dir = tmp_dir("distinct");
+        let cache = SimCache::new(&dir);
+        let cfg_a = quick_cfg();
+        let mut cfg_b = quick_cfg();
+        cfg_b.sim_instructions = 12_000;
+        let a = cache.get_or_run(&["t"], "none", &cfg_a, || simulate("none", &cfg_a));
+        let b = cache.get_or_run(&["t"], "none", &cfg_b, || simulate("none", &cfg_b));
+        assert_ne!(a, b, "different instruction counts, different reports");
+        assert_eq!(cache.stats().misses, 2, "no false sharing between configs");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

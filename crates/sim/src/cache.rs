@@ -6,7 +6,7 @@
 //! in [`crate::system`], which orchestrates the fixed L1/L2/LLC hierarchy.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use ipcp_mem::{Ip, LineAddr};
 
@@ -17,6 +17,47 @@ use crate::stats::CacheStats;
 
 /// Sentinel for "fill time not yet known".
 pub const FILL_UNKNOWN: Cycle = Cycle::MAX;
+
+/// Sentinel tag marking an empty way. Physical line numbers are physical
+/// addresses shifted right by the 6 line-offset bits, so a real line can
+/// never reach `u64::MAX`; a single tag compare therefore replaces the
+/// old valid-bit + tag pair on the lookup hot path.
+const TAG_INVALID: u64 = u64::MAX;
+
+/// Multiplicative hasher for the line-address keys of `mshr_index`. The
+/// keys are trusted simulator state (no HashDoS concern), and the default
+/// SipHash costs more than the lookup it guards on the per-access path;
+/// a golden-ratio multiply spreads sequential line numbers well enough.
+#[derive(Debug, Clone, Copy, Default)]
+struct LineHasher(u64);
+
+impl std::hash::Hasher for LineHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if a non-u64 key were ever used; fold bytes anyway.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BuildLineHasher;
+
+impl std::hash::BuildHasher for BuildLineHasher {
+    type Hasher = LineHasher;
+
+    fn build_hasher(&self) -> LineHasher {
+        LineHasher(0)
+    }
+}
 
 /// Outcome of probing a cache for a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +130,10 @@ pub struct Cache {
     ports: u32,
     ports_used: u32,
 
-    // Line state, struct-of-arrays.
+    // Line state, struct-of-arrays. `tags` doubles as the valid bit via
+    // the `TAG_INVALID` sentinel (lines are never invalidated once
+    // installed, so a slot leaves the sentinel state exactly once).
     tags: Vec<u64>,
-    valid: Vec<bool>,
     dirty: Vec<bool>,
     prefetched: Vec<bool>,
     pf_class: Vec<u8>,
@@ -101,6 +143,13 @@ pub struct Cache {
 
     mshrs: Vec<Option<Mshr>>,
     mshr_used: usize,
+    // Index structures over `mshrs`: line → slot for O(1) merge probes
+    // (replacing a linear scan over every entry), and a min-heap of free
+    // slots so allocation still hands out the *lowest* free index — the
+    // fill heap breaks equal-cycle ties by slot index, so preserving the
+    // old first-free-slot order keeps simulation results bit-identical.
+    mshr_index: HashMap<u64, usize, BuildLineHasher>,
+    free_mshrs: BinaryHeap<Reverse<usize>>,
     pending_fills: BinaryHeap<Reverse<(Cycle, usize)>>,
 
     pq: VecDeque<QueuedPrefetch>,
@@ -128,13 +177,10 @@ impl Cache {
     /// Builds a cache from its configuration. `scale` multiplies capacity,
     /// MSHR, and PQ entries (the LLC scales with core count per Table II).
     pub fn new(cfg: &CacheConfig, scale: u32) -> Self {
-        let scaled = CacheConfig {
-            size_bytes: cfg.size_bytes * u64::from(scale),
-            ..cfg.clone()
-        };
-        let sets = scaled.sets() as usize;
+        let sets = cfg.sets_with_scale(scale) as usize;
         let ways = cfg.ways as usize;
         let n = sets * ways;
+        let mshr_entries = (cfg.mshr_entries * scale) as usize;
         Self {
             name: cfg.name,
             sets,
@@ -142,15 +188,16 @@ impl Cache {
             latency: cfg.latency,
             ports: cfg.ports,
             ports_used: 0,
-            tags: vec![0; n],
-            valid: vec![false; n],
+            tags: vec![TAG_INVALID; n],
             dirty: vec![false; n],
             prefetched: vec![false; n],
             pf_class: vec![0; n],
             reused: vec![false; n],
             repl: replacement::build(cfg.replacement, sets, ways),
-            mshrs: (0..cfg.mshr_entries * scale).map(|_| None).collect(),
+            mshrs: (0..mshr_entries).map(|_| None).collect(),
             mshr_used: 0,
+            mshr_index: HashMap::with_capacity_and_hasher(mshr_entries, BuildLineHasher),
+            free_mshrs: (0..mshr_entries).map(Reverse).collect(),
             pending_fills: BinaryHeap::new(),
             pq: VecDeque::new(),
             pq_capacity: (cfg.pq_entries * scale) as usize,
@@ -173,14 +220,12 @@ impl Cache {
         (line.raw() as usize) & (self.sets - 1)
     }
 
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
-    }
-
     fn find_way(&self, line: LineAddr) -> Option<usize> {
-        let set = self.set_of(line);
-        let base = set * self.ways;
-        (0..self.ways).find(|&w| self.valid[base + w] && self.tags[base + w] == line.raw())
+        let base = self.set_of(line) * self.ways;
+        let raw = line.raw();
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == raw)
     }
 
     /// True when the line is resident.
@@ -213,9 +258,14 @@ impl Cache {
     /// [`Cache::alloc_mshr`]. This keeps retried accesses (downstream MSHRs
     /// full) from double-counting.
     pub fn demand_lookup(&mut self, line: LineAddr, ip: Ip, write: bool) -> ProbeResult {
-        if let Some(way) = self.find_way(line) {
-            let set = self.set_of(line);
-            let i = self.slot(set, way);
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let raw = line.raw();
+        let hit_way = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == raw);
+        if let Some(way) = hit_way {
+            let i = base + way;
             self.stats.demand_accesses += 1;
             self.stats.demand_hits += 1;
             self.repl.on_hit(
@@ -303,9 +353,7 @@ impl Cache {
     }
 
     fn find_mshr(&self, line: LineAddr) -> Option<usize> {
-        self.mshrs
-            .iter()
-            .position(|m| m.as_ref().is_some_and(|m| m.line == line))
+        self.mshr_index.get(&line.raw()).copied()
     }
 
     /// True when at least one MSHR is free.
@@ -324,12 +372,13 @@ impl Cache {
     ///
     /// Panics if no MSHR is free (callers must check first).
     pub fn alloc_mshr(&mut self, mshr: Mshr) {
-        let idx = self
-            .mshrs
-            .iter()
-            .position(Option::is_none)
+        let Reverse(idx) = self
+            .free_mshrs
+            .pop()
             .expect("caller must ensure an MSHR is free");
         assert!(mshr.fill_at != FILL_UNKNOWN, "fill time must be resolved");
+        let prev = self.mshr_index.insert(mshr.line.raw(), idx);
+        debug_assert!(prev.is_none(), "one MSHR per line");
         self.pending_fills.push(Reverse((mshr.fill_at, idx)));
         self.mshrs[idx] = Some(mshr);
         self.mshr_used += 1;
@@ -348,6 +397,8 @@ impl Cache {
         }
         self.pending_fills.pop();
         let m = self.mshrs[idx].take().expect("scheduled fill has an MSHR");
+        self.mshr_index.remove(&m.line.raw());
+        self.free_mshrs.push(Reverse(idx));
         self.mshr_used -= 1;
         Some(m)
     }
@@ -363,9 +414,13 @@ impl Cache {
         pf_class: u8,
         dirty: bool,
     ) -> Option<Evicted> {
+        debug_assert!(line.raw() != TAG_INVALID, "line collides with sentinel");
         let set = self.set_of(line);
         let base = set * self.ways;
-        let (way, evicted) = match (0..self.ways).find(|&w| !self.valid[base + w]) {
+        let free = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == TAG_INVALID);
+        let (way, evicted) = match free {
             Some(w) => (w, None),
             None => {
                 let w = self.repl.victim(set);
@@ -385,7 +440,6 @@ impl Cache {
         };
         let i = base + way;
         self.tags[i] = line.raw();
-        self.valid[i] = true;
         self.dirty[i] = dirty;
         self.prefetched[i] = is_prefetch;
         self.pf_class[i] = pf_class & 3;
@@ -402,8 +456,7 @@ impl Cache {
     /// whether the line was present.
     pub fn writeback_hit(&mut self, line: LineAddr) -> bool {
         if let Some(way) = self.find_way(line) {
-            let set = self.set_of(line);
-            let i = self.slot(set, way);
+            let i = self.set_of(line) * self.ways + way;
             self.dirty[i] = true;
             true
         } else {

@@ -32,7 +32,17 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is not an exact power-of-two set count.
     pub fn sets(&self) -> u64 {
-        let sets = self.size_bytes / ipcp_mem::LINE_BYTES / u64::from(self.ways);
+        self.sets_with_scale(1)
+    }
+
+    /// Number of sets with capacity multiplied by `scale` (the LLC grows
+    /// with core count per Table II), without cloning the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not an exact power-of-two set count.
+    pub fn sets_with_scale(&self, scale: u32) -> u64 {
+        let sets = self.size_bytes * u64::from(scale) / ipcp_mem::LINE_BYTES / u64::from(self.ways);
         assert!(
             sets.is_power_of_two(),
             "{}: set count {sets} must be a power of two",
@@ -117,7 +127,7 @@ impl Default for TlbConfig {
 /// Defaults model single-channel DDR4-1600 at a 4 GHz core: a 64 B burst
 /// occupies the channel for 20 core cycles (12.8 GB/s), and tRP = tRCD =
 /// tCAS = 55 core cycles (13.75 ns).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DramConfig {
     /// Independent channels (1 for single-core runs, 2 for multi-core,
     /// per Table II).

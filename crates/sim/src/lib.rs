@@ -50,4 +50,4 @@ pub use config::{
 };
 pub use stats::{CacheStats, CoreReport, CoreStats, DramStats, SimReport, TlbStats};
 pub use system::{run_single, weighted_speedup, CoreSetup, System};
-pub use telemetry::{JsonValue, Sample, Sampler, ToJson};
+pub use telemetry::{FromJson, JsonValue, Sample, Sampler, ToJson};

@@ -261,7 +261,30 @@ pub trait Prefetcher: Send {
 
     /// Invoked once per simulated cycle. Most prefetchers ignore this; BOP
     /// uses it for its round-scoring timer.
+    ///
+    /// An implementation that overrides this MUST also override
+    /// [`Prefetcher::uses_cycle_hook`] to return `true`, or the system
+    /// will never call it.
     fn on_cycle(&mut self, _cycle: Cycle, _sink: &mut dyn PrefetchSink) {}
+
+    /// Whether [`Prefetcher::on_cycle`] does anything. The system checks
+    /// this once at construction and skips the per-cycle hook pass
+    /// entirely when no attached prefetcher needs it — the hook is a
+    /// virtual call per prefetcher per cycle, which is pure overhead for
+    /// the common access-driven designs. Wrappers must forward this.
+    fn uses_cycle_hook(&self) -> bool {
+        false
+    }
+
+    /// Whether this prefetcher never issues anything (the "none"
+    /// baseline). The system checks this once at construction and skips
+    /// the whole per-access hook (event-struct assembly plus a virtual
+    /// call on every demand access) for inert prefetchers — every speedup
+    /// figure runs a `none` baseline, so the dead hook is measurable.
+    /// Wrappers must forward this.
+    fn is_noop(&self) -> bool {
+        false
+    }
 
     /// Storage the hardware implementation would need, in bits — the
     /// currency of Table I / Table III.
@@ -280,6 +303,10 @@ impl Prefetcher for NoPrefetcher {
     }
 
     fn on_access(&mut self, _info: &AccessInfo, _sink: &mut dyn PrefetchSink) {}
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// Wrapper that rewrites every request's fill level — how the Fig. 1
@@ -338,6 +365,14 @@ impl<P: Prefetcher> Prefetcher for FillLevelOverride<P> {
             fill: self.fill,
         };
         self.inner.on_cycle(cycle, &mut s);
+    }
+
+    fn uses_cycle_hook(&self) -> bool {
+        self.inner.uses_cycle_hook()
+    }
+
+    fn is_noop(&self) -> bool {
+        self.inner.is_noop()
     }
 
     fn storage_bits(&self) -> u64 {

@@ -127,6 +127,11 @@ struct Core {
     tlb: Tlb,
     l1d_pf: Box<dyn Prefetcher>,
     l2_pf: Box<dyn Prefetcher>,
+    /// Cached `is_noop` of the attached prefetchers: the access hooks
+    /// assemble an event struct and make a virtual call on every demand
+    /// access, which is dead weight for the ubiquitous `none` baseline.
+    l1d_pf_noop: bool,
+    l2_pf_noop: bool,
     /// Per-core page mapper: each trace is its own process with a private
     /// virtual address space (multi-programmed mixes must not share pages).
     mapper: PageMapper,
@@ -166,6 +171,18 @@ pub struct System {
     /// Interval sampler (`None` unless `cfg.sample_interval` is set — the
     /// disabled path costs one `Option` check per cycle).
     sampler: Option<Sampler>,
+    /// `IPCP_DEBUG_PF` present at construction — checked once instead of
+    /// an environment lookup on every merge/prefetch event.
+    debug_pf: bool,
+    /// Any attached prefetcher implements `on_cycle` (checked once at
+    /// construction); when false the per-cycle hook pass is skipped.
+    cycle_hooks: bool,
+    /// Cached `is_noop` of the LLC prefetcher (see `Core::l1d_pf_noop`).
+    llc_pf_noop: bool,
+    /// Scratch sink handed to prefetcher hooks, swapped out of `self` for
+    /// the duration of each call so its buffer capacity is reused across
+    /// the millions of hook invocations per run.
+    pf_scratch: VecSink,
 }
 
 impl std::fmt::Debug for System {
@@ -195,7 +212,7 @@ impl System {
             "core setups must match cfg.cores"
         );
         let vmem_seed = cfg.vmem_seed;
-        let cores = setups
+        let cores: Vec<Core> = setups
             .into_iter()
             .enumerate()
             .map(|(ci, s)| {
@@ -208,6 +225,8 @@ impl System {
                     l1d: Cache::new(&cfg.l1d, 1),
                     l2: Cache::new(&cfg.l2, 1),
                     tlb: Tlb::new(&cfg.tlb),
+                    l1d_pf_noop: s.l1d_prefetcher.is_noop(),
+                    l2_pf_noop: s.l2_prefetcher.is_noop(),
                     l1d_pf: s.l1d_prefetcher,
                     l2_pf: s.l2_prefetcher,
                     rob: Rob::new(cfg.core.rob_entries as usize),
@@ -223,8 +242,13 @@ impl System {
             })
             .collect();
         let llc = Cache::new(&cfg.llc, cfg.cores);
-        let dram = Dram::new(cfg.dram.clone());
+        let dram = Dram::new(cfg.dram);
         let sampler = cfg.sample_interval.map(Sampler::new);
+        let cycle_hooks = llc_prefetcher.uses_cycle_hook()
+            || cores
+                .iter()
+                .any(|c: &Core| c.l1d_pf.uses_cycle_hook() || c.l2_pf.uses_cycle_hook());
+        let llc_pf_noop = llc_prefetcher.is_noop();
         Self {
             cfg,
             now: 0,
@@ -235,6 +259,10 @@ impl System {
             warmed_up: false,
             last_retire_cycle: 0,
             sampler,
+            debug_pf: std::env::var_os("IPCP_DEBUG_PF").is_some(),
+            cycle_hooks,
+            llc_pf_noop,
+            pf_scratch: VecSink::new(),
         }
     }
 
@@ -421,23 +449,26 @@ impl System {
     }
 
     fn run_on_cycle_hooks(&mut self) {
+        if !self.cycle_hooks {
+            return;
+        }
+        let mut sink = std::mem::take(&mut self.pf_scratch);
         for ci in 0..self.cores.len() {
-            let mut sink = VecSink::new();
             self.cores[ci].l1d_pf.on_cycle(self.now, &mut sink);
-            for req in sink.take() {
+            for req in sink.requests.drain(..) {
                 self.enqueue_l1_request(ci, req, Ip(0));
             }
-            let mut sink = VecSink::new();
             self.cores[ci].l2_pf.on_cycle(self.now, &mut sink);
-            for req in sink.take() {
+            for req in sink.requests.drain(..) {
                 self.enqueue_l2_request(ci, req, Ip(0));
             }
         }
-        let mut sink = VecSink::new();
         self.llc_pf.on_cycle(self.now, &mut sink);
-        for req in sink.take() {
+        for req in sink.requests.drain(..) {
             self.enqueue_llc_request(req, Ip(0));
         }
+        sink.dropped = 0;
+        self.pf_scratch = sink;
     }
 
     // ------------------------------------------------------------------
@@ -646,7 +677,7 @@ impl System {
             ProbeResult::MshrMerge { fill_at } => {
                 self.run_l1d_prefetcher(ci, vline, pline, ip, kind, false, false, 0);
                 let c = fill_at.max(t + l1_lat);
-                if std::env::var_os("IPCP_DEBUG_PF").is_some() && c > t + 60 {
+                if self.debug_pf && c > t + 60 {
                     eprintln!(
                         "MERGE line {:#x} t {} fill {} wait {}",
                         pline.raw(),
@@ -801,7 +832,7 @@ impl System {
                         self.cores[ci].l1d.pop_prefetch();
                         match self.resolve_l2_prefetch(ci, &qp, self.now + PF_ISSUE_LATENCY) {
                             Some(c) => {
-                                if std::env::var_os("IPCP_DEBUG_PF").is_some() {
+                                if self.debug_pf {
                                     eprintln!(
                                         "PF line {:#x} now {} fill {}",
                                         qp.pline.raw(),
@@ -1019,6 +1050,9 @@ impl System {
         first_use_of_prefetch: bool,
         hit_pf_class: u8,
     ) {
+        if self.cores[ci].l1d_pf_noop {
+            return;
+        }
         let dram_utilization = self.dram.utilization();
         let core = &mut self.cores[ci];
         let info = AccessInfo {
@@ -1034,11 +1068,13 @@ impl System {
             demand_misses: core.l1d.lifetime_misses(),
             dram_utilization,
         };
-        let mut sink = VecSink::new();
-        core.l1d_pf.on_access(&info, &mut sink);
-        for req in sink.take() {
+        let mut sink = std::mem::take(&mut self.pf_scratch);
+        self.cores[ci].l1d_pf.on_access(&info, &mut sink);
+        for req in sink.requests.drain(..) {
             self.enqueue_l1_request(ci, req, ip);
         }
+        sink.dropped = 0;
+        self.pf_scratch = sink;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1052,6 +1088,9 @@ impl System {
         first_use_of_prefetch: bool,
         hit_pf_class: u8,
     ) {
+        if self.cores[ci].l2_pf_noop {
+            return;
+        }
         let dram_utilization = self.dram.utilization();
         let core = &mut self.cores[ci];
         let info = AccessInfo {
@@ -1067,14 +1106,19 @@ impl System {
             demand_misses: core.l2.lifetime_misses(),
             dram_utilization,
         };
-        let mut sink = VecSink::new();
-        core.l2_pf.on_access(&info, &mut sink);
-        for req in sink.take() {
+        let mut sink = std::mem::take(&mut self.pf_scratch);
+        self.cores[ci].l2_pf.on_access(&info, &mut sink);
+        for req in sink.requests.drain(..) {
             self.enqueue_l2_request(ci, req, ip);
         }
+        sink.dropped = 0;
+        self.pf_scratch = sink;
     }
 
     fn run_l2_prefetcher_arrival(&mut self, ci: usize, qp: &QueuedPrefetch) {
+        if self.cores[ci].l2_pf_noop {
+            return;
+        }
         let core = &mut self.cores[ci];
         let arrival = MetadataArrival {
             cycle: self.now,
@@ -1084,11 +1128,15 @@ impl System {
             instructions: core.retired_total,
             demand_misses: core.l2.lifetime_misses(),
         };
-        let mut sink = VecSink::new();
-        core.l2_pf.on_prefetch_arrival(&arrival, &mut sink);
-        for req in sink.take() {
+        let mut sink = std::mem::take(&mut self.pf_scratch);
+        self.cores[ci]
+            .l2_pf
+            .on_prefetch_arrival(&arrival, &mut sink);
+        for req in sink.requests.drain(..) {
             self.enqueue_l2_request(ci, req, qp.ip);
         }
+        sink.dropped = 0;
+        self.pf_scratch = sink;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1102,6 +1150,9 @@ impl System {
         first_use_of_prefetch: bool,
         hit_pf_class: u8,
     ) {
+        if self.llc_pf_noop {
+            return;
+        }
         let info = AccessInfo {
             cycle: self.now,
             ip,
@@ -1115,11 +1166,13 @@ impl System {
             demand_misses: self.llc.lifetime_misses(),
             dram_utilization: self.dram.utilization(),
         };
-        let mut sink = VecSink::new();
+        let mut sink = std::mem::take(&mut self.pf_scratch);
         self.llc_pf.on_access(&info, &mut sink);
-        for req in sink.take() {
+        for req in sink.requests.drain(..) {
             self.enqueue_llc_request(req, ip);
         }
+        sink.dropped = 0;
+        self.pf_scratch = sink;
     }
 
     fn enqueue_l1_request(&mut self, ci: usize, req: PrefetchRequest, ip: Ip) {

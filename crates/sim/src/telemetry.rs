@@ -672,6 +672,194 @@ impl ToJson for SimReport {
 }
 
 // ---------------------------------------------------------------------
+// FromJson: the stats types, deserialized
+// ---------------------------------------------------------------------
+
+/// Reconstruction from the workspace's [`JsonValue`] document model —
+/// the inverse of [`ToJson`], used by the bench simcache to reload
+/// persisted [`SimReport`]s. Derived fields the serializer embeds for
+/// human consumers (`ipc`, `accuracy`, `coverage`, `traffic_bytes`,
+/// `llc_mpki`, `dram_bus_utilization` at the report level) are ignored on
+/// the way back in: they are recomputed from the counters on demand.
+pub trait FromJson: Sized {
+    /// Rebuilds `Self` from its [`ToJson`] document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field.
+    fn from_json(v: &JsonValue) -> Result<Self, String>;
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
+}
+
+fn u32_field(v: &JsonValue, key: &str) -> Result<u32, String> {
+    u32::try_from(u64_field(v, key)?).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))
+}
+
+fn class_array<T, F>(v: &JsonValue, key: &str, get: F) -> Result<[T; PF_CLASSES], String>
+where
+    T: Copy + Default,
+    F: Fn(&JsonValue) -> Option<T>,
+{
+    let arr = field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} is not an array"))?;
+    if arr.len() != PF_CLASSES {
+        return Err(format!(
+            "field {key:?} has {} entries, want {PF_CLASSES}",
+            arr.len()
+        ));
+    }
+    let mut out = [T::default(); PF_CLASSES];
+    for (slot, item) in out.iter_mut().zip(arr) {
+        *slot = get(item).ok_or_else(|| format!("field {key:?} has an ill-typed entry"))?;
+    }
+    Ok(out)
+}
+
+impl FromJson for CacheStats {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            demand_accesses: u64_field(v, "demand_accesses")?,
+            demand_hits: u64_field(v, "demand_hits")?,
+            demand_misses: u64_field(v, "demand_misses")?,
+            late_prefetch_hits: u64_field(v, "late_prefetch_hits")?,
+            useful_prefetch_hits: u64_field(v, "useful_prefetch_hits")?,
+            useful_by_class: class_array(v, "useful_by_class", JsonValue::as_u64)?,
+            pf_issued: u64_field(v, "pf_issued")?,
+            pf_dropped_pq_full: u64_field(v, "pf_dropped_pq_full")?,
+            pf_dropped_present: u64_field(v, "pf_dropped_present")?,
+            pf_dropped_mshr_full: u64_field(v, "pf_dropped_mshr_full")?,
+            pf_fills: u64_field(v, "pf_fills")?,
+            fills_by_class: class_array(v, "fills_by_class", JsonValue::as_u64)?,
+            pf_useless_evicted: u64_field(v, "pf_useless_evicted")?,
+            writebacks: u64_field(v, "writebacks")?,
+            mshr_full_rejects: u64_field(v, "mshr_full_rejects")?,
+            miss_latency_sum: u64_field(v, "miss_latency_sum")?,
+            merge_wait_sum: u64_field(v, "merge_wait_sum")?,
+        })
+    }
+}
+
+impl FromJson for DramStats {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            channels: u32_field(v, "channels")?,
+            reads: u64_field(v, "reads")?,
+            writes: u64_field(v, "writes")?,
+            row_hits: u64_field(v, "row_hits")?,
+            row_misses: u64_field(v, "row_misses")?,
+            bus_busy_cycles: u64_field(v, "bus_busy_cycles")?,
+        })
+    }
+}
+
+impl FromJson for TlbStats {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            dtlb_accesses: u64_field(v, "dtlb_accesses")?,
+            dtlb_misses: u64_field(v, "dtlb_misses")?,
+            stlb_misses: u64_field(v, "stlb_misses")?,
+        })
+    }
+}
+
+impl FromJson for CoreStats {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            instructions: u64_field(v, "instructions")?,
+            cycles: u64_field(v, "cycles")?,
+            stall_cycles: u64_field(v, "stall_cycles")?,
+        })
+    }
+}
+
+impl FromJson for CoreReport {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            trace: str_field(v, "trace")?.to_string(),
+            core: CoreStats::from_json(field(v, "core")?)?,
+            l1i: CacheStats::from_json(field(v, "l1i")?)?,
+            l1d: CacheStats::from_json(field(v, "l1d")?)?,
+            l2: CacheStats::from_json(field(v, "l2")?)?,
+            tlb: TlbStats::from_json(field(v, "tlb")?)?,
+        })
+    }
+}
+
+impl FromJson for Sample {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(Self {
+            instructions: u64_field(v, "instructions")?,
+            cycles: u64_field(v, "cycles")?,
+            ipc: f64_field(v, "ipc")?,
+            l1d_mpki: f64_field(v, "l1d_mpki")?,
+            l2_mpki: f64_field(v, "l2_mpki")?,
+            llc_mpki: f64_field(v, "llc_mpki")?,
+            l1d_accuracy: f64_field(v, "l1d_accuracy")?,
+            l1d_coverage: f64_field(v, "l1d_coverage")?,
+            class_accuracy: class_array(v, "class_accuracy", JsonValue::as_f64)?,
+            class_useful: class_array(v, "class_useful", JsonValue::as_u64)?,
+            l1d_pq: u32_field(v, "l1d_pq")?,
+            l1d_mshr: u32_field(v, "l1d_mshr")?,
+            l2_pq: u32_field(v, "l2_pq")?,
+            l2_mshr: u32_field(v, "l2_mshr")?,
+            llc_pq: u32_field(v, "llc_pq")?,
+            llc_mshr: u32_field(v, "llc_mshr")?,
+            dram_bus_utilization: f64_field(v, "dram_bus_utilization")?,
+        })
+    }
+}
+
+impl FromJson for SimReport {
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let cores = field(v, "cores")?
+            .as_array()
+            .ok_or_else(|| "field \"cores\" is not an array".to_string())?
+            .iter()
+            .map(CoreReport::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        // `series` is absent when the sampler was disabled.
+        let samples = match v.get("series") {
+            None => Vec::new(),
+            Some(series) => series
+                .as_array()
+                .ok_or_else(|| "field \"series\" is not an array".to_string())?
+                .iter()
+                .map(Sample::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(Self {
+            cores,
+            llc: CacheStats::from_json(field(v, "llc")?)?,
+            dram: DramStats::from_json(field(v, "dram")?)?,
+            cycles: u64_field(v, "cycles")?,
+            samples,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
 // Interval sampler
 // ---------------------------------------------------------------------
 
@@ -988,6 +1176,105 @@ mod tests {
         let rendered = j.to_pretty_string();
         let reparsed = JsonValue::parse(&rendered).unwrap();
         assert_eq!(reparsed.to_pretty_string(), rendered);
+    }
+
+    /// A fully populated report survives serialize → render → parse →
+    /// deserialize exactly, including samples. This is the invariant the
+    /// bench simcache relies on: a reloaded report must be
+    /// indistinguishable from the freshly computed one.
+    #[test]
+    fn simreport_from_json_round_trips() {
+        let mut r = SimReport {
+            cycles: 12345,
+            ..Default::default()
+        };
+        r.llc.demand_accesses = 900;
+        r.llc.demand_hits = 600;
+        r.llc.demand_misses = 300;
+        r.llc.useful_by_class = [1, 2, 3, 4];
+        r.llc.fills_by_class = [5, 6, 7, 8];
+        r.llc.miss_latency_sum = 98765;
+        r.dram = DramStats {
+            channels: 2,
+            reads: 100,
+            writes: 40,
+            row_hits: 70,
+            row_misses: 30,
+            bus_busy_cycles: 2222,
+        };
+        r.cores.push(CoreReport {
+            trace: "kernel_2d_stencil".into(),
+            core: CoreStats {
+                instructions: 400_000,
+                cycles: 123_456,
+                stall_cycles: 9_876,
+            },
+            ..Default::default()
+        });
+        r.cores[0].l1d.pf_issued = 777;
+        r.cores[0].tlb.dtlb_accesses = 555;
+        r.samples.push(Sample {
+            instructions: 100_000,
+            cycles: 31_000,
+            ipc: 3.225_806_451_612_903,
+            l1d_mpki: 1.25,
+            l2_mpki: 0.5,
+            llc_mpki: 0.125,
+            l1d_accuracy: 0.75,
+            l1d_coverage: 0.5,
+            class_accuracy: [0.0, 0.9, 0.1, 0.0],
+            class_useful: [0, 9, 1, 0],
+            l1d_pq: 3,
+            l1d_mshr: 7,
+            l2_pq: 1,
+            l2_mshr: 2,
+            llc_pq: 0,
+            llc_mshr: 5,
+            dram_bus_utilization: 0.375,
+        });
+        let rendered = r.to_json().to_pretty_string();
+        let back = SimReport::from_json(&JsonValue::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, r);
+        // And an empty sample list stays empty (no "series" key at all).
+        let empty = SimReport::default();
+        let back = SimReport::from_json(&empty.to_json()).unwrap();
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn simreport_from_json_rejects_missing_and_ill_typed_fields() {
+        let good = SimReport {
+            cores: vec![CoreReport::default()],
+            ..Default::default()
+        }
+        .to_json();
+        assert!(SimReport::from_json(&good).is_ok());
+        // Drop a required counter from the LLC block.
+        let mut doc = good.clone();
+        if let JsonValue::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "llc" {
+                    if let JsonValue::Obj(llc) = v {
+                        llc.retain(|(k, _)| k != "writebacks");
+                    }
+                }
+            }
+        }
+        let err = SimReport::from_json(&doc).unwrap_err();
+        assert!(err.contains("writebacks"), "error was: {err}");
+        // Wrong type for cycles (mutate the existing key: `insert` appends
+        // and `get` returns the first occurrence).
+        let mut bad = good.clone();
+        if let JsonValue::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cycles" {
+                    *v = JsonValue::Str("not a number".into());
+                }
+            }
+        }
+        assert!(SimReport::from_json(&bad).is_err());
+        // Not an object at all.
+        assert!(SimReport::from_json(&JsonValue::Null).is_err());
     }
 
     #[test]

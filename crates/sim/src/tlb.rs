@@ -7,6 +7,12 @@ use crate::config::{Cycle, TlbConfig};
 use crate::stats::TlbStats;
 use crate::vmem::PageMapper;
 
+/// Sentinel tag marking an empty TLB way. Virtual page numbers are
+/// addresses shifted down by the page bits, so a real vpage can never be
+/// `u64::MAX`; folding validity into the tag turns the hit scan into a
+/// single compare per way (same trick as the cache tag array).
+const VTAG_INVALID: u64 = u64::MAX;
+
 /// A small set-associative translation buffer with LRU replacement.
 #[derive(Debug, Clone)]
 struct TlbArray {
@@ -14,7 +20,6 @@ struct TlbArray {
     ways: usize,
     vtags: Vec<u64>,
     frames: Vec<u64>,
-    valid: Vec<bool>,
     last_use: Vec<u64>,
     stamp: u64,
 }
@@ -31,9 +36,8 @@ impl TlbArray {
         Self {
             sets,
             ways,
-            vtags: vec![0; n],
+            vtags: vec![VTAG_INVALID; n],
             frames: vec![0; n],
-            valid: vec![false; n],
             last_use: vec![0; n],
             stamp: 0,
         }
@@ -46,22 +50,25 @@ impl TlbArray {
     fn lookup(&mut self, vpage: VPage) -> Option<PPage> {
         let set = self.set_of(vpage);
         let base = set * self.ways;
-        for w in 0..self.ways {
+        let raw = vpage.raw();
+        if let Some(w) = self.vtags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == raw)
+        {
             let i = base + w;
-            if self.valid[i] && self.vtags[i] == vpage.raw() {
-                self.stamp += 1;
-                self.last_use[i] = self.stamp;
-                return Some(PPage::new(self.frames[i]));
-            }
+            self.stamp += 1;
+            self.last_use[i] = self.stamp;
+            return Some(PPage::new(self.frames[i]));
         }
         None
     }
 
     fn insert(&mut self, vpage: VPage, ppage: PPage) {
+        debug_assert!(vpage.raw() != VTAG_INVALID, "vpage collides with sentinel");
         let set = self.set_of(vpage);
         let base = set * self.ways;
         let victim = (0..self.ways)
-            .find(|&w| !self.valid[base + w])
+            .find(|&w| self.vtags[base + w] == VTAG_INVALID)
             .unwrap_or_else(|| {
                 (0..self.ways)
                     .min_by_key(|&w| self.last_use[base + w])
@@ -70,7 +77,6 @@ impl TlbArray {
         let i = base + victim;
         self.vtags[i] = vpage.raw();
         self.frames[i] = ppage.raw();
-        self.valid[i] = true;
         self.stamp += 1;
         self.last_use[i] = self.stamp;
     }

@@ -99,6 +99,43 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sentinel-tag residency equivalence: `find_way`'s single-compare scan
+    /// (validity folded into the tag as `u64::MAX`) must agree with a plain
+    /// set-of-installed-lines model under arbitrary install/evict/probe
+    /// interleavings — the model is exactly what the old explicit
+    /// `valid`-bit scan computed.
+    #[test]
+    fn sentinel_tags_match_residency_model(
+        installs in proptest::collection::vec(0u64..512, 1..300),
+        probes in proptest::collection::vec(0u64..512, 1..300),
+    ) {
+        let cfg = SimConfig::default();
+        let mut c = Cache::new(&cfg.l1d, 1);
+        let mut resident = std::collections::HashSet::new();
+        let ip = Ip(0x400);
+        for (i, line) in installs.iter().enumerate() {
+            let line = LineAddr::new(*line);
+            if resident.contains(&line) {
+                continue; // install() requires non-resident lines
+            }
+            if let Some(ev) = c.install(line, ip, i % 3 == 0, 0, false) {
+                prop_assert!(resident.remove(&ev.line), "evicted a non-resident line");
+            }
+            resident.insert(line);
+        }
+        for line in probes {
+            let line = LineAddr::new(line);
+            prop_assert_eq!(c.contains(line), resident.contains(&line));
+        }
+        for line in &resident {
+            prop_assert!(c.contains(*line), "installed line not found");
+        }
+    }
+}
+
 #[test]
 fn tlb_translation_is_a_function() {
     // The same vpage must always map to the same frame, across DTLB/STLB

@@ -1,0 +1,60 @@
+//! Deterministic equivalence check of the sentinel-tag `find_way` scan:
+//! the cache folds validity into the tag array (`u64::MAX` = empty way),
+//! and a line's residency must still match a plain set-of-installed-lines
+//! model — exactly what the old explicit `valid`-bit scan computed. The
+//! proptest variant lives in `invariants.rs` (feature-gated on the
+//! external `proptest` crate); this xorshift-driven run is always on.
+
+use std::collections::HashSet;
+
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::cache::Cache;
+use ipcp_sim::config::SimConfig;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[test]
+fn sentinel_tag_scan_matches_residency_model() {
+    let cfg = SimConfig::default();
+    for (level, lcfg) in [("l1d", &cfg.l1d), ("l2", &cfg.l2), ("llc", &cfg.llc)] {
+        let mut c = Cache::new(lcfg, 1);
+        let mut resident: HashSet<LineAddr> = HashSet::new();
+        let mut rng = 0x1bc9_5eed_u64 ^ lcfg.size_bytes;
+        let ip = Ip(0x400);
+        // Enough installs to cycle every set through fills and evictions.
+        let universe = lcfg.sets() * u64::from(lcfg.ways) * 4;
+        for i in 0..20_000u64 {
+            let line = LineAddr::new(xorshift(&mut rng) % universe);
+            if resident.contains(&line) {
+                continue; // install() requires non-resident lines
+            }
+            if let Some(ev) = c.install(line, ip, i % 5 == 0, 0, i % 7 == 0) {
+                assert!(
+                    resident.remove(&ev.line),
+                    "{level}: evicted {:?} which the model never saw installed",
+                    ev.line
+                );
+            }
+            resident.insert(line);
+        }
+        // Every probe — resident or not — must agree with the model,
+        // including lines that were installed and since evicted.
+        for probe in 0..universe {
+            let line = LineAddr::new(probe);
+            assert_eq!(
+                c.contains(line),
+                resident.contains(&line),
+                "{level}: residency of {line:?} diverges from the model"
+            );
+        }
+        assert!(
+            !resident.is_empty() && resident.len() <= (lcfg.sets() * u64::from(lcfg.ways)) as usize,
+            "{level}: model tracks at most the cache capacity"
+        );
+    }
+}

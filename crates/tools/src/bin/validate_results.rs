@@ -2,7 +2,8 @@
 //! directory, for CI and for catching schema drift.
 //!
 //! ```text
-//! validate_results [--results-dir results] [--expect name ...]
+//! validate_results [--results-dir results] [--compare DIR]
+//!                  [--min-simcache-hits N] [--expect name ...]
 //! ```
 //!
 //! Checks that `manifest.json` parses, carries the expected schema and a
@@ -12,6 +13,14 @@
 //! (schema, name, scale, rectangular tables, monotone series). Positional
 //! `--expect` names must each appear in the manifest with `ok: true` and a
 //! sidecar — the CI job uses this to pin the subset it ran.
+//!
+//! `--compare DIR` is the simulation-cache determinism check: every
+//! positional experiment's `.txt` and `.data.json` must be byte-identical
+//! between the results dir and `DIR` (one sweep run cached, one not — any
+//! divergence means the cache changed results). `--min-simcache-hits N`
+//! asserts the manifest's aggregate cache hit counter is at least `N`
+//! (a warm CI sweep that somehow missed every entry is a silent failure
+//! of the cache, not a pass).
 //!
 //! Exit status: 0 when everything validates, 1 otherwise, with one line
 //! per problem on stderr.
@@ -164,6 +173,7 @@ fn main() {
     // The manifest: schema, experiment list, and sidecar cross-references.
     let manifest_path = dir.join("manifest.json");
     let mut manifest_names: Vec<(String, bool, bool)> = Vec::new();
+    let mut manifest_hits: Option<u64> = None;
     if let Some(manifest) = c.load(&manifest_path) {
         let loc = manifest_path.display().to_string();
         if manifest.get("schema").and_then(JsonValue::as_u64) != Some(1) {
@@ -192,6 +202,62 @@ fn main() {
                 }
             }
             _ => c.problem(format!("{loc}: missing or empty \"experiments\" array")),
+        }
+        manifest_hits = manifest
+            .get("simcache")
+            .and_then(|s| s.get("hits"))
+            .and_then(JsonValue::as_u64);
+    }
+
+    // The sweep-level cache hit floor (CI's warm-run assertion).
+    if let Some(min) = args.options.get("min-simcache-hits") {
+        let min: u64 = min
+            .parse()
+            .unwrap_or_else(|_| panic!("--min-simcache-hits {min:?} is not a count"));
+        match manifest_hits {
+            None => c.problem(format!(
+                "{}: no aggregate \"simcache\" counters (was IPCP_SIMCACHE on?)",
+                manifest_path.display()
+            )),
+            Some(hits) if hits < min => c.problem(format!(
+                "{}: simcache hits {hits} < required {min}",
+                manifest_path.display()
+            )),
+            Some(_) => {}
+        }
+    }
+
+    // Cache determinism: cached and uncached sweeps must be byte-identical.
+    if let Some(ref_dir) = args.options.get("compare").map(PathBuf::from) {
+        assert!(
+            !args.positional.is_empty(),
+            "--compare needs positional experiment names to compare"
+        );
+        for name in &args.positional {
+            for suffix in [".txt", ".data.json"] {
+                let a = dir.join(format!("{name}{suffix}"));
+                let b = ref_dir.join(format!("{name}{suffix}"));
+                match (std::fs::read(&a), std::fs::read(&b)) {
+                    (Ok(x), Ok(y)) => {
+                        if x != y {
+                            c.problem(format!(
+                                "{} differs from {} (cached vs uncached results diverge)",
+                                a.display(),
+                                b.display()
+                            ));
+                        }
+                    }
+                    (Err(e), Ok(_)) => {
+                        c.problem(format!("{}: unreadable for --compare: {e}", a.display()));
+                    }
+                    (Ok(_), Err(e)) => {
+                        c.problem(format!("{}: unreadable for --compare: {e}", b.display()));
+                    }
+                    // Absent on both sides (e.g. sidecars disabled): not a
+                    // divergence — the structural checks police presence.
+                    (Err(_), Err(_)) => {}
+                }
+            }
         }
     }
 
