@@ -1,41 +1,53 @@
 //! `perf_smoke` — fixed-workload simulator throughput measurement.
 //!
-//! Runs a small fixed set of (trace, combo) points serially and records
-//! the best-of-N wall clock and nominal simulated instructions/second
-//! into a schema-versioned `BENCH_perf.json`, so every PR that touches
-//! the simulator hot path has a trajectory to compare against.
+//! Runs a small fixed set of benches serially and records the best-of-N
+//! wall clock and nominal simulated instructions/second for each into a
+//! schema-versioned `BENCH_perf.json`, so every PR that touches the
+//! simulator hot path has a trajectory to compare against. The benches:
+//!
+//! * `mixed` — three suite traces × {`none`, `ipcp`}, single-core (the
+//!   original smoke workload, kept for label-to-label continuity).
+//! * `none` — the same traces under no prefetching only: the idle-heavy
+//!   path where the event-driven scheduler's cycle skipping dominates.
+//! * `ipcp` — the same traces under the paper's full `ipcp` combo only.
+//! * `mc_mix` — one four-core multi-programmed mix under `ipcp`.
 //!
 //! ```text
-//! perf_smoke [--label L] [--out BENCH_perf.json] [--iters 3]
+//! perf_smoke [--label L] [--out BENCH_perf.json] [--iters 3] [--only BENCH]
 //! perf_smoke --sweep-cold SECS --sweep-warm SECS [--out BENCH_perf.json]
 //! ```
 //!
+//! `--only` restricts the run to one bench (by the names above) — handy
+//! for profiling a single path or quick CI checks.
+//!
 //! The measurement deliberately bypasses the simcache (it calls
-//! `run_single` directly): it times the simulator, not the cache. Entries
-//! are keyed by `--label`; re-running with an existing label replaces that
-//! entry, so the committed file stays one-entry-per-milestone. The second
-//! form records a full-sweep cache-off vs cache-warm wall-clock pair
-//! (measured externally, e.g. by `time`d `experiments` runs) into a
-//! `sweep` object without re-measuring throughput. Scale follows
-//! `IPCP_SCALE` exactly like the figure binaries; the committed file is
-//! generated at the default scale.
+//! `run_single`/`System` directly): it times the simulator, not the
+//! cache. Entries are keyed by (`--label`, bench); re-running with an
+//! existing label replaces those entries, so the committed file stays
+//! one-entry-per-milestone-per-bench. The second form records a
+//! full-sweep cache-off vs cache-warm wall-clock pair (measured
+//! externally, e.g. by `time`d `experiments` runs) into a `sweep` object
+//! without re-measuring throughput. Scale follows `IPCP_SCALE` exactly
+//! like the figure binaries; the committed file is generated at the
+//! default scale.
 
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::Instant;
 
 use ipcp_bench::combos;
 use ipcp_bench::runner::RunScale;
 use ipcp_sim::telemetry::JsonValue;
-use ipcp_sim::{run_single, SimConfig};
+use ipcp_sim::{run_single, CoreSetup, SimConfig, System};
 use ipcp_trace::TraceSource;
-use ipcp_workloads::memory_intensive_suite;
+use ipcp_workloads::{memory_intensive_suite, SynthTrace};
 
 const SCHEMA: u64 = 1;
 /// How many traces from the front of the memory-intensive suite to run.
 const TRACES: usize = 3;
 /// Prefetcher combos to run each trace under (baseline + the paper's).
 const COMBOS: [&str; 2] = ["none", "ipcp"];
+/// Cores in the multi-programmed mix bench.
+const MIX_CORES: usize = 4;
 
 fn die(msg: &str) -> ! {
     eprintln!("perf_smoke: {msg}");
@@ -46,6 +58,7 @@ struct Opts {
     label: String,
     out: PathBuf,
     iters: u32,
+    only: Option<String>,
     sweep_cold: Option<f64>,
     sweep_warm: Option<f64>,
 }
@@ -55,6 +68,7 @@ fn parse_opts() -> Opts {
         label: "local".to_string(),
         out: PathBuf::from("BENCH_perf.json"),
         iters: 3,
+        only: None,
         sweep_cold: None,
         sweep_warm: None,
     };
@@ -66,6 +80,7 @@ fn parse_opts() -> Opts {
         };
         match arg.as_str() {
             "--label" => opts.label = value("--label"),
+            "--only" => opts.only = Some(value("--only")),
             "--out" => opts.out = PathBuf::from(value("--out")),
             "--iters" => {
                 opts.iters = value("--iters")
@@ -161,60 +176,133 @@ fn main() {
     }
 
     let traces: Vec<_> = memory_intensive_suite().into_iter().take(TRACES).collect();
-    let runs = traces.len() * COMBOS.len();
-    // Nominal work per iteration: every instruction the simulator retires,
-    // warmup included (warmup simulates at full fidelity).
-    let nominal = runs as u64 * (scale.warmup + scale.instructions);
+    let mix: Vec<_> = memory_intensive_suite()
+        .into_iter()
+        .take(MIX_CORES)
+        .collect();
+    let per_run = scale.warmup + scale.instructions;
 
-    let mut best = f64::INFINITY;
-    for iter in 0..opts.iters {
-        let started = Instant::now();
-        for trace in &traces {
-            for combo in COMBOS {
-                let cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
-                let c = combos::build(combo);
-                let report = run_single(cfg, Arc::new(trace.clone()), c.l1, c.l2, c.llc);
-                assert!(report.cycles > 0, "empty run for {combo}/{}", trace.name());
+    // Each bench: (name, combos per trace, methodology note, runner).
+    // Nominal work is every instruction the simulator retires toward its
+    // target, warmup included (warmup simulates at full fidelity).
+    type BenchRun<'a> = Box<dyn Fn() + 'a>;
+    let single = |combo_list: &'static [&'static str]| -> BenchRun<'_> {
+        let traces = &traces;
+        Box::new(move || {
+            for trace in traces {
+                for &combo in combo_list {
+                    let cfg =
+                        SimConfig::default().with_instructions(scale.warmup, scale.instructions);
+                    let c = combos::build(combo);
+                    let report = run_single(cfg, trace.handle(), c.l1, c.l2, c.llc);
+                    assert!(report.cycles > 0, "empty run for {combo}/{}", trace.name());
+                }
             }
-        }
-        let wall = started.elapsed().as_secs_f64();
-        best = best.min(wall);
-        eprintln!(
-            "iter {}/{}: {wall:.3}s ({:.0} instr/s)",
-            iter + 1,
-            opts.iters,
-            nominal as f64 / wall
-        );
-    }
+        })
+    };
+    let run_mix = |mix: &[SynthTrace]| {
+        let cfg = SimConfig::multicore(mix.len() as u32)
+            .with_instructions(scale.warmup, scale.instructions);
+        let setups = mix
+            .iter()
+            .map(|t| {
+                let c = combos::build("ipcp");
+                CoreSetup {
+                    trace: t.handle(),
+                    l1d_prefetcher: c.l1,
+                    l2_prefetcher: c.l2,
+                }
+            })
+            .collect();
+        let mut sys = System::new(cfg, setups, combos::build("ipcp").llc);
+        let report = sys.run();
+        assert!(report.cycles > 0, "empty multicore mix run");
+    };
+    let benches: Vec<(&str, u64, String, BenchRun)> = vec![
+        (
+            "mixed",
+            (traces.len() * COMBOS.len()) as u64 * per_run,
+            format!("memory_intensive_suite[0..{TRACES}] x {COMBOS:?}, single-core, serial, best-of-{} wall", opts.iters),
+            single(&COMBOS),
+        ),
+        (
+            "none",
+            traces.len() as u64 * per_run,
+            format!("memory_intensive_suite[0..{TRACES}] x [\"none\"], single-core (idle-heavy baseline), serial, best-of-{} wall", opts.iters),
+            single(&COMBOS[..1]),
+        ),
+        (
+            "ipcp",
+            traces.len() as u64 * per_run,
+            format!("memory_intensive_suite[0..{TRACES}] x [\"ipcp\"], single-core, serial, best-of-{} wall", opts.iters),
+            single(&COMBOS[1..]),
+        ),
+        (
+            "mc_mix",
+            mix.len() as u64 * per_run,
+            format!("memory_intensive_suite[0..{MIX_CORES}] as one {MIX_CORES}-core mix under \"ipcp\", best-of-{} wall (nominal = cores x per-core target; replay-to-finish overshoot not counted)", opts.iters),
+            Box::new(|| run_mix(&mix)),
+        ),
+    ];
 
-    let entry = JsonValue::obj()
-        .set("label", opts.label.as_str())
-        .set(
-            "scale",
-            JsonValue::obj()
-                .set("warmup", scale.warmup)
-                .set("instructions", scale.instructions),
-        )
-        .set("runs", runs)
-        .set("iters", u64::from(opts.iters))
-        .set("wall_secs", best)
-        .set("instr_per_sec", nominal as f64 / best);
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
     let mut entries = doc
         .get("entries")
         .and_then(JsonValue::as_array)
         .map(<[JsonValue]>::to_vec)
         .unwrap_or_default();
-    entries.retain(|e| e.get("label").and_then(JsonValue::as_str) != Some(opts.label.as_str()));
-    entries.push(entry);
+    for (bench, nominal, methodology, run) in &benches {
+        if opts.only.as_deref().is_some_and(|only| only != *bench) {
+            continue;
+        }
+        let mut best = f64::INFINITY;
+        for iter in 0..opts.iters {
+            let started = Instant::now();
+            run();
+            let wall = started.elapsed().as_secs_f64();
+            best = best.min(wall);
+            eprintln!(
+                "{bench} iter {}/{}: {wall:.3}s ({:.0} instr/s)",
+                iter + 1,
+                opts.iters,
+                *nominal as f64 / wall
+            );
+        }
+        let entry = JsonValue::obj()
+            .set("label", opts.label.as_str())
+            .set("bench", *bench)
+            .set(
+                "scale",
+                JsonValue::obj()
+                    .set("warmup", scale.warmup)
+                    .set("instructions", scale.instructions),
+            )
+            .set("iters", u64::from(opts.iters))
+            .set("unix_time", unix_time)
+            .set("methodology", methodology.as_str())
+            .set("wall_secs", best)
+            .set("instr_per_sec", *nominal as f64 / best);
+        // Replace any previous entry for this (label, bench). Entries from
+        // before benches existed carry no "bench" key and count as "mixed".
+        entries.retain(|e| {
+            e.get("label").and_then(JsonValue::as_str) != Some(opts.label.as_str())
+                || e.get("bench")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("mixed")
+                    != *bench
+        });
+        entries.push(entry);
+        println!(
+            "{}/{bench}: {best:.3}s wall, {:.0} instr/s ({} nominal instructions)",
+            opts.label,
+            *nominal as f64 / best,
+            nominal
+        );
+    }
     upsert(&mut doc, "entries", JsonValue::Arr(entries));
 
     std::fs::write(&opts.out, doc.to_pretty_string())
         .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", opts.out.display())));
-    println!(
-        "{}: {best:.3}s wall, {:.0} instr/s ({} runs, {} nominal instructions)",
-        opts.label,
-        nominal as f64 / best,
-        runs,
-        nominal
-    );
 }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ipcp_sim::telemetry::JsonValue;
@@ -168,7 +168,7 @@ pub fn alone_ipc_uncached(trace: &SynthTrace, combo: &str, cores: u32, scale: Ru
         let mut sys = System::new(
             cfg.clone(),
             vec![CoreSetup {
-                trace: Arc::new(trace.clone()),
+                trace: trace.handle(),
                 l1d_prefetcher: c.l1,
                 l2_prefetcher: c.l2,
             }],
@@ -192,7 +192,7 @@ pub fn run_mix_report(mix: &[SynthTrace], combo: &str, scale: RunScale) -> ipcp_
             .map(|t| {
                 let c = combos::build(combo);
                 CoreSetup {
-                    trace: Arc::new(t.clone()),
+                    trace: t.handle(),
                     l1d_prefetcher: c.l1,
                     l2_prefetcher: c.l2,
                 }

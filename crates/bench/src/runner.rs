@@ -189,7 +189,7 @@ pub fn run_combo_with(
     tweak(&mut cfg);
     crate::simcache::get_or_run(&[trace.name()], combo, &cfg, || {
         let c = combos::build(combo);
-        run_single(cfg.clone(), Arc::new(trace.clone()), c.l1, c.l2, c.llc)
+        run_single(cfg.clone(), trace.handle(), c.l1, c.l2, c.llc)
     })
 }
 
@@ -209,7 +209,7 @@ pub fn run_custom(
 ) -> SimReport {
     let mut cfg = SimConfig::default().with_instructions(scale.warmup, scale.instructions);
     cfg.sample_interval = sample_interval_from_env();
-    run_single(cfg, Arc::new(trace.clone()), l1, l2, llc)
+    run_single(cfg, trace.handle(), l1, l2, llc)
 }
 
 /// Geometric mean of a slice (1.0 for an empty slice).
@@ -225,7 +225,7 @@ pub fn geomean(xs: &[f64]) -> f64 {
 #[derive(Default)]
 pub struct BaselineCache {
     scale_key: Option<(u64, u64)>,
-    reports: HashMap<String, SimReport>,
+    reports: HashMap<String, Arc<SimReport>>,
 }
 
 impl BaselineCache {
@@ -235,7 +235,9 @@ impl BaselineCache {
     }
 
     /// Returns (computing if needed) the baseline report for a trace.
-    pub fn get(&mut self, trace: &SynthTrace, scale: RunScale) -> &SimReport {
+    /// The report is shared: cloning the returned `Arc` is free, so callers
+    /// that keep the baseline around don't copy counters or samples.
+    pub fn get(&mut self, trace: &SynthTrace, scale: RunScale) -> &Arc<SimReport> {
         let key = (scale.warmup, scale.instructions);
         if self.scale_key != Some(key) {
             self.reports.clear();
@@ -244,7 +246,7 @@ impl BaselineCache {
         let name = trace.name().to_string();
         self.reports
             .entry(name)
-            .or_insert_with(|| run_combo("none", trace, scale))
+            .or_insert_with(|| Arc::new(run_combo("none", trace, scale)))
     }
 }
 
@@ -444,11 +446,13 @@ enum Item {
     Blank,
 }
 
-/// A labeled interval time-series collected from one simulation run.
+/// A labeled interval time-series collected from one simulation run. The
+/// samples are shared with the originating [`SimReport`] — attaching a
+/// series is an `Arc` bump, not a copy.
 #[derive(Debug, Clone, PartialEq)]
 struct SeriesEntry {
     label: String,
-    samples: Vec<ipcp_sim::telemetry::Sample>,
+    samples: Arc<[ipcp_sim::telemetry::Sample]>,
 }
 
 /// One figure/table experiment: owns the run scale, the baseline cache,
@@ -552,9 +556,10 @@ impl Experiment {
         r
     }
 
-    /// The cached no-prefetching baseline report for a trace.
-    pub fn baseline(&mut self, trace: &SynthTrace) -> SimReport {
-        self.baselines.get(trace, self.scale).clone()
+    /// The cached no-prefetching baseline report for a trace (a shared
+    /// handle — cloning it does not copy the report).
+    pub fn baseline(&mut self, trace: &SynthTrace) -> Arc<SimReport> {
+        Arc::clone(self.baselines.get(trace, self.scale))
     }
 
     /// The cached no-prefetching baseline IPC for a trace.

@@ -129,6 +129,10 @@ pub struct Cache {
     latency: Cycle,
     ports: u32,
     ports_used: u32,
+    /// Cycle the port counter was last reset for. Ports are reset lazily on
+    /// the first `try_take_port` of a cycle instead of by a per-cycle
+    /// `begin_cycle` broadcast, so idle caches cost nothing.
+    port_cycle: Cycle,
 
     // Line state, struct-of-arrays. `tags` doubles as the valid bit via
     // the `TAG_INVALID` sentinel (lines are never invalidated once
@@ -139,7 +143,7 @@ pub struct Cache {
     pf_class: Vec<u8>,
     reused: Vec<bool>,
 
-    repl: Box<dyn Replacement>,
+    repl: replacement::AnyRepl,
 
     mshrs: Vec<Option<Mshr>>,
     mshr_used: usize,
@@ -151,9 +155,37 @@ pub struct Cache {
     mshr_index: HashMap<u64, usize, BuildLineHasher>,
     free_mshrs: BinaryHeap<Reverse<usize>>,
     pending_fills: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Mirror of `pending_fills.peek()`'s time (`FILL_UNKNOWN` when the heap
+    /// is empty), maintained on push/pop so the scheduler's per-cycle
+    /// "any fill due?" check is a register compare, not a heap access.
+    next_fill: Cycle,
 
     pq: VecDeque<QueuedPrefetch>,
     pq_capacity: usize,
+
+    /// Per-set repeat demand-hit fast path: `(raw tag, slot index, pf
+    /// class)` of the last demand hit in each set, valid while that hit
+    /// remains the newest replacement-state event *in its set* (recency
+    /// comparisons never cross sets). A repeat hit then needs no tag scan
+    /// and no `on_hit` call (guarded by
+    /// [`Replacement::repeat_hit_is_noop`]); it bumps the two demand
+    /// counters and re-applies the dirty bit, which is everything the full
+    /// path would observably do. A hit elsewhere in the set replaces the
+    /// entry; [`Cache::install`] (the only other replacement-touching
+    /// event, and the only way the slot's contents can change) clears its
+    /// set's entry. Empty entries hold the `TAG_INVALID` sentinel.
+    last_hit: Vec<(u64, u32, u8)>,
+    repeat_hit_ok: bool,
+
+    /// Direct-mapped line → slot predictor, indexed by the low bits of the
+    /// raw line address. Purely an access-path shortcut: a prediction is
+    /// trusted only after verifying `tags[slot] == raw`, which by itself
+    /// proves residency (a line can only ever sit in its own set, and at
+    /// most one slot holds it), so stale or colliding entries are harmless
+    /// and no invalidation is needed — eviction overwrites the tag and the
+    /// check fails. Turns the hot-hit tag scan into one load + compare
+    /// regardless of associativity or replacement policy.
+    way_pred: Vec<u32>,
 
     lifetime_misses: u64,
 
@@ -181,6 +213,8 @@ impl Cache {
         let ways = cfg.ways as usize;
         let n = sets * ways;
         let mshr_entries = (cfg.mshr_entries * scale) as usize;
+        let repl = replacement::build(cfg.replacement, sets, ways);
+        let repeat_hit_ok = repl.repeat_hit_is_noop();
         Self {
             name: cfg.name,
             sets,
@@ -188,19 +222,24 @@ impl Cache {
             latency: cfg.latency,
             ports: cfg.ports,
             ports_used: 0,
+            port_cycle: FILL_UNKNOWN,
             tags: vec![TAG_INVALID; n],
             dirty: vec![false; n],
             prefetched: vec![false; n],
             pf_class: vec![0; n],
             reused: vec![false; n],
-            repl: replacement::build(cfg.replacement, sets, ways),
+            repl,
             mshrs: (0..mshr_entries).map(|_| None).collect(),
             mshr_used: 0,
             mshr_index: HashMap::with_capacity_and_hasher(mshr_entries, BuildLineHasher),
             free_mshrs: (0..mshr_entries).map(Reverse).collect(),
             pending_fills: BinaryHeap::new(),
+            next_fill: FILL_UNKNOWN,
             pq: VecDeque::new(),
             pq_capacity: (cfg.pq_entries * scale) as usize,
+            last_hit: vec![(TAG_INVALID, 0, 0); sets],
+            repeat_hit_ok,
+            way_pred: vec![u32::MAX; (2 * n).next_power_of_two()],
             lifetime_misses: 0,
             stats: CacheStats::default(),
         }
@@ -233,13 +272,14 @@ impl Cache {
         self.find_way(line).is_some()
     }
 
-    /// Resets per-cycle port accounting. Call once per cycle.
-    pub fn begin_cycle(&mut self) {
-        self.ports_used = 0;
-    }
-
-    /// Attempts to reserve a demand port this cycle.
-    pub fn try_take_port(&mut self) -> bool {
+    /// Attempts to reserve a demand port at cycle `now`. Port accounting
+    /// resets itself on the first reservation attempt of each cycle (cycles
+    /// advance monotonically), so idle caches need no per-cycle reset call.
+    pub fn try_take_port(&mut self, now: Cycle) -> bool {
+        if self.port_cycle != now {
+            self.port_cycle = now;
+            self.ports_used = 0;
+        }
         if self.ports_used < self.ports {
             self.ports_used += 1;
             true
@@ -258,14 +298,42 @@ impl Cache {
     /// [`Cache::alloc_mshr`]. This keeps retried accesses (downstream MSHRs
     /// full) from double-counting.
     pub fn demand_lookup(&mut self, line: LineAddr, ip: Ip, write: bool) -> ProbeResult {
-        let set = self.set_of(line);
-        let base = set * self.ways;
         let raw = line.raw();
-        let hit_way = self.tags[base..base + self.ways]
-            .iter()
-            .position(|&t| t == raw);
-        if let Some(way) = hit_way {
-            let i = base + way;
+        let set = self.set_of(line);
+        // Repeat of this set's most recent demand hit: the line is still
+        // resident in the same slot (nothing installed in the set since),
+        // its prefetched bit was consumed and `reused` set by the first
+        // hit, and the replacement update is a proven no-op — only the two
+        // demand counters and the dirty bit remain to apply.
+        let (memo_raw, memo_i, memo_class) = self.last_hit[set];
+        if memo_raw == raw {
+            self.stats.demand_accesses += 1;
+            self.stats.demand_hits += 1;
+            if write {
+                self.dirty[memo_i as usize] = true;
+            }
+            return ProbeResult::Hit {
+                first_use_of_prefetch: false,
+                pf_class: memo_class,
+            };
+        }
+        let base = set * self.ways;
+        let pred_idx = (raw as usize) & (self.way_pred.len() - 1);
+        let pred = self.way_pred[pred_idx] as usize;
+        let hit_slot = if pred < self.tags.len() && self.tags[pred] == raw {
+            Some(pred)
+        } else {
+            let found = self.tags[base..base + self.ways]
+                .iter()
+                .position(|&t| t == raw)
+                .map(|w| base + w);
+            if let Some(i) = found {
+                self.way_pred[pred_idx] = i as u32;
+            }
+            found
+        };
+        if let Some(i) = hit_slot {
+            let way = i - base;
             self.stats.demand_accesses += 1;
             self.stats.demand_hits += 1;
             self.repl.on_hit(
@@ -286,6 +354,9 @@ impl Cache {
                 self.prefetched[i] = false;
                 self.stats.useful_prefetch_hits += 1;
                 self.stats.useful_by_class[class as usize & 3] += 1;
+            }
+            if self.repeat_hit_ok {
+                self.last_hit[set] = (raw, i as u32, class);
             }
             return ProbeResult::Hit {
                 first_use_of_prefetch: first_use,
@@ -380,13 +451,21 @@ impl Cache {
         let prev = self.mshr_index.insert(mshr.line.raw(), idx);
         debug_assert!(prev.is_none(), "one MSHR per line");
         self.pending_fills.push(Reverse((mshr.fill_at, idx)));
+        self.next_fill = self.next_fill.min(mshr.fill_at);
         self.mshrs[idx] = Some(mshr);
         self.mshr_used += 1;
     }
 
-    /// The earliest scheduled fill time, if any fill is outstanding.
+    /// The earliest scheduled fill time, if any fill is outstanding. O(1):
+    /// reads the incrementally maintained mirror of the fill heap's min.
     pub fn next_fill_time(&self) -> Option<Cycle> {
-        self.pending_fills.peek().map(|Reverse((t, _))| *t)
+        (self.next_fill != FILL_UNKNOWN).then_some(self.next_fill)
+    }
+
+    /// True when a scheduled fill is due at or before `now`. One compare on
+    /// the cached minimum — the scheduler's per-cycle gate.
+    pub fn fill_due(&self, now: Cycle) -> bool {
+        self.next_fill <= now
     }
 
     /// Pops the next fill whose time has arrived, freeing its MSHR.
@@ -396,6 +475,10 @@ impl Cache {
             return None;
         }
         self.pending_fills.pop();
+        self.next_fill = self
+            .pending_fills
+            .peek()
+            .map_or(FILL_UNKNOWN, |&Reverse((t, _))| t);
         let m = self.mshrs[idx].take().expect("scheduled fill has an MSHR");
         self.mshr_index.remove(&m.line.raw());
         self.free_mshrs.push(Reverse(idx));
@@ -416,6 +499,10 @@ impl Cache {
     ) -> Option<Evicted> {
         debug_assert!(line.raw() != TAG_INVALID, "line collides with sentinel");
         let set = self.set_of(line);
+        // The fill (and a possible eviction) changes this set's replacement
+        // state and may overwrite the memoized slot — the repeat-hit
+        // guarantee no longer holds for the set.
+        self.last_hit[set] = (TAG_INVALID, 0, 0);
         let base = set * self.ways;
         let free = self.tags[base..base + self.ways]
             .iter()
@@ -440,6 +527,8 @@ impl Cache {
         };
         let i = base + way;
         self.tags[i] = line.raw();
+        let pred_idx = (line.raw() as usize) & (self.way_pred.len() - 1);
+        self.way_pred[pred_idx] = i as u32;
         self.dirty[i] = dirty;
         self.prefetched[i] = is_prefetch;
         self.pf_class[i] = pf_class & 3;
@@ -680,12 +769,35 @@ mod tests {
     #[test]
     fn ports_limit_per_cycle() {
         let mut c = l1d(); // 2 ports
-        c.begin_cycle();
-        assert!(c.try_take_port());
-        assert!(c.try_take_port());
-        assert!(!c.try_take_port());
-        c.begin_cycle();
-        assert!(c.try_take_port());
+        assert!(c.try_take_port(7));
+        assert!(c.try_take_port(7));
+        assert!(!c.try_take_port(7));
+        // A new cycle resets the port budget lazily.
+        assert!(c.try_take_port(8));
+    }
+
+    #[test]
+    fn next_fill_time_tracks_heap() {
+        let mut c = l1d();
+        assert_eq!(c.next_fill_time(), None);
+        assert!(!c.fill_due(Cycle::MAX - 1));
+        for (i, t) in [30u64, 10, 20].iter().enumerate() {
+            c.alloc_mshr(Mshr {
+                line: LineAddr::new(0x100 + i as u64),
+                fill_at: *t,
+                is_prefetch: false,
+                pf_class: 0,
+                dirty: false,
+                ip: IP,
+            });
+        }
+        assert_eq!(c.next_fill_time(), Some(10));
+        assert!(c.fill_due(10) && !c.fill_due(9));
+        assert!(c.pop_ready_fill(10).is_some());
+        assert_eq!(c.next_fill_time(), Some(20));
+        assert!(c.pop_ready_fill(30).is_some());
+        assert!(c.pop_ready_fill(30).is_some());
+        assert_eq!(c.next_fill_time(), None);
     }
 
     #[test]

@@ -34,16 +34,96 @@ pub trait Replacement: Send {
     /// Chooses a victim way within `set`. All ways are valid when this is
     /// called (the cache fills invalid ways first on its own).
     fn victim(&mut self, set: usize) -> usize;
+
+    /// True when a repeated `on_hit` on the same `(set, way)` — with no
+    /// intervening fill, eviction, or hit elsewhere in this cache — leaves
+    /// the policy observably unchanged: every future `victim` answer and
+    /// every adaptive counter is as if the repeat never happened. The cache
+    /// uses this to take a back-to-back same-line hit fast path; policies
+    /// where repeats accumulate state (SHiP's SHCT, DRRIP's PSEL) must
+    /// return false.
+    fn repeat_hit_is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// Builds the policy selected by `kind` for a cache with the given geometry.
-pub fn build(kind: ReplacementKind, sets: usize, ways: usize) -> Box<dyn Replacement> {
+pub fn build(kind: ReplacementKind, sets: usize, ways: usize) -> AnyRepl {
     match kind {
-        ReplacementKind::Lru => Box::new(Lru::new(sets, ways)),
-        ReplacementKind::Srrip => Box::new(Rrip::new_static(sets, ways)),
-        ReplacementKind::Drrip => Box::new(Rrip::new_dynamic(sets, ways)),
-        ReplacementKind::Ship => Box::new(ShipLite::new(sets, ways)),
-        ReplacementKind::Random => Box::new(RandomRepl::new(sets, ways)),
+        ReplacementKind::Lru => AnyRepl::Lru(Lru::new(sets, ways)),
+        ReplacementKind::Srrip => AnyRepl::Rrip(Rrip::new_static(sets, ways)),
+        ReplacementKind::Drrip => AnyRepl::Rrip(Rrip::new_dynamic(sets, ways)),
+        ReplacementKind::Ship => AnyRepl::Ship(ShipLite::new(sets, ways)),
+        ReplacementKind::Random => AnyRepl::Random(RandomRepl::new(sets, ways)),
+    }
+}
+
+/// Closed sum of the shipped policies. The cache stores this instead of a
+/// `Box<dyn Replacement>` so the per-access `on_hit`/`on_fill` calls are a
+/// predictable match over four arms the compiler can inline — on the
+/// default all-LRU configuration the hit path collapses to the bare
+/// timestamp store instead of a virtual call. New policies still implement
+/// [`Replacement`]; they just also get an arm here.
+#[derive(Debug)]
+pub enum AnyRepl {
+    /// True LRU (the ChampSim default).
+    Lru(Lru),
+    /// SRRIP or DRRIP, per its constructor.
+    Rrip(Rrip),
+    /// SHiP-lite.
+    Ship(ShipLite),
+    /// Deterministic pseudo-random.
+    Random(RandomRepl),
+}
+
+impl Replacement for AnyRepl {
+    #[inline]
+    fn on_fill(&mut self, set: usize, way: usize, meta: ReplMeta) {
+        match self {
+            AnyRepl::Lru(p) => p.on_fill(set, way, meta),
+            AnyRepl::Rrip(p) => p.on_fill(set, way, meta),
+            AnyRepl::Ship(p) => p.on_fill(set, way, meta),
+            AnyRepl::Random(p) => p.on_fill(set, way, meta),
+        }
+    }
+
+    #[inline]
+    fn on_hit(&mut self, set: usize, way: usize, meta: ReplMeta) {
+        match self {
+            AnyRepl::Lru(p) => p.on_hit(set, way, meta),
+            AnyRepl::Rrip(p) => p.on_hit(set, way, meta),
+            AnyRepl::Ship(p) => p.on_hit(set, way, meta),
+            AnyRepl::Random(p) => p.on_hit(set, way, meta),
+        }
+    }
+
+    #[inline]
+    fn on_evict(&mut self, set: usize, way: usize, was_reused: bool) {
+        match self {
+            AnyRepl::Lru(p) => p.on_evict(set, way, was_reused),
+            AnyRepl::Rrip(p) => p.on_evict(set, way, was_reused),
+            AnyRepl::Ship(p) => p.on_evict(set, way, was_reused),
+            AnyRepl::Random(p) => p.on_evict(set, way, was_reused),
+        }
+    }
+
+    #[inline]
+    fn victim(&mut self, set: usize) -> usize {
+        match self {
+            AnyRepl::Lru(p) => p.victim(set),
+            AnyRepl::Rrip(p) => p.victim(set),
+            AnyRepl::Ship(p) => p.victim(set),
+            AnyRepl::Random(p) => p.victim(set),
+        }
+    }
+
+    fn repeat_hit_is_noop(&self) -> bool {
+        match self {
+            AnyRepl::Lru(p) => p.repeat_hit_is_noop(),
+            AnyRepl::Rrip(p) => p.repeat_hit_is_noop(),
+            AnyRepl::Ship(p) => p.repeat_hit_is_noop(),
+            AnyRepl::Random(p) => p.repeat_hit_is_noop(),
+        }
     }
 }
 
@@ -91,6 +171,13 @@ impl Replacement for Lru {
             .min_by_key(|(_, &ts)| ts)
             .map(|(w, _)| w)
             .expect("ways > 0")
+    }
+
+    /// A repeat hit re-stamps the way that already holds the newest stamp:
+    /// stamp *values* change but the recency *order* (all `victim` ever
+    /// reads) does not.
+    fn repeat_hit_is_noop(&self) -> bool {
+        true
     }
 }
 
@@ -196,6 +283,12 @@ impl Replacement for Rrip {
             }
         }
     }
+
+    /// Static RRIP's hit action (RRPV ← 0) is idempotent; DRRIP's PSEL
+    /// moves on every leader-set hit, so repeats there are observable.
+    fn repeat_hit_is_noop(&self) -> bool {
+        !self.dynamic
+    }
 }
 
 const SHCT_ENTRIES: usize = 1024;
@@ -291,6 +384,10 @@ impl Replacement for RandomRepl {
     fn on_fill(&mut self, _set: usize, _way: usize, _meta: ReplMeta) {}
     fn on_hit(&mut self, _set: usize, _way: usize, _meta: ReplMeta) {}
     fn on_evict(&mut self, _set: usize, _way: usize, _was_reused: bool) {}
+
+    fn repeat_hit_is_noop(&self) -> bool {
+        true
+    }
 
     fn victim(&mut self, _set: usize) -> usize {
         let mut x = self.state;

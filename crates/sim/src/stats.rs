@@ -255,8 +255,10 @@ pub struct SimReport {
     /// Total cycles simulated in the measured phase.
     pub cycles: u64,
     /// Interval time-series (empty unless `SimConfig::sample_interval` is
-    /// set — see [`crate::telemetry::Sampler`]).
-    pub samples: Vec<crate::telemetry::Sample>,
+    /// set — see [`crate::telemetry::Sampler`]). Stored as a shared slice
+    /// so cloning a report (or attaching its series to a figure sidecar)
+    /// never copies samples.
+    pub samples: std::sync::Arc<[crate::telemetry::Sample]>,
 }
 
 impl SimReport {

@@ -12,6 +12,22 @@
 //! bus — are all enforced, because the paper's arguments (PQ pressure as
 //! indirect throttling, MSHR-limited MLP, bandwidth contention in
 //! multi-core mixes) live in exactly those structures.
+//!
+//! # Scheduling
+//!
+//! The clock is event-driven in two layers. Between cycles, [`System::run`]
+//! jumps `now` straight to the next actionable cycle (earliest pending
+//! fill, ROB-head completion, or fetch-stall release — each an O(1) read
+//! of incrementally maintained state) after executing exactly one idle
+//! cycle per gap; that single idle cycle is load-bearing, because stall
+//! accounting and MSHR-full retry statistics are defined per *executed*
+//! cycle. Within a cycle, each component is touched only when its own
+//! cheap gate (cached earliest-fill time, PQ occupancy, pending-queue
+//! length) says it can have work; `on_cycle` prefetcher hooks still fire
+//! every executed cycle when any attached prefetcher uses them. Both
+//! layers are behavior-preserving: the set of executed cycles and the work
+//! done in each is identical to the exhaustive cycle-by-cycle sweep, so
+//! reports are byte-identical.
 
 use std::sync::Arc;
 
@@ -62,6 +78,11 @@ struct Rob {
     cap: usize,
     head: u64,
     tail: u64,
+    /// Ring index of `head` (kept in step with `head` so the retire hot
+    /// path never divides by the runtime capacity).
+    head_idx: usize,
+    /// Ring index of `tail`.
+    tail_idx: usize,
     completion: Vec<Cycle>,
 }
 
@@ -71,6 +92,8 @@ impl Rob {
             cap,
             head: 0,
             tail: 0,
+            head_idx: 0,
+            tail_idx: 0,
             completion: vec![FILL_UNKNOWN; cap],
         }
     }
@@ -83,44 +106,67 @@ impl Rob {
         self.head == self.tail
     }
 
-    fn push(&mut self, completion: Cycle) -> u64 {
-        debug_assert!(!self.is_full());
-        let seq = self.tail;
-        self.completion[(seq % self.cap as u64) as usize] = completion;
-        self.tail += 1;
-        seq
+    fn wrap(&self, idx: usize) -> usize {
+        let next = idx + 1;
+        if next == self.cap {
+            0
+        } else {
+            next
+        }
     }
 
-    fn set_completion(&mut self, seq: u64, completion: Cycle) {
+    /// Pushes an entry; returns its sequence number and ring slot (the slot
+    /// lets later completion updates skip the seq→index arithmetic).
+    fn push(&mut self, completion: Cycle) -> (u64, usize) {
+        debug_assert!(!self.is_full());
+        let seq = self.tail;
+        let slot = self.tail_idx;
+        self.completion[slot] = completion;
+        self.tail += 1;
+        self.tail_idx = self.wrap(slot);
+        (seq, slot)
+    }
+
+    fn set_completion(&mut self, seq: u64, slot: usize, completion: Cycle) {
         debug_assert!(seq >= self.head && seq < self.tail);
-        self.completion[(seq % self.cap as u64) as usize] = completion;
+        debug_assert_eq!(slot, (seq % self.cap as u64) as usize);
+        self.completion[slot] = completion;
     }
 
     fn head_completion(&self) -> Option<Cycle> {
         if self.is_empty() {
             None
         } else {
-            Some(self.completion[(self.head % self.cap as u64) as usize])
+            Some(self.completion[self.head_idx])
         }
     }
 
     fn pop_head(&mut self) {
         debug_assert!(!self.is_empty());
         self.head += 1;
+        self.head_idx = self.wrap(self.head_idx);
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct PendingMem {
     seq: u64,
+    slot: usize,
     ip: Ip,
     vaddr: ipcp_mem::VAddr,
     store: bool,
 }
 
+/// Instructions buffered from the trace iterator per refill: amortizes the
+/// per-instruction virtual dispatch into the boxed trace stream.
+const IBUF_CAPACITY: usize = 256;
+
 struct Core {
     trace: Arc<dyn TraceSource + Send + Sync>,
     stream: Box<dyn Iterator<Item = Instr> + Send>,
+    /// Look-ahead buffer over `stream` (see [`IBUF_CAPACITY`]).
+    ibuf: Vec<Instr>,
+    ibuf_pos: usize,
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
@@ -147,14 +193,37 @@ struct Core {
 }
 
 impl Core {
+    #[inline]
     fn next_instr(&mut self) -> Instr {
-        match self.stream.next() {
-            Some(i) => i,
-            None => {
-                self.stream = self.trace.stream();
-                self.stream.next().expect("trace must be non-empty")
+        if let Some(&i) = self.ibuf.get(self.ibuf_pos) {
+            self.ibuf_pos += 1;
+            return i;
+        }
+        self.refill_ibuf()
+    }
+
+    /// Refills the look-ahead buffer, restarting the trace on exhaustion
+    /// (traces replay until the instruction budget is met). Returns the
+    /// first buffered instruction.
+    #[cold]
+    fn refill_ibuf(&mut self) -> Instr {
+        self.ibuf.clear();
+        self.ibuf_pos = 1;
+        while self.ibuf.len() < IBUF_CAPACITY {
+            match self.stream.next() {
+                Some(i) => self.ibuf.push(i),
+                None => {
+                    if self.ibuf.is_empty() {
+                        self.stream = self.trace.stream();
+                        let first = self.stream.next().expect("trace must be non-empty");
+                        self.ibuf.push(first);
+                    } else {
+                        break;
+                    }
+                }
             }
         }
+        self.ibuf[0]
     }
 }
 
@@ -220,6 +289,8 @@ impl System {
                 Core {
                     trace: s.trace,
                     stream,
+                    ibuf: Vec::with_capacity(IBUF_CAPACITY),
+                    ibuf_pos: 0,
                     mapper: PageMapper::new(vmem_seed.wrapping_add(ci as u64 * 0x9e37_79b9)),
                     l1i: Cache::new(&cfg.l1i, 1),
                     l1d: Cache::new(&cfg.l1d, 1),
@@ -389,7 +460,7 @@ impl System {
             samples: self
                 .sampler
                 .as_ref()
-                .map_or_else(Vec::new, |s| s.samples().to_vec()),
+                .map_or_else(Default::default, |s| s.samples().into()),
         }
     }
 
@@ -418,20 +489,35 @@ impl System {
     }
 
     /// One simulated cycle; returns whether anything happened.
+    ///
+    /// Event-driven: each component is touched only when its own O(1) state
+    /// says it can have work this cycle (a due fill on the cached heap
+    /// minimum, a non-empty PQ, a pending/ROB entry). Skipping a component
+    /// whose gate is closed is behavior-neutral by construction — the
+    /// skipped call would have fallen straight through its first check —
+    /// so reports stay byte-identical to the exhaustive per-cycle sweep.
     fn cycle(&mut self) -> bool {
+        let now = self.now;
         let mut activity = false;
-        self.llc.begin_cycle();
-        for core in &mut self.cores {
-            core.l1i.begin_cycle();
-            core.l1d.begin_cycle();
-            core.l2.begin_cycle();
-        }
 
-        activity |= self.process_fills();
-        activity |= self.drain_llc_pq();
+        let fills_due = self.llc.fill_due(now)
+            || self
+                .cores
+                .iter()
+                .any(|c| c.l2.fill_due(now) || c.l1d.fill_due(now) || c.l1i.fill_due(now));
+        if fills_due {
+            activity |= self.process_fills();
+        }
+        if self.llc.pq_len() > 0 {
+            activity |= self.drain_llc_pq();
+        }
         for ci in 0..self.cores.len() {
-            activity |= self.drain_l2_pq(ci);
-            activity |= self.drain_l1_pq(ci);
+            if self.cores[ci].l2.pq_len() > 0 {
+                activity |= self.drain_l2_pq(ci);
+            }
+            if self.cores[ci].l1d.pq_len() > 0 {
+                activity |= self.drain_l1_pq(ci);
+            }
         }
         for ci in 0..self.cores.len() {
             let retired = self.retire(ci);
@@ -439,9 +525,11 @@ impl System {
                 self.cores[ci].stall_cycles += 1;
             } else {
                 activity = true;
-                self.last_retire_cycle = self.now;
+                self.last_retire_cycle = now;
             }
-            activity |= self.issue(ci) > 0;
+            if !self.cores[ci].pending.is_empty() {
+                activity |= self.issue(ci) > 0;
+            }
             activity |= self.fetch(ci) > 0;
         }
         self.run_on_cycle_hooks();
@@ -508,27 +596,31 @@ impl System {
         // structurally rejected access (MSHR full downstream) does not
         // block younger, independent accesses behind it.
         const ISSUE_WINDOW: usize = 8;
+        let now = self.now;
         let mut n = 0;
         let mut i = 0;
-        while i < self.cores[ci].pending.len().min(ISSUE_WINDOW) {
-            if !self.cores[ci].l1d.try_take_port() {
+        loop {
+            let core = &mut self.cores[ci];
+            if i >= core.pending.len().min(ISSUE_WINDOW) {
                 break;
             }
-            let pm = self.cores[ci].pending[i];
+            if !core.l1d.try_take_port(now) {
+                break;
+            }
+            let pm = core.pending[i];
             // Translate. The TLB state mutation on a retried access is
             // harmless (second lookup hits the DTLB).
             let vpage = pm.vaddr.page();
-            let core = &mut self.cores[ci];
             let (ppage, penalty) = core.tlb.translate(vpage, &mut core.mapper);
             let vline = pm.vaddr.line();
             let pline = phys_line(ppage.raw(), vline);
-            let t = self.now + penalty;
+            let t = now + penalty;
             match self.resolve_l1d_demand(ci, vline, pline, pm.ip, pm.store, t) {
                 Some(completion) => {
                     let core = &mut self.cores[ci];
                     // Stores retire without waiting for data; loads wait.
-                    let c = if pm.store { self.now + 1 } else { completion };
-                    core.rob.set_completion(pm.seq, c);
+                    let c = if pm.store { now + 1 } else { completion };
+                    core.rob.set_completion(pm.seq, pm.slot, c);
                     core.pending.remove(i);
                     n += 1;
                 }
@@ -570,18 +662,20 @@ impl System {
                     core.rob.push(now + alu_latency);
                 }
                 MemOp::Load(vaddr) => {
-                    let seq = core.rob.push(FILL_UNKNOWN);
+                    let (seq, slot) = core.rob.push(FILL_UNKNOWN);
                     core.pending.push_back(PendingMem {
                         seq,
+                        slot,
                         ip: instr.ip,
                         vaddr,
                         store: false,
                     });
                 }
                 MemOp::Store(vaddr) => {
-                    let seq = core.rob.push(FILL_UNKNOWN);
+                    let (seq, slot) = core.rob.push(FILL_UNKNOWN);
                     core.pending.push_back(PendingMem {
                         seq,
+                        slot,
                         ip: instr.ip,
                         vaddr,
                         store: true,
@@ -599,8 +693,9 @@ impl System {
     /// Instruction-line access through the L1I. Returns false on a
     /// structural reject.
     fn ifetch(&mut self, ci: usize, vline: LineAddr, ip: Ip) -> bool {
+        let now = self.now;
         let core = &mut self.cores[ci];
-        if !core.l1i.try_take_port() {
+        if !core.l1i.try_take_port(now) {
             return false;
         }
         let ppage = core.tlb.translate_untimed(vline.vpage(), &mut core.mapper);
@@ -1597,7 +1692,7 @@ mod tests {
         // run; only the embedded series differs.
         let mut on = run(Some(2_000));
         assert!(!on.samples.is_empty());
-        on.samples.clear();
+        on.samples = Default::default();
         assert_eq!(on, off);
     }
 

@@ -841,13 +841,14 @@ impl FromJson for SimReport {
             .collect::<Result<Vec<_>, _>>()?;
         // `series` is absent when the sampler was disabled.
         let samples = match v.get("series") {
-            None => Vec::new(),
+            None => Default::default(),
             Some(series) => series
                 .as_array()
                 .ok_or_else(|| "field \"series\" is not an array".to_string())?
                 .iter()
                 .map(Sample::from_json)
-                .collect::<Result<Vec<_>, _>>()?,
+                .collect::<Result<Vec<_>, _>>()?
+                .into(),
         };
         Ok(Self {
             cores,
@@ -1213,7 +1214,7 @@ mod tests {
         });
         r.cores[0].l1d.pf_issued = 777;
         r.cores[0].tlb.dtlb_accesses = 555;
-        r.samples.push(Sample {
+        r.samples = std::sync::Arc::new([Sample {
             instructions: 100_000,
             cycles: 31_000,
             ipc: 3.225_806_451_612_903,
@@ -1231,7 +1232,7 @@ mod tests {
             llc_pq: 0,
             llc_mshr: 5,
             dram_bus_utilization: 0.375,
-        });
+        }]);
         let rendered = r.to_json().to_pretty_string();
         let back = SimReport::from_json(&JsonValue::parse(&rendered).unwrap()).unwrap();
         assert_eq!(back, r);

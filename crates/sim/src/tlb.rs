@@ -13,6 +13,10 @@ use crate::vmem::PageMapper;
 /// single compare per way (same trick as the cache tag array).
 const VTAG_INVALID: u64 = u64::MAX;
 
+/// Entries in the untimed both-miss memo (see [`Tlb::memo_untimed_miss`]).
+/// Sized to the handful of code pages a trace's IP stream cycles through.
+const UNTIMED_MEMO_ENTRIES: usize = 8;
+
 /// A small set-associative translation buffer with LRU replacement.
 #[derive(Debug, Clone)]
 struct TlbArray {
@@ -89,6 +93,26 @@ pub struct Tlb {
     stlb: TlbArray,
     stlb_latency: Cycle,
     walk_latency: Cycle,
+    /// `(vpage, ppage)` of the most recent timed translation. That page is
+    /// DTLB-resident and holds the newest stamp in its set, so a repeat
+    /// timed translation only needs the access counter bumped: re-stamping
+    /// the already-newest way cannot change any future LRU victim. Valid
+    /// until another timed translation replaces it or an untimed DTLB hit
+    /// on a different page re-stamps recency behind the memo's back.
+    memo_timed: Option<(u64, u64)>,
+    /// `(vpage, ppage)` pairs of recent untimed translations that missed
+    /// both TLBs — in practice code pages, which only instruction fetch
+    /// touches and which therefore never enter either TLB. Lookups only
+    /// stamp on hit and an already-mapped page's walk is a pure map read,
+    /// so the real repeat path has no side effects at all — the memo
+    /// elides two failed scans and the map lookup. A handful of entries
+    /// (not one) because traces interleave instructions from several code
+    /// pages back to back. An entry dies when a timed translation inserts
+    /// its page into the TLBs (the only way the both-miss premise stops
+    /// holding). Empty slots hold the `VTAG_INVALID` sentinel.
+    memo_untimed_miss: [(u64, u64); UNTIMED_MEMO_ENTRIES],
+    /// Round-robin replacement cursor for `memo_untimed_miss`.
+    memo_untimed_cursor: usize,
     /// Lookup/translation statistics.
     pub stats: TlbStats,
 }
@@ -101,40 +125,91 @@ impl Tlb {
             stlb: TlbArray::new(cfg.stlb_entries, cfg.stlb_ways),
             stlb_latency: cfg.stlb_latency,
             walk_latency: cfg.walk_latency,
+            memo_timed: None,
+            memo_untimed_miss: [(VTAG_INVALID, 0); UNTIMED_MEMO_ENTRIES],
+            memo_untimed_cursor: 0,
             stats: TlbStats::default(),
         }
     }
 
     /// Translates `vpage`, returning the frame and the extra latency (0 on a
     /// DTLB hit) incurred before the data-cache access can begin.
+    #[inline]
     pub fn translate(&mut self, vpage: VPage, mapper: &mut PageMapper) -> (PPage, Cycle) {
+        let raw = vpage.raw();
+        if let Some((mv, mp)) = self.memo_timed {
+            if mv == raw {
+                self.stats.dtlb_accesses += 1;
+                return (PPage::new(mp), 0);
+            }
+        }
+        self.translate_slow(vpage, mapper)
+    }
+
+    fn translate_slow(&mut self, vpage: VPage, mapper: &mut PageMapper) -> (PPage, Cycle) {
+        let raw = vpage.raw();
+        // This translation inserts the page, breaking the both-miss premise
+        // the untimed memo rests on for it.
+        for slot in &mut self.memo_untimed_miss {
+            if slot.0 == raw {
+                slot.0 = VTAG_INVALID;
+            }
+        }
         self.stats.dtlb_accesses += 1;
-        if let Some(p) = self.dtlb.lookup(vpage) {
-            return (p, 0);
-        }
-        self.stats.dtlb_misses += 1;
-        if let Some(p) = self.stlb.lookup(vpage) {
-            self.dtlb.insert(vpage, p);
-            return (p, self.stlb_latency);
-        }
-        self.stats.stlb_misses += 1;
-        let p = mapper.translate(vpage);
-        self.stlb.insert(vpage, p);
-        self.dtlb.insert(vpage, p);
-        (p, self.stlb_latency + self.walk_latency)
+        let result = if let Some(p) = self.dtlb.lookup(vpage) {
+            (p, 0)
+        } else {
+            self.stats.dtlb_misses += 1;
+            if let Some(p) = self.stlb.lookup(vpage) {
+                self.dtlb.insert(vpage, p);
+                (p, self.stlb_latency)
+            } else {
+                self.stats.stlb_misses += 1;
+                let p = mapper.translate(vpage);
+                self.stlb.insert(vpage, p);
+                self.dtlb.insert(vpage, p);
+                (p, self.stlb_latency + self.walk_latency)
+            }
+        };
+        // Every path above leaves `vpage` DTLB-resident with the newest
+        // stamp in its set, which is exactly the memo's premise.
+        self.memo_timed = Some((raw, result.0.raw()));
+        result
     }
 
     /// Translation without any timing side effects or statistics — used for
     /// prefetch-address translation, which the paper treats as free at the
     /// prefetcher (the RR filter exists so the prefetcher never probes).
+    #[inline]
     pub fn translate_untimed(&mut self, vpage: VPage, mapper: &mut PageMapper) -> PPage {
+        let raw = vpage.raw();
+        for &(mv, mp) in &self.memo_untimed_miss {
+            if mv == raw {
+                // Still absent from both TLBs: the real path would be two
+                // failed scans (no stamps) plus a pure map read.
+                return PPage::new(mp);
+            }
+        }
+        self.translate_untimed_slow(vpage, mapper)
+    }
+
+    fn translate_untimed_slow(&mut self, vpage: VPage, mapper: &mut PageMapper) -> PPage {
+        let raw = vpage.raw();
         if let Some(p) = self.dtlb.lookup(vpage) {
+            // The hit re-stamped this way; if it is a different page the
+            // timed memo's newest-in-set premise may no longer hold.
+            if self.memo_timed.is_some_and(|(mv, _)| mv != raw) {
+                self.memo_timed = None;
+            }
             return p;
         }
         if let Some(p) = self.stlb.lookup(vpage) {
             return p;
         }
-        mapper.translate(vpage)
+        let p = mapper.translate(vpage);
+        self.memo_untimed_miss[self.memo_untimed_cursor] = (raw, p.raw());
+        self.memo_untimed_cursor = (self.memo_untimed_cursor + 1) % UNTIMED_MEMO_ENTRIES;
+        p
     }
 }
 

@@ -4,6 +4,7 @@
 //! ```text
 //! validate_results [--results-dir results] [--compare DIR]
 //!                  [--min-simcache-hits N] [--expect name ...]
+//! validate_results --bench BENCH_perf.json
 //! ```
 //!
 //! Checks that `manifest.json` parses, carries the expected schema and a
@@ -13,6 +14,13 @@
 //! (schema, name, scale, rectangular tables, monotone series). Positional
 //! `--expect` names must each appear in the manifest with `ok: true` and a
 //! sidecar — the CI job uses this to pin the subset it ran.
+//!
+//! `--bench FILE` validates a `perf_smoke` throughput record instead of a
+//! results directory: the document schema must be the supported version,
+//! every entry must carry a label, a positive wall clock and throughput,
+//! and a well-formed scale, and the entry list must be monotone
+//! (non-decreasing) in its `unix_time` stamps — append-only history, with
+//! pre-timestamp legacy entries allowed only at the front.
 //!
 //! `--compare DIR` is the simulation-cache determinism check: every
 //! positional experiment's `.txt` and `.data.json` must be byte-identical
@@ -158,8 +166,92 @@ impl Checker {
     }
 }
 
+/// The `--bench` mode: structural + monotonicity checks on a
+/// `BENCH_perf.json` produced by `perf_smoke`.
+fn check_bench(c: &mut Checker, path: &Path) {
+    let Some(doc) = c.load(path) else { return };
+    let loc = path.display().to_string();
+    if doc.get("schema").and_then(JsonValue::as_u64) != Some(1) {
+        c.problem(format!("{loc}: missing or wrong \"schema\" (want 1)"));
+    }
+    let Some(entries) = doc.get("entries").and_then(JsonValue::as_array) else {
+        c.problem(format!("{loc}: missing \"entries\" array"));
+        return;
+    };
+    if entries.is_empty() {
+        c.problem(format!("{loc}: \"entries\" is empty"));
+    }
+    let mut prev_time = 0u64;
+    for (ei, e) in entries.iter().enumerate() {
+        if e.get("label")
+            .and_then(JsonValue::as_str)
+            .is_none_or(str::is_empty)
+        {
+            c.problem(format!("{loc}: entries[{ei}] has no label"));
+        }
+        for key in ["wall_secs", "instr_per_sec"] {
+            match e.get(key).and_then(JsonValue::as_f64) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => c.problem(format!("{loc}: entries[{ei}].{key} = {v} is not positive")),
+                None => c.problem(format!("{loc}: entries[{ei}] has no {key}")),
+            }
+        }
+        match e.get("scale") {
+            Some(scale) => {
+                for key in ["warmup", "instructions"] {
+                    if scale.get(key).and_then(JsonValue::as_u64).is_none() {
+                        c.problem(format!(
+                            "{loc}: entries[{ei}].scale.{key} missing or not an integer"
+                        ));
+                    }
+                }
+            }
+            None => c.problem(format!("{loc}: entries[{ei}] has no scale")),
+        }
+        // Timestamps must be non-decreasing: the file is append-only
+        // history. Legacy entries without a stamp count as time 0, so they
+        // are only legal before any stamped entry.
+        let t = e.get("unix_time").and_then(JsonValue::as_u64).unwrap_or(0);
+        if t < prev_time {
+            c.problem(format!(
+                "{loc}: entries[{ei}] unix_time {t} is older than the previous entry ({prev_time}) — entries must be appended in order"
+            ));
+        }
+        prev_time = t;
+    }
+    // The optional sweep record, when present, must be self-consistent.
+    if let Some(sweep) = doc.get("sweep") {
+        for key in ["cold_secs", "warm_secs", "speedup"] {
+            match sweep.get(key).and_then(JsonValue::as_f64) {
+                Some(v) if v > 0.0 => {}
+                _ => c.problem(format!("{loc}: sweep.{key} missing or not positive")),
+            }
+        }
+    }
+}
+
 fn main() {
     let args = Args::parse();
+
+    // --bench FILE is a standalone mode: validate the throughput record
+    // and exit without touching a results directory.
+    if let Some(bench) = args.options.get("bench") {
+        let mut c = Checker {
+            problems: Vec::new(),
+        };
+        let path = PathBuf::from(bench);
+        check_bench(&mut c, &path);
+        if c.problems.is_empty() {
+            println!("ok: {} validates", path.display());
+            return;
+        }
+        for p in &c.problems {
+            eprintln!("FAIL {p}");
+        }
+        eprintln!("{} problem(s) in {}", c.problems.len(), path.display());
+        std::process::exit(1);
+    }
+
     let dir = PathBuf::from(
         args.options
             .get("results-dir")

@@ -112,11 +112,15 @@ pub trait TraceSource {
     fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send>;
 }
 
-/// A [`TraceSource`] backed by an in-memory vector. Mostly for tests.
+/// A [`TraceSource`] backed by an in-memory slice. Mostly for tests.
+///
+/// The payload is a shared `Arc<[Instr]>`: cloning the trace or opening a
+/// stream never copies instructions, so a materialized trace can be fanned
+/// out across cores and worker threads zero-copy.
 #[derive(Debug, Clone, Default)]
 pub struct VecTrace {
     name: String,
-    instrs: std::sync::Arc<Vec<Instr>>,
+    instrs: std::sync::Arc<[Instr]>,
 }
 
 impl VecTrace {
@@ -124,7 +128,7 @@ impl VecTrace {
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
         Self {
             name: name.into(),
-            instrs: std::sync::Arc::new(instrs),
+            instrs: instrs.into(),
         }
     }
 
@@ -146,7 +150,12 @@ impl TraceSource for VecTrace {
 
     fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
         let v = std::sync::Arc::clone(&self.instrs);
-        Box::new((0..v.len()).map(move |i| v[i]))
+        let mut i = 0;
+        Box::new(std::iter::from_fn(move || {
+            let instr = v.get(i).copied();
+            i += 1;
+            instr
+        }))
     }
 }
 

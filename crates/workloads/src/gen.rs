@@ -22,16 +22,36 @@ const LINE: u64 = ipcp_mem::LINE_BYTES;
 
 /// A named synthetic trace: a factory of fresh, identical instruction
 /// streams.
+///
+/// The name and the generator closure live in one ref-counted allocation:
+/// `clone()` is an `Arc` bump (no `String` copy), and [`SynthTrace::handle`]
+/// re-shares that same allocation as the `Arc<dyn TraceSource>` the
+/// simulator wants — so a trace travels through job queues, result caches,
+/// and per-run core setups zero-copy end to end.
 #[derive(Clone)]
 pub struct SynthTrace {
+    inner: Arc<SynthTraceInner>,
+}
+
+struct SynthTraceInner {
     name: String,
-    make: Arc<dyn Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>,
+    make: Box<dyn Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>,
+}
+
+impl TraceSource for SynthTraceInner {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
+        (self.make)()
+    }
 }
 
 impl std::fmt::Debug for SynthTrace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SynthTrace")
-            .field("name", &self.name)
+            .field("name", &self.inner.name)
             .finish()
     }
 }
@@ -43,24 +63,33 @@ impl SynthTrace {
         make: impl Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync + 'static,
     ) -> Self {
         Self {
-            name: name.into(),
-            make: Arc::new(make),
+            inner: Arc::new(SynthTraceInner {
+                name: name.into(),
+                make: Box::new(make),
+            }),
         }
     }
 
-    /// Shares this trace as an `Arc<dyn TraceSource>` for the simulator.
+    /// Shares this trace's single allocation as an `Arc<dyn TraceSource>`
+    /// for the simulator. Pure pointer work: no allocation, no copy.
+    pub fn handle(&self) -> Arc<dyn TraceSource + Send + Sync> {
+        Arc::clone(&self.inner) as Arc<dyn TraceSource + Send + Sync>
+    }
+
+    /// Consuming variant of [`SynthTrace::handle`] (kept for callers that
+    /// own the trace).
     pub fn shared(self) -> Arc<dyn TraceSource + Send + Sync> {
-        Arc::new(self)
+        self.handle()
     }
 }
 
 impl TraceSource for SynthTrace {
     fn name(&self) -> &str {
-        &self.name
+        &self.inner.name
     }
 
     fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
-        (self.make)()
+        (self.inner.make)()
     }
 }
 
