@@ -53,7 +53,10 @@ use ipcp_sim::{SimConfig, SimReport};
 
 /// Version tag of simulator *behavior*, part of every cache key. Bump on
 /// any change that alters any report; keep on byte-identical refactors.
-pub const SIM_BEHAVIOR_VERSION: u32 = 1;
+/// v2: the L1 class-suppression fix (a fully RR-filtered class no longer
+/// counts toward the 2-class cap, so NL and lower-priority classes fire
+/// more often) plus per-class RR-drop counters in the report schema.
+pub const SIM_BEHAVIOR_VERSION: u32 = 2;
 
 /// Entry-file schema version (the JSON envelope, not the simulator).
 const ENTRY_SCHEMA: u64 = 1;

@@ -38,7 +38,8 @@ pub struct IpcpL1 {
     rr: RrFilter,
     throttle: Throttle,
     mpki: MpkiTracker,
-    rr_drops: u64,
+    /// RR-filter drops per class (NL, CS, CPLX, GS order).
+    rr_drops: [u64; 4],
 }
 
 impl IpcpL1 {
@@ -56,7 +57,7 @@ impl IpcpL1 {
             rr: RrFilter::new(cfg.rr_entries),
             throttle: Throttle::new(&cfg),
             mpki: MpkiTracker::new(cfg.l1_nl_mpki_threshold),
-            rr_drops: 0,
+            rr_drops: [0; 4],
             cfg,
         }
     }
@@ -81,8 +82,14 @@ impl IpcpL1 {
         self.throttle.total_useful()
     }
 
-    /// Prefetch candidates dropped by the RR filter.
+    /// Prefetch candidates dropped by the RR filter (all classes).
     pub fn rr_filter_drops(&self) -> u64 {
+        self.rr_drops.iter().sum()
+    }
+
+    /// RR-filter drops per class (NL, CS, CPLX, GS order) — the fig11-style
+    /// overprediction attribution the audit tooling reads.
+    pub fn rr_filter_drops_by_class(&self) -> [u64; 4] {
         self.rr_drops
     }
 
@@ -99,16 +106,21 @@ impl IpcpL1 {
         })
     }
 
+    /// Emits one candidate, reporting whether it was actually accepted: a
+    /// candidate the RR filter drops (or the sink rejects) never issued, so
+    /// it must not count toward the 2-class cap in `on_access` — otherwise
+    /// a fully-filtered class starves lower-priority classes and tentative
+    /// NL (the paper's NL fires when *no class fires*).
     fn emit(
         &mut self,
         target: LineAddr,
         class: IpClass,
         meta_stride: i8,
         sink: &mut dyn PrefetchSink,
-    ) {
+    ) -> bool {
         if self.rr.check_and_insert(target) {
-            self.rr_drops += 1;
-            return;
+            self.rr_drops[class.bits() as usize] += 1;
+            return false;
         }
         let meta = self.metadata_for(class, meta_stride);
         let mut req = PrefetchRequest::l1(target).with_class(class.bits());
@@ -117,7 +129,9 @@ impl IpcpL1 {
         }
         if sink.prefetch(req) {
             self.throttle.note_issued(class);
+            return true;
         }
+        false
     }
 
     fn issue_gs(&mut self, vline: LineAddr, positive: bool, sink: &mut dyn PrefetchSink) -> bool {
@@ -128,8 +142,7 @@ impl IpcpL1 {
             let Some(target) = vline.offset_within_page(dir * k) else {
                 break;
             };
-            self.emit(target, IpClass::Gs, dir as i8, sink);
-            issued = true;
+            issued |= self.emit(target, IpClass::Gs, dir as i8, sink);
         }
         issued
     }
@@ -141,8 +154,7 @@ impl IpcpL1 {
             let Some(target) = vline.offset_within_page(i64::from(stride) * k) else {
                 break;
             };
-            self.emit(target, IpClass::Cs, stride, sink);
-            issued = true;
+            issued |= self.emit(target, IpClass::Cs, stride, sink);
         }
         issued
     }
@@ -168,8 +180,7 @@ impl IpcpL1 {
                 sig = self.cspt.next_signature(sig, pred.stride);
                 continue;
             }
-            self.emit(target, IpClass::Cplx, pred.stride, sink);
-            issued = true;
+            issued |= self.emit(target, IpClass::Cplx, pred.stride, sink);
             addr = target;
             sig = self.cspt.next_signature(sig, pred.stride);
         }
@@ -296,6 +307,10 @@ impl Prefetcher for IpcpL1 {
 
     fn storage_bits(&self) -> u64 {
         storage::l1_budget(&self.cfg).total_bits()
+    }
+
+    fn filter_drops_by_class(&self) -> [u64; 4] {
+        self.rr_drops
     }
 }
 
@@ -517,6 +532,49 @@ mod tests {
             "RR filter must drop repeats ({again} vs {first})"
         );
         assert!(p.rr_filter_drops() > 0);
+    }
+
+    #[test]
+    fn fully_filtered_class_does_not_suppress_nl() {
+        // Regression: a class whose every candidate the RR filter drops has
+        // not issued anything, so it must not count toward the 2-class cap —
+        // tentative NL fires when *no class fires* (Section IV).
+        let mut p = IpcpL1::new(IpcpConfig::with_only(&[IpClass::Cs, IpClass::NoClass]));
+        // Train CS at stride 2 and let it prefetch ahead.
+        let lines: Vec<u64> = (0..5).map(|i| 0x10000 + i * 2).collect();
+        let reqs = drive(&mut p, 0x400900, &lines);
+        assert!(
+            reqs.iter()
+                .any(|r| IpClass::from_bits(r.pf_class) == IpClass::Cs),
+            "CS must be trained and firing"
+        );
+        // Re-access the last line: all three CS candidates (+2, +4, +6) are
+        // already in the RR filter, so CS is fully filtered. NL must fire.
+        let last = *lines.last().unwrap();
+        let reqs = drive(&mut p, 0x400900, &[last]);
+        assert_eq!(
+            reqs.len(),
+            1,
+            "exactly the NL candidate must issue, got {reqs:?}"
+        );
+        assert_eq!(IpClass::from_bits(reqs[0].pf_class), IpClass::NoClass);
+        assert_eq!(reqs[0].line.raw(), last + 1);
+        // The drops are attributed to CS, not NL.
+        let drops = p.rr_filter_drops_by_class();
+        assert!(drops[IpClass::Cs.bits() as usize] >= 3);
+        assert_eq!(drops[IpClass::NoClass.bits() as usize], 0);
+    }
+
+    #[test]
+    fn rr_drops_attributed_per_class() {
+        let mut p = IpcpL1::new(IpcpConfig::with_only(&[IpClass::Cs]));
+        let lines: Vec<u64> = (0..6).map(|i| 0x30000 + i).collect();
+        drive(&mut p, 0x400600, &lines);
+        drive(&mut p, 0x400600, &lines);
+        let drops = p.rr_filter_drops_by_class();
+        assert_eq!(drops.iter().sum::<u64>(), p.rr_filter_drops());
+        assert!(drops[IpClass::Cs.bits() as usize] > 0);
+        assert_eq!(drops[IpClass::Gs.bits() as usize], 0, "GS never ran");
     }
 
     #[test]

@@ -400,6 +400,124 @@ mod tests {
         assert!(u32::from(p.tag_of(Ip(u64::MAX))) < (1 << tag_bits));
     }
 
+    /// Builds an IP that maps to table `slot` with tag value `tag` under
+    /// the default 64-entry geometry (index = bits 2..8, tag above).
+    fn aliased_ip(slot: u64, tag: u64) -> u64 {
+        (slot | (tag << 6)) << 2
+    }
+
+    #[test]
+    fn aliased_ips_never_serve_the_wrong_stride() {
+        // Two IPs sharing the same table slot with different tags: the
+        // bookkeeping entry belongs to whichever trained last, and the
+        // other must read a tag mismatch — never the alias's stride.
+        let mut p = IpcpL2::paper_default();
+        let ip_a = aliased_ip(5, 1);
+        let ip_b = aliased_ip(5, 2);
+        assert_eq!(p.index_of(Ip(ip_a)), p.index_of(Ip(ip_b)));
+        assert_ne!(p.tag_of(Ip(ip_a)), p.tag_of(Ip(ip_b)));
+
+        // Train A: CS stride 3.
+        let mut sink = VecSink::new();
+        p.on_prefetch_arrival(
+            &arrival(
+                ip_a,
+                0x10000,
+                Some(PrefetchMeta {
+                    class: IpClass::Cs.bits(),
+                    stride: 3,
+                }),
+            ),
+            &mut sink,
+        );
+        // B occupies the same slot but its tag mismatches: it must fall to
+        // tentative NL, not ride A's stride-3 window.
+        sink.requests.clear();
+        p.on_access(&access(ip_b, 0x20000), &mut sink);
+        let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(targets, vec![0x20001], "alias must not inherit A's stride");
+        assert_eq!(sink.requests[0].pf_class, IpClass::NoClass.bits());
+
+        // Train B: CS stride 5 (overwrites the slot with B's tag).
+        sink.requests.clear();
+        p.on_prefetch_arrival(
+            &arrival(
+                ip_b,
+                0x30000,
+                Some(PrefetchMeta {
+                    class: IpClass::Cs.bits(),
+                    stride: 5,
+                }),
+            ),
+            &mut sink,
+        );
+        // Now A is the mismatching alias: NL only, never B's stride 5.
+        sink.requests.clear();
+        p.on_access(&access(ip_a, 0x40000), &mut sink);
+        let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(targets, vec![0x40001], "evicted IP must not read B's entry");
+        // B itself gets its stride-5 deep window (distance 3, degree 4).
+        sink.requests.clear();
+        p.on_access(&access(ip_b, 0x50000), &mut sink);
+        let targets: Vec<u64> = sink.requests.iter().map(|r| r.line.raw()).collect();
+        assert_eq!(targets, vec![0x50014, 0x50019, 0x5001e, 0x50023]);
+        assert!(sink
+            .requests
+            .iter()
+            .all(|r| r.pf_class == IpClass::Cs.bits()));
+    }
+
+    #[test]
+    fn metadata_decode_handles_width_extremes() {
+        // Class bits above the 2-bit field are masked on decode, and
+        // ±63-line strides (the 7-bit metadata extremes) never push a
+        // request across the 4 KB page.
+        let mut p = IpcpL2::paper_default();
+        let mut sink = VecSink::new();
+        // Class 0b0111 & 0b11 == Gs; stored entry must also mask.
+        p.on_prefetch_arrival(
+            &arrival(
+                0x400700,
+                0x10000,
+                Some(PrefetchMeta {
+                    class: 0b0111,
+                    stride: 63,
+                }),
+            ),
+            &mut sink,
+        );
+        for r in &sink.requests {
+            assert_eq!(r.pf_class, IpClass::Gs.bits());
+            assert_eq!(r.line.vpage(), LineAddr::new(0x10000).vpage());
+        }
+        // The stored entry decodes as GS on the access path too.
+        sink.requests.clear();
+        p.on_access(&access(0x400700, 0x20000), &mut sink);
+        assert!(!sink.requests.is_empty());
+        for r in &sink.requests {
+            assert_eq!(r.pf_class, IpClass::Gs.bits());
+            assert_eq!(r.line.vpage(), LineAddr::new(0x20000).vpage());
+        }
+        // CS at stride −63 from near the page start: the window clips at
+        // the boundary instead of wrapping into the previous page.
+        sink.requests.clear();
+        p.on_prefetch_arrival(
+            &arrival(
+                0x400800,
+                0x30002,
+                Some(PrefetchMeta {
+                    class: IpClass::Cs.bits(),
+                    stride: -63,
+                }),
+            ),
+            &mut sink,
+        );
+        assert!(
+            sink.requests.is_empty(),
+            "−63 from offset 2 must clip, not wrap"
+        );
+    }
+
     #[test]
     fn storage_matches_table1() {
         let p = IpcpL2::paper_default();

@@ -1,0 +1,226 @@
+//! Dependency-free ports of the registry-gated property tests in
+//! `stress.rs`: arbitrary access streams must never panic, never emit
+//! out-of-page prefetches, and keep hardware-width fields in range. The
+//! streams come from the deterministic workload RNG (and the adversarial
+//! fuzz corpus) instead of `proptest`, so these run in a plain
+//! `cargo test -q`. The proptest originals remain behind the `proptest`
+//! feature.
+
+use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::prefetch::{
+    AccessInfo, DemandKind, MetadataArrival, PrefetchMeta, Prefetcher, VecSink,
+};
+use ipcp_trace::TraceSource;
+use ipcp_workloads::fuzz::{corpus, FuzzPattern};
+use ipcp_workloads::rng::Rng64;
+
+fn access(ip: u64, vline: u64, hit: bool, instructions: u64, misses: u64) -> AccessInfo {
+    AccessInfo {
+        cycle: 0,
+        ip: Ip(ip),
+        vline: LineAddr::new(vline),
+        pline: LineAddr::new(vline),
+        kind: DemandKind::Load,
+        hit,
+        first_use_of_prefetch: false,
+        hit_pf_class: 0,
+        instructions,
+        demand_misses: misses,
+        dram_utilization: 0.0,
+    }
+}
+
+fn assert_l1_requests_legal(sink: &VecSink, trigger: LineAddr, ctx: &str) {
+    for r in &sink.requests {
+        assert_eq!(
+            r.line.vpage(),
+            trigger.vpage(),
+            "{ctx}: prefetch crossed the page"
+        );
+        assert!(r.pf_class <= 3, "{ctx}: class {} out of range", r.pf_class);
+        if let Some(m) = r.meta {
+            assert!(m.class <= 3, "{ctx}: meta class {} out of range", m.class);
+            assert!(
+                (-63..=63).contains(&m.stride),
+                "{ctx}: stride {} exceeds 7 bits",
+                m.stride
+            );
+        }
+    }
+}
+
+/// Arbitrary (ip, line) streams: every emitted prefetch stays within the
+/// trigger's 4 KB page and carries a legal class and 7-bit metadata.
+#[test]
+fn l1_requests_are_always_legal_fuzzed() {
+    for seed in 0..48u64 {
+        let mut p = IpcpL1::new(IpcpConfig::default());
+        let mut rng = Rng64::new(0x1111_0000 + seed);
+        let mut instr = 0u64;
+        for _ in 0..400 {
+            instr += 17;
+            let ipi = rng.below(64);
+            let line = rng.below(1 << 22);
+            let mut sink = VecSink::new();
+            let info = access(
+                0x40_0000 + ipi * 4,
+                line,
+                line.is_multiple_of(3),
+                instr,
+                instr / 40,
+            );
+            p.on_access(&info, &mut sink);
+            assert_l1_requests_legal(&sink, LineAddr::new(line), &format!("seed {seed}"));
+        }
+    }
+}
+
+/// The adversarial fuzz corpus drives the same page/width invariants:
+/// straddle, alternating-stride, hand-off, alias-storm, and churn streams
+/// must all keep every request inside the trigger page.
+#[test]
+fn l1_requests_legal_on_fuzz_corpus() {
+    for trace in corpus(0xf0cc, 2) {
+        let mut p = IpcpL1::new(IpcpConfig::default());
+        let mut instr = 0u64;
+        let mut misses = 0u64;
+        for i in trace.stream().take(4_000) {
+            let Some(v) = i.vaddr() else { continue };
+            instr += 3;
+            misses += u64::from(instr.is_multiple_of(7));
+            let vline = v.line();
+            let mut sink = VecSink::new();
+            p.on_access(
+                &access(
+                    i.ip.raw(),
+                    vline.raw(),
+                    instr.is_multiple_of(4),
+                    instr,
+                    misses,
+                ),
+                &mut sink,
+            );
+            assert_l1_requests_legal(&sink, vline, trace.name());
+        }
+    }
+}
+
+/// The same holds for the L2 under arbitrary metadata arrivals and
+/// accesses.
+#[test]
+fn l2_requests_are_always_legal_fuzzed() {
+    for seed in 0..48u64 {
+        let mut p = IpcpL2::new(IpcpConfig::default());
+        let mut rng = Rng64::new(0x2222_0000 + seed);
+        let mut instr = 0u64;
+        for _ in 0..400 {
+            instr += 23;
+            let ip = Ip(0x40_0000 + rng.below(64) * 4);
+            let line = rng.below(1 << 22);
+            let mut sink = VecSink::new();
+            if rng.chance(1, 2) {
+                let arr = MetadataArrival {
+                    cycle: 0,
+                    ip,
+                    pline: LineAddr::new(line),
+                    meta: Some(PrefetchMeta {
+                        class: rng.below(4) as u8,
+                        stride: (rng.below(127) as i64 - 63) as i8,
+                    }),
+                    instructions: instr,
+                    demand_misses: instr / 50,
+                };
+                p.on_prefetch_arrival(&arr, &mut sink);
+            } else {
+                let info = access(ip.raw(), line, false, instr, instr / 50);
+                p.on_access(&info, &mut sink);
+            }
+            for r in &sink.requests {
+                assert_eq!(r.line.vpage(), LineAddr::new(line).vpage());
+                assert!(!r.virtual_addr, "L2 prefetches are physical");
+            }
+        }
+    }
+}
+
+/// Class ablation configs never emit a disabled class.
+#[test]
+fn disabled_classes_stay_silent_fuzzed() {
+    for seed in 0..48u64 {
+        let mut rng = Rng64::new(0x3333_0000 + seed);
+        let mut classes = vec![IpClass::Cplx];
+        if rng.chance(1, 2) {
+            classes.push(IpClass::Cs);
+        }
+        if rng.chance(1, 2) {
+            classes.push(IpClass::Gs);
+        }
+        let mut p = IpcpL1::new(IpcpConfig::with_only(&classes));
+        for i in 0..300u64 {
+            let ipi = rng.below(16);
+            let line = rng.below(1 << 18);
+            let mut sink = VecSink::new();
+            p.on_access(
+                &access(0x50_0000 + ipi * 4, line, false, i * 11, i / 9),
+                &mut sink,
+            );
+            for r in &sink.requests {
+                let class = IpClass::from_bits(r.pf_class);
+                assert!(
+                    classes.contains(&class),
+                    "seed {seed}: disabled class {class:?} fired"
+                );
+            }
+        }
+    }
+}
+
+/// The alias-storm fuzz pattern drives both levels together through the
+/// metadata channel: L1 requests feed L2 arrivals, and every L2 request
+/// must stay page-local too.
+#[test]
+fn alias_storm_through_metadata_channel() {
+    for seed in [1u64, 2, 3] {
+        let trace = ipcp_workloads::fuzz::fuzz_trace(FuzzPattern::IpAliasStorm, seed);
+        let mut l1 = IpcpL1::new(IpcpConfig::default());
+        let mut l2 = IpcpL2::new(IpcpConfig::default());
+        let mut instr = 0u64;
+        for i in trace.stream().take(3_000) {
+            let Some(v) = i.vaddr() else { continue };
+            instr += 3;
+            let vline = v.line();
+            let mut sink = VecSink::new();
+            l1.on_access(
+                &access(
+                    i.ip.raw(),
+                    vline.raw(),
+                    instr.is_multiple_of(5),
+                    instr,
+                    instr / 30,
+                ),
+                &mut sink,
+            );
+            assert_l1_requests_legal(&sink, vline, "alias-storm L1");
+            for r in &sink.requests {
+                let arr = MetadataArrival {
+                    cycle: 0,
+                    ip: i.ip,
+                    pline: r.line,
+                    meta: r.meta,
+                    instructions: instr,
+                    demand_misses: instr / 30,
+                };
+                let mut l2_sink = VecSink::new();
+                l2.on_prefetch_arrival(&arr, &mut l2_sink);
+                for r2 in &l2_sink.requests {
+                    assert_eq!(
+                        r2.line.vpage(),
+                        r.line.vpage(),
+                        "alias-storm L2 crossed the page"
+                    );
+                }
+            }
+        }
+    }
+}

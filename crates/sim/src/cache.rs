@@ -177,6 +177,15 @@ pub struct Cache {
     last_hit: Vec<(u64, u32, u8)>,
     repeat_hit_ok: bool,
 
+    /// Oracle mode ([`SimConfig::no_fastpath`]): every access-path shortcut
+    /// is disabled — the repeat-hit memo never arms, the way predictor is
+    /// never consulted, and the replacement policy runs behind virtual
+    /// dispatch. Used by the differential checker to prove the shortcuts
+    /// are behavior-preserving; reports must come out byte-identical.
+    ///
+    /// [`SimConfig::no_fastpath`]: crate::config::SimConfig::no_fastpath
+    naive: bool,
+
     /// Direct-mapped line → slot predictor, indexed by the low bits of the
     /// raw line address. Purely an access-path shortcut: a prediction is
     /// trusted only after verifying `tags[slot] == raw`, which by itself
@@ -209,12 +218,24 @@ impl Cache {
     /// Builds a cache from its configuration. `scale` multiplies capacity,
     /// MSHR, and PQ entries (the LLC scales with core count per Table II).
     pub fn new(cfg: &CacheConfig, scale: u32) -> Self {
+        Self::new_with_mode(cfg, scale, false)
+    }
+
+    /// Like [`Cache::new`], but `naive` selects the oracle slow path: no
+    /// repeat-hit memo, no way predictor, boxed (virtually dispatched)
+    /// replacement. Behavior must match the fast path exactly; the
+    /// differential audit relies on byte-identical reports.
+    pub fn new_with_mode(cfg: &CacheConfig, scale: u32, naive: bool) -> Self {
         let sets = cfg.sets_with_scale(scale) as usize;
         let ways = cfg.ways as usize;
         let n = sets * ways;
         let mshr_entries = (cfg.mshr_entries * scale) as usize;
-        let repl = replacement::build(cfg.replacement, sets, ways);
-        let repeat_hit_ok = repl.repeat_hit_is_noop();
+        let repl = if naive {
+            replacement::build_boxed(cfg.replacement, sets, ways)
+        } else {
+            replacement::build(cfg.replacement, sets, ways)
+        };
+        let repeat_hit_ok = !naive && repl.repeat_hit_is_noop();
         Self {
             name: cfg.name,
             sets,
@@ -239,6 +260,7 @@ impl Cache {
             pq_capacity: (cfg.pq_entries * scale) as usize,
             last_hit: vec![(TAG_INVALID, 0, 0); sets],
             repeat_hit_ok,
+            naive,
             way_pred: vec![u32::MAX; (2 * n).next_power_of_two()],
             lifetime_misses: 0,
             stats: CacheStats::default(),
@@ -320,7 +342,7 @@ impl Cache {
         let base = set * self.ways;
         let pred_idx = (raw as usize) & (self.way_pred.len() - 1);
         let pred = self.way_pred[pred_idx] as usize;
-        let hit_slot = if pred < self.tags.len() && self.tags[pred] == raw {
+        let hit_slot = if !self.naive && pred < self.tags.len() && self.tags[pred] == raw {
             Some(pred)
         } else {
             let found = self.tags[base..base + self.ways]
@@ -807,6 +829,33 @@ mod tests {
         assert!(!c.writeback_hit(line));
         c.install(line, IP, false, 0, false);
         assert!(c.writeback_hit(line));
+    }
+
+    #[test]
+    fn naive_mode_matches_fast_path() {
+        let cfg = SimConfig::default();
+        let mut fast = Cache::new(&cfg.l1d, 1);
+        let mut slow = Cache::new_with_mode(&cfg.l1d, 1, true);
+        // Pseudo-random demand stream over more lines than the cache holds:
+        // exercises the repeat-hit memo, the way predictor, and evictions
+        // on the fast side against the always-scan slow side.
+        let mut x = 1u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let line = LineAddr::new((x >> 40) & 0x3ff);
+            let write = x & 1 == 0;
+            let rf = fast.demand_lookup(line, IP, write);
+            let rs = slow.demand_lookup(line, IP, write);
+            assert_eq!(rf, rs);
+            if rf == ProbeResult::Miss {
+                fast.commit_demand_miss();
+                slow.commit_demand_miss();
+                fast.install(line, IP, false, 0, write);
+                slow.install(line, IP, false, 0, write);
+            }
+        }
+        assert_eq!(fast.stats, slow.stats);
+        assert_eq!(fast.lifetime_misses(), slow.lifetime_misses());
     }
 
     #[test]

@@ -210,6 +210,14 @@ pub struct SimConfig {
     /// count). `None` (the default) disables sampling entirely; the report
     /// then carries no time-series and matches pre-sampler output exactly.
     pub sample_interval: Option<u64>,
+    /// Differential-oracle mode: disable every "exact-behavior" fast path
+    /// (cache repeat-hit memo, way predictor, devirtualized replacement
+    /// dispatch, TLB memos) and run the naive reference paths instead. A
+    /// `no_fastpath` run must produce a byte-identical [`crate::SimReport`]
+    /// to the optimized run — `ipcp_check` and the CI `audit` job compare
+    /// the two to *prove* the fast paths are behavior-neutral rather than
+    /// trusting golden fingerprints. Off by default (zero overhead).
+    pub no_fastpath: bool,
 }
 
 impl Default for SimConfig {
@@ -263,6 +271,7 @@ impl Default for SimConfig {
             sim_instructions: 1_000_000,
             vmem_seed: 0x1bc9,
             sample_interval: None,
+            no_fastpath: false,
         }
     }
 }
@@ -295,6 +304,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_llc_replacement(mut self, kind: ReplacementKind) -> Self {
         self.llc.replacement = kind;
+        self
+    }
+
+    /// Enables differential-oracle mode: every fast path runs its naive
+    /// reference implementation instead (see the `no_fastpath` field).
+    #[must_use]
+    pub fn without_fastpaths(mut self) -> Self {
+        self.no_fastpath = true;
         self
     }
 

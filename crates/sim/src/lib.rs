@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod check;
 pub mod config;
 pub mod dram;
 pub mod prefetch;
@@ -45,6 +46,7 @@ pub mod telemetry;
 pub mod tlb;
 pub mod vmem;
 
+pub use check::{CheckHandle, CheckedPrefetcher};
 pub use config::{
     CacheConfig, CoreConfig, Cycle, DramConfig, ReplacementKind, SimConfig, TlbConfig,
 };

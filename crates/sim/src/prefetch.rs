@@ -291,6 +291,17 @@ pub trait Prefetcher: Send {
     fn storage_bits(&self) -> u64 {
         0
     }
+
+    /// Lifetime prefetch candidates this prefetcher itself filtered out
+    /// before issuing, per class (NL, CS, CPLX, GS order) — IPCP's RR
+    /// filter is the canonical source. Prefetchers without an internal
+    /// filter report zeros. The system folds these into
+    /// [`crate::stats::CacheStats::rr_drops_by_class`] so fig11-style
+    /// overprediction analysis can attribute the filtering. Wrappers must
+    /// forward this.
+    fn filter_drops_by_class(&self) -> [u64; 4] {
+        [0; 4]
+    }
 }
 
 /// The no-op prefetcher (the paper's "no prefetching" baseline).
@@ -377,6 +388,10 @@ impl<P: Prefetcher> Prefetcher for FillLevelOverride<P> {
 
     fn storage_bits(&self) -> u64 {
         self.inner.storage_bits()
+    }
+
+    fn filter_drops_by_class(&self) -> [u64; 4] {
+        self.inner.filter_drops_by_class()
     }
 }
 

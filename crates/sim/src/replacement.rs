@@ -58,13 +58,28 @@ pub fn build(kind: ReplacementKind, sets: usize, ways: usize) -> AnyRepl {
     }
 }
 
+/// Builds the same policy as [`build`] but behind a `Box<dyn Replacement>`,
+/// forcing virtual dispatch on every policy call. The differential oracle
+/// (`SimConfig::no_fastpath`) uses this to prove the enum devirtualization
+/// in [`build`] is behavior-preserving: the boxed policy is the identical
+/// state machine reached through the slow calling convention.
+pub fn build_boxed(kind: ReplacementKind, sets: usize, ways: usize) -> AnyRepl {
+    let inner: Box<dyn Replacement> = match kind {
+        ReplacementKind::Lru => Box::new(Lru::new(sets, ways)),
+        ReplacementKind::Srrip => Box::new(Rrip::new_static(sets, ways)),
+        ReplacementKind::Drrip => Box::new(Rrip::new_dynamic(sets, ways)),
+        ReplacementKind::Ship => Box::new(ShipLite::new(sets, ways)),
+        ReplacementKind::Random => Box::new(RandomRepl::new(sets, ways)),
+    };
+    AnyRepl::Boxed(inner)
+}
+
 /// Closed sum of the shipped policies. The cache stores this instead of a
 /// `Box<dyn Replacement>` so the per-access `on_hit`/`on_fill` calls are a
 /// predictable match over four arms the compiler can inline — on the
 /// default all-LRU configuration the hit path collapses to the bare
 /// timestamp store instead of a virtual call. New policies still implement
 /// [`Replacement`]; they just also get an arm here.
-#[derive(Debug)]
 pub enum AnyRepl {
     /// True LRU (the ChampSim default).
     Lru(Lru),
@@ -74,6 +89,21 @@ pub enum AnyRepl {
     Ship(ShipLite),
     /// Deterministic pseudo-random.
     Random(RandomRepl),
+    /// Any policy behind virtual dispatch — the oracle-mode slow path
+    /// ([`build_boxed`]).
+    Boxed(Box<dyn Replacement>),
+}
+
+impl std::fmt::Debug for AnyRepl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnyRepl::Lru(p) => f.debug_tuple("Lru").field(p).finish(),
+            AnyRepl::Rrip(p) => f.debug_tuple("Rrip").field(p).finish(),
+            AnyRepl::Ship(p) => f.debug_tuple("Ship").field(p).finish(),
+            AnyRepl::Random(p) => f.debug_tuple("Random").field(p).finish(),
+            AnyRepl::Boxed(_) => f.write_str("Boxed(..)"),
+        }
+    }
 }
 
 impl Replacement for AnyRepl {
@@ -84,6 +114,7 @@ impl Replacement for AnyRepl {
             AnyRepl::Rrip(p) => p.on_fill(set, way, meta),
             AnyRepl::Ship(p) => p.on_fill(set, way, meta),
             AnyRepl::Random(p) => p.on_fill(set, way, meta),
+            AnyRepl::Boxed(p) => p.on_fill(set, way, meta),
         }
     }
 
@@ -94,6 +125,7 @@ impl Replacement for AnyRepl {
             AnyRepl::Rrip(p) => p.on_hit(set, way, meta),
             AnyRepl::Ship(p) => p.on_hit(set, way, meta),
             AnyRepl::Random(p) => p.on_hit(set, way, meta),
+            AnyRepl::Boxed(p) => p.on_hit(set, way, meta),
         }
     }
 
@@ -104,6 +136,7 @@ impl Replacement for AnyRepl {
             AnyRepl::Rrip(p) => p.on_evict(set, way, was_reused),
             AnyRepl::Ship(p) => p.on_evict(set, way, was_reused),
             AnyRepl::Random(p) => p.on_evict(set, way, was_reused),
+            AnyRepl::Boxed(p) => p.on_evict(set, way, was_reused),
         }
     }
 
@@ -114,6 +147,7 @@ impl Replacement for AnyRepl {
             AnyRepl::Rrip(p) => p.victim(set),
             AnyRepl::Ship(p) => p.victim(set),
             AnyRepl::Random(p) => p.victim(set),
+            AnyRepl::Boxed(p) => p.victim(set),
         }
     }
 
@@ -123,6 +157,7 @@ impl Replacement for AnyRepl {
             AnyRepl::Rrip(p) => p.repeat_hit_is_noop(),
             AnyRepl::Ship(p) => p.repeat_hit_is_noop(),
             AnyRepl::Random(p) => p.repeat_hit_is_noop(),
+            AnyRepl::Boxed(p) => p.repeat_hit_is_noop(),
         }
     }
 }
@@ -468,6 +503,51 @@ mod tests {
             let va = a.victim(0);
             assert_eq!(va, b.victim(0));
             assert!(va < 8);
+        }
+    }
+
+    #[test]
+    fn boxed_matches_direct_for_all_kinds() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Drrip,
+            ReplacementKind::Ship,
+            ReplacementKind::Random,
+        ] {
+            let mut fast = build(kind, 8, 4);
+            let mut slow = build_boxed(kind, 8, 4);
+            assert_eq!(fast.repeat_hit_is_noop(), slow.repeat_hit_is_noop());
+            // Deterministic pseudo-random op stream driven through both.
+            let mut x = 0x1234_5678_9abc_def0u64;
+            for step in 0..2_000 {
+                x = x
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let set = ((x >> 33) % 8) as usize;
+                let way = ((x >> 21) % 4) as usize;
+                let meta = ReplMeta {
+                    ip: Ip(0x40 + ((x >> 5) & 0xfff)),
+                    is_prefetch: x & 1 == 0,
+                };
+                match (x >> 13) % 4 {
+                    0 => {
+                        fast.on_fill(set, way, meta);
+                        slow.on_fill(set, way, meta);
+                    }
+                    1 => {
+                        fast.on_hit(set, way, meta);
+                        slow.on_hit(set, way, meta);
+                    }
+                    2 => {
+                        fast.on_evict(set, way, x & 2 == 0);
+                        slow.on_evict(set, way, x & 2 == 0);
+                    }
+                    _ => {
+                        assert_eq!(fast.victim(set), slow.victim(set), "{kind:?} step {step}");
+                    }
+                }
+            }
         }
     }
 

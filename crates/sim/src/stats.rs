@@ -40,6 +40,12 @@ pub struct CacheStats {
     /// Prefetched lines evicted without ever being demanded
     /// (over-predictions, Fig. 11).
     pub pf_useless_evicted: u64,
+    /// Prefetch candidates the attached prefetcher itself filtered before
+    /// issuing, per class (NL, CS, CPLX, GS order) — IPCP's RR filter.
+    /// Attribution for fig11-style overprediction analysis: a candidate
+    /// dropped here never reached the PQ, so it appears in no other
+    /// counter.
+    pub rr_drops_by_class: [u64; PF_CLASSES],
     /// Dirty lines written back to the next level.
     pub writebacks: u64,
     /// Demand accesses rejected because the MSHR was full (retried).
@@ -105,6 +111,7 @@ impl CacheStats {
         for i in 0..PF_CLASSES {
             self.useful_by_class[i] += other.useful_by_class[i];
             self.fills_by_class[i] += other.fills_by_class[i];
+            self.rr_drops_by_class[i] += other.rr_drops_by_class[i];
         }
     }
 
@@ -150,6 +157,8 @@ impl CacheStats {
             d.useful_by_class[i] =
                 self.useful_by_class[i].saturating_sub(earlier.useful_by_class[i]);
             d.fills_by_class[i] = self.fills_by_class[i].saturating_sub(earlier.fills_by_class[i]);
+            d.rr_drops_by_class[i] =
+                self.rr_drops_by_class[i].saturating_sub(earlier.rr_drops_by_class[i]);
         }
         d
     }

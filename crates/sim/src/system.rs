@@ -189,7 +189,29 @@ struct Core {
     measure_start_instr: u64,
     measure_start_cycle: Cycle,
     stall_cycles: u64,
+    /// L1-D prefetcher RR-filter drop counts at end of warm-up. The
+    /// prefetcher's counters are lifetime (never reset), so reported
+    /// per-class drops are `lifetime − baseline`, mirroring how cache
+    /// stats are reset at the warm-up boundary.
+    rr_drop_baseline: [u64; 4],
     finished: Option<CoreStats>,
+}
+
+impl Core {
+    /// L1-D stats with the prefetcher's measured-phase RR-filter drops
+    /// folded in (see `rr_drop_baseline`).
+    fn l1d_stats_with_drops(&self) -> crate::stats::CacheStats {
+        let mut stats = self.l1d.stats;
+        let lifetime = self.l1d_pf.filter_drops_by_class();
+        for (slot, (life, base)) in stats
+            .rr_drops_by_class
+            .iter_mut()
+            .zip(lifetime.iter().zip(self.rr_drop_baseline.iter()))
+        {
+            *slot = life - base;
+        }
+        stats
+    }
 }
 
 impl Core {
@@ -292,10 +314,10 @@ impl System {
                     ibuf: Vec::with_capacity(IBUF_CAPACITY),
                     ibuf_pos: 0,
                     mapper: PageMapper::new(vmem_seed.wrapping_add(ci as u64 * 0x9e37_79b9)),
-                    l1i: Cache::new(&cfg.l1i, 1),
-                    l1d: Cache::new(&cfg.l1d, 1),
-                    l2: Cache::new(&cfg.l2, 1),
-                    tlb: Tlb::new(&cfg.tlb),
+                    l1i: Cache::new_with_mode(&cfg.l1i, 1, cfg.no_fastpath),
+                    l1d: Cache::new_with_mode(&cfg.l1d, 1, cfg.no_fastpath),
+                    l2: Cache::new_with_mode(&cfg.l2, 1, cfg.no_fastpath),
+                    tlb: Tlb::new(&cfg.tlb).with_naive(cfg.no_fastpath),
                     l1d_pf_noop: s.l1d_prefetcher.is_noop(),
                     l2_pf_noop: s.l2_prefetcher.is_noop(),
                     l1d_pf: s.l1d_prefetcher,
@@ -308,11 +330,12 @@ impl System {
                     measure_start_instr: 0,
                     measure_start_cycle: 0,
                     stall_cycles: 0,
+                    rr_drop_baseline: [0; 4],
                     finished: None,
                 }
             })
             .collect();
-        let llc = Cache::new(&cfg.llc, cfg.cores);
+        let llc = Cache::new_with_mode(&cfg.llc, cfg.cores, cfg.no_fastpath);
         let dram = Dram::new(cfg.dram);
         let sampler = cfg.sample_interval.map(Sampler::new);
         let cycle_hooks = llc_prefetcher.uses_cycle_hook()
@@ -386,6 +409,7 @@ impl System {
             core.measure_start_instr = core.retired_total;
             core.measure_start_cycle = self.now;
             core.stall_cycles = 0;
+            core.rr_drop_baseline = core.l1d_pf.filter_drops_by_class();
         }
         self.llc.reset_stats();
         self.dram.stats.reset();
@@ -421,7 +445,7 @@ impl System {
         };
         for c in &self.cores {
             shot.instructions += c.retired_total - c.measure_start_instr;
-            shot.l1d.accumulate(&c.l1d.stats);
+            shot.l1d.accumulate(&c.l1d_stats_with_drops());
             shot.l2.accumulate(&c.l2.stats);
             occ.l1d_pq += c.l1d.pq_len() as u32;
             occ.l1d_mshr += c.l1d.mshr_occupancy() as u32;
@@ -447,7 +471,7 @@ impl System {
                     stall_cycles: c.stall_cycles,
                 }),
                 l1i: c.l1i.stats,
-                l1d: c.l1d.stats,
+                l1d: c.l1d_stats_with_drops(),
                 l2: c.l2.stats,
                 tlb: c.tlb.stats,
             })

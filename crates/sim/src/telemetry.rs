@@ -569,6 +569,7 @@ impl ToJson for CacheStats {
             .set("pf_fills", self.pf_fills)
             .set("fills_by_class", &self.fills_by_class[..])
             .set("pf_useless_evicted", self.pf_useless_evicted)
+            .set("rr_drops_by_class", &self.rr_drops_by_class[..])
             .set("writebacks", self.writebacks)
             .set("mshr_full_rejects", self.mshr_full_rejects)
             .set("miss_latency_sum", self.miss_latency_sum)
@@ -753,6 +754,7 @@ impl FromJson for CacheStats {
             pf_fills: u64_field(v, "pf_fills")?,
             fills_by_class: class_array(v, "fills_by_class", JsonValue::as_u64)?,
             pf_useless_evicted: u64_field(v, "pf_useless_evicted")?,
+            rr_drops_by_class: class_array(v, "rr_drops_by_class", JsonValue::as_u64)?,
             writebacks: u64_field(v, "writebacks")?,
             mshr_full_rejects: u64_field(v, "mshr_full_rejects")?,
             miss_latency_sum: u64_field(v, "miss_latency_sum")?,

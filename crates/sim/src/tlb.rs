@@ -113,6 +113,10 @@ pub struct Tlb {
     memo_untimed_miss: [(u64, u64); UNTIMED_MEMO_ENTRIES],
     /// Round-robin replacement cursor for `memo_untimed_miss`.
     memo_untimed_cursor: usize,
+    /// Oracle mode: memo reads are skipped so every translation takes the
+    /// full scan path. Memo writes still happen (they touch no TLB state),
+    /// which keeps the two modes structurally identical everywhere else.
+    naive: bool,
     /// Lookup/translation statistics.
     pub stats: TlbStats,
 }
@@ -128,8 +132,16 @@ impl Tlb {
             memo_timed: None,
             memo_untimed_miss: [(VTAG_INVALID, 0); UNTIMED_MEMO_ENTRIES],
             memo_untimed_cursor: 0,
+            naive: false,
             stats: TlbStats::default(),
         }
+    }
+
+    /// Returns this TLB with memo fast paths disabled (oracle slow path).
+    /// Behavior must match the memoized path exactly.
+    pub fn with_naive(mut self, naive: bool) -> Self {
+        self.naive = naive;
+        self
     }
 
     /// Translates `vpage`, returning the frame and the extra latency (0 on a
@@ -137,10 +149,12 @@ impl Tlb {
     #[inline]
     pub fn translate(&mut self, vpage: VPage, mapper: &mut PageMapper) -> (PPage, Cycle) {
         let raw = vpage.raw();
-        if let Some((mv, mp)) = self.memo_timed {
-            if mv == raw {
-                self.stats.dtlb_accesses += 1;
-                return (PPage::new(mp), 0);
+        if !self.naive {
+            if let Some((mv, mp)) = self.memo_timed {
+                if mv == raw {
+                    self.stats.dtlb_accesses += 1;
+                    return (PPage::new(mp), 0);
+                }
             }
         }
         self.translate_slow(vpage, mapper)
@@ -183,11 +197,13 @@ impl Tlb {
     #[inline]
     pub fn translate_untimed(&mut self, vpage: VPage, mapper: &mut PageMapper) -> PPage {
         let raw = vpage.raw();
-        for &(mv, mp) in &self.memo_untimed_miss {
-            if mv == raw {
-                // Still absent from both TLBs: the real path would be two
-                // failed scans (no stamps) plus a pure map read.
-                return PPage::new(mp);
+        if !self.naive {
+            for &(mv, mp) in &self.memo_untimed_miss {
+                if mv == raw {
+                    // Still absent from both TLBs: the real path would be
+                    // two failed scans (no stamps) plus a pure map read.
+                    return PPage::new(mp);
+                }
             }
         }
         self.translate_untimed_slow(vpage, mapper)
@@ -252,6 +268,30 @@ mod tests {
             "should be an STLB hit"
         );
         assert_eq!(tlb.stats.stlb_misses, walks_before);
+    }
+
+    #[test]
+    fn naive_mode_matches_memoized() {
+        let mut fast = Tlb::new(&TlbConfig::default());
+        let mut slow = Tlb::new(&TlbConfig::default()).with_naive(true);
+        let mut map_f = PageMapper::new(1);
+        let mut map_s = PageMapper::new(1);
+        // Pseudo-random mix of timed and untimed translations over a page
+        // set with heavy repeats (exercises both memos on the fast side).
+        let mut x = 7u64;
+        for _ in 0..3_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let v = VPage::new((x >> 50) & 0x7f);
+            if x & 1 == 0 {
+                assert_eq!(fast.translate(v, &mut map_f), slow.translate(v, &mut map_s));
+            } else {
+                assert_eq!(
+                    fast.translate_untimed(v, &mut map_f),
+                    slow.translate_untimed(v, &mut map_s)
+                );
+            }
+        }
+        assert_eq!(fast.stats, slow.stats);
     }
 
     #[test]

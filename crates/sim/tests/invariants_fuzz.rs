@@ -1,0 +1,116 @@
+//! Dependency-free ports of the registry-gated property tests in
+//! `invariants.rs`: the same cache-accounting and residency-model
+//! properties, driven by the deterministic workload RNG instead of
+//! `proptest` so they run in a plain `cargo test -q` (no registry access
+//! needed). The proptest originals remain behind the `proptest` feature.
+
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::cache::{Cache, Mshr, ProbeResult, QueuedPrefetch};
+use ipcp_sim::config::SimConfig;
+use ipcp_sim::prefetch::PrefetchRequest;
+use ipcp_workloads::rng::Rng64;
+
+/// Random demand/fill/prefetch interleavings never violate cache
+/// accounting: accesses = hits + misses, MSHR occupancy bounded, no line
+/// both resident and in flight, useful ≤ fills + merges + hits.
+#[test]
+fn cache_accounting_holds_fuzzed() {
+    for seed in 0..64u64 {
+        let cfg = SimConfig::default();
+        let mut c = Cache::new(&cfg.l1d, 1);
+        let mut rng = Rng64::new(0xacc0_0000 + seed);
+        let mut now = 0u64;
+        let ip = Ip(0x400);
+        for step in 0..600 {
+            match rng.below(3) {
+                0 => {
+                    let line = LineAddr::new(rng.below(4096));
+                    let write = rng.chance(1, 2);
+                    if let ProbeResult::Miss = c.demand_lookup(line, ip, write) {
+                        if c.mshr_available() {
+                            c.commit_demand_miss();
+                            c.alloc_mshr(Mshr {
+                                line,
+                                fill_at: now + 200,
+                                is_prefetch: false,
+                                pf_class: 0,
+                                dirty: write,
+                                ip,
+                            });
+                        }
+                    }
+                }
+                1 => {
+                    now += 1 + rng.below(399);
+                    while let Some(m) = c.pop_ready_fill(now) {
+                        assert!(
+                            !c.contains(m.line),
+                            "seed {seed} step {step}: double fill of {:?}",
+                            m.line
+                        );
+                        c.install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+                    }
+                }
+                _ => {
+                    let line = LineAddr::new(rng.below(4096));
+                    if let ProbeResult::Miss = c.prefetch_probe(line) {
+                        if c.mshr_available() {
+                            c.alloc_mshr(Mshr {
+                                line,
+                                fill_at: now + 150,
+                                is_prefetch: true,
+                                pf_class: 1,
+                                dirty: false,
+                                ip,
+                            });
+                        }
+                    }
+                    let _ = c.enqueue_prefetch(QueuedPrefetch {
+                        req: PrefetchRequest::l1(line),
+                        pline: line,
+                        ip,
+                    });
+                }
+            }
+            let s = c.stats;
+            assert_eq!(s.demand_accesses, s.demand_hits + s.demand_misses);
+            assert!(s.useful_prefetch_hits <= s.pf_fills + s.late_prefetch_hits + s.demand_hits);
+            assert!(c.mshr_occupancy() <= 16);
+            assert!(c.pq_len() <= 8);
+        }
+    }
+}
+
+/// Sentinel-tag residency equivalence: `contains` (validity folded into
+/// the tag as `u64::MAX`) must agree with a plain installed-lines set
+/// model under arbitrary install/evict/probe interleavings.
+#[test]
+fn sentinel_tags_match_residency_model_fuzzed() {
+    for seed in 0..64u64 {
+        let cfg = SimConfig::default();
+        let mut c = Cache::new(&cfg.l1d, 1);
+        let mut resident = std::collections::HashSet::new();
+        let mut rng = Rng64::new(0x5e11_0000 + seed);
+        let ip = Ip(0x400);
+        for i in 0..300 {
+            let line = LineAddr::new(rng.below(512));
+            if resident.contains(&line) {
+                continue; // install() requires non-resident lines
+            }
+            if let Some(ev) = c.install(line, ip, i % 3 == 0, 0, false) {
+                assert!(
+                    resident.remove(&ev.line),
+                    "seed {seed}: evicted a non-resident line"
+                );
+            }
+            resident.insert(line);
+        }
+        for _ in 0..300 {
+            let line = LineAddr::new(rng.below(512));
+            assert_eq!(c.contains(line), resident.contains(&line));
+        }
+        for line in &resident {
+            assert!(c.contains(*line), "seed {seed}: installed line not found");
+        }
+    }
+}

@@ -49,6 +49,10 @@ fn run(
 ) -> SimReport {
     let mut cfg = SimConfig::default().with_instructions(warmup, instrs);
     cfg.sample_interval = interval;
+    // Oracle escape hatch: IPCP_NO_FASTPATH=1 runs on the naive slow paths
+    // (see ipcp_check) so any report can be reproduced without the
+    // scheduler fast paths in play.
+    cfg.no_fastpath = std::env::var_os("IPCP_NO_FASTPATH").is_some();
     let c = combos::build(combo);
     run_single(cfg, trace, c.l1, c.l2, c.llc)
 }

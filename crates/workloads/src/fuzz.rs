@@ -1,0 +1,335 @@
+//! Deterministic adversarial trace fuzzer for the `ipcp-check` audit.
+//!
+//! Where the generators in [`crate::gen`] reproduce the paper's benign
+//! pattern classes, these traces are built to *break* prefetchers: they
+//! concentrate on the edges the classifier and the simulator fast paths
+//! have to get right — page-boundary straddles, strides that flip sign
+//! every access, region hand-offs that race the RST state machine, and IP
+//! streams engineered to alias in the 64-entry IP table. Every trace is a
+//! pure function of its seed (xorshift128+, [`crate::rng::Rng64`]), so a
+//! failing run reproduces from `(pattern, seed)` alone.
+//!
+//! # Examples
+//!
+//! ```
+//! use ipcp_trace::TraceSource;
+//! use ipcp_workloads::fuzz;
+//!
+//! let t = fuzz::fuzz_trace(fuzz::FuzzPattern::PageStraddle, 7);
+//! let a: Vec<_> = t.stream().take(100).collect();
+//! let b: Vec<_> = t.stream().take(100).collect();
+//! assert_eq!(a, b); // reproducible from (pattern, seed)
+//! ```
+
+use ipcp_trace::Instr;
+
+use crate::gen::SynthTrace;
+use crate::rng::Rng64;
+
+/// Bytes per cache line.
+const LINE: u64 = ipcp_mem::LINE_BYTES;
+/// Bytes per page (the 4 KB prefetch boundary the checker enforces).
+const PAGE: u64 = 4096;
+/// Lines per page.
+const LINES_PER_PAGE: u64 = PAGE / LINE;
+
+/// The adversarial pattern families the fuzzer can generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzPattern {
+    /// Constant strides that walk straight across 4 KB page boundaries,
+    /// with stride magnitudes near the ±63-line metadata limit. Any
+    /// prefetcher that blindly adds `stride × degree` emits cross-page
+    /// requests here.
+    PageStraddle,
+    /// Strides that alternate sign and magnitude every access (`+d, −d,
+    /// +d', −d'`), defeating the CS confidence counter while keeping the
+    /// CPLX signature table busy with conflicting deltas.
+    AlternatingStride,
+    /// Dense touches of one 2 KB region that hand off to the next region
+    /// just as the RST would promote the first to trained — exercises the
+    /// region-tracker epoch turnover and GS dense-threshold edge.
+    RegionHandoff,
+    /// Loads from a large set of IPs engineered to collide in a 64-entry
+    /// IP table (same low index bits, different tags), forcing constant
+    /// tag-mismatch evictions and testing the L2 tag/index desync paths.
+    IpAliasStorm,
+    /// Uniformly random lines in a small footprint: no classifiable
+    /// pattern at all, maximum RR-filter and throttle churn.
+    RandomChurn,
+}
+
+impl FuzzPattern {
+    /// All patterns, for sweep drivers.
+    pub const ALL: [FuzzPattern; 5] = [
+        FuzzPattern::PageStraddle,
+        FuzzPattern::AlternatingStride,
+        FuzzPattern::RegionHandoff,
+        FuzzPattern::IpAliasStorm,
+        FuzzPattern::RandomChurn,
+    ];
+
+    /// Stable name used in trace names and reproduction instructions.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzPattern::PageStraddle => "page-straddle",
+            FuzzPattern::AlternatingStride => "alt-stride",
+            FuzzPattern::RegionHandoff => "region-handoff",
+            FuzzPattern::IpAliasStorm => "ip-alias-storm",
+            FuzzPattern::RandomChurn => "random-churn",
+        }
+    }
+
+    /// Parses [`FuzzPattern::name`] back into a pattern.
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|p| p.name() == s)
+    }
+}
+
+/// Builds the fuzz trace for `(pattern, seed)`. The returned trace is
+/// infinite and bit-reproducible: every `stream()` call replays the same
+/// instruction sequence.
+pub fn fuzz_trace(pattern: FuzzPattern, seed: u64) -> SynthTrace {
+    let name = format!("fuzz-{}-s{seed}", pattern.name());
+    SynthTrace::new(name, move || match pattern {
+        FuzzPattern::PageStraddle => page_straddle(seed),
+        FuzzPattern::AlternatingStride => alternating_stride(seed),
+        FuzzPattern::RegionHandoff => region_handoff(seed),
+        FuzzPattern::IpAliasStorm => ip_alias_storm(seed),
+        FuzzPattern::RandomChurn => random_churn(seed),
+    })
+}
+
+/// The default fuzz corpus: every pattern at `count` consecutive seeds
+/// starting from `base_seed`.
+pub fn corpus(base_seed: u64, count: u64) -> Vec<SynthTrace> {
+    FuzzPattern::ALL
+        .iter()
+        .flat_map(|&p| (0..count).map(move |i| fuzz_trace(p, base_seed.wrapping_add(i))))
+        .collect()
+}
+
+fn page_straddle(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
+    let mut rng = Rng64::new(seed ^ 0x5067_5354);
+    // A handful of concurrent streams, each with a near-limit stride and a
+    // starting offset placed so the stream crosses its page within a few
+    // accesses. Strides include the metadata extremes ±63 and ±1.
+    const STREAMS: usize = 6;
+    let mut line = [0u64; STREAMS];
+    let mut stride = [0i64; STREAMS];
+    let mut ip = [0u64; STREAMS];
+    for (i, ((l, s), ipn)) in line
+        .iter_mut()
+        .zip(stride.iter_mut())
+        .zip(ip.iter_mut())
+        .enumerate()
+    {
+        let mag = match rng.below(4) {
+            0 => 63,
+            1 => 1,
+            2 => 62,
+            _ => 2 + rng.below(60) as i64,
+        };
+        *s = if rng.chance(1, 2) { mag } else { -mag };
+        // Start near the end (or start, for negative strides) of a page so
+        // the very first few accesses straddle the boundary.
+        let page = (1 + rng.below(1 << 16)) * LINES_PER_PAGE;
+        let off = if *s > 0 {
+            LINES_PER_PAGE - 1 - rng.below(3)
+        } else {
+            rng.below(3)
+        };
+        *l = page + off;
+        *ipn = 0x40_0000 + (i as u64) * 4;
+    }
+    let mut cursor = 0usize;
+    Box::new(std::iter::from_fn(move || {
+        let i = cursor % STREAMS;
+        cursor += 1;
+        let addr = line[i] * LINE;
+        line[i] = line[i].wrapping_add_signed(stride[i]).max(LINES_PER_PAGE);
+        Some(Instr::load(ip[i], addr))
+    }))
+}
+
+fn alternating_stride(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
+    let mut rng = Rng64::new(seed ^ 0x414c_5354);
+    const STREAMS: usize = 4;
+    let mut base = [0u64; STREAMS];
+    let mut mag = [0u64; STREAMS];
+    for (b, m) in base.iter_mut().zip(mag.iter_mut()) {
+        *b = (1 + rng.below(1 << 16)) * LINES_PER_PAGE + LINES_PER_PAGE / 2;
+        *m = 1 + rng.below(31);
+    }
+    let mut cursor = 0u64;
+    Box::new(std::iter::from_fn(move || {
+        let i = (cursor as usize) % STREAMS;
+        let phase = cursor / STREAMS as u64;
+        cursor += 1;
+        // +d, −d, +2d, −2d, … around the stream's base line: the observed
+        // stride flips sign every visit and grows in magnitude, so neither
+        // CS confidence nor a single CPLX delta chain can settle.
+        let k = phase % 8;
+        let delta = (mag[i] * (1 + k / 2)) as i64 * if k.is_multiple_of(2) { 1 } else { -1 };
+        let l = base[i].wrapping_add_signed(delta).max(LINES_PER_PAGE);
+        let ip = 0x41_0000 + (i as u64) * 4;
+        Some(if phase.is_multiple_of(5) {
+            Instr::store(ip, l * LINE)
+        } else {
+            Instr::load(ip, l * LINE)
+        })
+    }))
+}
+
+fn region_handoff(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
+    let mut rng = Rng64::new(seed ^ 0x5245_4748);
+    // Touch a 2 KB region (32 lines) in a shuffled order, then hand off to
+    // an adjacent region right around the dense threshold (24 touches) —
+    // sometimes before, sometimes after, so the RST sees both promoted and
+    // abandoned regions.
+    const REGION_LINES: u64 = 32;
+    let mut region = (1 + rng.below(1 << 14)) * REGION_LINES;
+    let mut order: Vec<u64> = (0..REGION_LINES).collect();
+    let mut rng2 = Rng64::new(seed ^ 0x6f72_6465);
+    rng2.shuffle(&mut order);
+    let mut pos = 0usize;
+    let mut touches_this_region = 0u64;
+    let mut budget = 20 + rng.below(16);
+    Box::new(std::iter::from_fn(move || {
+        if touches_this_region >= budget {
+            // Hand off: usually the next region (forward trained-direction
+            // hand-off), occasionally a jump backwards.
+            region = if rng.chance(4, 5) {
+                region + REGION_LINES
+            } else {
+                region.saturating_sub(3 * REGION_LINES).max(REGION_LINES)
+            };
+            rng2.shuffle(&mut order);
+            pos = 0;
+            touches_this_region = 0;
+            budget = 20 + rng.below(16);
+        }
+        let l = region + order[pos % order.len()];
+        pos += 1;
+        touches_this_region += 1;
+        Some(Instr::load(0x42_0000, l * LINE))
+    }))
+}
+
+fn ip_alias_storm(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
+    let mut rng = Rng64::new(seed ^ 0x4950_414c);
+    // IPs sharing low index bits: with a 64-entry table indexed by
+    // `(ip >> 2) & 63`, IPs 0x1000 apart (after the >>2) collide in the
+    // same slot with distinct tags. Each aliasing IP runs its own honest
+    // constant-stride stream so mis-attributed state produces *wrong*
+    // prefetches, not just absent ones.
+    const ALIASES: usize = 8;
+    let slot = rng.below(64);
+    let mut ips = [0u64; ALIASES];
+    let mut line = [0u64; ALIASES];
+    let mut stride = [0i64; ALIASES];
+    for (i, ((ipn, l), s)) in ips
+        .iter_mut()
+        .zip(line.iter_mut())
+        .zip(stride.iter_mut())
+        .enumerate()
+    {
+        // (ip >> 2) & 63 == slot for every alias; tags differ by i.
+        *ipn = (slot + 64 * (i as u64 + 1)) << 2;
+        *l = (1 + rng.below(1 << 16)) * LINES_PER_PAGE + rng.below(LINES_PER_PAGE);
+        *s = 1 + rng.below(6) as i64;
+    }
+    let mut cursor = 0usize;
+    Box::new(std::iter::from_fn(move || {
+        // Bursty interleave: a few accesses from one alias, then the next,
+        // so each alias gets far enough to train before being evicted.
+        let i = (cursor / 3) % ALIASES;
+        cursor += 1;
+        let addr = line[i] * LINE;
+        line[i] = line[i].wrapping_add_signed(stride[i]).max(LINES_PER_PAGE);
+        Some(Instr::load(ips[i], addr))
+    }))
+}
+
+fn random_churn(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
+    let mut rng = Rng64::new(seed ^ 0x524e_444d);
+    let base = (1 + rng.below(1 << 12)) * LINES_PER_PAGE;
+    // Footprint of 16 pages: small enough to revisit lines (RR-filter
+    // pressure), large enough to defeat residency.
+    let span = 16 * LINES_PER_PAGE;
+    Box::new(std::iter::from_fn(move || {
+        let l = base + rng.below(span);
+        let ip = 0x43_0000 + rng.below(32) * 4;
+        Some(if rng.chance(1, 4) {
+            Instr::store(ip, l * LINE)
+        } else {
+            Instr::load(ip, l * LINE)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_trace::TraceSource;
+
+    #[test]
+    fn every_pattern_is_reproducible() {
+        for p in FuzzPattern::ALL {
+            let t = fuzz_trace(p, 1234);
+            let a: Vec<Instr> = t.stream().take(2_000).collect();
+            let b: Vec<Instr> = t.stream().take(2_000).collect();
+            assert_eq!(a, b, "{p:?} must replay identically");
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_stream() {
+        for p in FuzzPattern::ALL {
+            let a: Vec<Instr> = fuzz_trace(p, 1).stream().take(500).collect();
+            let b: Vec<Instr> = fuzz_trace(p, 2).stream().take(500).collect();
+            assert_ne!(a, b, "{p:?} must vary by seed");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in FuzzPattern::ALL {
+            assert_eq!(FuzzPattern::from_name(p.name()), Some(p));
+        }
+        assert_eq!(FuzzPattern::from_name("nope"), None);
+    }
+
+    #[test]
+    fn page_straddle_crosses_pages_early() {
+        let t = fuzz_trace(FuzzPattern::PageStraddle, 9);
+        let instrs: Vec<Instr> = t.stream().take(60).collect();
+        let crossings = instrs
+            .windows(7)
+            .filter(|w| {
+                let first = w[0].vaddr().map(|v| v.raw() / PAGE);
+                w.iter()
+                    .skip(1)
+                    .any(|i| i.ip == w[0].ip && i.vaddr().map(|v| v.raw() / PAGE) != first)
+            })
+            .count();
+        assert!(crossings > 0, "straddle streams must cross pages quickly");
+    }
+
+    #[test]
+    fn alias_storm_ips_share_table_slot() {
+        let t = fuzz_trace(FuzzPattern::IpAliasStorm, 4);
+        let instrs: Vec<Instr> = t.stream().take(100).collect();
+        let slots: std::collections::HashSet<u64> =
+            instrs.iter().map(|i| (i.ip.raw() >> 2) & 63).collect();
+        assert_eq!(slots.len(), 1, "all alias IPs must index the same slot");
+        let tags: std::collections::HashSet<u64> =
+            instrs.iter().map(|i| i.ip.raw() >> 2 >> 6).collect();
+        assert!(tags.len() >= 4, "aliases must carry distinct tags");
+    }
+
+    #[test]
+    fn corpus_covers_all_patterns() {
+        let c = corpus(100, 3);
+        assert_eq!(c.len(), FuzzPattern::ALL.len() * 3);
+    }
+}

@@ -50,8 +50,8 @@ fn run_at(warmup: u64, instructions: u64) -> SimReport {
 fn scheduler_matches_golden_fingerprints() {
     const GOLDEN: [(u64, u64, u64, u64); 2] = [
         // (warmup, instructions, expected cycles, expected fingerprint)
-        (10_000, 40_000, 16_956, 0x717c_bbff_ec51_8457),
-        (40_000, 160_000, 64_861, 0x6ee5_f58d_2879_4380),
+        (10_000, 40_000, 16_956, 0x250c_9813_12d4_c114),
+        (40_000, 160_000, 64_861, 0x66c9_a184_1162_3c21),
     ];
     for (warmup, instructions, want_cycles, want_fp) in GOLDEN {
         let r = run_at(warmup, instructions);
