@@ -56,7 +56,12 @@ use ipcp_sim::{SimConfig, SimReport};
 /// v2: the L1 class-suppression fix (a fully RR-filtered class no longer
 /// counts toward the 2-class cap, so NL and lower-priority classes fire
 /// more often) plus per-class RR-drop counters in the report schema.
-pub const SIM_BEHAVIOR_VERSION: u32 = 2;
+/// v3: the MPKI tracker charges misses to one fixed-size window
+/// (normalized by `WINDOW_INSTR`, re-anchored to the window grid) instead
+/// of averaging over the whole span since the last update — an update
+/// that jumps several windows no longer dilutes a bursty miss phase, so
+/// NL enable/disable flips on traces with idle gaps or drifting rates.
+pub const SIM_BEHAVIOR_VERSION: u32 = 3;
 
 /// Entry-file schema version (the JSON envelope, not the simulator).
 const ENTRY_SCHEMA: u64 = 1;

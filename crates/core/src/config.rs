@@ -182,6 +182,16 @@ impl IpcpConfig {
             "CSPT must be a power of two"
         );
         assert!(self.cs_degree >= 1 && self.cplx_degree >= 1 && self.gs_degree >= 1);
+        // Degrees bound the per-trigger candidate burst; the batched sink
+        // call's 32-bit accept mask caps a burst at 32.
+        assert!(
+            self.cs_degree <= 32 && self.cplx_degree <= 32 && self.gs_degree <= 32,
+            "class degrees above 32 overflow the batched-issue accept mask"
+        );
+        assert!(
+            self.l2_cs_degree <= 32 && self.l2_gs_degree <= 32,
+            "L2 degrees above 32 overflow the batched-issue accept mask"
+        );
         assert!(self.gs_dense_threshold as u64 <= ipcp_mem::LINES_PER_REGION);
         assert!(self.accuracy_low <= self.accuracy_high);
         assert!(self.signature_bits >= 1 && self.signature_bits <= 16);

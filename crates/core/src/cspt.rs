@@ -2,8 +2,9 @@
 //! signature it is indexed by.
 //!
 //! A signature is a hash of the last strides an IP produced:
-//! `sig = (sig << 1) ^ stride`, truncated to 7 bits. Each CSPT entry holds
-//! the next predicted stride (7-bit signed) and a 2-bit confidence counter.
+//! `sig = (sig << 1) ^ stride`, truncated to the configured width (7 bits
+//! in the paper). Each CSPT entry holds the next predicted stride (7-bit
+//! signed) and a 2-bit confidence counter, stored as parallel columns.
 
 use crate::ip_table::clamp_stride;
 
@@ -34,7 +35,7 @@ impl CsptEntry {
 /// use ipcp::cspt::Cspt;
 ///
 /// let mut cspt = Cspt::new(128, 7);
-/// let mut sig = 0u8;
+/// let mut sig = 0u16;
 /// for &stride in [1i64, 2].iter().cycle().take(12) {
 ///     cspt.train(sig, stride);
 ///     sig = cspt.next_signature(sig, stride as i8);
@@ -45,8 +46,11 @@ impl CsptEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cspt {
-    entries: Vec<CsptEntry>,
-    sig_mask: u8,
+    /// Predicted strides, one per slot (column of the conceptual entry).
+    strides: Vec<i8>,
+    /// 2-bit confidence counters, parallel to `strides`.
+    confidences: Vec<u8>,
+    sig_mask: u16,
 }
 
 impl Cspt {
@@ -55,8 +59,9 @@ impl Cspt {
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is not a power of two or the signature cannot
-    /// index the table.
+    /// Panics if `entries` is not a power of two, the signature cannot
+    /// index the table, or `signature_bits` exceeds the 16-bit signature
+    /// register.
     pub fn new(entries: usize, signature_bits: u32) -> Self {
         assert!(
             entries.is_power_of_two(),
@@ -66,43 +71,52 @@ impl Cspt {
             (1usize << signature_bits) <= entries,
             "signature must not overflow the CSPT index"
         );
+        assert!(
+            signature_bits <= 16,
+            "signature_bits {signature_bits} exceeds the 16-bit signature register"
+        );
         Self {
-            entries: vec![CsptEntry::default(); entries],
-            sig_mask: ((1u16 << signature_bits) - 1) as u8,
+            strides: vec![0; entries],
+            confidences: vec![0; entries],
+            sig_mask: ((1u32 << signature_bits) - 1) as u16,
         }
     }
 
     /// Computes the successor signature: `(sig << 1) ^ stride`, truncated.
     /// The single-bit shift is deliberate — it lets one signature retain a
     /// long history of strides (Section IV-B).
-    pub fn next_signature(&self, sig: u8, stride: i8) -> u8 {
-        (((sig as u16) << 1) as u8 ^ (stride as u8)) & self.sig_mask
+    pub fn next_signature(&self, sig: u16, stride: i8) -> u16 {
+        ((sig << 1) ^ u16::from(stride as u8)) & self.sig_mask
     }
 
     /// The prediction stored under `sig`.
-    pub fn predict(&self, sig: u8) -> CsptEntry {
-        self.entries[(sig & self.sig_mask) as usize]
+    pub fn predict(&self, sig: u16) -> CsptEntry {
+        let i = (sig & self.sig_mask) as usize;
+        CsptEntry {
+            stride: self.strides[i],
+            confidence: self.confidences[i],
+        }
     }
 
     /// Trains the entry under `sig` with the stride that actually followed:
     /// match increments confidence, mismatch decrements, and a drained
     /// counter adopts the new stride.
-    pub fn train(&mut self, sig: u8, observed: i64) {
+    pub fn train(&mut self, sig: u16, observed: i64) {
         let observed = clamp_stride(observed);
-        let e = &mut self.entries[(sig & self.sig_mask) as usize];
-        if e.stride == observed && observed != 0 {
-            e.confidence = (e.confidence + 1).min(3);
+        let i = (sig & self.sig_mask) as usize;
+        if self.strides[i] == observed && observed != 0 {
+            self.confidences[i] = (self.confidences[i] + 1).min(3);
         } else {
-            e.confidence = e.confidence.saturating_sub(1);
-            if e.confidence == 0 {
-                e.stride = observed;
+            self.confidences[i] = self.confidences[i].saturating_sub(1);
+            if self.confidences[i] == 0 {
+                self.strides[i] = observed;
             }
         }
     }
 
     /// Number of slots.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.strides.len()
     }
 
     /// Always false (fixed-size table).
@@ -120,14 +134,14 @@ mod tests {
         // The 1,2,1,2 pattern: signature after seeing stride 1 should
         // predict 2, and vice versa.
         let mut t = Cspt::new(128, 7);
-        let mut sig = 0u8;
+        let mut sig = 0u16;
         let pattern = [1i64, 2, 1, 2, 1, 2, 1, 2, 1, 2];
         for &s in &pattern {
             t.train(sig, s);
             sig = t.next_signature(sig, s as i8);
         }
         // Replay: walk the signatures and check predictions.
-        let mut sig = 0u8;
+        let mut sig = 0u16;
         let mut correct = 0;
         for &s in &pattern {
             let p = t.predict(sig);
@@ -145,13 +159,13 @@ mod tests {
     #[test]
     fn learns_334_pattern() {
         let mut t = Cspt::new(128, 7);
-        let mut sig = 0u8;
+        let mut sig = 0u16;
         let pattern: Vec<i64> = [3, 3, 4].iter().cycle().take(30).copied().collect();
         for &s in &pattern {
             t.train(sig, s);
             sig = t.next_signature(sig, s as i8);
         }
-        let mut sig = 0u8;
+        let mut sig = 0u16;
         let mut correct = 0;
         for &s in &pattern {
             let p = t.predict(sig);
@@ -170,11 +184,41 @@ mod tests {
     #[test]
     fn signature_stays_in_width() {
         let t = Cspt::new(128, 7);
-        let mut sig = 0u8;
+        let mut sig = 0u16;
         for s in [-63i8, 63, 1, -1, 17] {
             sig = t.next_signature(sig, s);
             assert!(sig < 128);
         }
+    }
+
+    #[test]
+    fn wide_signatures_reach_the_whole_table() {
+        // Regression: a 9-bit signature used to be silently truncated to
+        // 8 bits, leaving half of a 512-entry table unreachable.
+        let t = Cspt::new(512, 9);
+        let mut sig = 0u16;
+        let mut max_seen = 0u16;
+        for s in 1..120i8 {
+            sig = t.next_signature(sig, s.wrapping_mul(37));
+            assert!(sig < 512, "signature {sig} escaped the 9-bit width");
+            max_seen = max_seen.max(sig);
+        }
+        assert!(
+            max_seen >= 256,
+            "9-bit signatures must index above the 8-bit boundary, max {max_seen}"
+        );
+        // Entries above the old 8-bit truncation boundary are trainable.
+        let mut t = Cspt::new(512, 9);
+        t.train(0x1ff, 5);
+        t.train(0x1ff, 5);
+        assert_eq!(t.predict(0x1ff).stride, 5);
+        assert_eq!(t.predict(0xff).stride, 0, "no aliasing onto the low half");
+    }
+
+    #[test]
+    #[should_panic(expected = "16-bit signature register")]
+    fn rejects_signatures_wider_than_register() {
+        let _ = Cspt::new(1 << 17, 17);
     }
 
     #[test]

@@ -47,8 +47,9 @@ pub struct IpEntry {
     pub stream_valid: bool,
     /// GS: stream direction (true = positive).
     pub direction_positive: bool,
-    /// CPLX: 7-bit stride signature.
-    pub signature: u8,
+    /// CPLX: stride signature (7 bits in the paper config; the register is
+    /// wide enough for the 16-bit maximum `signature_bits` allows).
+    pub signature: u16,
 }
 
 /// Outcome of an IP-table lookup.
@@ -62,6 +63,10 @@ pub enum LookupKind {
     /// it is now cleared). The requesting IP is *not* tracked.
     Rejected,
 }
+
+/// Sentinel in the probe-tag column for a never-allocated slot. Real tags
+/// are [`IP_TAG_BITS`] wide, so no probe can match it.
+const TAG_FREE: u16 = u16::MAX;
 
 /// The shared IP table. Direct-mapped in the paper (and by default); a
 /// set-associative variant exists for the Section VI-B cactuBSSN study
@@ -85,6 +90,11 @@ pub enum LookupKind {
 #[derive(Debug, Clone)]
 pub struct IpTable {
     entries: Vec<IpEntry>,
+    /// Probe column: the 9-bit tag of each slot's occupant, or [`TAG_FREE`].
+    /// Kept in step with `entries` so the per-access set scan walks one
+    /// contiguous u16 array instead of chasing whole entries (the
+    /// associative cactuBSSN variant scans up to 1024 ways).
+    tags: Vec<u16>,
     lru: Vec<u64>,
     stamp: u64,
     ways: usize,
@@ -118,6 +128,7 @@ impl IpTable {
         );
         Self {
             entries: vec![IpEntry::default(); entries],
+            tags: vec![TAG_FREE; entries],
             lru: vec![0; entries],
             stamp: 0,
             ways,
@@ -150,18 +161,19 @@ impl IpTable {
         let set = self.index_of(ip);
         let tag = self.tag_of(ip);
         let base = set * self.ways;
-        if let Some(w) = (0..self.ways).find(|&w| {
-            let e = &self.entries[base + w];
-            e.occupied && e.tag == tag
-        }) {
+        // Probe the set's contiguous tag column; TAG_FREE self-excludes
+        // unoccupied ways, so the scan needs no occupancy branch.
+        let set_tags = &self.tags[base..base + self.ways];
+        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
             let i = base + w;
             self.lru[i] = self.stamp;
             let entry = &mut self.entries[i];
             entry.valid = true;
             return (LookupKind::Hit, entry);
         }
-        let victim = (0..self.ways)
-            .find(|&w| !self.entries[base + w].occupied)
+        let victim = set_tags
+            .iter()
+            .position(|&t| t == TAG_FREE)
             .unwrap_or_else(|| {
                 (0..self.ways)
                     .min_by_key(|&w| self.lru[base + w])
@@ -173,6 +185,7 @@ impl IpTable {
             (LookupKind::Rejected, &mut self.entries[i])
         } else {
             self.lru[i] = self.stamp;
+            self.tags[i] = tag;
             self.entries[i] = IpEntry {
                 tag,
                 occupied: true,

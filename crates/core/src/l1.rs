@@ -40,6 +40,12 @@ pub struct IpcpL1 {
     mpki: MpkiTracker,
     /// RR-filter drops per class (NL, CS, CPLX, GS order).
     rr_drops: [u64; 4],
+    /// Persistent scratch for one class burst's candidates — taken and
+    /// returned by the issue paths so the allocation is reused across the
+    /// millions of triggers per run.
+    scratch_cands: Vec<(LineAddr, i8)>,
+    /// Persistent scratch for the built requests of one burst.
+    scratch_reqs: Vec<PrefetchRequest>,
 }
 
 impl IpcpL1 {
@@ -58,6 +64,8 @@ impl IpcpL1 {
             throttle: Throttle::new(&cfg),
             mpki: MpkiTracker::new(cfg.l1_nl_mpki_threshold),
             rr_drops: [0; 4],
+            scratch_cands: Vec::with_capacity(32),
+            scratch_reqs: Vec::with_capacity(32),
             cfg,
         }
     }
@@ -93,24 +101,8 @@ impl IpcpL1 {
         self.rr_drops
     }
 
-    fn metadata_for(&self, class: IpClass, stride: i8) -> Option<PrefetchMeta> {
-        if !self.cfg.send_metadata {
-            return None;
-        }
-        // The stride/direction travels only while the class is accurate
-        // enough; the class bits always travel.
-        let stride_ok = self.throttle.accuracy(class) > self.cfg.metadata_accuracy_threshold;
-        Some(PrefetchMeta {
-            class: class.bits(),
-            stride: if stride_ok { stride } else { 0 },
-        })
-    }
-
-    /// Emits one candidate, reporting whether it was actually accepted: a
-    /// candidate the RR filter drops (or the sink rejects) never issued, so
-    /// it must not count toward the 2-class cap in `on_access` — otherwise
-    /// a fully-filtered class starves lower-priority classes and tentative
-    /// NL (the paper's NL fires when *no class fires*).
+    /// Emits one candidate — the single-shot wrapper around the batched
+    /// path, used by tentative NL.
     fn emit(
         &mut self,
         target: LineAddr,
@@ -118,52 +110,98 @@ impl IpcpL1 {
         meta_stride: i8,
         sink: &mut dyn PrefetchSink,
     ) -> bool {
-        if self.rr.check_and_insert(target) {
-            self.rr_drops[class.bits() as usize] += 1;
-            return false;
+        self.emit_batch(class, &[(target, meta_stride)], sink)
+    }
+
+    /// Emits one class's whole candidate burst as a single sink call,
+    /// reporting whether any candidate was actually accepted: a candidate
+    /// the RR filter drops (or the sink rejects) never issued, so it must
+    /// not count toward the 2-class cap in `on_access` — otherwise a
+    /// fully-filtered class starves lower-priority classes and tentative
+    /// NL (the paper's NL fires when *no class fires*).
+    ///
+    /// The RR filter is still consulted in candidate order — an earlier
+    /// candidate's inserted tag must drop an identical later one, exactly
+    /// as one-at-a-time emission would — but the sink boundary and the
+    /// issued counter are crossed once per burst instead of once per
+    /// candidate.
+    fn emit_batch(
+        &mut self,
+        class: IpClass,
+        cands: &[(LineAddr, i8)],
+        sink: &mut dyn PrefetchSink,
+    ) -> bool {
+        // The metadata decision is per-class, not per-candidate: hoist the
+        // accuracy compare out of the loop.
+        let send_meta = self.cfg.send_metadata;
+        let stride_ok =
+            send_meta && self.throttle.accuracy(class) > self.cfg.metadata_accuracy_threshold;
+        let mut reqs = core::mem::take(&mut self.scratch_reqs);
+        reqs.clear();
+        for &(target, meta_stride) in cands {
+            if self.rr.check_and_insert(target) {
+                self.rr_drops[class.bits() as usize] += 1;
+                continue;
+            }
+            let mut req = PrefetchRequest::l1(target).with_class(class.bits());
+            if send_meta {
+                req = req.with_meta(PrefetchMeta {
+                    class: class.bits(),
+                    stride: if stride_ok { meta_stride } else { 0 },
+                });
+            }
+            reqs.push(req);
         }
-        let meta = self.metadata_for(class, meta_stride);
-        let mut req = PrefetchRequest::l1(target).with_class(class.bits());
-        if let Some(meta) = meta {
-            req = req.with_meta(meta);
-        }
-        if sink.prefetch(req) {
-            self.throttle.note_issued(class);
-            return true;
-        }
-        false
+        let issued = if reqs.is_empty() {
+            false
+        } else {
+            let accepted = sink.prefetch_batch(&reqs).count_ones();
+            if accepted > 0 {
+                self.throttle.note_issued_n(class, u64::from(accepted));
+            }
+            accepted > 0
+        };
+        self.scratch_reqs = reqs;
+        issued
     }
 
     fn issue_gs(&mut self, vline: LineAddr, positive: bool, sink: &mut dyn PrefetchSink) -> bool {
         let degree = self.throttle.degree(IpClass::Gs);
         let dir: i64 = if positive { 1 } else { -1 };
-        let mut issued = false;
+        let mut cands = core::mem::take(&mut self.scratch_cands);
+        cands.clear();
         for k in 1..=i64::from(degree) {
             let Some(target) = vline.offset_within_page(dir * k) else {
                 break;
             };
-            issued |= self.emit(target, IpClass::Gs, dir as i8, sink);
+            cands.push((target, dir as i8));
         }
+        let issued = self.emit_batch(IpClass::Gs, &cands, sink);
+        self.scratch_cands = cands;
         issued
     }
 
     fn issue_cs(&mut self, vline: LineAddr, stride: i8, sink: &mut dyn PrefetchSink) -> bool {
         let degree = self.throttle.degree(IpClass::Cs);
-        let mut issued = false;
+        let mut cands = core::mem::take(&mut self.scratch_cands);
+        cands.clear();
         for k in 1..=i64::from(degree) {
             let Some(target) = vline.offset_within_page(i64::from(stride) * k) else {
                 break;
             };
-            issued |= self.emit(target, IpClass::Cs, stride, sink);
+            cands.push((target, stride));
         }
+        let issued = self.emit_batch(IpClass::Cs, &cands, sink);
+        self.scratch_cands = cands;
         issued
     }
 
-    fn issue_cplx(&mut self, vline: LineAddr, signature: u8, sink: &mut dyn PrefetchSink) -> bool {
+    fn issue_cplx(&mut self, vline: LineAddr, signature: u16, sink: &mut dyn PrefetchSink) -> bool {
         let degree = self.throttle.degree(IpClass::Cplx);
         let mut sig = signature;
         let mut addr = vline;
-        let mut issued = false;
+        let mut cands = core::mem::take(&mut self.scratch_cands);
+        cands.clear();
         for _ in 0..degree {
             let pred = self.cspt.predict(sig);
             if pred.stride == 0 {
@@ -175,15 +213,14 @@ impl IpcpL1 {
             // Low confidence: extend the signature (and the projected
             // position — the stride is still the best position estimate)
             // but do not prefetch this step (Fig. 3, step 3).
-            if pred.confidence == 0 {
-                addr = target;
-                sig = self.cspt.next_signature(sig, pred.stride);
-                continue;
+            if pred.confidence != 0 {
+                cands.push((target, pred.stride));
             }
-            issued |= self.emit(target, IpClass::Cplx, pred.stride, sink);
             addr = target;
             sig = self.cspt.next_signature(sig, pred.stride);
         }
+        let issued = self.emit_batch(IpClass::Cplx, &cands, sink);
+        self.scratch_cands = cands;
         issued
     }
 }
@@ -489,8 +526,10 @@ mod tests {
         b.instructions = 3000;
         b.demand_misses = 400; // 200 MPKI
         p.on_access(&b, &mut sink);
+        // Still inside the window anchored at the last 1024-instr boundary,
+        // so the 200-MPKI estimate from the previous window holds.
         let mut c = access(0x400400, 0x4999);
-        c.instructions = 3100;
+        c.instructions = 3040;
         c.demand_misses = 410;
         sink.requests.clear();
         p.on_access(&c, &mut sink);

@@ -36,6 +36,9 @@ pub struct IpcpL2 {
     mpki: MpkiTracker,
     /// Lifetime prefetches issued per class (NL, CS, CPLX, GS).
     issued: [u64; 4],
+    /// Persistent scratch for one strided window's requests — reused across
+    /// triggers so the burst path never re-initializes a fresh buffer.
+    scratch_reqs: Vec<PrefetchRequest>,
 }
 
 impl IpcpL2 {
@@ -51,6 +54,7 @@ impl IpcpL2 {
             mask: cfg.ip_table_entries as u64 - 1,
             mpki: MpkiTracker::new(cfg.l2_nl_mpki_threshold),
             issued: [0; 4],
+            scratch_reqs: Vec::with_capacity(32),
             cfg,
         }
     }
@@ -86,7 +90,8 @@ impl IpcpL2 {
     /// Issues `degree` strided prefetches starting `distance` strides past
     /// the access: the L1 already covers the near window, so the L2
     /// "prefetches deep based on the L1 access stream but from L2 and till
-    /// L2" (Section V).
+    /// L2" (Section V). The whole window crosses the sink boundary as one
+    /// batch ([`IpcpConfig::validate`] caps degrees at the mask width).
     fn issue_strided(
         &mut self,
         pline: LineAddr,
@@ -96,12 +101,19 @@ impl IpcpL2 {
         class: IpClass,
         sink: &mut dyn PrefetchSink,
     ) {
+        let mut reqs = core::mem::take(&mut self.scratch_reqs);
+        reqs.clear();
         for k in i64::from(distance) + 1..=i64::from(distance) + i64::from(degree) {
             let Some(target) = pline.offset_within_page(i64::from(stride) * k) else {
                 break;
             };
-            self.emit(target, class, sink);
+            reqs.push(PrefetchRequest::l2(target).with_class(class.bits()));
         }
+        if !reqs.is_empty() {
+            let accepted = sink.prefetch_batch(&reqs).count_ones();
+            self.issued[class.bits() as usize] += u64::from(accepted);
+        }
+        self.scratch_reqs = reqs;
     }
 }
 

@@ -14,9 +14,9 @@
 ///
 /// let mut t = MpkiTracker::new(50);
 /// t.update(0, 0);
-/// t.update(2_000, 300); // 150 MPKI window (clamped to the 7-bit register)
+/// t.update(2_000, 300); // 300 misses charged to one window: clamps to 127
 /// assert!(!t.nl_enabled());
-/// t.update(4_000, 310); // quiet window: 5 MPKI
+/// t.update(4_000, 310); // quiet window: 10 misses ≈ 9 MPKI
 /// assert!(t.nl_enabled());
 /// ```
 #[derive(Debug, Clone)]
@@ -57,9 +57,16 @@ impl MpkiTracker {
         let di = instructions.saturating_sub(self.window_start_instr);
         if di >= WINDOW_INSTR {
             let dm = misses.saturating_sub(self.window_start_miss);
-            // Misses per kilo-instruction, clamped to the 7-bit register.
-            self.mpki = ((dm * 1000 / di) as u32).min(127);
-            self.window_start_instr = instructions;
+            // Per-window semantics: the hardware's 10-bit counters reset
+            // every 1024 instructions, so misses accrued since the last
+            // roll are charged to a single window rather than averaged
+            // over the whole span — an update that jumps several windows
+            // (idle gaps under the event-driven scheduler) must not
+            // dilute a bursty miss phase. Clamped to the 7-bit register.
+            self.mpki = ((dm * 1000 / WINDOW_INSTR) as u32).min(127);
+            // Re-anchor on the window grid so short follow-up updates
+            // keep measuring from the last completed window boundary.
+            self.window_start_instr = instructions - (di % WINDOW_INSTR);
             self.window_start_miss = misses;
         }
     }
@@ -90,8 +97,8 @@ mod tests {
     fn high_miss_rate_disables_nl() {
         let mut t = MpkiTracker::new(50);
         t.update(0, 0);
-        t.update(2000, 200); // 100 MPKI
-        assert_eq!(t.mpki(), 100);
+        t.update(1024, 110); // 110 misses in one window ≈ 107 MPKI
+        assert_eq!(t.mpki(), 107);
         assert!(!t.nl_enabled());
     }
 
@@ -99,11 +106,11 @@ mod tests {
     fn low_miss_rate_reenables_nl() {
         let mut t = MpkiTracker::new(50);
         t.update(0, 0);
-        t.update(2000, 200);
+        t.update(1024, 110);
         assert!(!t.nl_enabled());
-        t.update(4000, 210); // next window: 5 MPKI
+        t.update(2048, 115); // next window: 5 misses ≈ 4 MPKI
         assert!(t.nl_enabled());
-        assert_eq!(t.mpki(), 5);
+        assert_eq!(t.mpki(), 4);
     }
 
     #[test]
@@ -120,7 +127,36 @@ mod tests {
     fn estimate_clamps_to_register_width() {
         let mut t = MpkiTracker::new(50);
         t.update(0, 0);
-        t.update(1500, 1500); // 1000 MPKI → clamped to 127
+        t.update(1500, 1500); // ~1464 MPKI → clamped to 127
         assert_eq!(t.mpki(), 127);
+    }
+
+    #[test]
+    fn bursty_misses_not_diluted_by_idle_gap() {
+        // Regression: one update spanning many windows (the event-driven
+        // scheduler jumping an idle gap) used to average the misses over
+        // the whole span — 200 misses over 10 windows read as 19 MPKI and
+        // kept NL on through a heavy miss burst. Per-window semantics
+        // charge them to a single window.
+        let mut t = MpkiTracker::new(50);
+        t.update(0, 0);
+        t.update(10 * WINDOW_INSTR, 200);
+        assert_eq!(t.mpki(), 127, "burst must not be averaged over the gap");
+        assert!(!t.nl_enabled());
+    }
+
+    #[test]
+    fn gap_heavy_updates_reanchor_on_window_grid() {
+        // A roll that lands mid-window must anchor the next window at the
+        // last completed boundary, so a short follow-up still rolls.
+        let mut t = MpkiTracker::new(50);
+        t.update(0, 0);
+        t.update(WINDOW_INSTR + WINDOW_INSTR / 2, 50); // 1.5 windows, 50 misses
+        assert_eq!(t.mpki(), 48);
+        // Only half a window later in absolute terms, but a full window
+        // past the re-anchored boundary: the estimate must refresh.
+        t.update(2 * WINDOW_INSTR, 60);
+        assert_eq!(t.mpki(), 9, "window must roll from the grid boundary");
+        assert!(t.nl_enabled());
     }
 }

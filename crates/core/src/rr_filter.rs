@@ -10,6 +10,12 @@ use ipcp_mem::LineAddr;
 /// Width of the stored partial tag (Table I budgets 12 bits).
 const TAG_BITS: u32 = 12;
 
+/// Sentinel for an empty slot. Real tags are 12 bits, so `u16::MAX` can
+/// never match a probe — folding the valid bit into the tag column keeps
+/// the per-candidate scan to one branchless pass over a single array
+/// (32 × u16 = one cache line at the paper's size).
+const TAG_EMPTY: u16 = u16::MAX;
+
 /// A small circular filter of partial line tags.
 ///
 /// # Examples
@@ -24,8 +30,8 @@ const TAG_BITS: u32 = 12;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RrFilter {
+    /// Tag column; [`TAG_EMPTY`] marks an unused slot.
     tags: Vec<u16>,
-    valid: Vec<bool>,
     next: usize,
 }
 
@@ -34,8 +40,7 @@ impl RrFilter {
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0);
         Self {
-            tags: vec![0; entries],
-            valid: vec![false; entries],
+            tags: vec![TAG_EMPTY; entries],
             next: 0,
         }
     }
@@ -50,18 +55,21 @@ impl RrFilter {
     /// True when `line`'s tag is present.
     pub fn contains(&self, line: LineAddr) -> bool {
         let t = Self::tag_of(line);
-        self.tags
-            .iter()
-            .zip(&self.valid)
-            .any(|(&tag, &v)| v && tag == t)
+        // OR-fold rather than `any`: no early exit, so the whole tag column
+        // (one cache line at the paper's 32 entries) compares as SIMD lanes.
+        self.tags.iter().fold(false, |hit, &tag| hit | (tag == t))
     }
 
     /// Records `line`, evicting the oldest slot.
     pub fn insert(&mut self, line: LineAddr) {
         let t = Self::tag_of(line);
         self.tags[self.next] = t;
-        self.valid[self.next] = true;
-        self.next = (self.next + 1) % self.tags.len();
+        // Compare-and-reset wrap: entry counts need not be powers of two and
+        // a runtime modulo is an integer divide on the issue hot path.
+        self.next += 1;
+        if self.next == self.tags.len() {
+            self.next = 0;
+        }
     }
 
     /// Records `line` and reports whether it was already present — the

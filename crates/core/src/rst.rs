@@ -7,6 +7,12 @@
 //! accessed" — reconstructs the previous region from the 3 bits the IP
 //! table actually stores (2 lsbs of the virtual page + the page-half bit)
 //! and therefore matches by that 3-bit tag, exactly as the hardware would.
+//!
+//! The table is stored struct-of-arrays: the per-access lookup scans a
+//! single contiguous column of region ids (an invalid slot holds a
+//! sentinel id no real region can take, so the scan needs no valid-bit
+//! branch), and the per-access trained-tag check reads one cached 8-bit
+//! mask instead of re-scanning the table.
 
 use ipcp_mem::{RegionId, RegionOffset, LINES_PER_REGION};
 
@@ -15,7 +21,12 @@ const POSNEG_BITS: u32 = 6;
 const POSNEG_INIT: u8 = 1 << (POSNEG_BITS - 1);
 const POSNEG_MAX: u8 = (1 << POSNEG_BITS) - 1;
 
-/// One RST entry.
+/// Sentinel stored in the region-id column for an invalid slot. Region ids
+/// are virtual addresses shifted down by 11, so no real region reaches it.
+const REGION_NONE: u64 = u64::MAX;
+
+/// Snapshot of one RST entry (tests/inspection; the table itself stores
+/// these fields as parallel columns).
 #[derive(Debug, Clone, Copy)]
 pub struct RstEntry {
     /// Region identifier. Table I budgets only 3 bits here; we store the
@@ -40,24 +51,6 @@ pub struct RstEntry {
     pub tentative: bool,
     /// Last line offset within the region (5 bits).
     pub last_offset: u8,
-    /// LRU stamp (modeled wider than the 3 hardware bits; order-equivalent).
-    lru: u64,
-}
-
-impl Default for RstEntry {
-    fn default() -> Self {
-        Self {
-            region: 0,
-            valid: false,
-            bit_vector: 0,
-            dense_count: 0,
-            pos_neg: POSNEG_INIT,
-            trained: false,
-            tentative: false,
-            last_offset: 0,
-            lru: 0,
-        }
-    }
 }
 
 impl RstEntry {
@@ -103,7 +96,25 @@ pub struct RegionState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Rst {
-    entries: Vec<RstEntry>,
+    /// Region-id column ([`REGION_NONE`] marks an invalid slot).
+    regions: Vec<u64>,
+    bit_vectors: Vec<u32>,
+    dense_counts: Vec<u8>,
+    pos_negs: Vec<u8>,
+    trained: Vec<bool>,
+    tentative: Vec<bool>,
+    last_offsets: Vec<u8>,
+    /// LRU stamps (modeled wider than the 3 hardware bits; order-equivalent).
+    lrus: Vec<u64>,
+    /// Bit t set ⇔ some resident trained entry has 3-bit tag t — the
+    /// per-access [`Rst::is_trained_tag`] check in O(1).
+    trained_tags: u8,
+    /// Slot touched by the previous access. Consecutive accesses
+    /// overwhelmingly land in the same 2 KB region, so verifying this one
+    /// slot (a single compare against the region column) skips the scan on
+    /// the common path. Self-validating: a stale index simply fails the
+    /// compare and falls back to the scan.
+    last_idx: usize,
     dense_threshold: u8,
     stamp: u64,
 }
@@ -115,7 +126,16 @@ impl Rst {
         assert!(entries > 0);
         assert!(u64::from(dense_threshold) <= LINES_PER_REGION);
         Self {
-            entries: vec![RstEntry::default(); entries],
+            regions: vec![REGION_NONE; entries],
+            bit_vectors: vec![0; entries],
+            dense_counts: vec![0; entries],
+            pos_negs: vec![POSNEG_INIT; entries],
+            trained: vec![false; entries],
+            tentative: vec![false; entries],
+            last_offsets: vec![0; entries],
+            lrus: vec![0; entries],
+            trained_tags: 0,
+            last_idx: 0,
             dense_threshold,
             stamp: 0,
         }
@@ -129,25 +149,35 @@ impl Rst {
     }
 
     fn find(&self, region: RegionId) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.region == region.raw())
+        // The sentinel makes invalid slots self-excluding, so this is a
+        // branchless scan of one u64 column.
+        self.regions.iter().position(|&r| r == region.raw())
     }
 
     /// Whether any resident region matching the 3-bit `tag` is trained
     /// dense — the tentative hand-off check, matching by the bits the IP
     /// table stores.
     pub fn is_trained_tag(&self, tag: u8) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.valid && e.trained && (e.region & 0b111) as u8 == tag)
+        self.trained_tags & (1 << tag) != 0
+    }
+
+    /// Recomputes the cached trained-tag mask (called when a trained entry
+    /// is evicted; allocation and training only ever add bits).
+    fn rebuild_trained_tags(&mut self) {
+        let mut mask = 0u8;
+        for (i, &r) in self.regions.iter().enumerate() {
+            if r != REGION_NONE && self.trained[i] {
+                mask |= 1 << ((r & 0b111) as u8);
+            }
+        }
+        self.trained_tags = mask;
     }
 
     /// Marks `region` tentative (control-flow-predicted data flow). No-op
     /// if the region is not resident.
     pub fn set_tentative(&mut self, region: RegionId) {
         if let Some(i) = self.find(region) {
-            self.entries[i].tentative = true;
+            self.tentative[i] = true;
         }
     }
 
@@ -156,53 +186,80 @@ impl Rst {
     /// the region's GS state *after* the update.
     pub fn touch(&mut self, region: RegionId, offset: RegionOffset) -> RegionState {
         self.stamp += 1;
-        let idx = match self.find(region) {
+        let memo_hit = self.regions[self.last_idx] == region.raw();
+        let found = if memo_hit {
+            Some(self.last_idx)
+        } else {
+            self.find(region)
+        };
+        let idx = match found {
             Some(i) => i,
             None => {
+                // Victim selection: an invalid slot always wins over any
+                // valid entry — even a hypothetical valid entry whose LRU
+                // stamp is 0 — then oldest stamp among valid entries.
                 let victim = self
-                    .entries
+                    .regions
                     .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("RST has entries");
-                self.entries[victim] = RstEntry {
-                    region: region.raw(),
-                    valid: true,
-                    last_offset: offset.raw(),
-                    ..RstEntry::default()
-                };
+                    .position(|&r| r == REGION_NONE)
+                    .unwrap_or_else(|| {
+                        self.lrus
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|&(_, &lru)| lru)
+                            .map(|(i, _)| i)
+                            .expect("RST has entries")
+                    });
+                if self.trained[victim] {
+                    self.trained[victim] = false;
+                    self.rebuild_trained_tags();
+                }
+                self.regions[victim] = region.raw();
+                self.bit_vectors[victim] = 0;
+                self.dense_counts[victim] = 0;
+                self.pos_negs[victim] = POSNEG_INIT;
+                self.tentative[victim] = false;
+                self.last_offsets[victim] = offset.raw();
                 victim
             }
         };
-        let threshold = self.dense_threshold;
-        let e = &mut self.entries[idx];
-        e.lru = self.stamp;
+        self.last_idx = idx;
+        self.lrus[idx] = self.stamp;
         let bit = 1u32 << offset.raw();
-        if e.bit_vector & bit == 0 {
-            e.bit_vector |= bit;
-            e.dense_count = (e.dense_count + 1).min(LINES_PER_REGION as u8);
+        if self.bit_vectors[idx] & bit == 0 {
+            self.bit_vectors[idx] |= bit;
+            self.dense_counts[idx] = (self.dense_counts[idx] + 1).min(LINES_PER_REGION as u8);
         }
         // Direction: sign of the offset delta within the region.
-        let delta = i16::from(offset.raw()) - i16::from(e.last_offset);
+        let delta = i16::from(offset.raw()) - i16::from(self.last_offsets[idx]);
         if delta > 0 {
-            e.pos_neg = (e.pos_neg + 1).min(POSNEG_MAX);
+            self.pos_negs[idx] = (self.pos_negs[idx] + 1).min(POSNEG_MAX);
         } else if delta < 0 {
-            e.pos_neg = e.pos_neg.saturating_sub(1);
+            self.pos_negs[idx] = self.pos_negs[idx].saturating_sub(1);
         }
-        e.last_offset = offset.raw();
-        if e.dense_count >= threshold {
-            e.trained = true;
+        self.last_offsets[idx] = offset.raw();
+        if self.dense_counts[idx] >= self.dense_threshold && !self.trained[idx] {
+            self.trained[idx] = true;
+            self.trained_tags |= 1 << ((region.raw() & 0b111) as u8);
         }
         RegionState {
-            qualifies_gs: e.qualifies_gs(),
-            direction_positive: e.direction_positive(),
+            qualifies_gs: self.trained[idx] || self.tentative[idx],
+            direction_positive: self.pos_negs[idx] >> (POSNEG_BITS - 1) != 0,
         }
     }
 
-    /// Read-only view of a resident region's entry (tests/inspection).
-    pub fn peek(&self, region: RegionId) -> Option<&RstEntry> {
-        self.find(region).map(|i| &self.entries[i])
+    /// Snapshot of a resident region's entry (tests/inspection).
+    pub fn peek(&self, region: RegionId) -> Option<RstEntry> {
+        self.find(region).map(|i| RstEntry {
+            region: self.regions[i],
+            valid: true,
+            bit_vector: self.bit_vectors[i],
+            dense_count: self.dense_counts[i],
+            pos_neg: self.pos_negs[i],
+            trained: self.trained[i],
+            tentative: self.tentative[i],
+            last_offset: self.last_offsets[i],
+        })
     }
 }
 
@@ -292,6 +349,48 @@ mod tests {
             "oldest region must be evicted"
         );
         assert!(r.peek(RegionId::new(8)).is_some());
+    }
+
+    #[test]
+    fn invalid_slots_claimed_before_any_valid_entry() {
+        // Regression pinning eviction order: while invalid slots remain, a
+        // new region must claim one — never evict a valid entry, no matter
+        // how old its LRU stamp is.
+        let mut r = Rst::new(4, 24);
+        for region in 1..=3u64 {
+            r.touch(RegionId::new(region), RegionOffset::new(0));
+        }
+        // One slot still invalid: the 4th region fills it, evicting nobody.
+        r.touch(RegionId::new(4), RegionOffset::new(0));
+        for region in 1..=4u64 {
+            assert!(
+                r.peek(RegionId::new(region)).is_some(),
+                "region {region} must survive while invalid slots exist"
+            );
+        }
+        // Table now full: the next region evicts the oldest (region 1).
+        r.touch(RegionId::new(5), RegionOffset::new(0));
+        assert!(r.peek(RegionId::new(1)).is_none());
+        for region in 2..=5u64 {
+            assert!(r.peek(RegionId::new(region)).is_some());
+        }
+    }
+
+    #[test]
+    fn evicting_trained_region_clears_its_tag() {
+        // The cached trained-tag mask must drop a tag when its only
+        // trained region is evicted.
+        let mut r = Rst::new(2, 24);
+        touch_lines(&mut r, 5, 0..25); // trains tag 5
+        assert!(r.is_trained_tag(5));
+        // Two new regions (tags 6 and 7) evict both slots.
+        r.touch(RegionId::new(6), RegionOffset::new(0));
+        r.touch(RegionId::new(7), RegionOffset::new(0));
+        assert!(r.peek(RegionId::new(5)).is_none());
+        assert!(
+            !r.is_trained_tag(5),
+            "tag must clear once its trained region is gone"
+        );
     }
 
     #[test]

@@ -74,6 +74,12 @@ impl Throttle {
         self.total_issued[class.bits() as usize] += 1;
     }
 
+    /// Records `n` issued prefetches of one class — the batched-emission
+    /// path's single bump for a whole degree-N burst.
+    pub fn note_issued_n(&mut self, class: IpClass, n: u64) {
+        self.total_issued[class.bits() as usize] += n;
+    }
+
     /// Records a useful prefetch (first demand hit on a prefetched line, or
     /// a demand merging into an in-flight prefetch).
     pub fn note_useful(&mut self, class: IpClass) {

@@ -6,7 +6,7 @@
 //! in [`crate::system`], which orchestrates the fixed L1/L2/LLC hierarchy.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use ipcp_mem::{Ip, LineAddr};
 
@@ -23,41 +23,6 @@ pub const FILL_UNKNOWN: Cycle = Cycle::MAX;
 /// never reach `u64::MAX`; a single tag compare therefore replaces the
 /// old valid-bit + tag pair on the lookup hot path.
 const TAG_INVALID: u64 = u64::MAX;
-
-/// Multiplicative hasher for the line-address keys of `mshr_index`. The
-/// keys are trusted simulator state (no HashDoS concern), and the default
-/// SipHash costs more than the lookup it guards on the per-access path;
-/// a golden-ratio multiply spreads sequential line numbers well enough.
-#[derive(Debug, Clone, Copy, Default)]
-struct LineHasher(u64);
-
-impl std::hash::Hasher for LineHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Only reached if a non-u64 key were ever used; fold bytes anyway.
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        }
-    }
-
-    fn write_u64(&mut self, n: u64) {
-        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    }
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct BuildLineHasher;
-
-impl std::hash::BuildHasher for BuildLineHasher {
-    type Hasher = LineHasher;
-
-    fn build_hasher(&self) -> LineHasher {
-        LineHasher(0)
-    }
-}
 
 /// Outcome of probing a cache for a demand access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -147,13 +112,19 @@ pub struct Cache {
 
     mshrs: Vec<Option<Mshr>>,
     mshr_used: usize,
-    // Index structures over `mshrs`: line → slot for O(1) merge probes
-    // (replacing a linear scan over every entry), and a min-heap of free
-    // slots so allocation still hands out the *lowest* free index — the
-    // fill heap breaks equal-cycle ties by slot index, so preserving the
-    // old first-free-slot order keeps simulation results bit-identical.
-    mshr_index: HashMap<u64, usize, BuildLineHasher>,
-    free_mshrs: BinaryHeap<Reverse<usize>>,
+    /// Line column over `mshrs` ([`TAG_INVALID`] marks a free slot): merge
+    /// probes are one SIMD-friendly scan of a few cache lines, and
+    /// allocation takes the first sentinel slot — the same *lowest free
+    /// index* an explicit free-list min-heap handed out, which matters
+    /// because the fill heap breaks equal-cycle ties by slot index and
+    /// simulation results must stay bit-identical.
+    mshr_lines: Vec<u64>,
+    /// One past the highest occupied slot of `mshr_lines`: every slot at or
+    /// beyond it is free. Lowest-free-index allocation keeps occupancy
+    /// clustered at the bottom, so probes and allocations scan
+    /// `mshr_lines[..mshr_scan]` — O(occupancy), not O(capacity), which
+    /// matters at the core-scaled LLC.
+    mshr_scan: usize,
     pending_fills: BinaryHeap<Reverse<(Cycle, usize)>>,
     /// Mirror of `pending_fills.peek()`'s time (`FILL_UNKNOWN` when the heap
     /// is empty), maintained on push/pop so the scheduler's per-cycle
@@ -252,8 +223,8 @@ impl Cache {
             repl,
             mshrs: (0..mshr_entries).map(|_| None).collect(),
             mshr_used: 0,
-            mshr_index: HashMap::with_capacity_and_hasher(mshr_entries, BuildLineHasher),
-            free_mshrs: (0..mshr_entries).map(Reverse).collect(),
+            mshr_lines: vec![TAG_INVALID; mshr_entries],
+            mshr_scan: 0,
             pending_fills: BinaryHeap::new(),
             next_fill: FILL_UNKNOWN,
             pq: VecDeque::new(),
@@ -284,9 +255,15 @@ impl Cache {
     fn find_way(&self, line: LineAddr) -> Option<usize> {
         let base = self.set_of(line) * self.ways;
         let raw = line.raw();
-        self.tags[base..base + self.ways]
-            .iter()
-            .position(|&t| t == raw)
+        // Mask-then-locate instead of an early-exit scan: a line sits in at
+        // most one way, and on the (common) full-miss the whole set is read
+        // anyway, so comparing every way as SIMD lanes beats branching per
+        // way.
+        let mut mask = 0u32;
+        for (w, &t) in self.tags[base..base + self.ways].iter().enumerate() {
+            mask |= u32::from(t == raw) << w;
+        }
+        (mask != 0).then(|| mask.trailing_zeros() as usize)
     }
 
     /// True when the line is resident.
@@ -345,10 +322,7 @@ impl Cache {
         let hit_slot = if !self.naive && pred < self.tags.len() && self.tags[pred] == raw {
             Some(pred)
         } else {
-            let found = self.tags[base..base + self.ways]
-                .iter()
-                .position(|&t| t == raw)
-                .map(|w| base + w);
+            let found = self.find_way(line).map(|w| base + w);
             if let Some(i) = found {
                 self.way_pred[pred_idx] = i as u32;
             }
@@ -429,7 +403,15 @@ impl Cache {
     /// update on hit (ChampSim does not promote on prefetch hits at the same
     /// level), returns residency and in-flight state.
     pub fn prefetch_probe(&self, line: LineAddr) -> ProbeResult {
-        if self.find_way(line).is_some() {
+        // Read-only way-predictor consult: a verified prediction proves
+        // residency (same argument as in `demand_lookup`), so the tag scan
+        // only runs on predictor misses. `&self` means no predictor update
+        // here — the demand path keeps it trained.
+        let raw = line.raw();
+        let pred = self.way_pred[(raw as usize) & (self.way_pred.len() - 1)] as usize;
+        let resident = (!self.naive && pred < self.tags.len() && self.tags[pred] == raw)
+            || self.find_way(line).is_some();
+        if resident {
             return ProbeResult::Hit {
                 first_use_of_prefetch: false,
                 pf_class: 0,
@@ -446,7 +428,10 @@ impl Cache {
     }
 
     fn find_mshr(&self, line: LineAddr) -> Option<usize> {
-        self.mshr_index.get(&line.raw()).copied()
+        let raw = line.raw();
+        self.mshr_lines[..self.mshr_scan]
+            .iter()
+            .position(|&l| l == raw)
     }
 
     /// True when at least one MSHR is free.
@@ -465,13 +450,18 @@ impl Cache {
     ///
     /// Panics if no MSHR is free (callers must check first).
     pub fn alloc_mshr(&mut self, mshr: Mshr) {
-        let Reverse(idx) = self
-            .free_mshrs
-            .pop()
-            .expect("caller must ensure an MSHR is free");
+        // First free slot: a sentinel inside the occupied prefix, else the
+        // slot right past it (everything beyond `mshr_scan` is free). The
+        // caller's free-slot guarantee bounds that fallback within capacity.
+        let idx = self.mshr_lines[..self.mshr_scan]
+            .iter()
+            .position(|&l| l == TAG_INVALID)
+            .unwrap_or(self.mshr_scan);
+        assert!(idx < self.mshrs.len(), "caller must ensure an MSHR is free");
         assert!(mshr.fill_at != FILL_UNKNOWN, "fill time must be resolved");
-        let prev = self.mshr_index.insert(mshr.line.raw(), idx);
-        debug_assert!(prev.is_none(), "one MSHR per line");
+        debug_assert!(self.find_mshr(mshr.line).is_none(), "one MSHR per line");
+        self.mshr_lines[idx] = mshr.line.raw();
+        self.mshr_scan = self.mshr_scan.max(idx + 1);
         self.pending_fills.push(Reverse((mshr.fill_at, idx)));
         self.next_fill = self.next_fill.min(mshr.fill_at);
         self.mshrs[idx] = Some(mshr);
@@ -502,8 +492,10 @@ impl Cache {
             .peek()
             .map_or(FILL_UNKNOWN, |&Reverse((t, _))| t);
         let m = self.mshrs[idx].take().expect("scheduled fill has an MSHR");
-        self.mshr_index.remove(&m.line.raw());
-        self.free_mshrs.push(Reverse(idx));
+        self.mshr_lines[idx] = TAG_INVALID;
+        while self.mshr_scan > 0 && self.mshr_lines[self.mshr_scan - 1] == TAG_INVALID {
+            self.mshr_scan -= 1;
+        }
         self.mshr_used -= 1;
         Some(m)
     }

@@ -182,6 +182,22 @@ pub struct MetadataArrival {
 pub trait PrefetchSink {
     /// Queues one prefetch request.
     fn prefetch(&mut self, req: PrefetchRequest) -> bool;
+
+    /// Queues a batch of requests in order, returning a bitmask with bit
+    /// `k` set iff `reqs[k]` was accepted. Lets degree-N prefetchers cross
+    /// the sink boundary once per trigger instead of once per candidate;
+    /// the default forwards to [`PrefetchSink::prefetch`] per request, so
+    /// the two paths are interchangeable by construction.
+    fn prefetch_batch(&mut self, reqs: &[PrefetchRequest]) -> u32 {
+        debug_assert!(reqs.len() <= 32, "batch exceeds the accept mask");
+        let mut accepted = 0u32;
+        for (k, &r) in reqs.iter().enumerate() {
+            if self.prefetch(r) {
+                accepted |= 1 << k;
+            }
+        }
+        accepted
+    }
 }
 
 /// A simple buffering sink used by the simulator (requests are moved into
@@ -235,6 +251,23 @@ impl PrefetchSink for VecSink {
         }
         self.requests.push(req);
         true
+    }
+
+    fn prefetch_batch(&mut self, reqs: &[PrefetchRequest]) -> u32 {
+        debug_assert!(reqs.len() <= 32, "batch exceeds the accept mask");
+        if self.capacity.is_none() {
+            // Unlimited sink (the simulator's scratch buffer): one bulk
+            // append, everything accepted.
+            self.requests.extend_from_slice(reqs);
+            return u32::checked_shl(1, reqs.len() as u32).map_or(u32::MAX, |b| b - 1);
+        }
+        let mut accepted = 0u32;
+        for (k, &r) in reqs.iter().enumerate() {
+            if self.prefetch(r) {
+                accepted |= 1 << k;
+            }
+        }
+        accepted
     }
 }
 

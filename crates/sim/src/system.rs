@@ -32,7 +32,7 @@
 use std::sync::Arc;
 
 use ipcp_mem::{Ip, LineAddr, LINES_PER_PAGE, LINE_SHIFT, PAGE_SHIFT};
-use ipcp_trace::{Instr, MemOp, TraceSource};
+use ipcp_trace::{BatchStream, Instr, InstrBatch, MemOp, TraceSource};
 
 use crate::cache::{Cache, Mshr, ProbeResult, QueuedPrefetch, FILL_UNKNOWN};
 use crate::config::{Cycle, SimConfig};
@@ -157,15 +157,15 @@ struct PendingMem {
     store: bool,
 }
 
-/// Instructions buffered from the trace iterator per refill: amortizes the
-/// per-instruction virtual dispatch into the boxed trace stream.
-const IBUF_CAPACITY: usize = 256;
-
 struct Core {
     trace: Arc<dyn TraceSource + Send + Sync>,
-    stream: Box<dyn Iterator<Item = Instr> + Send>,
-    /// Look-ahead buffer over `stream` (see [`IBUF_CAPACITY`]).
-    ibuf: Vec<Instr>,
+    stream: Box<dyn BatchStream>,
+    /// Columnar look-ahead buffer: one [`BatchStream::next_batch`] call
+    /// refills all [`ipcp_trace::BATCH_CAPACITY`] slots at once, so
+    /// materialized traces hand instructions over by per-column `memcpy`
+    /// and even generator-backed traces pay the stream dispatch once per
+    /// batch.
+    ibuf: InstrBatch,
     ibuf_pos: usize,
     l1i: Cache,
     l1d: Cache,
@@ -217,7 +217,8 @@ impl Core {
 impl Core {
     #[inline]
     fn next_instr(&mut self) -> Instr {
-        if let Some(&i) = self.ibuf.get(self.ibuf_pos) {
+        if self.ibuf_pos < self.ibuf.len() {
+            let i = self.ibuf.get(self.ibuf_pos);
             self.ibuf_pos += 1;
             return i;
         }
@@ -229,23 +230,17 @@ impl Core {
     /// first buffered instruction.
     #[cold]
     fn refill_ibuf(&mut self) -> Instr {
-        self.ibuf.clear();
         self.ibuf_pos = 1;
-        while self.ibuf.len() < IBUF_CAPACITY {
-            match self.stream.next() {
-                Some(i) => self.ibuf.push(i),
-                None => {
-                    if self.ibuf.is_empty() {
-                        self.stream = self.trace.stream();
-                        let first = self.stream.next().expect("trace must be non-empty");
-                        self.ibuf.push(first);
-                    } else {
-                        break;
-                    }
-                }
-            }
+        if self.stream.next_batch(&mut self.ibuf) > 0 {
+            return self.ibuf.get(0);
         }
-        self.ibuf[0]
+        // Stream exhausted on a batch boundary: reopen from the start.
+        self.stream = self.trace.batch_stream();
+        assert!(
+            self.stream.next_batch(&mut self.ibuf) > 0,
+            "trace must be non-empty"
+        );
+        self.ibuf.get(0)
     }
 }
 
@@ -307,11 +302,11 @@ impl System {
             .into_iter()
             .enumerate()
             .map(|(ci, s)| {
-                let stream = s.trace.stream();
+                let stream = s.trace.batch_stream();
                 Core {
                     trace: s.trace,
                     stream,
-                    ibuf: Vec::with_capacity(IBUF_CAPACITY),
+                    ibuf: InstrBatch::new(),
                     ibuf_pos: 0,
                     mapper: PageMapper::new(vmem_seed.wrapping_add(ci as u64 * 0x9e37_79b9)),
                     l1i: Cache::new_with_mode(&cfg.l1i, 1, cfg.no_fastpath),
@@ -1189,8 +1184,24 @@ impl System {
         };
         let mut sink = std::mem::take(&mut self.pf_scratch);
         self.cores[ci].l1d_pf.on_access(&info, &mut sink);
+        // Same-page translation memo for the burst: every call site sits
+        // directly after the trigger's timed translate, so the trigger's
+        // page is DTLB-resident with the newest stamp in its set and is the
+        // timed memo's page. An untimed translate of that same page would
+        // re-stamp the already-newest way and leave the timed memo alone —
+        // no observable TLB state changes — so candidates on the trigger
+        // page (the common case: L1 classes never cross a page) reuse the
+        // trigger's frame directly. Cross-page or physical requests take
+        // the full path.
+        let trigger_vpage = vline.vpage();
+        let trigger_frame = pline.ppage().raw();
+        let memo_ok = !self.cfg.no_fastpath;
         for req in sink.requests.drain(..) {
-            self.enqueue_l1_request(ci, req, ip);
+            if memo_ok && req.virtual_addr && req.line.vpage() == trigger_vpage {
+                self.enqueue_l1_translated(ci, req, ip, phys_line(trigger_frame, req.line));
+            } else {
+                self.enqueue_l1_request(ci, req, ip);
+            }
         }
         sink.dropped = 0;
         self.pf_scratch = sink;
@@ -1303,6 +1314,11 @@ impl System {
         } else {
             req.line
         };
+        self.enqueue_l1_translated(ci, req, ip, pline);
+    }
+
+    fn enqueue_l1_translated(&mut self, ci: usize, req: PrefetchRequest, ip: Ip, pline: LineAddr) {
+        let core = &mut self.cores[ci];
         // A prefetch whose target is already resident (or in flight) at its
         // own fill level is dropped at enqueue so it does not consume PQ
         // slots or drain bandwidth.

@@ -97,6 +97,140 @@ impl Instr {
     }
 }
 
+/// Capacity of one decode/ingestion batch. Matches the simulator's
+/// instruction look-ahead buffer so one `next_batch` call refills it
+/// exactly once.
+pub const BATCH_CAPACITY: usize = 256;
+
+/// Memory-operand kind encodings shared by the row and columnar binary
+/// formats and by [`InstrBatch`]'s kind column.
+pub const KIND_NONE: u8 = 0;
+/// Kind byte of a load.
+pub const KIND_LOAD: u8 = 1;
+/// Kind byte of a store.
+pub const KIND_STORE: u8 = 2;
+
+/// A struct-of-arrays batch of instructions: parallel `ip`/`kind`/`vaddr`
+/// columns. This is the unit of batch ingestion — trace sources fill one,
+/// the simulator's fetch stage drains it — and of columnar decode (see
+/// [`ColumnarTraceReader`]).
+#[derive(Debug, Clone, Default)]
+pub struct InstrBatch {
+    ips: Vec<u64>,
+    kinds: Vec<u8>,
+    addrs: Vec<u64>,
+}
+
+impl InstrBatch {
+    /// An empty batch with [`BATCH_CAPACITY`] reserved per column.
+    pub fn new() -> Self {
+        Self {
+            ips: Vec::with_capacity(BATCH_CAPACITY),
+            kinds: Vec::with_capacity(BATCH_CAPACITY),
+            addrs: Vec::with_capacity(BATCH_CAPACITY),
+        }
+    }
+
+    /// Number of instructions in the batch.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// True when the batch holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+
+    /// Empties all three columns (capacity is retained).
+    pub fn clear(&mut self) {
+        self.ips.clear();
+        self.kinds.clear();
+        self.addrs.clear();
+    }
+
+    /// Appends one instruction, splitting it across the columns.
+    pub fn push(&mut self, instr: Instr) {
+        let (kind, addr) = match instr.mem {
+            MemOp::None => (KIND_NONE, 0),
+            MemOp::Load(a) => (KIND_LOAD, a.raw()),
+            MemOp::Store(a) => (KIND_STORE, a.raw()),
+        };
+        self.push_raw(instr.ip.raw(), kind, addr);
+    }
+
+    /// Appends one instruction from already-split column values.
+    pub fn push_raw(&mut self, ip: u64, kind: u8, addr: u64) {
+        debug_assert!(kind <= KIND_STORE);
+        self.ips.push(ip);
+        self.kinds.push(kind);
+        self.addrs.push(addr);
+    }
+
+    /// Bulk-appends parallel column slices (one `memcpy` per column).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    pub fn extend_from_columns(&mut self, ips: &[u64], kinds: &[u8], addrs: &[u64]) {
+        assert!(ips.len() == kinds.len() && kinds.len() == addrs.len());
+        self.ips.extend_from_slice(ips);
+        self.kinds.extend_from_slice(kinds);
+        self.addrs.extend_from_slice(addrs);
+    }
+
+    /// Reassembles the `i`-th instruction from the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Instr {
+        let mem = match self.kinds[i] {
+            KIND_NONE => MemOp::None,
+            KIND_LOAD => MemOp::Load(VAddr::new(self.addrs[i])),
+            _ => MemOp::Store(VAddr::new(self.addrs[i])),
+        };
+        Instr {
+            ip: Ip(self.ips[i]),
+            mem,
+        }
+    }
+
+    /// The three parallel columns: `(ips, kinds, addrs)`.
+    pub fn columns(&self) -> (&[u64], &[u8], &[u64]) {
+        (&self.ips, &self.kinds, &self.addrs)
+    }
+
+    /// Row-order iterator over the batch (tests and adapters).
+    pub fn iter(&self) -> impl Iterator<Item = Instr> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+/// A batch-oriented instruction stream: refills a caller-owned
+/// [`InstrBatch`] instead of yielding one [`Instr`] per call, so the
+/// per-instruction virtual dispatch of a boxed iterator is paid once per
+/// [`BATCH_CAPACITY`] instructions.
+pub trait BatchStream: Send {
+    /// Clears `out` and refills it with up to [`BATCH_CAPACITY`]
+    /// instructions, returning how many were written. `0` means the stream
+    /// is exhausted (a partial final batch is returned first).
+    fn next_batch(&mut self, out: &mut InstrBatch) -> usize;
+}
+
+/// Adapts a row iterator to [`BatchStream`] — the default path for sources
+/// without a columnar representation (e.g. infinite synthetic generators).
+struct IterBatchStream(Box<dyn Iterator<Item = Instr> + Send>);
+
+impl BatchStream for IterBatchStream {
+    fn next_batch(&mut self, out: &mut InstrBatch) -> usize {
+        out.clear();
+        for instr in self.0.by_ref().take(BATCH_CAPACITY) {
+            out.push(instr);
+        }
+        out.len()
+    }
+}
+
 /// A restartable instruction stream.
 ///
 /// Multi-core mixes replay a workload "until all benchmarks finish their
@@ -110,25 +244,97 @@ pub trait TraceSource {
 
     /// Opens a fresh stream from the beginning of the trace.
     fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send>;
+
+    /// Opens a fresh batch-oriented stream. The default adapts
+    /// [`TraceSource::stream`] (identical instruction sequence, batched
+    /// hand-off); sources holding a columnar image override this to fill
+    /// batches by per-column `memcpy` instead of per-instruction decode.
+    fn batch_stream(&self) -> Box<dyn BatchStream> {
+        Box::new(IterBatchStream(self.stream()))
+    }
+}
+
+/// Columnar (struct-of-arrays) image of a materialized trace: the same
+/// instructions as a `[Instr]` slice, split into three parallel arrays.
+#[derive(Debug, Clone, Default)]
+pub struct TraceColumns {
+    /// Instruction pointers.
+    pub ips: Vec<u64>,
+    /// Memory-operand kinds ([`KIND_NONE`]/[`KIND_LOAD`]/[`KIND_STORE`]).
+    pub kinds: Vec<u8>,
+    /// Memory-operand virtual addresses (0 for non-memory instructions).
+    pub addrs: Vec<u64>,
+}
+
+impl TraceColumns {
+    /// Transposes a row-order slice into columns.
+    pub fn from_rows(instrs: &[Instr]) -> Self {
+        let mut ips = Vec::with_capacity(instrs.len());
+        let mut kinds = Vec::with_capacity(instrs.len());
+        let mut addrs = Vec::with_capacity(instrs.len());
+        for instr in instrs {
+            let (kind, addr) = match instr.mem {
+                MemOp::None => (KIND_NONE, 0),
+                MemOp::Load(a) => (KIND_LOAD, a.raw()),
+                MemOp::Store(a) => (KIND_STORE, a.raw()),
+            };
+            ips.push(instr.ip.raw());
+            kinds.push(kind);
+            addrs.push(addr);
+        }
+        Self { ips, kinds, addrs }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// True when no instructions are held.
+    pub fn is_empty(&self) -> bool {
+        self.ips.is_empty()
+    }
+
+    /// Reassembles row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> Instr {
+        let mem = match self.kinds[i] {
+            KIND_NONE => MemOp::None,
+            KIND_LOAD => MemOp::Load(VAddr::new(self.addrs[i])),
+            _ => MemOp::Store(VAddr::new(self.addrs[i])),
+        };
+        Instr {
+            ip: Ip(self.ips[i]),
+            mem,
+        }
+    }
 }
 
 /// A [`TraceSource`] backed by an in-memory slice. Mostly for tests.
 ///
-/// The payload is a shared `Arc<[Instr]>`: cloning the trace or opening a
-/// stream never copies instructions, so a materialized trace can be fanned
-/// out across cores and worker threads zero-copy.
+/// The payload is shared both row-order (`Arc<[Instr]>`) and columnar
+/// (`Arc<TraceColumns>`, transposed once at construction): cloning the
+/// trace or opening a stream never copies instructions, so a materialized
+/// trace can be fanned out across cores and worker threads zero-copy, and
+/// batch streams refill by per-column `memcpy` from the shared columns.
 #[derive(Debug, Clone, Default)]
 pub struct VecTrace {
     name: String,
     instrs: std::sync::Arc<[Instr]>,
+    cols: std::sync::Arc<TraceColumns>,
 }
 
 impl VecTrace {
     /// Wraps a vector of instructions as a named trace.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        let cols = std::sync::Arc::new(TraceColumns::from_rows(&instrs));
         Self {
             name: name.into(),
             instrs: instrs.into(),
+            cols,
         }
     }
 
@@ -140,6 +346,33 @@ impl VecTrace {
     /// True when the trace is empty.
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
+    }
+
+    /// Zero-copy view of the trace's columnar image.
+    pub fn columns(&self) -> &TraceColumns {
+        &self.cols
+    }
+}
+
+/// Cursor over a shared [`TraceColumns`]: each refill is three slice
+/// copies, no per-instruction decode or dispatch.
+struct ColumnBatchStream {
+    cols: std::sync::Arc<TraceColumns>,
+    pos: usize,
+}
+
+impl BatchStream for ColumnBatchStream {
+    fn next_batch(&mut self, out: &mut InstrBatch) -> usize {
+        out.clear();
+        let n = BATCH_CAPACITY.min(self.cols.len() - self.pos);
+        let (a, b) = (self.pos, self.pos + n);
+        out.extend_from_columns(
+            &self.cols.ips[a..b],
+            &self.cols.kinds[a..b],
+            &self.cols.addrs[a..b],
+        );
+        self.pos = b;
+        n
     }
 }
 
@@ -157,14 +390,21 @@ impl TraceSource for VecTrace {
             instr
         }))
     }
+
+    fn batch_stream(&self) -> Box<dyn BatchStream> {
+        Box::new(ColumnBatchStream {
+            cols: std::sync::Arc::clone(&self.cols),
+            pos: 0,
+        })
+    }
 }
 
 const RECORD_BYTES: usize = 17;
-const KIND_NONE: u8 = 0;
-const KIND_LOAD: u8 = 1;
-const KIND_STORE: u8 = 2;
-/// Magic header identifying a trace file.
+/// Magic header identifying a row-format trace file.
 pub const TRACE_MAGIC: &[u8; 8] = b"IPCPTRC1";
+/// Magic header identifying a columnar trace file (see
+/// [`write_trace_columnar`]).
+pub const TRACE_MAGIC_COLUMNAR: &[u8; 8] = b"IPCPTRC2";
 
 /// Writes a trace in the crate's compact binary format.
 ///
@@ -256,6 +496,152 @@ impl<R: Read> Iterator for TraceReader<R> {
     }
 }
 
+/// Writes a trace in the columnar binary format: after the magic, a
+/// sequence of blocks, each `u32 LE count` (1..=[`BATCH_CAPACITY`])
+/// followed by the block's three parallel columns — `count × u64 LE` IPs,
+/// `count × u8` kinds, `count × u64 LE` addresses. Block-local columns keep
+/// the file streamable while letting the reader decode a whole batch with
+/// three contiguous reads.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace_columnar<W: Write>(
+    mut w: W,
+    instrs: impl IntoIterator<Item = Instr>,
+) -> io::Result<u64> {
+    w.write_all(TRACE_MAGIC_COLUMNAR)?;
+    let mut batch = InstrBatch::new();
+    let mut n = 0u64;
+    let mut iter = instrs.into_iter();
+    loop {
+        batch.clear();
+        for instr in iter.by_ref().take(BATCH_CAPACITY) {
+            batch.push(instr);
+        }
+        if batch.is_empty() {
+            return Ok(n);
+        }
+        let (ips, kinds, addrs) = batch.columns();
+        w.write_all(&(ips.len() as u32).to_le_bytes())?;
+        for ip in ips {
+            w.write_all(&ip.to_le_bytes())?;
+        }
+        w.write_all(kinds)?;
+        for addr in addrs {
+            w.write_all(&addr.to_le_bytes())?;
+        }
+        n += ips.len() as u64;
+    }
+}
+
+/// Batch-decoding reader for the columnar format written by
+/// [`write_trace_columnar`]. Primarily driven via
+/// [`ColumnarTraceReader::next_batch`]; the [`Iterator`] impl reassembles
+/// rows from an internal batch for compatibility with row-order consumers.
+#[derive(Debug)]
+pub struct ColumnarTraceReader<R> {
+    inner: R,
+    checked_magic: bool,
+    /// Row-iteration state over the most recently decoded batch.
+    batch: InstrBatch,
+    pos: usize,
+}
+
+impl<R: Read> ColumnarTraceReader<R> {
+    /// Wraps a reader positioned at the start of a columnar trace file.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            checked_magic: false,
+            batch: InstrBatch::default(),
+            pos: 0,
+        }
+    }
+
+    /// Consumes the reader, returning the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Decodes the next block into `out` (cleared first), returning the
+    /// number of instructions decoded; `Ok(0)` at end of file.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad magic, a malformed block header, an out-of-range
+    /// kind byte, or any underlying I/O error.
+    pub fn next_batch(&mut self, out: &mut InstrBatch) -> io::Result<usize> {
+        out.clear();
+        if !self.checked_magic {
+            let mut magic = [0u8; 8];
+            self.inner.read_exact(&mut magic)?;
+            if &magic != TRACE_MAGIC_COLUMNAR {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad columnar trace magic",
+                ));
+            }
+            self.checked_magic = true;
+        }
+        let mut header = [0u8; 4];
+        match self.inner.read_exact(&mut header[..1]) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(0),
+            Err(e) => return Err(e),
+        }
+        self.inner.read_exact(&mut header[1..])?;
+        let count = u32::from_le_bytes(header) as usize;
+        if count == 0 || count > BATCH_CAPACITY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad columnar block count {count}"),
+            ));
+        }
+        let mut ips = vec![0u8; count * 8];
+        let mut kinds = vec![0u8; count];
+        let mut addrs = vec![0u8; count * 8];
+        self.inner.read_exact(&mut ips)?;
+        self.inner.read_exact(&mut kinds)?;
+        self.inner.read_exact(&mut addrs)?;
+        for i in 0..count {
+            let kind = kinds[i];
+            if kind > KIND_STORE {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad mem-op kind {kind}"),
+                ));
+            }
+            out.push_raw(
+                u64::from_le_bytes(ips[i * 8..i * 8 + 8].try_into().expect("8 bytes")),
+                kind,
+                u64::from_le_bytes(addrs[i * 8..i * 8 + 8].try_into().expect("8 bytes")),
+            );
+        }
+        Ok(count)
+    }
+}
+
+impl<R: Read> Iterator for ColumnarTraceReader<R> {
+    type Item = io::Result<Instr>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.batch.len() {
+            let mut batch = std::mem::take(&mut self.batch);
+            match self.next_batch(&mut batch) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => return Some(Err(e)),
+            }
+            self.batch = batch;
+            self.pos = 0;
+        }
+        let instr = self.batch.get(self.pos);
+        self.pos += 1;
+        Some(Ok(instr))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -321,6 +707,162 @@ mod tests {
         assert!(results.last().unwrap().is_err());
     }
 
+    fn sample_instrs(n: usize) -> Vec<Instr> {
+        // Deterministic mix of all three kinds, crossing batch boundaries.
+        (0..n as u64)
+            .map(|i| match i % 3 {
+                0 => Instr::nop(0x400000 + i * 4),
+                1 => Instr::load(0x400000 + i * 4, 0x10000 + i * 64),
+                _ => Instr::store(0x400000 + i * 4, 0x20000 + i * 64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn instr_batch_round_trips_rows() {
+        let instrs = sample_instrs(10);
+        let mut b = InstrBatch::new();
+        assert!(b.is_empty());
+        for &i in &instrs {
+            b.push(i);
+        }
+        assert_eq!(b.len(), 10);
+        let back: Vec<Instr> = b.iter().collect();
+        assert_eq!(back, instrs);
+        let (ips, kinds, addrs) = b.columns();
+        assert_eq!(ips.len(), 10);
+        assert_eq!(kinds[0], KIND_NONE);
+        assert_eq!(kinds[1], KIND_LOAD);
+        assert_eq!(kinds[2], KIND_STORE);
+        assert_eq!(addrs[1], 0x10000 + 64);
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn trace_columns_transpose_round_trips() {
+        let instrs = sample_instrs(7);
+        let cols = TraceColumns::from_rows(&instrs);
+        assert_eq!(cols.len(), 7);
+        let back: Vec<Instr> = (0..cols.len()).map(|i| cols.row(i)).collect();
+        assert_eq!(back, instrs);
+    }
+
+    #[test]
+    fn vec_trace_batch_stream_matches_row_stream() {
+        // Three batches' worth plus a partial tail: the batched hand-off
+        // must reproduce the row stream exactly, including the short final
+        // batch and end-of-stream.
+        let instrs = sample_instrs(2 * BATCH_CAPACITY + 37);
+        let t = VecTrace::new("t", instrs.clone());
+        assert_eq!(t.columns().len(), instrs.len());
+        let mut bs = t.batch_stream();
+        let mut batch = InstrBatch::new();
+        let mut batched = Vec::new();
+        let mut sizes = Vec::new();
+        loop {
+            let n = bs.next_batch(&mut batch);
+            if n == 0 {
+                break;
+            }
+            sizes.push(n);
+            batched.extend(batch.iter());
+        }
+        assert_eq!(batched, instrs);
+        assert_eq!(sizes, vec![BATCH_CAPACITY, BATCH_CAPACITY, 37]);
+        // Exhausted stays exhausted.
+        assert_eq!(bs.next_batch(&mut batch), 0);
+    }
+
+    #[test]
+    fn default_batch_stream_adapts_row_stream() {
+        // A source without a columnar override batches via the adapter.
+        struct RowOnly(Vec<Instr>);
+        impl TraceSource for RowOnly {
+            fn name(&self) -> &str {
+                "rows"
+            }
+            fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
+                Box::new(self.0.clone().into_iter())
+            }
+        }
+        let instrs = sample_instrs(BATCH_CAPACITY + 5);
+        let src = RowOnly(instrs.clone());
+        let mut bs = src.batch_stream();
+        let mut batch = InstrBatch::new();
+        let mut got = Vec::new();
+        while bs.next_batch(&mut batch) > 0 {
+            got.extend(batch.iter());
+        }
+        assert_eq!(got, instrs);
+    }
+
+    #[test]
+    fn columnar_round_trip() {
+        for n in [
+            0usize,
+            1,
+            BATCH_CAPACITY - 1,
+            BATCH_CAPACITY,
+            BATCH_CAPACITY + 1,
+            1000,
+        ] {
+            let instrs = sample_instrs(n);
+            let mut buf = Vec::new();
+            let written = write_trace_columnar(&mut buf, instrs.iter().copied()).unwrap();
+            assert_eq!(written as usize, n);
+            let back: Vec<Instr> = ColumnarTraceReader::new(&buf[..])
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(back, instrs, "row read-back at n={n}");
+            // Batch-wise decode sees the same instructions.
+            let mut r = ColumnarTraceReader::new(&buf[..]);
+            let mut batch = InstrBatch::new();
+            let mut got = Vec::new();
+            while r.next_batch(&mut batch).unwrap() > 0 {
+                got.extend(batch.iter());
+            }
+            assert_eq!(got, instrs, "batch read-back at n={n}");
+        }
+    }
+
+    #[test]
+    fn columnar_bad_magic_rejected() {
+        let err = ColumnarTraceReader::new(&b"IPCPTRC1"[..])
+            .next_batch(&mut InstrBatch::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn columnar_bad_kind_and_count_rejected() {
+        let mut buf = Vec::new();
+        write_trace_columnar(&mut buf, [Instr::nop(0)]).unwrap();
+        // Corrupt the kind byte (after magic + u32 count + 8-byte IP).
+        let mut bad_kind = buf.clone();
+        bad_kind[8 + 4 + 8] = 9;
+        let err = ColumnarTraceReader::new(&bad_kind[..])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Corrupt the block count beyond the batch capacity.
+        let mut bad_count = buf;
+        bad_count[8..12].copy_from_slice(&(BATCH_CAPACITY as u32 + 1).to_le_bytes());
+        let err = ColumnarTraceReader::new(&bad_count[..])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn columnar_truncated_block_is_error() {
+        let mut buf = Vec::new();
+        write_trace_columnar(&mut buf, sample_instrs(3)).unwrap();
+        buf.truncate(buf.len() - 5);
+        let results: Vec<_> = ColumnarTraceReader::new(&buf[..]).collect();
+        assert!(results.last().unwrap().is_err());
+    }
+
     // Property tests require the external `proptest` crate (see the
     // `proptest` feature in Cargo.toml).
     #[cfg(feature = "proptest")]
@@ -344,6 +886,16 @@ mod tests {
                 prop_assert_eq!(n as usize, instrs.len());
                 prop_assert_eq!(buf.len(), 8 + instrs.len() * RECORD_BYTES);
                 let back: Vec<Instr> = TraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
+                prop_assert_eq!(back, instrs);
+            }
+
+            #[test]
+            fn columnar_round_trip_prop(instrs in proptest::collection::vec(arb_instr(), 0..600)) {
+                let mut buf = Vec::new();
+                let n = write_trace_columnar(&mut buf, instrs.iter().copied()).unwrap();
+                prop_assert_eq!(n as usize, instrs.len());
+                let back: Vec<Instr> =
+                    ColumnarTraceReader::new(&buf[..]).collect::<Result<_, _>>().unwrap();
                 prop_assert_eq!(back, instrs);
             }
         }

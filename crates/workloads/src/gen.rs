@@ -81,6 +81,16 @@ impl SynthTrace {
     pub fn shared(self) -> Arc<dyn TraceSource + Send + Sync> {
         self.handle()
     }
+
+    /// Materializes the first `n` instructions into a columnar
+    /// [`VecTrace`](ipcp_trace::VecTrace): the generator runs once, and the
+    /// result is shared zero-copy thereafter (its batch streams refill by
+    /// per-column `memcpy` instead of re-running the generator). Generators
+    /// are infinite, so a finite prefix is the only materializable view.
+    pub fn materialize(&self, n: usize) -> ipcp_trace::VecTrace {
+        let instrs: Vec<Instr> = self.stream().take(n).collect();
+        ipcp_trace::VecTrace::new(self.name().to_string(), instrs)
+    }
 }
 
 impl TraceSource for SynthTrace {

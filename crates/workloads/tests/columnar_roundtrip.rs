@@ -1,0 +1,135 @@
+//! Columnar ↔ row round-trip properties over the adversarial fuzz corpus.
+//!
+//! The simulator's batch-ingestion path consumes instructions through three
+//! independent representations — the row binary format, the IPCPTRC2
+//! columnar format, and in-memory [`VecTrace`] columns — and every one must
+//! reproduce the generator's row stream exactly. The fuzz patterns are the
+//! natural property inputs: each is an infinite, bit-reproducible stream
+//! built to stress edge behaviour (page straddles, region hand-offs, IP
+//! aliasing), so agreement over them is agreement over the encodings'
+//! corner cases, not just over a friendly loop.
+
+use ipcp_trace::{
+    write_trace, write_trace_columnar, ColumnarTraceReader, Instr, InstrBatch, TraceReader,
+    TraceSource, BATCH_CAPACITY,
+};
+use ipcp_workloads::fuzz::{fuzz_trace, FuzzPattern};
+
+/// Prefix length per trace: a few full blocks plus a ragged tail, so block
+/// boundaries and the short final block are both exercised.
+const PREFIX: usize = 3 * BATCH_CAPACITY + 37;
+
+/// Seeds per pattern — distinct streams, same structural family.
+const SEEDS: [u64; 2] = [1, 0xdecade];
+
+fn prefix(pattern: FuzzPattern, seed: u64) -> Vec<Instr> {
+    fuzz_trace(pattern, seed).stream().take(PREFIX).collect()
+}
+
+#[test]
+fn columnar_file_roundtrips_rows_for_every_fuzz_pattern() {
+    for pattern in FuzzPattern::ALL {
+        for seed in SEEDS {
+            let rows = prefix(pattern, seed);
+            let mut file = Vec::new();
+            let written =
+                write_trace_columnar(&mut file, rows.iter().copied()).expect("in-memory write");
+            assert_eq!(
+                written as usize,
+                rows.len(),
+                "{}: write count",
+                pattern.name()
+            );
+
+            // Row-order iteration must reassemble the original sequence.
+            let decoded: Vec<Instr> = ColumnarTraceReader::new(file.as_slice())
+                .map(|r| r.expect("decode"))
+                .collect();
+            assert_eq!(
+                decoded,
+                rows,
+                "{} seed {seed}: row iteration",
+                pattern.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_batches_cover_rows_exactly_once() {
+    for pattern in FuzzPattern::ALL {
+        let rows = prefix(pattern, 7);
+        let mut file = Vec::new();
+        write_trace_columnar(&mut file, rows.iter().copied()).expect("in-memory write");
+
+        let mut reader = ColumnarTraceReader::new(file.as_slice());
+        let mut batch = InstrBatch::new();
+        let mut pos = 0usize;
+        loop {
+            let n = reader.next_batch(&mut batch).expect("decode batch");
+            if n == 0 {
+                break;
+            }
+            assert!(n <= BATCH_CAPACITY, "{}: oversized block", pattern.name());
+            assert_eq!(batch.len(), n);
+            for i in 0..n {
+                assert_eq!(
+                    batch.get(i),
+                    rows[pos + i],
+                    "{}: row {}",
+                    pattern.name(),
+                    pos + i
+                );
+            }
+            pos += n;
+        }
+        assert_eq!(
+            pos,
+            rows.len(),
+            "{}: batches must cover the prefix",
+            pattern.name()
+        );
+    }
+}
+
+#[test]
+fn row_format_and_columnar_format_decode_identically() {
+    for pattern in FuzzPattern::ALL {
+        let rows = prefix(pattern, 11);
+
+        let mut row_file = Vec::new();
+        write_trace(&mut row_file, rows.iter().copied()).expect("row write");
+        let from_rows: Vec<Instr> = TraceReader::new(row_file.as_slice())
+            .map(|r| r.expect("row decode"))
+            .collect();
+
+        let mut col_file = Vec::new();
+        write_trace_columnar(&mut col_file, rows.iter().copied()).expect("columnar write");
+        let from_cols: Vec<Instr> = ColumnarTraceReader::new(col_file.as_slice())
+            .map(|r| r.expect("columnar decode"))
+            .collect();
+
+        assert_eq!(from_rows, rows, "{}: row format", pattern.name());
+        assert_eq!(from_cols, rows, "{}: columnar format", pattern.name());
+    }
+}
+
+#[test]
+fn materialized_vec_trace_matches_generator_rows() {
+    for pattern in FuzzPattern::ALL {
+        let trace = fuzz_trace(pattern, 3);
+        let rows: Vec<Instr> = trace.stream().take(PREFIX).collect();
+        let vec_trace = trace.materialize(PREFIX);
+
+        assert_eq!(vec_trace.len(), rows.len());
+        let cols = vec_trace.columns();
+        for (i, &row) in rows.iter().enumerate() {
+            assert_eq!(cols.row(i), row, "{}: column row {i}", pattern.name());
+        }
+
+        // The materialized trace is itself a TraceSource; its stream must
+        // replay the same rows (a finite prefix of the generator's).
+        let replay: Vec<Instr> = vec_trace.stream().collect();
+        assert_eq!(replay, rows, "{}: VecTrace stream", pattern.name());
+    }
+}

@@ -1,0 +1,90 @@
+//! In-tree oracle sweep for the struct-of-arrays fast paths.
+//!
+//! `ipcp_check` runs the full differential audit as a standalone binary;
+//! this test wires a reduced sweep into `cargo test` so every tier-1 run
+//! byte-compares the batch/SoA hot path against the exhaustive naive
+//! configuration (`SimConfig::without_fastpaths`) without needing the
+//! audit driver. Scale is deliberately small — the point is coverage of
+//! the fast-path machinery on every test run, not statistical depth.
+
+use std::sync::Arc;
+
+use ipcp_bench::combos;
+use ipcp_sim::telemetry::ToJson;
+use ipcp_sim::{run_single, ReplacementKind, SimConfig};
+use ipcp_trace::TraceSource;
+use ipcp_workloads::fuzz::{fuzz_trace, FuzzPattern};
+
+const WARMUP: u64 = 1_000;
+const INSTRUCTIONS: u64 = 4_000;
+
+fn oracle_config() -> SimConfig {
+    let mut cfg = SimConfig::default().with_instructions(WARMUP, INSTRUCTIONS);
+    // Sample an interval series so the comparison covers telemetry too.
+    cfg.sample_interval = Some(INSTRUCTIONS / 8);
+    cfg
+}
+
+fn report_json(cfg: SimConfig, trace: Arc<dyn TraceSource + Send + Sync>, combo: &str) -> String {
+    let c = combos::build(combo);
+    run_single(cfg, trace, c.l1, c.l2, c.llc)
+        .to_json()
+        .to_pretty_string()
+}
+
+/// Fast (batch ingestion, SoA tables, memoized lookups) vs naive
+/// (exhaustive, fastpath-free) must serialize byte-identically across the
+/// fuzz corpus and both IPCP combos.
+#[test]
+fn fast_and_naive_reports_are_byte_identical_over_fuzz_corpus() {
+    for combo in ["ipcp", "ipcp-l1"] {
+        for kind in [ReplacementKind::Lru, ReplacementKind::Ship] {
+            for pattern in FuzzPattern::ALL {
+                let trace = fuzz_trace(pattern, 1);
+                let mut fast_cfg = oracle_config();
+                fast_cfg.l1i.replacement = kind;
+                fast_cfg.l1d.replacement = kind;
+                fast_cfg.l2.replacement = kind;
+                fast_cfg.llc.replacement = kind;
+                let naive_cfg = fast_cfg.clone().without_fastpaths();
+
+                let fast = report_json(fast_cfg, trace.handle(), combo);
+                let naive = report_json(naive_cfg, trace.handle(), combo);
+                if fast != naive {
+                    let diff = fast
+                        .lines()
+                        .zip(naive.lines())
+                        .enumerate()
+                        .find(|(_, (a, b))| a != b);
+                    panic!(
+                        "{combo} × {kind:?} × {}: fast and naive reports differ (first diff: {diff:?})",
+                        pattern.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Feeding the same instructions through the zero-copy columnar view of a
+/// materialized trace must simulate identically to the row generator —
+/// the ingestion representation is not allowed to be observable.
+#[test]
+fn materialized_columnar_ingestion_matches_generator_ingestion() {
+    // Enough instructions that the finite materialized prefix never wraps:
+    // the run retires warmup + instructions, plus look-ahead slack.
+    let prefix = (WARMUP + INSTRUCTIONS) as usize + 2 * ipcp_trace::BATCH_CAPACITY;
+    for pattern in [FuzzPattern::PageStraddle, FuzzPattern::RandomChurn] {
+        let trace = fuzz_trace(pattern, 5);
+        let materialized = Arc::new(trace.materialize(prefix));
+
+        let from_generator = report_json(oracle_config(), trace.handle(), "ipcp");
+        let from_columns = report_json(oracle_config(), materialized, "ipcp");
+        assert_eq!(
+            from_generator,
+            from_columns,
+            "{}: columnar ingestion changed the simulation",
+            pattern.name()
+        );
+    }
+}
