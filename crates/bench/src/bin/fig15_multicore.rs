@@ -76,11 +76,9 @@ fn main() {
         ],
     ));
     // Seeded random heterogeneous mixes (the paper runs 1000; scale with
-    // IPCP_MIXES, default 4).
-    let n_random: usize = std::env::var("IPCP_MIXES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4);
+    // IPCP_MIXES, default 4). Malformed values exit loudly — a typo must
+    // not silently shrink the mix population.
+    let n_random: usize = ipcp_bench::env::or_die(ipcp_bench::env::mixes(4));
     let mut rng_state = 0x1bc9_5eedu64;
     let mut next = move || {
         rng_state ^= rng_state << 13;

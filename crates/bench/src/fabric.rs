@@ -1,0 +1,616 @@
+//! The distributed sweep fabric: filesystem leases that shard a sweep
+//! matrix across `sweep-worker` processes.
+//!
+//! The coordinator (`sweepd`) partitions a sweep into one **lease** per
+//! [`JobSpec`], keyed by the spec's content hash, and lays it out under
+//! `<results-dir>/.sweep/`:
+//!
+//! ```text
+//! .sweep/
+//!   sweep.json            # SweepMeta: results dir, lease timeout, job order
+//!   queue/<lease>.json    # the JobSpec for each lease (immutable)
+//!   leases/<lease>.claim  # claim file: worker id + epoch; mtime = heartbeat
+//!   done/<lease>.json     # published outcome (atomic, via DoneStore)
+//! ```
+//!
+//! **Claiming.** A worker claims a lease by creating the claim file with
+//! `O_EXCL` (epoch 1). While executing, it refreshes the file's mtime as a
+//! heartbeat. A claim whose mtime is older than the sweep's lease timeout
+//! is *expired* — a SIGKILL'd or wedged worker stops heartbeating, and a
+//! peer takes the lease over by atomically replacing the claim file with
+//! **epoch + 1** and verifying it won the race. Epochs make recovery
+//! visible: `epoch > 1` in the schema-2 manifest provenance is the
+//! fingerprint of a reassigned shard. (This is the transaction-lease +
+//! epoch-publisher pattern the ROADMAP cites from atomix.)
+//!
+//! **Publishing.** Outcomes go through [`DoneStore`] — a [`ResultStore`]
+//! over `done/`, atomic temp-file + rename. Every simulation here is
+//! deterministic, so the one race the protocol tolerates (two workers
+//! briefly owning one lease after a timeout misjudgment) produces
+//! byte-identical outputs and idempotent publishes: duplicated work costs
+//! wall-clock, never correctness.
+//!
+//! The simulation-level results flow into the content-addressed
+//! [`crate::simcache`] exactly as in-process runs do (workers pass
+//! `IPCP_SIMCACHE` through the spec), so a warm cache is shared across
+//! workers and a re-run sweep replays instead of re-simulating.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+use ipcp_sim::telemetry::JsonValue;
+
+use crate::harness::ExperimentOutcome;
+use crate::jobspec::JobSpec;
+use crate::store::ResultStore;
+
+/// Claim/meta/queue file schema version.
+const FABRIC_SCHEMA: u64 = 1;
+
+/// Sweep-level metadata, written once by the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepMeta {
+    /// Where workers drop experiment outputs (`<name>.txt`, sidecars).
+    pub results_dir: String,
+    /// Seconds without a heartbeat after which a claim is expired.
+    pub lease_timeout_secs: u64,
+    /// `(lease id, figure name)` in canonical (manifest) order.
+    pub entries: Vec<(String, String)>,
+}
+
+impl SweepMeta {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("schema", FABRIC_SCHEMA)
+            .set("results_dir", self.results_dir.as_str())
+            .set("lease_timeout_secs", self.lease_timeout_secs)
+            .set(
+                "entries",
+                JsonValue::Arr(
+                    self.entries
+                        .iter()
+                        .map(|(lease, figure)| {
+                            JsonValue::obj()
+                                .set("lease", lease.as_str())
+                                .set("figure", figure.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        if doc.get("schema").and_then(JsonValue::as_u64) != Some(FABRIC_SCHEMA) {
+            return Err(format!("sweep meta schema is not {FABRIC_SCHEMA}"));
+        }
+        let results_dir = doc
+            .get("results_dir")
+            .and_then(JsonValue::as_str)
+            .ok_or("sweep meta has no results_dir")?
+            .to_string();
+        let lease_timeout_secs = doc
+            .get("lease_timeout_secs")
+            .and_then(JsonValue::as_u64)
+            .ok_or("sweep meta has no lease_timeout_secs")?;
+        let mut entries = Vec::new();
+        for (i, e) in doc
+            .get("entries")
+            .and_then(JsonValue::as_array)
+            .ok_or("sweep meta has no entries")?
+            .iter()
+            .enumerate()
+        {
+            let lease = e
+                .get("lease")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("sweep meta entries[{i}] has no lease"))?;
+            let figure = e
+                .get("figure")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("sweep meta entries[{i}] has no figure"))?;
+            entries.push((lease.to_string(), figure.to_string()));
+        }
+        if entries.is_empty() {
+            return Err("sweep meta has zero entries".to_string());
+        }
+        Ok(Self {
+            results_dir,
+            lease_timeout_secs,
+            entries,
+        })
+    }
+}
+
+/// A held lease: proof of (probable) ownership. The nonce distinguishes
+/// this claim from any other writer's, including a takeover of our own
+/// expired claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Claim {
+    /// The lease id (job content hash).
+    pub lease: String,
+    /// The claiming worker.
+    pub worker: String,
+    /// Claim epoch: 1 on first claim, +1 per takeover.
+    pub epoch: u64,
+    /// Uniquifier for ownership verification.
+    pub nonce: u64,
+}
+
+impl Claim {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj()
+            .set("schema", FABRIC_SCHEMA)
+            .set("lease", self.lease.as_str())
+            .set("worker", self.worker.as_str())
+            .set("epoch", self.epoch)
+            .set("nonce", self.nonce)
+    }
+
+    fn from_json(doc: &JsonValue) -> Option<Self> {
+        Some(Self {
+            lease: doc.get("lease")?.as_str()?.to_string(),
+            worker: doc.get("worker")?.as_str()?.to_string(),
+            epoch: doc.get("epoch")?.as_u64()?,
+            nonce: doc.get("nonce")?.as_u64()?,
+        })
+    }
+}
+
+/// A fresh claim nonce: wall-clock nanoseconds mixed with the pid and a
+/// per-process counter — unique enough to tell two writers apart.
+fn fresh_nonce() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    nanos ^ (u64::from(std::process::id()) << 32) ^ COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The `done/` directory as a [`ResultStore`]: one `<lease>.json` per
+/// published outcome, wrapped in a key-checked envelope and written
+/// atomically. Lease ids are 16-hex content hashes, so the key doubles as
+/// a (safe) filename.
+#[derive(Debug, Clone)]
+pub struct DoneStore {
+    dir: PathBuf,
+}
+
+impl DoneStore {
+    /// The entry file for a lease id.
+    pub fn entry_path(&self, lease: &str) -> PathBuf {
+        self.dir.join(format!("{lease}.json"))
+    }
+}
+
+impl ResultStore for DoneStore {
+    fn load(&self, key: &str) -> Option<JsonValue> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let envelope = JsonValue::parse(&text).ok()?;
+        if envelope.get("schema").and_then(JsonValue::as_u64) != Some(FABRIC_SCHEMA) {
+            return None;
+        }
+        if envelope.get("key").and_then(JsonValue::as_str) != Some(key) {
+            return None;
+        }
+        envelope.get("doc").cloned()
+    }
+
+    fn publish(&self, key: &str, doc: &JsonValue) -> std::io::Result<()> {
+        assert!(
+            key.bytes().all(|b| b.is_ascii_hexdigit()),
+            "lease ids are hex content hashes, got {key:?}"
+        );
+        std::fs::create_dir_all(&self.dir)?;
+        let envelope = JsonValue::obj()
+            .set("schema", FABRIC_SCHEMA)
+            .set("key", key)
+            .set("doc", doc.clone());
+        let tmp = self.dir.join(format!(".tmp-{}-{key}", std::process::id()));
+        std::fs::write(&tmp, envelope.to_json_string())?;
+        std::fs::rename(&tmp, self.entry_path(key))
+    }
+}
+
+/// One sweep's lease directory. Created by the coordinator, shared by
+/// every worker (same filesystem).
+#[derive(Debug, Clone)]
+pub struct SweepDir {
+    root: PathBuf,
+}
+
+impl SweepDir {
+    /// Opens (without validating) a sweep directory.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The sweep root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn queue_dir(&self) -> PathBuf {
+        self.root.join("queue")
+    }
+
+    fn leases_dir(&self) -> PathBuf {
+        self.root.join("leases")
+    }
+
+    /// The `done/` directory as a [`ResultStore`].
+    pub fn done_store(&self) -> DoneStore {
+        DoneStore {
+            dir: self.root.join("done"),
+        }
+    }
+
+    fn claim_path(&self, lease: &str) -> PathBuf {
+        self.leases_dir().join(format!("{lease}.claim"))
+    }
+
+    fn queue_path(&self, lease: &str) -> PathBuf {
+        self.queue_dir().join(format!("{lease}.json"))
+    }
+
+    /// Creates a fresh sweep: wipes any previous `.sweep` state at `root`,
+    /// writes one queue entry per spec (lease id = content hash) and the
+    /// sweep meta. Returns the directory and the lease order.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or two specs hashing to the same lease (a duplicate
+    /// job — the matrix must be deduplicated by construction).
+    pub fn create(
+        root: impl Into<PathBuf>,
+        results_dir: &Path,
+        lease_timeout_secs: u64,
+        specs: &[JobSpec],
+    ) -> std::io::Result<(Self, SweepMeta)> {
+        let dir = Self::new(root);
+        if dir.root.exists() {
+            std::fs::remove_dir_all(&dir.root)?;
+        }
+        std::fs::create_dir_all(dir.queue_dir())?;
+        std::fs::create_dir_all(dir.leases_dir())?;
+        std::fs::create_dir_all(dir.root.join("done"))?;
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for spec in specs {
+            let lease = spec.content_hash();
+            if entries.iter().any(|(l, _)| *l == lease) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("duplicate job in sweep: {} (lease {lease})", spec.figure),
+                ));
+            }
+            let doc = JsonValue::obj()
+                .set("schema", FABRIC_SCHEMA)
+                .set("lease", lease.as_str())
+                .set("spec", spec.to_json());
+            std::fs::write(dir.queue_path(&lease), doc.to_pretty_string())?;
+            entries.push((lease, spec.figure.clone()));
+        }
+        let meta = SweepMeta {
+            results_dir: results_dir.display().to_string(),
+            lease_timeout_secs,
+            entries,
+        };
+        std::fs::write(
+            dir.root.join("sweep.json"),
+            meta.to_json().to_pretty_string(),
+        )?;
+        Ok((dir, meta))
+    }
+
+    /// Loads the sweep meta.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem (missing file,
+    /// bad JSON, wrong schema).
+    pub fn load_meta(&self) -> Result<SweepMeta, String> {
+        let path = self.root.join("sweep.json");
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+        let doc = JsonValue::parse(&text)
+            .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        SweepMeta::from_json(&doc).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Loads the job spec of a lease from the queue.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt queue entries or a lease-id mismatch.
+    pub fn load_spec(&self, lease: &str) -> Result<JobSpec, String> {
+        let path = self.queue_path(lease);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+        let doc = JsonValue::parse(&text)
+            .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+        if doc.get("lease").and_then(JsonValue::as_str) != Some(lease) {
+            return Err(format!("{}: lease id mismatch", path.display()));
+        }
+        let spec = doc
+            .get("spec")
+            .ok_or_else(|| format!("{}: no spec", path.display()))?;
+        JobSpec::from_json(spec).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// True when the lease's outcome has been published.
+    pub fn is_done(&self, lease: &str) -> bool {
+        self.done_store().entry_path(lease).exists()
+    }
+
+    /// Attempts to claim a lease for `worker`.
+    ///
+    /// * unclaimed ⇒ claim at epoch 1 (atomic `O_EXCL` create);
+    /// * claimed and heartbeat-fresh ⇒ `None` (someone is working on it);
+    /// * claimed but expired (mtime older than `timeout`) ⇒ atomically
+    ///   replace with epoch +1, then verify the replacement won any
+    ///   concurrent-takeover race.
+    ///
+    /// # Errors
+    ///
+    /// Unexpected I/O failures (a vanished claim file or a lost race is
+    /// `Ok(None)`, not an error — the worker just moves on).
+    pub fn try_claim(
+        &self,
+        lease: &str,
+        worker: &str,
+        timeout: Duration,
+    ) -> std::io::Result<Option<Claim>> {
+        let path = self.claim_path(lease);
+        let claim = Claim {
+            lease: lease.to_string(),
+            worker: worker.to_string(),
+            epoch: 1,
+            nonce: fresh_nonce(),
+        };
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                f.write_all(claim.to_json().to_json_string().as_bytes())?;
+                return Ok(Some(claim));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {}
+            Err(e) => return Err(e),
+        }
+        // Existing claim: expired? (mtime is the heartbeat)
+        let age = match std::fs::metadata(&path).and_then(|m| m.modified()) {
+            Ok(mtime) => match mtime.elapsed() {
+                Ok(age) => age,
+                // Clock skew put the heartbeat in the future: treat as
+                // fresh rather than stealing a live lease.
+                Err(_) => return Ok(None),
+            },
+            // Claim vanished under us (unexpected): skip this round.
+            Err(_) => return Ok(None),
+        };
+        if age < timeout {
+            return Ok(None);
+        }
+        // Takeover: epoch bump, atomic replace, then verify we won.
+        let old_epoch = self.read_claim(lease).map_or(0, |c| c.epoch);
+        let takeover = Claim {
+            epoch: old_epoch + 1,
+            ..claim
+        };
+        let tmp =
+            self.leases_dir()
+                .join(format!(".tmp-{}-{:x}", std::process::id(), takeover.nonce));
+        std::fs::write(&tmp, takeover.to_json().to_json_string())?;
+        std::fs::rename(&tmp, &path)?;
+        if self.owns(&takeover) {
+            Ok(Some(takeover))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// The current claim on a lease, if readable.
+    pub fn read_claim(&self, lease: &str) -> Option<Claim> {
+        let text = std::fs::read_to_string(self.claim_path(lease)).ok()?;
+        Claim::from_json(&JsonValue::parse(&text).ok()?)
+    }
+
+    /// True when the claim file still carries our claim (nonce match).
+    pub fn owns(&self, claim: &Claim) -> bool {
+        self.read_claim(&claim.lease)
+            .is_some_and(|c| c.nonce == claim.nonce && c.worker == claim.worker)
+    }
+
+    /// Heartbeat: refresh the claim file's mtime (atomic rewrite). Returns
+    /// `false` when the lease has been taken over — the holder should
+    /// consider itself evicted (its work is still safe to publish: results
+    /// are deterministic and publishes idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Unexpected I/O failures while rewriting an owned claim.
+    pub fn heartbeat(&self, claim: &Claim) -> std::io::Result<bool> {
+        if !self.owns(claim) {
+            return Ok(false);
+        }
+        let tmp = self
+            .leases_dir()
+            .join(format!(".hb-{}-{:x}", std::process::id(), claim.nonce));
+        std::fs::write(&tmp, claim.to_json().to_json_string())?;
+        std::fs::rename(&tmp, self.claim_path(&claim.lease))?;
+        Ok(true)
+    }
+
+    /// Publishes a lease's outcome (with provenance already attached)
+    /// through the [`DoneStore`].
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the store.
+    pub fn publish_done(&self, lease: &str, outcome: &ExperimentOutcome) -> std::io::Result<()> {
+        self.done_store().publish(lease, &outcome.to_json())
+    }
+
+    /// Loads a published outcome back.
+    pub fn load_done(&self, lease: &str) -> Option<ExperimentOutcome> {
+        let doc = self.done_store().load(lease)?;
+        ExperimentOutcome::from_json(&doc).ok()
+    }
+
+    /// Number of published outcomes for the given lease order.
+    pub fn done_count(&self, meta: &SweepMeta) -> usize {
+        meta.entries
+            .iter()
+            .filter(|(lease, _)| self.is_done(lease))
+            .count()
+    }
+
+    /// Collects every outcome in manifest order.
+    ///
+    /// # Errors
+    ///
+    /// Names the first lease whose outcome is missing or unreadable.
+    pub fn collect_outcomes(&self, meta: &SweepMeta) -> Result<Vec<ExperimentOutcome>, String> {
+        meta.entries
+            .iter()
+            .map(|(lease, figure)| {
+                self.load_done(lease).ok_or_else(|| {
+                    format!("lease {lease} ({figure}): outcome missing or unreadable")
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobspec::Provenance;
+    use std::time::Duration;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ipcp-fabric-{tag}-{}", std::process::id()))
+    }
+
+    fn two_specs() -> Vec<JobSpec> {
+        vec![
+            JobSpec::new("table1_storage"),
+            JobSpec::new("fig09_mpki").scale_spec("2500,10000").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn create_load_meta_and_specs_round_trip() {
+        let root = tmp_root("roundtrip");
+        let specs = two_specs();
+        let (dir, meta) = SweepDir::create(&root, Path::new("out"), 30, &specs).unwrap();
+        assert_eq!(meta.entries.len(), 2);
+        assert_eq!(meta.entries[0].1, "table1_storage");
+        let loaded = dir.load_meta().unwrap();
+        assert_eq!(loaded, meta);
+        for (i, (lease, _)) in meta.entries.iter().enumerate() {
+            assert_eq!(&dir.load_spec(lease).unwrap(), &specs[i]);
+            assert!(!dir.is_done(lease));
+        }
+        // Re-create wipes previous state.
+        let (_, meta2) = SweepDir::create(&root, Path::new("out"), 30, &specs[..1]).unwrap();
+        assert_eq!(meta2.entries.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn duplicate_jobs_are_rejected() {
+        let root = tmp_root("dup");
+        let spec = JobSpec::new("table1_storage");
+        let err = SweepDir::create(&root, Path::new("out"), 30, &[spec.clone(), spec]).unwrap_err();
+        assert!(err.to_string().contains("duplicate job"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn first_claim_is_epoch_one_and_excludes_peers() {
+        let root = tmp_root("claim");
+        let specs = two_specs();
+        let (dir, meta) = SweepDir::create(&root, Path::new("out"), 30, &specs).unwrap();
+        let lease = meta.entries[0].0.as_str();
+        let timeout = Duration::from_secs(30);
+
+        let claim = dir.try_claim(lease, "w1", timeout).unwrap().unwrap();
+        assert_eq!(claim.epoch, 1);
+        assert!(dir.owns(&claim));
+        // A fresh claim blocks peers.
+        assert!(dir.try_claim(lease, "w2", timeout).unwrap().is_none());
+        // Heartbeat keeps ownership.
+        assert!(dir.heartbeat(&claim).unwrap());
+        assert!(dir.owns(&claim));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn expired_claim_is_taken_over_with_epoch_bump() {
+        let root = tmp_root("expire");
+        let specs = two_specs();
+        let (dir, meta) = SweepDir::create(&root, Path::new("out"), 30, &specs).unwrap();
+        let lease = meta.entries[0].0.as_str();
+        let timeout = Duration::from_millis(80);
+
+        let victim = dir.try_claim(lease, "victim", timeout).unwrap().unwrap();
+        assert_eq!(victim.epoch, 1);
+        // No heartbeat past the timeout: the claim expires.
+        std::thread::sleep(Duration::from_millis(200));
+        let rescuer = dir.try_claim(lease, "rescuer", timeout).unwrap().unwrap();
+        assert_eq!(rescuer.epoch, 2, "takeover must bump the epoch");
+        assert!(dir.owns(&rescuer));
+        // The dead worker's claim is gone; its heartbeat reports eviction.
+        assert!(!dir.owns(&victim));
+        assert!(!dir.heartbeat(&victim).unwrap());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn done_publish_and_collect_round_trip() {
+        let root = tmp_root("done");
+        let specs = two_specs();
+        let (dir, meta) = SweepDir::create(&root, Path::new("out"), 30, &specs).unwrap();
+        assert_eq!(dir.done_count(&meta), 0);
+        assert!(
+            dir.collect_outcomes(&meta).is_err(),
+            "nothing published yet"
+        );
+
+        for (i, (lease, figure)) in meta.entries.iter().enumerate() {
+            let mut o = ExperimentOutcome {
+                name: figure.clone(),
+                exit_code: Some(0),
+                ok: true,
+                wall: Duration::from_millis(10 + i as u64),
+                output_path: PathBuf::from(format!("out/{figure}.txt")),
+                data_path: None,
+                spawn_error: None,
+                simcache: None,
+                shard: None,
+            };
+            o.shard = Some(Provenance {
+                worker: format!("w{i}"),
+                epoch: 1 + i as u64,
+                lease: lease.clone(),
+            });
+            dir.publish_done(lease, &o).unwrap();
+            assert!(dir.is_done(lease));
+        }
+        assert_eq!(dir.done_count(&meta), 2);
+        let outcomes = dir.collect_outcomes(&meta).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].name, "table1_storage");
+        assert_eq!(outcomes[1].shard.as_ref().unwrap().epoch, 2);
+        assert_eq!(
+            outcomes[1].shard.as_ref().unwrap().lease,
+            meta.entries[1].0,
+            "provenance lease survives the round trip"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -14,10 +14,9 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::process::Command;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use ipcp_sim::telemetry::JsonValue;
 use ipcp_sim::{CoreSetup, SimConfig, System};
@@ -25,6 +24,7 @@ use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
 
 use crate::combos;
+use crate::jobspec::{self, Provenance};
 use crate::runner::RunScale;
 use crate::simcache;
 
@@ -40,9 +40,11 @@ pub fn parse_jobs(spec: Option<&str>) -> Option<usize> {
 }
 
 /// Worker count from the `IPCP_JOBS` environment variable; defaults to the
-/// number of available cores.
+/// number of available cores. Parsed through the consolidated
+/// [`crate::env`] module, so a malformed value exits loudly instead of
+/// silently running at the default width.
 pub fn jobs_from_env() -> usize {
-    parse_jobs(std::env::var("IPCP_JOBS").ok().as_deref())
+    crate::env::or_die(crate::env::jobs())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
@@ -228,11 +230,17 @@ pub struct ExperimentOutcome {
     /// The child's simulation-cache counters, when `IPCP_SIMCACHE` was on
     /// (collected via a per-child `IPCP_SIMCACHE_STATS` file).
     pub simcache: Option<simcache::CacheStatsSnapshot>,
+    /// Per-shard provenance: which worker executed the job, under which
+    /// lease epoch (schema-2 manifests; `None` only for pre-fabric
+    /// outcomes that never acquired provenance).
+    pub shard: Option<Provenance>,
 }
 
 impl ExperimentOutcome {
     /// The outcome as a JSON object (the manifest entry / per-run `.json`
-    /// document). `wall_secs` is rounded to milliseconds.
+    /// document, and the fabric's `done/` payload). `wall_secs` is rounded
+    /// to milliseconds. The `shard` block carries worker/epoch/lease plus
+    /// the shard's simcache hit/miss counters when the child reported any.
     pub fn to_json(&self) -> JsonValue {
         let mut v = JsonValue::obj()
             .set("name", self.name.as_str())
@@ -261,7 +269,113 @@ impl ExperimentOutcome {
                     .set("stores", s.stores),
             );
         }
+        if let Some(p) = &self.shard {
+            let mut shard = JsonValue::obj()
+                .set("worker", p.worker.as_str())
+                .set("epoch", p.epoch)
+                .set("lease", p.lease.as_str());
+            if let Some(s) = &self.simcache {
+                shard.insert("simcache_hits", s.hits);
+                shard.insert("simcache_misses", s.misses);
+            }
+            v.insert("shard", shard);
+        }
         v
+    }
+
+    /// Parses an outcome back from its [`Self::to_json`] form — how the
+    /// coordinator reassembles worker-published `done/` records into the
+    /// manifest.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first structural problem.
+    pub fn from_json(doc: &JsonValue) -> Result<Self, String> {
+        let name = doc
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("outcome has no name")?
+            .to_string();
+        let ok = doc
+            .get("ok")
+            .and_then(JsonValue::as_bool)
+            .ok_or("outcome has no ok flag")?;
+        let exit_code = match doc.get("exit_code") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_i64()
+                    .and_then(|c| i32::try_from(c).ok())
+                    .ok_or("outcome exit_code is not an i32")?,
+            ),
+        };
+        let wall_secs = doc
+            .get("wall_secs")
+            .and_then(JsonValue::as_f64)
+            .ok_or("outcome has no wall_secs")?;
+        let output_path = doc
+            .get("output")
+            .and_then(JsonValue::as_str)
+            .ok_or("outcome has no output path")?
+            .into();
+        let spawn_error = match doc.get("error") {
+            None | Some(JsonValue::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("outcome error is not a string")?
+                    .to_string(),
+            ),
+        };
+        let data_path = doc
+            .get("data")
+            .and_then(JsonValue::as_str)
+            .map(PathBuf::from);
+        let simcache = match doc.get("simcache") {
+            None => None,
+            Some(s) => Some(simcache::CacheStatsSnapshot {
+                hits: s
+                    .get("hits")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("outcome simcache has no hits")?,
+                misses: s
+                    .get("misses")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("outcome simcache has no misses")?,
+                stores: s
+                    .get("stores")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("outcome simcache has no stores")?,
+            }),
+        };
+        let shard = match doc.get("shard") {
+            None => None,
+            Some(s) => Some(Provenance {
+                worker: s
+                    .get("worker")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("outcome shard has no worker")?
+                    .to_string(),
+                epoch: s
+                    .get("epoch")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("outcome shard has no epoch")?,
+                lease: s
+                    .get("lease")
+                    .and_then(JsonValue::as_str)
+                    .ok_or("outcome shard has no lease")?
+                    .to_string(),
+            }),
+        };
+        Ok(Self {
+            name,
+            exit_code,
+            ok,
+            wall: Duration::from_secs_f64(wall_secs.max(0.0)),
+            output_path,
+            data_path,
+            spawn_error,
+            simcache,
+            shard,
+        })
     }
 }
 
@@ -270,87 +384,57 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
-/// Runs one experiment binary, capturing stdout+stderr to
-/// `<results_dir>/<name>.txt` (stdout first, as the serial shell loop's
-/// `>file 2>&1` did for these stdout-only binaries) and recording wall
-/// time and exit status. `extra_env` is applied to the child process (the
-/// driver uses it to default `IPCP_JSON` to the results directory); if the
-/// child leaves a `<name>.data.json` sidecar in `results_dir`, its path is
-/// recorded in the outcome.
+/// Runs one experiment binary by snapshotting the ambient environment into
+/// a [`jobspec::JobSpec`] and executing that.
+///
+/// Deprecated shim for the pre-fabric positional surface — build a
+/// [`jobspec::JobSpec`] and call [`jobspec::execute`] instead (this
+/// wrapper survives exactly one PR). Note the semantic upgrade it
+/// inherits: execution is spec-authoritative, so a malformed ambient
+/// `IPCP_*` value is reported as a failed outcome instead of silently
+/// leaking into the child.
+#[deprecated(
+    since = "0.7.0",
+    note = "build a jobspec::JobSpec and call jobspec::execute"
+)]
 pub fn run_experiment(
     bin_dir: &Path,
     name: &str,
     results_dir: &Path,
     extra_env: &[(String, String)],
 ) -> ExperimentOutcome {
-    let output_path = results_dir.join(format!("{name}.txt"));
-    let started = Instant::now();
-    let mut cmd = Command::new(bin_dir.join(name));
-    for (k, v) in extra_env {
-        cmd.env(k, v);
-    }
-    // When the simulation cache is on (the child inherits IPCP_SIMCACHE),
-    // give the child a private stats drop-off so its hit/miss counters can
-    // be folded into the manifest.
-    let stats_path = simcache::global()
-        .map(|_| results_dir.join(format!("{name}.simcache.json")))
-        .filter(|_| std::env::var_os("IPCP_SIMCACHE_STATS").is_none());
-    if let Some(p) = &stats_path {
-        cmd.env("IPCP_SIMCACHE_STATS", p);
-    }
-    let result = cmd.output();
-    let wall = started.elapsed();
-    let data_path = Some(results_dir.join(format!("{name}.data.json"))).filter(|p| p.exists());
-    let simcache = stats_path.as_deref().and_then(read_simcache_stats);
-    match result {
-        Ok(out) => {
-            let mut text = out.stdout;
-            text.extend_from_slice(&out.stderr);
-            let write_err = std::fs::write(&output_path, &text).err();
-            let ok = out.status.success() && write_err.is_none();
-            ExperimentOutcome {
+    let spec = match jobspec::JobSpec::from_ambient(name) {
+        Ok(s) => s,
+        Err(e) => {
+            return ExperimentOutcome {
                 name: name.to_string(),
-                exit_code: out.status.code(),
-                ok,
-                wall,
-                output_path,
-                data_path,
-                spawn_error: write_err.map(|e| format!("writing output: {e}")),
-                simcache,
+                exit_code: None,
+                ok: false,
+                wall: Duration::ZERO,
+                output_path: results_dir.join(format!("{name}.txt")),
+                data_path: None,
+                spawn_error: Some(e.to_string()),
+                simcache: None,
+                shard: None,
             }
         }
-        Err(e) => ExperimentOutcome {
-            name: name.to_string(),
-            exit_code: None,
-            ok: false,
-            wall,
-            output_path,
-            data_path,
-            spawn_error: Some(e.to_string()),
-            simcache,
-        },
-    }
-}
-
-/// Reads and deletes a child's `IPCP_SIMCACHE_STATS` drop-off. A missing
-/// or malformed file is `None` (the child may predate the cache or have
-/// died before `finish`); the manifest then simply carries no counters.
-fn read_simcache_stats(path: &Path) -> Option<simcache::CacheStatsSnapshot> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let _ = std::fs::remove_file(path);
-    let doc = JsonValue::parse(&text).ok()?;
-    Some(simcache::CacheStatsSnapshot {
-        hits: doc.get("hits")?.as_u64()?,
-        misses: doc.get("misses")?.as_u64()?,
-        stores: doc.get("stores")?.as_u64()?,
-    })
+    };
+    let spec = extra_env
+        .iter()
+        .fold(spec, |s, (k, v)| s.env(k.clone(), v.clone()));
+    jobspec::execute(&spec, bin_dir, results_dir)
 }
 
 /// Writes one `<results_dir>/<name>.json` per outcome plus the
 /// `<results_dir>/manifest.json` machine-readable summary. Outcomes appear
-/// in the manifest in the given (deterministic) order. The schema is
-/// unchanged from the hand-emitted days (`"schema": 1` preserved); the
-/// document is now assembled through the shared [`JsonValue`] serializer.
+/// in the manifest in the given (deterministic) order.
+///
+/// Schema 2: every experiment entry carries a `shard` provenance block
+/// (worker id, lease epoch, lease id, shard simcache hit/miss) so a
+/// manifest records *who executed what under which lease* — identically
+/// shaped for in-process runs (`worker: "local"`, epoch 0) and fabric
+/// sweeps. Figure outputs (`.txt` / `.data.json`) are untouched by the
+/// schema bump; only this gitignored manifest layer changed.
 ///
 /// # Errors
 ///
@@ -370,7 +454,7 @@ pub fn write_results_json(
         )?;
     }
     let mut manifest = JsonValue::obj()
-        .set("schema", 1i64)
+        .set("schema", 2i64)
         .set("generated_by", "experiments driver (ipcp-tools)")
         .set("jobs", jobs)
         .set("scale", scale_env)
@@ -502,6 +586,11 @@ mod tests {
                     misses: 2,
                     stores: 2,
                 }),
+                shard: Some(Provenance {
+                    worker: "w0".into(),
+                    epoch: 2,
+                    lease: "00ff00ff00ff00ff".into(),
+                }),
             },
             ExperimentOutcome {
                 name: "fake_bad".into(),
@@ -512,12 +601,17 @@ mod tests {
                 data_path: None,
                 spawn_error: Some("boom \"quoted\"".into()),
                 simcache: None,
+                shard: Some(Provenance {
+                    worker: "local".into(),
+                    epoch: 0,
+                    lease: "1122334455667788".into(),
+                }),
             },
         ];
         write_results_json(&dir, 3, "default", Duration::from_secs(2), &outcomes).unwrap();
         let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
-        // Substring compatibility with the hand-emitted schema.
-        assert!(manifest.contains("\"schema\": 1"));
+        // Substring shape of the schema-2 manifest.
+        assert!(manifest.contains("\"schema\": 2"));
         assert!(manifest.contains("\"jobs\": 3"));
         assert!(manifest.contains("\"failed\": 1"));
         assert!(manifest.contains("\"name\": \"fake_ok\""));
@@ -528,7 +622,7 @@ mod tests {
         // Structural round-trip through the shared parser: the manifest is
         // well-formed JSON carrying the expected values, escapes included.
         let m = JsonValue::parse(&manifest).unwrap();
-        assert_eq!(m.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(m.get("schema").unwrap().as_u64(), Some(2));
         assert_eq!(m.get("jobs").unwrap().as_u64(), Some(3));
         assert_eq!(m.get("scale").unwrap().as_str(), Some("default"));
         assert_eq!(m.get("total_wall_secs").unwrap().as_f64(), Some(2.0));
@@ -552,11 +646,45 @@ mod tests {
         assert!(exps[1].get("data").is_none());
         let p = JsonValue::parse(&per_run).unwrap();
         assert_eq!(p.get("exit_code").unwrap().as_u64(), Some(0));
+        // Schema-2 shard provenance, with shard-level simcache counters
+        // when the outcome carried any.
+        let shard = exps[0].get("shard").unwrap();
+        assert_eq!(shard.get("worker").unwrap().as_str(), Some("w0"));
+        assert_eq!(shard.get("epoch").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            shard.get("lease").unwrap().as_str(),
+            Some("00ff00ff00ff00ff")
+        );
+        assert_eq!(shard.get("simcache_hits").unwrap().as_u64(), Some(5));
+        assert_eq!(shard.get("simcache_misses").unwrap().as_u64(), Some(2));
+        let local = exps[1].get("shard").unwrap();
+        assert_eq!(local.get("worker").unwrap().as_str(), Some("local"));
+        assert_eq!(local.get("epoch").unwrap().as_u64(), Some(0));
+        assert!(local.get("simcache_hits").is_none());
+        // Outcomes survive the JSON round trip the fabric's done/ records
+        // depend on (wall rounded to milliseconds by to_json).
+        for (o, e) in outcomes.iter().zip(exps) {
+            let back = ExperimentOutcome::from_json(e).unwrap();
+            assert_eq!(back.name, o.name);
+            assert_eq!(back.exit_code, o.exit_code);
+            assert_eq!(back.ok, o.ok);
+            assert_eq!(back.wall, o.wall);
+            assert_eq!(back.output_path, o.output_path);
+            assert_eq!(back.data_path, o.data_path);
+            assert_eq!(back.spawn_error, o.spawn_error);
+            assert_eq!(back.simcache, o.simcache);
+            assert_eq!(back.shard, o.shard);
+        }
+        assert!(
+            ExperimentOutcome::from_json(&JsonValue::obj()).is_err(),
+            "structural garbage is rejected"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
-    fn run_experiment_reports_unspawnable_binary() {
+    #[allow(deprecated)]
+    fn run_experiment_shim_reports_unspawnable_binary() {
         let dir = std::env::temp_dir().join(format!("ipcp-harness-miss-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();

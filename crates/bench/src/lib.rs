@@ -2,14 +2,21 @@
 //!
 //! One binary per figure and table of the paper (see `src/bin/`); this
 //! library provides the named prefetcher [`combos`], the shared [`runner`]
-//! machinery (scales, baselines, speedup tables), and the parallel
-//! [`harness`] (worker pool, alone-IPC cache, JSON result manifests) that
-//! the `experiments` driver in `crates/tools` fans jobs through.
+//! machinery (scales, baselines, speedup tables), the parallel [`harness`]
+//! (worker pool, alone-IPC cache, JSON result manifests), and the
+//! jobs-first sweep surface: typed [`env`] knobs, [`jobspec`] job
+//! descriptions, the [`store`] result-store trait, and the [`fabric`]
+//! lease protocol that the `sweepd`/`sweep-worker` bins in `crates/tools`
+//! shard paper-scale sweeps over.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod combos;
+pub mod env;
+pub mod fabric;
 pub mod harness;
+pub mod jobspec;
 pub mod runner;
 pub mod simcache;
+pub mod store;

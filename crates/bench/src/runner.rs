@@ -152,23 +152,11 @@ impl Default for RunScale {
 }
 
 /// The interval-sampler period selected by `IPCP_INTERVAL` (retired
-/// instructions per sample), or `None` when unset/empty.
-///
-/// # Panics
-///
-/// Panics (fails loudly) on a malformed or zero value — same policy as
-/// `IPCP_SCALE`.
+/// instructions per sample), or `None` when unset/empty. Parsed through
+/// the consolidated [`crate::env`] module: a malformed or zero value
+/// prints the offending value and exits with status 2 (it used to panic).
 pub fn sample_interval_from_env() -> Option<u64> {
-    let v = std::env::var("IPCP_INTERVAL").ok()?;
-    if v.trim().is_empty() {
-        return None;
-    }
-    match v.trim().parse::<u64>() {
-        Ok(0) | Err(_) => {
-            panic!("invalid IPCP_INTERVAL {v:?}: expected a positive instruction count per sample")
-        }
-        Ok(n) => Some(n),
-    }
+    crate::env::or_die(crate::env::interval())
 }
 
 /// Runs one trace under a named combo with an optional config tweak.
@@ -788,12 +776,12 @@ impl Experiment {
     pub fn finish(self) {
         print!("{}", self.render_text());
         crate::simcache::flush_stats();
-        if let Some(dir) = env_dir("IPCP_CSV") {
+        if let Some(dir) = crate::env::or_die(crate::env::csv_dir()) {
             if let Err(e) = self.write_csvs(&dir) {
                 eprintln!("warning: could not write CSVs to {}: {e}", dir.display());
             }
         }
-        if let Some(dir) = env_dir("IPCP_JSON") {
+        if let Some(dir) = crate::env::or_die(crate::env::json_dir()) {
             if let Err(e) = self.write_sidecar(&dir) {
                 eprintln!(
                     "warning: could not write {}.data.json to {}: {e}",
@@ -802,14 +790,6 @@ impl Experiment {
                 );
             }
         }
-    }
-}
-
-/// A directory-valued env knob: set and non-empty ⇒ `Some(path)`.
-fn env_dir(var: &str) -> Option<PathBuf> {
-    match std::env::var_os(var) {
-        Some(v) if !v.is_empty() => Some(PathBuf::from(v)),
-        _ => None,
     }
 }
 

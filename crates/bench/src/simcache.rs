@@ -51,6 +51,8 @@ use std::sync::OnceLock;
 use ipcp_sim::telemetry::{FromJson, JsonValue, ToJson};
 use ipcp_sim::{SimConfig, SimReport};
 
+use crate::store::{fnv1a_64, ResultStore};
+
 /// Version tag of simulator *behavior*, part of every cache key. Bump on
 /// any change that alters any report; keep on byte-identical refactors.
 /// v2: the L1 class-suppression fix (a fully RR-filtered class no longer
@@ -65,17 +67,6 @@ pub const SIM_BEHAVIOR_VERSION: u32 = 3;
 
 /// Entry-file schema version (the JSON envelope, not the simulator).
 const ENTRY_SCHEMA: u64 = 1;
-
-/// 64-bit FNV-1a — the entry-filename hash. Not cryptographic; collisions
-/// are tolerated because the full key is checked on load.
-fn fnv1a_64(s: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// The cache key for one simulation (see the module docs for the scheme).
 pub fn cache_key(trace_names: &[&str], combo: &str, cfg: &SimConfig) -> String {
@@ -148,7 +139,7 @@ impl SimCache {
     ) -> SimReport {
         let key = cache_key(trace_names, combo, cfg);
         let path = self.entry_path(&key);
-        match self.load(&path, &key) {
+        match self.load_report(&path, &key) {
             Ok(Some(report)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return report;
@@ -163,7 +154,7 @@ impl SimCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let report = run();
-        match self.store(&path, &key, &report) {
+        match self.store_report(&path, &key, &report) {
             Ok(()) => {
                 self.stores.fetch_add(1, Ordering::Relaxed);
             }
@@ -177,11 +168,11 @@ impl SimCache {
         report
     }
 
-    /// Loads an entry. `Ok(None)` means "no entry" (a clean miss); `Err`
-    /// means the file exists but is unreadable, ill-formed, or carries a
-    /// different key (hash collision / stale schema) — callers warn and
-    /// recompute.
-    fn load(&self, path: &Path, key: &str) -> Result<Option<SimReport>, String> {
+    /// Loads the raw JSON document of an entry. `Ok(None)` means "no
+    /// entry" (a clean miss); `Err` means the file exists but is
+    /// unreadable, ill-formed, or carries a different key (hash collision
+    /// / stale schema) — callers warn and recompute.
+    fn load_doc(&self, path: &Path, key: &str) -> Result<Option<JsonValue>, String> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -197,21 +188,30 @@ impl SimCache {
             Some(_) => return Err("key mismatch (hash collision or stale entry)".to_string()),
             None => return Err("entry has no key".to_string()),
         }
-        let report = doc
-            .get("report")
-            .ok_or_else(|| "entry has no report".to_string())?;
-        let report = SimReport::from_json(report).map_err(|e| format!("bad report: {e}"))?;
-        Ok(Some(report))
+        doc.get("report")
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| "entry has no report".to_string())
+    }
+
+    /// [`Self::load_doc`] parsed into a typed report.
+    fn load_report(&self, path: &Path, key: &str) -> Result<Option<SimReport>, String> {
+        match self.load_doc(path, key)? {
+            None => Ok(None),
+            Some(doc) => SimReport::from_json(&doc)
+                .map(Some)
+                .map_err(|e| format!("bad report: {e}")),
+        }
     }
 
     /// Writes an entry atomically: temp file in the cache dir, then rename
     /// (readers never observe a partial entry).
-    fn store(&self, path: &Path, key: &str, report: &SimReport) -> std::io::Result<()> {
+    fn store_doc(&self, path: &Path, key: &str, payload: &JsonValue) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let doc = JsonValue::obj()
             .set("schema", ENTRY_SCHEMA)
             .set("key", key)
-            .set("report", report.to_json());
+            .set("report", payload.clone());
         let tmp = self.dir.join(format!(
             ".tmp-{}-{:016x}",
             std::process::id(),
@@ -219,6 +219,30 @@ impl SimCache {
         ));
         std::fs::write(&tmp, doc.to_json_string())?;
         std::fs::rename(&tmp, path)
+    }
+
+    /// [`Self::store_doc`] from a typed report.
+    fn store_report(&self, path: &Path, key: &str, report: &SimReport) -> std::io::Result<()> {
+        self.store_doc(path, key, &report.to_json())
+    }
+}
+
+/// The simcache as a [`ResultStore`]: the same on-disk entries
+/// (`{"schema", "key", "report"}` envelopes, full-key check on load,
+/// temp-file + rename publish) addressed as raw JSON documents. This is
+/// the surface `sweep-worker` children share with in-process runs — a
+/// report published by any worker is a cache hit for every peer.
+///
+/// Trait-mediated access does *not* touch the hit/miss/store counters;
+/// those meter the simulate-or-replay decision in
+/// [`SimCache::get_or_run`], not raw document traffic.
+impl ResultStore for SimCache {
+    fn load(&self, key: &str) -> Option<JsonValue> {
+        self.load_doc(&self.entry_path(key), key).ok().flatten()
+    }
+
+    fn publish(&self, key: &str, doc: &JsonValue) -> std::io::Result<()> {
+        self.store_doc(&self.entry_path(key), key, doc)
     }
 }
 
@@ -229,24 +253,18 @@ impl SimCache {
 /// `Some(cache)` when `IPCP_SIMCACHE` enables caching for this process,
 /// `None` otherwise. Resolved once; changing the environment afterwards
 /// has no effect (experiment binaries read it at the first simulation).
+/// Parsed through the consolidated [`crate::env`] module: a malformed
+/// `IPCP_SIMCACHE` value exits loudly instead of silently disabling the
+/// cache (the pre-consolidation behavior).
 pub fn global() -> Option<&'static SimCache> {
     static GLOBAL: OnceLock<Option<SimCache>> = OnceLock::new();
     GLOBAL
         .get_or_init(|| {
-            let enabled = std::env::var("IPCP_SIMCACHE")
-                .map(|v| {
-                    matches!(
-                        v.trim().to_ascii_lowercase().as_str(),
-                        "1" | "true" | "on" | "yes"
-                    )
-                })
-                .unwrap_or(false);
-            if !enabled {
+            if !crate::env::or_die(crate::env::simcache_enabled()) {
                 return None;
             }
-            let dir = std::env::var_os("IPCP_SIMCACHE_DIR")
-                .filter(|v| !v.is_empty())
-                .map_or_else(|| PathBuf::from("target/simcache"), PathBuf::from);
+            let dir = crate::env::or_die(crate::env::simcache_dir())
+                .unwrap_or_else(|| PathBuf::from("target/simcache"));
             Some(SimCache::new(dir))
         })
         .as_ref()
@@ -410,6 +428,43 @@ mod tests {
         let warm = cache.get_or_run(&names, "none", &cfg, || panic!("must hit"));
         assert_eq!(warm, direct);
         assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The ResultStore view and the typed get_or_run path share entries:
+    /// a report published through the trait is a cache hit for the typed
+    /// path, and vice versa.
+    #[test]
+    fn result_store_view_shares_entries_with_typed_path() {
+        let dir = tmp_dir("store-view");
+        let cache = SimCache::new(&dir);
+        let cfg = quick_cfg();
+        let traces = ipcp_workloads::memory_intensive_suite();
+        let names = [traces[0].name()];
+        let key = cache_key(&names, "ipcp", &cfg);
+
+        assert!(ResultStore::load(&cache, &key).is_none(), "cold store");
+        let direct = simulate("ipcp", &cfg);
+        cache.publish(&key, &direct.to_json()).unwrap();
+        // Trait publish fills the typed path (no counters were touched).
+        let warm = cache.get_or_run(&names, "ipcp", &cfg, || {
+            panic!("trait publish must be a typed hit")
+        });
+        assert_eq!(warm, direct);
+        assert_eq!(
+            cache.stats(),
+            CacheStatsSnapshot {
+                hits: 1,
+                misses: 0,
+                stores: 0
+            },
+            "trait traffic is unmetered; the typed hit is counted"
+        );
+        // And the typed entry reads back through the trait.
+        let doc = ResultStore::load(&cache, &key).unwrap();
+        assert_eq!(SimReport::from_json(&doc).unwrap(), direct);
+        // A different key still misses through the trait.
+        assert!(ResultStore::load(&cache, "other-key").is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

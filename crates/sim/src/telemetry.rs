@@ -195,6 +195,15 @@ impl JsonValue {
         }
     }
 
+    /// The value as a signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Self::Int(v) => Some(v),
+            Self::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -2,61 +2,40 @@
 //! paper into `results/`, replacing the serial `run_all_experiments.sh`
 //! loop.
 //!
-//! Each experiment binary is an independent job; the driver fans them
-//! across an `IPCP_JOBS`-sized worker pool (default: one worker per core),
+//! Each experiment is described by a typed [`JobSpec`] snapshotted from
+//! the ambient `IPCP_*` environment (validated loudly up front — a typo
+//! in any knob stops the sweep before the first simulation). The driver
+//! fans the specs across an `IPCP_JOBS`-sized worker pool (default: one
+//! worker per core), executes each through [`jobspec::execute`] — the
+//! same spec-authoritative code path `sweep-worker` processes use —
 //! captures each binary's output to `results/<name>.txt`, and writes
 //! structured JSON results (`results/<name>.json` per run plus a
-//! `results/manifest.json` summary with wall times and exit statuses).
-//! Unless the caller already set `IPCP_JSON`, the driver exports it to the
-//! children so every figure also drops its machine-readable sidecar at
+//! schema-2 `results/manifest.json` with wall times, exit statuses, and
+//! per-shard provenance; in-process runs are `worker: "local"`).
+//! Unless the caller already set `IPCP_JSON`, the driver routes it to the
+//! results dir so every figure also drops its machine-readable sidecar at
 //! `results/<name>.data.json`.
 //! The per-experiment text outputs are byte-identical to a serial
-//! (`IPCP_JOBS=1`) run: every simulation is deterministic and each binary
-//! owns its output file exclusively.
+//! (`IPCP_JOBS=1`) run — and to an N-process `sweepd` run: every
+//! simulation is deterministic and each binary owns its output file
+//! exclusively.
 //!
 //! Exit status: non-zero when any experiment fails, with a failure summary
 //! on stderr — silent failures are a bug class of their own.
 //!
 //! Usage:
 //!   experiments [name ...] [--jobs N] [--results-dir DIR] [--list]
+//!               [--list-env]
 //!
 //! With positional names only those experiments run (unknown names are an
-//! error). `IPCP_SCALE`, `IPCP_CSV`, and `IPCP_MIXES` are inherited by the
-//! experiment binaries as usual.
+//! error). `--list-env` dumps every `IPCP_*` knob with its current value.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ipcp_bench::harness;
+use ipcp_bench::jobspec::{self, JobSpec, Provenance, EXPERIMENTS};
+use ipcp_bench::{env, harness};
 use ipcp_tools::Args;
-
-/// Every figure/table binary, in the canonical (paper) order — this is the
-/// order the manifest reports, independent of completion order.
-const EXPERIMENTS: &[&str] = &[
-    "table1_storage",
-    "table2_config",
-    "table3_combos",
-    "fig01_l1_utility",
-    "fig07_l1_only",
-    "fig08_multilevel",
-    "fig09_mpki",
-    "fig10_coverage",
-    "fig11_overpredict",
-    "fig12_class_share",
-    "fig13a_class_ablation",
-    "fig13b_priority",
-    "fig14_cloud_nn",
-    "fig15_multicore",
-    "table4_cov_acc",
-    "sens_dram_bw",
-    "sens_pq_mshr",
-    "sens_cache_sizes",
-    "sens_tables",
-    "sens_replacement",
-    "sens_ip_assoc",
-    "ext_l2_complement",
-    "ext_temporal",
-];
 
 fn main() {
     let args = Args::parse();
@@ -64,6 +43,10 @@ fn main() {
         for name in EXPERIMENTS {
             println!("{name}");
         }
+        return;
+    }
+    if args.has_flag("list-env") {
+        print!("{}", env::render_catalogue());
         return;
     }
 
@@ -109,30 +92,38 @@ fn main() {
         );
     }
 
-    // Ask every figure for its JSON sidecar in the results dir, unless the
-    // caller already routed sidecars somewhere (or disabled them with an
-    // empty IPCP_JSON, which the children inherit as usual).
-    let extra_env: Vec<(String, String)> = if std::env::var_os("IPCP_JSON").is_none() {
-        vec![("IPCP_JSON".to_string(), results_dir.display().to_string())]
-    } else {
-        Vec::new()
-    };
+    // One validated spec per experiment: the ambient environment is
+    // checked once, loudly, and frozen — execution is spec-authoritative,
+    // so nothing the pool threads inherit can change a result. Sidecars
+    // default into the results dir unless the caller routed (or disabled)
+    // them explicitly.
+    let specs: Vec<JobSpec> = selected
+        .iter()
+        .map(|name| {
+            let mut spec = env::or_die(JobSpec::from_ambient(*name));
+            if spec.json_dir.is_none() {
+                spec.json_dir = Some(results_dir.display().to_string());
+            }
+            spec
+        })
+        .collect();
 
     let scale_env = std::env::var("IPCP_SCALE").unwrap_or_else(|_| "default".to_string());
     eprintln!(
         "running {} experiment(s) on {} worker(s) (IPCP_JOBS), scale {scale_env} -> {}",
-        selected.len(),
+        specs.len(),
         jobs,
         results_dir.display()
     );
 
     let started = Instant::now();
-    let outcomes = harness::parallel_map(jobs, selected, |name| {
-        let o = harness::run_experiment(&bin_dir, name, &results_dir, &extra_env);
+    let outcomes = harness::parallel_map(jobs, specs, |spec| {
+        let mut o = jobspec::execute(&spec, &bin_dir, &results_dir);
+        o.shard = Some(Provenance::local(&spec));
         if o.ok {
-            eprintln!("== {name} ok ({:.1}s)", o.wall.as_secs_f64());
+            eprintln!("== {} ok ({:.1}s)", o.name, o.wall.as_secs_f64());
         } else {
-            eprintln!("== {name} FAILED ({:.1}s)", o.wall.as_secs_f64());
+            eprintln!("== {} FAILED ({:.1}s)", o.name, o.wall.as_secs_f64());
         }
         o
     });

@@ -205,7 +205,7 @@ fn main() {
         .collect();
 
     let mut cfg = base_config(scale);
-    if std::env::var_os("IPCP_NO_FASTPATH").is_some() {
+    if ipcp_bench::env::or_die(ipcp_bench::env::no_fastpath()) {
         cfg = cfg.without_fastpaths();
     }
 

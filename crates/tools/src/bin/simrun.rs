@@ -51,8 +51,9 @@ fn run(
     cfg.sample_interval = interval;
     // Oracle escape hatch: IPCP_NO_FASTPATH=1 runs on the naive slow paths
     // (see ipcp_check) so any report can be reproduced without the
-    // scheduler fast paths in play.
-    cfg.no_fastpath = std::env::var_os("IPCP_NO_FASTPATH").is_some();
+    // scheduler fast paths in play. Parsed as a proper boolean through the
+    // typed env module ("0" used to enable it via a presence test).
+    cfg.no_fastpath = ipcp_bench::env::or_die(ipcp_bench::env::no_fastpath());
     let c = combos::build(combo);
     run_single(cfg, trace, c.l1, c.l2, c.llc)
 }

@@ -1,0 +1,145 @@
+//! `sweep-worker`: one worker process of the distributed sweep fabric.
+//!
+//! Points at a lease directory prepared by `sweepd` (`--sweep-dir`),
+//! claims unfinished leases one at a time (atomic claim files, heartbeat
+//! via mtime — see `ipcp_bench::fabric`), executes each job through the
+//! same spec-authoritative [`jobspec::execute`] path the in-process
+//! drivers use, and publishes the outcome (with worker/epoch/lease
+//! provenance) into the sweep's `done/` store. Simulation results flow
+//! into the shared content-addressed simcache exactly as they do for
+//! in-process runs, whenever the job spec enables it.
+//!
+//! The worker keeps scanning until every lease in the sweep is done —
+//! including leases *other* workers claimed and then abandoned (a
+//! SIGKILL'd peer stops heartbeating; its claim expires and is taken over
+//! at a bumped epoch). Execution is deterministic, so the rare
+//! double-execution race after an expiry misjudgment costs wall-clock
+//! only: both workers publish byte-identical outcomes.
+//!
+//! Usage:
+//!   sweep-worker --sweep-dir DIR --worker-id ID [--poll-millis N]
+//!
+//! `IPCP_SWEEP_STALL_AFTER_CLAIM=<figure>` is a fault-injection knob for
+//! the lease-recovery tests: after claiming the named figure the worker
+//! stalls forever *without heartbeating*, impersonating a wedged process
+//! (the test then SIGKILLs it and asserts a peer recovers the lease).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use ipcp_bench::fabric::SweepDir;
+use ipcp_bench::jobspec::{self, Provenance};
+use ipcp_tools::Args;
+
+fn main() {
+    let args = Args::parse();
+    let sweep_dir = args
+        .options
+        .get("sweep-dir")
+        .expect("sweep-worker requires --sweep-dir");
+    let worker_id = args
+        .options
+        .get("worker-id")
+        .expect("sweep-worker requires --worker-id");
+    let poll = Duration::from_millis(args.get_or("poll-millis", 200u64));
+
+    let dir = SweepDir::new(sweep_dir);
+    let meta = dir.load_meta().unwrap_or_else(|e| {
+        eprintln!("sweep-worker {worker_id}: {e}");
+        std::process::exit(2);
+    });
+    let timeout = Duration::from_secs(meta.lease_timeout_secs);
+    let results_dir = std::path::PathBuf::from(&meta.results_dir);
+    std::fs::create_dir_all(&results_dir).expect("cannot create results dir");
+    let bin_dir = std::env::current_exe()
+        .expect("cannot locate current executable")
+        .parent()
+        .expect("executable has a parent directory")
+        .to_path_buf();
+    let stall_figure = std::env::var("IPCP_SWEEP_STALL_AFTER_CLAIM").ok();
+
+    loop {
+        let mut progress = false;
+        let mut all_done = true;
+        for (lease, figure) in &meta.entries {
+            if dir.is_done(lease) {
+                continue;
+            }
+            all_done = false;
+            let claim = match dir.try_claim(lease, worker_id, timeout) {
+                Ok(Some(c)) => c,
+                Ok(None) => continue, // held by a live peer (or lost a race)
+                Err(e) => {
+                    eprintln!("sweep-worker {worker_id}: claiming {lease}: {e}");
+                    continue;
+                }
+            };
+            if stall_figure.as_deref() == Some(figure.as_str()) {
+                // Fault injection: hold the lease, never heartbeat, never
+                // finish — a wedged worker as far as peers can tell.
+                eprintln!("sweep-worker {worker_id}: stalling on {figure} (fault injection)");
+                loop {
+                    std::thread::sleep(Duration::from_secs(60));
+                }
+            }
+            let spec = match dir.load_spec(lease) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("sweep-worker {worker_id}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            eprintln!(
+                "sweep-worker {worker_id}: executing {figure} (lease {lease}, epoch {})",
+                claim.epoch
+            );
+            // Heartbeat while the job runs, from a scoped sidecar thread:
+            // the claim file's mtime is what keeps peers from expiring us
+            // mid-simulation.
+            let stop = AtomicBool::new(false);
+            let outcome = std::thread::scope(|s| {
+                s.spawn(|| {
+                    let period = (timeout / 4).max(Duration::from_millis(50));
+                    while !stop.load(Ordering::Relaxed) {
+                        match dir.heartbeat(&claim) {
+                            Ok(true) => {}
+                            // Evicted (expiry misjudged us) or I/O trouble:
+                            // stop beating; the run finishes and publishes
+                            // its (deterministic) bytes anyway.
+                            Ok(false) | Err(_) => break,
+                        }
+                        std::thread::sleep(period);
+                    }
+                });
+                let mut o = jobspec::execute(&spec, &bin_dir, &results_dir);
+                stop.store(true, Ordering::Relaxed);
+                o.shard = Some(Provenance {
+                    worker: worker_id.clone(),
+                    epoch: claim.epoch,
+                    lease: lease.clone(),
+                });
+                o
+            });
+            if let Err(e) = dir.publish_done(lease, &outcome) {
+                eprintln!("sweep-worker {worker_id}: publishing {lease}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!(
+                "sweep-worker {worker_id}: {} {} ({:.1}s)",
+                figure,
+                if outcome.ok { "ok" } else { "FAILED" },
+                outcome.wall.as_secs_f64()
+            );
+            progress = true;
+        }
+        if all_done {
+            break;
+        }
+        if !progress {
+            // Everything unfinished is claimed by live peers: wait for
+            // them to finish — or for their leases to expire.
+            std::thread::sleep(poll);
+        }
+    }
+    eprintln!("sweep-worker {worker_id}: sweep complete");
+}

@@ -1,0 +1,203 @@
+//! `sweepd`: the sweep-fabric coordinator.
+//!
+//! Partitions a figure sweep into content-hash-keyed leases under
+//! `<results-dir>/.sweep/` (see `ipcp_bench::fabric` for the directory
+//! layout and the claim/heartbeat/epoch protocol), spawns `--workers N`
+//! `sweep-worker` processes to execute them, waits for every lease's
+//! outcome to land in the `done/` store, and assembles the schema-2
+//! manifest — per-shard provenance included — in the same canonical
+//! order the in-process `experiments` driver uses.
+//!
+//! The job specs are snapshots of the ambient `IPCP_*` environment
+//! (validated loudly up front), and execution is spec-authoritative on
+//! every worker, so an N-worker sweep is byte-identical to `experiments`
+//! with `IPCP_JOBS=1`: same `.txt` outputs, same `.data.json` sidecars.
+//! A worker that dies mid-shard (SIGKILL, OOM) stops heartbeating; a peer
+//! takes the lease over at a bumped epoch and the sweep still completes —
+//! the coordinator only fails when *all* of its workers are gone with
+//! leases unfinished.
+//!
+//! Usage:
+//!   sweepd [name ...] [--results-dir DIR] [--workers N]
+//!          [--lease-timeout SECS] [--poll-millis N] [--no-spawn]
+//!
+//! `--no-spawn` prepares the lease directory and coordinates without
+//! launching workers — for externally managed workers (the recovery
+//! integration test drives its own, so it can SIGKILL one).
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use ipcp_bench::fabric::SweepDir;
+use ipcp_bench::jobspec::{JobSpec, EXPERIMENTS};
+use ipcp_bench::{env, harness};
+use ipcp_tools::Args;
+
+fn main() {
+    let args = Args::parse();
+    let selected: Vec<&str> = if args.positional.is_empty() {
+        EXPERIMENTS.to_vec()
+    } else {
+        for name in &args.positional {
+            assert!(
+                EXPERIMENTS.contains(&name.as_str()),
+                "unknown experiment {name:?}; see `experiments --list`"
+            );
+        }
+        EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|e| args.positional.iter().any(|p| p == e))
+            .collect()
+    };
+
+    let workers = args.get_or("workers", 2usize).max(1);
+    let lease_timeout = args.get_or("lease-timeout", 30u64).max(1);
+    let poll = Duration::from_millis(args.get_or("poll-millis", 200u64));
+    let spawn_workers = !args.has_flag("no-spawn");
+    let results_dir = PathBuf::from(
+        args.options
+            .get("results-dir")
+            .cloned()
+            .unwrap_or_else(|| "results".to_string()),
+    );
+    std::fs::create_dir_all(&results_dir).expect("cannot create results dir");
+
+    // Figure binaries and the worker live next to this coordinator.
+    let bin_dir = std::env::current_exe()
+        .expect("cannot locate current executable")
+        .parent()
+        .expect("executable has a parent directory")
+        .to_path_buf();
+    for name in &selected {
+        let p = bin_dir.join(name);
+        assert!(
+            p.exists(),
+            "experiment binary missing: {} (build ipcp-bench first)",
+            p.display()
+        );
+    }
+    let worker_bin = bin_dir.join("sweep-worker");
+    assert!(
+        !spawn_workers || worker_bin.exists(),
+        "worker binary missing: {} (build ipcp-tools first)",
+        worker_bin.display()
+    );
+
+    // Same spec construction as the in-process driver — that equality is
+    // what makes the byte-identity guarantee checkable.
+    let specs: Vec<JobSpec> = selected
+        .iter()
+        .map(|name| {
+            let mut spec = env::or_die(JobSpec::from_ambient(*name));
+            if spec.json_dir.is_none() {
+                spec.json_dir = Some(results_dir.display().to_string());
+            }
+            spec
+        })
+        .collect();
+
+    let sweep_root = results_dir.join(".sweep");
+    let (dir, meta) = SweepDir::create(&sweep_root, &results_dir, lease_timeout, &specs)
+        .expect("cannot create sweep directory");
+    let scale_env = std::env::var("IPCP_SCALE").unwrap_or_else(|_| "default".to_string());
+    eprintln!(
+        "sweepd: {} lease(s) at {} for {} worker(s), scale {scale_env}, lease timeout {lease_timeout}s",
+        meta.entries.len(),
+        sweep_root.display(),
+        if spawn_workers { workers } else { 0 }
+    );
+
+    let started = Instant::now();
+    let mut children = Vec::new();
+    if spawn_workers {
+        for i in 0..workers {
+            let child = std::process::Command::new(&worker_bin)
+                .arg("--sweep-dir")
+                .arg(&sweep_root)
+                .arg("--worker-id")
+                .arg(format!("w{i}"))
+                .spawn()
+                .expect("cannot spawn sweep-worker");
+            children.push(child);
+        }
+    }
+
+    // Coordinate: watch done/ fill up; fail fast if every worker died
+    // with leases unfinished (nobody is left to make progress).
+    let total = meta.entries.len();
+    let mut last_done = usize::MAX;
+    loop {
+        let done = dir.done_count(&meta);
+        if done != last_done {
+            eprintln!("sweepd: {done}/{total} lease(s) done");
+            last_done = done;
+        }
+        if done == total {
+            break;
+        }
+        if spawn_workers {
+            let mut alive = 0;
+            for c in &mut children {
+                if matches!(c.try_wait(), Ok(None)) {
+                    alive += 1;
+                }
+            }
+            if alive == 0 {
+                eprintln!(
+                    "sweepd: all {workers} worker(s) exited with {done}/{total} lease(s) done"
+                );
+                std::process::exit(3);
+            }
+        }
+        std::thread::sleep(poll);
+    }
+    for c in &mut children {
+        let _ = c.wait();
+    }
+    let total_wall = started.elapsed();
+
+    let outcomes = dir.collect_outcomes(&meta).unwrap_or_else(|e| {
+        eprintln!("sweepd: {e}");
+        std::process::exit(2);
+    });
+    harness::write_results_json(&results_dir, workers, &scale_env, total_wall, &outcomes)
+        .expect("cannot write JSON results");
+
+    let failed: Vec<_> = outcomes.iter().filter(|o| !o.ok).collect();
+    let recovered = outcomes
+        .iter()
+        .filter(|o| o.shard.as_ref().is_some_and(|p| p.epoch > 1))
+        .count();
+    eprintln!(
+        "sweepd: {}/{} experiments ok in {:.1}s{} (manifest: {})",
+        outcomes.len() - failed.len(),
+        outcomes.len(),
+        total_wall.as_secs_f64(),
+        if recovered > 0 {
+            format!(", {recovered} lease(s) recovered at epoch > 1")
+        } else {
+            String::new()
+        },
+        results_dir.join("manifest.json").display()
+    );
+    if !failed.is_empty() {
+        eprintln!("FAILURE SUMMARY:");
+        for o in &failed {
+            match (&o.spawn_error, o.exit_code) {
+                (Some(e), _) => eprintln!("  {}: {e}", o.name),
+                (None, Some(code)) => eprintln!(
+                    "  {}: exit code {code} (output: {})",
+                    o.name,
+                    o.output_path.display()
+                ),
+                (None, None) => eprintln!(
+                    "  {}: killed by signal (output: {})",
+                    o.name,
+                    o.output_path.display()
+                ),
+            }
+        }
+        std::process::exit(1);
+    }
+}

@@ -3,17 +3,22 @@
 //!
 //! ```text
 //! validate_results [--results-dir results] [--compare DIR]
-//!                  [--min-simcache-hits N] [--expect name ...]
+//!                  [--min-simcache-hits N] [--min-workers N]
+//!                  [--expect name ...]
 //! validate_results --bench BENCH_perf.json
 //! ```
 //!
-//! Checks that `manifest.json` parses, carries the expected schema and a
-//! non-empty experiment list, that every experiment the manifest marks as
-//! having a sidecar actually has one on disk, and that every
-//! `*.data.json` sidecar in the directory is a well-formed figure document
-//! (schema, name, scale, rectangular tables, monotone series). Positional
-//! `--expect` names must each appear in the manifest with `ok: true` and a
-//! sidecar — the CI job uses this to pin the subset it ran.
+//! Checks that `manifest.json` parses, carries the expected schema
+//! (schema 2: every experiment entry holds a `shard` provenance block
+//! with worker id, lease epoch, and lease id), that every experiment the
+//! manifest marks as having a sidecar actually has one on disk, and that
+//! every `*.data.json` sidecar in the directory is a well-formed figure
+//! document (schema, name, scale, rectangular tables, monotone series).
+//! Positional `--expect` names must each appear in the manifest with
+//! `ok: true` and a sidecar — the CI job uses this to pin the subset it
+//! ran. `--min-workers N` asserts the manifest's provenance names at
+//! least `N` distinct workers — the fabric CI job uses it to prove the
+//! sweep really was sharded across processes, not absorbed by one.
 //!
 //! `--bench FILE` validates a `perf_smoke` throughput record instead of a
 //! results directory: the document schema must be the supported version,
@@ -262,14 +267,16 @@ fn main() {
         problems: Vec::new(),
     };
 
-    // The manifest: schema, experiment list, and sidecar cross-references.
+    // The manifest: schema, experiment list, per-shard provenance, and
+    // sidecar cross-references.
     let manifest_path = dir.join("manifest.json");
     let mut manifest_names: Vec<(String, bool, bool)> = Vec::new();
     let mut manifest_hits: Option<u64> = None;
+    let mut shard_workers: Vec<String> = Vec::new();
     if let Some(manifest) = c.load(&manifest_path) {
         let loc = manifest_path.display().to_string();
-        if manifest.get("schema").and_then(JsonValue::as_u64) != Some(1) {
-            c.problem(format!("{loc}: missing or wrong \"schema\" (want 1)"));
+        if manifest.get("schema").and_then(JsonValue::as_u64) != Some(2) {
+            c.problem(format!("{loc}: missing or wrong \"schema\" (want 2)"));
         }
         match manifest.get("experiments").and_then(JsonValue::as_array) {
             Some(experiments) if !experiments.is_empty() => {
@@ -290,6 +297,27 @@ fn main() {
                             ));
                         }
                     }
+                    // Schema 2: every experiment carries its shard
+                    // provenance (who ran it, under which lease epoch).
+                    match e.get("shard") {
+                        None => c.problem(format!("{loc}: {name} has no \"shard\" provenance")),
+                        Some(shard) => {
+                            match shard.get("worker").and_then(JsonValue::as_str) {
+                                Some(w) if !w.is_empty() => shard_workers.push(w.to_string()),
+                                _ => c.problem(format!("{loc}: {name} shard has no worker id")),
+                            }
+                            if shard.get("epoch").and_then(JsonValue::as_u64).is_none() {
+                                c.problem(format!("{loc}: {name} shard has no epoch"));
+                            }
+                            if shard
+                                .get("lease")
+                                .and_then(JsonValue::as_str)
+                                .is_none_or(str::is_empty)
+                            {
+                                c.problem(format!("{loc}: {name} shard has no lease id"));
+                            }
+                        }
+                    }
                     manifest_names.push((name.to_string(), ok, data.is_some()));
                 }
             }
@@ -299,6 +327,23 @@ fn main() {
             .get("simcache")
             .and_then(|s| s.get("hits"))
             .and_then(JsonValue::as_u64);
+    }
+
+    // The sharding floor (fabric CI's "really distributed" assertion).
+    if let Some(min) = args.options.get("min-workers") {
+        let min: usize = min
+            .parse()
+            .unwrap_or_else(|_| panic!("--min-workers {min:?} is not a count"));
+        shard_workers.sort();
+        shard_workers.dedup();
+        if shard_workers.len() < min {
+            c.problem(format!(
+                "{}: provenance names {} distinct worker(s) ({:?}), required {min}",
+                manifest_path.display(),
+                shard_workers.len(),
+                shard_workers
+            ));
+        }
     }
 
     // The sweep-level cache hit floor (CI's warm-run assertion).

@@ -1,0 +1,288 @@
+//! Lease-recovery acceptance test for the sweep fabric.
+//!
+//! A three-worker sweep where one worker is SIGKILL'd while holding a
+//! lease (wedged by the `IPCP_SWEEP_STALL_AFTER_CLAIM` fault-injection
+//! knob, so it never heartbeats) must still complete: a healthy peer
+//! takes the orphaned lease over at a bumped epoch, every figure's
+//! `.txt` and `.data.json` output is byte-identical to a serial
+//! in-process run, and the schema-2 manifest records the reassignment
+//! in its per-shard provenance. `validate_results --min-workers 2
+//! --compare` is then run over the result as an end-to-end check of the
+//! same properties.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus};
+use std::time::{Duration, Instant};
+
+use ipcp_bench::fabric::SweepDir;
+use ipcp_sim::telemetry::JsonValue;
+
+/// A small, fast subset spanning a table figure and two plot figures.
+const FIGURES: [&str; 3] = ["table1_storage", "fig07_l1_only", "fig10_coverage"];
+/// The figure the victim worker wedges on (second in canonical order, so
+/// the victim finishes one lease honestly before dying on this one).
+const STALL_FIGURE: &str = "fig07_l1_only";
+const SCALE: &str = "2500,10000";
+const LEASE_TIMEOUT_SECS: u64 = 2;
+
+/// The directory holding this crate's binaries — and, after a workspace
+/// build, the figure binaries too.
+fn bin_dir() -> PathBuf {
+    Path::new(env!("CARGO_BIN_EXE_sweepd"))
+        .parent()
+        .expect("test binary has a parent directory")
+        .to_path_buf()
+}
+
+/// `cargo test -p ipcp-tools` alone does not build the figure binaries
+/// (they belong to ipcp-bench); build them on demand so the test is
+/// self-sufficient.
+fn ensure_figure_bins(dir: &Path) {
+    if FIGURES.iter().all(|f| dir.join(f).exists()) {
+        return;
+    }
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args(["build", "-p", "ipcp-bench"]);
+    if dir.ends_with("release") {
+        cmd.arg("--release");
+    }
+    let status = cmd.status().expect("cannot invoke cargo");
+    assert!(status.success(), "building the figure binaries failed");
+}
+
+/// Strips every catalogued `IPCP_*` knob (and the fault-injection knob)
+/// from a child's environment so ambient shell state cannot skew the
+/// byte-identity comparison.
+fn clear_knobs(cmd: &mut Command) {
+    for knob in ipcp_bench::env::KNOBS {
+        cmd.env_remove(knob.name);
+    }
+    cmd.env_remove("IPCP_SWEEP_STALL_AFTER_CLAIM");
+}
+
+/// Kills and reaps the child when the test unwinds, so a failed assert
+/// never leaks worker processes.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !cond() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn wait_exit(what: &str, child: &mut Child, timeout: Duration) -> ExitStatus {
+    let start = Instant::now();
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait failed") {
+            return status;
+        }
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn sigkilled_worker_lease_is_recovered_and_bytes_match_serial() {
+    let bins = bin_dir();
+    ensure_figure_bins(&bins);
+    let scratch = bins.join("sweep-fabric-scratch");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let serial_dir = scratch.join("serial");
+    let sweep_dir = scratch.join("sweep");
+    std::fs::create_dir_all(&serial_dir).expect("cannot create scratch dirs");
+
+    // Serial reference: the in-process driver, one job at a time.
+    let mut serial = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    clear_knobs(&mut serial);
+    let status = serial
+        .args(FIGURES)
+        .args(["--jobs", "1"])
+        .arg("--results-dir")
+        .arg(&serial_dir)
+        .env("IPCP_SCALE", SCALE)
+        .status()
+        .expect("cannot run the experiments driver");
+    assert!(status.success(), "serial reference run failed: {status}");
+
+    // The distributed run: a coordinator with externally managed workers
+    // (--no-spawn), so the test controls exactly who lives and dies.
+    let mut sweepd = Command::new(env!("CARGO_BIN_EXE_sweepd"));
+    clear_knobs(&mut sweepd);
+    let mut sweepd = KillOnDrop(
+        sweepd
+            .args(FIGURES)
+            .arg("--results-dir")
+            .arg(&sweep_dir)
+            .args(["--lease-timeout", &LEASE_TIMEOUT_SECS.to_string()])
+            .arg("--no-spawn")
+            .env("IPCP_SCALE", SCALE)
+            .spawn()
+            .expect("cannot spawn sweepd"),
+    );
+
+    // sweep.json is written after the queue, so its presence means the
+    // lease directory is fully laid out.
+    let sweep_root = sweep_dir.join(".sweep");
+    wait_for(
+        "sweepd to lay out the lease directory",
+        Duration::from_secs(60),
+        || sweep_root.join("sweep.json").exists(),
+    );
+    let fabric = SweepDir::new(&sweep_root);
+    let meta = fabric.load_meta().expect("sweep meta must parse");
+    assert_eq!(meta.entries.len(), FIGURES.len());
+    let stall_lease = meta
+        .entries
+        .iter()
+        .find(|(_, figure)| figure == STALL_FIGURE)
+        .map(|(lease, _)| lease.clone())
+        .expect("the stall figure must be part of the sweep");
+
+    // The victim worker: claims leases in canonical order, finishes the
+    // first one, then claims the stall figure and wedges without
+    // heartbeating.
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_sweep-worker"));
+    clear_knobs(&mut victim);
+    let mut victim = KillOnDrop(
+        victim
+            .arg("--sweep-dir")
+            .arg(&sweep_root)
+            .args(["--worker-id", "victim"])
+            .env("IPCP_SWEEP_STALL_AFTER_CLAIM", STALL_FIGURE)
+            .spawn()
+            .expect("cannot spawn the victim worker"),
+    );
+    wait_for(
+        "the victim to claim the stall lease",
+        Duration::from_secs(240),
+        || {
+            fabric
+                .read_claim(&stall_lease)
+                .is_some_and(|c| c.worker == "victim")
+        },
+    );
+    // SIGKILL mid-shard: no cleanup, no heartbeat thread left behind.
+    victim.0.kill().expect("cannot kill the victim");
+    victim.0.wait().expect("cannot reap the victim");
+
+    // Two healthy peers finish the sweep; one of them takes the orphaned
+    // lease over once its claim goes stale.
+    let _workers: Vec<KillOnDrop> = ["w1", "w2"]
+        .iter()
+        .map(|id| {
+            let mut w = Command::new(env!("CARGO_BIN_EXE_sweep-worker"));
+            clear_knobs(&mut w);
+            KillOnDrop(
+                w.arg("--sweep-dir")
+                    .arg(&sweep_root)
+                    .args(["--worker-id", id])
+                    .spawn()
+                    .expect("cannot spawn a healthy worker"),
+            )
+        })
+        .collect();
+
+    // The coordinator exits zero once every lease's outcome is published
+    // and every experiment succeeded.
+    let status = wait_exit("sweepd to finish", &mut sweepd.0, Duration::from_secs(240));
+    assert!(status.success(), "sweepd failed: {status}");
+
+    // The schema-2 manifest must show the reassigned lease: same lease
+    // id, epoch > 1, owned by a worker that is not the dead one.
+    let manifest = std::fs::read_to_string(sweep_dir.join("manifest.json"))
+        .expect("the sweep must produce a manifest");
+    let manifest = JsonValue::parse(&manifest).expect("manifest must parse");
+    assert_eq!(manifest.get("schema").and_then(JsonValue::as_u64), Some(2));
+    let experiments = manifest
+        .get("experiments")
+        .and_then(JsonValue::as_array)
+        .expect("manifest carries an experiments array");
+    assert_eq!(experiments.len(), FIGURES.len());
+    let mut workers_seen = std::collections::BTreeSet::new();
+    let mut stalled_shard = None;
+    for e in experiments {
+        let name = e.get("name").and_then(JsonValue::as_str).expect("name");
+        assert_eq!(
+            e.get("ok").and_then(JsonValue::as_bool),
+            Some(true),
+            "{name} must succeed"
+        );
+        let shard = e.get("shard").expect("schema 2 carries shard provenance");
+        let worker = shard
+            .get("worker")
+            .and_then(JsonValue::as_str)
+            .expect("shard worker")
+            .to_string();
+        let epoch = shard
+            .get("epoch")
+            .and_then(JsonValue::as_u64)
+            .expect("shard epoch");
+        let lease = shard
+            .get("lease")
+            .and_then(JsonValue::as_str)
+            .expect("shard lease")
+            .to_string();
+        workers_seen.insert(worker.clone());
+        if name == STALL_FIGURE {
+            stalled_shard = Some((worker, epoch, lease));
+        }
+    }
+    let (worker, epoch, lease) = stalled_shard.expect("the stall figure is in the manifest");
+    assert_eq!(lease, stall_lease, "provenance names the original lease");
+    assert!(
+        epoch >= 2,
+        "a recovered lease shows a bumped epoch, got {epoch}"
+    );
+    assert_ne!(worker, "victim", "the dead worker cannot own the outcome");
+    assert!(
+        workers_seen.len() >= 2,
+        "the sweep must have been sharded across workers, saw {workers_seen:?}"
+    );
+
+    // Byte-identity: the distributed sweep and the serial run agree on
+    // every output file, byte for byte.
+    for figure in FIGURES {
+        for ext in [".txt", ".data.json"] {
+            let a = serial_dir.join(format!("{figure}{ext}"));
+            let b = sweep_dir.join(format!("{figure}{ext}"));
+            match (a.exists(), b.exists()) {
+                (false, false) => {}
+                (true, true) => {
+                    let (a, b) = (std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+                    assert!(
+                        a == b,
+                        "{figure}{ext} differs between serial and sweep runs"
+                    );
+                }
+                (sa, sb) => panic!("{figure}{ext}: serial={sa} sweep={sb}, want both or neither"),
+            }
+        }
+    }
+
+    // And the checker agrees end to end: schema, provenance, worker
+    // floor, byte comparison.
+    let mut validate = Command::new(env!("CARGO_BIN_EXE_validate_results"));
+    clear_knobs(&mut validate);
+    let status = validate
+        .arg("--results-dir")
+        .arg(&sweep_dir)
+        .arg("--compare")
+        .arg(&serial_dir)
+        .args(["--min-workers", "2"])
+        .args(FIGURES)
+        .status()
+        .expect("cannot run validate_results");
+    assert!(
+        status.success(),
+        "validate_results rejected the sweep: {status}"
+    );
+}
