@@ -18,7 +18,11 @@
 //! ```
 //!
 //! `--only` restricts the run to one bench (by the names above) — handy
-//! for profiling a single path or quick CI checks.
+//! for profiling a single path or quick CI checks. `--check` additionally
+//! fingerprints every iteration's full serialized reports (FNV-1a) and
+//! fails (exit 1) unless all iterations produced identical bytes — the CI
+//! smoke gate that the wakeup scheduler finishes and stays deterministic,
+//! with the timing itself staying non-gating.
 //!
 //! The measurement deliberately bypasses the simcache (it calls
 //! `run_single`/`System` directly): it times the simulator, not the
@@ -36,7 +40,9 @@ use std::time::Instant;
 
 use ipcp_bench::combos;
 use ipcp_bench::runner::RunScale;
+use ipcp_bench::store::fnv1a_64;
 use ipcp_sim::telemetry::JsonValue;
+use ipcp_sim::ToJson;
 use ipcp_sim::{run_single, CoreSetup, SimConfig, System};
 use ipcp_trace::TraceSource;
 use ipcp_workloads::{memory_intensive_suite, SynthTrace};
@@ -59,6 +65,7 @@ struct Opts {
     out: PathBuf,
     iters: u32,
     only: Option<String>,
+    check: bool,
     sweep_cold: Option<f64>,
     sweep_warm: Option<f64>,
 }
@@ -69,6 +76,7 @@ fn parse_opts() -> Opts {
         out: PathBuf::from("BENCH_perf.json"),
         iters: 3,
         only: None,
+        check: false,
         sweep_cold: None,
         sweep_warm: None,
     };
@@ -81,6 +89,7 @@ fn parse_opts() -> Opts {
         match arg.as_str() {
             "--label" => opts.label = value("--label"),
             "--only" => opts.only = Some(value("--only")),
+            "--check" => opts.check = true,
             "--out" => opts.out = PathBuf::from(value("--out")),
             "--iters" => {
                 opts.iters = value("--iters")
@@ -182,13 +191,17 @@ fn main() {
         .collect();
     let per_run = scale.warmup + scale.instructions;
 
-    // Each bench: (name, combos per trace, methodology note, runner).
+    // Each bench: (name, combos per trace, methodology note, runner). A
+    // runner returns an FNV-1a fingerprint over its serialized reports so
+    // `--check` can pin cross-iteration determinism; the serialization
+    // cost is once per iteration, noise next to the simulation itself.
     // Nominal work is every instruction the simulator retires toward its
     // target, warmup included (warmup simulates at full fidelity).
-    type BenchRun<'a> = Box<dyn Fn() + 'a>;
+    type BenchRun<'a> = Box<dyn Fn() -> u64 + 'a>;
     let single = |combo_list: &'static [&'static str]| -> BenchRun<'_> {
         let traces = &traces;
         Box::new(move || {
+            let mut fp = 0u64;
             for trace in traces {
                 for &combo in combo_list {
                     let cfg =
@@ -196,11 +209,14 @@ fn main() {
                     let c = combos::build(combo);
                     let report = run_single(cfg, trace.handle(), c.l1, c.l2, c.llc);
                     assert!(report.cycles > 0, "empty run for {combo}/{}", trace.name());
+                    fp ^=
+                        fnv1a_64(&report.to_json().to_pretty_string()).rotate_left(fp.count_ones());
                 }
             }
+            fp
         })
     };
-    let run_mix = |mix: &[SynthTrace]| {
+    let run_mix = |mix: &[SynthTrace]| -> u64 {
         let cfg = SimConfig::multicore(mix.len() as u32)
             .with_instructions(scale.warmup, scale.instructions);
         let setups = mix
@@ -217,6 +233,7 @@ fn main() {
         let mut sys = System::new(cfg, setups, combos::build("ipcp").llc);
         let report = sys.run();
         assert!(report.cycles > 0, "empty multicore mix run");
+        fnv1a_64(&report.to_json().to_pretty_string())
     };
     let benches: Vec<(&str, u64, String, BenchRun)> = vec![
         (
@@ -258,9 +275,10 @@ fn main() {
             continue;
         }
         let mut best = f64::INFINITY;
+        let mut first_fp: Option<u64> = None;
         for iter in 0..opts.iters {
             let started = Instant::now();
-            run();
+            let fp = run();
             let wall = started.elapsed().as_secs_f64();
             best = best.min(wall);
             eprintln!(
@@ -268,6 +286,26 @@ fn main() {
                 iter + 1,
                 opts.iters,
                 *nominal as f64 / wall
+            );
+            if opts.check {
+                match first_fp {
+                    None => first_fp = Some(fp),
+                    Some(expect) if expect == fp => {}
+                    Some(expect) => {
+                        eprintln!(
+                            "perf_smoke: {bench} fingerprint mismatch on iter {}: \
+                             {fp:#018x} != {expect:#018x} — nondeterministic reports",
+                            iter + 1,
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        if let Some(fp) = first_fp {
+            println!(
+                "{bench}: fingerprint {fp:#018x} identical across {} iteration(s)",
+                opts.iters
             );
         }
         let entry = JsonValue::obj()

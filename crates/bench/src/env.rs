@@ -81,6 +81,10 @@ pub const KNOBS: &[Knob] = &[
         name: "IPCP_NO_FASTPATH",
         summary: "boolean: run on the naive (oracle) paths with every exact-behavior fast path disabled",
     },
+    Knob {
+        name: "IPCP_SCHED_STATS",
+        summary: "boolean: export wakeup-scheduler counters (wakeups fired, executed/skipped cycles, heap peak) into report JSON as a \"sched\" object — changes report bytes, so leave unset for golden/oracle comparisons",
+    },
 ];
 
 /// A set-but-malformed environment value: which knob, what it held, and
@@ -252,6 +256,18 @@ pub fn no_fastpath() -> Result<bool, EnvError> {
     )
 }
 
+/// `IPCP_SCHED_STATS`: whether simulator reports carry wakeup-scheduler
+/// observability counters (the `System` reads the variable itself at
+/// construction with the same boolean grammar; this accessor exists so
+/// bench-layer tooling can gate aggregation and validation on it).
+pub fn sched_stats() -> Result<bool, EnvError> {
+    parse_bool(
+        "IPCP_SCHED_STATS",
+        raw("IPCP_SCHED_STATS")?.as_deref(),
+        false,
+    )
+}
+
 /// Renders the knob catalogue with current values — the body of
 /// `experiments --list-env`.
 pub fn render_catalogue() -> String {
@@ -335,6 +351,7 @@ mod tests {
             "IPCP_MIXES",
             "IPCP_INTERVAL",
             "IPCP_NO_FASTPATH",
+            "IPCP_SCHED_STATS",
         ] {
             assert!(names.contains(&expected), "catalogue missing {expected}");
         }

@@ -443,6 +443,18 @@ struct SeriesEntry {
     samples: Arc<[ipcp_sim::telemetry::Sample]>,
 }
 
+/// Aggregate of the wakeup-scheduler counters over every report attached
+/// to an experiment (non-empty only when `IPCP_SCHED_STATS` was set for
+/// the runs). Sums are totals across runs; `heap_peak` is the maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct SchedAgg {
+    runs: u64,
+    wakeups_fired: u64,
+    executed_cycles: u64,
+    skipped_cycles: u64,
+    heap_peak: u64,
+}
+
 /// One figure/table experiment: owns the run scale, the baseline cache,
 /// and the ordered output (tables and notes), and renders everything on
 /// [`Experiment::finish`]. See the module docs for the three output forms.
@@ -455,6 +467,7 @@ pub struct Experiment {
     baselines: BaselineCache,
     items: Vec<Item>,
     series: Vec<SeriesEntry>,
+    sched: SchedAgg,
 }
 
 impl Experiment {
@@ -486,6 +499,7 @@ impl Experiment {
             baselines: BaselineCache::new(),
             items: Vec::new(),
             series: Vec::new(),
+            sched: SchedAgg::default(),
         }
     }
 
@@ -560,6 +574,16 @@ impl Experiment {
     /// automatically; use this for reports produced by hand-rolled
     /// [`ipcp_sim::System`] setups.
     pub fn attach_series(&mut self, label: impl Into<String>, report: &SimReport) {
+        // Scheduler observability rides along with series attachment: every
+        // run helper funnels its report through here, so a sidecar's
+        // `sched` block covers the same runs its tables do.
+        if let Some(st) = report.sched {
+            self.sched.runs += 1;
+            self.sched.wakeups_fired += st.wakeups_fired;
+            self.sched.executed_cycles += st.executed_cycles;
+            self.sched.skipped_cycles += st.skipped_cycles;
+            self.sched.heap_peak = self.sched.heap_peak.max(st.heap_peak);
+        }
         if !report.samples.is_empty() {
             self.series.push(SeriesEntry {
                 label: label.into(),
@@ -723,6 +747,19 @@ impl Experiment {
                         })
                         .collect(),
                 ),
+            );
+        }
+        // Present only when the runs carried scheduler counters
+        // (`IPCP_SCHED_STATS`): default sidecars stay byte-identical.
+        if self.sched.runs > 0 {
+            v.insert(
+                "sched",
+                JsonValue::obj()
+                    .set("runs", self.sched.runs)
+                    .set("wakeups_fired", self.sched.wakeups_fired)
+                    .set("executed_cycles", self.sched.executed_cycles)
+                    .set("skipped_cycles", self.sched.skipped_cycles)
+                    .set("heap_peak", self.sched.heap_peak),
             );
         }
         v

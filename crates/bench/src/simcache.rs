@@ -223,7 +223,18 @@ impl SimCache {
 
     /// [`Self::store_doc`] from a typed report.
     fn store_report(&self, path: &Path, key: &str, report: &SimReport) -> std::io::Result<()> {
-        self.store_doc(path, key, &report.to_json())
+        // Cache entries are canonical: wakeup-scheduler observability
+        // counters (`IPCP_SCHED_STATS`) are per-run diagnostics that no
+        // part of the content key captures, so they are stripped before
+        // publish — a warm hit replays the same bytes whether or not the
+        // knob was set when the entry was produced.
+        if report.sched.is_some() {
+            let mut canonical = report.clone();
+            canonical.sched = None;
+            self.store_doc(path, key, &canonical.to_json())
+        } else {
+            self.store_doc(path, key, &report.to_json())
+        }
     }
 }
 

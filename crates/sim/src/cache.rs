@@ -474,6 +474,12 @@ impl Cache {
         (self.next_fill != FILL_UNKNOWN).then_some(self.next_fill)
     }
 
+    /// The cached fill-heap minimum, `FILL_UNKNOWN` when nothing is
+    /// outstanding. The wakeup scheduler registers this in its calendar.
+    pub fn next_fill_raw(&self) -> Cycle {
+        self.next_fill
+    }
+
     /// True when a scheduled fill is due at or before `now`. One compare on
     /// the cached minimum — the scheduler's per-cycle gate.
     pub fn fill_due(&self, now: Cycle) -> bool {

@@ -40,6 +40,7 @@ pub mod config;
 pub mod dram;
 pub mod prefetch;
 pub mod replacement;
+pub mod sched;
 pub mod stats;
 pub mod system;
 pub mod telemetry;
@@ -50,6 +51,7 @@ pub use check::{CheckHandle, CheckedPrefetcher};
 pub use config::{
     CacheConfig, CoreConfig, Cycle, DramConfig, ReplacementKind, SimConfig, TlbConfig,
 };
+pub use sched::SchedStats;
 pub use stats::{CacheStats, CoreReport, CoreStats, DramStats, SimReport, TlbStats};
 pub use system::{run_single, weighted_speedup, CoreSetup, System};
 pub use telemetry::{FromJson, JsonValue, Sample, Sampler, ToJson};

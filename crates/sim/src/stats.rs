@@ -268,6 +268,11 @@ pub struct SimReport {
     /// so cloning a report (or attaching its series to a figure sidecar)
     /// never copies samples.
     pub samples: std::sync::Arc<[crate::telemetry::Sample]>,
+    /// Wakeup-scheduler observability counters (`None` unless the
+    /// `IPCP_SCHED_STATS` knob is set *and* the fast scheduler ran — see
+    /// [`crate::sched::SchedStats`]). Absent from the serialized report
+    /// when `None`, so figure outputs stay byte-identical by default.
+    pub sched: Option<crate::sched::SchedStats>,
 }
 
 impl SimReport {

@@ -41,6 +41,7 @@ use crate::prefetch::{
     AccessInfo, DemandKind, FillInfo, FillLevel, MetadataArrival, PrefetchRequest, Prefetcher,
     VecSink,
 };
+use crate::sched::{self, Calendar, SchedStats};
 use crate::stats::{CoreReport, CoreStats, SimReport};
 use crate::telemetry::{Occupancy, Sampler, Snapshot};
 use crate::tlb::Tlb;
@@ -269,6 +270,44 @@ pub struct System {
     /// the duration of each call so its buffer capacity is reused across
     /// the millions of hook invocations per run.
     pf_scratch: VecSink,
+    /// Wakeup-driven scheduler enabled (fixed at construction): requires
+    /// the component set to fit the `u64` due-mask and stands down
+    /// entirely under `no_fastpath`, so the PR 5 oracle compares against
+    /// the exhaustive polling walk. See `crate::sched` and DESIGN.md §10.
+    fast: bool,
+    /// Central wakeup calendar over the fill components (LLC plus
+    /// per-core L2/L1D/L1I fill heaps).
+    cal: Calendar,
+    /// Bitmask of possibly-non-empty prefetch queues (bit layout in
+    /// `crate::sched`). Every enqueue site sets its bit, so a clear bit
+    /// proves an empty queue; a stale set bit (queue drained empty) is
+    /// cleared by the next drain pass at no behavioral cost.
+    pq_active: u64,
+    /// Per-core earliest cycle the core can possibly act (`0` = hot:
+    /// touched every executed cycle). Recomputed at the end of each
+    /// touch; exact because only the core's own retire/issue/fetch
+    /// mutate its wake inputs (pending queue, resolved ROB completions,
+    /// fetch stall, ROB occupancy).
+    wake_at: Vec<Cycle>,
+    /// Per-core executed-cycle count through which `stall_cycles` is
+    /// settled — lazy stall accounting for cycles where the core was
+    /// skipped (a skipped core retires nothing, so each skipped executed
+    /// cycle is exactly one stall cycle).
+    last_touch: Vec<u64>,
+    /// Cores still short of `warmup_instructions`; warm-up ends when 0.
+    warm_pending: usize,
+    /// Cores whose `finished` snapshot has been taken.
+    finished_count: usize,
+    /// Core-0 `retired_total` at which the next interval sample is due
+    /// (`u64::MAX` when sampling is off): the per-cycle sampler check is
+    /// one integer compare instead of a `Sampler::due` call.
+    sample_due_abs: u64,
+    /// Scheduler observability counters (`heap_peak` is folded in at
+    /// report time). Maintained unconditionally on the fast path —
+    /// plain integer adds — and exported only when `sched_stats_export`.
+    sstats: SchedStats,
+    /// `IPCP_SCHED_STATS` was set at construction.
+    sched_stats_export: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -338,6 +377,15 @@ impl System {
                 .iter()
                 .any(|c: &Core| c.l1d_pf.uses_cycle_hook() || c.l2_pf.uses_cycle_hook());
         let llc_pf_noop = llc_prefetcher.is_noop();
+        let fast = !cfg.no_fastpath && cores.len() <= sched::MAX_FAST_CORES;
+        let warm_pending = if cfg.warmup_instructions > 0 {
+            cores.len()
+        } else {
+            0
+        };
+        let cal = Calendar::new(3 * cores.len() + 1);
+        let wake_at = vec![0; cores.len()];
+        let last_touch = vec![0; cores.len()];
         Self {
             cfg,
             now: 0,
@@ -352,6 +400,16 @@ impl System {
             cycle_hooks,
             llc_pf_noop,
             pf_scratch: VecSink::new(),
+            fast,
+            cal,
+            pq_active: 0,
+            wake_at,
+            last_touch,
+            warm_pending,
+            finished_count: 0,
+            sample_due_abs: u64::MAX,
+            sstats: SchedStats::default(),
+            sched_stats_export: sched_stats_enabled(),
         }
     }
 
@@ -362,6 +420,20 @@ impl System {
     /// Panics if the system deadlocks (no retirement for an implausibly long
     /// stretch) — that indicates a simulator bug, not a workload property.
     pub fn run(&mut self) -> SimReport {
+        if self.fast {
+            self.run_fast();
+        } else {
+            self.run_naive();
+        }
+        self.report()
+    }
+
+    /// The exhaustive polling walk: every iteration runs [`Self::cycle`],
+    /// which probes every component's gate, and idle jumps rescan every
+    /// core in [`Self::next_event_time`]. This is the oracle reference the
+    /// wakeup scheduler is byte-compared against (`IPCP_NO_FASTPATH`), and
+    /// the fallback for core counts past `sched::MAX_FAST_CORES`.
+    fn run_naive(&mut self) {
         loop {
             let activity = self.cycle();
             if !self.warmed_up
@@ -391,7 +463,258 @@ impl System {
                 self.now
             );
         }
-        self.report()
+    }
+
+    /// The wakeup-driven loop. Identical iteration structure to
+    /// [`Self::run_naive`] — same executed-cycle sequence, same idle
+    /// jumps, same warm-up/sample/finish decision points — but each
+    /// per-cycle check is O(1) against cached state (due-wakeup mask,
+    /// PQ bitmask, per-core wake cycles, retirement-count thresholds)
+    /// instead of a walk over every component.
+    fn run_fast(&mut self) {
+        loop {
+            let activity = self.cycle_fast();
+            if !self.warmed_up && self.warm_pending == 0 {
+                self.finish_warmup();
+            }
+            if self.warmed_up {
+                if self
+                    .cores
+                    .first()
+                    .is_some_and(|c| c.retired_total >= self.sample_due_abs)
+                {
+                    self.maybe_sample();
+                    self.recompute_sample_due();
+                }
+                if self.finished_count == self.cores.len() {
+                    break;
+                }
+            }
+            if activity {
+                self.now += 1;
+            } else {
+                let next = self.jump_target();
+                self.sstats.skipped_cycles += next - self.now - 1;
+                self.now = next;
+            }
+            assert!(
+                self.now - self.last_retire_cycle < WATCHDOG_CYCLES,
+                "simulator deadlock: no retirement since cycle {} (now {})",
+                self.last_retire_cycle,
+                self.now
+            );
+        }
+    }
+
+    /// One simulated cycle on the wakeup path. Touches only components
+    /// whose wakeup is due: fill heaps via the calendar's due set, PQ
+    /// drains via the active-queue bitmask, cores via their wake cycle.
+    /// Skipping is behavior-neutral because each skipped call would have
+    /// fallen through its own gate (see DESIGN.md §10 for the argument
+    /// per component class).
+    fn cycle_fast(&mut self) -> bool {
+        let now = self.now;
+        let mut activity = false;
+
+        // Fill wakeups due this cycle, drained into a component bitmask
+        // (ascending component id reproduces the polling walk's order:
+        // LLC first, then per-core L2, L1D, L1I).
+        let mut due = 0u64;
+        while let Some(id) = self.cal.pop_due(now) {
+            due |= 1u64 << id;
+            self.sstats.wakeups_fired += 1;
+        }
+        if due != 0 {
+            activity |= self.process_due_fills(due);
+        }
+
+        // PQ drains. The snapshot makes mid-phase enqueues wait for the
+        // next executed cycle, exactly like the polling walk's one-pass
+        // `pq_len()` checks (the only mid-phase enqueue source, L1-drain
+        // metadata arrival, targets the same core's L2 — a queue whose
+        // check has already passed in either scheme).
+        if self.pq_active != 0 {
+            let mut bits = self.pq_active;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                if b == sched::PQ_LLC {
+                    activity |= self.drain_llc_pq();
+                    if self.llc.pq_len() == 0 {
+                        self.pq_active &= !(1u64 << b);
+                    }
+                } else {
+                    let ci = ((b - 1) / 2) as usize;
+                    if (b - 1).is_multiple_of(2) {
+                        activity |= self.drain_l2_pq(ci);
+                        if self.cores[ci].l2.pq_len() == 0 {
+                            self.pq_active &= !(1u64 << b);
+                        }
+                    } else {
+                        activity |= self.drain_l1_pq(ci);
+                        if self.cores[ci].l1d.pq_len() == 0 {
+                            self.pq_active &= !(1u64 << b);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cores, gated on their wake cycle. A skipped core would have
+        // retired nothing (head completion unresolved or future), issued
+        // nothing (pending empty), and fetched nothing (stalled or ROB
+        // full) — and none of its wake inputs can change while skipped,
+        // so freezing it is exact. Stall cycles for the skipped stretch
+        // are settled lazily at the next touch.
+        for ci in 0..self.cores.len() {
+            if self.wake_at[ci] > now {
+                continue;
+            }
+            let missed = self.sstats.executed_cycles - self.last_touch[ci];
+            self.cores[ci].stall_cycles += missed;
+            self.last_touch[ci] = self.sstats.executed_cycles + 1;
+            let retired = self.retire(ci);
+            if retired == 0 {
+                self.cores[ci].stall_cycles += 1;
+            } else {
+                activity = true;
+                self.last_retire_cycle = now;
+            }
+            if !self.cores[ci].pending.is_empty() {
+                activity |= self.issue(ci) > 0;
+            }
+            activity |= self.fetch(ci) > 0;
+            self.wake_at[ci] = self.core_wake(ci);
+        }
+
+        self.run_on_cycle_hooks();
+        self.sstats.executed_cycles += 1;
+        activity
+    }
+
+    /// Dispatches due fill wakeups in ascending component order and
+    /// re-arms each processed component from its post-drain heap minimum
+    /// (the re-arm half of the wakeup contract: whoever pops fills must
+    /// re-register the remainder).
+    fn process_due_fills(&mut self, mut due: u64) -> bool {
+        let mut any = false;
+        while due != 0 {
+            let id = due.trailing_zeros();
+            due &= due - 1;
+            if id == sched::COMP_LLC {
+                any |= self.fill_llc();
+                let nf = self.llc.next_fill_raw();
+                self.cal.note(sched::COMP_LLC, nf);
+            } else {
+                let ci = ((id - 1) / 3) as usize;
+                match (id - 1) % 3 {
+                    0 => {
+                        any |= self.fill_l2(ci);
+                        let nf = self.cores[ci].l2.next_fill_raw();
+                        self.cal.note(id, nf);
+                    }
+                    1 => {
+                        any |= self.fill_l1d(ci);
+                        let nf = self.cores[ci].l1d.next_fill_raw();
+                        self.cal.note(id, nf);
+                    }
+                    _ => {
+                        any |= self.fill_l1i(ci);
+                        let nf = self.cores[ci].l1i.next_fill_raw();
+                        self.cal.note(id, nf);
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// The earliest cycle core `ci` can possibly act, evaluated after a
+    /// touch (`0` = hot). Exact: while the core is skipped nothing can
+    /// move any of these inputs earlier — fills resolve future demand
+    /// latencies but never rewrite an already-resolved ROB completion,
+    /// and `pending`/`fetch_stall_until`/ROB occupancy are written only
+    /// by the core's own retire/issue/fetch.
+    fn core_wake(&self, ci: usize) -> Cycle {
+        let core = &self.cores[ci];
+        // An unissued memory op keeps the core hot: issue retries consume
+        // L1D ports and touch the TLB every executed cycle.
+        if !core.pending.is_empty() {
+            return 0;
+        }
+        let now = self.now;
+        let mut wake = Cycle::MAX;
+        if let Some(c) = core.rob.head_completion() {
+            if c == FILL_UNKNOWN {
+                // Unreachable when `pending` is empty (every entry not in
+                // `pending` has a resolved completion) — stay hot rather
+                // than risk a missed retirement.
+                return 0;
+            }
+            wake = wake.min(c.max(now + 1));
+        }
+        if !core.rob.is_full() {
+            // Fetch runs (and always makes progress — traces replay) as
+            // soon as the stall lifts.
+            wake = wake.min(core.fetch_stall_until.max(now + 1));
+        }
+        // A full ROB with a resolved head always yields a finite wake; an
+        // empty ROB is never full, so the fetch term applies. Either way
+        // `wake` is finite here.
+        wake
+    }
+
+    /// Fast-path idle jump: same candidate set and filters as
+    /// [`Self::next_event_time`] (fill minima — via the calendar — plus
+    /// ROB-head completions and pending fetch stalls), collapsed to the
+    /// polling walk's `unwrap_or(now + 1).max(now + 1)` advance rule.
+    fn jump_target(&mut self) -> Cycle {
+        let now = self.now;
+        let mut t: Option<Cycle> = self.cal.peek_min();
+        let mut consider = |c: Cycle| {
+            if c != FILL_UNKNOWN && c > 0 {
+                t = Some(t.map_or(c, |x: Cycle| x.min(c)));
+            }
+        };
+        for core in &self.cores {
+            if let Some(c) = core.rob.head_completion() {
+                consider(c);
+            }
+            if core.fetch_stall_until > now {
+                consider(core.fetch_stall_until);
+            }
+        }
+        match t {
+            Some(c) if c > now => c,
+            _ => now + 1,
+        }
+    }
+
+    /// Re-caches the absolute core-0 retirement count of the next due
+    /// sample (the satellite `maybe_sample` fast path).
+    fn recompute_sample_due(&mut self) {
+        self.sample_due_abs = match (&self.sampler, self.cores.first()) {
+            (Some(s), Some(c0)) => c0.measure_start_instr.saturating_add(s.next_due()),
+            _ => u64::MAX,
+        };
+    }
+
+    /// Registers a fill component's heap minimum in the calendar (no-op
+    /// on the polling path, which rescans heaps directly).
+    #[inline]
+    fn arm_fill(&mut self, id: u32, t: Cycle) {
+        if self.fast {
+            self.cal.note(id, t);
+        }
+    }
+
+    /// Marks a prefetch queue as possibly non-empty (no-op on the polling
+    /// path, whose drain phase checks `pq_len` directly).
+    #[inline]
+    fn mark_pq(&mut self, bit: u32) {
+        if self.fast {
+            self.pq_active |= 1u64 << bit;
+        }
     }
 
     fn finish_warmup(&mut self) {
@@ -411,6 +734,16 @@ impl System {
         if let Some(s) = &mut self.sampler {
             s.reset_baseline();
         }
+        // Fast-scheduler bookkeeping across the measurement boundary:
+        // stall accounting restarts from zero (already settled through the
+        // reset above), and every core is forced hot for one cycle so the
+        // post-warm-up `finished` check runs even if `sim_instructions`
+        // needs no further retirement. Harmless on the polling path.
+        for ci in 0..self.cores.len() {
+            self.last_touch[ci] = self.sstats.executed_cycles;
+            self.wake_at[ci] = 0;
+        }
+        self.recompute_sample_due();
     }
 
     /// Records an interval sample when core 0's measured instruction count
@@ -480,6 +813,11 @@ impl System {
                 .sampler
                 .as_ref()
                 .map_or_else(Default::default, |s| s.samples().into()),
+            sched: (self.fast && self.sched_stats_export).then(|| {
+                let mut st = self.sstats;
+                st.heap_peak = self.cal.heap_peak();
+                st
+            }),
         }
     }
 
@@ -586,6 +924,7 @@ impl System {
         let now = self.now;
         let width = self.cfg.core.retire_width;
         let core = &mut self.cores[ci];
+        let before = core.retired_total;
         let mut n = 0;
         while n < width {
             match core.rob.head_completion() {
@@ -597,6 +936,14 @@ impl System {
                 _ => break,
             }
         }
+        // Count-maintained replacements for the run loop's per-cycle
+        // all-cores scans: a core crosses the warm-up threshold at most
+        // once, and `finished` is set at most once.
+        if before < self.cfg.warmup_instructions
+            && core.retired_total >= self.cfg.warmup_instructions
+        {
+            self.warm_pending -= 1;
+        }
         if self.warmed_up && core.finished.is_none() {
             let measured = core.retired_total - core.measure_start_instr;
             if measured >= self.cfg.sim_instructions {
@@ -605,6 +952,7 @@ impl System {
                     cycles: now - core.measure_start_cycle,
                     stall_cycles: core.stall_cycles,
                 });
+                self.finished_count += 1;
             }
         }
         n
@@ -746,6 +1094,8 @@ impl System {
                     ip,
                 });
                 core.fetch_stall_until = fill_at;
+                let nf = core.l1i.next_fill_raw();
+                self.arm_fill(sched::comp_l1i(ci), nf);
                 true
             }
         }
@@ -820,6 +1170,8 @@ impl System {
                     dirty: store,
                     ip,
                 });
+                let nf = core.l1d.next_fill_raw();
+                self.arm_fill(sched::comp_l1d(ci), nf);
                 self.run_l1d_prefetcher(ci, vline, pline, ip, kind, false, false, 0);
                 Some(fill_at)
             }
@@ -870,6 +1222,8 @@ impl System {
                     dirty: false,
                     ip,
                 });
+                let nf = core.l2.next_fill_raw();
+                self.arm_fill(sched::comp_l2(ci), nf);
                 self.run_l2_prefetcher_access(ci, pline, ip, kind, false, false, 0);
                 Some(fill_at)
             }
@@ -918,6 +1272,8 @@ impl System {
                     dirty: false,
                     ip,
                 });
+                let nf = self.llc.next_fill_raw();
+                self.arm_fill(sched::COMP_LLC, nf);
                 self.run_llc_prefetcher_access(ci, pline, ip, kind, false, false, 0);
                 Some(done)
             }
@@ -963,6 +1319,8 @@ impl System {
                                     dirty: false,
                                     ip: qp.ip,
                                 });
+                                let nf = core.l1d.next_fill_raw();
+                                self.arm_fill(sched::comp_l1d(ci), nf);
                             }
                             None => {
                                 self.cores[ci].l1d.stats.pf_dropped_mshr_full += 1;
@@ -1022,6 +1380,8 @@ impl System {
                     dirty: false,
                     ip: qp.ip,
                 });
+                let nf = self.cores[ci].l2.next_fill_raw();
+                self.arm_fill(sched::comp_l2(ci), nf);
                 Some(fill_at)
             }
         }
@@ -1049,6 +1409,8 @@ impl System {
                     dirty: false,
                     ip,
                 });
+                let nf = self.llc.next_fill_raw();
+                self.arm_fill(sched::COMP_LLC, nf);
                 Some(done)
             }
         }
@@ -1102,6 +1464,8 @@ impl System {
                                     dirty: false,
                                     ip: qp.ip,
                                 });
+                                let nf = self.cores[ci].l2.next_fill_raw();
+                                self.arm_fill(sched::comp_l2(ci), nf);
                             }
                             None => {
                                 self.cores[ci].l2.stats.pf_dropped_mshr_full += 1;
@@ -1141,6 +1505,8 @@ impl System {
                         dirty: false,
                         ip: qp.ip,
                     });
+                    let nf = self.llc.next_fill_raw();
+                    self.arm_fill(sched::COMP_LLC, nf);
                     any = true;
                 }
             }
@@ -1332,6 +1698,7 @@ impl System {
             return;
         }
         core.l1d.enqueue_prefetch(QueuedPrefetch { req, pline, ip });
+        self.mark_pq(sched::pq_l1d(ci));
     }
 
     fn enqueue_l2_request(&mut self, ci: usize, req: PrefetchRequest, ip: Ip) {
@@ -1359,6 +1726,7 @@ impl System {
             return;
         }
         core.l2.enqueue_prefetch(QueuedPrefetch { req, pline, ip });
+        self.mark_pq(sched::pq_l2(ci));
     }
 
     fn enqueue_llc_request(&mut self, req: PrefetchRequest, ip: Ip) {
@@ -1368,6 +1736,7 @@ impl System {
             pline: req.line,
             ip,
         });
+        self.mark_pq(sched::PQ_LLC);
     }
 
     // ------------------------------------------------------------------
@@ -1375,10 +1744,21 @@ impl System {
     // ------------------------------------------------------------------
 
     fn process_fills(&mut self) -> bool {
-        let now = self.now;
         let mut any = false;
         // LLC first, then private levels (order is immaterial: fill times
         // were staggered when the MSHRs were allocated).
+        any |= self.fill_llc();
+        for ci in 0..self.cores.len() {
+            any |= self.fill_l2(ci);
+            any |= self.fill_l1d(ci);
+            any |= self.fill_l1i(ci);
+        }
+        any
+    }
+
+    fn fill_llc(&mut self) -> bool {
+        let now = self.now;
+        let mut any = false;
         while let Some(m) = self.llc.pop_ready_fill(now) {
             any = true;
             let evicted = self
@@ -1392,47 +1772,62 @@ impl System {
             }
             self.llc_pf.on_fill(&fill_info(now, &m, evicted));
         }
-        for ci in 0..self.cores.len() {
-            while let Some(m) = self.cores[ci].l2.pop_ready_fill(now) {
-                any = true;
-                let evicted =
-                    self.cores[ci]
-                        .l2
-                        .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
-                if let Some(ev) = evicted {
-                    if ev.dirty {
-                        self.cores[ci].l2.stats.writebacks += 1;
-                        if !self.llc.writeback_hit(ev.line) {
-                            self.dram.schedule_write(now, ev.line);
-                        }
+        any
+    }
+
+    fn fill_l2(&mut self, ci: usize) -> bool {
+        let now = self.now;
+        let mut any = false;
+        while let Some(m) = self.cores[ci].l2.pop_ready_fill(now) {
+            any = true;
+            let evicted =
+                self.cores[ci]
+                    .l2
+                    .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+            if let Some(ev) = evicted {
+                if ev.dirty {
+                    self.cores[ci].l2.stats.writebacks += 1;
+                    if !self.llc.writeback_hit(ev.line) {
+                        self.dram.schedule_write(now, ev.line);
                     }
                 }
-                let info = fill_info(now, &m, evicted);
-                self.cores[ci].l2_pf.on_fill(&info);
             }
-            while let Some(m) = self.cores[ci].l1d.pop_ready_fill(now) {
-                any = true;
-                let evicted =
-                    self.cores[ci]
-                        .l1d
-                        .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
-                if let Some(ev) = evicted {
-                    if ev.dirty {
-                        self.cores[ci].l1d.stats.writebacks += 1;
-                        if !self.cores[ci].l2.writeback_hit(ev.line)
-                            && !self.llc.writeback_hit(ev.line)
-                        {
-                            self.dram.schedule_write(now, ev.line);
-                        }
+            let info = fill_info(now, &m, evicted);
+            self.cores[ci].l2_pf.on_fill(&info);
+        }
+        any
+    }
+
+    fn fill_l1d(&mut self, ci: usize) -> bool {
+        let now = self.now;
+        let mut any = false;
+        while let Some(m) = self.cores[ci].l1d.pop_ready_fill(now) {
+            any = true;
+            let evicted =
+                self.cores[ci]
+                    .l1d
+                    .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+            if let Some(ev) = evicted {
+                if ev.dirty {
+                    self.cores[ci].l1d.stats.writebacks += 1;
+                    if !self.cores[ci].l2.writeback_hit(ev.line) && !self.llc.writeback_hit(ev.line)
+                    {
+                        self.dram.schedule_write(now, ev.line);
                     }
                 }
-                let info = fill_info(now, &m, evicted);
-                self.cores[ci].l1d_pf.on_fill(&info);
             }
-            while let Some(m) = self.cores[ci].l1i.pop_ready_fill(now) {
-                any = true;
-                let _ = self.cores[ci].l1i.install(m.line, m.ip, false, 0, false);
-            }
+            let info = fill_info(now, &m, evicted);
+            self.cores[ci].l1d_pf.on_fill(&info);
+        }
+        any
+    }
+
+    fn fill_l1i(&mut self, ci: usize) -> bool {
+        let now = self.now;
+        let mut any = false;
+        while let Some(m) = self.cores[ci].l1i.pop_ready_fill(now) {
+            any = true;
+            let _ = self.cores[ci].l1i.install(m.line, m.ip, false, 0, false);
         }
         any
     }
@@ -1452,6 +1847,18 @@ fn fill_info(now: Cycle, m: &Mshr, evicted: Option<crate::cache::Evicted>) -> Fi
         evicted: evicted.map(|e| e.line),
         evicted_unused_prefetch: evicted.is_some_and(|e| e.unused_prefetch),
     }
+}
+
+/// `IPCP_SCHED_STATS` with the env catalogue's boolean semantics (empty,
+/// `0`, `false`, `off`, `no` mean disabled), read once at construction
+/// like `IPCP_DEBUG_PF`.
+fn sched_stats_enabled() -> bool {
+    std::env::var("IPCP_SCHED_STATS").is_ok_and(|v| {
+        !matches!(
+            v.trim().to_ascii_lowercase().as_str(),
+            "" | "0" | "false" | "off" | "no"
+        )
+    })
 }
 
 /// Combines a physical frame number with the in-page line offset of `vline`.

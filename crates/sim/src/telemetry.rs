@@ -677,6 +677,12 @@ impl ToJson for SimReport {
                 JsonValue::Arr(self.samples.iter().map(ToJson::to_json).collect()),
             );
         }
+        // Scheduler counters are present only when observability was
+        // explicitly requested (`IPCP_SCHED_STATS`): the default document
+        // is byte-identical to the pre-scheduler schema.
+        if let Some(sched) = self.sched {
+            v.insert("sched", sched.to_json());
+        }
         v
     }
 }
@@ -861,12 +867,18 @@ impl FromJson for SimReport {
                 .collect::<Result<Vec<_>, _>>()?
                 .into(),
         };
+        // `sched` is absent unless scheduler observability was enabled.
+        let sched = match v.get("sched") {
+            None => None,
+            Some(s) => Some(crate::sched::SchedStats::from_json(s)?),
+        };
         Ok(Self {
             cores,
             llc: CacheStats::from_json(field(v, "llc")?)?,
             dram: DramStats::from_json(field(v, "dram")?)?,
             cycles: u64_field(v, "cycles")?,
             samples,
+            sched,
         })
     }
 }
@@ -987,6 +999,13 @@ impl Sampler {
     /// True once the instruction clock has reached the next sample point.
     pub fn due(&self, instructions: u64) -> bool {
         instructions >= self.next_at
+    }
+
+    /// The next marker (measured-instruction count) at which a sample is
+    /// due. The wakeup scheduler caches this so its per-burst check is a
+    /// single integer compare instead of a `due` call per cycle.
+    pub fn next_due(&self) -> u64 {
+        self.next_at
     }
 
     /// Re-arms after warm-up: counters were just reset, so the baseline is

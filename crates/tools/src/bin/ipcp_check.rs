@@ -11,9 +11,12 @@
 //! 3. **Oracle byte-compare**: each combo × replacement policy × trace is
 //!    run twice — once on the optimized fast paths, once with
 //!    `SimConfig::without_fastpaths` (no repeat-hit memo, no way
-//!    predictor, boxed replacement dispatch, no TLB memos) — and the two
-//!    serialized reports (including interval samples) must be
-//!    byte-identical.
+//!    predictor, boxed replacement dispatch, no TLB memos, exhaustive
+//!    polling instead of the wakeup scheduler) — and the two serialized
+//!    reports (including interval samples) must be byte-identical. The
+//!    sweep covers single-core runs and 4-core `mc_mix`-shaped mixes
+//!    built from the fuzz corpus, so the scheduler's shared-LLC and
+//!    multi-core wakeup interleavings are under the same oracle.
 //!
 //! ```text
 //! ipcp_check [--seeds N] [--combos a,b] [--skip-storage] [--skip-invariants]
@@ -30,7 +33,7 @@ use ipcp_bench::combos;
 use ipcp_bench::runner::RunScale;
 use ipcp_sim::prefetch::{NoPrefetcher, Prefetcher};
 use ipcp_sim::telemetry::ToJson;
-use ipcp_sim::{run_single, CheckedPrefetcher, ReplacementKind, SimConfig};
+use ipcp_sim::{run_single, CheckedPrefetcher, CoreSetup, ReplacementKind, SimConfig, System};
 use ipcp_tools::Args;
 use ipcp_trace::TraceSource;
 use ipcp_workloads::fuzz;
@@ -185,6 +188,67 @@ fn oracle_sweep(cfg: &SimConfig, combo_names: &[String], seeds: u64) -> u32 {
     failures
 }
 
+/// Byte-compares optimized vs naive 4-core mix runs. Mixes are rotations
+/// of the adversarial fuzz corpus, shaped like the `mc_mix` benchmark:
+/// four cores with private IPCP L1/L2 prefetchers contending on a shared
+/// LLC. This is the configuration where the wakeup scheduler has the most
+/// interleaving freedom, so it gets its own oracle.
+fn mc_oracle_sweep(cfg: &SimConfig, seeds: u64) -> u32 {
+    const MIX_CORES: usize = 4;
+    let traces = fuzz::corpus(0xc0ffee, seeds);
+    let mut failures = 0;
+    let mut runs = 0;
+    // Rotate the corpus so every trace appears in several distinct mixes.
+    for start in 0..traces.len().min(MIX_CORES) {
+        let mix: Vec<&SynthTrace> = (0..MIX_CORES)
+            .map(|i| &traces[(start + i * (MIX_CORES + 1)) % traces.len()])
+            .collect();
+        let mc = |base: &SimConfig| {
+            let mut c = SimConfig::multicore(MIX_CORES as u32)
+                .with_instructions(base.warmup_instructions, base.sim_instructions);
+            c.sample_interval = base.sample_interval;
+            c.no_fastpath = base.no_fastpath;
+            c
+        };
+        let fast_cfg = mc(cfg);
+        let naive_cfg = fast_cfg.clone().without_fastpaths();
+        let run = |cfg: SimConfig| {
+            let setups = mix
+                .iter()
+                .map(|t| {
+                    let c = combos::build("ipcp");
+                    CoreSetup {
+                        trace: t.handle(),
+                        l1d_prefetcher: c.l1,
+                        l2_prefetcher: c.l2,
+                    }
+                })
+                .collect();
+            let mut sys = System::new(cfg, setups, combos::build("ipcp").llc);
+            sys.run().to_json().to_pretty_string()
+        };
+        let fast = run(fast_cfg);
+        let naive = run(naive_cfg);
+        runs += 1;
+        if fast != naive {
+            failures += 1;
+            let names: Vec<&str> = mix.iter().map(|t| t.name()).collect();
+            eprintln!(
+                "FAIL mc oracle: mix [{}]: fast and naive reports differ",
+                names.join(", ")
+            );
+            for (i, (a, b)) in fast.lines().zip(naive.lines()).enumerate() {
+                if a != b {
+                    eprintln!("  first diff at line {}: {a:?} vs {b:?}", i + 1);
+                    break;
+                }
+            }
+        }
+    }
+    println!("mc oracle sweep: {runs} fast/naive 4-core pairs compared, {failures} mismatch(es)");
+    failures
+}
+
 fn main() {
     let args = Args::parse();
     if !args.positional.is_empty() {
@@ -225,6 +289,7 @@ fn main() {
     }
     if !args.has_flag("skip-oracle") {
         failures += oracle_sweep(&cfg, &combo_names, seeds);
+        failures += mc_oracle_sweep(&cfg, seeds);
     }
     if failures > 0 {
         eprintln!("ipcp_check: {failures} failure(s)");

@@ -168,6 +168,29 @@ impl Checker {
                 }
             }
         }
+        // `sched` is optional (present only under IPCP_SCHED_STATS), but
+        // when present it must carry the full wakeup-scheduler counter set
+        // and describe at least one run — a present-but-empty block means
+        // event-pruning observability silently broke.
+        if let Some(sched) = doc.get("sched") {
+            for key in [
+                "runs",
+                "wakeups_fired",
+                "executed_cycles",
+                "skipped_cycles",
+                "heap_peak",
+            ] {
+                if sched.get(key).and_then(JsonValue::as_u64).is_none() {
+                    self.problem(format!("{loc}: \"sched\" missing counter {key:?}"));
+                }
+            }
+            if sched.get("runs").and_then(JsonValue::as_u64) == Some(0) {
+                self.problem(format!("{loc}: \"sched\" present but covers zero runs"));
+            }
+            if sched.get("executed_cycles").and_then(JsonValue::as_u64) == Some(0) {
+                self.problem(format!("{loc}: \"sched\" reports zero executed cycles"));
+            }
+        }
     }
 }
 
