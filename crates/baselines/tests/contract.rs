@@ -7,7 +7,9 @@ use ipcp_baselines::{
     StreamPf, TskidLite, Vldp,
 };
 use ipcp_mem::{Ip, LineAddr};
-use ipcp_sim::prefetch::{AccessInfo, DemandKind, FillLevel, PrefetchRequest, Prefetcher, VecSink};
+use ipcp_sim::prefetch::{
+    AccessInfo, AddrDecode, DemandKind, FillLevel, PrefetchRequest, Prefetcher, VecSink,
+};
 
 fn roster(fill: FillLevel) -> Vec<Box<dyn Prefetcher>> {
     vec![
@@ -57,6 +59,7 @@ fn stream(n: usize) -> Vec<AccessInfo> {
                 instructions: i as u64 * 13,
                 demand_misses: i as u64 / 3,
                 dram_utilization: 0.25,
+                decode: AddrDecode::of(Ip(0x40_0000 + (i as u64 % 8) * 36), LineAddr::new(line)),
             }
         })
         .collect()

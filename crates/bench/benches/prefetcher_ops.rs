@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ipcp::{IpcpConfig, IpcpL1};
 use ipcp_baselines::{Bingo, IpStride, Mlop, Spp};
 use ipcp_mem::{Ip, LineAddr};
-use ipcp_sim::prefetch::{AccessInfo, DemandKind, FillLevel, Prefetcher, VecSink};
+use ipcp_sim::prefetch::{AccessInfo, AddrDecode, DemandKind, FillLevel, Prefetcher, VecSink};
 
 fn access(i: u64) -> AccessInfo {
     AccessInfo {
@@ -21,6 +21,10 @@ fn access(i: u64) -> AccessInfo {
         instructions: i * 20,
         demand_misses: i / 2,
         dram_utilization: 0.3,
+        decode: AddrDecode::of(
+            Ip(0x40_0000 + (i % 16) * 36),
+            LineAddr::new(0x10_0000 + i * 3),
+        ),
     }
 }
 

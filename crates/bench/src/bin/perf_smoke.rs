@@ -14,11 +14,16 @@
 //!
 //! ```text
 //! perf_smoke [--label L] [--out BENCH_perf.json] [--iters 3] [--only BENCH]
+//!            [--profile]
 //! perf_smoke --sweep-cold SECS --sweep-warm SECS [--out BENCH_perf.json]
 //! ```
 //!
 //! `--only` restricts the run to one bench (by the names above) — handy
-//! for profiling a single path or quick CI checks. `--check` additionally
+//! for profiling a single path or quick CI checks. `--profile` sets
+//! `IPCP_PHASE_STATS` and prints the coarse wall-clock phase breakdown
+//! (decode/issue/fill/train/drain) accumulated over each bench's
+//! iterations; the timers are diagnostics only and never enter the
+//! recorded JSON. `--check` additionally
 //! fingerprints every iteration's full serialized reports (FNV-1a) and
 //! fails (exit 1) unless all iterations produced identical bytes — the CI
 //! smoke gate that the wakeup scheduler finishes and stays deterministic,
@@ -42,6 +47,7 @@ use ipcp_bench::combos;
 use ipcp_bench::runner::RunScale;
 use ipcp_bench::store::fnv1a_64;
 use ipcp_sim::telemetry::JsonValue;
+use ipcp_sim::PhaseStats;
 use ipcp_sim::ToJson;
 use ipcp_sim::{run_single, CoreSetup, SimConfig, System};
 use ipcp_trace::TraceSource;
@@ -66,6 +72,7 @@ struct Opts {
     iters: u32,
     only: Option<String>,
     check: bool,
+    profile: bool,
     sweep_cold: Option<f64>,
     sweep_warm: Option<f64>,
 }
@@ -77,6 +84,7 @@ fn parse_opts() -> Opts {
         iters: 3,
         only: None,
         check: false,
+        profile: false,
         sweep_cold: None,
         sweep_warm: None,
     };
@@ -90,6 +98,7 @@ fn parse_opts() -> Opts {
             "--label" => opts.label = value("--label"),
             "--only" => opts.only = Some(value("--only")),
             "--check" => opts.check = true,
+            "--profile" => opts.profile = true,
             "--out" => opts.out = PathBuf::from(value("--out")),
             "--iters" => {
                 opts.iters = value("--iters")
@@ -159,8 +168,26 @@ fn upsert(doc: &mut JsonValue, key: &str, value: JsonValue) {
     }
 }
 
+/// Folds one run's optional phase timers into the per-bench accumulator.
+fn acc_phases(acc: &std::cell::RefCell<PhaseStats>, p: Option<PhaseStats>) {
+    if let Some(p) = p {
+        let mut a = acc.borrow_mut();
+        a.decode_ns += p.decode_ns;
+        a.issue_ns += p.issue_ns;
+        a.fill_ns += p.fill_ns;
+        a.train_ns += p.train_ns;
+        a.drain_ns += p.drain_ns;
+    }
+}
+
 fn main() {
     let opts = parse_opts();
+    if opts.profile {
+        // `System` samples the knob at construction; setting it here,
+        // before any bench builds one (still single-threaded), turns the
+        // timers on for every run this process performs.
+        std::env::set_var("IPCP_PHASE_STATS", "1");
+    }
     let scale = RunScale::from_env()
         .unwrap_or_else(|bad| die(&format!("invalid IPCP_SCALE {bad:?}(want paper or W,I)")));
     let mut doc = load_doc(&opts.out);
@@ -190,6 +217,8 @@ fn main() {
         .take(MIX_CORES)
         .collect();
     let per_run = scale.warmup + scale.instructions;
+    let phase_acc = std::cell::RefCell::new(PhaseStats::default());
+    let phase_acc = &phase_acc;
 
     // Each bench: (name, combos per trace, methodology note, runner). A
     // runner returns an FNV-1a fingerprint over its serialized reports so
@@ -209,6 +238,7 @@ fn main() {
                     let c = combos::build(combo);
                     let report = run_single(cfg, trace.handle(), c.l1, c.l2, c.llc);
                     assert!(report.cycles > 0, "empty run for {combo}/{}", trace.name());
+                    acc_phases(phase_acc, report.phases);
                     fp ^=
                         fnv1a_64(&report.to_json().to_pretty_string()).rotate_left(fp.count_ones());
                 }
@@ -233,6 +263,7 @@ fn main() {
         let mut sys = System::new(cfg, setups, combos::build("ipcp").llc);
         let report = sys.run();
         assert!(report.cycles > 0, "empty multicore mix run");
+        acc_phases(phase_acc, report.phases);
         fnv1a_64(&report.to_json().to_pretty_string())
     };
     let benches: Vec<(&str, u64, String, BenchRun)> = vec![
@@ -276,6 +307,7 @@ fn main() {
         }
         let mut best = f64::INFINITY;
         let mut first_fp: Option<u64> = None;
+        *phase_acc.borrow_mut() = PhaseStats::default();
         for iter in 0..opts.iters {
             let started = Instant::now();
             let fp = run();
@@ -301,6 +333,21 @@ fn main() {
                     }
                 }
             }
+        }
+        if opts.profile {
+            let p = *phase_acc.borrow();
+            let secs = |ns: u64| ns as f64 / 1e9;
+            eprintln!(
+                "{bench} phases over {} iter(s): decode {:.3}s, issue {:.3}s, \
+                 fill {:.3}s, drain {:.3}s (train {:.3}s, nested inside \
+                 issue/fill/drain)",
+                opts.iters,
+                secs(p.decode_ns),
+                secs(p.issue_ns),
+                secs(p.fill_ns),
+                secs(p.drain_ns),
+                secs(p.train_ns),
+            );
         }
         if let Some(fp) = first_fp {
             println!(

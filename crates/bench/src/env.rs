@@ -85,6 +85,10 @@ pub const KNOBS: &[Knob] = &[
         name: "IPCP_SCHED_STATS",
         summary: "boolean: export wakeup-scheduler counters (wakeups fired, executed/skipped cycles, heap peak) into report JSON as a \"sched\" object — changes report bytes, so leave unset for golden/oracle comparisons",
     },
+    Knob {
+        name: "IPCP_PHASE_STATS",
+        summary: "boolean: export coarse wall-clock phase timers (decode/issue/fill/train/drain ns) into report JSON as a \"phases\" object — nondeterministic and changes report bytes, so leave unset for golden/oracle comparisons (perf_smoke --profile sets it)",
+    },
 ];
 
 /// A set-but-malformed environment value: which knob, what it held, and
@@ -268,6 +272,18 @@ pub fn sched_stats() -> Result<bool, EnvError> {
     )
 }
 
+/// `IPCP_PHASE_STATS`: whether simulator reports carry wall-clock phase
+/// timers (the `System` reads the variable itself at construction; this
+/// accessor exists so bench-layer tooling can gate on it with the shared
+/// boolean grammar).
+pub fn phase_stats() -> Result<bool, EnvError> {
+    parse_bool(
+        "IPCP_PHASE_STATS",
+        raw("IPCP_PHASE_STATS")?.as_deref(),
+        false,
+    )
+}
+
 /// Renders the knob catalogue with current values — the body of
 /// `experiments --list-env`.
 pub fn render_catalogue() -> String {
@@ -352,6 +368,7 @@ mod tests {
             "IPCP_INTERVAL",
             "IPCP_NO_FASTPATH",
             "IPCP_SCHED_STATS",
+            "IPCP_PHASE_STATS",
         ] {
             assert!(names.contains(&expected), "catalogue missing {expected}");
         }

@@ -24,7 +24,7 @@ use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
 
 use crate::combos;
-use crate::jobspec::{self, Provenance};
+use crate::jobspec::Provenance;
 use crate::runner::RunScale;
 use crate::simcache;
 
@@ -384,47 +384,6 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
-/// Runs one experiment binary by snapshotting the ambient environment into
-/// a [`jobspec::JobSpec`] and executing that.
-///
-/// Deprecated shim for the pre-fabric positional surface — build a
-/// [`jobspec::JobSpec`] and call [`jobspec::execute`] instead (this
-/// wrapper survives exactly one PR). Note the semantic upgrade it
-/// inherits: execution is spec-authoritative, so a malformed ambient
-/// `IPCP_*` value is reported as a failed outcome instead of silently
-/// leaking into the child.
-#[deprecated(
-    since = "0.7.0",
-    note = "build a jobspec::JobSpec and call jobspec::execute"
-)]
-pub fn run_experiment(
-    bin_dir: &Path,
-    name: &str,
-    results_dir: &Path,
-    extra_env: &[(String, String)],
-) -> ExperimentOutcome {
-    let spec = match jobspec::JobSpec::from_ambient(name) {
-        Ok(s) => s,
-        Err(e) => {
-            return ExperimentOutcome {
-                name: name.to_string(),
-                exit_code: None,
-                ok: false,
-                wall: Duration::ZERO,
-                output_path: results_dir.join(format!("{name}.txt")),
-                data_path: None,
-                spawn_error: Some(e.to_string()),
-                simcache: None,
-                shard: None,
-            }
-        }
-    };
-    let spec = extra_env
-        .iter()
-        .fold(spec, |s, (k, v)| s.env(k.clone(), v.clone()));
-    jobspec::execute(&spec, bin_dir, results_dir)
-}
-
 /// Writes one `<results_dir>/<name>.json` per outcome plus the
 /// `<results_dir>/manifest.json` machine-readable summary. Outcomes appear
 /// in the manifest in the given (deterministic) order.
@@ -679,20 +638,6 @@ mod tests {
             ExperimentOutcome::from_json(&JsonValue::obj()).is_err(),
             "structural garbage is rejected"
         );
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn run_experiment_shim_reports_unspawnable_binary() {
-        let dir = std::env::temp_dir().join(format!("ipcp-harness-miss-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let o = run_experiment(&dir, "no_such_binary", &dir, &[]);
-        assert!(!o.ok);
-        assert!(o.spawn_error.is_some());
-        assert_eq!(o.exit_code, None);
-        assert_eq!(o.data_path, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

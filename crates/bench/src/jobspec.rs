@@ -1,6 +1,6 @@
 //! [`JobSpec`]: the typed description of one experiment job, and its
-//! executor — the jobs-first replacement for `run_experiment`'s
-//! positional-arg + `extra_env` surface.
+//! executor — the jobs-first surface that replaced the harness's retired
+//! positional-arg + `extra_env` `run_experiment` entry point.
 //!
 //! A spec names the figure binary and carries every knob the run depends
 //! on *explicitly*: scale, mix count, sampler interval, oracle mode,

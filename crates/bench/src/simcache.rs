@@ -224,13 +224,16 @@ impl SimCache {
     /// [`Self::store_doc`] from a typed report.
     fn store_report(&self, path: &Path, key: &str, report: &SimReport) -> std::io::Result<()> {
         // Cache entries are canonical: wakeup-scheduler observability
-        // counters (`IPCP_SCHED_STATS`) are per-run diagnostics that no
-        // part of the content key captures, so they are stripped before
-        // publish — a warm hit replays the same bytes whether or not the
-        // knob was set when the entry was produced.
-        if report.sched.is_some() {
+        // counters (`IPCP_SCHED_STATS`) and wall-clock phase timers
+        // (`IPCP_PHASE_STATS`) are per-run diagnostics that no part of the
+        // content key captures — the timers are not even deterministic —
+        // so they are stripped before publish: a warm hit replays the same
+        // bytes whether or not the knobs were set when the entry was
+        // produced.
+        if report.sched.is_some() || report.phases.is_some() {
             let mut canonical = report.clone();
             canonical.sched = None;
+            canonical.phases = None;
             self.store_doc(path, key, &canonical.to_json())
         } else {
             self.store_doc(path, key, &report.to_json())

@@ -99,6 +99,10 @@ pub struct IpTable {
     stamp: u64,
     ways: usize,
     set_mask: u64,
+    /// `set_mask.count_ones()`, cached: the tag shift sits on the
+    /// per-access lookup path and `count_ones` on a variable is not free
+    /// on every target.
+    index_bits: u32,
 }
 
 impl IpTable {
@@ -126,13 +130,15 @@ impl IpTable {
             ways.is_power_of_two() && ways <= entries,
             "bad associativity {ways}"
         );
+        let set_mask = (entries / ways) as u64 - 1;
         Self {
             entries: vec![IpEntry::default(); entries],
             tags: vec![TAG_FREE; entries],
             lru: vec![0; entries],
             stamp: 0,
             ways,
-            set_mask: (entries / ways) as u64 - 1,
+            set_mask,
+            index_bits: set_mask.count_ones(),
         }
     }
 
@@ -143,8 +149,7 @@ impl IpTable {
 
     /// 9-bit tag for an IP (bits above the set index).
     pub fn tag_of(&self, ip: Ip) -> u16 {
-        let index_bits = self.set_mask.count_ones();
-        ((ip.raw() >> (2 + index_bits)) & ((1 << IP_TAG_BITS) - 1)) as u16
+        ((ip.raw() >> (2 + self.index_bits)) & ((1 << IP_TAG_BITS) - 1)) as u16
     }
 
     /// Looks up `ip`. In every way-set the hysteresis allocation policy of
@@ -157,9 +162,41 @@ impl IpTable {
     /// * no match, LRU victim's `valid` clear → reallocate it with all
     ///   per-class state reset (`Allocated`).
     pub fn lookup(&mut self, ip: Ip) -> (LookupKind, &mut IpEntry) {
+        self.lookup_keyed(ip.raw() >> 2)
+    }
+
+    /// [`IpTable::lookup`] by the precomputed index/tag key (`ip >> 2`,
+    /// from the decode-time columns): the set index is the key's low bits
+    /// and the tag the [`IP_TAG_BITS`] above them.
+    pub fn lookup_keyed(&mut self, key: u64) -> (LookupKind, &mut IpEntry) {
         self.stamp += 1;
-        let set = self.index_of(ip);
-        let tag = self.tag_of(ip);
+        let set = (key & self.set_mask) as usize;
+        let tag = ((key >> self.index_bits) & ((1 << IP_TAG_BITS) - 1)) as u16;
+        if self.ways == 1 {
+            // Direct-mapped — the paper's Table I shape and the hot
+            // configuration. The set is the slot, so the hit probe, the
+            // free-way probe, and the LRU victim all collapse to one
+            // compare; outcomes are exactly the general path's at ways=1.
+            if self.tags[set] == tag {
+                self.lru[set] = self.stamp;
+                let entry = &mut self.entries[set];
+                entry.valid = true;
+                return (LookupKind::Hit, entry);
+            }
+            if self.entries[set].occupied && self.entries[set].valid {
+                self.entries[set].valid = false;
+                return (LookupKind::Rejected, &mut self.entries[set]);
+            }
+            self.lru[set] = self.stamp;
+            self.tags[set] = tag;
+            self.entries[set] = IpEntry {
+                tag,
+                occupied: true,
+                valid: true,
+                ..IpEntry::default()
+            };
+            return (LookupKind::Allocated, &mut self.entries[set]);
+        }
         let base = set * self.ways;
         // Probe the set's contiguous tag column; TAG_FREE self-excludes
         // unoccupied ways, so the scan needs no occupancy branch.

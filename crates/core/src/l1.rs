@@ -165,35 +165,77 @@ impl IpcpL1 {
         issued
     }
 
-    fn issue_gs(&mut self, vline: LineAddr, positive: bool, sink: &mut dyn PrefetchSink) -> bool {
-        let degree = self.throttle.degree(IpClass::Gs);
-        let dir: i64 = if positive { 1 } else { -1 };
-        let mut cands = core::mem::take(&mut self.scratch_cands);
-        cands.clear();
-        for k in 1..=i64::from(degree) {
-            let Some(target) = vline.offset_within_page(dir * k) else {
-                break;
-            };
-            cands.push((target, dir as i8));
+    /// Generates and emits a linear candidate burst (`vline + step·k` for
+    /// `k` in `1..=degree`, stopping at the page boundary) as one fused
+    /// loop. Candidate generation has no side effects, so interleaving it
+    /// with the RR probes performs exactly the operations of
+    /// generate-into-a-buffer-then-[`IpcpL1::emit_batch`], in the same
+    /// order, while skipping the intermediate candidate buffer — GS and CS
+    /// bursts run this on every trained access.
+    fn burst_linear(
+        &mut self,
+        class: IpClass,
+        vline: LineAddr,
+        step: i64,
+        meta_stride: i8,
+        sink: &mut dyn PrefetchSink,
+    ) -> bool {
+        let degree = self.throttle.degree(class);
+        let send_meta = self.cfg.send_metadata;
+        let stride_ok =
+            send_meta && self.throttle.accuracy(class) > self.cfg.metadata_accuracy_threshold;
+        let mut reqs = core::mem::take(&mut self.scratch_reqs);
+        reqs.clear();
+        let mut drops = 0u64;
+        // The page boundary in closed form: candidates walk a fixed stride,
+        // so the last in-page k is known up front and the per-candidate
+        // `offset_within_page` check (and its overflow guard — staying in
+        // the page bounds the address) drops out of the loop.
+        if step == 0 {
+            unreachable!("linear burst requires a nonzero stride");
         }
-        let issued = self.emit_batch(IpClass::Gs, &cands, sink);
-        self.scratch_cands = cands;
+        let base = (vline.raw() & (ipcp_mem::LINES_PER_PAGE - 1)) as i64;
+        let span = if step > 0 {
+            (ipcp_mem::LINES_PER_PAGE as i64 - 1 - base) / step
+        } else {
+            base / -step
+        };
+        for k in 1..=i64::from(degree).min(span) {
+            let target = LineAddr::new(vline.raw().wrapping_add_signed(step * k));
+            if self.rr.check_and_insert(target) {
+                drops += 1;
+                continue;
+            }
+            let mut req = PrefetchRequest::l1(target).with_class(class.bits());
+            if send_meta {
+                req = req.with_meta(PrefetchMeta {
+                    class: class.bits(),
+                    stride: if stride_ok { meta_stride } else { 0 },
+                });
+            }
+            reqs.push(req);
+        }
+        self.rr_drops[class.bits() as usize] += drops;
+        let issued = if reqs.is_empty() {
+            false
+        } else {
+            let accepted = sink.prefetch_batch(&reqs).count_ones();
+            if accepted > 0 {
+                self.throttle.note_issued_n(class, u64::from(accepted));
+            }
+            accepted > 0
+        };
+        self.scratch_reqs = reqs;
         issued
     }
 
+    fn issue_gs(&mut self, vline: LineAddr, positive: bool, sink: &mut dyn PrefetchSink) -> bool {
+        let dir: i64 = if positive { 1 } else { -1 };
+        self.burst_linear(IpClass::Gs, vline, dir, dir as i8, sink)
+    }
+
     fn issue_cs(&mut self, vline: LineAddr, stride: i8, sink: &mut dyn PrefetchSink) -> bool {
-        let degree = self.throttle.degree(IpClass::Cs);
-        let mut cands = core::mem::take(&mut self.scratch_cands);
-        cands.clear();
-        for k in 1..=i64::from(degree) {
-            let Some(target) = vline.offset_within_page(i64::from(stride) * k) else {
-                break;
-            };
-            cands.push((target, stride));
-        }
-        let issued = self.emit_batch(IpClass::Cs, &cands, sink);
-        self.scratch_cands = cands;
-        issued
+        self.burst_linear(IpClass::Cs, vline, i64::from(stride), stride, sink)
     }
 
     fn issue_cplx(&mut self, vline: LineAddr, signature: u16, sink: &mut dyn PrefetchSink) -> bool {
@@ -242,12 +284,19 @@ impl Prefetcher for IpcpL1 {
         // the L1.
         self.rr.insert(vline);
 
-        let vpage_lsb2 = vline.vpage().lsb2();
-        let offset = vline.page_offset();
-        let region = vline.region();
-        let region_offset = vline.region_offset();
+        // Address derivations arrive precomputed from the decode-time
+        // columns (`AccessInfo::decode`) instead of being re-derived here
+        // on every access.
+        let d = &info.decode;
+        debug_assert_eq!(d.page_off, vline.page_offset());
+        debug_assert_eq!(d.region, vline.region());
+        debug_assert_eq!(d.ip_key, info.ip.raw() >> 2);
+        let vpage_lsb2 = d.vpage_lsb2;
+        let offset = d.page_off;
+        let region = d.region;
+        let region_offset = d.region_off;
 
-        let (kind, entry) = self.table.lookup(info.ip);
+        let (kind, entry) = self.table.lookup_keyed(d.ip_key);
         if kind == LookupKind::Rejected {
             // The occupant kept the slot: this IP is untracked. The RST
             // still observes the access (region density is IP-agnostic).
@@ -355,7 +404,7 @@ impl Prefetcher for IpcpL1 {
 mod tests {
     use super::*;
     use ipcp_mem::Ip;
-    use ipcp_sim::prefetch::VecSink;
+    use ipcp_sim::prefetch::{AddrDecode, VecSink};
 
     fn access(ip: u64, vline: u64) -> AccessInfo {
         AccessInfo {
@@ -370,6 +419,7 @@ mod tests {
             instructions: 0,
             demand_misses: 0,
             dram_utilization: 0.0,
+            decode: AddrDecode::of(Ip(ip), LineAddr::new(vline)),
         }
     }
 

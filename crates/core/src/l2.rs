@@ -240,7 +240,7 @@ pub fn ipcp_pair(cfg: &IpcpConfig) -> (crate::l1::IpcpL1, IpcpL2) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ipcp_sim::prefetch::{PrefetchMeta, VecSink};
+    use ipcp_sim::prefetch::{AddrDecode, PrefetchMeta, VecSink};
 
     fn arrival(ip: u64, pline: u64, meta: Option<PrefetchMeta>) -> MetadataArrival {
         MetadataArrival {
@@ -266,6 +266,7 @@ mod tests {
             instructions: 0,
             demand_misses: 0,
             dram_utilization: 0.0,
+            decode: AddrDecode::of(Ip(ip), LineAddr::new(pline)),
         }
     }
 

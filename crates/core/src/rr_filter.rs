@@ -33,15 +33,24 @@ pub struct RrFilter {
     /// Tag column; [`TAG_EMPTY`] marks an unused slot.
     tags: Vec<u16>,
     next: usize,
+    /// For each possible tag value, how many slots currently hold it
+    /// (demand inserts are unconditional, so the FIFO can hold duplicates).
+    /// Maintained on every slot overwrite; membership is then a single
+    /// independent load per probe — no dependent-load chain and no scan —
+    /// which matters because the issue path probes `degree` candidates
+    /// back to back every access.
+    count: Vec<u16>,
 }
 
 impl RrFilter {
     /// Creates a filter with `entries` slots.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0);
+        assert!(entries <= u16::MAX as usize, "per-tag counts are u16");
         Self {
             tags: vec![TAG_EMPTY; entries],
             next: 0,
+            count: vec![0; 1 << TAG_BITS],
         }
     }
 
@@ -55,14 +64,26 @@ impl RrFilter {
     /// True when `line`'s tag is present.
     pub fn contains(&self, line: LineAddr) -> bool {
         let t = Self::tag_of(line);
-        // OR-fold rather than `any`: no early exit, so the whole tag column
-        // (one cache line at the paper's 32 entries) compares as SIMD lanes.
+        self.count[t as usize] != 0
+    }
+
+    /// True when `line`'s tag is present, by scanning the whole tag column.
+    /// Reference implementation for [`RrFilter::contains`]; tests assert the
+    /// two agree on every probe.
+    #[cfg(test)]
+    fn contains_by_scan(&self, line: LineAddr) -> bool {
+        let t = Self::tag_of(line);
         self.tags.iter().fold(false, |hit, &tag| hit | (tag == t))
     }
 
     /// Records `line`, evicting the oldest slot.
     pub fn insert(&mut self, line: LineAddr) {
         let t = Self::tag_of(line);
+        let old = self.tags[self.next];
+        if old != TAG_EMPTY {
+            self.count[old as usize] -= 1;
+        }
+        self.count[t as usize] += 1;
         self.tags[self.next] = t;
         // Compare-and-reset wrap: entry counts need not be powers of two and
         // a runtime modulo is an integer divide on the issue hot path.
@@ -135,6 +156,26 @@ mod tests {
         let mut f = RrFilter::new(32);
         f.insert(a);
         assert!(f.contains(b));
+    }
+
+    #[test]
+    fn indexed_contains_matches_scan() {
+        // Drive a small filter far past several full wrap-arounds with a
+        // reuse-heavy probe/insert mix so tags get re-inserted while stale
+        // copies of them still sit in other slots, then check the O(1)
+        // membership probe against the full-column scan on every step.
+        let mut f = RrFilter::new(7);
+        let mut x = 1u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let line = LineAddr::new((x >> 55) & 0xf); // 16 lines over 7 slots
+            assert_eq!(f.contains(line), f.contains_by_scan(line));
+            if x & 3 == 0 {
+                f.insert(line);
+            } else {
+                f.check_and_insert(line);
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_mem::{Ip, LineAddr};
 use ipcp_sim::prefetch::{
-    AccessInfo, DemandKind, MetadataArrival, PrefetchMeta, Prefetcher, VecSink,
+    AccessInfo, AddrDecode, DemandKind, MetadataArrival, PrefetchMeta, Prefetcher, VecSink,
 };
 
 fn access(ip: u64, vline: u64, hit: bool, instructions: u64, misses: u64) -> AccessInfo {
@@ -27,6 +27,7 @@ fn access(ip: u64, vline: u64, hit: bool, instructions: u64, misses: u64) -> Acc
         instructions,
         demand_misses: misses,
         dram_utilization: 0.0,
+        decode: AddrDecode::of(Ip(ip), LineAddr::new(vline)),
     }
 }
 

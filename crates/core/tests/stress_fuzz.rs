@@ -9,7 +9,7 @@
 use ipcp::{IpClass, IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_mem::{Ip, LineAddr};
 use ipcp_sim::prefetch::{
-    AccessInfo, DemandKind, MetadataArrival, PrefetchMeta, Prefetcher, VecSink,
+    AccessInfo, AddrDecode, DemandKind, MetadataArrival, PrefetchMeta, Prefetcher, VecSink,
 };
 use ipcp_trace::TraceSource;
 use ipcp_workloads::fuzz::{corpus, FuzzPattern};
@@ -28,6 +28,7 @@ fn access(ip: u64, vline: u64, hit: bool, instructions: u64, misses: u64) -> Acc
         instructions,
         demand_misses: misses,
         dram_utilization: 0.0,
+        decode: AddrDecode::of(Ip(ip), LineAddr::new(vline)),
     }
 }
 

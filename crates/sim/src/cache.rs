@@ -287,6 +287,44 @@ impl Cache {
         }
     }
 
+    /// The memoized class of the set's last demand hit, if the repeat memo
+    /// is armed for exactly `line` (never armed in naive mode or under a
+    /// stateful replacement policy — see `repeat_hit_ok`). A `Some` result
+    /// proves a demand lookup of `line` would take the memo path in
+    /// [`Cache::demand_lookup`], so the caller may batch a run of such
+    /// repeats with [`Cache::commit_repeat_hits`].
+    pub fn repeat_memo(&self, line: LineAddr) -> Option<u8> {
+        let (raw, _, class) = self.last_hit[self.set_of(line)];
+        (raw == line.raw()).then_some(class)
+    }
+
+    /// Demand ports still free at `now` (same lazy per-cycle reset as
+    /// [`Cache::try_take_port`], without consuming one).
+    pub fn ports_free(&mut self, now: Cycle) -> u32 {
+        if self.port_cycle != now {
+            self.port_cycle = now;
+            self.ports_used = 0;
+        }
+        self.ports - self.ports_used
+    }
+
+    /// Applies the batched side effects of `n` memoized repeat hits on
+    /// `line` in one update: `n` ports consumed, `n` demand accesses and
+    /// hits counted, and the dirty bit set if any of them wrote. The
+    /// caller must have verified the memo via [`Cache::repeat_memo`] and
+    /// that `n` ports are free at the current cycle.
+    pub fn commit_repeat_hits(&mut self, line: LineAddr, n: u32, any_write: bool) {
+        let (raw, slot, _) = self.last_hit[self.set_of(line)];
+        debug_assert_eq!(raw, line.raw(), "memo must be armed for the run line");
+        debug_assert!(self.ports_used + n <= self.ports);
+        self.ports_used += n;
+        self.stats.demand_accesses += u64::from(n);
+        self.stats.demand_hits += u64::from(n);
+        if any_write {
+            self.dirty[slot as usize] = true;
+        }
+    }
+
     /// Looks up a demand access.
     ///
     /// Hit and merge outcomes apply their side effects (replacement

@@ -108,6 +108,40 @@ impl PrefetchRequest {
     }
 }
 
+/// Decode-time derivations of a demand access's addresses: every slice of
+/// `(ip, vline)` the training path consumes. Computed once per instruction
+/// — from the batch's derived columns on the fused demand path, or by
+/// [`AddrDecode::of`] where no columns exist (L2/LLC triggers, tests) —
+/// and carried through [`AccessInfo`] so the prefetcher never re-derives
+/// them per access.
+#[derive(Debug, Clone, Copy)]
+pub struct AddrDecode {
+    /// Line offset within the 4 KB page (`vline.page_offset()`).
+    pub page_off: ipcp_mem::LineOffset,
+    /// 2 KB region index (`vline.region()`).
+    pub region: ipcp_mem::RegionId,
+    /// Line offset within the region (`vline.region_offset()`).
+    pub region_off: ipcp_mem::RegionOffset,
+    /// Two low bits of the virtual page (`vline.vpage().lsb2()`).
+    pub vpage_lsb2: u8,
+    /// IP-table index/tag source bits (`ip >> 2`).
+    pub ip_key: u64,
+}
+
+impl AddrDecode {
+    /// Derives all fields from scratch (the non-columnar entry point).
+    #[inline]
+    pub fn of(ip: Ip, vline: LineAddr) -> Self {
+        Self {
+            page_off: vline.page_offset(),
+            region: vline.region(),
+            region_off: vline.region_offset(),
+            vpage_lsb2: vline.vpage().lsb2(),
+            ip_key: ip.raw() >> 2,
+        }
+    }
+}
+
 /// Everything a prefetcher sees on a demand access. `vline` is only
 /// meaningful at the L1 (the L2/LLC train on physical addresses, as in
 /// ChampSim).
@@ -138,6 +172,8 @@ pub struct AccessInfo {
     /// DRAM data-bus utilization over a recent window, 0..=1 (DSPatch's
     /// bandwidth signal).
     pub dram_utilization: f64,
+    /// Decode-time address derivations of `(ip, vline)`.
+    pub decode: AddrDecode,
 }
 
 /// Everything a prefetcher sees when a block fills into its cache level.
@@ -443,6 +479,7 @@ pub fn test_access(ip: u64, vline: u64, hit: bool) -> AccessInfo {
         instructions: 1000,
         demand_misses: 0,
         dram_utilization: 0.0,
+        decode: AddrDecode::of(Ip(ip), LineAddr::new(vline)),
     }
 }
 

@@ -32,17 +32,19 @@
 use std::sync::Arc;
 
 use ipcp_mem::{Ip, LineAddr, LINES_PER_PAGE, LINE_SHIFT, PAGE_SHIFT};
-use ipcp_trace::{BatchStream, Instr, InstrBatch, MemOp, TraceSource};
+use ipcp_trace::{
+    BatchStream, DerivedCols, Instr, InstrBatch, MemOp, TraceSource, KIND_LOAD, KIND_NONE,
+};
 
 use crate::cache::{Cache, Mshr, ProbeResult, QueuedPrefetch, FILL_UNKNOWN};
 use crate::config::{Cycle, SimConfig};
 use crate::dram::Dram;
 use crate::prefetch::{
-    AccessInfo, DemandKind, FillInfo, FillLevel, MetadataArrival, PrefetchRequest, Prefetcher,
-    VecSink,
+    AccessInfo, AddrDecode, DemandKind, FillInfo, FillLevel, MetadataArrival, PrefetchRequest,
+    Prefetcher, VecSink,
 };
 use crate::sched::{self, Calendar, SchedStats};
-use crate::stats::{CoreReport, CoreStats, SimReport};
+use crate::stats::{CoreReport, CoreStats, PhaseStats, SimReport};
 use crate::telemetry::{Occupancy, Sampler, Snapshot};
 use crate::tlb::Tlb;
 use crate::vmem::PageMapper;
@@ -128,6 +130,62 @@ impl Rob {
         (seq, slot)
     }
 
+    /// Free slots.
+    fn space(&self) -> usize {
+        self.cap - (self.tail - self.head) as usize
+    }
+
+    /// Pushes `k` entries sharing one completion time as at most two
+    /// contiguous slice fills across the ring wrap (the bulk path for
+    /// non-memory instruction runs).
+    fn push_n(&mut self, completion: Cycle, k: usize) {
+        debug_assert!(k > 0 && k <= self.space());
+        let first = self.tail_idx;
+        let end1 = (first + k).min(self.cap);
+        self.completion[first..end1].fill(completion);
+        let rem = k - (end1 - first);
+        self.completion[..rem].fill(completion);
+        self.tail += k as u64;
+        self.tail_idx = if rem > 0 {
+            rem
+        } else if end1 == self.cap {
+            0
+        } else {
+            end1
+        };
+    }
+
+    /// How many of the oldest entries (capped at `width`) have completed by
+    /// `now`. `c <= now` alone suffices: [`FILL_UNKNOWN`] is `Cycle::MAX`,
+    /// which can never be `<= now`.
+    fn retire_ready(&self, now: Cycle, width: u32) -> u32 {
+        let lim = ((self.tail - self.head) as usize).min(width as usize);
+        let first = self.head_idx;
+        let end1 = (first + lim).min(self.cap);
+        let mut k = 0;
+        for &c in &self.completion[first..end1] {
+            if c > now {
+                return k;
+            }
+            k += 1;
+        }
+        for &c in &self.completion[..lim - (end1 - first)] {
+            if c > now {
+                return k;
+            }
+            k += 1;
+        }
+        k
+    }
+
+    /// Drops the `k` oldest entries (counted by [`Rob::retire_ready`]).
+    fn pop_n(&mut self, k: u32) {
+        debug_assert!((k as u64) <= self.tail - self.head);
+        self.head += u64::from(k);
+        let i = self.head_idx + k as usize;
+        self.head_idx = if i >= self.cap { i - self.cap } else { i };
+    }
+
     fn set_completion(&mut self, seq: u64, slot: usize, completion: Cycle) {
         debug_assert!(seq >= self.head && seq < self.tail);
         debug_assert_eq!(slot, (seq % self.cap as u64) as usize);
@@ -141,12 +199,6 @@ impl Rob {
             Some(self.completion[self.head_idx])
         }
     }
-
-    fn pop_head(&mut self) {
-        debug_assert!(!self.is_empty());
-        self.head += 1;
-        self.head_idx = self.wrap(self.head_idx);
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -154,8 +206,32 @@ struct PendingMem {
     seq: u64,
     slot: usize,
     ip: Ip,
-    vaddr: ipcp_mem::VAddr,
     store: bool,
+    /// Virtual line of the access (`vaddr >> LINE_SHIFT`).
+    vline: LineAddr,
+    /// Virtual page of the access (`vaddr >> PAGE_SHIFT`).
+    vpage: u64,
+    /// Prefetcher-trigger address fields, decoded once at dispatch (from
+    /// the trace's derived columns on the fast path) instead of per issue
+    /// attempt.
+    decode: AddrDecode,
+}
+
+impl PendingMem {
+    /// Row-oriented constructor (the naive fetch path): derives the
+    /// line/page/decode fields from the raw virtual address.
+    fn new(seq: u64, slot: usize, ip: Ip, vaddr: ipcp_mem::VAddr, store: bool) -> Self {
+        let vline = vaddr.line();
+        Self {
+            seq,
+            slot,
+            ip,
+            store,
+            vline,
+            vpage: vaddr.page().raw(),
+            decode: AddrDecode::of(ip, vline),
+        }
+    }
 }
 
 struct Core {
@@ -168,6 +244,11 @@ struct Core {
     /// batch.
     ibuf: InstrBatch,
     ibuf_pos: usize,
+    /// Derived address columns over `ibuf` (line/page/offset/region/IP-key
+    /// per slot), recomputed once per batch refill on the fast path so the
+    /// per-instruction dispatch and issue paths read precomputed values.
+    /// Unused (left empty) on the naive path, which derives per access.
+    derived: DerivedCols,
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
@@ -243,6 +324,22 @@ impl Core {
         );
         self.ibuf.get(0)
     }
+
+    /// Fast-path refill: same stream consumption as [`Core::refill_ibuf`]
+    /// (so both paths see identical batch boundaries) but positions start
+    /// at 0 and the derived address columns are recomputed for the batch.
+    #[cold]
+    fn refill_batch(&mut self) {
+        self.ibuf_pos = 0;
+        if self.stream.next_batch(&mut self.ibuf) == 0 {
+            self.stream = self.trace.batch_stream();
+            assert!(
+                self.stream.next_batch(&mut self.ibuf) > 0,
+                "trace must be non-empty"
+            );
+        }
+        self.derived.compute(&self.ibuf);
+    }
 }
 
 /// The full simulated machine.
@@ -308,6 +405,12 @@ pub struct System {
     sstats: SchedStats,
     /// `IPCP_SCHED_STATS` was set at construction.
     sched_stats_export: bool,
+    /// `IPCP_PHASE_STATS` was set at construction: coarse wall-clock phase
+    /// timers accumulate into `phases` (observability only — see
+    /// [`PhaseStats`]; the disabled path costs one branch per phase).
+    phase_on: bool,
+    /// Accumulated phase timers (exported only when `phase_on`).
+    phases: PhaseStats,
 }
 
 impl std::fmt::Debug for System {
@@ -347,6 +450,7 @@ impl System {
                     stream,
                     ibuf: InstrBatch::new(),
                     ibuf_pos: 0,
+                    derived: DerivedCols::default(),
                     mapper: PageMapper::new(vmem_seed.wrapping_add(ci as u64 * 0x9e37_79b9)),
                     l1i: Cache::new_with_mode(&cfg.l1i, 1, cfg.no_fastpath),
                     l1d: Cache::new_with_mode(&cfg.l1d, 1, cfg.no_fastpath),
@@ -409,7 +513,28 @@ impl System {
             finished_count: 0,
             sample_due_abs: u64::MAX,
             sstats: SchedStats::default(),
-            sched_stats_export: sched_stats_enabled(),
+            sched_stats_export: env_flag("IPCP_SCHED_STATS"),
+            phase_on: env_flag("IPCP_PHASE_STATS"),
+            phases: PhaseStats::default(),
+        }
+    }
+
+    /// Starts a phase timer (`None` when phase stats are off, so the hot
+    /// path pays one predictable branch).
+    #[inline]
+    fn phase_start(&self) -> Option<std::time::Instant> {
+        if self.phase_on {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Accumulates a phase timer started by [`System::phase_start`].
+    #[inline]
+    fn phase_add(field: &mut u64, t0: Option<std::time::Instant>) {
+        if let Some(t0) = t0 {
+            *field += t0.elapsed().as_nanos() as u64;
         }
     }
 
@@ -525,7 +650,9 @@ impl System {
             self.sstats.wakeups_fired += 1;
         }
         if due != 0 {
+            let t0 = self.phase_start();
             activity |= self.process_due_fills(due);
+            Self::phase_add(&mut self.phases.fill_ns, t0);
         }
 
         // PQ drains. The snapshot makes mid-phase enqueues wait for the
@@ -534,6 +661,7 @@ impl System {
         // metadata arrival, targets the same core's L2 — a queue whose
         // check has already passed in either scheme).
         if self.pq_active != 0 {
+            let t0 = self.phase_start();
             let mut bits = self.pq_active;
             while bits != 0 {
                 let b = bits.trailing_zeros();
@@ -558,6 +686,7 @@ impl System {
                     }
                 }
             }
+            Self::phase_add(&mut self.phases.drain_ns, t0);
         }
 
         // Cores, gated on their wake cycle. A skipped core would have
@@ -573,6 +702,7 @@ impl System {
             let missed = self.sstats.executed_cycles - self.last_touch[ci];
             self.cores[ci].stall_cycles += missed;
             self.last_touch[ci] = self.sstats.executed_cycles + 1;
+            let t0 = self.phase_start();
             let retired = self.retire(ci);
             if retired == 0 {
                 self.cores[ci].stall_cycles += 1;
@@ -581,9 +711,12 @@ impl System {
                 self.last_retire_cycle = now;
             }
             if !self.cores[ci].pending.is_empty() {
-                activity |= self.issue(ci) > 0;
+                activity |= self.issue_fused(ci) > 0;
             }
-            activity |= self.fetch(ci) > 0;
+            Self::phase_add(&mut self.phases.issue_ns, t0);
+            let t0 = self.phase_start();
+            activity |= self.fetch_fast(ci) > 0;
+            Self::phase_add(&mut self.phases.decode_ns, t0);
             self.wake_at[ci] = self.core_wake(ci);
         }
 
@@ -818,6 +951,7 @@ impl System {
                 st.heap_peak = self.cal.heap_peak();
                 st
             }),
+            phases: self.phase_on.then_some(self.phases),
         }
     }
 
@@ -863,8 +997,11 @@ impl System {
                 .iter()
                 .any(|c| c.l2.fill_due(now) || c.l1d.fill_due(now) || c.l1i.fill_due(now));
         if fills_due {
+            let t0 = self.phase_start();
             activity |= self.process_fills();
+            Self::phase_add(&mut self.phases.fill_ns, t0);
         }
+        let t0 = self.phase_start();
         if self.llc.pq_len() > 0 {
             activity |= self.drain_llc_pq();
         }
@@ -876,7 +1013,9 @@ impl System {
                 activity |= self.drain_l1_pq(ci);
             }
         }
+        Self::phase_add(&mut self.phases.drain_ns, t0);
         for ci in 0..self.cores.len() {
+            let t0 = self.phase_start();
             let retired = self.retire(ci);
             if retired == 0 {
                 self.cores[ci].stall_cycles += 1;
@@ -887,7 +1026,10 @@ impl System {
             if !self.cores[ci].pending.is_empty() {
                 activity |= self.issue(ci) > 0;
             }
+            Self::phase_add(&mut self.phases.issue_ns, t0);
+            let t0 = self.phase_start();
             activity |= self.fetch(ci) > 0;
+            Self::phase_add(&mut self.phases.decode_ns, t0);
         }
         self.run_on_cycle_hooks();
         activity
@@ -925,17 +1067,12 @@ impl System {
         let width = self.cfg.core.retire_width;
         let core = &mut self.cores[ci];
         let before = core.retired_total;
-        let mut n = 0;
-        while n < width {
-            match core.rob.head_completion() {
-                Some(c) if c != FILL_UNKNOWN && c <= now => {
-                    core.rob.pop_head();
-                    core.retired_total += 1;
-                    n += 1;
-                }
-                _ => break,
-            }
-        }
+        // Bulk contiguous scan over the completion ring (shared by both
+        // run loops; identical retirement decisions to the one-at-a-time
+        // head walk, so the oracle comparison is unaffected).
+        let n = core.rob.retire_ready(now, width);
+        core.rob.pop_n(n);
+        core.retired_total += u64::from(n);
         // Count-maintained replacements for the run loop's per-cycle
         // all-cores scans: a core crosses the warm-up threshold at most
         // once, and `finished` is set at most once.
@@ -977,12 +1114,12 @@ impl System {
             let pm = core.pending[i];
             // Translate. The TLB state mutation on a retried access is
             // harmless (second lookup hits the DTLB).
-            let vpage = pm.vaddr.page();
-            let (ppage, penalty) = core.tlb.translate(vpage, &mut core.mapper);
-            let vline = pm.vaddr.line();
-            let pline = phys_line(ppage.raw(), vline);
+            let (ppage, penalty) = core
+                .tlb
+                .translate(ipcp_mem::VPage::new(pm.vpage), &mut core.mapper);
+            let pline = phys_line(ppage.raw(), pm.vline);
             let t = now + penalty;
-            match self.resolve_l1d_demand(ci, vline, pline, pm.ip, pm.store, t) {
+            match self.resolve_l1d_demand(ci, &pm, pline, t) {
                 Some(completion) => {
                     let core = &mut self.cores[ci];
                     // Stores retire without waiting for data; loads wait.
@@ -1030,23 +1167,13 @@ impl System {
                 }
                 MemOp::Load(vaddr) => {
                     let (seq, slot) = core.rob.push(FILL_UNKNOWN);
-                    core.pending.push_back(PendingMem {
-                        seq,
-                        slot,
-                        ip: instr.ip,
-                        vaddr,
-                        store: false,
-                    });
+                    core.pending
+                        .push_back(PendingMem::new(seq, slot, instr.ip, vaddr, false));
                 }
                 MemOp::Store(vaddr) => {
                     let (seq, slot) = core.rob.push(FILL_UNKNOWN);
-                    core.pending.push_back(PendingMem {
-                        seq,
-                        slot,
-                        ip: instr.ip,
-                        vaddr,
-                        store: true,
-                    });
+                    core.pending
+                        .push_back(PendingMem::new(seq, slot, instr.ip, vaddr, true));
                 }
             }
             n += 1;
@@ -1055,6 +1182,113 @@ impl System {
             }
         }
         n
+    }
+
+    /// Column-oriented fetch (fast scheduler only): walks the look-ahead
+    /// buffer's decoded columns directly instead of materializing one
+    /// [`Instr`] per slot, and dispatches runs of non-memory instructions
+    /// on an already-fetched instruction line as a single bulk ROB push.
+    /// Dispatch decisions are identical to [`System::fetch`]: the bulk run
+    /// only covers instructions the naive loop would pass straight through
+    /// (same iline ⇒ no L1I probe; no memory op ⇒ no pending entry; a nop
+    /// can never set the fetch stall the naive loop re-checks per slot).
+    fn fetch_fast(&mut self, ci: usize) -> u32 {
+        let now = self.now;
+        if self.cores[ci].fetch_stall_until > now {
+            return 0;
+        }
+        let width = self.cfg.core.fetch_width as usize;
+        let alu_latency = self.cfg.core.alu_latency;
+        let mut n = 0;
+        while n < width {
+            let core = &mut self.cores[ci];
+            if core.rob.is_full() {
+                break;
+            }
+            if core.ibuf_pos >= core.ibuf.len() {
+                core.refill_batch();
+            }
+            let pos = core.ibuf_pos;
+            let iline_raw = core.derived.ilines[pos];
+            let same_iline = core.last_ifetch_line.is_some_and(|l| l.raw() == iline_raw);
+            let (ips, kinds, _addrs) = core.ibuf.columns();
+            if kinds[pos] == KIND_NONE && same_iline {
+                // Maximal nop run on the resident line, bounded by fetch
+                // width, ROB space, and the batch edge.
+                let lim = pos + (width - n).min(core.rob.space()).min(core.ibuf.len() - pos);
+                let mut end = pos + 1;
+                while end < lim && kinds[end] == KIND_NONE && core.derived.ilines[end] == iline_raw
+                {
+                    end += 1;
+                }
+                let k = end - pos;
+                core.rob.push_n(now + alu_latency, k);
+                core.ibuf_pos = end;
+                n += k;
+                continue;
+            }
+            let ip = Ip(ips[pos]);
+            let kind = kinds[pos];
+            core.ibuf_pos = pos + 1;
+            if !same_iline {
+                let iline = LineAddr::new(iline_raw);
+                // Fast repeat ifetch: the line's page sits in the TLB's
+                // untimed both-miss memo (so its translation is
+                // side-effect-free with a known frame) and the line is
+                // armed in the L1I's repeat memo (so its lookup collapses
+                // to the two demand counters) — the whole [`System::ifetch`]
+                // reduces to one port take and a batched hit commit. Port
+                // exhaustion falls through to the slow path, whose first
+                // check is the same port take, for the exact reject path.
+                let core = &mut self.cores[ci];
+                let fast_hit = core
+                    .tlb
+                    .untimed_memo_frame(iline.vpage().raw())
+                    .map(|frame| phys_line(frame, iline))
+                    .filter(|&pline| core.l1i.repeat_memo(pline).is_some())
+                    .is_some_and(|pline| {
+                        if core.l1i.ports_free(now) == 0 {
+                            return false;
+                        }
+                        core.l1i.commit_repeat_hits(pline, 1, false);
+                        true
+                    });
+                if fast_hit {
+                    self.cores[ci].last_ifetch_line = Some(iline);
+                } else if !self.ifetch(ci, iline, ip) {
+                    self.cores[ci].last_ifetch_line = None;
+                } else {
+                    self.cores[ci].last_ifetch_line = Some(iline);
+                }
+            }
+            let core = &mut self.cores[ci];
+            if kind == KIND_NONE {
+                core.rob.push(now + alu_latency);
+            } else {
+                let (seq, slot) = core.rob.push(FILL_UNKNOWN);
+                let d = &core.derived;
+                core.pending.push_back(PendingMem {
+                    seq,
+                    slot,
+                    ip,
+                    store: kind != KIND_LOAD,
+                    vline: LineAddr::new(d.lines[pos]),
+                    vpage: d.vpages[pos],
+                    decode: AddrDecode {
+                        page_off: ipcp_mem::LineOffset::new(d.pageoffs[pos]),
+                        region: ipcp_mem::RegionId::new(d.regions[pos]),
+                        region_off: ipcp_mem::RegionOffset::new(d.pageoffs[pos] & 0x1f),
+                        vpage_lsb2: (d.vpages[pos] & 3) as u8,
+                        ip_key: d.ipkeys[pos],
+                    },
+                });
+            }
+            n += 1;
+            if self.cores[ci].fetch_stall_until > now {
+                break;
+            }
+        }
+        n as u32
     }
 
     /// Instruction-line access through the L1I. Returns false on a
@@ -1108,12 +1342,11 @@ impl System {
     fn resolve_l1d_demand(
         &mut self,
         ci: usize,
-        vline: LineAddr,
+        pm: &PendingMem,
         pline: LineAddr,
-        ip: Ip,
-        store: bool,
         t: Cycle,
     ) -> Option<Cycle> {
+        let (ip, store) = (pm.ip, pm.store);
         let l1_lat = self.cores[ci].l1d.latency();
         let kind = if store {
             DemandKind::Rfo
@@ -1126,20 +1359,11 @@ impl System {
                 pf_class,
             } => {
                 let c = t + l1_lat;
-                self.run_l1d_prefetcher(
-                    ci,
-                    vline,
-                    pline,
-                    ip,
-                    kind,
-                    true,
-                    first_use_of_prefetch,
-                    pf_class,
-                );
+                self.run_l1d_prefetcher(ci, pm, pline, kind, true, first_use_of_prefetch, pf_class);
                 Some(c)
             }
             ProbeResult::MshrMerge { fill_at } => {
-                self.run_l1d_prefetcher(ci, vline, pline, ip, kind, false, false, 0);
+                self.run_l1d_prefetcher(ci, pm, pline, kind, false, false, 0);
                 let c = fill_at.max(t + l1_lat);
                 if self.debug_pf && c > t + 60 {
                     eprintln!(
@@ -1172,10 +1396,114 @@ impl System {
                 });
                 let nf = core.l1d.next_fill_raw();
                 self.arm_fill(sched::comp_l1d(ci), nf);
-                self.run_l1d_prefetcher(ci, vline, pline, ip, kind, false, false, 0);
+                self.run_l1d_prefetcher(ci, pm, pline, kind, false, false, 0);
                 Some(fill_at)
             }
         }
+    }
+
+    /// The hit-streak fused issue path (fast scheduler only): a maximal
+    /// run of pending accesses that repeat the L1D's memoized last demand
+    /// hit under the DTLB's memoized translation is committed with one
+    /// batched stats/port/ROB update, then the prefetcher is trained once
+    /// per access — training is observably stateful (RR-filter recency,
+    /// RST touches, NL issue) even on repeated hits, so only the cache,
+    /// TLB, and ROB side of the run may batch; the replay is exact,
+    /// including the memoized hit's `first_use = false` / memo-class
+    /// observation. Everything that falls outside a run takes the same
+    /// per-entry walk as [`System::issue`] (whose `demand_lookup` and
+    /// `translate` contain the single-access memo paths), so the fused
+    /// loop is behavior-identical to the naive one.
+    fn issue_fused(&mut self, ci: usize) -> u32 {
+        const ISSUE_WINDOW: usize = 8;
+        let now = self.now;
+        let mut n = 0;
+        // Phase 1: hit-streak runs at the head of the pending queue. The
+        // run is bounded by free L1D ports (the naive loop's real limiter:
+        // every issued access takes a port) and restricted to the exact
+        // line of the set's memo — a hit on any *other* line would arm a
+        // new memo and touch replacement state, so it ends the run.
+        loop {
+            let core = &mut self.cores[ci];
+            if core.pending.is_empty() {
+                return n;
+            }
+            let pm0 = core.pending[0];
+            let Some(memo_frame) = core.tlb.memo_timed_frame(pm0.vpage) else {
+                break;
+            };
+            let pline = phys_line(memo_frame, pm0.vline);
+            let Some(memo_class) = core.l1d.repeat_memo(pline) else {
+                break;
+            };
+            let free = core.l1d.ports_free(now) as usize;
+            if free == 0 {
+                return n;
+            }
+            let lim = free.min(core.pending.len());
+            let vline_raw = pm0.vline.raw();
+            let mut k = 0;
+            let mut any_write = false;
+            while k < lim && core.pending[k].vline.raw() == vline_raw {
+                any_write |= core.pending[k].store;
+                k += 1;
+            }
+            debug_assert!(k >= 1, "pending[0] matched the memo line");
+            core.l1d.commit_repeat_hits(pline, k as u32, any_write);
+            core.tlb.note_memo_hits(k as u64);
+            // All loads in the run complete together (memoized translation
+            // is penalty-free, so t = now); stores retire at now + 1 as in
+            // the naive loop.
+            let load_c = now + core.l1d.latency();
+            for j in 0..k {
+                let pm = core.pending[j];
+                let c = if pm.store { now + 1 } else { load_c };
+                core.rob.set_completion(pm.seq, pm.slot, c);
+            }
+            if !self.cores[ci].l1d_pf_noop {
+                for j in 0..k {
+                    let pm = self.cores[ci].pending[j];
+                    let kind = if pm.store {
+                        DemandKind::Rfo
+                    } else {
+                        DemandKind::Load
+                    };
+                    self.run_l1d_prefetcher(ci, &pm, pline, kind, true, false, memo_class);
+                }
+            }
+            self.cores[ci].pending.drain(..k);
+            n += k as u32;
+        }
+        // Phase 2: the general window, shaped exactly like the naive
+        // [`System::issue`] loop but reading the precomputed line/page/
+        // decode fields off the pending entry.
+        let mut i = 0;
+        loop {
+            let core = &mut self.cores[ci];
+            if i >= core.pending.len().min(ISSUE_WINDOW) {
+                break;
+            }
+            if !core.l1d.try_take_port(now) {
+                break;
+            }
+            let pm = core.pending[i];
+            let (ppage, penalty) = core
+                .tlb
+                .translate(ipcp_mem::VPage::new(pm.vpage), &mut core.mapper);
+            let pline = phys_line(ppage.raw(), pm.vline);
+            let t = now + penalty;
+            match self.resolve_l1d_demand(ci, &pm, pline, t) {
+                Some(completion) => {
+                    let core = &mut self.cores[ci];
+                    let c = if pm.store { now + 1 } else { completion };
+                    core.rob.set_completion(pm.seq, pm.slot, c);
+                    core.pending.remove(i);
+                    n += 1;
+                }
+                None => i += 1, // structural reject: retry next cycle
+            }
+        }
+        n
     }
 
     fn resolve_l2_demand(
@@ -1522,9 +1850,8 @@ impl System {
     fn run_l1d_prefetcher(
         &mut self,
         ci: usize,
-        vline: LineAddr,
+        pm: &PendingMem,
         pline: LineAddr,
-        ip: Ip,
         kind: DemandKind,
         hit: bool,
         first_use_of_prefetch: bool,
@@ -1533,6 +1860,8 @@ impl System {
         if self.cores[ci].l1d_pf_noop {
             return;
         }
+        let t0 = self.phase_start();
+        let (vline, ip) = (pm.vline, pm.ip);
         let dram_utilization = self.dram.utilization();
         let core = &mut self.cores[ci];
         let info = AccessInfo {
@@ -1547,6 +1876,7 @@ impl System {
             instructions: core.retired_total,
             demand_misses: core.l1d.lifetime_misses(),
             dram_utilization,
+            decode: pm.decode,
         };
         let mut sink = std::mem::take(&mut self.pf_scratch);
         self.cores[ci].l1d_pf.on_access(&info, &mut sink);
@@ -1571,6 +1901,7 @@ impl System {
         }
         sink.dropped = 0;
         self.pf_scratch = sink;
+        Self::phase_add(&mut self.phases.train_ns, t0);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1587,6 +1918,7 @@ impl System {
         if self.cores[ci].l2_pf_noop {
             return;
         }
+        let t0 = self.phase_start();
         let dram_utilization = self.dram.utilization();
         let core = &mut self.cores[ci];
         let info = AccessInfo {
@@ -1601,6 +1933,7 @@ impl System {
             instructions: core.retired_total,
             demand_misses: core.l2.lifetime_misses(),
             dram_utilization,
+            decode: AddrDecode::of(ip, pline),
         };
         let mut sink = std::mem::take(&mut self.pf_scratch);
         self.cores[ci].l2_pf.on_access(&info, &mut sink);
@@ -1609,12 +1942,14 @@ impl System {
         }
         sink.dropped = 0;
         self.pf_scratch = sink;
+        Self::phase_add(&mut self.phases.train_ns, t0);
     }
 
     fn run_l2_prefetcher_arrival(&mut self, ci: usize, qp: &QueuedPrefetch) {
         if self.cores[ci].l2_pf_noop {
             return;
         }
+        let t0 = self.phase_start();
         let core = &mut self.cores[ci];
         let arrival = MetadataArrival {
             cycle: self.now,
@@ -1633,6 +1968,7 @@ impl System {
         }
         sink.dropped = 0;
         self.pf_scratch = sink;
+        Self::phase_add(&mut self.phases.train_ns, t0);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1649,6 +1985,7 @@ impl System {
         if self.llc_pf_noop {
             return;
         }
+        let t0 = self.phase_start();
         let info = AccessInfo {
             cycle: self.now,
             ip,
@@ -1661,6 +1998,7 @@ impl System {
             instructions: 0,
             demand_misses: self.llc.lifetime_misses(),
             dram_utilization: self.dram.utilization(),
+            decode: AddrDecode::of(ip, pline),
         };
         let mut sink = std::mem::take(&mut self.pf_scratch);
         self.llc_pf.on_access(&info, &mut sink);
@@ -1669,6 +2007,7 @@ impl System {
         }
         sink.dropped = 0;
         self.pf_scratch = sink;
+        Self::phase_add(&mut self.phases.train_ns, t0);
     }
 
     fn enqueue_l1_request(&mut self, ci: usize, req: PrefetchRequest, ip: Ip) {
@@ -1849,11 +2188,11 @@ fn fill_info(now: Cycle, m: &Mshr, evicted: Option<crate::cache::Evicted>) -> Fi
     }
 }
 
-/// `IPCP_SCHED_STATS` with the env catalogue's boolean semantics (empty,
-/// `0`, `false`, `off`, `no` mean disabled), read once at construction
-/// like `IPCP_DEBUG_PF`.
-fn sched_stats_enabled() -> bool {
-    std::env::var("IPCP_SCHED_STATS").is_ok_and(|v| {
+/// Boolean observability knob (`IPCP_SCHED_STATS`, `IPCP_PHASE_STATS`)
+/// with the env catalogue's semantics (empty, `0`, `false`, `off`, `no`
+/// mean disabled), read once at construction like `IPCP_DEBUG_PF`.
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| {
         !matches!(
             v.trim().to_ascii_lowercase().as_str(),
             "" | "0" | "false" | "off" | "no"

@@ -93,13 +93,19 @@ pub struct Tlb {
     stlb: TlbArray,
     stlb_latency: Cycle,
     walk_latency: Cycle,
-    /// `(vpage, ppage)` of the most recent timed translation. That page is
-    /// DTLB-resident and holds the newest stamp in its set, so a repeat
-    /// timed translation only needs the access counter bumped: re-stamping
-    /// the already-newest way cannot change any future LRU victim. Valid
-    /// until another timed translation replaces it or an untimed DTLB hit
-    /// on a different page re-stamps recency behind the memo's back.
-    memo_timed: Option<(u64, u64)>,
+    /// Per-DTLB-set `(vpage, ppage)` of the most recent translation that
+    /// stamped that set. That page is DTLB-resident and holds the newest
+    /// stamp in its set, so a repeat timed translation only needs the
+    /// access counter bumped: re-stamping the already-newest way cannot
+    /// change any future LRU victim. One entry per set (rather than one
+    /// globally) keeps the memo alive when demand pages alternate across
+    /// sets — stamping a page in one set never reorders recency in
+    /// another. A set's entry is replaced whenever anything re-stamps that
+    /// set: a timed translation (any path) or an untimed DTLB hit. Empty
+    /// entries hold the [`VTAG_INVALID`] sentinel.
+    memo_timed: Vec<(u64, u64)>,
+    /// `dtlb sets - 1`; set count is asserted to be a power of two.
+    memo_timed_mask: usize,
     /// `(vpage, ppage)` pairs of recent untimed translations that missed
     /// both TLBs — in practice code pages, which only instruction fetch
     /// touches and which therefore never enter either TLB. Lookups only
@@ -124,12 +130,15 @@ pub struct Tlb {
 impl Tlb {
     /// Builds the TLB pair from configuration.
     pub fn new(cfg: &TlbConfig) -> Self {
+        let dtlb = TlbArray::new(cfg.dtlb_entries, cfg.dtlb_ways);
+        let sets = dtlb.sets;
         Self {
-            dtlb: TlbArray::new(cfg.dtlb_entries, cfg.dtlb_ways),
+            dtlb,
             stlb: TlbArray::new(cfg.stlb_entries, cfg.stlb_ways),
             stlb_latency: cfg.stlb_latency,
             walk_latency: cfg.walk_latency,
-            memo_timed: None,
+            memo_timed: vec![(VTAG_INVALID, 0); sets],
+            memo_timed_mask: sets - 1,
             memo_untimed_miss: [(VTAG_INVALID, 0); UNTIMED_MEMO_ENTRIES],
             memo_untimed_cursor: 0,
             naive: false,
@@ -144,17 +153,52 @@ impl Tlb {
         self
     }
 
+    /// The memoized frame for `vpage`, or `None` when the page is not in
+    /// the timed memo — always `None` in naive mode (so fused callers fall
+    /// back to the per-access path the oracle takes). A `Some` result
+    /// proves a timed translation of that vpage would return `(frame, 0)`
+    /// via the memo in [`Tlb::translate`], so a run of such repeats may be
+    /// batched with [`Tlb::note_memo_hits`].
+    pub fn memo_timed_frame(&self, vpage: u64) -> Option<u64> {
+        if self.naive {
+            return None;
+        }
+        let (mv, mp) = self.memo_timed[(vpage as usize) & self.memo_timed_mask];
+        (mv == vpage).then_some(mp)
+    }
+
+    /// Applies the batched statistics of `n` memoized timed translations
+    /// (each is exactly one DTLB access, nothing else).
+    pub fn note_memo_hits(&mut self, n: u64) {
+        self.stats.dtlb_accesses += n;
+    }
+
+    /// The untimed both-miss memo's frame for `vpage`, or `None` when the
+    /// page has no live entry — always `None` in naive mode. A live entry
+    /// proves the page is absent from both TLBs *right now* (entries die
+    /// the moment a timed translation inserts their page), so an untimed
+    /// translation of it would have no side effects at all and return
+    /// exactly this frame — fused callers may skip it entirely.
+    pub fn untimed_memo_frame(&self, vpage: u64) -> Option<u64> {
+        if self.naive {
+            return None;
+        }
+        self.memo_untimed_miss
+            .iter()
+            .find(|&&(mv, _)| mv == vpage)
+            .map(|&(_, mp)| mp)
+    }
+
     /// Translates `vpage`, returning the frame and the extra latency (0 on a
     /// DTLB hit) incurred before the data-cache access can begin.
     #[inline]
     pub fn translate(&mut self, vpage: VPage, mapper: &mut PageMapper) -> (PPage, Cycle) {
         let raw = vpage.raw();
         if !self.naive {
-            if let Some((mv, mp)) = self.memo_timed {
-                if mv == raw {
-                    self.stats.dtlb_accesses += 1;
-                    return (PPage::new(mp), 0);
-                }
+            let (mv, mp) = self.memo_timed[(raw as usize) & self.memo_timed_mask];
+            if mv == raw {
+                self.stats.dtlb_accesses += 1;
+                return (PPage::new(mp), 0);
             }
         }
         self.translate_slow(vpage, mapper)
@@ -187,7 +231,7 @@ impl Tlb {
         };
         // Every path above leaves `vpage` DTLB-resident with the newest
         // stamp in its set, which is exactly the memo's premise.
-        self.memo_timed = Some((raw, result.0.raw()));
+        self.memo_timed[(raw as usize) & self.memo_timed_mask] = (raw, result.0.raw());
         result
     }
 
@@ -212,11 +256,10 @@ impl Tlb {
     fn translate_untimed_slow(&mut self, vpage: VPage, mapper: &mut PageMapper) -> PPage {
         let raw = vpage.raw();
         if let Some(p) = self.dtlb.lookup(vpage) {
-            // The hit re-stamped this way; if it is a different page the
-            // timed memo's newest-in-set premise may no longer hold.
-            if self.memo_timed.is_some_and(|(mv, _)| mv != raw) {
-                self.memo_timed = None;
-            }
+            // The hit re-stamped this way, making this page the newest in
+            // its set — it now satisfies the timed memo's premise itself
+            // (a timed repeat would be: one DTLB access, hit, latency 0).
+            self.memo_timed[(raw as usize) & self.memo_timed_mask] = (raw, p.raw());
             return p;
         }
         if let Some(p) = self.stlb.lookup(vpage) {

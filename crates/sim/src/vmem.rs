@@ -29,7 +29,11 @@ impl PageMapper {
         Self {
             seed,
             next: 0,
-            map: HashMap::new(),
+            // Pre-sized for typical workload footprints so the demand path
+            // never stalls on an incremental rehash. Lookups only — the
+            // map's iteration order is never observed, so capacity cannot
+            // affect results.
+            map: HashMap::with_capacity(1 << 14),
         }
     }
 

@@ -288,8 +288,22 @@ fn main() {
         failures += invariant_sweep(&cfg, seeds);
     }
     if !args.has_flag("skip-oracle") {
-        failures += oracle_sweep(&cfg, &combo_names, seeds);
-        failures += mc_oracle_sweep(&cfg, seeds);
+        // Two depths per sweep: the configured scale plus a quarter-depth
+        // run. Warmup crossover, interval-sample boundaries, and the
+        // fused hit-streak runs all land on different cycles at the
+        // shallower depth, so a fast-path bug that happens to cancel out
+        // at one depth still has to survive the other.
+        let quarter = RunScale {
+            warmup: (scale.warmup / 4).max(1),
+            instructions: (scale.instructions / 4).max(8),
+        };
+        for s in [scale, quarter] {
+            let mut scfg = base_config(s);
+            scfg.no_fastpath = cfg.no_fastpath;
+            println!("oracle scale: warmup {} + {}", s.warmup, s.instructions);
+            failures += oracle_sweep(&scfg, &combo_names, seeds);
+            failures += mc_oracle_sweep(&scfg, seeds);
+        }
     }
     if failures > 0 {
         eprintln!("ipcp_check: {failures} failure(s)");

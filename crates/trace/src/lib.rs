@@ -206,6 +206,57 @@ impl InstrBatch {
     }
 }
 
+/// Derived address columns for one [`InstrBatch`]: everything the demand
+/// path downstream of decode needs from an address — instruction line,
+/// data line, page number, page offset, RST region index and the IP-table
+/// index/tag key — computed once per batch refill instead of re-derived
+/// per access in the core, the caches, the TLBs and the prefetcher.
+///
+/// The columns are parallel to the batch's; entries of non-memory
+/// instructions hold the derivation of address 0 and are never read.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedCols {
+    /// Instruction-fetch line: `ip >> LINE_SHIFT`.
+    pub ilines: Vec<u64>,
+    /// Data line address: `vaddr >> LINE_SHIFT`.
+    pub lines: Vec<u64>,
+    /// Virtual page number: `vaddr >> PAGE_SHIFT`.
+    pub vpages: Vec<u64>,
+    /// Line offset within the page (`0..LINES_PER_PAGE`).
+    pub pageoffs: Vec<u8>,
+    /// RST region index: `line >> (REGION_SHIFT - LINE_SHIFT)`.
+    pub regions: Vec<u64>,
+    /// IP-table index/tag source bits: `ip >> 2` (the table's set index
+    /// and tag are both slices of this key).
+    pub ipkeys: Vec<u64>,
+}
+
+impl DerivedCols {
+    /// Recomputes every derived column from `batch` in one pass.
+    pub fn compute(&mut self, batch: &InstrBatch) {
+        let region_shift = ipcp_mem::REGION_SHIFT - ipcp_mem::LINE_SHIFT;
+        let page_shift = ipcp_mem::PAGE_SHIFT - ipcp_mem::LINE_SHIFT;
+        let off_mask = ipcp_mem::LINES_PER_PAGE - 1;
+        self.ilines.clear();
+        self.lines.clear();
+        self.vpages.clear();
+        self.pageoffs.clear();
+        self.regions.clear();
+        self.ipkeys.clear();
+        self.ilines
+            .extend(batch.ips.iter().map(|ip| ip >> ipcp_mem::LINE_SHIFT));
+        self.ipkeys.extend(batch.ips.iter().map(|ip| ip >> 2));
+        self.lines
+            .extend(batch.addrs.iter().map(|a| a >> ipcp_mem::LINE_SHIFT));
+        self.vpages
+            .extend(self.lines.iter().map(|l| l >> page_shift));
+        self.pageoffs
+            .extend(self.lines.iter().map(|l| (l & off_mask) as u8));
+        self.regions
+            .extend(self.lines.iter().map(|l| l >> region_shift));
+    }
+}
+
 /// A batch-oriented instruction stream: refills a caller-owned
 /// [`InstrBatch`] instead of yielding one [`Instr`] per call, so the
 /// per-instruction virtual dispatch of a boxed iterator is paid once per

@@ -11,14 +11,126 @@
 //! All generators are infinite, deterministic iterators: the simulator stops
 //! at its instruction budget and A/B comparisons see identical streams.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use ipcp_trace::{Instr, TraceSource};
+use ipcp_trace::{BatchStream, Instr, InstrBatch, TraceSource, BATCH_CAPACITY};
 
 use crate::rng::Rng64;
 
 /// Bytes per cache line, re-exported for address math in generators.
 const LINE: u64 = ipcp_mem::LINE_BYTES;
+
+/// Cap on the memoized stream prefix, in instructions (~17 bytes each).
+/// Below the cap a trace's generator closure runs once per process; every
+/// batch stream after the first refills by per-column `memcpy`. Past the
+/// cap a stream falls back to a private generator — the exact cost the
+/// un-memoized path paid for every stream.
+const MEMO_CAP: usize = 4_000_000;
+
+/// Generator pull granularity when extending the memo (amortizes the lock
+/// and the per-instruction closure dispatch).
+const MEMO_CHUNK: usize = 16 * BATCH_CAPACITY;
+
+/// Columnar memo of a generator's stream prefix, shared by every batch
+/// stream of one [`SynthTrace`]. The canonical generator is parked exactly
+/// at `ips.len()` so extension is pure continuation — instruction values
+/// are identical to direct iteration by construction.
+#[derive(Default)]
+struct MemoCols {
+    ips: Vec<u64>,
+    kinds: Vec<u8>,
+    addrs: Vec<u64>,
+    gen: Option<Box<dyn Iterator<Item = Instr> + Send>>,
+    /// The generator ran dry (finite stream): the memo is the whole trace.
+    exhausted: bool,
+}
+
+impl MemoCols {
+    fn len(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// Extends the memo to at least `target` instructions (clamped to
+    /// [`MEMO_CAP`]), pulling [`MEMO_CHUNK`]-aligned amounts from the
+    /// canonical generator.
+    fn extend_to(
+        &mut self,
+        target: usize,
+        remake: &Arc<dyn Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>,
+    ) {
+        let target = target.max(self.len() + MEMO_CHUNK).min(MEMO_CAP);
+        let gen = self.gen.get_or_insert_with(|| remake());
+        while self.ips.len() < target {
+            let Some(instr) = gen.next() else {
+                self.exhausted = true;
+                self.gen = None;
+                return;
+            };
+            let (kind, addr) = match instr.mem {
+                ipcp_trace::MemOp::None => (ipcp_trace::KIND_NONE, 0),
+                ipcp_trace::MemOp::Load(a) => (ipcp_trace::KIND_LOAD, a.raw()),
+                ipcp_trace::MemOp::Store(a) => (ipcp_trace::KIND_STORE, a.raw()),
+            };
+            self.ips.push(instr.ip.raw());
+            self.kinds.push(kind);
+            self.addrs.push(addr);
+        }
+        if self.ips.len() >= MEMO_CAP {
+            // Cap reached: the canonical generator will never advance
+            // again, so its (potentially large) state can go.
+            self.gen = None;
+        }
+    }
+}
+
+/// Batch stream over a [`SynthTrace`]: serves from the shared columnar
+/// memo while inside the memoized prefix, and from a private continuation
+/// generator past [`MEMO_CAP`].
+struct MemoBatchStream {
+    memo: Arc<Mutex<MemoCols>>,
+    remake: Arc<dyn Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>,
+    pos: usize,
+    tail: Option<Box<dyn Iterator<Item = Instr> + Send>>,
+}
+
+impl BatchStream for MemoBatchStream {
+    fn next_batch(&mut self, out: &mut InstrBatch) -> usize {
+        out.clear();
+        if let Some(tail) = &mut self.tail {
+            for instr in tail.by_ref().take(BATCH_CAPACITY) {
+                out.push(instr);
+            }
+            self.pos += out.len();
+            return out.len();
+        }
+        {
+            let mut m = self.memo.lock().expect("trace memo poisoned");
+            if self.pos + BATCH_CAPACITY > m.len() && !m.exhausted && m.len() < MEMO_CAP {
+                m.extend_to(self.pos + BATCH_CAPACITY, &self.remake);
+            }
+            if self.pos < m.len() {
+                let n = (m.len() - self.pos).min(BATCH_CAPACITY);
+                let (a, b) = (self.pos, self.pos + n);
+                out.extend_from_columns(&m.ips[a..b], &m.kinds[a..b], &m.addrs[a..b]);
+                self.pos += n;
+                return n;
+            }
+            if m.exhausted {
+                return 0;
+            }
+        }
+        // Past the cap: regenerate privately and skip the memoized prefix
+        // (once per stream — the cost every stream used to pay anyway).
+        let mut it = (self.remake)();
+        for _ in 0..self.pos {
+            if it.next().is_none() {
+                return 0;
+            }
+        }
+        self.tail = Some(it);
+        self.next_batch(out)
+    }
+}
 
 /// A named synthetic trace: a factory of fresh, identical instruction
 /// streams.
@@ -35,7 +147,20 @@ pub struct SynthTrace {
 
 struct SynthTraceInner {
     name: String,
-    make: Box<dyn Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>,
+    make: Arc<dyn Fn() -> Box<dyn Iterator<Item = Instr> + Send> + Send + Sync>,
+    /// Shared columnar memo of the stream prefix (see [`MemoCols`]).
+    memo: Arc<Mutex<MemoCols>>,
+}
+
+impl SynthTraceInner {
+    fn open_batches(&self) -> Box<dyn BatchStream> {
+        Box::new(MemoBatchStream {
+            memo: Arc::clone(&self.memo),
+            remake: Arc::clone(&self.make),
+            pos: 0,
+            tail: None,
+        })
+    }
 }
 
 impl TraceSource for SynthTraceInner {
@@ -45,6 +170,10 @@ impl TraceSource for SynthTraceInner {
 
     fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
         (self.make)()
+    }
+
+    fn batch_stream(&self) -> Box<dyn BatchStream> {
+        self.open_batches()
     }
 }
 
@@ -65,7 +194,8 @@ impl SynthTrace {
         Self {
             inner: Arc::new(SynthTraceInner {
                 name: name.into(),
-                make: Box::new(make),
+                make: Arc::new(make),
+                memo: Arc::new(Mutex::new(MemoCols::default())),
             }),
         }
     }
@@ -100,6 +230,10 @@ impl TraceSource for SynthTrace {
 
     fn stream(&self) -> Box<dyn Iterator<Item = Instr> + Send> {
         (self.inner.make)()
+    }
+
+    fn batch_stream(&self) -> Box<dyn BatchStream> {
+        self.inner.open_batches()
     }
 }
 

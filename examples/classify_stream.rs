@@ -6,7 +6,7 @@
 
 use ipcp::{IpClass, IpcpConfig, IpcpL1};
 use ipcp_mem::{Ip, LineAddr};
-use ipcp_sim::prefetch::{AccessInfo, DemandKind, Prefetcher, VecSink};
+use ipcp_sim::prefetch::{AccessInfo, AddrDecode, DemandKind, Prefetcher, VecSink};
 
 fn access(ip: u64, line: u64) -> AccessInfo {
     AccessInfo {
@@ -21,6 +21,7 @@ fn access(ip: u64, line: u64) -> AccessInfo {
         instructions: 0,
         demand_misses: 0,
         dram_utilization: 0.0,
+        decode: AddrDecode::of(Ip(ip), LineAddr::new(line)),
     }
 }
 

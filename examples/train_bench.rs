@@ -1,0 +1,41 @@
+//! Microbenchmark: raw IpcpL1::on_access throughput on a strided stream.
+//! Run with: `cargo run --release --example train_bench`
+
+use ipcp::{IpcpConfig, IpcpL1};
+use ipcp_mem::{Ip, LineAddr};
+use ipcp_sim::prefetch::{AccessInfo, AddrDecode, DemandKind, Prefetcher, VecSink};
+
+fn main() {
+    let mut p = IpcpL1::new(IpcpConfig::default());
+    let mut sink = VecSink::new();
+    let n: u64 = 10_000_000;
+    let t0 = std::time::Instant::now();
+    let mut issued = 0u64;
+    for i in 0..n {
+        let line = LineAddr::new(0x10000 + i);
+        let ip = Ip(0x400100);
+        let info = AccessInfo {
+            cycle: i,
+            ip,
+            vline: line,
+            pline: line,
+            kind: DemandKind::Load,
+            hit: true,
+            first_use_of_prefetch: false,
+            hit_pf_class: 0,
+            instructions: i,
+            demand_misses: i / 100,
+            dram_utilization: 0.3,
+            decode: AddrDecode::of(ip, line),
+        };
+        p.on_access(&info, &mut sink);
+        issued += sink.requests.len() as u64;
+        sink.requests.clear();
+    }
+    let dt = t0.elapsed();
+    println!(
+        "{n} accesses in {:.3}s = {:.1} ns/access ({issued} reqs)",
+        dt.as_secs_f64(),
+        dt.as_secs_f64() * 1e9 / n as f64
+    );
+}

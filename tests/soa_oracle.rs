@@ -12,17 +12,28 @@ use std::sync::Arc;
 use ipcp_bench::combos;
 use ipcp_sim::telemetry::ToJson;
 use ipcp_sim::{run_single, ReplacementKind, SimConfig};
-use ipcp_trace::TraceSource;
+use ipcp_trace::{Instr, TraceSource};
 use ipcp_workloads::fuzz::{fuzz_trace, FuzzPattern};
+use ipcp_workloads::SynthTrace;
 
 const WARMUP: u64 = 1_000;
 const INSTRUCTIONS: u64 = 4_000;
 
-fn oracle_config() -> SimConfig {
-    let mut cfg = SimConfig::default().with_instructions(WARMUP, INSTRUCTIONS);
+/// Run depths for the fuzz-corpus sweep. Two scales, not one: warmup
+/// crossover, interval-sample boundaries, and fused hit-streak runs all
+/// land on different cycles at the shallower depth, so a fast-path bug
+/// that cancels out at one depth must also survive the other.
+const SCALES: [(u64, u64); 2] = [(WARMUP / 4, INSTRUCTIONS / 4), (WARMUP, INSTRUCTIONS)];
+
+fn oracle_config_at(warmup: u64, instructions: u64) -> SimConfig {
+    let mut cfg = SimConfig::default().with_instructions(warmup, instructions);
     // Sample an interval series so the comparison covers telemetry too.
-    cfg.sample_interval = Some(INSTRUCTIONS / 8);
+    cfg.sample_interval = Some(instructions / 8);
     cfg
+}
+
+fn oracle_config() -> SimConfig {
+    oracle_config_at(WARMUP, INSTRUCTIONS)
 }
 
 fn report_json(cfg: SimConfig, trace: Arc<dyn TraceSource + Send + Sync>, combo: &str) -> String {
@@ -37,32 +48,157 @@ fn report_json(cfg: SimConfig, trace: Arc<dyn TraceSource + Send + Sync>, combo:
 /// fuzz corpus and both IPCP combos.
 #[test]
 fn fast_and_naive_reports_are_byte_identical_over_fuzz_corpus() {
-    for combo in ["ipcp", "ipcp-l1"] {
-        for kind in [ReplacementKind::Lru, ReplacementKind::Ship] {
-            for pattern in FuzzPattern::ALL {
-                let trace = fuzz_trace(pattern, 1);
-                let mut fast_cfg = oracle_config();
-                fast_cfg.l1i.replacement = kind;
-                fast_cfg.l1d.replacement = kind;
-                fast_cfg.l2.replacement = kind;
-                fast_cfg.llc.replacement = kind;
-                let naive_cfg = fast_cfg.clone().without_fastpaths();
+    for (warmup, instructions) in SCALES {
+        for combo in ["ipcp", "ipcp-l1"] {
+            for kind in [ReplacementKind::Lru, ReplacementKind::Ship] {
+                for pattern in FuzzPattern::ALL {
+                    let trace = fuzz_trace(pattern, 1);
+                    let mut fast_cfg = oracle_config_at(warmup, instructions);
+                    fast_cfg.l1i.replacement = kind;
+                    fast_cfg.l1d.replacement = kind;
+                    fast_cfg.l2.replacement = kind;
+                    fast_cfg.llc.replacement = kind;
+                    let naive_cfg = fast_cfg.clone().without_fastpaths();
 
-                let fast = report_json(fast_cfg, trace.handle(), combo);
-                let naive = report_json(naive_cfg, trace.handle(), combo);
-                if fast != naive {
-                    let diff = fast
-                        .lines()
-                        .zip(naive.lines())
-                        .enumerate()
-                        .find(|(_, (a, b))| a != b);
-                    panic!(
-                        "{combo} × {kind:?} × {}: fast and naive reports differ (first diff: {diff:?})",
-                        pattern.name()
-                    );
+                    let fast = report_json(fast_cfg, trace.handle(), combo);
+                    let naive = report_json(naive_cfg, trace.handle(), combo);
+                    if fast != naive {
+                        let diff = fast
+                            .lines()
+                            .zip(naive.lines())
+                            .enumerate()
+                            .find(|(_, (a, b))| a != b);
+                        panic!(
+                            "{combo} × {kind:?} × {} @ {warmup}+{instructions}: fast and naive \
+                             reports differ (first diff: {diff:?})",
+                            pattern.name()
+                        );
+                    }
                 }
             }
         }
+    }
+}
+
+/// Byte-compares a crafted trace against the naive oracle under one
+/// replacement policy — the harness for the dedicated hit-streak tests.
+fn assert_hit_streak_oracle(trace: &SynthTrace, kind: ReplacementKind, what: &str) {
+    let mut fast_cfg = oracle_config();
+    fast_cfg.l1i.replacement = kind;
+    fast_cfg.l1d.replacement = kind;
+    fast_cfg.l2.replacement = kind;
+    fast_cfg.llc.replacement = kind;
+    let naive_cfg = fast_cfg.clone().without_fastpaths();
+    let fast = report_json(fast_cfg, trace.handle(), "ipcp");
+    let naive = report_json(naive_cfg, trace.handle(), "ipcp");
+    if fast != naive {
+        let diff = fast
+            .lines()
+            .zip(naive.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        panic!("{what} × {kind:?}: fast and naive reports differ (first diff: {diff:?})");
+    }
+}
+
+const LINE: u64 = ipcp_mem::LINE_BYTES;
+const LINES_PER_PAGE: u64 = ipcp_mem::LINES_PER_PAGE;
+
+/// Long same-line hit runs whose boundary is a page straddle: each run
+/// repeats the *last* line of a page, then steps onto the *first* line of
+/// the next page. The run detector's maximal-run scan must stop exactly at
+/// the line change (new page ⇒ new DTLB memo and a fresh L1D set memo),
+/// and every store inside a run must still reach the dirty bit.
+#[test]
+fn hit_streak_run_boundary_at_page_straddle() {
+    let trace = SynthTrace::new("hit-streak-page-straddle", || {
+        let mut page = 512u64;
+        let mut rep = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            let last_of_page = page * LINES_PER_PAGE + (LINES_PER_PAGE - 1);
+            let first_of_next = (page + 1) * LINES_PER_PAGE;
+            // 12 hits on the straddle-side line, 12 on the far side, then
+            // advance one page; one store inside each run.
+            let (line, ip) = if rep < 12 {
+                (last_of_page, 0x50_0000)
+            } else {
+                (first_of_next, 0x50_0004)
+            };
+            let instr = if rep % 7 == 3 {
+                Instr::store(ip, line * LINE)
+            } else {
+                Instr::load(ip, line * LINE)
+            };
+            rep += 1;
+            if rep == 24 {
+                rep = 0;
+                page += 1;
+            }
+            Some(instr)
+        }))
+    });
+    assert_hit_streak_oracle(&trace, ReplacementKind::Lru, "page-straddle runs");
+}
+
+/// The same repeated-line workload under replacement policies whose
+/// repeat hits are *not* no-ops (DRRIP's PSEL dueling, SHiP's SHCT):
+/// `repeat_hit_is_noop` is false there, the set memo must never arm, and
+/// every repeat hit must replay the policy's full hit action.
+#[test]
+fn hit_streak_under_stateful_replacement_policies() {
+    let trace = SynthTrace::new("hit-streak-stateful-repl", || {
+        let mut n = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            // Two interleaved IPs hammering two resident lines in long
+            // runs, with an occasional stride access to keep fills coming.
+            let phase = n / 16;
+            let rep = n % 16;
+            n += 1;
+            let line = if rep < 15 {
+                40_000 + (phase % 2) * 3
+            } else {
+                48_000 + phase // strided: periodic misses and fills
+            };
+            Some(Instr::load(0x51_0000 + (phase % 2) * 4, line * LINE))
+        }))
+    });
+    for kind in [ReplacementKind::Drrip, ReplacementKind::Ship] {
+        assert_hit_streak_oracle(&trace, kind, "stateful-replacement runs");
+    }
+}
+
+/// A fill that lands in the run line's own L1D set mid-run: the conflict
+/// stream below maps onto the same set as the repeated line (same line
+/// index modulo any power-of-two set count), so its miss fills arrive
+/// while the repeated line is the set's memoized last hit, and the fill's
+/// install must tear the memo down before the next run commits.
+#[test]
+fn hit_streak_with_mid_run_fill_arrival() {
+    let trace = SynthTrace::new("hit-streak-mid-run-fill", || {
+        let mut n = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            let phase = n / 24;
+            let rep = n % 24;
+            n += 1;
+            // 4096-line spacing keeps every conflict line in the repeated
+            // line's set for any power-of-two set count ≤ 4096; a fresh
+            // conflict line per phase forces a genuine miss + fill.
+            let hot = 60_000u64;
+            let line = if rep == 4 || rep == 5 {
+                hot + 4096 * (1 + phase)
+            } else {
+                hot
+            };
+            let instr = if rep == 9 {
+                Instr::store(0x52_0000, line * LINE)
+            } else {
+                Instr::load(0x52_0000, line * LINE)
+            };
+            Some(instr)
+        }))
+    });
+    for kind in [ReplacementKind::Lru, ReplacementKind::Ship] {
+        assert_hit_streak_oracle(&trace, kind, "mid-run-fill runs");
     }
 }
 
