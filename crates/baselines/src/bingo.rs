@@ -17,8 +17,12 @@ struct AgtEntry {
     footprint: u32,
     trigger_ip: u64,
     trigger_offset: u8,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits the
+    /// 6 LRU bits the storage budget claims for the 64-entry AGT.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(AgtEntry);
 
 #[derive(Debug, Clone, Copy, Default)]
 struct PhtEntry {
@@ -28,8 +32,12 @@ struct PhtEntry {
     /// Long event: hash of (PC, region address).
     long_key: u64,
     footprint: u32,
-    lru: u64,
+    /// Recency rank *within the entry's 8-way set*, 0 = most recent — fits
+    /// the 3 LRU bits the storage budget claims per PHT entry.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(PhtEntry);
 
 /// The Bingo prefetcher.
 #[derive(Debug, Clone)]
@@ -38,7 +46,6 @@ pub struct Bingo {
     agt: Vec<AgtEntry>,
     pht: Vec<PhtEntry>,
     sets: usize,
-    stamp: u64,
     /// Lookups served by the long (PC+Address) event.
     pub long_hits: u64,
     /// Lookups served by the short (PC+Offset) fallback.
@@ -55,7 +62,6 @@ impl Bingo {
             agt: vec![AgtEntry::default(); AGT_ENTRIES],
             pht: vec![PhtEntry::default(); pht_entries],
             sets: pht_entries / PHT_WAYS,
-            stamp: 0,
             long_hits: 0,
             short_hits: 0,
         }
@@ -93,57 +99,50 @@ impl Bingo {
         let short = Self::short_key(e.trigger_ip, e.trigger_offset);
         let long = Self::long_key(e.trigger_ip, e.region);
         let set = self.set_of(short);
-        let base = set * PHT_WAYS;
-        self.stamp += 1;
-        // Update an existing long match or allocate LRU.
-        let slot = (0..PHT_WAYS)
-            .map(|w| base + w)
-            .find(|&i| self.pht[i].valid && self.pht[i].long_key == long)
-            .unwrap_or_else(|| {
-                (base..base + PHT_WAYS)
-                    .min_by_key(|&i| {
-                        if self.pht[i].valid {
-                            self.pht[i].lru
-                        } else {
-                            0
-                        }
-                    })
-                    .expect("ways > 0")
-            });
-        self.pht[slot] = PhtEntry {
+        let ways = &mut self.pht[set * PHT_WAYS..(set + 1) * PHT_WAYS];
+        // Update an existing long match or allocate LRU within the set.
+        let found = (0..PHT_WAYS).find(|&w| ways[w].valid && ways[w].long_key == long);
+        let slot = match found {
+            Some(w) => {
+                crate::recency::touch(ways, w);
+                w
+            }
+            None => crate::recency::victim(ways),
+        };
+        ways[slot] = PhtEntry {
             valid: true,
             short_key: short,
             long_key: long,
             footprint: e.footprint,
-            lru: self.stamp,
+            rank: 0,
         };
+        if found.is_none() {
+            crate::recency::install(ways, slot);
+        }
     }
 
     fn lookup(&mut self, ip: u64, region: u64, offset: u8) -> Option<u32> {
         let short = Self::short_key(ip, offset);
         let long = Self::long_key(ip, region);
         let set = self.set_of(short);
-        let base = set * PHT_WAYS;
-        self.stamp += 1;
+        let ways = &mut self.pht[set * PHT_WAYS..(set + 1) * PHT_WAYS];
         // Long event first.
         for w in 0..PHT_WAYS {
-            let i = base + w;
-            if self.pht[i].valid && self.pht[i].long_key == long {
-                self.pht[i].lru = self.stamp;
+            if ways[w].valid && ways[w].long_key == long {
+                crate::recency::touch(ways, w);
                 self.long_hits += 1;
-                return Some(self.pht[i].footprint);
+                return Some(ways[w].footprint);
             }
         }
         // Fallback: the most recently trained short-event match (a union
         // over ways would compound stale junk footprints on irregular
         // traffic).
         let best = (0..PHT_WAYS)
-            .map(|w| base + w)
-            .filter(|&i| self.pht[i].valid && self.pht[i].short_key == short)
-            .max_by_key(|&i| self.pht[i].lru);
-        if let Some(i) = best {
+            .filter(|&w| ways[w].valid && ways[w].short_key == short)
+            .min_by_key(|&w| ways[w].rank);
+        if let Some(w) = best {
             self.short_hits += 1;
-            Some(self.pht[i].footprint)
+            Some(ways[w].footprint)
         } else {
             None
         }
@@ -156,7 +155,6 @@ impl Prefetcher for Bingo {
     }
 
     fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
-        self.stamp += 1;
         let (line, virt) = match self.fill {
             FillLevel::L1 => (info.vline, true),
             _ => (info.pline, false),
@@ -165,18 +163,11 @@ impl Prefetcher for Bingo {
         let offset = (line.raw() % LINES_PER_REGION) as u8;
 
         if let Some(i) = self.agt.iter().position(|e| e.valid && e.region == region) {
-            let e = &mut self.agt[i];
-            e.footprint |= 1 << offset;
-            e.lru = self.stamp;
+            crate::recency::touch(&mut self.agt, i);
+            self.agt[i].footprint |= 1 << offset;
             return;
         }
-        let v = self
-            .agt
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-            .map(|(i, _)| i)
-            .expect("AGT non-empty");
+        let v = crate::recency::victim(&self.agt);
         let old = self.agt[v];
         if old.valid {
             self.commit(old);
@@ -187,8 +178,9 @@ impl Prefetcher for Bingo {
             footprint: 1 << offset,
             trigger_ip: info.ip.raw(),
             trigger_offset: offset,
-            lru: self.stamp,
+            rank: 0,
         };
+        crate::recency::install(&mut self.agt, v);
         if let Some(fp) = self.lookup(info.ip.raw(), region, offset) {
             let base = region * LINES_PER_REGION;
             for b in 0..LINES_PER_REGION as u32 {

@@ -31,8 +31,12 @@ struct PbEntry {
     footprint: u32,
     trigger_ip: u64,
     trigger_offset: u8,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits well
+    /// inside the 4 LRU bits the storage budget claims for the 8-entry PB.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(PbEntry);
 
 /// The DSPatch prefetcher.
 #[derive(Debug, Clone)]
@@ -40,7 +44,6 @@ pub struct Dspatch {
     fill: FillLevel,
     spt: Vec<SptEntry>,
     pb: Vec<PbEntry>,
-    stamp: u64,
 }
 
 impl Dspatch {
@@ -50,7 +53,6 @@ impl Dspatch {
             fill,
             spt: vec![SptEntry::default(); SPT_ENTRIES],
             pb: vec![PbEntry::default(); PB_ENTRIES],
-            stamp: 0,
         }
     }
 
@@ -103,7 +105,6 @@ impl Prefetcher for Dspatch {
     }
 
     fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
-        self.stamp += 1;
         let (line, virt) = match self.fill {
             FillLevel::L1 => (info.vline, true),
             _ => (info.pline, false),
@@ -113,20 +114,13 @@ impl Prefetcher for Dspatch {
 
         match self.pb.iter().position(|e| e.valid && e.region == region) {
             Some(i) => {
-                let e = &mut self.pb[i];
-                e.footprint |= 1 << offset;
-                e.lru = self.stamp;
+                crate::recency::touch(&mut self.pb, i);
+                self.pb[i].footprint |= 1 << offset;
             }
             None => {
                 // New region: learn from the evicted buffer entry, then
                 // predict for the new trigger access.
-                let v = self
-                    .pb
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("PB non-empty");
+                let v = crate::recency::victim(&self.pb);
                 let old = self.pb[v];
                 if old.valid {
                     self.learn(old);
@@ -137,8 +131,9 @@ impl Prefetcher for Dspatch {
                     footprint: 1 << offset,
                     trigger_ip: info.ip.raw(),
                     trigger_offset: offset,
-                    lru: self.stamp,
+                    rank: 0,
                 };
+                crate::recency::install(&mut self.pb, v);
                 // Predict: select pattern by bandwidth.
                 let (idx, tag) = Self::spt_slot(info.ip);
                 let e = self.spt[idx];

@@ -1,0 +1,170 @@
+//! An FDIP-style fetch-directed instruction prefetcher [Reinman et al.,
+//! ISCA 1999]: the front end runs ahead of the fetch stream along
+//! predicted control flow and prefetches the instruction lines it will
+//! need. We model the decoupled front end's effect with a successor
+//! cache: a large direct-mapped table of observed line→next-line
+//! transitions on the ifetch stream, walked `depth` lines ahead of every
+//! line transition. The table is deliberately generous — FDIP is the
+//! high-storage baseline that record-based schemes like [`crate::Mana`]
+//! compress.
+
+use ipcp_mem::LineAddr;
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SuccEntry {
+    valid: bool,
+    /// Full line address of the source of the transition.
+    tag: u64,
+    /// Line observed next on the fetch stream.
+    next: u64,
+}
+
+/// The FDIP-style fetch-directed prefetcher.
+#[derive(Debug, Clone)]
+pub struct Fdip {
+    entries: Vec<SuccEntry>,
+    mask: u64,
+    depth: u8,
+    fill: FillLevel,
+    last_line: u64,
+    last_valid: bool,
+}
+
+impl Fdip {
+    /// Creates an FDIP-style prefetcher with `entries` successor slots
+    /// (power of two) running `depth` line transitions ahead.
+    pub fn new(entries: usize, depth: u8, fill: FillLevel) -> Self {
+        assert!(entries.is_power_of_two());
+        assert!((1..=16).contains(&depth));
+        Self {
+            entries: vec![SuccEntry::default(); entries],
+            mask: entries as u64 - 1,
+            depth,
+            fill,
+            last_line: 0,
+            last_valid: false,
+        }
+    }
+
+    /// The default L1-I configuration: a 16 K-entry successor cache run
+    /// six transitions ahead — enough reach to cover multi-MB code
+    /// footprints, at the storage cost fetch-directed schemes pay.
+    pub fn l1i_default() -> Self {
+        Self::new(16_384, 6, FillLevel::L1)
+    }
+
+    fn index(&self, line: u64) -> usize {
+        (line & self.mask) as usize
+    }
+}
+
+impl Prefetcher for Fdip {
+    fn name(&self) -> &'static str {
+        "fdip"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        let x = line.raw();
+        // Only line transitions carry information: sequential fetch within
+        // one line neither trains nor triggers.
+        if self.last_valid && self.last_line == x {
+            return;
+        }
+        if self.last_valid {
+            let idx = self.index(self.last_line);
+            self.entries[idx] = SuccEntry {
+                valid: true,
+                tag: self.last_line,
+                next: x,
+            };
+        }
+        self.last_valid = true;
+        self.last_line = x;
+        // Run ahead along the recorded transition chain.
+        let mut cur = x;
+        for _ in 0..self.depth {
+            let e = self.entries[self.index(cur)];
+            if !e.valid || e.tag != cur {
+                break;
+            }
+            cur = e.next;
+            if cur == x {
+                // Closed a loop back to the trigger: everything ahead is
+                // already covered by this walk.
+                break;
+            }
+            sink.prefetch(PrefetchRequest {
+                line: LineAddr::new(cur),
+                virtual_addr: virt,
+                fill: self.fill,
+                pf_class: 0,
+                meta: None,
+            });
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // tag (16, partial in hardware) + next line (58) + valid (1) per
+        // successor entry, plus the 58-bit last-line register.
+        (16 + 58 + 1) * self.entries.len() as u64 + 58
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn drive(p: &mut Fdip, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x400, l, false), &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn replays_a_recorded_transition_chain() {
+        let mut p = Fdip::l1i_default();
+        // First traversal trains 10→200→3000→44→10; nothing to issue yet.
+        assert!(drive(&mut p, &[10, 200, 3000, 44]).is_empty());
+        // Revisiting the loop head replays the whole chain.
+        let reqs = drive(&mut p, &[10]);
+        assert_eq!(reqs, vec![200, 3000, 44]);
+    }
+
+    #[test]
+    fn repeated_fetches_of_one_line_are_silent() {
+        let mut p = Fdip::l1i_default();
+        assert!(drive(&mut p, &[77, 77, 77, 77]).is_empty());
+    }
+
+    #[test]
+    fn retrains_when_control_flow_changes() {
+        let mut p = Fdip::l1i_default();
+        drive(&mut p, &[10, 200, 3000]);
+        // 10's successor is rewritten from 200 to 999.
+        drive(&mut p, &[10, 999]);
+        let reqs = drive(&mut p, &[88, 10]);
+        assert!(reqs.contains(&999), "{reqs:?}");
+        assert!(!reqs.contains(&200), "{reqs:?}");
+    }
+
+    #[test]
+    fn issue_volume_bounded_by_depth() {
+        let mut p = Fdip::new(1024, 4, FillLevel::L1);
+        let lines: Vec<u64> = (0..64).map(|i| 100 + i).collect();
+        for &l in &lines {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x400, l, false), &mut s);
+            assert!(s.requests.len() <= 4);
+        }
+    }
+}

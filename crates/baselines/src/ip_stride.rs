@@ -23,6 +23,15 @@ pub struct IpStride {
     fill: FillLevel,
 }
 
+/// Width of the modeled per-entry stride field (signed, in lines) — the
+/// same 7 bits [`IpStride::storage_bits`] budgets. Training rejects deltas
+/// outside this range: a stride the hardware could not store must never
+/// enter the table (it would also reintroduce the `stride * k` i64
+/// overflow hazard for adversarial addresses).
+const STRIDE_BITS: u32 = 7;
+const STRIDE_MAX: i64 = (1 << (STRIDE_BITS - 1)) - 1;
+const STRIDE_MIN: i64 = -(1 << (STRIDE_BITS - 1));
+
 impl IpStride {
     /// Creates an IP-stride prefetcher with `entries` table slots
     /// (power of two; the standard configuration is 64) and the given
@@ -70,9 +79,19 @@ impl Prefetcher for IpStride {
             };
             return;
         }
-        let observed = line.raw() as i64 - e.last_line as i64;
+        // Wrapping diff so adversarial (near-2^63) addresses can't overflow
+        // the subtraction; anything outside the modeled width is rejected
+        // below regardless of how it wrapped.
+        let observed = line.raw().wrapping_sub(e.last_line) as i64;
         e.last_line = line.raw();
         if observed == 0 {
+            return;
+        }
+        if !(STRIDE_MIN..=STRIDE_MAX).contains(&observed) {
+            // Out-of-range delta: untrainable. Decay like a mismatch but
+            // never store the stride — the table's stride field always
+            // holds a value the 7-bit hardware field could.
+            e.confidence = e.confidence.saturating_sub(1);
             return;
         }
         if observed == e.stride {
@@ -153,6 +172,32 @@ mod tests {
         assert!(drive(&mut p, other, &[500]).is_empty());
         // Original IP must retrain from scratch.
         assert!(drive(&mut p, 0x400, &[108]).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_strides_are_rejected() {
+        // A repeating stride of 100 lines does not fit the 7-bit stride
+        // field: training must reject it, issue nothing, and leave the
+        // entry ready to learn an in-range stride immediately.
+        let mut p = IpStride::l1_default();
+        let lines: Vec<u64> = (0..10).map(|i| 1000 + i * 100).collect();
+        assert!(drive(&mut p, 0x400, &lines).is_empty());
+        // In-range retraining is not poisoned by the rejected stride.
+        let reqs = drive(&mut p, 0x400, &[2000, 2002, 2004, 2006, 2008]);
+        assert!(!reqs.is_empty(), "entry must retrain after rejection");
+    }
+
+    #[test]
+    fn adversarial_near_overflow_addresses_do_not_panic() {
+        // Deltas of 2^62 lines: the old unbounded training stored them and
+        // `stride * k` (and even the i64 subtraction) could overflow in the
+        // burst loop. The clamp rejects them before any multiplication.
+        let mut p = IpStride::l1_default();
+        let lines: Vec<u64> = (0..8u64).map(|k| k.wrapping_mul(1 << 62)).collect();
+        assert!(drive(&mut p, 0x400, &lines).is_empty());
+        let mut p = IpStride::l1_default();
+        let lines = [0, u64::MAX - 2, 1, u64::MAX - 1, 2, u64::MAX];
+        assert!(drive(&mut p, 0x400, &lines).is_empty());
     }
 
     #[test]

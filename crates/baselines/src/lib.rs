@@ -22,6 +22,13 @@
 //! * [`isb::IsbLite`] — an ISB-style *temporal* prefetcher (the
 //!   hundreds-of-KB class), used for the paper's Section VII future-work
 //!   experiment of adding a temporal component to IPCP.
+//!
+//! Front-end (L1-I) baselines for the instruction-prefetching scenarios:
+//!
+//! * [`fdip::Fdip`] — an FDIP-style fetch-directed successor-cache
+//!   prefetcher, the high-storage front-end baseline.
+//! * [`mana::Mana`] — a MANA-style record-based prefetcher compressing
+//!   the fetch stream into trigger/footprint/successor records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,11 +37,14 @@ pub mod bingo;
 pub mod bop;
 pub mod composite;
 pub mod dspatch;
+pub mod fdip;
 pub mod ip_stride;
 pub mod isb;
+pub mod mana;
 pub mod mlop;
 pub mod nl;
 pub mod ppf;
+mod recency;
 pub mod sandbox;
 pub mod sms;
 pub mod spp;
@@ -46,8 +56,10 @@ pub use bingo::Bingo;
 pub use bop::Bop;
 pub use composite::{spp_perceptron_dspatch, Duo};
 pub use dspatch::Dspatch;
+pub use fdip::Fdip;
 pub use ip_stride::IpStride;
 pub use isb::{IsbLite, TemporalScope};
+pub use mana::Mana;
 pub use mlop::Mlop;
 pub use nl::NextLine;
 pub use ppf::SppPpf;

@@ -1,0 +1,222 @@
+//! A MANA-style record-based instruction prefetcher [Ansari et al., ISCA
+//! 2020]: instead of one entry per line transition (the FDIP-scale cost),
+//! the fetch stream is compressed into *records* — a trigger line, a
+//! footprint bitmap over the next few lines, and a pointer to the
+//! successor record. One record covers a whole basic-block-sized burst,
+//! and chaining records replays multi-region control flow, so the table
+//! is several times smaller than [`crate::Fdip`]'s successor cache for
+//! the same reach (the contract test pins the ratio).
+
+use ipcp_mem::LineAddr;
+use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
+
+/// Lines after the trigger covered by one record's footprint bitmap.
+const FOOTPRINT_SPAN: u64 = 8;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Record {
+    valid: bool,
+    /// Full line address of the record's trigger.
+    tag: u64,
+    /// Bit `i` set ⇒ line `trigger + 1 + i` was fetched during the burst.
+    footprint: u8,
+    /// Table index of the record observed next on the fetch stream.
+    succ: u16,
+    has_succ: bool,
+}
+
+/// The MANA-style record-based prefetcher.
+#[derive(Debug, Clone)]
+pub struct Mana {
+    records: Vec<Record>,
+    mask: u64,
+    /// Successor records followed (and prefetched) past the trigger's own.
+    chain: u8,
+    fill: FillLevel,
+    // Record under construction from the live fetch stream.
+    cur_trigger: u64,
+    cur_footprint: u8,
+    cur_valid: bool,
+    /// Index of the most recently finalized record, for successor linking.
+    prev_idx: Option<u16>,
+}
+
+impl Mana {
+    /// Creates a MANA-style prefetcher with `records` table slots (power
+    /// of two, ≤ 65536) following `chain` successor records per trigger.
+    pub fn new(records: usize, chain: u8, fill: FillLevel) -> Self {
+        assert!(records.is_power_of_two() && records <= 1 << 16);
+        assert!(chain <= 3, "chain × record span must stay issue-bounded");
+        Self {
+            records: vec![Record::default(); records],
+            mask: records as u64 - 1,
+            chain,
+            fill,
+            cur_trigger: 0,
+            cur_footprint: 0,
+            cur_valid: false,
+            prev_idx: None,
+        }
+    }
+
+    /// The default L1-I configuration: 4 K records, two successor records
+    /// chained — roughly an eighth of [`crate::Fdip::l1i_default`]'s
+    /// storage.
+    pub fn l1i_default() -> Self {
+        Self::new(4096, 2, FillLevel::L1)
+    }
+
+    fn index(&self, line: u64) -> usize {
+        (line & self.mask) as usize
+    }
+
+    fn replay(&self, trigger: u64, virt: bool, sink: &mut dyn PrefetchSink) {
+        let mut idx = self.index(trigger);
+        let issue = |line: u64, sink: &mut dyn PrefetchSink| {
+            sink.prefetch(PrefetchRequest {
+                line: LineAddr::new(line),
+                virtual_addr: virt,
+                fill: self.fill,
+                pf_class: 0,
+                meta: None,
+            });
+        };
+        for step in 0..=u32::from(self.chain) {
+            let r = self.records[idx];
+            if !r.valid || (step == 0 && r.tag != trigger) {
+                break;
+            }
+            // The first record's trigger is the demand line itself; chained
+            // records' triggers have not been fetched yet.
+            if step > 0 {
+                issue(r.tag, sink);
+            }
+            for b in 0..FOOTPRINT_SPAN {
+                if r.footprint & (1 << b) != 0 {
+                    issue(r.tag + 1 + b, sink);
+                }
+            }
+            if !r.has_succ {
+                break;
+            }
+            idx = usize::from(r.succ);
+        }
+    }
+
+    fn finalize_current(&mut self) {
+        let idx = self.index(self.cur_trigger);
+        self.records[idx] = Record {
+            valid: true,
+            tag: self.cur_trigger,
+            footprint: self.cur_footprint,
+            succ: 0,
+            has_succ: false,
+        };
+        if let Some(p) = self.prev_idx {
+            let p = usize::from(p);
+            if p != idx {
+                self.records[p].succ = idx as u16;
+                self.records[p].has_succ = true;
+            }
+        }
+        self.prev_idx = Some(idx as u16);
+    }
+}
+
+impl Prefetcher for Mana {
+    fn name(&self) -> &'static str {
+        "mana"
+    }
+
+    fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
+        let (line, virt) = match self.fill {
+            FillLevel::L1 => (info.vline, true),
+            _ => (info.pline, false),
+        };
+        let x = line.raw();
+        if self.cur_valid {
+            let delta = x.wrapping_sub(self.cur_trigger);
+            if delta == 0 {
+                return;
+            }
+            if (1..=FOOTPRINT_SPAN).contains(&delta) {
+                self.cur_footprint |= 1 << (delta - 1);
+                return;
+            }
+            // Left the record's span: commit it and start a new one.
+            self.finalize_current();
+        }
+        self.cur_valid = true;
+        self.cur_trigger = x;
+        self.cur_footprint = 0;
+        self.replay(x, virt, sink);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // tag (16, partial in hardware) + footprint (8) + successor
+        // pointer (log2(records)) + has_succ (1) + valid (1) per record.
+        let ptr_bits = u64::from(self.records.len().trailing_zeros());
+        (16 + 8 + ptr_bits + 1 + 1) * self.records.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipcp_sim::prefetch::{test_access, VecSink};
+
+    fn drive(p: &mut Mana, lines: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &l in lines {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x400, l, false), &mut s);
+            out.extend(s.requests.iter().map(|r| r.line.raw()));
+        }
+        out
+    }
+
+    #[test]
+    fn replays_footprint_and_chained_record() {
+        let mut p = Mana::l1i_default();
+        // First traversal: record {100: 101,103} then {500: 501}, linked.
+        assert!(drive(&mut p, &[100, 101, 103, 500, 501]).is_empty());
+        // Revisiting the trigger replays its footprint and the successor
+        // record's trigger + footprint.
+        let reqs = drive(&mut p, &[100]);
+        assert_eq!(reqs, vec![101, 103, 500, 501]);
+    }
+
+    #[test]
+    fn refetches_within_one_record_are_silent() {
+        let mut p = Mana::l1i_default();
+        assert!(drive(&mut p, &[100, 100, 101, 101, 100, 104]).is_empty());
+    }
+
+    #[test]
+    fn issue_volume_bounded_by_chain_and_span() {
+        // Worst case: every record has a full footprint; a replay visits
+        // chain+1 records of ≤ 9 lines each minus the demand trigger.
+        let mut p = Mana::l1i_default();
+        let mut stream = Vec::new();
+        for t in [1000u64, 2000, 3000, 1000] {
+            stream.extend((0..=FOOTPRINT_SPAN).map(|d| t + d));
+        }
+        for &l in &stream {
+            let mut s = VecSink::new();
+            p.on_access(&test_access(0x400, l, false), &mut s);
+            assert!(s.requests.len() <= 26, "{}", s.requests.len());
+        }
+    }
+
+    #[test]
+    fn storage_is_several_times_below_fdip() {
+        let mana = Mana::l1i_default();
+        let fdip = crate::Fdip::l1i_default();
+        assert!(
+            mana.storage_bits() * 4 <= fdip.storage_bits(),
+            "mana {} vs fdip {}",
+            mana.storage_bits(),
+            fdip.storage_bits()
+        );
+    }
+}

@@ -19,8 +19,12 @@ struct Zone {
     map: u64,
     /// Lines already prefetched from this zone (issue dedup).
     prefetched: u64,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits the
+    /// 6 LRU bits the storage budget claims for the 64-zone table.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(Zone);
 
 /// The MLOP prefetcher.
 #[derive(Debug, Clone)]
@@ -36,7 +40,6 @@ pub struct Mlop {
     access_count: u32,
     round_accesses: u32,
     best: [i64; MAX_LOOKAHEAD],
-    stamp: u64,
 }
 
 impl Mlop {
@@ -50,7 +53,6 @@ impl Mlop {
             access_count: 0,
             round_accesses: 0,
             best: [0; MAX_LOOKAHEAD],
-            stamp: 0,
         }
     }
 
@@ -65,27 +67,21 @@ impl Mlop {
     }
 
     fn zone_index(&mut self, page: u64) -> usize {
-        self.stamp += 1;
         match self.zones.iter().position(|z| z.valid && z.page == page) {
             Some(i) => {
-                self.zones[i].lru = self.stamp;
+                crate::recency::touch(&mut self.zones, i);
                 i
             }
             None => {
-                let v = self
-                    .zones
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, z)| if z.valid { z.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("zones non-empty");
+                let v = crate::recency::victim(&self.zones);
                 self.zones[v] = Zone {
                     page,
                     valid: true,
                     map: 0,
                     prefetched: 0,
-                    lru: self.stamp,
+                    rank: 0,
                 };
+                crate::recency::install(&mut self.zones, v);
                 self.stamps[v] = [0; 64];
                 v
             }
@@ -204,7 +200,9 @@ impl Prefetcher for Mlop {
     }
 
     fn storage_bits(&self) -> u64 {
-        let zones = (52 + 64 + 4) * ZONES as u64;
+        // Per zone: page tag (52) + access map (64) + prefetched-line
+        // dedup map (64) + 6-bit LRU rank for the 64-entry table.
+        let zones = (52 + 64 + 64 + 6) * ZONES as u64;
         let scores = (OFFSETS.len() * MAX_LOOKAHEAD) as u64 * 9;
         // The per-line stamps model the paper's access-map FIFO ordering;
         // budget them at 6 bits per line.

@@ -1,0 +1,77 @@
+//! Rank-based recency tracking shared by the table-driven baselines.
+//!
+//! Several baselines used to keep a free-running `u64` cycle stamp per
+//! entry while their `storage_bits` budgeted the handful of LRU bits real
+//! hardware would spend. Ranks close that gap: valid entries of a table
+//! (or of one set) always hold a permutation of `0..valid_count` with
+//! rank 0 the most recent, so the replacement state genuinely fits the
+//! ceil(log2(ways)) bits charged. Promotion preserves the exact recency
+//! order the stamps induced — victim selection, and therefore every
+//! simulated result, is unchanged.
+
+pub(crate) trait Recent {
+    fn valid(&self) -> bool;
+    fn rank(&self) -> u8;
+    fn set_rank(&mut self, rank: u8);
+}
+
+/// Implements [`Recent`] for an entry struct with `valid: bool` and
+/// `rank: u8` fields.
+macro_rules! impl_recent {
+    ($t:ty) => {
+        impl crate::recency::Recent for $t {
+            fn valid(&self) -> bool {
+                self.valid
+            }
+            fn rank(&self) -> u8 {
+                self.rank
+            }
+            fn set_rank(&mut self, rank: u8) {
+                self.rank = rank;
+            }
+        }
+    };
+}
+pub(crate) use impl_recent;
+
+/// Promotes `entries[idx]` (which must be valid) to most-recent: entries
+/// more recent than its old rank age by one.
+pub(crate) fn touch<E: Recent>(entries: &mut [E], idx: usize) {
+    debug_assert!(entries.len() <= 256, "ranks are u8");
+    let old = entries[idx].rank();
+    for e in entries.iter_mut() {
+        if e.valid() && e.rank() < old {
+            let r = e.rank();
+            e.set_rank(r + 1);
+        }
+    }
+    entries[idx].set_rank(0);
+}
+
+/// Replacement victim: the first invalid slot, else the unique
+/// least-recent (maximum-rank) valid entry.
+pub(crate) fn victim<E: Recent>(entries: &[E]) -> usize {
+    entries.iter().position(|e| !e.valid()).unwrap_or_else(|| {
+        entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.rank())
+            .map(|(i, _)| i)
+            .expect("table non-empty")
+    })
+}
+
+/// Registers a freshly (over)written `entries[idx]` as most-recent:
+/// every other valid entry ages by one. Use after allocating into a slot
+/// returned by [`victim`]; for an in-place update of an existing valid
+/// entry use [`touch`] (before overwriting) instead.
+pub(crate) fn install<E: Recent>(entries: &mut [E], idx: usize) {
+    debug_assert!(entries.len() <= 256, "ranks are u8");
+    for (i, e) in entries.iter_mut().enumerate() {
+        if e.valid() && i != idx {
+            let r = e.rank();
+            e.set_rank(r + 1);
+        }
+    }
+    entries[idx].set_rank(0);
+}

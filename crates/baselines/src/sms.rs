@@ -15,8 +15,12 @@ struct AgtEntry {
     footprint: u32,
     trigger_ip: u64,
     trigger_offset: u8,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits the
+    /// 5 LRU bits the storage budget claims for the 32-entry AGT.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(AgtEntry);
 
 #[derive(Debug, Clone, Copy, Default)]
 struct PhtEntry {
@@ -31,7 +35,6 @@ pub struct Sms {
     fill: FillLevel,
     agt: Vec<AgtEntry>,
     pht: Vec<PhtEntry>,
-    stamp: u64,
 }
 
 impl Sms {
@@ -43,7 +46,6 @@ impl Sms {
             fill,
             agt: vec![AgtEntry::default(); AGT_ENTRIES],
             pht: vec![PhtEntry::default(); pht_entries],
-            stamp: 0,
         }
     }
 
@@ -81,7 +83,6 @@ impl Prefetcher for Sms {
     }
 
     fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
-        self.stamp += 1;
         let (line, virt) = match self.fill {
             FillLevel::L1 => (info.vline, true),
             _ => (info.pline, false),
@@ -90,20 +91,13 @@ impl Prefetcher for Sms {
         let offset = (line.raw() % LINES_PER_REGION) as u8;
 
         if let Some(i) = self.agt.iter().position(|e| e.valid && e.region == region) {
-            let e = &mut self.agt[i];
-            e.footprint |= 1 << offset;
-            e.lru = self.stamp;
+            crate::recency::touch(&mut self.agt, i);
+            self.agt[i].footprint |= 1 << offset;
             return;
         }
         // New region: commit the evicted accumulation, start a new one,
         // and replay the stored footprint for this trigger.
-        let v = self
-            .agt
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-            .map(|(i, _)| i)
-            .expect("AGT non-empty");
+        let v = crate::recency::victim(&self.agt);
         let old = self.agt[v];
         if old.valid {
             self.commit(old);
@@ -114,8 +108,9 @@ impl Prefetcher for Sms {
             footprint: 1 << offset,
             trigger_ip: info.ip.raw(),
             trigger_offset: offset,
-            lru: self.stamp,
+            rank: 0,
         };
+        crate::recency::install(&mut self.agt, v);
         let key = Self::pht_key(info.ip.raw(), offset);
         let idx = self.pht_index(key);
         let e = self.pht[idx];

@@ -27,8 +27,12 @@ struct StEntry {
     valid: bool,
     last_offset: u8,
     signature: u32,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits the
+    /// 8 LRU bits the storage budget claims for the 256-entry ST.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(StEntry);
 
 #[derive(Debug, Clone, Copy, Default)]
 struct PtEntry {
@@ -48,7 +52,6 @@ pub struct Spp {
     fill: FillLevel,
     st: Vec<StEntry>,
     pt: Vec<PtSet>,
-    stamp: u64,
 }
 
 /// Computes the successor signature (the SPP hash).
@@ -63,7 +66,6 @@ impl Spp {
             fill,
             st: vec![StEntry::default(); ST_ENTRIES],
             pt: vec![PtSet::default(); PT_ENTRIES],
-            stamp: 0,
         }
     }
 
@@ -141,32 +143,26 @@ impl Spp {
     /// Observes an access and returns the post-update signature (the PPF
     /// wrapper drives lookahead itself).
     pub(crate) fn observe(&mut self, line: ipcp_mem::LineAddr) -> Option<u32> {
-        self.stamp += 1;
         let page = line.raw() >> 6;
         let offset = (line.raw() & 63) as u8;
         let idx = match self.st.iter().position(|e| e.valid && e.page == page) {
             Some(i) => i,
             None => {
-                let v = self
-                    .st
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("ST non-empty");
+                let v = crate::recency::victim(&self.st);
                 self.st[v] = StEntry {
                     page,
                     valid: true,
                     last_offset: offset,
                     signature: 0,
-                    lru: self.stamp,
+                    rank: 0,
                 };
+                crate::recency::install(&mut self.st, v);
                 return None;
             }
         };
+        crate::recency::touch(&mut self.st, idx);
         let (old_sig, delta) = {
             let e = &mut self.st[idx];
-            e.lru = self.stamp;
             let delta = i16::from(offset) - i16::from(e.last_offset);
             if delta == 0 {
                 return None;

@@ -2,6 +2,7 @@
 //! 2002]: stream filters allocate on misses, confirm on an adjacent access
 //! in either direction, and then run ahead of the demand stream.
 
+use crate::recency;
 use ipcp_sim::prefetch::{AccessInfo, FillLevel, PrefetchRequest, PrefetchSink, Prefetcher};
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -13,8 +14,14 @@ struct StreamEntry {
     direction: i64,
     /// Consecutive confirmations.
     confidence: u8,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits the
+    /// ceil(log2(streams)) bits the storage budget claims (4 bits for the
+    /// 16-stream configuration), unlike the unbounded cycle stamp this
+    /// replaced.
+    rank: u8,
 }
+
+recency::impl_recent!(StreamEntry);
 
 /// The stream prefetcher.
 #[derive(Debug, Clone)]
@@ -23,20 +30,18 @@ pub struct StreamPf {
     degree: u8,
     distance: u8,
     fill: FillLevel,
-    stamp: u64,
 }
 
 impl StreamPf {
     /// Creates a stream prefetcher with `streams` filter entries, running
     /// `degree` lines ahead from `distance` lines beyond the head.
     pub fn new(streams: usize, degree: u8, distance: u8, fill: FillLevel) -> Self {
-        assert!(streams > 0 && degree >= 1);
+        assert!(streams > 0 && streams <= 256 && degree >= 1);
         Self {
             entries: vec![StreamEntry::default(); streams],
             degree,
             distance,
             fill,
-            stamp: 0,
         }
     }
 
@@ -52,7 +57,6 @@ impl Prefetcher for StreamPf {
     }
 
     fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
-        self.stamp += 1;
         let (line, virt) = match self.fill {
             FillLevel::L1 => (info.vline, true),
             _ => (info.pline, false),
@@ -60,61 +64,63 @@ impl Prefetcher for StreamPf {
         let x = line.raw();
         // Try to extend an existing stream: the access must land just ahead
         // of a stream head (within 2 lines) in a consistent direction.
-        for e in &mut self.entries {
+        let hit_idx = self.entries.iter().position(|e| {
             if !e.valid {
-                continue;
+                return false;
             }
             let delta = x as i64 - e.head as i64;
-            let matches = if e.direction == 0 {
+            if e.direction == 0 {
                 delta != 0 && delta.abs() <= 2
             } else {
                 delta * e.direction > 0 && delta.abs() <= 2
-            };
-            if matches {
-                e.direction = if delta > 0 { 1 } else { -1 };
-                e.head = x;
-                e.confidence = (e.confidence + 1).min(7);
-                e.lru = self.stamp;
-                if e.confidence >= 2 {
-                    let dir = e.direction;
-                    let start = i64::from(self.distance);
-                    for k in start..start + i64::from(self.degree) {
-                        let Some(target) = line.offset_within_page(dir * k) else {
-                            break;
-                        };
-                        let req = PrefetchRequest {
-                            line: target,
-                            virtual_addr: virt,
-                            fill: self.fill,
-                            pf_class: 0,
-                            meta: None,
-                        };
-                        sink.prefetch(req);
-                    }
-                }
-                return;
             }
+        });
+        if let Some(i) = hit_idx {
+            recency::touch(&mut self.entries, i);
+            let e = &mut self.entries[i];
+            let delta = x as i64 - e.head as i64;
+            e.direction = if delta > 0 { 1 } else { -1 };
+            e.head = x;
+            e.confidence = (e.confidence + 1).min(7);
+            e.rank = 0;
+            if e.confidence >= 2 {
+                let dir = e.direction;
+                let start = i64::from(self.distance);
+                for k in start..start + i64::from(self.degree) {
+                    let Some(target) = line.offset_within_page(dir * k) else {
+                        break;
+                    };
+                    let req = PrefetchRequest {
+                        line: target,
+                        virtual_addr: virt,
+                        fill: self.fill,
+                        pf_class: 0,
+                        meta: None,
+                    };
+                    sink.prefetch(req);
+                }
+            }
+            return;
         }
         // Allocate a new stream on a miss.
         if !info.hit {
-            let victim = self
-                .entries
-                .iter_mut()
-                .min_by_key(|e| if e.valid { e.lru } else { 0 })
-                .expect("streams > 0");
-            *victim = StreamEntry {
+            let v = recency::victim(&self.entries);
+            self.entries[v] = StreamEntry {
                 valid: true,
                 head: x,
                 direction: 0,
                 confidence: 0,
-                lru: self.stamp,
+                rank: 0,
             };
+            recency::install(&mut self.entries, v);
         }
     }
 
     fn storage_bits(&self) -> u64 {
-        // head (58) + dir (2) + conf (3) + valid (1) + lru (4) per stream.
-        (58 + 2 + 3 + 1 + 4) * self.entries.len() as u64
+        // head (58) + dir (2) + conf (3) + valid (1) + recency rank
+        // (ceil(log2(streams)), 4 for the default 16) per stream.
+        let rank_bits = u64::from(self.entries.len().next_power_of_two().trailing_zeros());
+        (58 + 2 + 3 + 1 + rank_bits) * self.entries.len() as u64
     }
 }
 
@@ -154,6 +160,29 @@ mod tests {
         let mut p = StreamPf::l1_default();
         let reqs = drive(&mut p, &[100, 900, 4000, 77, 35_000]);
         assert!(reqs.is_empty());
+    }
+
+    #[test]
+    fn recency_ranks_fit_the_budgeted_width() {
+        // Hammer the table with far more distinct streams than entries and
+        // check every rank stays below `streams` — i.e. the replacement
+        // state really fits the 4 bits `storage_bits` charges for it.
+        let mut p = StreamPf::l1_default();
+        for i in 0..400u64 {
+            drive(&mut p, &[i * 10_000, i * 10_000 + 1, i * 10_000 + 2]);
+        }
+        let n = p.entries.len() as u8;
+        assert!(p.entries.iter().all(|e| e.rank < n));
+        // Valid entries hold a permutation of 0..N: ranks are all distinct.
+        let mut ranks: Vec<u8> = p
+            .entries
+            .iter()
+            .filter(|e| e.valid)
+            .map(|e| e.rank)
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), p.entries.iter().filter(|e| e.valid).count());
     }
 
     #[test]

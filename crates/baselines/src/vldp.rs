@@ -17,8 +17,12 @@ struct DhbEntry {
     last_offset: u8,
     deltas: [i8; DEPTH],
     num_deltas: u8,
-    lru: u64,
+    /// Recency rank, 0 = most recent (see [`crate::recency`]) — fits the
+    /// 4 LRU bits the storage budget claims for the 16-entry DHB.
+    rank: u8,
 }
+
+crate::recency::impl_recent!(DhbEntry);
 
 #[derive(Debug, Clone, Copy, Default)]
 struct DptEntry {
@@ -35,7 +39,6 @@ pub struct Vldp {
     degree: u8,
     dhb: Vec<DhbEntry>,
     dpts: Vec<Vec<DptEntry>>,
-    stamp: u64,
 }
 
 impl Vldp {
@@ -46,7 +49,6 @@ impl Vldp {
             degree,
             dhb: vec![DhbEntry::default(); DHB_ENTRIES],
             dpts: vec![vec![DptEntry::default(); DPT_ENTRIES]; DEPTH],
-            stamp: 0,
         }
     }
 
@@ -113,7 +115,6 @@ impl Prefetcher for Vldp {
     }
 
     fn on_access(&mut self, info: &AccessInfo, sink: &mut dyn PrefetchSink) {
-        self.stamp += 1;
         let (line, virt) = match self.fill {
             FillLevel::L1 => (info.vline, true),
             _ => (info.pline, false),
@@ -125,26 +126,20 @@ impl Prefetcher for Vldp {
         let idx = match self.dhb.iter().position(|e| e.valid && e.page == page) {
             Some(i) => i,
             None => {
-                let v = self
-                    .dhb
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| if e.valid { e.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("DHB non-empty");
+                let v = crate::recency::victim(&self.dhb);
                 self.dhb[v] = DhbEntry {
                     page,
                     valid: true,
                     last_offset: offset,
-                    lru: self.stamp,
                     ..DhbEntry::default()
                 };
+                crate::recency::install(&mut self.dhb, v);
                 return;
             }
         };
+        crate::recency::touch(&mut self.dhb, idx);
         let (history, observed) = {
             let e = &mut self.dhb[idx];
-            e.lru = self.stamp;
             let delta = i16::from(offset) - i16::from(e.last_offset);
             e.last_offset = offset;
             if delta == 0 {

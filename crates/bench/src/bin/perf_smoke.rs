@@ -253,11 +253,7 @@ fn main() {
             .iter()
             .map(|t| {
                 let c = combos::build("ipcp");
-                CoreSetup {
-                    trace: t.handle(),
-                    l1d_prefetcher: c.l1,
-                    l2_prefetcher: c.l2,
-                }
+                CoreSetup::new(t.handle(), c.l1, c.l2)
             })
             .collect();
         let mut sys = System::new(cfg, setups, combos::build("ipcp").llc);

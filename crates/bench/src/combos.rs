@@ -4,13 +4,17 @@
 
 use ipcp::{IpcpConfig, IpcpL1, IpcpL2};
 use ipcp_baselines::{
-    spp_perceptron_dspatch, Bingo, Bop, IpStride, Mlop, NextLine, Sandbox, Sms, Spp, StreamPf,
-    TskidLite, Vldp,
+    spp_perceptron_dspatch, Bingo, Bop, Fdip, IpStride, Mana, Mlop, NextLine, Sandbox, Sms, Spp,
+    StreamPf, TskidLite, Vldp,
 };
 use ipcp_sim::prefetch::{FillLevel, FillLevelOverride, NoPrefetcher, Prefetcher};
 
 /// A full prefetcher placement: one prefetcher per cache level.
 pub struct Combo {
+    /// L1-I prefetcher (front-end side; `NoPrefetcher` in every data-side
+    /// combination so their reports stay bit-identical to the pre-frontend
+    /// builds).
+    pub l1i: Box<dyn Prefetcher>,
     /// L1-D prefetcher.
     pub l1: Box<dyn Prefetcher>,
     /// L2 prefetcher.
@@ -21,13 +25,25 @@ pub struct Combo {
 
 impl Combo {
     fn new(l1: Box<dyn Prefetcher>, l2: Box<dyn Prefetcher>, llc: Box<dyn Prefetcher>) -> Self {
-        Self { l1, l2, llc }
+        Self {
+            l1i: none(),
+            l1,
+            l2,
+            llc,
+        }
+    }
+
+    fn with_l1i(mut self, l1i: Box<dyn Prefetcher>) -> Self {
+        self.l1i = l1i;
+        self
     }
 
     /// Total hardware budget in bytes (Table III's storage column), rounded
-    /// per level as the paper does (740 B + 155 B = 895 B).
+    /// per level as the paper does (740 B + 155 B = 895 B). The L1-I slot
+    /// joins the sum only when a front-end prefetcher is attached.
     pub fn storage_bytes(&self) -> u64 {
-        self.l1.storage_bits().div_ceil(8)
+        self.l1i.storage_bits().div_ceil(8)
+            + self.l1.storage_bits().div_ceil(8)
             + self.l2.storage_bits().div_ceil(8)
             + self.llc.storage_bits().div_ceil(8)
     }
@@ -56,6 +72,10 @@ fn restrictive_nl(fill: FillLevel) -> Box<dyn Prefetcher> {
 /// L2-only placements and train-at-L1-fill-to-L2 variants (Fig. 1):
 /// `l2-ip-stride`, `l2-mlop`, `l2-bingo`, `l1fill2-ip-stride`,
 /// `l1fill2-mlop`, `l1fill2-bingo`.
+///
+/// Front-end (L1-I) placements: `fdip`, `mana` (instruction side only),
+/// and `fdip-ipcp`, `mana-ipcp` (instruction side composed with the full
+/// IPCP data-side stack, sharing the L2 and prefetch-queue machinery).
 ///
 /// # Panics
 ///
@@ -151,6 +171,22 @@ pub fn build(name: &str) -> Combo {
             none(),
         ),
 
+        // --- Front-end (L1-I) placements.
+        "fdip" => Combo::new(none(), none(), none()).with_l1i(Box::new(Fdip::l1i_default())),
+        "mana" => Combo::new(none(), none(), none()).with_l1i(Box::new(Mana::l1i_default())),
+        "fdip-ipcp" => Combo::new(
+            Box::new(IpcpL1::new(ipcp_cfg())),
+            Box::new(IpcpL2::new(ipcp_cfg())),
+            none(),
+        )
+        .with_l1i(Box::new(Fdip::l1i_default())),
+        "mana-ipcp" => Combo::new(
+            Box::new(IpcpL1::new(ipcp_cfg())),
+            Box::new(IpcpL2::new(ipcp_cfg())),
+            none(),
+        )
+        .with_l1i(Box::new(Mana::l1i_default())),
+
         other => panic!("unknown combo name: {other}"),
     }
 }
@@ -206,10 +242,41 @@ mod tests {
             "l1fill2-ip-stride",
             "l1fill2-mlop",
             "l1fill2-bingo",
+            "fdip",
+            "mana",
+            "fdip-ipcp",
+            "mana-ipcp",
         ] {
             let c = build(name);
             let _ = c.storage_bytes();
         }
+    }
+
+    #[test]
+    fn frontend_combos_populate_the_l1i_slot() {
+        for name in ["fdip", "mana", "fdip-ipcp", "mana-ipcp"] {
+            assert_ne!(build(name).l1i.name(), "none", "{name}");
+        }
+        // Every data-side combination leaves the slot empty so its reports
+        // stay bit-identical to the pre-frontend builds.
+        for name in ["none", "ipcp", "mlop", "l1-ipcp", "l2-bingo"] {
+            assert_eq!(build(name).l1i.name(), "none", "{name}");
+        }
+    }
+
+    #[test]
+    fn frontend_composition_storage_is_additive() {
+        let ipcp = build("ipcp").storage_bytes();
+        assert_eq!(
+            build("fdip-ipcp").storage_bytes(),
+            ipcp + build("fdip").storage_bytes()
+        );
+        assert_eq!(
+            build("mana-ipcp").storage_bytes(),
+            ipcp + build("mana").storage_bytes()
+        );
+        // The MANA table stays several times below FDIP's successor cache.
+        assert!(build("mana").storage_bytes() * 4 <= build("fdip").storage_bytes());
     }
 
     #[test]

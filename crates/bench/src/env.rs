@@ -74,6 +74,10 @@ pub const KNOBS: &[Knob] = &[
         summary: "number of random 4-core mixes in fig15_multicore (non-negative integer; default 4)",
     },
     Knob {
+        name: "IPCP_FE_FOOTPRINTS",
+        summary: "number of fe-deep footprint-ladder traces (smallest first) the frontend figures sweep (non-negative integer; default 4 = full ladder)",
+    },
+    Knob {
         name: "IPCP_INTERVAL",
         summary: "interval-sampler period in retired instructions (positive integer; unset/empty: sampler off)",
     },
@@ -242,6 +246,17 @@ pub fn mixes(default: usize) -> Result<usize, EnvError> {
     parse_count("IPCP_MIXES", raw("IPCP_MIXES")?.as_deref(), default)
 }
 
+/// `IPCP_FE_FOOTPRINTS`: how many fe-deep footprint-ladder traces the
+/// frontend figures sweep, smallest first (so `1` is a quick smoke run
+/// over the 256 KB footprint only).
+pub fn fe_footprints(default: usize) -> Result<usize, EnvError> {
+    parse_count(
+        "IPCP_FE_FOOTPRINTS",
+        raw("IPCP_FE_FOOTPRINTS")?.as_deref(),
+        default,
+    )
+}
+
 /// `IPCP_INTERVAL`: interval-sampler period. `Ok(None)` when unset or
 /// empty (sampler off).
 pub fn interval() -> Result<Option<u64>, EnvError> {
@@ -365,6 +380,7 @@ mod tests {
             "IPCP_SIMCACHE_DIR",
             "IPCP_SIMCACHE_STATS",
             "IPCP_MIXES",
+            "IPCP_FE_FOOTPRINTS",
             "IPCP_INTERVAL",
             "IPCP_NO_FASTPATH",
             "IPCP_SCHED_STATS",

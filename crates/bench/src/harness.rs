@@ -169,11 +169,7 @@ pub fn alone_ipc_uncached(trace: &SynthTrace, combo: &str, cores: u32, scale: Ru
         let c = combos::build(combo);
         let mut sys = System::new(
             cfg.clone(),
-            vec![CoreSetup {
-                trace: trace.handle(),
-                l1d_prefetcher: c.l1,
-                l2_prefetcher: c.l2,
-            }],
+            vec![CoreSetup::new(trace.handle(), c.l1, c.l2).with_l1i_prefetcher(c.l1i)],
             c.llc,
         );
         sys.run()
@@ -193,11 +189,7 @@ pub fn run_mix_report(mix: &[SynthTrace], combo: &str, scale: RunScale) -> ipcp_
             .iter()
             .map(|t| {
                 let c = combos::build(combo);
-                CoreSetup {
-                    trace: t.handle(),
-                    l1d_prefetcher: c.l1,
-                    l2_prefetcher: c.l2,
-                }
+                CoreSetup::new(t.handle(), c.l1, c.l2).with_l1i_prefetcher(c.l1i)
             })
             .collect();
         let llc = combos::build(combo).llc;

@@ -60,6 +60,10 @@ pub const EXPERIMENTS: &[&str] = &[
     "sens_ip_assoc",
     "ext_l2_complement",
     "ext_temporal",
+    "fe01_l1i_mpki",
+    "fe02_frontend_bottleneck",
+    "fe03_compose_shared_l2",
+    "fe04_mana_storage",
 ];
 
 /// A typed description of one experiment job. Build with the fluent
@@ -344,6 +348,7 @@ const KNOB_NAMES: &[&str] = &[
     "IPCP_SIMCACHE_DIR",
     "IPCP_SIMCACHE_STATS",
     "IPCP_MIXES",
+    "IPCP_FE_FOOTPRINTS",
     "IPCP_INTERVAL",
     "IPCP_NO_FASTPATH",
 ];
@@ -540,10 +545,12 @@ mod tests {
     }
 
     #[test]
-    fn experiments_list_is_the_canonical_23() {
-        assert_eq!(EXPERIMENTS.len(), 23);
+    fn experiments_list_is_the_canonical_27() {
+        assert_eq!(EXPERIMENTS.len(), 27);
         assert_eq!(EXPERIMENTS[0], "table1_storage");
         assert!(EXPERIMENTS.contains(&"fig15_multicore"));
+        assert!(EXPERIMENTS.contains(&"fe01_l1i_mpki"));
+        assert!(EXPERIMENTS.contains(&"fe04_mana_storage"));
     }
 
     #[test]

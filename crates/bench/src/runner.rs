@@ -38,7 +38,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ipcp_sim::telemetry::{JsonValue, ToJson};
-use ipcp_sim::{run_single, SimConfig, SimReport};
+use ipcp_sim::{run_single, run_single_with_l1i, SimConfig, SimReport};
 use ipcp_trace::TraceSource;
 use ipcp_workloads::SynthTrace;
 
@@ -177,7 +177,7 @@ pub fn run_combo_with(
     tweak(&mut cfg);
     crate::simcache::get_or_run(&[trace.name()], combo, &cfg, || {
         let c = combos::build(combo);
-        run_single(cfg.clone(), trace.handle(), c.l1, c.l2, c.llc)
+        run_single_with_l1i(cfg.clone(), trace.handle(), c.l1i, c.l1, c.l2, c.llc)
     })
 }
 

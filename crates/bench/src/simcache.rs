@@ -63,7 +63,13 @@ use crate::store::{fnv1a_64, ResultStore};
 /// of averaging over the whole span since the last update — an update
 /// that jumps several windows no longer dilutes a bursty miss phase, so
 /// NL enable/disable flips on traces with idle gaps or drifting rates.
-pub const SIM_BEHAVIOR_VERSION: u32 = 3;
+/// v4: the IP-stride baseline clamps trained strides to its modeled
+/// 7-bit signed field (out-of-range deltas no longer train or prefetch),
+/// and MLOP's `storage_bits` charges the per-zone prefetched bitmap and
+/// rank-based LRU it always kept (4230 → 4758 B in Table III's storage
+/// column). The L1-I prefetcher slot itself is report-neutral with the
+/// default noop attached.
+pub const SIM_BEHAVIOR_VERSION: u32 = 4;
 
 /// Entry-file schema version (the JSON envelope, not the simulator).
 const ENTRY_SCHEMA: u64 = 1;

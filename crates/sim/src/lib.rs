@@ -53,5 +53,5 @@ pub use config::{
 };
 pub use sched::SchedStats;
 pub use stats::{CacheStats, CoreReport, CoreStats, DramStats, PhaseStats, SimReport, TlbStats};
-pub use system::{run_single, weighted_speedup, CoreSetup, System};
+pub use system::{run_single, run_single_with_l1i, weighted_speedup, CoreSetup, System};
 pub use telemetry::{FromJson, JsonValue, Sample, Sampler, ToJson};

@@ -48,13 +48,19 @@ pub const PQ_LLC: u32 = 0;
 /// Prefetch-queue bit for core `ci`'s L2 PQ.
 #[inline]
 pub const fn pq_l2(ci: usize) -> u32 {
-    1 + 2 * ci as u32
+    1 + 3 * ci as u32
 }
 
 /// Prefetch-queue bit for core `ci`'s L1D PQ.
 #[inline]
 pub const fn pq_l1d(ci: usize) -> u32 {
-    2 + 2 * ci as u32
+    2 + 3 * ci as u32
+}
+
+/// Prefetch-queue bit for core `ci`'s L1I PQ (the I-side prefetcher slot).
+#[inline]
+pub const fn pq_l1i(ci: usize) -> u32 {
+    3 + 3 * ci as u32
 }
 
 /// Scheduler observability counters, exported through the telemetry sidecar
@@ -194,7 +200,21 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "ids must be dense");
         // Every fill id and every PQ bit fits a u64 mask at the max width.
         assert!(3 * cores < 64);
-        assert!(pq_l1d(cores - 1) < 64);
+        assert!(pq_l1i(cores - 1) < 64);
+    }
+
+    #[test]
+    fn pq_bits_are_dense_and_disjoint() {
+        let cores = MAX_FAST_CORES;
+        let mut seen = vec![false; 3 * cores + 1];
+        seen[PQ_LLC as usize] = true;
+        for ci in 0..cores {
+            for b in [pq_l2(ci), pq_l1d(ci), pq_l1i(ci)] {
+                assert!(!seen[b as usize], "pq bit {b} collides");
+                seen[b as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "pq bits must be dense");
     }
 
     #[test]

@@ -63,10 +63,40 @@ const WATCHDOG_CYCLES: Cycle = 10_000_000;
 pub struct CoreSetup {
     /// The instruction trace this core executes (replayed on exhaustion).
     pub trace: Arc<dyn TraceSource + Send + Sync>,
+    /// L1-I (instruction-side) prefetcher. Defaults to
+    /// [`crate::prefetch::NoPrefetcher`] via [`CoreSetup::new`]; a non-noop
+    /// prefetcher here routes every new ifetch line through the full
+    /// [`System::ifetch`] path so its hooks fire identically under the fast
+    /// and naive schedulers.
+    pub l1i_prefetcher: Box<dyn Prefetcher>,
     /// L1-D prefetcher.
     pub l1d_prefetcher: Box<dyn Prefetcher>,
     /// L2 prefetcher.
     pub l2_prefetcher: Box<dyn Prefetcher>,
+}
+
+impl CoreSetup {
+    /// Wiring with no instruction-side prefetcher (the historical shape —
+    /// every data-side figure uses this).
+    pub fn new(
+        trace: Arc<dyn TraceSource + Send + Sync>,
+        l1d_prefetcher: Box<dyn Prefetcher>,
+        l2_prefetcher: Box<dyn Prefetcher>,
+    ) -> Self {
+        Self {
+            trace,
+            l1i_prefetcher: Box::new(crate::prefetch::NoPrefetcher),
+            l1d_prefetcher,
+            l2_prefetcher,
+        }
+    }
+
+    /// Attaches an L1-I prefetcher.
+    #[must_use]
+    pub fn with_l1i_prefetcher(mut self, p: Box<dyn Prefetcher>) -> Self {
+        self.l1i_prefetcher = p;
+        self
+    }
 }
 
 impl std::fmt::Debug for CoreSetup {
@@ -253,11 +283,17 @@ struct Core {
     l1d: Cache,
     l2: Cache,
     tlb: Tlb,
+    l1i_pf: Box<dyn Prefetcher>,
     l1d_pf: Box<dyn Prefetcher>,
     l2_pf: Box<dyn Prefetcher>,
     /// Cached `is_noop` of the attached prefetchers: the access hooks
     /// assemble an event struct and make a virtual call on every demand
     /// access, which is dead weight for the ubiquitous `none` baseline.
+    /// `l1i_pf_noop` additionally gates the fast repeat-ifetch memo: a
+    /// non-noop I-side prefetcher must observe every new ifetch line, so
+    /// the memo shortcut stands down and both schedulers take the full
+    /// [`System::ifetch`] path (the exactness contract of DESIGN.md §12).
+    l1i_pf_noop: bool,
     l1d_pf_noop: bool,
     l2_pf_noop: bool,
     /// Per-core page mapper: each trace is its own process with a private
@@ -456,8 +492,10 @@ impl System {
                     l1d: Cache::new_with_mode(&cfg.l1d, 1, cfg.no_fastpath),
                     l2: Cache::new_with_mode(&cfg.l2, 1, cfg.no_fastpath),
                     tlb: Tlb::new(&cfg.tlb).with_naive(cfg.no_fastpath),
+                    l1i_pf_noop: s.l1i_prefetcher.is_noop(),
                     l1d_pf_noop: s.l1d_prefetcher.is_noop(),
                     l2_pf_noop: s.l2_prefetcher.is_noop(),
+                    l1i_pf: s.l1i_prefetcher,
                     l1d_pf: s.l1d_prefetcher,
                     l2_pf: s.l2_prefetcher,
                     rob: Rob::new(cfg.core.rob_entries as usize),
@@ -477,9 +515,11 @@ impl System {
         let dram = Dram::new(cfg.dram);
         let sampler = cfg.sample_interval.map(Sampler::new);
         let cycle_hooks = llc_prefetcher.uses_cycle_hook()
-            || cores
-                .iter()
-                .any(|c: &Core| c.l1d_pf.uses_cycle_hook() || c.l2_pf.uses_cycle_hook());
+            || cores.iter().any(|c: &Core| {
+                c.l1i_pf.uses_cycle_hook()
+                    || c.l1d_pf.uses_cycle_hook()
+                    || c.l2_pf.uses_cycle_hook()
+            });
         let llc_pf_noop = llc_prefetcher.is_noop();
         let fast = !cfg.no_fastpath && cores.len() <= sched::MAX_FAST_CORES;
         let warm_pending = if cfg.warmup_instructions > 0 {
@@ -672,16 +712,25 @@ impl System {
                         self.pq_active &= !(1u64 << b);
                     }
                 } else {
-                    let ci = ((b - 1) / 2) as usize;
-                    if (b - 1).is_multiple_of(2) {
-                        activity |= self.drain_l2_pq(ci);
-                        if self.cores[ci].l2.pq_len() == 0 {
-                            self.pq_active &= !(1u64 << b);
+                    let ci = ((b - 1) / 3) as usize;
+                    match (b - 1) % 3 {
+                        0 => {
+                            activity |= self.drain_l2_pq(ci);
+                            if self.cores[ci].l2.pq_len() == 0 {
+                                self.pq_active &= !(1u64 << b);
+                            }
                         }
-                    } else {
-                        activity |= self.drain_l1_pq(ci);
-                        if self.cores[ci].l1d.pq_len() == 0 {
-                            self.pq_active &= !(1u64 << b);
+                        1 => {
+                            activity |= self.drain_l1_pq(ci);
+                            if self.cores[ci].l1d.pq_len() == 0 {
+                                self.pq_active &= !(1u64 << b);
+                            }
+                        }
+                        _ => {
+                            activity |= self.drain_l1i_pq(ci);
+                            if self.cores[ci].l1i.pq_len() == 0 {
+                                self.pq_active &= !(1u64 << b);
+                            }
                         }
                     }
                 }
@@ -1012,6 +1061,9 @@ impl System {
             if self.cores[ci].l1d.pq_len() > 0 {
                 activity |= self.drain_l1_pq(ci);
             }
+            if self.cores[ci].l1i.pq_len() > 0 {
+                activity |= self.drain_l1i_pq(ci);
+            }
         }
         Self::phase_add(&mut self.phases.drain_ns, t0);
         for ci in 0..self.cores.len() {
@@ -1041,6 +1093,10 @@ impl System {
         }
         let mut sink = std::mem::take(&mut self.pf_scratch);
         for ci in 0..self.cores.len() {
+            self.cores[ci].l1i_pf.on_cycle(self.now, &mut sink);
+            for req in sink.requests.drain(..) {
+                self.enqueue_l1i_request(ci, req, Ip(0));
+            }
             self.cores[ci].l1d_pf.on_cycle(self.now, &mut sink);
             for req in sink.requests.drain(..) {
                 self.enqueue_l1_request(ci, req, Ip(0));
@@ -1240,19 +1296,24 @@ impl System {
                 // reduces to one port take and a batched hit commit. Port
                 // exhaustion falls through to the slow path, whose first
                 // check is the same port take, for the exact reject path.
+                // A non-noop L1-I prefetcher disables the memo entirely:
+                // its `on_access` hook must observe every new ifetch line,
+                // so both schedulers take the full `ifetch` path and the
+                // hook stream is identical by construction (DESIGN.md §12).
                 let core = &mut self.cores[ci];
-                let fast_hit = core
-                    .tlb
-                    .untimed_memo_frame(iline.vpage().raw())
-                    .map(|frame| phys_line(frame, iline))
-                    .filter(|&pline| core.l1i.repeat_memo(pline).is_some())
-                    .is_some_and(|pline| {
-                        if core.l1i.ports_free(now) == 0 {
-                            return false;
-                        }
-                        core.l1i.commit_repeat_hits(pline, 1, false);
-                        true
-                    });
+                let fast_hit = core.l1i_pf_noop
+                    && core
+                        .tlb
+                        .untimed_memo_frame(iline.vpage().raw())
+                        .map(|frame| phys_line(frame, iline))
+                        .filter(|&pline| core.l1i.repeat_memo(pline).is_some())
+                        .is_some_and(|pline| {
+                            if core.l1i.ports_free(now) == 0 {
+                                return false;
+                            }
+                            core.l1i.commit_repeat_hits(pline, 1, false);
+                            true
+                        });
                 if fast_hit {
                     self.cores[ci].last_ifetch_line = Some(iline);
                 } else if !self.ifetch(ci, iline, ip) {
@@ -1304,8 +1365,23 @@ impl System {
         let l1i_lat = self.cores[ci].l1i.latency();
         let t = self.now;
         match self.cores[ci].l1i.demand_lookup(pline, ip, false) {
-            ProbeResult::Hit { .. } => true,
+            ProbeResult::Hit {
+                first_use_of_prefetch,
+                pf_class,
+            } => {
+                self.run_l1i_prefetcher(
+                    ci,
+                    vline,
+                    pline,
+                    ip,
+                    true,
+                    first_use_of_prefetch,
+                    pf_class,
+                );
+                true
+            }
             ProbeResult::MshrMerge { fill_at } => {
+                self.run_l1i_prefetcher(ci, vline, pline, ip, false, false, 0);
                 self.cores[ci].fetch_stall_until = fill_at;
                 true
             }
@@ -1330,6 +1406,7 @@ impl System {
                 core.fetch_stall_until = fill_at;
                 let nf = core.l1i.next_fill_raw();
                 self.arm_fill(sched::comp_l1i(ci), nf);
+                self.run_l1i_prefetcher(ci, vline, pline, ip, false, false, 0);
                 true
             }
         }
@@ -1687,6 +1764,78 @@ impl System {
         any
     }
 
+    /// Drains the L1I prefetch queue: the I-side twin of
+    /// [`System::drain_l1_pq`], sharing the same L2/LLC resolve machinery
+    /// (and therefore the same L2 MSHR/PQ pressure and metadata-arrival
+    /// path) as the data side — the composition the frontend figures
+    /// measure.
+    fn drain_l1i_pq(&mut self, ci: usize) -> bool {
+        let mut any = false;
+        for _ in 0..PF_DRAIN_PER_CYCLE {
+            let Some(qp) = self.cores[ci].l1i.peek_prefetch().copied() else {
+                break;
+            };
+            match qp.req.fill {
+                FillLevel::L1 => match self.cores[ci].l1i.prefetch_probe(qp.pline) {
+                    ProbeResult::Hit { .. } | ProbeResult::MshrMerge { .. } => {
+                        self.cores[ci].l1i.pop_prefetch();
+                        self.cores[ci].l1i.stats.pf_dropped_present += 1;
+                        any = true;
+                    }
+                    ProbeResult::MshrFull => break,
+                    ProbeResult::Miss => {
+                        self.cores[ci].l1i.pop_prefetch();
+                        match self.resolve_l2_prefetch(ci, &qp, self.now + PF_ISSUE_LATENCY) {
+                            Some(c) => {
+                                let core = &mut self.cores[ci];
+                                core.l1i.alloc_mshr(Mshr {
+                                    line: qp.pline,
+                                    fill_at: c + FILL_FORWARD,
+                                    is_prefetch: true,
+                                    pf_class: qp.req.pf_class,
+                                    dirty: false,
+                                    ip: qp.ip,
+                                });
+                                let nf = core.l1i.next_fill_raw();
+                                self.arm_fill(sched::comp_l1i(ci), nf);
+                            }
+                            None => {
+                                self.cores[ci].l1i.stats.pf_dropped_mshr_full += 1;
+                            }
+                        }
+                        any = true;
+                    }
+                },
+                FillLevel::L2 => {
+                    self.cores[ci].l1i.pop_prefetch();
+                    if self
+                        .resolve_l2_prefetch(ci, &qp, self.now + PF_ISSUE_LATENCY)
+                        .is_none()
+                    {
+                        self.cores[ci].l1i.stats.pf_dropped_mshr_full += 1;
+                    }
+                    any = true;
+                }
+                FillLevel::Llc => {
+                    self.cores[ci].l1i.pop_prefetch();
+                    if self
+                        .resolve_llc_prefetch(
+                            qp.pline,
+                            qp.req.pf_class,
+                            qp.ip,
+                            self.now + PF_ISSUE_LATENCY,
+                        )
+                        .is_none()
+                    {
+                        self.cores[ci].l1i.stats.pf_dropped_mshr_full += 1;
+                    }
+                    any = true;
+                }
+            }
+        }
+        any
+    }
+
     /// Resolves a prefetch (originating at the L1) at the L2: delivers the
     /// metadata to the L2 prefetcher, then brings the block to (at least)
     /// the L2. Returns the cycle the data is available at the L2.
@@ -1904,6 +2053,51 @@ impl System {
         Self::phase_add(&mut self.phases.train_ns, t0);
     }
 
+    /// The L1-I twin of [`System::run_l1d_prefetcher`], invoked from every
+    /// [`System::ifetch`] outcome. Only reachable with a non-noop I-side
+    /// prefetcher attached, in which case the fast repeat-ifetch memo is
+    /// disabled and both schedulers deliver the identical access stream.
+    #[allow(clippy::too_many_arguments)]
+    fn run_l1i_prefetcher(
+        &mut self,
+        ci: usize,
+        vline: LineAddr,
+        pline: LineAddr,
+        ip: Ip,
+        hit: bool,
+        first_use_of_prefetch: bool,
+        hit_pf_class: u8,
+    ) {
+        if self.cores[ci].l1i_pf_noop {
+            return;
+        }
+        let t0 = self.phase_start();
+        let dram_utilization = self.dram.utilization();
+        let core = &mut self.cores[ci];
+        let info = AccessInfo {
+            cycle: self.now,
+            ip,
+            vline,
+            pline,
+            kind: DemandKind::IFetch,
+            hit,
+            first_use_of_prefetch,
+            hit_pf_class,
+            instructions: core.retired_total,
+            demand_misses: core.l1i.lifetime_misses(),
+            dram_utilization,
+            decode: AddrDecode::of(ip, vline),
+        };
+        let mut sink = std::mem::take(&mut self.pf_scratch);
+        self.cores[ci].l1i_pf.on_access(&info, &mut sink);
+        for req in sink.requests.drain(..) {
+            self.enqueue_l1i_request(ci, req, ip);
+        }
+        sink.dropped = 0;
+        self.pf_scratch = sink;
+        Self::phase_add(&mut self.phases.train_ns, t0);
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_l2_prefetcher_access(
         &mut self,
@@ -2040,6 +2234,32 @@ impl System {
         self.mark_pq(sched::pq_l1d(ci));
     }
 
+    /// Enqueues an I-side prefetch request into the L1I's PQ. Virtual
+    /// targets translate through the untimed ITLB path (code addresses are
+    /// virtual, like every L1-fill request); already-resident targets are
+    /// dropped at enqueue, mirroring [`System::enqueue_l1_translated`].
+    fn enqueue_l1i_request(&mut self, ci: usize, req: PrefetchRequest, ip: Ip) {
+        let core = &mut self.cores[ci];
+        let pline = if req.virtual_addr {
+            let vpage = req.line.vpage();
+            let ppage = core.tlb.translate_untimed(vpage, &mut core.mapper);
+            phys_line(ppage.raw(), req.line)
+        } else {
+            req.line
+        };
+        if req.fill == FillLevel::L1
+            && !matches!(
+                core.l1i.prefetch_probe(pline),
+                ProbeResult::Miss | ProbeResult::MshrFull
+            )
+        {
+            core.l1i.stats.pf_dropped_present += 1;
+            return;
+        }
+        core.l1i.enqueue_prefetch(QueuedPrefetch { req, pline, ip });
+        self.mark_pq(sched::pq_l1i(ci));
+    }
+
     fn enqueue_l2_request(&mut self, ci: usize, req: PrefetchRequest, ip: Ip) {
         let core = &mut self.cores[ci];
         let pline = if req.virtual_addr {
@@ -2166,7 +2386,17 @@ impl System {
         let mut any = false;
         while let Some(m) = self.cores[ci].l1i.pop_ready_fill(now) {
             any = true;
-            let _ = self.cores[ci].l1i.install(m.line, m.ip, false, 0, false);
+            let evicted =
+                self.cores[ci]
+                    .l1i
+                    .install(m.line, m.ip, m.is_prefetch, m.pf_class, m.dirty);
+            // Instruction lines are never written, so evictions can't be
+            // dirty and there is no writeback leg.
+            debug_assert!(evicted.is_none_or(|ev| !ev.dirty));
+            if !self.cores[ci].l1i_pf_noop {
+                let info = fill_info(now, &m, evicted);
+                self.cores[ci].l1i_pf.on_fill(&info);
+            }
         }
         any
     }
@@ -2218,10 +2448,30 @@ const _: () = {
     assert_send::<SimReport>();
 };
 
-/// Convenience: runs a single-core simulation.
+/// Convenience: runs a single-core simulation (no I-side prefetcher).
 pub fn run_single(
     cfg: SimConfig,
     trace: Arc<dyn TraceSource + Send + Sync>,
+    l1d_prefetcher: Box<dyn Prefetcher>,
+    l2_prefetcher: Box<dyn Prefetcher>,
+    llc_prefetcher: Box<dyn Prefetcher>,
+) -> SimReport {
+    run_single_with_l1i(
+        cfg,
+        trace,
+        Box::new(crate::prefetch::NoPrefetcher),
+        l1d_prefetcher,
+        l2_prefetcher,
+        llc_prefetcher,
+    )
+}
+
+/// Convenience: runs a single-core simulation with an L1-I prefetcher in
+/// the frontend slot.
+pub fn run_single_with_l1i(
+    cfg: SimConfig,
+    trace: Arc<dyn TraceSource + Send + Sync>,
+    l1i_prefetcher: Box<dyn Prefetcher>,
     l1d_prefetcher: Box<dyn Prefetcher>,
     l2_prefetcher: Box<dyn Prefetcher>,
     llc_prefetcher: Box<dyn Prefetcher>,
@@ -2230,11 +2480,8 @@ pub fn run_single(
     cfg.cores = 1;
     let mut sys = System::new(
         cfg,
-        vec![CoreSetup {
-            trace,
-            l1d_prefetcher,
-            l2_prefetcher,
-        }],
+        vec![CoreSetup::new(trace, l1d_prefetcher, l2_prefetcher)
+            .with_l1i_prefetcher(l1i_prefetcher)],
         llc_prefetcher,
     );
     sys.run()
@@ -2414,10 +2661,12 @@ mod tests {
     fn multicore_runs_and_reports_per_core() {
         let mut cfg = SimConfig::multicore(2).with_instructions(1_000, 5_000);
         cfg.llc.size_bytes = 1024 * 1024; // keep the test fast
-        let mk = |_: u32| CoreSetup {
-            trace: seq_trace(20_000, 1),
-            l1d_prefetcher: Box::new(NoPrefetcher),
-            l2_prefetcher: Box::new(NoPrefetcher),
+        let mk = |_: u32| {
+            CoreSetup::new(
+                seq_trace(20_000, 1),
+                Box::new(NoPrefetcher),
+                Box::new(NoPrefetcher),
+            )
         };
         let mut sys = System::new(cfg, vec![mk(0), mk(1)], Box::new(NoPrefetcher));
         let r = sys.run();

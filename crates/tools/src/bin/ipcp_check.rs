@@ -16,7 +16,12 @@
 //!    reports (including interval samples) must be byte-identical. The
 //!    sweep covers single-core runs and 4-core `mc_mix`-shaped mixes
 //!    built from the fuzz corpus, so the scheduler's shared-LLC and
-//!    multi-core wakeup interleavings are under the same oracle.
+//!    multi-core wakeup interleavings are under the same oracle. The
+//!    default combo list includes the front-end placements (`fdip`,
+//!    `mana-ipcp`), which route ifetch through the full hook path and so
+//!    put the repeat-ifetch memo's noop gate under the oracle too; the
+//!    mc sweep gives its even cores a MANA L1-I prefetcher for the same
+//!    reason.
 //!
 //! ```text
 //! ipcp_check [--seeds N] [--combos a,b] [--skip-storage] [--skip-invariants]
@@ -33,7 +38,10 @@ use ipcp_bench::combos;
 use ipcp_bench::runner::RunScale;
 use ipcp_sim::prefetch::{NoPrefetcher, Prefetcher};
 use ipcp_sim::telemetry::ToJson;
-use ipcp_sim::{run_single, CheckedPrefetcher, CoreSetup, ReplacementKind, SimConfig, System};
+use ipcp_sim::{
+    run_single, run_single_with_l1i, CheckedPrefetcher, CoreSetup, ReplacementKind, SimConfig,
+    System,
+};
 use ipcp_tools::Args;
 use ipcp_trace::TraceSource;
 use ipcp_workloads::fuzz;
@@ -160,7 +168,7 @@ fn oracle_sweep(cfg: &SimConfig, combo_names: &[String], seeds: u64) -> u32 {
                 let naive_cfg = fast_cfg.clone().without_fastpaths();
                 let run = |cfg: SimConfig| {
                     let c = combos::build(combo);
-                    run_single(cfg, trace.handle(), c.l1, c.l2, c.llc)
+                    run_single_with_l1i(cfg, trace.handle(), c.l1i, c.l1, c.l2, c.llc)
                         .to_json()
                         .to_pretty_string()
                 };
@@ -215,13 +223,16 @@ fn mc_oracle_sweep(cfg: &SimConfig, seeds: u64) -> u32 {
         let run = |cfg: SimConfig| {
             let setups = mix
                 .iter()
-                .map(|t| {
+                .enumerate()
+                .map(|(i, t)| {
+                    // Even cores carry a MANA L1-I prefetcher so the
+                    // multi-core oracle also covers mixed front ends.
                     let c = combos::build("ipcp");
-                    CoreSetup {
-                        trace: t.handle(),
-                        l1d_prefetcher: c.l1,
-                        l2_prefetcher: c.l2,
+                    let mut s = CoreSetup::new(t.handle(), c.l1, c.l2);
+                    if i % 2 == 0 {
+                        s = s.with_l1i_prefetcher(combos::build("mana").l1i);
                     }
+                    s
                 })
                 .collect();
             let mut sys = System::new(cfg, setups, combos::build("ipcp").llc);
@@ -263,7 +274,7 @@ fn main() {
     });
     let seeds: u64 = args.get_or("seeds", 2);
     let combo_names: Vec<String> = args
-        .get_or("combos", "ipcp,ipcp-l1".to_string())
+        .get_or("combos", "ipcp,ipcp-l1,fdip,mana-ipcp".to_string())
         .split(',')
         .map(str::to_string)
         .collect();

@@ -56,16 +56,23 @@ pub enum FuzzPattern {
     /// Uniformly random lines in a small footprint: no classifiable
     /// pattern at all, maximum RR-filter and throttle churn.
     RandomChurn,
+    /// Sequential fetch runs of random length jumping to random positions
+    /// inside a multi-MB code footprint — the instruction-side analogue of
+    /// [`FuzzPattern::RandomChurn`]. Runs cross instruction-line boundaries
+    /// at unpredictable points, stressing the repeat-ifetch memo and any
+    /// L1-I prefetcher's train/replay paths with unlearnable transitions.
+    CodeFootprint,
 }
 
 impl FuzzPattern {
     /// All patterns, for sweep drivers.
-    pub const ALL: [FuzzPattern; 5] = [
+    pub const ALL: [FuzzPattern; 6] = [
         FuzzPattern::PageStraddle,
         FuzzPattern::AlternatingStride,
         FuzzPattern::RegionHandoff,
         FuzzPattern::IpAliasStorm,
         FuzzPattern::RandomChurn,
+        FuzzPattern::CodeFootprint,
     ];
 
     /// Stable name used in trace names and reproduction instructions.
@@ -76,6 +83,7 @@ impl FuzzPattern {
             FuzzPattern::RegionHandoff => "region-handoff",
             FuzzPattern::IpAliasStorm => "ip-alias-storm",
             FuzzPattern::RandomChurn => "random-churn",
+            FuzzPattern::CodeFootprint => "code-footprint",
         }
     }
 
@@ -96,6 +104,7 @@ pub fn fuzz_trace(pattern: FuzzPattern, seed: u64) -> SynthTrace {
         FuzzPattern::RegionHandoff => region_handoff(seed),
         FuzzPattern::IpAliasStorm => ip_alias_storm(seed),
         FuzzPattern::RandomChurn => random_churn(seed),
+        FuzzPattern::CodeFootprint => code_footprint(seed),
     })
 }
 
@@ -267,6 +276,35 @@ fn random_churn(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
     }))
 }
 
+fn code_footprint(seed: u64) -> Box<dyn Iterator<Item = Instr> + Send> {
+    let mut rng = Rng64::new(seed ^ 0x434f_4445);
+    // 64 K distinct instruction lines (~4 MB of code): far beyond any
+    // L1-I, and jump targets are uniform so no successor table converges.
+    let code_lines = 1u64 << 16;
+    let base = 0x100_0000u64;
+    let mut ip = base;
+    let mut run_left = 0u64;
+    let mut count = 0u64;
+    Box::new(std::iter::from_fn(move || {
+        if run_left == 0 {
+            // Jump to a random line-aligned position; runs of 3..=40
+            // instructions then cross line boundaries at arbitrary phases.
+            ip = base + rng.below(code_lines) * LINE;
+            run_left = 3 + rng.below(38);
+        }
+        run_left -= 1;
+        let this_ip = ip;
+        ip += 4;
+        count += 1;
+        Some(if count.is_multiple_of(7) {
+            let l = rng.below(1 << 14);
+            Instr::load(this_ip, 0x6000_0000 + l * LINE)
+        } else {
+            Instr::nop(this_ip)
+        })
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +363,15 @@ mod tests {
         let tags: std::collections::HashSet<u64> =
             instrs.iter().map(|i| i.ip.raw() >> 2 >> 6).collect();
         assert!(tags.len() >= 4, "aliases must carry distinct tags");
+    }
+
+    #[test]
+    fn code_footprint_spans_many_instruction_lines() {
+        let t = fuzz_trace(FuzzPattern::CodeFootprint, 6);
+        let lines: std::collections::HashSet<u64> =
+            t.stream().take(50_000).map(|i| i.ip.raw() / 64).collect();
+        // ~50 K instructions at ~21 per jump → thousands of distinct lines.
+        assert!(lines.len() > 1500, "{} instruction lines", lines.len());
     }
 
     #[test]

@@ -640,6 +640,141 @@ pub fn sparse(
     })
 }
 
+/// Deep-call-chain workload (cloud-microservice front end): a static call
+/// tree over `fns` functions of `body_instrs` instructions each, walked by
+/// a depth-bounded interpreter. Each function has two fixed call sites
+/// whose targets are chosen once per stream from the seed, so control flow
+/// *repeats* — a front-end prefetcher has real transitions to learn —
+/// while the instruction footprint is `fns × body_instrs × 4` bytes
+/// (multi-MB at the suite's configurations), far beyond any L1-I. Every
+/// 6th instruction is a load striding a shared data array, so the D-side
+/// sees a clean prefetchable stream alongside the I-side pressure.
+pub fn deep_calls(
+    name: &str,
+    fns: u32,
+    body_instrs: u32,
+    max_depth: u32,
+    data_lines: u64,
+    seed: u64,
+) -> SynthTrace {
+    assert!(fns >= 2 && body_instrs >= 8 && max_depth >= 1 && data_lines > 0);
+    SynthTrace::new(name, move || {
+        let mut rng = Rng64::new(seed);
+        // The static call graph: two call sites per function, targets fixed
+        // at stream start.
+        let callees: Vec<[u32; 2]> = (0..fns)
+            .map(|_| {
+                [
+                    rng.below(u64::from(fns)) as u32,
+                    rng.below(u64::from(fns)) as u32,
+                ]
+            })
+            .collect();
+        let site = [body_instrs / 3, 2 * body_instrs / 3];
+        let code_base = 0x10_0000u64;
+        let mut stack: Vec<(u32, u32)> = Vec::new(); // (function, resume pos)
+        let mut cur = 0u32;
+        let mut pos = 0u32;
+        let mut root = 0u32;
+        let mut count = 0u64;
+        let mut data_cursor = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            let ip = code_base + (u64::from(cur) * u64::from(body_instrs) + u64::from(pos)) * 4;
+            count += 1;
+            let instr = if count.is_multiple_of(6) {
+                data_cursor = (data_cursor + 1) % data_lines;
+                Instr::load(ip, 0x3000_0000 + data_cursor * LINE)
+            } else {
+                Instr::nop(ip)
+            };
+            pos += 1;
+            if pos >= body_instrs {
+                // Return — or start the next root walk when the stack
+                // drains (roots rotate so every function is eventually a
+                // chain head).
+                match stack.pop() {
+                    Some((f, p)) => {
+                        cur = f;
+                        pos = p;
+                    }
+                    None => {
+                        root = (root + 1) % fns;
+                        cur = root;
+                        pos = 0;
+                    }
+                }
+            } else if stack.len() < max_depth as usize && (pos == site[0] || pos == site[1]) {
+                let s = usize::from(pos == site[1]);
+                stack.push((cur, pos));
+                cur = callees[cur as usize][s];
+                pos = 0;
+            }
+            Some(instr)
+        }))
+    })
+}
+
+/// Hot/cold code-mix workload (server request loop): a small set of
+/// `hot_fns` functions executes round-robin (the dispatch loop — L1-I
+/// resident), and every `cold_every`-th function body is a randomly chosen
+/// one of `cold_fns` cold functions (handler tails — a multi-MB footprint
+/// revisited rarely). Hot code loads from a small resident array; cold
+/// code loads randomly from `data_lines` cold data.
+pub fn hot_cold_code(
+    name: &str,
+    hot_fns: u32,
+    cold_fns: u32,
+    body_instrs: u32,
+    cold_every: u32,
+    data_lines: u64,
+    seed: u64,
+) -> SynthTrace {
+    assert!(hot_fns >= 1 && cold_fns >= 1 && body_instrs >= 4 && cold_every >= 2);
+    assert!(data_lines > 0);
+    SynthTrace::new(name, move || {
+        let mut rng = Rng64::new(seed);
+        let hot_base = 0x20_0000u64;
+        let cold_base = hot_base + u64::from(hot_fns) * u64::from(body_instrs) * 4;
+        let mut in_cold = false;
+        let mut cur = 0u32;
+        let mut pos = 0u32;
+        let mut bodies = 0u64;
+        let mut hot_rr = 0u32;
+        let mut count = 0u64;
+        let mut hot_cursor = 0u64;
+        Box::new(std::iter::from_fn(move || {
+            let base = if in_cold { cold_base } else { hot_base };
+            let ip = base + (u64::from(cur) * u64::from(body_instrs) + u64::from(pos)) * 4;
+            count += 1;
+            let instr = if count.is_multiple_of(5) {
+                if in_cold {
+                    let l = rng.below(data_lines);
+                    Instr::load(ip, 0x5000_0000 + l * LINE)
+                } else {
+                    hot_cursor = (hot_cursor + 1) % 512;
+                    Instr::load(ip, 0x4000_0000 + hot_cursor * LINE)
+                }
+            } else {
+                Instr::nop(ip)
+            };
+            pos += 1;
+            if pos >= body_instrs {
+                pos = 0;
+                bodies += 1;
+                if bodies.is_multiple_of(u64::from(cold_every)) {
+                    in_cold = true;
+                    cur = rng.below(u64::from(cold_fns)) as u32;
+                } else {
+                    in_cold = false;
+                    hot_rr = (hot_rr + 1) % hot_fns;
+                    cur = hot_rr;
+                }
+            }
+            Some(instr)
+        }))
+    })
+}
+
 /// Interleaves several traces instruction-by-instruction with integer
 /// weights: out of `Σ weights` consecutive instructions, each part
 /// contributes its weight's worth, round-robin.
@@ -958,6 +1093,68 @@ mod tests {
             .map(|i| i.ip.raw())
             .collect();
         assert!(ips.len() > 2000, "got {} distinct IPs", ips.len());
+    }
+
+    #[test]
+    fn deep_calls_has_multi_mb_code_footprint() {
+        // 4096 functions × 256 instructions × 4 B = 4 MB of code; a long
+        // prefix must touch far more instruction lines than any L1-I holds
+        // (the structural point of the workload).
+        let t = deep_calls("deep", 4096, 256, 8, 4096, 31);
+        let lines: std::collections::BTreeSet<u64> =
+            t.stream().take(400_000).map(|i| i.ip.raw() / 64).collect();
+        assert!(
+            lines.len() > 4096,
+            "code footprint too small: {} lines",
+            lines.len()
+        );
+        // Determinism (the static call graph is seed-fixed).
+        let a: Vec<Instr> = t.stream().take(5000).collect();
+        let b: Vec<Instr> = t.stream().take(5000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_calls_control_flow_repeats() {
+        // The same call-graph walk recurs: the set of (ip, next-ip)
+        // transitions saturates — most transitions seen late in the stream
+        // were already seen earlier, which is what a record-based front-end
+        // prefetcher exploits.
+        let t = deep_calls("deep", 32, 32, 4, 256, 33);
+        let ips: Vec<u64> = t.stream().take(120_000).map(|i| i.ip.raw()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for w in ips[..60_000].windows(2) {
+            seen.insert((w[0], w[1]));
+        }
+        let late: Vec<_> = ips[60_000..].windows(2).collect();
+        let repeats = late.iter().filter(|w| seen.contains(&(w[0], w[1]))).count();
+        assert!(
+            repeats as f64 / late.len() as f64 > 0.9,
+            "{repeats} of {} late transitions repeat",
+            late.len()
+        );
+    }
+
+    #[test]
+    fn hot_cold_code_splits_fetch_traffic() {
+        let t = hot_cold_code("hc", 8, 4096, 32, 5, 1 << 14, 37);
+        let hot_base = 0x20_0000u64;
+        let cold_base = hot_base + 8 * 32 * 4;
+        let ips: Vec<u64> = t.stream().take(100_000).map(|i| i.ip.raw()).collect();
+        let hot = ips.iter().filter(|&&ip| ip < cold_base).count();
+        let cold_lines: std::collections::BTreeSet<u64> = ips
+            .iter()
+            .filter(|&&ip| ip >= cold_base)
+            .map(|&ip| ip / 64)
+            .collect();
+        // Hot dispatch dominates instruction count; cold code still spans
+        // a large footprint of rarely revisited lines.
+        assert!(
+            hot as f64 / ips.len() as f64 > 0.6,
+            "{hot} hot of {}",
+            ips.len()
+        );
+        assert!(cold_lines.len() > 500, "{} cold lines", cold_lines.len());
     }
 
     #[test]

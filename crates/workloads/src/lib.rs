@@ -27,4 +27,6 @@ pub mod rng;
 pub mod suites;
 
 pub use gen::SynthTrace;
-pub use suites::{by_name, cloud_suite, full_suite, memory_intensive_suite, nn_suite};
+pub use suites::{
+    by_name, cloud_suite, frontend_suite, full_suite, memory_intensive_suite, nn_suite,
+};

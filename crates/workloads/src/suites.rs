@@ -21,8 +21,8 @@
 //! benchmark names.
 
 use crate::gen::{
-    blend, complex_stride, constant_stride, global_stream, large_code, nested_loop, phased,
-    pointer_chase, resident, server, sparse, tensor_streams, SynthTrace,
+    blend, complex_stride, constant_stride, deep_calls, global_stream, hot_cold_code, large_code,
+    nested_loop, phased, pointer_chase, resident, server, sparse, tensor_streams, SynthTrace,
 };
 
 /// 64 MB footprints (in cache lines) — large enough that the pattern stream
@@ -190,12 +190,30 @@ pub fn nn_suite() -> Vec<SynthTrace> {
     ]
 }
 
+/// Front-end (instruction-fetch) suite: cloud-microservice-shaped code
+/// footprints for the L1-I prefetching figures. The `fe-deep-*` family is
+/// a footprint ladder — the same deep-call-chain shape at 256 KB, 1 MB,
+/// 4 MB, and 8 MB of code — for the MPKI/IPC-vs-footprint sweep; the
+/// `fe-hotcold-*` pair mixes an L1-I-resident dispatch loop with a
+/// multi-MB cold-handler tail.
+pub fn frontend_suite() -> Vec<SynthTrace> {
+    vec![
+        deep_calls("fe-deep-256k", 256, 256, 6, 4096, 201),
+        deep_calls("fe-deep-1m", 1024, 256, 8, 4096, 202),
+        deep_calls("fe-deep-4m", 4096, 256, 8, 4096, 203),
+        deep_calls("fe-deep-8m", 8192, 256, 10, 4096, 204),
+        hot_cold_code("fe-hotcold-2m", 16, 8192, 64, 7, 1 << 16, 205),
+        hot_cold_code("fe-hotcold-8m", 16, 32_768, 64, 5, 1 << 16, 206),
+    ]
+}
+
 /// Looks a trace up by name across all suites.
 pub fn by_name(name: &str) -> Option<SynthTrace> {
     full_suite()
         .into_iter()
         .chain(cloud_suite())
         .chain(nn_suite())
+        .chain(frontend_suite())
         .find(|t| ipcp_trace::TraceSource::name(t) == name)
 }
 
@@ -210,6 +228,7 @@ mod tests {
         assert_eq!(full_suite().len(), 26);
         assert_eq!(cloud_suite().len(), 5);
         assert_eq!(nn_suite().len(), 7);
+        assert_eq!(frontend_suite().len(), 6);
     }
 
     #[test]
@@ -218,6 +237,7 @@ mod tests {
             .iter()
             .chain(cloud_suite().iter())
             .chain(nn_suite().iter())
+            .chain(frontend_suite().iter())
             .map(|t| t.name().to_string())
             .collect();
         let n = names.len();
@@ -232,6 +252,7 @@ mod tests {
             .iter()
             .chain(cloud_suite().iter())
             .chain(nn_suite().iter())
+            .chain(frontend_suite().iter())
         {
             let n = t.stream().take(1000).count();
             assert_eq!(n, 1000, "{} must be infinite", t.name());
@@ -263,6 +284,28 @@ mod tests {
     fn by_name_finds_and_misses() {
         assert!(by_name("lbm-gs-pos").is_some());
         assert!(by_name("cassandra").is_some());
+        assert!(by_name("fe-deep-4m").is_some());
         assert!(by_name("nonexistent-trace").is_none());
+    }
+
+    #[test]
+    fn frontend_footprint_ladder_grows() {
+        // The fe-deep ladder must actually grow in distinct instruction
+        // lines — that ordering is the x-axis of the footprint figures.
+        let counts: Vec<usize> = ["fe-deep-256k", "fe-deep-1m", "fe-deep-4m"]
+            .iter()
+            .map(|n| {
+                let t = by_name(n).unwrap();
+                t.stream()
+                    .take(300_000)
+                    .map(|i| i.ip.raw() / 64)
+                    .collect::<std::collections::BTreeSet<u64>>()
+                    .len()
+            })
+            .collect();
+        assert!(
+            counts[0] < counts[1] && counts[1] < counts[2],
+            "footprints must ascend: {counts:?}"
+        );
     }
 }

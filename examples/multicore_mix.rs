@@ -42,11 +42,7 @@ fn main() {
             let (l1, l2) = none_pair();
             let mut sys = System::new(
                 cfg,
-                vec![CoreSetup {
-                    trace: Arc::new(t.clone()),
-                    l1d_prefetcher: l1,
-                    l2_prefetcher: l2,
-                }],
+                vec![CoreSetup::new(Arc::new(t.clone()), l1, l2)],
                 Box::new(NoPrefetcher),
             );
             sys.run().ipc()
@@ -59,11 +55,7 @@ fn main() {
             .iter()
             .map(|t| {
                 let (l1, l2) = if with_ipcp { ipcp_pair() } else { none_pair() };
-                CoreSetup {
-                    trace: Arc::new(t.clone()),
-                    l1d_prefetcher: l1,
-                    l2_prefetcher: l2,
-                }
+                CoreSetup::new(Arc::new(t.clone()), l1, l2)
             })
             .collect();
         let mut sys = System::new(cfg, setups, Box::new(NoPrefetcher));

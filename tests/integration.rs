@@ -71,10 +71,12 @@ fn simulation_is_deterministic_end_to_end() {
 #[test]
 fn multicore_shares_llc_and_dram() {
     let t = by_name("bwaves-cs3").unwrap();
-    let mk = || CoreSetup {
-        trace: Arc::new(t.clone()),
-        l1d_prefetcher: Box::new(NoPrefetcher),
-        l2_prefetcher: Box::new(NoPrefetcher),
+    let mk = || {
+        CoreSetup::new(
+            Arc::new(t.clone()),
+            Box::new(NoPrefetcher),
+            Box::new(NoPrefetcher),
+        )
     };
     let single = {
         let mut cfg = SimConfig::multicore(4).with_instructions(10_000, 40_000);

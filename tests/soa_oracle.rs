@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use ipcp_bench::combos;
 use ipcp_sim::telemetry::ToJson;
-use ipcp_sim::{run_single, ReplacementKind, SimConfig};
+use ipcp_sim::{run_single_with_l1i, ReplacementKind, SimConfig};
 use ipcp_trace::{Instr, TraceSource};
 use ipcp_workloads::fuzz::{fuzz_trace, FuzzPattern};
 use ipcp_workloads::SynthTrace;
@@ -38,18 +38,20 @@ fn oracle_config() -> SimConfig {
 
 fn report_json(cfg: SimConfig, trace: Arc<dyn TraceSource + Send + Sync>, combo: &str) -> String {
     let c = combos::build(combo);
-    run_single(cfg, trace, c.l1, c.l2, c.llc)
+    run_single_with_l1i(cfg, trace, c.l1i, c.l1, c.l2, c.llc)
         .to_json()
         .to_pretty_string()
 }
 
 /// Fast (batch ingestion, SoA tables, memoized lookups) vs naive
 /// (exhaustive, fastpath-free) must serialize byte-identically across the
-/// fuzz corpus and both IPCP combos.
+/// fuzz corpus, both IPCP combos, and the front-end placements (`fdip`
+/// alone and `mana-ipcp` composed — a non-noop L1-I prefetcher disables
+/// the repeat-ifetch memo, so this pins the other side of that gate).
 #[test]
 fn fast_and_naive_reports_are_byte_identical_over_fuzz_corpus() {
     for (warmup, instructions) in SCALES {
-        for combo in ["ipcp", "ipcp-l1"] {
+        for combo in ["ipcp", "ipcp-l1", "fdip", "mana-ipcp"] {
             for kind in [ReplacementKind::Lru, ReplacementKind::Ship] {
                 for pattern in FuzzPattern::ALL {
                     let trace = fuzz_trace(pattern, 1);
